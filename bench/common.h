@@ -1,0 +1,106 @@
+// Shared helpers for the figure/table reproduction benches.
+#ifndef IMKASLR_BENCH_COMMON_H_
+#define IMKASLR_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/base/stats.h"
+#include "src/bench_util/harness.h"
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace bench {
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+// Builds a kernel and installs vmlinux + relocs into storage under
+// "<name>" and "<name>.relocs".
+inline KernelBuildInfo InstallKernel(Storage& storage, KernelProfile profile, RandoMode rando,
+                                     double scale, const std::string& name) {
+  KernelBuildInfo info =
+      CheckOk(BuildKernel(KernelConfig::Make(profile, rando, scale)), "BuildKernel");
+  storage.Put(name, info.vmlinux);
+  if (!info.relocs.empty()) {
+    storage.Put(name + ".relocs", SerializeRelocs(info.relocs));
+  }
+  return info;
+}
+
+// Builds and installs a bzImage under `image_name`.
+inline void InstallBzImage(Storage& storage, const KernelBuildInfo& kernel,
+                           const std::string& codec, LoaderKind loader,
+                           const std::string& image_name) {
+  BzImage image = CheckOk(BuildBzImage(ByteSpan(kernel.vmlinux), kernel.relocs, codec, loader),
+                          "BuildBzImage");
+  storage.Put(image_name, SerializeBzImage(image));
+}
+
+// Aggregated per-phase boot statistics over repeated boots.
+struct BootStats {
+  Summary total_ms;
+  Summary monitor_ms;
+  Summary setup_ms;
+  Summary decompress_ms;
+  Summary linux_ms;
+  Summary modeled_io_ms;  // the modeled (cold-I/O) share of In-Monitor
+};
+
+// Boots `reps` times (after `warmup` discarded boots), verifying the guest
+// checksum each time. `pre_boot` (optional) runs before every boot — used to
+// drop caches for the cold-cache experiments.
+inline BootStats RepeatBoot(Storage& storage, const MicroVmConfig& config,
+                            const KernelBuildInfo& kernel, uint32_t warmup, uint32_t reps,
+                            const std::function<void()>& pre_boot = {}) {
+  BootStats stats;
+  for (uint32_t i = 0; i < warmup + reps; ++i) {
+    if (pre_boot) {
+      pre_boot();
+    }
+    MicroVmConfig boot_config = config;
+    if (boot_config.seed != 0) {
+      boot_config.seed = config.seed + i;  // vary layouts across reps
+    }
+    MicroVm vm(storage, boot_config);
+    BootReport report = CheckOk(vm.Boot(), "Boot");
+    if (!report.init_done || report.init_checksum != kernel.expected_checksum) {
+      std::fprintf(stderr, "boot verification failed (checksum mismatch)\n");
+      std::exit(1);
+    }
+    if (i < warmup) {
+      continue;
+    }
+    const BootTimeline& t = report.timeline;
+    stats.total_ms.Add(t.total_ms());
+    stats.monitor_ms.Add(t.phase_ms(BootPhase::kInMonitor));
+    stats.setup_ms.Add(t.phase_ms(BootPhase::kBootstrapSetup));
+    stats.decompress_ms.Add(t.phase_ms(BootPhase::kDecompression));
+    stats.linux_ms.Add(t.phase_ms(BootPhase::kLinuxBoot));
+    stats.modeled_io_ms.Add(static_cast<double>(t.modeled_ns(BootPhase::kInMonitor)) / 1e6);
+  }
+  return stats;
+}
+
+inline const char* ProfileName(KernelProfile profile) { return KernelProfileName(profile); }
+
+inline constexpr KernelProfile kAllProfiles[] = {KernelProfile::kLupine, KernelProfile::kAws,
+                                                 KernelProfile::kUbuntu};
+
+}  // namespace bench
+}  // namespace imk
+
+#endif  // IMKASLR_BENCH_COMMON_H_

@@ -1,0 +1,79 @@
+// Figure 11 reproduction: LEBench-style kernel microbenchmarks on the aws
+// kernel with no randomization, in-monitor KASLR, and in-monitor FGKASLR,
+// normalized to the unrandomized baseline. Expected: KASLR within noise,
+// FGKASLR a few percent slower via i-cache misses.
+//
+//   $ ./fig11_lebench [--reps=30] [--scale=0.25]
+#include "bench/common.h"
+#include "src/guestload/lebench.h"
+
+using namespace imk;         // NOLINT
+using namespace imk::bench;  // NOLINT
+
+namespace {
+
+struct VmRun {
+  KernelBuildInfo info;
+  std::unique_ptr<Storage> storage;
+  std::unique_ptr<MicroVm> vm;
+  std::vector<LeBenchResult> results;
+};
+
+VmRun RunMode(RandoMode rando, double scale, uint32_t iterations) {
+  VmRun run;
+  run.storage = std::make_unique<Storage>();
+  run.info = InstallKernel(*run.storage, KernelProfile::kAws, rando, scale, "vmlinux");
+  MicroVmConfig config;
+  config.mem_size_bytes = 256ull << 20;
+  config.kernel_image = "vmlinux";
+  if (rando != RandoMode::kNone) {
+    config.relocs_image = "vmlinux.relocs";
+  }
+  config.rando = rando;
+  config.seed = 5;
+  run.vm = std::make_unique<MicroVm>(*run.storage, config);
+  BootReport report = CheckOk(run.vm->Boot(), "Boot");
+  if (report.init_checksum != run.info.expected_checksum) {
+    std::fprintf(stderr, "boot checksum mismatch\n");
+    std::exit(1);
+  }
+  run.results = CheckOk(RunLeBench(*run.vm, run.info, iterations), "RunLeBench");
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint32_t iterations = options.reps;
+  std::printf("Figure 11: LEBench on aws kernels, normalized to nokaslr (%u rounds each)\n\n",
+              iterations);
+
+  VmRun base = RunMode(RandoMode::kNone, options.scale, iterations);
+  VmRun kaslr = RunMode(RandoMode::kKaslr, options.scale, iterations);
+  VmRun fg = RunMode(RandoMode::kFgKaslr, options.scale, iterations);
+
+  TextTable table({"test", "nokaslr cyc", "kaslr norm", "fgkaslr norm", "fg miss-rate delta"});
+  double kaslr_sum = 0;
+  double fg_sum = 0;
+  for (size_t i = 0; i < base.results.size(); ++i) {
+    const double base_cycles = base.results[i].cycles_per_iteration;
+    const double kaslr_norm = kaslr.results[i].cycles_per_iteration / base_cycles;
+    const double fg_norm = fg.results[i].cycles_per_iteration / base_cycles;
+    kaslr_sum += kaslr_norm;
+    fg_sum += fg_norm;
+    char miss_delta[32];
+    std::snprintf(miss_delta, sizeof(miss_delta), "%+.3f%%",
+                  (fg.results[i].icache_miss_rate - base.results[i].icache_miss_rate) * 100);
+    table.AddRow({base.results[i].name, TextTable::Fmt(base_cycles, 0),
+                  TextTable::Fmt(kaslr_norm, 3), TextTable::Fmt(fg_norm, 3), miss_delta});
+  }
+  table.Print();
+  const double n = static_cast<double>(base.results.size());
+  std::printf("\naverage normalized runtime: kaslr %.3f, fgkaslr %.3f\n", kaslr_sum / n,
+              fg_sum / n);
+  std::printf("\npaper: KASLR-enabled kernels are <1%% slower on average (noise); in-monitor\n"
+              "FGKASLR is ~7%% slower, driven by a higher L1 i-cache miss rate from formerly\n"
+              "adjacent hot functions being scattered.\n");
+  return 0;
+}

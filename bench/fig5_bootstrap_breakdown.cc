@@ -1,0 +1,69 @@
+// Figure 5 reproduction: where does bootstrap-loader time go? The paper
+// finds decompression dominates (up to 73%), which motivates direct boot.
+//
+//   $ ./fig5_bootstrap_breakdown [--reps=10] [--scale=0.25]
+#include "bench/common.h"
+
+using namespace imk;         // NOLINT
+using namespace imk::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  std::printf("Figure 5: bootstrap loader step breakdown (bzImage lz4, kaslr, %u boots)\n\n",
+              options.reps);
+
+  TextTable table({"kernel", "setup ms", "decompress ms", "parse+load ms", "kaslr ms",
+                   "decompress %"});
+  for (KernelProfile profile : kAllProfiles) {
+    Storage storage;
+    KernelBuildInfo info =
+        InstallKernel(storage, profile, RandoMode::kKaslr, options.scale, "vmlinux");
+    InstallBzImage(storage, info, "lz4", LoaderKind::kStandard, "bz-lz4");
+
+    Summary setup;
+    Summary decompress;
+    Summary parse_load;
+    Summary rando;
+    for (uint32_t i = 0; i < options.warmup + options.reps; ++i) {
+      MicroVmConfig config;
+      config.mem_size_bytes = 256ull << 20;
+      config.kernel_image = "bz-lz4";
+      config.boot_mode = BootMode::kBzImage;
+      config.rando = RandoMode::kKaslr;
+      config.seed = 1 + i;
+      MicroVm vm(storage, config);
+      BootReport report = CheckOk(vm.Boot(), "Boot");
+      if (report.init_checksum != info.expected_checksum || !report.bootstrap_timings) {
+        std::fprintf(stderr, "verification failed\n");
+        return 1;
+      }
+      if (i < options.warmup) {
+        continue;
+      }
+      const BootstrapTimings& t = *report.bootstrap_timings;
+      setup.Add(static_cast<double>(t.setup_ns) / 1e6);
+      decompress.Add(static_cast<double>(t.decompress_ns) / 1e6);
+      parse_load.Add(static_cast<double>(t.parse_load_ns) / 1e6);
+      rando.Add(static_cast<double>(t.rando_ns) / 1e6);
+    }
+    const double total = setup.mean() + decompress.mean() + parse_load.mean() + rando.mean();
+    table.AddRow({std::string(ProfileName(profile)), TextTable::Fmt(setup.mean()),
+                  TextTable::Fmt(decompress.mean()), TextTable::Fmt(parse_load.mean()),
+                  TextTable::Fmt(rando.mean()),
+                  TextTable::Fmt(decompress.mean() / total * 100, 1)});
+
+    if (profile == KernelProfile::kAws) {
+      std::printf("aws bootstrap phases:\n");
+      PrintBars({{"setup", setup.mean()},
+                 {"decompression", decompress.mean()},
+                 {"parse+load", parse_load.mean()},
+                 {"kaslr (relocs)", rando.mean()}},
+                "ms");
+      std::printf("\n");
+    }
+  }
+  table.Print();
+  std::printf("\npaper: decompression is up to 73%% of bootstrap time; relocation handling\n"
+              "is at most 8.8%% — which is why KASLR is cheap to move into the monitor.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// google-benchmark microbenchmarks: compression/decompression throughput of
+// every codec on kernel-like data (supports Figure 3's ordering claims).
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/compress/registry.h"
+
+namespace imk {
+namespace {
+
+Bytes KernelLikeData(size_t size) {
+  Rng rng(42);
+  Bytes data;
+  data.reserve(size);
+  while (data.size() < size) {
+    const uint32_t kind = static_cast<uint32_t>(rng.NextBelow(10));
+    if (kind < 5) {
+      const size_t run = 16 + rng.NextBelow(64);
+      const uint8_t motif = static_cast<uint8_t>(rng.NextBelow(32));
+      for (size_t i = 0; i < run && data.size() < size; ++i) {
+        data.push_back(static_cast<uint8_t>(motif + (i % 7)));
+      }
+    } else if (kind < 7) {
+      const uint64_t base = 0xffffffff81000000ull + rng.NextBelow(1 << 20);
+      for (int i = 0; i < 8 && data.size() < size; ++i) {
+        data.push_back(static_cast<uint8_t>(base >> (8 * i)));
+      }
+    } else if (kind < 9) {
+      const size_t run = 8 + rng.NextBelow(128);
+      for (size_t i = 0; i < run && data.size() < size; ++i) {
+        data.push_back(0);
+      }
+    } else {
+      const size_t run = 4 + rng.NextBelow(32);
+      for (size_t i = 0; i < run && data.size() < size; ++i) {
+        data.push_back(static_cast<uint8_t>(rng.Next()));
+      }
+    }
+  }
+  return data;
+}
+
+constexpr size_t kInputSize = 2 * 1024 * 1024;
+
+void BM_Compress(benchmark::State& state, const std::string& name) {
+  const Bytes input = KernelLikeData(kInputSize);
+  auto codec = MakeCodec(name);
+  for (auto _ : state) {
+    auto compressed = (*codec)->Compress(ByteSpan(input));
+    benchmark::DoNotOptimize(compressed->size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * input.size()));
+  auto compressed = (*codec)->Compress(ByteSpan(input));
+  state.counters["ratio"] =
+      static_cast<double>(input.size()) / static_cast<double>(compressed->size());
+}
+
+void BM_Decompress(benchmark::State& state, const std::string& name) {
+  const Bytes input = KernelLikeData(kInputSize);
+  auto codec = MakeCodec(name);
+  auto compressed = (*codec)->Compress(ByteSpan(input));
+  for (auto _ : state) {
+    auto output = (*codec)->Decompress(ByteSpan(*compressed), input.size());
+    benchmark::DoNotOptimize(output->size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * input.size()));
+}
+
+void RegisterAll() {
+  for (const char* name : {"none", "lz4", "lzo", "zstd", "gzip", "bzip2", "xz"}) {
+    benchmark::RegisterBenchmark(("BM_Compress/" + std::string(name)).c_str(),
+                                 [name](benchmark::State& state) { BM_Compress(state, name); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("BM_Decompress/" + std::string(name)).c_str(),
+                                 [name](benchmark::State& state) { BM_Decompress(state, name); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace imk
+
+int main(int argc, char** argv) {
+  imk::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,160 @@
+// google-benchmark microbenchmarks for the KASLR core: offset selection,
+// relocation walks (plain and shuffle-aware), the FGKASLR shuffle itself,
+// and kallsyms fixup — the per-step costs behind Figures 5 and 9.
+#include <benchmark/benchmark.h>
+
+#include "src/elf/elf_reader.h"
+#include "src/kaslr/fgkaslr.h"
+#include "src/kaslr/random_offset.h"
+#include "src/kaslr/relocator.h"
+#include "src/kernel/kernel_builder.h"
+
+namespace imk {
+namespace {
+
+constexpr double kScale = 0.1;
+
+const KernelBuildInfo& FgKernel() {
+  static const KernelBuildInfo* info = [] {
+    auto built = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, kScale));
+    return new KernelBuildInfo(std::move(*built));
+  }();
+  return *info;
+}
+
+Bytes LoadAtLinkAddresses(const KernelBuildInfo& info) {
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+  Bytes loaded(info.ImageMemSize(), 0);
+  for (const auto& phdr : elf->program_headers()) {
+    if (phdr.p_type != kPtLoad) {
+      continue;
+    }
+    auto data = elf->SegmentData(phdr);
+    std::copy(data->begin(), data->end(), loaded.begin() + (phdr.p_vaddr - info.text_vaddr));
+  }
+  return loaded;
+}
+
+void BM_ChooseRandomOffsets(benchmark::State& state) {
+  OffsetConstraints constraints;
+  constraints.image_mem_size = 16ull << 20;
+  constraints.guest_mem_size = 256ull << 20;
+  constraints.reserved_tail = 1 << 20;
+  constraints.constants = DefaultKernelConstants();
+  Rng rng(1);
+  for (auto _ : state) {
+    auto choice = ChooseRandomOffsets(constraints, rng);
+    benchmark::DoNotOptimize(choice->virt_slide);
+  }
+}
+BENCHMARK(BM_ChooseRandomOffsets);
+
+void BM_ApplyRelocations(benchmark::State& state) {
+  const KernelBuildInfo& info = FgKernel();
+  const Bytes pristine = LoadAtLinkAddresses(info);
+  Bytes image = pristine;
+  for (auto _ : state) {
+    state.PauseTiming();
+    image = pristine;
+    state.ResumeTiming();
+    LoadedImageView view(MutableByteSpan(image), info.text_vaddr);
+    auto stats = ApplyRelocations(view, info.relocs, 0x4000000);
+    benchmark::DoNotOptimize(stats->total());
+  }
+  state.counters["relocs"] = static_cast<double>(info.relocs.total());
+  state.counters["ns/reloc"] = benchmark::Counter(
+      static_cast<double>(info.relocs.total()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_ApplyRelocations)->Unit(benchmark::kMicrosecond);
+
+void BM_ApplyRelocationsShuffled(benchmark::State& state) {
+  const KernelBuildInfo& info = FgKernel();
+  const Bytes pristine = LoadAtLinkAddresses(info);
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+
+  // One representative shuffle.
+  Bytes shuffled = pristine;
+  LoadedImageView shuffle_view(MutableByteSpan(shuffled), info.text_vaddr);
+  FgKaslrParams params;
+  Rng rng(2);
+  auto fg = ShuffleFunctions(*elf, shuffle_view, params, rng);
+
+  Bytes image;
+  for (auto _ : state) {
+    state.PauseTiming();
+    image = shuffled;
+    state.ResumeTiming();
+    LoadedImageView view(MutableByteSpan(image), info.text_vaddr);
+    auto stats = ApplyRelocationsShuffled(view, info.relocs, 0x4000000, fg->map);
+    benchmark::DoNotOptimize(stats->total());
+  }
+  state.counters["relocs"] = static_cast<double>(info.relocs.total());
+}
+BENCHMARK(BM_ApplyRelocationsShuffled)->Unit(benchmark::kMicrosecond);
+
+void BM_ShuffleFunctions(benchmark::State& state) {
+  const KernelBuildInfo& info = FgKernel();
+  const Bytes pristine = LoadAtLinkAddresses(info);
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+  Rng rng(3);
+  Bytes image;
+  for (auto _ : state) {
+    state.PauseTiming();
+    image = pristine;
+    state.ResumeTiming();
+    LoadedImageView view(MutableByteSpan(image), info.text_vaddr);
+    FgKaslrParams params;
+    auto fg = ShuffleFunctions(*elf, view, params, rng);
+    benchmark::DoNotOptimize(fg->sections_shuffled);
+  }
+  state.counters["sections"] = static_cast<double>(info.functions.size());
+}
+BENCHMARK(BM_ShuffleFunctions)->Unit(benchmark::kMillisecond);
+
+void BM_KallsymsFixup(benchmark::State& state) {
+  const KernelBuildInfo& info = FgKernel();
+  const Bytes pristine = LoadAtLinkAddresses(info);
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+
+  Bytes shuffled = pristine;
+  LoadedImageView shuffle_view(MutableByteSpan(shuffled), info.text_vaddr);
+  FgKaslrParams params;
+  params.kallsyms = KallsymsFixup::kLazy;  // leave the table dirty
+  Rng rng(4);
+  auto fg = ShuffleFunctions(*elf, shuffle_view, params, rng);
+
+  Bytes image;
+  for (auto _ : state) {
+    state.PauseTiming();
+    image = shuffled;
+    state.ResumeTiming();
+    LoadedImageView view(MutableByteSpan(image), info.text_vaddr);
+    auto status = FixupKallsymsTable(view, fg->kallsyms_vaddr, fg->kallsyms_count, fg->map);
+    benchmark::DoNotOptimize(status.ok());
+  }
+  state.counters["symbols"] = static_cast<double>(fg->kallsyms_count);
+}
+BENCHMARK(BM_KallsymsFixup)->Unit(benchmark::kMicrosecond);
+
+void BM_ShuffleMapLookup(benchmark::State& state) {
+  const KernelBuildInfo& info = FgKernel();
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+  Bytes image = LoadAtLinkAddresses(info);
+  LoadedImageView view(MutableByteSpan(image), info.text_vaddr);
+  FgKaslrParams params;
+  Rng rng(5);
+  auto fg = ShuffleFunctions(*elf, view, params, rng);
+  Rng query_rng(6);
+  for (auto _ : state) {
+    const uint64_t vaddr =
+        info.text_vaddr + query_rng.NextBelow(info.ImageMemSize());
+    benchmark::DoNotOptimize(fg->map.DeltaFor(vaddr));
+  }
+}
+BENCHMARK(BM_ShuffleMapLookup);
+
+}  // namespace
+}  // namespace imk
+
+BENCHMARK_MAIN();

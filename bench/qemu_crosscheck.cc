@@ -1,0 +1,59 @@
+// QEMU cross-check (paper §2.2): the bzImage-vs-direct experiment repeated
+// on a second monitor profile. The paper reports that with warm caches QEMU
+// shrinks lupine's direct-boot advantage to 2% (vs 36% on Firecracker)
+// because the hypervisor's fixed costs (board init, firmware) dominate small
+// kernels; the conclusion — uncompressed+cached is the fastest way to boot —
+// holds on both monitors.
+//
+//   $ ./qemu_crosscheck [--reps=10] [--scale=0.25]
+#include "bench/common.h"
+
+using namespace imk;         // NOLINT
+using namespace imk::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  const BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  std::printf("QEMU cross-check: direct vs bzImage(lz4), warm cache, %u boots each\n\n",
+              options.reps);
+
+  TextTable table({"monitor", "kernel", "image", "total ms", "monitor ms", "pre-kernel ms"});
+  struct Gap {
+    double direct;
+    double bz;
+  };
+  for (MonitorKind monitor : {MonitorKind::kFirecracker, MonitorKind::kQemuLike}) {
+    const char* monitor_name =
+        monitor == MonitorKind::kFirecracker ? "firecracker" : "qemu-like";
+    std::printf("%s advantage of direct boot over bzImage:\n", monitor_name);
+    for (KernelProfile profile : kAllProfiles) {
+      Storage storage;
+      KernelBuildInfo info =
+          InstallKernel(storage, profile, RandoMode::kNone, options.scale, "vmlinux");
+      InstallBzImage(storage, info, "lz4", LoaderKind::kStandard, "bz-lz4");
+      Gap gap{};
+      for (bool direct : {true, false}) {
+        MicroVmConfig config;
+        config.monitor = monitor;
+        config.mem_size_bytes = 256ull << 20;
+        config.kernel_image = direct ? "vmlinux" : "bz-lz4";
+        config.boot_mode = direct ? BootMode::kDirect : BootMode::kBzImage;
+        config.seed = 1;
+        BootStats stats = RepeatBoot(storage, config, info, options.warmup, options.reps);
+        (direct ? gap.direct : gap.bz) = stats.total_ms.mean();
+        const double pre_kernel = stats.total_ms.mean() - stats.linux_ms.mean();
+        table.AddRow({monitor_name, std::string(ProfileName(profile)),
+                      direct ? "vmlinux" : "bzimage-lz4", TextTable::Fmt(stats.total_ms.mean()),
+                      TextTable::Fmt(stats.monitor_ms.mean()), TextTable::Fmt(pre_kernel)});
+      }
+      std::printf("  %-7s direct faster by %5.1f%%\n", ProfileName(profile),
+                  (gap.bz - gap.direct) / gap.direct * 100);
+    }
+    std::printf("\n");
+  }
+  table.Print();
+  std::printf(
+      "\npaper: on QEMU a direct boot beats a bzImage by 2%%/33%%/17%% (lupine/aws/ubuntu)\n"
+      "vs 36%%/33%%/20%% on Firecracker — the fixed hypervisor/firmware cost compresses\n"
+      "the gap for small kernels, but direct+cached stays the fastest way to boot.\n");
+  return 0;
+}

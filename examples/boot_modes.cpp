@@ -1,0 +1,112 @@
+// Boot-mode tour: boots the same kernel every way this monitor supports and
+// prints the timeline breakdown side by side — a one-binary summary of the
+// paper's story (bzImage vs direct boot vs in-monitor randomization).
+//
+//   $ ./boot_modes [--scale=0.05]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace {
+
+struct ModeSpec {
+  std::string label;
+  std::string image;
+  imk::BootMode boot_mode;
+  imk::RandoMode rando;
+  bool needs_relocs;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    }
+  }
+
+  // Build one kernel per randomization variant (matching real kernel builds).
+  imk::Storage storage;
+  std::vector<ModeSpec> specs;
+  uint64_t expected_checksum = 0;
+  for (imk::RandoMode rando :
+       {imk::RandoMode::kNone, imk::RandoMode::kKaslr, imk::RandoMode::kFgKaslr}) {
+    auto built = imk::BuildKernel(imk::KernelConfig::Make(imk::KernelProfile::kAws, rando, scale));
+    if (!built.ok()) {
+      std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    expected_checksum = built->expected_checksum;
+    const std::string suffix = imk::RandoModeName(rando);
+    storage.Put("vmlinux-" + suffix, built->vmlinux);
+    if (!built->relocs.empty()) {
+      storage.Put("relocs-" + suffix, imk::SerializeRelocs(built->relocs));
+    }
+    for (const char* codec : {"lz4", "none"}) {
+      auto bz = imk::BuildBzImage(imk::ByteSpan(built->vmlinux), built->relocs, codec,
+                                  imk::LoaderKind::kStandard);
+      if (!bz.ok()) {
+        std::fprintf(stderr, "bzimage: %s\n", bz.status().ToString().c_str());
+        return 1;
+      }
+      storage.Put("bz-" + std::string(codec) + "-" + suffix, imk::SerializeBzImage(*bz));
+    }
+    auto opt = imk::BuildBzImage(imk::ByteSpan(built->vmlinux), built->relocs, "none",
+                                 imk::LoaderKind::kNoneOptimized);
+    storage.Put("bzopt-" + suffix, imk::SerializeBzImage(*opt));
+  }
+
+  specs = {
+      {"direct nokaslr (stock firecracker)", "vmlinux-nokaslr", imk::BootMode::kDirect,
+       imk::RandoMode::kNone, false},
+      {"bzImage lz4 + self KASLR", "bz-lz4-kaslr", imk::BootMode::kBzImage,
+       imk::RandoMode::kKaslr, false},
+      {"bzImage none + self KASLR", "bz-none-kaslr", imk::BootMode::kBzImage,
+       imk::RandoMode::kKaslr, false},
+      {"bzImage none-optimized + self KASLR", "bzopt-kaslr", imk::BootMode::kBzImage,
+       imk::RandoMode::kKaslr, false},
+      {"direct + IN-MONITOR KASLR", "vmlinux-kaslr", imk::BootMode::kDirect,
+       imk::RandoMode::kKaslr, true},
+      {"bzImage lz4 + self FGKASLR", "bz-lz4-fgkaslr", imk::BootMode::kBzImage,
+       imk::RandoMode::kFgKaslr, false},
+      {"direct + IN-MONITOR FGKASLR", "vmlinux-fgkaslr", imk::BootMode::kDirect,
+       imk::RandoMode::kFgKaslr, true},
+  };
+
+  std::printf("%-38s %9s %9s %9s %9s %9s  %s\n", "mode", "total", "monitor", "setup", "decomp",
+              "linux", "ok");
+  for (const ModeSpec& spec : specs) {
+    imk::MicroVmConfig config;
+    config.mem_size_bytes = 512ull << 20;
+    config.kernel_image = spec.image;
+    config.boot_mode = spec.boot_mode;
+    config.rando = spec.rando;
+    if (spec.needs_relocs) {
+      config.relocs_image = "relocs-" + std::string(imk::RandoModeName(spec.rando));
+    }
+    config.seed = 7;
+    imk::MicroVm vm(storage, config);
+    auto report = vm.Boot();
+    if (!report.ok()) {
+      std::printf("%-38s boot failed: %s\n", spec.label.c_str(),
+                  report.status().ToString().c_str());
+      continue;
+    }
+    const imk::BootTimeline& t = report->timeline;
+    std::printf("%-38s %7.2fms %7.2fms %7.2fms %7.2fms %7.2fms  %s\n", spec.label.c_str(),
+                t.total_ms(), t.phase_ms(imk::BootPhase::kInMonitor),
+                t.phase_ms(imk::BootPhase::kBootstrapSetup),
+                t.phase_ms(imk::BootPhase::kDecompression),
+                t.phase_ms(imk::BootPhase::kLinuxBoot),
+                report->init_checksum == expected_checksum ? "yes" : "WRONG");
+  }
+  return 0;
+}

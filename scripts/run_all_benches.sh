@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the full benchmark suite (all figure/table reproductions, ablations,
+# and google-benchmark microbenches) with the default settings used for
+# EXPERIMENTS.md. Usage: scripts/run_all_benches.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+
+run() {
+  echo
+  echo "================================================================================"
+  echo "\$ $*"
+  echo "================================================================================"
+  "$@"
+}
+
+run "$BUILD/bench/table1_kernel_sizes"
+run "$BUILD/bench/fig3_compression_bakeoff"
+run "$BUILD/bench/fig4_cache_effects" --reps=10
+run "$BUILD/bench/fig5_bootstrap_breakdown" --reps=10
+run "$BUILD/bench/fig6_bootstrap_methods" --reps=10
+run "$BUILD/bench/fig9_evaluation" --reps=10
+run "$BUILD/bench/fig10_guest_memory" --reps=4
+run "$BUILD/bench/fig11_lebench" --reps=20
+run "$BUILD/bench/ablation_inmonitor" --reps=10
+run "$BUILD/bench/ablation_page_sharing" --scale=0.1
+run "$BUILD/bench/qemu_crosscheck" --reps=10
+run "$BUILD/bench/micro_codecs" --benchmark_min_time=0.2
+run "$BUILD/bench/micro_kaslr" --benchmark_min_time=0.2

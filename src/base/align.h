@@ -1,0 +1,25 @@
+// Alignment helpers shared by loaders, the KASLR offset picker, and guest memory.
+#ifndef IMKASLR_SRC_BASE_ALIGN_H_
+#define IMKASLR_SRC_BASE_ALIGN_H_
+
+#include <cstdint>
+
+namespace imk {
+
+// True if `x` is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Rounds `x` up to the next multiple of `alignment` (a power of two).
+constexpr uint64_t AlignUp(uint64_t x, uint64_t alignment) {
+  return (x + alignment - 1) & ~(alignment - 1);
+}
+
+// Rounds `x` down to the previous multiple of `alignment` (a power of two).
+constexpr uint64_t AlignDown(uint64_t x, uint64_t alignment) { return x & ~(alignment - 1); }
+
+// True if `x` is a multiple of `alignment` (a power of two).
+constexpr bool IsAligned(uint64_t x, uint64_t alignment) { return (x & (alignment - 1)) == 0; }
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_ALIGN_H_

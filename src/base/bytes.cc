@@ -1,0 +1,27 @@
+#include "src/base/bytes.h"
+
+#include <cstdio>
+
+namespace imk {
+
+std::string HumanSize(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 10ULL * 1024 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluG", static_cast<unsigned long long>(bytes >> 30));
+  } else if (bytes >= 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 10ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluM", static_cast<unsigned long long>(bytes >> 20));
+  } else if (bytes >= 1024ULL * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(bytes) / (1024.0 * 1024));
+  } else if (bytes >= 10ULL * 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluK", static_cast<unsigned long long>(bytes >> 10));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace imk

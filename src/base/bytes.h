@@ -1,0 +1,172 @@
+// Byte-buffer helpers: little-endian scalar access, a bounds-checked cursor
+// for parsing untrusted images, and an appending writer for building them.
+#ifndef IMKASLR_SRC_BASE_BYTES_H_
+#define IMKASLR_SRC_BASE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace imk {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+
+// Unchecked little-endian loads/stores. Callers guarantee bounds.
+inline uint16_t LoadLe16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint32_t LoadLe32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint64_t LoadLe64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void StoreLe16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreLe32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreLe64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+// Bounds-checked sequential reader over an immutable byte span. Every parser
+// of untrusted data (ELF, bzImage, relocs, compressed streams) goes through
+// this so out-of-range reads surface as Status, never UB.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Status Seek(size_t pos) {
+    if (pos > data_.size()) {
+      return OutOfRangeError("seek past end of buffer");
+    }
+    pos_ = pos;
+    return OkStatus();
+  }
+
+  Status Skip(size_t n) {
+    if (n > remaining()) {
+      return OutOfRangeError("skip past end of buffer");
+    }
+    pos_ += n;
+    return OkStatus();
+  }
+
+  Result<uint8_t> ReadU8() {
+    if (remaining() < 1) {
+      return OutOfRangeError("read u8 past end");
+    }
+    return data_[pos_++];
+  }
+
+  Result<uint16_t> ReadU16() {
+    if (remaining() < 2) {
+      return OutOfRangeError("read u16 past end");
+    }
+    const uint16_t v = LoadLe16(data_.data() + pos_);
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> ReadU32() {
+    if (remaining() < 4) {
+      return OutOfRangeError("read u32 past end");
+    }
+    const uint32_t v = LoadLe32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (remaining() < 8) {
+      return OutOfRangeError("read u64 past end");
+    }
+    const uint64_t v = LoadLe64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+
+  // Returns a view of the next `n` bytes and advances.
+  Result<ByteSpan> ReadBytes(size_t n) {
+    if (n > remaining()) {
+      return OutOfRangeError("read bytes past end");
+    }
+    ByteSpan out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  // Bounds-checked random-access view (does not move the cursor).
+  Result<ByteSpan> SliceAt(size_t offset, size_t n) const {
+    if (offset > data_.size() || n > data_.size() - offset) {
+      return OutOfRangeError("slice out of range");
+    }
+    return data_.subspan(offset, n);
+  }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+// Appending little-endian writer used by image builders.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  size_t size() const { return out_.size(); }
+  const Bytes& bytes() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+
+  void WriteU8(uint8_t v) { out_.push_back(v); }
+  void WriteU16(uint16_t v) { AppendScalar(v); }
+  void WriteU32(uint32_t v) { AppendScalar(v); }
+  void WriteU64(uint64_t v) { AppendScalar(v); }
+  void WriteBytes(ByteSpan data) { out_.insert(out_.end(), data.begin(), data.end()); }
+  void WriteString(std::string_view s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void WriteZeros(size_t n) { out_.resize(out_.size() + n, 0); }
+
+  // Pads with zeros so size() becomes a multiple of `alignment`.
+  void AlignTo(size_t alignment) {
+    const size_t rem = out_.size() % alignment;
+    if (rem != 0) {
+      WriteZeros(alignment - rem);
+    }
+  }
+
+  // In-place patching of already-written bytes (for headers fixed up late).
+  void PatchU32(size_t offset, uint32_t v) { StoreLe32(out_.data() + offset, v); }
+  void PatchU64(size_t offset, uint64_t v) { StoreLe64(out_.data() + offset, v); }
+
+ private:
+  template <typename T>
+  void AppendScalar(T v) {
+    const size_t at = out_.size();
+    out_.resize(at + sizeof(T));
+    std::memcpy(out_.data() + at, &v, sizeof(T));
+  }
+
+  Bytes out_;
+};
+
+// Formats a byte count like "4.2M" / "94K" the way the paper's Table 1 does.
+std::string HumanSize(uint64_t bytes);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_BYTES_H_

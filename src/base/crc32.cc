@@ -1,0 +1,34 @@
+#include "src/base/crc32.h"
+
+#include <array>
+
+namespace imk {
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, ByteSpan data) {
+  crc = ~crc;
+  for (uint8_t b : data) {
+    crc = kTable[(crc ^ b) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(ByteSpan data) { return Crc32Update(0, data); }
+
+}  // namespace imk

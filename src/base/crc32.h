@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial), used as the integrity check in image
+// containers (bzImage payload) and as the guest-visible checksum the synthetic
+// kernel reports at the end of init.
+#ifndef IMKASLR_SRC_BASE_CRC32_H_
+#define IMKASLR_SRC_BASE_CRC32_H_
+
+#include <cstdint>
+
+#include "src/base/bytes.h"
+
+namespace imk {
+
+// One-shot CRC-32 of `data`.
+uint32_t Crc32(ByteSpan data);
+
+// Incremental form: feed `data` into a running crc (start from 0).
+uint32_t Crc32Update(uint32_t crc, ByteSpan data);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_CRC32_H_

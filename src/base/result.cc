@@ -1,0 +1,71 @@
+#include "src/base/result.h"
+
+namespace imk {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kParseError:
+      return "PARSE_ERROR";
+    case ErrorCode::kUnsupported:
+      return "UNSUPPORTED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kGuestFault:
+      return "GUEST_FAULT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status ParseError(std::string message) {
+  return Status(ErrorCode::kParseError, std::move(message));
+}
+Status UnsupportedError(std::string message) {
+  return Status(ErrorCode::kUnsupported, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(ErrorCode::kResourceExhausted, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+Status GuestFaultError(std::string message) {
+  return Status(ErrorCode::kGuestFault, std::move(message));
+}
+
+}  // namespace imk

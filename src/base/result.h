@@ -1,0 +1,144 @@
+// Lightweight Status / Result<T> error handling for the imkaslr libraries.
+//
+// Library code in this project does not throw exceptions (a monitor parses
+// attacker-influenced inputs such as kernel images; all failure paths must be
+// explicit). Fallible functions return Status or Result<T>.
+#ifndef IMKASLR_SRC_BASE_RESULT_H_
+#define IMKASLR_SRC_BASE_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace imk {
+
+// Error category for a failed operation.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something nonsensical
+  kOutOfRange,        // offset/length outside a buffer or address space
+  kParseError,        // malformed input image / stream
+  kUnsupported,       // feature or format variant not supported
+  kFailedPrecondition,  // object not in the required state
+  kNotFound,          // lookup miss
+  kResourceExhausted,   // out of memory / capacity
+  kInternal,          // invariant violation inside the library
+  kGuestFault,        // the guest vCPU faulted (bad memory access, bad opcode)
+};
+
+// Human-readable name for an ErrorCode.
+const char* ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on success.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+// Convenience constructors mirroring absl-style helpers.
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ParseError(std::string message);
+Status UnsupportedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status NotFoundError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status GuestFaultError(std::string message);
+
+// A value of type T, or a Status explaining why it could not be produced.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so `return value;` and `return SomeError(...);` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(value_).ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  // Precondition: ok().
+  T& value() & {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(value_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(value_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> value_;
+};
+
+// Propagate an error Status from an expression returning Status.
+#define IMK_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::imk::Status imk_status_ = (expr);      \
+    if (!imk_status_.ok()) {                 \
+      return imk_status_;                    \
+    }                                        \
+  } while (0)
+
+// Assign the value of a Result expression to `lhs`, or propagate its error.
+// Usage: IMK_ASSIGN_OR_RETURN(auto image, LoadImage(path));
+#define IMK_ASSIGN_OR_RETURN(lhs, expr)                    \
+  IMK_ASSIGN_OR_RETURN_IMPL_(IMK_CONCAT_(imk_result_, __LINE__), lhs, expr)
+
+#define IMK_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define IMK_CONCAT_INNER_(a, b) a##b
+#define IMK_CONCAT_(a, b) IMK_CONCAT_INNER_(a, b)
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_RESULT_H_

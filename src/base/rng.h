@@ -1,0 +1,43 @@
+// Deterministic PRNG plus a host entropy source.
+//
+// The paper's in-monitor implementation pulls randomness from the host's
+// entropy pool (instead of the guest bootstrap loader's mix of rdrand and
+// boot-time entropy). `HostEntropySeed()` models that; `Rng` is the
+// deterministic generator used everywhere so tests and experiments can pin
+// seeds.
+#ifndef IMKASLR_SRC_BASE_RNG_H_
+#define IMKASLR_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace imk {
+
+// xoshiro256++ — small, fast, high-quality; more than adequate for layout
+// randomization experiments (the paper itself defers to a library RNG).
+class Rng {
+ public:
+  // Seeds the four state words from a single seed via splitmix64.
+  explicit Rng(uint64_t seed);
+
+  // Next uniformly distributed 64-bit value.
+  uint64_t Next();
+
+  // Uniform value in [0, bound) without modulo bias. bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_[4];
+};
+
+// A seed drawn from the host's entropy source (std::random_device).
+uint64_t HostEntropySeed();
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_RNG_H_

@@ -1,0 +1,32 @@
+// Simple summary statistics for repeated measurements (the paper reports
+// mean over 100 boots with min/max error bars).
+#ifndef IMKASLR_SRC_BASE_STATS_H_
+#define IMKASLR_SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace imk {
+
+// Accumulates samples and reports min / mean / max / stddev.
+class Summary {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  // p in [0, 100].
+  double percentile(double p) const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_STATS_H_

@@ -1,0 +1,32 @@
+// Monotonic wall-clock stopwatch used for all "measured" time in the harness.
+#ifndef IMKASLR_SRC_BASE_STOPWATCH_H_
+#define IMKASLR_SRC_BASE_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace imk {
+
+// Nanoseconds since an arbitrary monotonic epoch.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Measures elapsed wall time between Start() (or construction) and ElapsedNs().
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(MonotonicNowNs()) {}
+
+  void Start() { start_ns_ = MonotonicNowNs(); }
+  uint64_t ElapsedNs() const { return MonotonicNowNs() - start_ns_; }
+  double ElapsedMs() const { return static_cast<double>(ElapsedNs()) / 1e6; }
+
+ private:
+  uint64_t start_ns_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_STOPWATCH_H_

@@ -1,0 +1,101 @@
+#include "src/bench_util/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace imk {
+
+BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--reps=", 7) == 0) {
+      options.reps = static_cast<uint32_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+      options.warmup = static_cast<uint32_t>(std::atoi(arg + 9));
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      options.scale = std::atof(arg + 8);
+    }
+  }
+  if (options.reps == 0) {
+    options.reps = 1;
+  }
+  return options;
+}
+
+Result<Summary> Repeat(uint32_t warmup, uint32_t reps,
+                       const std::function<Result<double>()>& body) {
+  for (uint32_t i = 0; i < warmup; ++i) {
+    IMK_RETURN_IF_ERROR(body().status());
+  }
+  Summary summary;
+  for (uint32_t i = 0; i < reps; ++i) {
+    IMK_ASSIGN_OR_RETURN(double sample, body());
+    summary.Add(sample);
+  }
+  return summary;
+}
+
+TextTable::TextTable(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void TextTable::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::Fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+void TextTable::Print() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::string line;
+    for (size_t i = 0; i < rows_[r].size(); ++i) {
+      std::string cell = rows_[r][i];
+      cell.resize(widths[i], ' ');
+      line += cell;
+      line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule;
+      for (size_t i = 0; i < widths.size(); ++i) {
+        rule += std::string(widths[i], '-') + "  ";
+      }
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+}
+
+void PrintBars(const std::vector<std::pair<std::string, double>>& rows, const std::string& unit) {
+  double max_value = 0;
+  size_t label_width = 0;
+  for (const auto& [label, value] : rows) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  if (max_value <= 0) {
+    max_value = 1;
+  }
+  constexpr int kBarWidth = 46;
+  for (const auto& [label, value] : rows) {
+    std::string padded = label;
+    padded.resize(label_width, ' ');
+    const int len = static_cast<int>(value / max_value * kBarWidth + 0.5);
+    std::string bar(static_cast<size_t>(len), '#');
+    std::printf("  %s  %-*s %8.2f %s\n", padded.c_str(), kBarWidth, bar.c_str(), value,
+                unit.c_str());
+  }
+}
+
+}  // namespace imk

@@ -1,0 +1,48 @@
+// Benchmark harness utilities: repetition with warm-up (the paper's 5-boot
+// warm-up + 100 measured boots), aligned text tables, and simple horizontal
+// bar rendering so each bench binary can print the figure it reproduces.
+#ifndef IMKASLR_SRC_BENCH_UTIL_HARNESS_H_
+#define IMKASLR_SRC_BENCH_UTIL_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/stats.h"
+
+namespace imk {
+
+// Common bench options, parsed from argv: --reps=N --warmup=N --scale=F.
+struct BenchOptions {
+  uint32_t reps = 20;     // the paper uses 100; benches default lower to fit CI
+  uint32_t warmup = 5;    // the paper warms the cache with 5 boots
+  double scale = 0.25;    // kernel size scale factor (see DESIGN.md)
+
+  static BenchOptions FromArgs(int argc, char** argv);
+};
+
+// Runs `body` warmup+reps times; samples from the measured reps only.
+// `body` returns the sample value (e.g. boot ms) or an error, which aborts.
+Result<Summary> Repeat(uint32_t warmup, uint32_t reps, const std::function<Result<double>()>& body);
+
+// Fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Fmt(double value, int decimals = 2);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders rows of `label value` as horizontal bars scaled to the maximum.
+void PrintBars(const std::vector<std::pair<std::string, double>>& rows, const std::string& unit);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BENCH_UTIL_HARNESS_H_

@@ -1,0 +1,242 @@
+#include "src/bootstrap/bootstrap_loader.h"
+
+#include <cstring>
+
+#include "src/base/align.h"
+#include "src/base/stopwatch.h"
+#include "src/compress/registry.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/kernel/layout.h"
+
+namespace imk {
+namespace {
+
+// Boot heap sizes: FGKASLR must buffer the entire shuffled text, so its heap
+// is up to 8x larger — the §5.2 "Bootstrap Setup" cost.
+constexpr uint64_t kBootHeapBytes = 512 * 1024;
+constexpr uint64_t kBootHeapFgMultiplier = 8;
+constexpr uint64_t kBootStackBytes = 16 * 1024;
+
+void SpanOfLoads(const ElfReader& elf, uint64_t* base_vaddr, uint64_t* mem_size,
+                 uint64_t* first_load_offset) {
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  uint64_t off = UINT64_MAX;
+  for (const Elf64Phdr& phdr : elf.program_headers()) {
+    if (phdr.p_type != kPtLoad) {
+      continue;
+    }
+    if (phdr.p_vaddr < lo) {
+      lo = phdr.p_vaddr;
+      off = phdr.p_offset;
+    }
+    hi = std::max(hi, phdr.p_vaddr + phdr.p_memsz);
+  }
+  *base_vaddr = lo;
+  *mem_size = hi - lo;
+  *first_load_offset = off;
+}
+
+}  // namespace
+
+Result<BootstrapResult> RunBootstrapLoader(GuestMemory& memory, const BzImageInfo& image,
+                                           const BootstrapParams& params, Rng& rng) {
+  BootstrapResult result;
+  const bool optimized = image.loader_kind == LoaderKind::kNoneOptimized;
+  if (optimized && image.codec != "none") {
+    return InvalidArgumentError("none-optimized loader requires an uncompressed payload");
+  }
+  const uint64_t bz_load = params.bzimage_load_phys;
+  if (bz_load == 0) {
+    return InvalidArgumentError("bootstrap requires the bzImage load address");
+  }
+  const uint64_t header_size = 64;
+  const uint64_t payload_phys = bz_load + header_size + image.loader_size;
+  const uint64_t bz_end = payload_phys + image.payload_size;
+
+  // ---- step 1: loader setup (stack + heap + bss zeroing) ----
+  Stopwatch setup_timer;
+  uint64_t heap_bytes = kBootHeapBytes;
+  if (params.rando == RandoMode::kFgKaslr) {
+    heap_bytes *= kBootHeapFgMultiplier;
+  }
+  // The loader's stack/heap live right after the bzImage; zeroing them is
+  // real work the direct-boot path never pays (§5.2).
+  const uint64_t heap_phys = AlignUp(bz_end, 4096);
+  IMK_RETURN_IF_ERROR(memory.Zero(heap_phys, heap_bytes + kBootStackBytes));
+
+  // ---- step 2: copy the compressed payload out of the way ----
+  // (standard loader only; enables in-place decompression.)
+  uint64_t staging_phys = heap_phys + heap_bytes + kBootStackBytes;
+  if (!optimized) {
+    staging_phys = AlignUp(staging_phys, 4096);
+    IMK_ASSIGN_OR_RETURN(MutableByteSpan src,
+                         memory.Slice(payload_phys, image.payload_size));
+    IMK_ASSIGN_OR_RETURN(MutableByteSpan dst,
+                         memory.Slice(staging_phys, image.payload_size));
+    std::memmove(dst.data(), src.data(), src.size());
+  }
+  result.timings.setup_ns = setup_timer.ElapsedNs();
+
+  // ---- step 3: decompress ----
+  // Standard loader decompresses (or, for compression "none", copies) the
+  // payload to the output area. The optimized loader skips this entirely:
+  // the payload already *is* the kernel, resident and aligned.
+  Stopwatch decompress_timer;
+  uint64_t raw_phys;
+  uint64_t raw_size;
+  if (optimized) {
+    raw_phys = payload_phys;
+    raw_size = image.payload_size;
+  } else {
+    IMK_ASSIGN_OR_RETURN(MutableByteSpan compressed,
+                         memory.Slice(staging_phys, image.payload_size));
+    raw_phys = AlignUp(staging_phys + image.payload_size, 4096);
+    raw_size = image.payload_raw_size;
+    if (image.codec == "none") {
+      // Compression "none" (§3.3): "decompression" is a straight copy of the
+      // kernel to the location it expects to run.
+      IMK_RETURN_IF_ERROR(
+          memory.Write(raw_phys, ByteSpan(compressed.data(), compressed.size())));
+    } else {
+      // Decompress straight into guest memory at the output location — no
+      // intermediate buffer, as the real in-place loader works.
+      IMK_ASSIGN_OR_RETURN(CodecPtr codec, MakeCodec(image.codec));
+      IMK_ASSIGN_OR_RETURN(MutableByteSpan out,
+                           memory.Slice(raw_phys, raw_size + Codec::kDecompressSlack));
+      IMK_RETURN_IF_ERROR(codec->DecompressInto(
+          ByteSpan(compressed.data(), compressed.size()), image.payload_raw_size, out));
+    }
+  }
+  // The optimized loader performs no decompression work at all; don't let
+  // stopwatch noise show up as a phantom phase.
+  result.timings.decompress_ns = optimized ? 0 : decompress_timer.ElapsedNs();
+
+  // ---- step 4: parse the payload [u64 elf_size | elf | relocs] ----
+  Stopwatch parse_timer;
+  IMK_ASSIGN_OR_RETURN(MutableByteSpan raw_span, memory.Slice(raw_phys, raw_size));
+  ByteReader payload_reader(ByteSpan(raw_span.data(), raw_span.size()));
+  IMK_ASSIGN_OR_RETURN(uint64_t elf_size, payload_reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(ByteSpan elf_bytes, payload_reader.ReadBytes(elf_size));
+  RelocInfo relocs;
+  if (payload_reader.remaining() > 0) {
+    IMK_ASSIGN_OR_RETURN(ByteSpan reloc_bytes,
+                         payload_reader.ReadBytes(payload_reader.remaining()));
+    IMK_ASSIGN_OR_RETURN(relocs, ParseRelocs(reloc_bytes));
+  }
+  IMK_ASSIGN_OR_RETURN(ElfReader elf, ElfReader::Parse(elf_bytes));
+  uint64_t link_base = 0;
+  uint64_t mem_size = 0;
+  uint64_t first_load_offset = 0;
+  SpanOfLoads(elf, &link_base, &mem_size, &first_load_offset);
+  result.link_text_vaddr = link_base;
+  result.image_mem_size = mem_size;
+
+  // Physical placement.
+  uint64_t phys_base;
+  if (optimized) {
+    // Run in place: the monitor placed the bzImage so the kernel's first
+    // loadable byte sits at a MIN_KERNEL_ALIGN boundary (§3.3's link trick).
+    phys_base = raw_phys + 8 + first_load_offset;
+    if (!IsAligned(phys_base, kMinKernelAlign)) {
+      return FailedPreconditionError("in-place kernel is not aligned to MIN_KERNEL_ALIGN");
+    }
+    // NOBITS (.bss) zeroing is deferred to step 6: in the in-place layout the
+    // bss virtual range aliases the file's non-loadable tail (symtab etc.),
+    // which FGKASLR still needs to read.
+  } else if (params.rando != RandoMode::kNone) {
+    // Self-randomized physical placement, below the bzImage staging area.
+    OffsetConstraints constraints;
+    constraints.image_mem_size = mem_size;
+    constraints.guest_mem_size = bz_load;  // stay clear of the staging region
+    constraints.reserved_tail = kBootStackSlack;
+    constraints.constants = DefaultKernelConstants();
+    IMK_ASSIGN_OR_RETURN(OffsetChoice phys_choice, ChooseRandomOffsets(constraints, rng));
+    phys_base = phys_choice.phys_load_addr;
+  } else {
+    phys_base = kPhysicalStart;
+  }
+
+  // Load segments (skipped in place).
+  if (!optimized) {
+    for (const Elf64Phdr& phdr : elf.program_headers()) {
+      if (phdr.p_type != kPtLoad) {
+        continue;
+      }
+      const uint64_t phys = phys_base + (phdr.p_vaddr - link_base);
+      IMK_ASSIGN_OR_RETURN(ByteSpan file_bytes, elf.SegmentData(phdr));
+      IMK_RETURN_IF_ERROR(memory.Write(phys, file_bytes));
+      if (phdr.p_memsz > phdr.p_filesz) {
+        IMK_RETURN_IF_ERROR(memory.Zero(phys + phdr.p_filesz, phdr.p_memsz - phdr.p_filesz));
+      }
+    }
+  }
+  result.timings.parse_load_ns = parse_timer.ElapsedNs();
+
+  // ---- step 5: self-randomization (identical algorithms to in-monitor) ----
+  Stopwatch rando_timer;
+  IMK_ASSIGN_OR_RETURN(MutableByteSpan image_ram, memory.Slice(phys_base, mem_size));
+  LoadedImageView view(image_ram, link_base);
+  if (params.rando != RandoMode::kNone) {
+    if (relocs.empty()) {
+      return FailedPreconditionError("kernel built without relocation info cannot self-randomize");
+    }
+    OffsetConstraints virt_constraints;
+    virt_constraints.image_mem_size = mem_size;
+    virt_constraints.guest_mem_size = memory.size();
+    virt_constraints.reserved_tail = kBootStackSlack;
+    virt_constraints.constants = DefaultKernelConstants();
+    IMK_ASSIGN_OR_RETURN(uint64_t slots, VirtualSlots(virt_constraints));
+    result.choice.virt_slide = rng.NextBelow(slots) * virt_constraints.constants.physical_align;
+    result.choice.phys_load_addr = phys_base;
+
+    if (params.rando == RandoMode::kFgKaslr) {
+      IMK_ASSIGN_OR_RETURN(FgKaslrResult fg, ShuffleFunctions(elf, view, params.fg, rng));
+      IMK_ASSIGN_OR_RETURN(result.reloc_stats, ApplyRelocationsShuffled(view, relocs,
+                                                                        result.choice.virt_slide,
+                                                                        fg.map));
+      result.fg = std::move(fg);
+    } else {
+      IMK_ASSIGN_OR_RETURN(result.reloc_stats,
+                           ApplyRelocations(view, relocs, result.choice.virt_slide));
+    }
+  } else {
+    result.choice.virt_slide = 0;
+    result.choice.phys_load_addr = phys_base;
+  }
+  result.timings.rando_ns = rando_timer.ElapsedNs();
+
+  // ---- step 6: "jump" — hand back the runtime environment ----
+  if (optimized) {
+    // Deferred .bss zeroing (see step 4): all ELF metadata reads are done.
+    for (const Elf64Phdr& phdr : elf.program_headers()) {
+      if (phdr.p_type == kPtLoad && phdr.p_memsz > phdr.p_filesz) {
+        const uint64_t phys = phys_base + (phdr.p_vaddr - link_base);
+        IMK_RETURN_IF_ERROR(memory.Zero(phys + phdr.p_filesz, phdr.p_memsz - phdr.p_filesz));
+      }
+    }
+  }
+  result.entry_vaddr = elf.entry() + result.choice.virt_slide;
+  result.kernel_map.virt_start = link_base + result.choice.virt_slide;
+  result.kernel_map.phys_start = phys_base;
+  result.kernel_map.size = mem_size + kBootStackSlack;
+  result.direct_map.virt_start = kDirectMapBase;
+  result.direct_map.phys_start = 0;
+  result.direct_map.size = memory.size();
+  result.stack_top = result.kernel_map.virt_start + mem_size + kBootStackSlack - 16;
+  // Reserved hull: the kernel image + boot stack, plus (in the in-place
+  // case) the surrounding payload file bytes. Staging areas outside the hull
+  // are dead after the jump and get recycled by the kernel's memory init.
+  if (optimized) {
+    result.resv_start_phys = AlignDown(std::min(phys_base, raw_phys), 4096);
+    result.resv_end_phys = AlignUp(
+        std::max(phys_base + mem_size + kBootStackSlack, raw_phys + raw_size), 4096);
+  } else {
+    result.resv_start_phys = AlignDown(phys_base, 4096);
+    result.resv_end_phys = AlignUp(phys_base + mem_size + kBootStackSlack, 4096);
+  }
+  return result;
+}
+
+}  // namespace imk

@@ -1,0 +1,82 @@
+// Bootstrap loader simulation: the guest-side bzImage boot path the paper's
+// self-randomization baselines use (§2.2, §3.3).
+//
+// The loader's *logic* executes as host C++ (exactly like the monitor-side
+// code — that symmetry is the paper's point), but every step performs the
+// real work the guest bootstrap loader would perform, and its cost is
+// attributed to guest-side boot phases:
+//
+//   1. setup: allocate + zero the boot stack/heap/bss. FGKASLR needs a boot
+//      heap up to 8x larger (it must copy the entire text section before
+//      scattering it), which §5.2 identifies as a real cost.
+//   2. copy the compressed payload out of the way for in-place decompression
+//      (standard loader only).
+//   3. decompress (the dominant cost, Figure 5; for compression "none" this
+//      is the copy to the kernel's expected location; eliminated entirely by
+//      the none-optimized loader which runs the kernel in place, §3.3).
+//   4. parse the ELF, load segments.
+//   5. self-randomize: choose a virtual offset and handle relocations —
+//      identical algorithms to the in-monitor path (src/kaslr).
+//   6. "jump" to the kernel: return the entry point and mappings.
+#ifndef IMKASLR_SRC_BOOTSTRAP_BOOTSTRAP_LOADER_H_
+#define IMKASLR_SRC_BOOTSTRAP_BOOTSTRAP_LOADER_H_
+
+#include <optional>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/isa/interpreter.h"
+#include "src/kaslr/fgkaslr.h"
+#include "src/kaslr/random_offset.h"
+#include "src/kaslr/relocator.h"
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kconfig.h"
+#include "src/vmm/guest_memory.h"
+
+namespace imk {
+
+struct BootstrapParams {
+  RandoMode rando = RandoMode::kNone;  // what the guest kernel was built for
+  FgKaslrParams fg;
+  uint64_t bzimage_load_phys = 0;  // where the monitor placed the bzImage; 0 = auto
+};
+
+// Phase breakdown (all measured host wall-clock of real work).
+struct BootstrapTimings {
+  uint64_t setup_ns = 0;       // stack/heap/bss zeroing + payload copy-away
+  uint64_t decompress_ns = 0;  // decompression (or the none-codec copy)
+  uint64_t parse_load_ns = 0;  // ELF parse + segment placement
+  uint64_t rando_ns = 0;       // (FG)KASLR: offset choice + shuffle + relocs
+  uint64_t total() const { return setup_ns + decompress_ns + parse_load_ns + rando_ns; }
+};
+
+struct BootstrapResult {
+  uint64_t entry_vaddr = 0;
+  LinearMap kernel_map;
+  LinearMap direct_map;
+  uint64_t stack_top = 0;
+  uint64_t resv_start_phys = 0;  // reserved hull handed to the kernel (r2)
+  uint64_t resv_end_phys = 0;    // (r3)
+
+  OffsetChoice choice;
+  RelocStats reloc_stats;
+  std::optional<FgKaslrResult> fg;
+  BootstrapTimings timings;
+
+  uint64_t link_text_vaddr = 0;
+  uint64_t image_mem_size = 0;
+
+  uint64_t RuntimeAddr(uint64_t link_vaddr) const {
+    return link_vaddr + choice.virt_slide;
+  }
+};
+
+// Runs the full bootstrap sequence for a bzImage already resident in guest
+// memory semantics-wise; `image` carries the parsed container. The image's
+// LoaderKind selects the standard or none-optimized flow.
+Result<BootstrapResult> RunBootstrapLoader(GuestMemory& memory, const BzImageInfo& image,
+                                           const BootstrapParams& params, Rng& rng);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BOOTSTRAP_BOOTSTRAP_LOADER_H_

@@ -1,0 +1,127 @@
+// Bit-granular I/O for the entropy-coded codecs. Bits are packed LSB-first
+// within each byte; multi-bit integer fields are written least-significant
+// bit first. Canonical Huffman codes are written MSB-of-code first (see
+// huffman.h).
+#ifndef IMKASLR_SRC_COMPRESS_BITSTREAM_H_
+#define IMKASLR_SRC_COMPRESS_BITSTREAM_H_
+
+#include <cstdint>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace imk {
+
+// Accumulates bits into a byte vector.
+class BitWriter {
+ public:
+  // Writes the low `count` bits of `value`, LSB first.
+  void WriteBits(uint32_t value, uint32_t count) {
+    for (uint32_t i = 0; i < count; ++i) {
+      WriteBit((value >> i) & 1);
+    }
+  }
+
+  // Writes the low `count` bits of `value`, MSB first (for Huffman codes).
+  void WriteBitsMsbFirst(uint32_t value, uint32_t count) {
+    for (uint32_t i = count; i-- > 0;) {
+      WriteBit((value >> i) & 1);
+    }
+  }
+
+  void WriteBit(uint32_t bit) {
+    if (bit_pos_ == 0) {
+      out_.push_back(0);
+    }
+    if (bit != 0) {
+      out_.back() |= static_cast<uint8_t>(1u << bit_pos_);
+    }
+    bit_pos_ = (bit_pos_ + 1) & 7;
+  }
+
+  // Pads to a byte boundary with zero bits.
+  void AlignToByte() { bit_pos_ = 0; }
+
+  size_t size_bytes() const { return out_.size(); }
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+  uint32_t bit_pos_ = 0;
+};
+
+// Reads bits from a byte span.
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan data) : data_(data) {}
+
+  Result<uint32_t> ReadBit() {
+    if (byte_pos_ >= data_.size()) {
+      return OutOfRangeError("bit stream exhausted");
+    }
+    const uint32_t bit = (data_[byte_pos_] >> bit_pos_) & 1;
+    bit_pos_ = (bit_pos_ + 1) & 7;
+    if (bit_pos_ == 0) {
+      ++byte_pos_;
+    }
+    return bit;
+  }
+
+  // Reads `count` bits LSB-first.
+  Result<uint32_t> ReadBits(uint32_t count) {
+    uint32_t value = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      IMK_ASSIGN_OR_RETURN(uint32_t bit, ReadBit());
+      value |= bit << i;
+    }
+    return value;
+  }
+
+  void AlignToByte() {
+    if (bit_pos_ != 0) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+  }
+
+  // Peeks the next `count` stream bits without consuming, assembling them
+  // MSB-first (first stream bit becomes the highest result bit). Bits past
+  // the end of the stream read as zero. Used by table-driven Huffman decode.
+  uint32_t PeekBitsMsbFirst(uint32_t count) const {
+    uint32_t value = 0;
+    size_t byte_pos = byte_pos_;
+    uint32_t bit_pos = bit_pos_;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t bit = 0;
+      if (byte_pos < data_.size()) {
+        bit = (data_[byte_pos] >> bit_pos) & 1;
+      }
+      value = (value << 1) | bit;
+      bit_pos = (bit_pos + 1) & 7;
+      if (bit_pos == 0) {
+        ++byte_pos;
+      }
+    }
+    return value;
+  }
+
+  // Consumes up to `count` bits (bounded by end of stream).
+  Status ConsumeBits(uint32_t count) {
+    for (uint32_t i = 0; i < count; ++i) {
+      IMK_RETURN_IF_ERROR(ReadBit().status());
+    }
+    return OkStatus();
+  }
+
+  size_t byte_position() const { return byte_pos_; }
+  bool Exhausted() const { return byte_pos_ >= data_.size(); }
+
+ private:
+  ByteSpan data_;
+  size_t byte_pos_ = 0;
+  uint32_t bit_pos_ = 0;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_COMPRESS_BITSTREAM_H_

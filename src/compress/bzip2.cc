@@ -1,0 +1,265 @@
+#include "src/compress/bzip2.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "src/compress/huffman.h"
+
+namespace imk {
+namespace {
+
+constexpr size_t kBlockSize = 128 * 1024;
+constexpr uint32_t kMaxCodeLength = 15;
+
+// Burrows-Wheeler transform of `block` using cyclic prefix doubling.
+// Returns the last column; `primary` receives the row index of the original
+// string in the sorted rotation matrix.
+Bytes BwtForward(ByteSpan block, uint32_t* primary) {
+  const size_t n = block.size();
+  std::vector<uint32_t> sa(n);
+  std::iota(sa.begin(), sa.end(), 0);
+  std::vector<uint32_t> rank(n);
+  std::vector<uint32_t> next_rank(n);
+  for (size_t i = 0; i < n; ++i) {
+    rank[i] = block[i];
+  }
+  for (size_t k = 1; k < n; k <<= 1) {
+    auto cmp = [&](uint32_t a, uint32_t b) {
+      if (rank[a] != rank[b]) {
+        return rank[a] < rank[b];
+      }
+      const uint32_t ra = rank[(a + k) % n];
+      const uint32_t rb = rank[(b + k) % n];
+      return ra < rb;
+    };
+    std::sort(sa.begin(), sa.end(), cmp);
+    next_rank[sa[0]] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      next_rank[sa[i]] = next_rank[sa[i - 1]] + (cmp(sa[i - 1], sa[i]) ? 1 : 0);
+    }
+    rank.swap(next_rank);
+    if (rank[sa[n - 1]] == n - 1) {
+      break;  // all ranks distinct
+    }
+  }
+
+  Bytes last_column(n);
+  *primary = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (sa[i] == 0) {
+      *primary = static_cast<uint32_t>(i);
+    }
+    last_column[i] = block[(sa[i] + n - 1) % n];
+  }
+  return last_column;
+}
+
+// Inverse BWT via the standard LF-mapping walk.
+Bytes BwtInverse(ByteSpan last_column, uint32_t primary) {
+  const size_t n = last_column.size();
+  std::array<uint32_t, 256> count{};
+  for (uint8_t b : last_column) {
+    ++count[b];
+  }
+  std::array<uint32_t, 256> first{};
+  uint32_t total = 0;
+  for (size_t c = 0; c < 256; ++c) {
+    first[c] = total;
+    total += count[c];
+  }
+  std::vector<uint32_t> lf(n);
+  std::array<uint32_t, 256> seen{};
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t c = last_column[i];
+    lf[i] = first[c] + seen[c]++;
+  }
+  Bytes out(n);
+  uint32_t row = primary;
+  for (size_t k = n; k-- > 0;) {
+    out[k] = last_column[row];
+    row = lf[row];
+  }
+  return out;
+}
+
+// Move-to-front transform (in place over a working alphabet).
+void MtfForward(MutableByteSpan data) {
+  std::array<uint8_t, 256> order;
+  for (size_t i = 0; i < 256; ++i) {
+    order[i] = static_cast<uint8_t>(i);
+  }
+  for (uint8_t& b : data) {
+    uint8_t rank = 0;
+    while (order[rank] != b) {
+      ++rank;
+    }
+    const uint8_t symbol = b;
+    b = rank;
+    // Move to front.
+    for (uint8_t j = rank; j > 0; --j) {
+      order[j] = order[j - 1];
+    }
+    order[0] = symbol;
+  }
+}
+
+void MtfInverse(MutableByteSpan data) {
+  std::array<uint8_t, 256> order;
+  for (size_t i = 0; i < 256; ++i) {
+    order[i] = static_cast<uint8_t>(i);
+  }
+  for (uint8_t& b : data) {
+    const uint8_t rank = b;
+    const uint8_t symbol = order[rank];
+    b = symbol;
+    for (uint8_t j = rank; j > 0; --j) {
+      order[j] = order[j - 1];
+    }
+    order[0] = symbol;
+  }
+}
+
+// Zero-run coding: MTF output is dominated by zeros. Alphabet: 0..255 map to
+// themselves shifted by 1 (symbol = value + 1); symbol 0 starts a zero run
+// whose length follows as a varint in unary-ish Huffman-friendly form.
+// We keep it simple: symbol 0 = "zero run", followed by a second symbol
+// carrying min(run, 255) (reusing the same alphabet), repeating for longer
+// runs. The alphabet is therefore 257 symbols (0 = run marker, v+1 = byte v).
+void Rle0Encode(ByteSpan mtf, std::vector<uint16_t>& symbols) {
+  size_t i = 0;
+  while (i < mtf.size()) {
+    if (mtf[i] == 0) {
+      size_t run = 0;
+      while (i < mtf.size() && mtf[i] == 0 && run < 255) {
+        ++run;
+        ++i;
+      }
+      symbols.push_back(0);
+      symbols.push_back(static_cast<uint16_t>(run));
+    } else {
+      symbols.push_back(static_cast<uint16_t>(mtf[i] + 1));
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
+// Container: varint block count; per block: varint raw_len, varint primary,
+// varint symbol_count, 129 bytes packed 4-bit code lengths... (lengths for a
+// 257-symbol alphabet, packed two per byte), byte-aligned Huffman stream
+// length (varint) + stream.
+Result<Bytes> Bzip2Codec::Compress(ByteSpan input) const {
+  ByteWriter header;
+  const size_t block_count = (input.size() + kBlockSize - 1) / kBlockSize;
+  header.WriteU32(static_cast<uint32_t>(block_count));
+  Bytes out = header.Take();
+
+  for (size_t block_index = 0; block_index < block_count; ++block_index) {
+    const size_t start = block_index * kBlockSize;
+    const size_t len = std::min(kBlockSize, input.size() - start);
+    ByteSpan block = input.subspan(start, len);
+
+    uint32_t primary = 0;
+    Bytes bwt = BwtForward(block, &primary);
+    MtfForward(MutableByteSpan(bwt));
+    std::vector<uint16_t> symbols;
+    symbols.reserve(bwt.size());
+    Rle0Encode(ByteSpan(bwt), symbols);
+
+    std::vector<uint64_t> freq(257, 0);
+    for (uint16_t s : symbols) {
+      ++freq[s];
+    }
+    IMK_ASSIGN_OR_RETURN(std::vector<uint8_t> lengths, BuildHuffmanLengths(freq, kMaxCodeLength));
+    HuffmanEncoder encoder(lengths);
+    BitWriter bits;
+    for (uint16_t s : symbols) {
+      encoder.Encode(bits, s);
+    }
+    Bytes coded = bits.Take();
+
+    ByteWriter block_header;
+    block_header.WriteU32(static_cast<uint32_t>(len));
+    block_header.WriteU32(primary);
+    block_header.WriteU32(static_cast<uint32_t>(symbols.size()));
+    block_header.WriteU32(static_cast<uint32_t>(coded.size()));
+    // 257 lengths, packed two per byte (129 bytes).
+    for (size_t i = 0; i < 257; i += 2) {
+      const uint8_t low = lengths[i];
+      const uint8_t high = (i + 1 < 257) ? lengths[i + 1] : 0;
+      block_header.WriteU8(static_cast<uint8_t>(low | (high << 4)));
+    }
+    const Bytes block_header_bytes = block_header.Take();
+    out.insert(out.end(), block_header_bytes.begin(), block_header_bytes.end());
+    out.insert(out.end(), coded.begin(), coded.end());
+  }
+  return out;
+}
+
+Result<Bytes> Bzip2Codec::Decompress(ByteSpan input, size_t expected_size) const {
+  ByteReader reader(input);
+  IMK_ASSIGN_OR_RETURN(uint32_t block_count, reader.ReadU32());
+  Bytes out;
+  out.reserve(expected_size);
+
+  for (uint32_t block_index = 0; block_index < block_count; ++block_index) {
+    IMK_ASSIGN_OR_RETURN(uint32_t raw_len, reader.ReadU32());
+    IMK_ASSIGN_OR_RETURN(uint32_t primary, reader.ReadU32());
+    IMK_ASSIGN_OR_RETURN(uint32_t symbol_count, reader.ReadU32());
+    IMK_ASSIGN_OR_RETURN(uint32_t coded_size, reader.ReadU32());
+    std::vector<uint8_t> lengths(257);
+    IMK_ASSIGN_OR_RETURN(ByteSpan packed, reader.ReadBytes(129));
+    for (size_t i = 0; i < 257; i += 2) {
+      lengths[i] = packed[i / 2] & 0xf;
+      if (i + 1 < 257) {
+        lengths[i + 1] = packed[i / 2] >> 4;
+      }
+    }
+    IMK_ASSIGN_OR_RETURN(ByteSpan coded, reader.ReadBytes(coded_size));
+    IMK_ASSIGN_OR_RETURN(HuffmanDecoder decoder, HuffmanDecoder::Create(lengths));
+
+    // Huffman + RLE0 decode straight into the MTF buffer.
+    Bytes mtf;
+    mtf.reserve(raw_len);
+    BitReader bits(coded);
+    for (uint32_t s = 0; s < symbol_count; ++s) {
+      IMK_ASSIGN_OR_RETURN(uint32_t symbol, decoder.Decode(bits));
+      if (symbol == 0) {
+        ++s;
+        if (s >= symbol_count) {
+          return ParseError("bzip2: dangling zero-run marker");
+        }
+        IMK_ASSIGN_OR_RETURN(uint32_t run, decoder.Decode(bits));
+        if (run == 0 || mtf.size() + run > raw_len) {
+          return ParseError("bzip2: bad zero run");
+        }
+        mtf.insert(mtf.end(), run, 0);
+      } else {
+        if (mtf.size() + 1 > raw_len) {
+          return ParseError("bzip2: block overflow");
+        }
+        mtf.push_back(static_cast<uint8_t>(symbol - 1));
+      }
+    }
+    if (mtf.size() != raw_len) {
+      return ParseError("bzip2: block size mismatch");
+    }
+    MtfInverse(MutableByteSpan(mtf));
+    if (primary >= raw_len) {
+      return ParseError("bzip2: primary index out of range");
+    }
+    Bytes block = BwtInverse(ByteSpan(mtf), primary);
+    out.insert(out.end(), block.begin(), block.end());
+    if (out.size() > expected_size) {
+      return ParseError("bzip2: output exceeds expected size");
+    }
+  }
+  if (out.size() != expected_size) {
+    return ParseError("bzip2: output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace imk

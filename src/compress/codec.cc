@@ -1,0 +1,17 @@
+#include "src/compress/codec.h"
+
+#include <cstring>
+
+namespace imk {
+
+Status Codec::DecompressInto(ByteSpan input, size_t expected_size,
+                             MutableByteSpan output) const {
+  if (output.size() < expected_size + kDecompressSlack) {
+    return InvalidArgumentError("DecompressInto: output buffer too small");
+  }
+  IMK_ASSIGN_OR_RETURN(Bytes out, Decompress(input, expected_size));
+  std::memcpy(output.data(), out.data(), out.size());
+  return OkStatus();
+}
+
+}  // namespace imk

@@ -1,0 +1,49 @@
+// Compression codec interface.
+//
+// The paper's Figure 3 bake-off compares six Linux kernel compression schemes
+// (gzip, bzip2, lzma/xz, lzo, lz4, zstd). This project implements each family
+// from scratch with the characteristic speed/ratio trade-offs of the original
+// (see DESIGN.md). Formats are self-contained but intentionally NOT
+// wire-compatible with the originals.
+#ifndef IMKASLR_SRC_COMPRESS_CODEC_H_
+#define IMKASLR_SRC_COMPRESS_CODEC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace imk {
+
+// A lossless byte-stream compressor/decompressor.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  // Short scheme name as used by kernel configs: "lz4", "gzip", ...
+  virtual std::string name() const = 0;
+
+  // Compresses `input` into a self-contained blob.
+  virtual Result<Bytes> Compress(ByteSpan input) const = 0;
+
+  // Decompresses a blob produced by Compress. `expected_size` is the known
+  // decompressed size (the kernel build records it, as bzImage does); codecs
+  // use it to pre-size output and to validate the stream.
+  virtual Result<Bytes> Decompress(ByteSpan input, size_t expected_size) const = 0;
+
+  // Decompresses directly into caller-owned memory (e.g. guest RAM at the
+  // kernel's final location — what a real bootstrap loader does, avoiding an
+  // intermediate buffer). `output` must be at least expected_size +
+  // kDecompressSlack bytes; the codec may scribble on the slack. The default
+  // implementation round-trips through Decompress.
+  static constexpr size_t kDecompressSlack = 16;
+  virtual Status DecompressInto(ByteSpan input, size_t expected_size,
+                                MutableByteSpan output) const;
+};
+
+using CodecPtr = std::unique_ptr<Codec>;
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_COMPRESS_CODEC_H_

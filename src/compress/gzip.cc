@@ -1,0 +1,193 @@
+#include "src/compress/gzip.h"
+
+#include <array>
+
+#include "src/compress/huffman.h"
+#include "src/compress/lz77.h"
+
+namespace imk {
+namespace {
+
+// DEFLATE alphabets: literals 0..255, end-of-block 256, length codes 257..284.
+constexpr uint32_t kEndOfBlock = 256;
+constexpr uint32_t kNumLitLenSymbols = 285;
+constexpr uint32_t kNumDistSymbols = 30;
+constexpr uint32_t kMaxCodeLength = 15;
+
+struct CodeRange {
+  uint32_t base;
+  uint32_t extra_bits;
+};
+
+// DEFLATE length codes 257..284 (we fold code 285 / length 258 into the last
+// extra-bits range for simplicity; max match is capped below 258 anyway).
+constexpr std::array<CodeRange, 28> kLengthCodes = {{
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},   {9, 0},   {10, 0},
+    {11, 1},  {13, 1},  {15, 1},  {17, 1},  {19, 2},  {23, 2},  {27, 2},  {31, 2},
+    {35, 3},  {43, 3},  {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5},
+}};
+
+// DEFLATE distance codes 0..29.
+constexpr std::array<CodeRange, 30> kDistCodes = {{
+    {1, 0},      {2, 0},      {3, 0},     {4, 0},     {5, 1},     {7, 1},
+    {9, 2},      {13, 2},     {17, 3},    {25, 3},    {33, 4},    {49, 4},
+    {65, 5},     {97, 5},     {129, 6},   {193, 6},   {257, 7},   {385, 7},
+    {513, 8},    {769, 8},    {1025, 9},  {1537, 9},  {2049, 10}, {3073, 10},
+    {4097, 11},  {6145, 11},  {8193, 12}, {12289, 12}, {16385, 13}, {24577, 13},
+}};
+
+constexpr uint32_t kMaxMatch = 227 + 31;  // last length range: base 227, 5 extra bits
+
+// Maps a match length (3..258) to (code index, extra value).
+void LengthToCode(uint32_t len, uint32_t* code, uint32_t* extra) {
+  for (size_t i = kLengthCodes.size(); i-- > 0;) {
+    if (len >= kLengthCodes[i].base) {
+      *code = static_cast<uint32_t>(i);
+      *extra = len - kLengthCodes[i].base;
+      return;
+    }
+  }
+  *code = 0;
+  *extra = 0;
+}
+
+void DistToCode(uint32_t dist, uint32_t* code, uint32_t* extra) {
+  for (size_t i = kDistCodes.size(); i-- > 0;) {
+    if (dist >= kDistCodes[i].base) {
+      *code = static_cast<uint32_t>(i);
+      *extra = dist - kDistCodes[i].base;
+      return;
+    }
+  }
+  *code = 0;
+  *extra = 0;
+}
+
+}  // namespace
+
+Result<Bytes> GzipCodec::Compress(ByteSpan input) const {
+  Lz77Params params;
+  params.window_size = 32 * 1024;
+  params.min_match = 3;
+  params.max_match = kMaxMatch;
+  params.max_chain = 32;
+  params.lazy = true;
+  const std::vector<Lz77Token> tokens = Lz77Parse(input, params);
+
+  // Pass 1: symbol frequencies.
+  std::vector<uint64_t> litlen_freq(kNumLitLenSymbols, 0);
+  std::vector<uint64_t> dist_freq(kNumDistSymbols, 0);
+  litlen_freq[kEndOfBlock] = 1;
+  for (const Lz77Token& token : tokens) {
+    for (uint32_t i = 0; i < token.literal_len; ++i) {
+      ++litlen_freq[input[token.literal_start + i]];
+    }
+    if (token.match_len != 0) {
+      uint32_t code;
+      uint32_t extra;
+      LengthToCode(token.match_len, &code, &extra);
+      ++litlen_freq[257 + code];
+      DistToCode(token.match_dist, &code, &extra);
+      ++dist_freq[code];
+    }
+  }
+
+  IMK_ASSIGN_OR_RETURN(std::vector<uint8_t> litlen_lengths,
+                       BuildHuffmanLengths(litlen_freq, kMaxCodeLength));
+  IMK_ASSIGN_OR_RETURN(std::vector<uint8_t> dist_lengths,
+                       BuildHuffmanLengths(dist_freq, kMaxCodeLength));
+  HuffmanEncoder litlen_encoder(litlen_lengths);
+  HuffmanEncoder dist_encoder(dist_lengths);
+
+  // Header: both length tables, 4 bits per symbol.
+  BitWriter writer;
+  for (uint8_t len : litlen_lengths) {
+    writer.WriteBits(len, 4);
+  }
+  for (uint8_t len : dist_lengths) {
+    writer.WriteBits(len, 4);
+  }
+
+  // Pass 2: encode token stream.
+  for (const Lz77Token& token : tokens) {
+    for (uint32_t i = 0; i < token.literal_len; ++i) {
+      litlen_encoder.Encode(writer, input[token.literal_start + i]);
+    }
+    if (token.match_len != 0) {
+      uint32_t code;
+      uint32_t extra;
+      LengthToCode(token.match_len, &code, &extra);
+      litlen_encoder.Encode(writer, 257 + code);
+      writer.WriteBits(extra, kLengthCodes[code].extra_bits);
+      DistToCode(token.match_dist, &code, &extra);
+      dist_encoder.Encode(writer, code);
+      writer.WriteBits(extra, kDistCodes[code].extra_bits);
+    }
+  }
+  litlen_encoder.Encode(writer, kEndOfBlock);
+  return writer.Take();
+}
+
+Result<Bytes> GzipCodec::Decompress(ByteSpan input, size_t expected_size) const {
+  BitReader reader(input);
+  std::vector<uint8_t> litlen_lengths(kNumLitLenSymbols);
+  std::vector<uint8_t> dist_lengths(kNumDistSymbols);
+  for (uint8_t& len : litlen_lengths) {
+    IMK_ASSIGN_OR_RETURN(uint32_t v, reader.ReadBits(4));
+    len = static_cast<uint8_t>(v);
+  }
+  for (uint8_t& len : dist_lengths) {
+    IMK_ASSIGN_OR_RETURN(uint32_t v, reader.ReadBits(4));
+    len = static_cast<uint8_t>(v);
+  }
+  IMK_ASSIGN_OR_RETURN(HuffmanDecoder litlen_decoder, HuffmanDecoder::Create(litlen_lengths));
+  IMK_ASSIGN_OR_RETURN(HuffmanDecoder dist_decoder, HuffmanDecoder::Create(dist_lengths));
+
+  Bytes out;
+  out.reserve(expected_size);
+  for (;;) {
+    IMK_ASSIGN_OR_RETURN(uint32_t symbol, litlen_decoder.Decode(reader));
+    if (symbol < 256) {
+      out.push_back(static_cast<uint8_t>(symbol));
+      continue;
+    }
+    if (symbol == kEndOfBlock) {
+      break;
+    }
+    const uint32_t length_code = symbol - 257;
+    if (length_code >= kLengthCodes.size()) {
+      return ParseError("gzip: bad length code");
+    }
+    IMK_ASSIGN_OR_RETURN(uint32_t length_extra,
+                         reader.ReadBits(kLengthCodes[length_code].extra_bits));
+    const uint32_t match_len = kLengthCodes[length_code].base + length_extra;
+
+    IMK_ASSIGN_OR_RETURN(uint32_t dist_code, dist_decoder.Decode(reader));
+    if (dist_code >= kDistCodes.size()) {
+      return ParseError("gzip: bad distance code");
+    }
+    IMK_ASSIGN_OR_RETURN(uint32_t dist_extra, reader.ReadBits(kDistCodes[dist_code].extra_bits));
+    const uint32_t dist = kDistCodes[dist_code].base + dist_extra;
+    if (dist == 0 || dist > out.size()) {
+      return ParseError("gzip: bad match distance");
+    }
+    const size_t src = out.size() - dist;
+    if (dist >= match_len) {
+      out.insert(out.end(), out.begin() + src, out.begin() + src + match_len);
+    } else {
+      for (uint32_t i = 0; i < match_len; ++i) {
+        out.push_back(out[src + i]);
+      }
+    }
+    if (out.size() > expected_size) {
+      return ParseError("gzip: output exceeds expected size");
+    }
+  }
+  if (out.size() != expected_size) {
+    return ParseError("gzip: output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace imk

@@ -1,0 +1,22 @@
+// DEFLATE-style codec ("gzip"): LZ77 over a 32 KiB window with lazy matching,
+// entropy-coded with two canonical Huffman alphabets (literal/length and
+// distance) using the DEFLATE length/distance code tables. Bit-serial
+// decoding puts its decompression speed in the middle of the pack — the
+// classic gzip trade-off the paper's Figure 3 shows.
+#ifndef IMKASLR_SRC_COMPRESS_GZIP_H_
+#define IMKASLR_SRC_COMPRESS_GZIP_H_
+
+#include "src/compress/codec.h"
+
+namespace imk {
+
+class GzipCodec : public Codec {
+ public:
+  std::string name() const override { return "gzip"; }
+  Result<Bytes> Compress(ByteSpan input) const override;
+  Result<Bytes> Decompress(ByteSpan input, size_t expected_size) const override;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_COMPRESS_GZIP_H_

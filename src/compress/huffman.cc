@@ -1,0 +1,229 @@
+#include "src/compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace imk {
+
+Result<std::vector<uint8_t>> BuildHuffmanLengths(std::span<const uint64_t> freqs,
+                                                 uint32_t max_length) {
+  const size_t n = freqs.size();
+  std::vector<uint8_t> lengths(n, 0);
+
+  std::vector<size_t> used;
+  for (size_t i = 0; i < n; ++i) {
+    if (freqs[i] != 0) {
+      used.push_back(i);
+    }
+  }
+  if (used.empty()) {
+    return lengths;
+  }
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;
+    return lengths;
+  }
+
+  // Standard heap-based Huffman tree; node ids: [0, n) leaves, then internal.
+  struct Node {
+    uint64_t freq;
+    uint32_t id;
+    bool operator>(const Node& other) const {
+      return freq > other.freq || (freq == other.freq && id > other.id);
+    }
+  };
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> heap;
+  std::vector<uint32_t> parent(n + used.size(), 0);
+  for (size_t i : used) {
+    heap.push(Node{freqs[i], static_cast<uint32_t>(i)});
+  }
+  uint32_t next_id = static_cast<uint32_t>(n);
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    parent[a.id] = next_id;
+    parent[b.id] = next_id;
+    heap.push(Node{a.freq + b.freq, next_id});
+    ++next_id;
+  }
+  const uint32_t root = heap.top().id;
+
+  // Depth of each leaf = path length to root.
+  for (size_t i : used) {
+    uint32_t depth = 0;
+    uint32_t node = static_cast<uint32_t>(i);
+    while (node != root) {
+      node = parent[node];
+      ++depth;
+    }
+    lengths[i] = static_cast<uint8_t>(std::min<uint32_t>(depth, 255));
+  }
+
+  // Length-limit via Kraft repair: clamp, then lengthen the deepest
+  // still-shortenable codes until the Kraft sum fits.
+  bool clamped = false;
+  for (size_t i : used) {
+    if (lengths[i] > max_length) {
+      lengths[i] = static_cast<uint8_t>(max_length);
+      clamped = true;
+    }
+  }
+  if (clamped) {
+    const uint64_t budget = 1ull << max_length;
+    auto kraft = [&]() {
+      uint64_t sum = 0;
+      for (size_t i : used) {
+        sum += 1ull << (max_length - lengths[i]);
+      }
+      return sum;
+    };
+    uint64_t sum = kraft();
+    while (sum > budget) {
+      // Lengthen the longest code that is still < max_length (cheapest loss).
+      size_t best = SIZE_MAX;
+      for (size_t i : used) {
+        if (lengths[i] < max_length && (best == SIZE_MAX || lengths[i] > lengths[best])) {
+          best = i;
+        }
+      }
+      if (best == SIZE_MAX) {
+        return InternalError("huffman: cannot satisfy length limit");
+      }
+      sum -= 1ull << (max_length - lengths[best]);
+      ++lengths[best];
+      sum += 1ull << (max_length - lengths[best]);
+    }
+  }
+  return lengths;
+}
+
+std::vector<uint32_t> CanonicalCodes(std::span<const uint8_t> lengths) {
+  uint32_t max_len = 0;
+  for (uint8_t l : lengths) {
+    max_len = std::max<uint32_t>(max_len, l);
+  }
+  std::vector<uint32_t> count(max_len + 1, 0);
+  for (uint8_t l : lengths) {
+    if (l > 0) {
+      ++count[l];
+    }
+  }
+  std::vector<uint32_t> next_code(max_len + 2, 0);
+  uint32_t code = 0;
+  for (uint32_t len = 1; len <= max_len; ++len) {
+    code = (code + count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  std::vector<uint32_t> codes(lengths.size(), 0);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) {
+      codes[i] = next_code[lengths[i]]++;
+    }
+  }
+  return codes;
+}
+
+HuffmanEncoder::HuffmanEncoder(std::vector<uint8_t> lengths) : lengths_(std::move(lengths)) {
+  codes_ = CanonicalCodes(lengths_);
+}
+
+Result<HuffmanDecoder> HuffmanDecoder::Create(std::span<const uint8_t> lengths) {
+  HuffmanDecoder decoder;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    const uint8_t len = lengths[i];
+    if (len > kMaxLength) {
+      return ParseError("huffman: code length too large");
+    }
+    if (len > 0) {
+      ++decoder.count_[len];
+      decoder.max_used_length_ = std::max<uint32_t>(decoder.max_used_length_, len);
+    }
+  }
+  // Kraft inequality check (over-subscribed codes are not prefix codes).
+  uint64_t sum = 0;
+  for (uint32_t len = 1; len <= kMaxLength; ++len) {
+    sum += static_cast<uint64_t>(decoder.count_[len]) << (kMaxLength - len);
+  }
+  if (sum > (1ull << kMaxLength)) {
+    return ParseError("huffman: over-subscribed code");
+  }
+
+  uint32_t code = 0;
+  uint32_t index = 0;
+  for (uint32_t len = 1; len <= decoder.max_used_length_; ++len) {
+    code = (code + decoder.count_[len - 1]) << 1;
+    decoder.first_code_[len] = code;
+    decoder.first_index_[len] = index;
+    index += decoder.count_[len];
+  }
+  decoder.sorted_symbols_.reserve(index);
+  // Symbols sorted by (length, symbol) — canonical order.
+  for (uint32_t len = 1; len <= decoder.max_used_length_; ++len) {
+    for (size_t i = 0; i < lengths.size(); ++i) {
+      if (lengths[i] == len) {
+        decoder.sorted_symbols_.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  return decoder;
+}
+
+Result<uint32_t> HuffmanDecoder::Decode(BitReader& reader) const {
+  uint32_t code = 0;
+  for (uint32_t len = 1; len <= max_used_length_; ++len) {
+    IMK_ASSIGN_OR_RETURN(uint32_t bit, reader.ReadBit());
+    code = (code << 1) | bit;
+    if (count_[len] != 0 && code >= first_code_[len] &&
+        code - first_code_[len] < count_[len]) {
+      return sorted_symbols_[first_index_[len] + (code - first_code_[len])];
+    }
+  }
+  return ParseError("huffman: invalid code in stream");
+}
+
+Result<HuffmanTableDecoder> HuffmanTableDecoder::Create(std::span<const uint8_t> lengths) {
+  for (uint8_t len : lengths) {
+    if (len > kMaxLength) {
+      return ParseError("huffman table: code length exceeds table depth");
+    }
+  }
+  const std::vector<uint32_t> codes = CanonicalCodes(lengths);
+  HuffmanTableDecoder decoder;
+  decoder.table_.assign(1u << kMaxLength, Entry{});
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    const uint8_t len = lengths[i];
+    if (len == 0) {
+      continue;
+    }
+    if ((codes[i] >> len) != 0) {
+      // Canonical code does not fit in its own length: the length table is
+      // over-subscribed (not a prefix code).
+      return ParseError("huffman table: over-subscribed code");
+    }
+    const uint32_t shift = kMaxLength - len;
+    const uint32_t base = codes[i] << shift;
+    for (uint32_t fill = 0; fill < (1u << shift); ++fill) {
+      Entry& entry = decoder.table_[base | fill];
+      if (entry.length != 0) {
+        return ParseError("huffman table: overlapping codes");
+      }
+      entry.symbol = static_cast<uint16_t>(i);
+      entry.length = len;
+    }
+  }
+  return decoder;
+}
+
+Result<uint32_t> HuffmanTableDecoder::Decode(BitReader& reader) const {
+  const uint32_t peek = reader.PeekBitsMsbFirst(kMaxLength);
+  const Entry entry = table_[peek];
+  if (entry.length == 0) {
+    return ParseError("huffman table: invalid code");
+  }
+  IMK_RETURN_IF_ERROR(reader.ConsumeBits(entry.length));
+  return entry.symbol;
+}
+
+}  // namespace imk

@@ -1,0 +1,85 @@
+// Canonical, length-limited Huffman coding.
+//
+// Codes are canonical: symbols are assigned consecutive code values within
+// each length, ordered by symbol index, so a table of code lengths fully
+// describes the code. Encoders write codes MSB-first; two decoders are
+// provided — a bit-serial canonical decoder (compact, used by the
+// DEFLATE-style codec) and a single-level lookup-table decoder (faster,
+// used by the zstd-style codec).
+#ifndef IMKASLR_SRC_COMPRESS_HUFFMAN_H_
+#define IMKASLR_SRC_COMPRESS_HUFFMAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/compress/bitstream.h"
+
+namespace imk {
+
+// Builds length-limited (<= max_length) Huffman code lengths from symbol
+// frequencies. Symbols with zero frequency get length 0 (no code). If only
+// one symbol has nonzero frequency it is assigned length 1.
+Result<std::vector<uint8_t>> BuildHuffmanLengths(std::span<const uint64_t> freqs,
+                                                 uint32_t max_length);
+
+// Assigns canonical code values for the given lengths (MSB-first bit order).
+std::vector<uint32_t> CanonicalCodes(std::span<const uint8_t> lengths);
+
+// Encoder: lengths + codes.
+class HuffmanEncoder {
+ public:
+  // Lengths must come from BuildHuffmanLengths (valid Kraft sum).
+  explicit HuffmanEncoder(std::vector<uint8_t> lengths);
+
+  void Encode(BitWriter& writer, uint32_t symbol) const {
+    writer.WriteBitsMsbFirst(codes_[symbol], lengths_[symbol]);
+  }
+
+  const std::vector<uint8_t>& lengths() const { return lengths_; }
+
+ private:
+  std::vector<uint8_t> lengths_;
+  std::vector<uint32_t> codes_;
+};
+
+// Bit-serial canonical decoder: O(code length) per symbol, tiny tables.
+class HuffmanDecoder {
+ public:
+  // Fails if the lengths do not describe a complete or empty prefix code.
+  static Result<HuffmanDecoder> Create(std::span<const uint8_t> lengths);
+
+  Result<uint32_t> Decode(BitReader& reader) const;
+
+ private:
+  static constexpr uint32_t kMaxLength = 20;
+  // first_code_[l], first_index_[l]: canonical decode bookkeeping per length.
+  uint32_t first_code_[kMaxLength + 1] = {};
+  uint32_t count_[kMaxLength + 1] = {};
+  uint32_t first_index_[kMaxLength + 1] = {};
+  std::vector<uint32_t> sorted_symbols_;
+  uint32_t max_used_length_ = 0;
+};
+
+// Single-level table decoder: one table lookup per symbol. Requires
+// max code length <= 12 (table of 4096 entries).
+class HuffmanTableDecoder {
+ public:
+  static constexpr uint32_t kMaxLength = 12;
+
+  static Result<HuffmanTableDecoder> Create(std::span<const uint8_t> lengths);
+
+  Result<uint32_t> Decode(BitReader& reader) const;
+
+ private:
+  struct Entry {
+    uint16_t symbol = 0;
+    uint8_t length = 0;  // 0 = invalid
+  };
+  std::vector<Entry> table_;  // 1 << kMaxLength entries
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_COMPRESS_HUFFMAN_H_

@@ -1,0 +1,162 @@
+#include "src/compress/lz4.h"
+
+#include <cstring>
+
+#include "src/compress/lz77.h"
+
+namespace imk {
+namespace {
+
+void WriteLength(Bytes& out, uint32_t len) {
+  while (len >= 255) {
+    out.push_back(255);
+    len -= 255;
+  }
+  out.push_back(static_cast<uint8_t>(len));
+}
+
+}  // namespace
+
+Result<Bytes> Lz4Codec::Compress(ByteSpan input) const {
+  Lz77Params params;
+  params.window_size = 65535;  // 2-byte offset
+  params.min_match = 4;
+  params.max_chain = 32;  // deeper search finds longer matches -> faster decode
+  params.lazy = false;
+  const std::vector<Lz77Token> tokens = Lz77Parse(input, params);
+
+  Bytes out;
+  out.reserve(input.size() / 2 + 64);
+  for (const Lz77Token& token : tokens) {
+    const uint32_t lit_len = token.literal_len;
+    const bool has_match = token.match_len != 0;
+    const uint32_t match_code = has_match ? token.match_len - 4 : 0;
+
+    uint8_t token_byte = 0;
+    token_byte |= static_cast<uint8_t>((lit_len >= 15 ? 15 : lit_len) << 4);
+    token_byte |= static_cast<uint8_t>(has_match ? (match_code >= 15 ? 15 : match_code) : 0);
+    out.push_back(token_byte);
+    if (lit_len >= 15) {
+      WriteLength(out, lit_len - 15);
+    }
+    out.insert(out.end(), input.begin() + token.literal_start,
+               input.begin() + token.literal_start + lit_len);
+    if (has_match) {
+      out.push_back(static_cast<uint8_t>(token.match_dist & 0xff));
+      out.push_back(static_cast<uint8_t>(token.match_dist >> 8));
+      if (match_code >= 15) {
+        WriteLength(out, match_code - 15);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Core decoder: writes exactly `expected_size` bytes at `out_data` (which
+// must carry Codec::kDecompressSlack writable bytes beyond that, used by the
+// 16-byte wildcopies). Decompression speed is load-bearing for the boot-time
+// experiments: raw pointers, wildcopies for short literals/matches,
+// geometric expansion for overlapping matches.
+Status DecodeLz4(ByteSpan input, size_t expected_size, uint8_t* out_data) {
+  constexpr size_t kSlack = Codec::kDecompressSlack;
+  uint8_t* op = out_data;
+  uint8_t* const oend = op + expected_size;
+  size_t pos = 0;
+  const size_t in_size = input.size();
+
+  auto read_length = [&](uint32_t base) -> Result<uint32_t> {
+    uint32_t len = base;
+    if (base == 15) {
+      for (;;) {
+        if (pos >= in_size) {
+          return ParseError("lz4: truncated length");
+        }
+        const uint8_t b = input[pos++];
+        len += b;
+        if (b != 255) {
+          break;
+        }
+      }
+    }
+    return len;
+  };
+
+  while (pos < in_size) {
+    const uint8_t token = input[pos++];
+    IMK_ASSIGN_OR_RETURN(uint32_t lit_len, read_length(token >> 4));
+    if (lit_len > in_size - pos || lit_len > static_cast<size_t>(oend - op)) {
+      return ParseError("lz4: literal run out of range");
+    }
+    if (lit_len <= kSlack && pos + kSlack <= in_size) {
+      std::memcpy(op, input.data() + pos, kSlack);  // wildcopy into the slack
+    } else {
+      std::memcpy(op, input.data() + pos, lit_len);
+    }
+    op += lit_len;
+    pos += lit_len;
+    if (pos == in_size) {
+      break;  // final literal-only sequence
+    }
+
+    if (pos + 2 > in_size) {
+      return ParseError("lz4: truncated offset");
+    }
+    const uint32_t dist = static_cast<uint32_t>(input[pos]) |
+                          (static_cast<uint32_t>(input[pos + 1]) << 8);
+    pos += 2;
+    if (dist == 0 || dist > static_cast<size_t>(op - out_data)) {
+      return ParseError("lz4: bad match distance");
+    }
+    IMK_ASSIGN_OR_RETURN(uint32_t match_code, read_length(token & 0xf));
+    uint32_t match_len = match_code + 4;
+    if (match_len > static_cast<size_t>(oend - op)) {
+      return ParseError("lz4: match overflows output");
+    }
+    const uint8_t* src = op - dist;
+    if (dist >= match_len) {
+      if (match_len <= kSlack && dist >= kSlack) {
+        std::memcpy(op, src, kSlack);  // wildcopy into the slack (disjoint)
+      } else {
+        std::memcpy(op, src, match_len);
+      }
+      op += match_len;
+    } else {
+      // Overlapping (run-like) match: geometric expansion — each copy may
+      // source the whole already-materialized pattern, doubling per step.
+      uint32_t remaining = match_len;
+      while (remaining > 0) {
+        const uint32_t avail = static_cast<uint32_t>(op - src);
+        const uint32_t chunk = remaining < avail ? remaining : avail;
+        std::memcpy(op, src, chunk);
+        op += chunk;
+        remaining -= chunk;
+      }
+    }
+  }
+
+  if (op != oend) {
+    return ParseError("lz4: output size mismatch");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<Bytes> Lz4Codec::Decompress(ByteSpan input, size_t expected_size) const {
+  Bytes out(expected_size + kDecompressSlack);
+  IMK_RETURN_IF_ERROR(DecodeLz4(input, expected_size, out.data()));
+  out.resize(expected_size);
+  return out;
+}
+
+Status Lz4Codec::DecompressInto(ByteSpan input, size_t expected_size,
+                                MutableByteSpan output) const {
+  if (output.size() < expected_size + kDecompressSlack) {
+    return InvalidArgumentError("lz4: output buffer too small for in-place decode");
+  }
+  return DecodeLz4(input, expected_size, output.data());
+}
+
+}  // namespace imk

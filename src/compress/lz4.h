@@ -1,0 +1,24 @@
+// LZ4-style codec: the real LZ4 block format (token byte with split literal/
+// match-length nibbles, 2-byte offsets, 255-escape length extension). This is
+// the fastest-decompressing codec of the suite — which is why the paper's
+// bzImage experiments standardize on it (Figure 3).
+#ifndef IMKASLR_SRC_COMPRESS_LZ4_H_
+#define IMKASLR_SRC_COMPRESS_LZ4_H_
+
+#include "src/compress/codec.h"
+
+namespace imk {
+
+class Lz4Codec : public Codec {
+ public:
+  std::string name() const override { return "lz4"; }
+  Result<Bytes> Compress(ByteSpan input) const override;
+  Result<Bytes> Decompress(ByteSpan input, size_t expected_size) const override;
+  // Zero-intermediate-buffer decode (the bootstrap/monitor fast path).
+  Status DecompressInto(ByteSpan input, size_t expected_size,
+                        MutableByteSpan output) const override;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_COMPRESS_LZ4_H_

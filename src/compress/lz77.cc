@@ -1,0 +1,157 @@
+#include "src/compress/lz77.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace imk {
+namespace {
+
+constexpr uint32_t kHashBits = 16;
+constexpr uint32_t kHashSize = 1u << kHashBits;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Length of the common prefix of [a, limit) and [b, limit_b...) capped by caller.
+uint32_t MatchLength(const uint8_t* a, const uint8_t* b, uint32_t max_len) {
+  uint32_t len = 0;
+  while (len + 8 <= max_len) {
+    uint64_t xa;
+    uint64_t xb;
+    std::memcpy(&xa, a + len, 8);
+    std::memcpy(&xb, b + len, 8);
+    const uint64_t diff = xa ^ xb;
+    if (diff != 0) {
+      return len + static_cast<uint32_t>(__builtin_ctzll(diff) >> 3);
+    }
+    len += 8;
+  }
+  while (len < max_len && a[len] == b[len]) {
+    ++len;
+  }
+  return len;
+}
+
+struct Matcher {
+  explicit Matcher(ByteSpan input)
+      : data(input.data()), size(static_cast<uint32_t>(input.size())) {
+    head.assign(kHashSize, kNil);
+    prev.assign(size, kNil);
+  }
+
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  // Finds the best match at `pos`; returns length (0 if none) and distance.
+  void FindBest(uint32_t pos, const Lz77Params& params, uint32_t* best_len,
+                uint32_t* best_dist) const {
+    *best_len = 0;
+    *best_dist = 0;
+    if (pos + 4 > size) {
+      return;
+    }
+    const uint32_t max_len =
+        std::min<uint32_t>(size - pos, params.max_match);
+    uint32_t candidate = head[Hash4(data + pos)];
+    uint32_t chain = params.max_chain;
+    while (candidate != kNil && chain-- != 0) {
+      const uint32_t dist = pos - candidate;
+      if (dist == 0 || dist > params.window_size) {
+        break;
+      }
+      // Quick reject: check the byte past the current best.
+      if (*best_len == 0 || data[candidate + *best_len] == data[pos + *best_len]) {
+        const uint32_t len = MatchLength(data + pos, data + candidate, max_len);
+        if (len > *best_len) {
+          *best_len = len;
+          *best_dist = dist;
+          if (len >= max_len) {
+            break;
+          }
+        }
+      }
+      candidate = prev[candidate];
+    }
+    if (*best_len < params.min_match) {
+      *best_len = 0;
+      *best_dist = 0;
+    }
+  }
+
+  void Insert(uint32_t pos) {
+    if (pos + 4 > size) {
+      return;
+    }
+    const uint32_t h = Hash4(data + pos);
+    prev[pos] = head[h];
+    head[h] = pos;
+  }
+
+  const uint8_t* data;
+  uint32_t size;
+  std::vector<uint32_t> head;
+  std::vector<uint32_t> prev;
+};
+
+}  // namespace
+
+std::vector<Lz77Token> Lz77Parse(ByteSpan input, const Lz77Params& params) {
+  std::vector<Lz77Token> tokens;
+  const uint32_t size = static_cast<uint32_t>(input.size());
+  if (size == 0) {
+    return tokens;
+  }
+  Matcher matcher(input);
+
+  uint32_t pos = 0;
+  uint32_t literal_start = 0;
+  while (pos < size) {
+    uint32_t len;
+    uint32_t dist;
+    matcher.FindBest(pos, params, &len, &dist);
+
+    if (len != 0 && params.lazy && pos + 1 < size) {
+      // One-step lazy match: if the next position has a strictly better
+      // match, emit this byte as a literal instead.
+      const uint32_t inserted_through = pos;  // inclusive
+      matcher.Insert(pos);
+      uint32_t next_len;
+      uint32_t next_dist;
+      matcher.FindBest(pos + 1, params, &next_len, &next_dist);
+      if (next_len > len + 1) {
+        ++pos;
+        len = next_len;
+        dist = next_dist;
+      }
+      tokens.push_back(Lz77Token{literal_start, pos - literal_start, len, dist});
+      for (uint32_t i = inserted_through + 1; i < pos + len && i < size; ++i) {
+        matcher.Insert(i);
+      }
+      pos += len;
+      literal_start = pos;
+      continue;
+    }
+
+    if (len == 0) {
+      matcher.Insert(pos);
+      ++pos;
+      continue;
+    }
+
+    tokens.push_back(Lz77Token{literal_start, pos - literal_start, len, dist});
+    for (uint32_t i = pos; i < pos + len && i < size; ++i) {
+      matcher.Insert(i);
+    }
+    pos += len;
+    literal_start = pos;
+  }
+
+  if (literal_start < size) {
+    tokens.push_back(Lz77Token{literal_start, size - literal_start, 0, 0});
+  }
+  return tokens;
+}
+
+}  // namespace imk

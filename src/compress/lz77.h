@@ -1,0 +1,38 @@
+// Shared LZ77 match finding used by the LZ-family codecs (lz4, lzo, gzip,
+// zstd, lzma). Produces a token stream of literal runs and (length, distance)
+// matches; each codec entropy-codes the stream its own way.
+#ifndef IMKASLR_SRC_COMPRESS_LZ77_H_
+#define IMKASLR_SRC_COMPRESS_LZ77_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+
+namespace imk {
+
+// One LZ77 step: emit `literal_len` literals starting at `literal_start`,
+// then copy `match_len` bytes from `match_dist` back (match_len == 0 for the
+// trailing literal-only token).
+struct Lz77Token {
+  uint32_t literal_start = 0;
+  uint32_t literal_len = 0;
+  uint32_t match_len = 0;
+  uint32_t match_dist = 0;
+};
+
+// Parameters controlling effort/window, tuned per codec.
+struct Lz77Params {
+  uint32_t window_size = 64 * 1024;  // max match distance
+  uint32_t min_match = 4;            // shortest usable match
+  uint32_t max_match = 0xffffffff;   // cap on match length
+  uint32_t max_chain = 16;           // hash chain probes (effort)
+  bool lazy = false;                 // one-step lazy matching (better ratio)
+};
+
+// Greedy (optionally lazy) hash-chain parse of `input`.
+std::vector<Lz77Token> Lz77Parse(ByteSpan input, const Lz77Params& params);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_COMPRESS_LZ77_H_

@@ -1,0 +1,305 @@
+#include "src/compress/lzma.h"
+
+#include <array>
+#include <vector>
+
+#include "src/compress/lz77.h"
+
+namespace imk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Adaptive binary range coder (the LZMA rc): 11-bit probabilities, adaptation
+// shift 5, 32-bit range with byte-wise renormalization and carry handling.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kProbBits = 11;
+constexpr uint32_t kProbInit = (1u << kProbBits) / 2;
+constexpr uint32_t kMoveBits = 5;
+constexpr uint32_t kTopValue = 1u << 24;
+
+using Prob = uint16_t;
+
+class RangeEncoder {
+ public:
+  void EncodeBit(Prob* prob, uint32_t bit) {
+    const uint32_t bound = (range_ >> kProbBits) * *prob;
+    if (bit == 0) {
+      range_ = bound;
+      *prob = static_cast<Prob>(*prob + (((1u << kProbBits) - *prob) >> kMoveBits));
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      *prob = static_cast<Prob>(*prob - (*prob >> kMoveBits));
+    }
+    while (range_ < kTopValue) {
+      ShiftLow();
+      range_ <<= 8;
+    }
+  }
+
+  // Encodes `count` raw bits (MSB first) at probability 1/2.
+  void EncodeDirect(uint32_t value, uint32_t count) {
+    for (uint32_t i = count; i-- > 0;) {
+      range_ >>= 1;
+      if (((value >> i) & 1) != 0) {
+        low_ += range_;
+      }
+      while (range_ < kTopValue) {
+        ShiftLow();
+        range_ <<= 8;
+      }
+    }
+  }
+
+  Bytes Finish() {
+    for (int i = 0; i < 5; ++i) {
+      ShiftLow();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void ShiftLow() {
+    if (low_ < 0xff000000ull || low_ > 0xffffffffull) {
+      // Carry resolved: flush cache and any pending 0xff bytes. The first
+      // flushed byte is a constant 0 the decoder discards (its 5 priming
+      // shifts into a 32-bit code register drop the first byte).
+      uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+      out_.push_back(static_cast<uint8_t>(cache_ + carry));
+      while (pending_ff_ > 0) {
+        out_.push_back(static_cast<uint8_t>(0xff + carry));
+        --pending_ff_;
+      }
+      cache_ = static_cast<uint8_t>(low_ >> 24);
+    } else {
+      ++pending_ff_;
+    }
+    low_ = (low_ << 8) & 0xffffffffull;
+  }
+
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xffffffffu;
+  uint8_t cache_ = 0;
+  size_t pending_ff_ = 0;
+  Bytes out_;
+};
+
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(ByteSpan data) : data_(data) {
+    // Prime with 5 bytes, mirroring the encoder's 5 flush bytes (the first
+    // is the encoder's initial cache byte).
+    for (int i = 0; i < 5; ++i) {
+      code_ = (code_ << 8) | NextByte();
+    }
+  }
+
+  uint32_t DecodeBit(Prob* prob) {
+    const uint32_t bound = (range_ >> kProbBits) * *prob;
+    uint32_t bit;
+    if (code_ < bound) {
+      range_ = bound;
+      *prob = static_cast<Prob>(*prob + (((1u << kProbBits) - *prob) >> kMoveBits));
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      *prob = static_cast<Prob>(*prob - (*prob >> kMoveBits));
+      bit = 1;
+    }
+    while (range_ < kTopValue) {
+      code_ = (code_ << 8) | NextByte();
+      range_ <<= 8;
+    }
+    return bit;
+  }
+
+  uint32_t DecodeDirect(uint32_t count) {
+    uint32_t value = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      range_ >>= 1;
+      uint32_t bit = 0;
+      if (code_ >= range_) {
+        code_ -= range_;
+        bit = 1;
+      }
+      value = (value << 1) | bit;
+      while (range_ < kTopValue) {
+        code_ = (code_ << 8) | NextByte();
+        range_ <<= 8;
+      }
+    }
+    return value;
+  }
+
+  bool overran() const { return overran_; }
+
+ private:
+  uint8_t NextByte() {
+    if (pos_ >= data_.size()) {
+      overran_ = true;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+  uint32_t range_ = 0xffffffffu;
+  uint32_t code_ = 0;
+  bool overran_ = false;
+};
+
+// Bit-tree of 2^bits leaves: encodes a `bits`-wide value MSB first with one
+// adaptive probability per internal node.
+template <uint32_t kBits>
+struct BitTree {
+  std::array<Prob, 1u << kBits> probs;
+
+  BitTree() { probs.fill(kProbInit); }
+
+  void Encode(RangeEncoder& rc, uint32_t value) {
+    uint32_t node = 1;
+    for (uint32_t i = kBits; i-- > 0;) {
+      const uint32_t bit = (value >> i) & 1;
+      rc.EncodeBit(&probs[node], bit);
+      node = (node << 1) | bit;
+    }
+  }
+
+  uint32_t Decode(RangeDecoder& rc) {
+    uint32_t node = 1;
+    for (uint32_t i = 0; i < kBits; ++i) {
+      node = (node << 1) | rc.DecodeBit(&probs[node]);
+    }
+    return node - (1u << kBits);
+  }
+};
+
+// Distance coding: 6-bit slot (like LZMA's dist slots), then direct bits.
+uint32_t DistSlot(uint32_t dist) {
+  // dist >= 1. Slot = 2*log2(dist) | next-highest bit; dist 1..3 map to slots 0..2.
+  if (dist < 4) {
+    return dist - 1;
+  }
+  const uint32_t log2 = 31 - static_cast<uint32_t>(__builtin_clz(dist));
+  return (log2 << 1) | ((dist >> (log2 - 1)) & 1);
+}
+
+// Model state shared by encode/decode.
+struct LzmaModel {
+  std::array<Prob, 256> is_match;  // ctx: previous byte
+  std::array<BitTree<8>, 8> literal;  // ctx: top 3 bits of previous byte
+  BitTree<8> len_low;       // match length 4..259 low byte
+  Prob len_high_flag = kProbInit;
+  BitTree<8> len_high;
+  BitTree<6> dist_slot;
+
+  LzmaModel() { is_match.fill(kProbInit); }
+};
+
+constexpr uint32_t kMinMatch = 4;
+
+}  // namespace
+
+Result<Bytes> LzmaCodec::Compress(ByteSpan input) const {
+  Lz77Params params;
+  params.window_size = 1u << 20;
+  params.min_match = kMinMatch;
+  params.max_match = kMinMatch + 255 + 256;  // len_low + optional len_high
+  params.max_chain = 128;
+  params.lazy = true;
+  const std::vector<Lz77Token> tokens = Lz77Parse(input, params);
+
+  LzmaModel model;
+  RangeEncoder rc;
+  uint8_t prev_byte = 0;
+
+  auto encode_literal = [&](uint8_t byte) {
+    rc.EncodeBit(&model.is_match[prev_byte], 0);
+    model.literal[prev_byte >> 5].Encode(rc, byte);
+    prev_byte = byte;
+  };
+
+  for (const Lz77Token& token : tokens) {
+    for (uint32_t i = 0; i < token.literal_len; ++i) {
+      encode_literal(input[token.literal_start + i]);
+    }
+    if (token.match_len == 0) {
+      continue;
+    }
+    rc.EncodeBit(&model.is_match[prev_byte], 1);
+    const uint32_t len_code = token.match_len - kMinMatch;
+    if (len_code < 256) {
+      rc.EncodeBit(&model.len_high_flag, 0);
+      model.len_low.Encode(rc, len_code);
+    } else {
+      rc.EncodeBit(&model.len_high_flag, 1);
+      model.len_high.Encode(rc, len_code - 256);
+    }
+    const uint32_t slot = DistSlot(token.match_dist);
+    model.dist_slot.Encode(rc, slot);
+    if (slot >= 4) {
+      const uint32_t direct_bits = (slot >> 1) - 1;
+      const uint32_t base = (2 | (slot & 1)) << direct_bits;
+      rc.EncodeDirect(token.match_dist - base, direct_bits);
+    }
+    prev_byte = input[token.literal_start + token.literal_len + token.match_len - 1];
+  }
+  return rc.Finish();
+}
+
+Result<Bytes> LzmaCodec::Decompress(ByteSpan input, size_t expected_size) const {
+  LzmaModel model;
+  RangeDecoder rc(input);
+  Bytes out;
+  out.reserve(expected_size);
+  uint8_t prev_byte = 0;
+
+  while (out.size() < expected_size) {
+    if (rc.DecodeBit(&model.is_match[prev_byte]) == 0) {
+      const uint8_t byte = static_cast<uint8_t>(model.literal[prev_byte >> 5].Decode(rc));
+      out.push_back(byte);
+      prev_byte = byte;
+    } else {
+      uint32_t len_code;
+      if (rc.DecodeBit(&model.len_high_flag) == 0) {
+        len_code = model.len_low.Decode(rc);
+      } else {
+        len_code = 256 + model.len_high.Decode(rc);
+      }
+      const uint32_t match_len = len_code + kMinMatch;
+      const uint32_t slot = model.dist_slot.Decode(rc);
+      uint32_t dist;
+      if (slot < 4) {
+        dist = slot + 1;
+      } else {
+        const uint32_t direct_bits = (slot >> 1) - 1;
+        const uint32_t base = (2 | (slot & 1)) << direct_bits;
+        dist = base + rc.DecodeDirect(direct_bits);
+      }
+      if (dist == 0 || dist > out.size()) {
+        return ParseError("xz: bad match distance");
+      }
+      if (out.size() + match_len > expected_size) {
+        return ParseError("xz: output exceeds expected size");
+      }
+      const size_t src = out.size() - dist;
+      if (dist >= match_len) {
+        out.insert(out.end(), out.begin() + src, out.begin() + src + match_len);
+      } else {
+        for (uint32_t i = 0; i < match_len; ++i) {
+          out.push_back(out[src + i]);
+        }
+      }
+      prev_byte = out.back();
+    }
+    if (rc.overran()) {
+      return ParseError("xz: range coder input exhausted");
+    }
+  }
+  return out;
+}
+
+}  // namespace imk

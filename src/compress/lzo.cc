@@ -1,0 +1,98 @@
+#include "src/compress/lzo.h"
+
+#include <cstring>
+
+#include "src/compress/lz77.h"
+
+namespace imk {
+
+// Stream grammar (all integers little-endian):
+//   chunk := lit_len:u8  literals[lit_len]  match_len:u8  [dist:u16 if match_len > 0]
+// A match of code m copies (m + 2) bytes from dist back. Literal runs longer
+// than 255 are split into chunks with match_len == 0.
+Result<Bytes> LzoCodec::Compress(ByteSpan input) const {
+  Lz77Params params;
+  params.window_size = 65535;
+  params.min_match = 3;
+  params.max_match = 255 + 2;
+  params.max_chain = 4;  // LZO favors speed over ratio
+  params.lazy = false;
+  const std::vector<Lz77Token> tokens = Lz77Parse(input, params);
+
+  Bytes out;
+  out.reserve(input.size() / 2 + 64);
+  for (const Lz77Token& token : tokens) {
+    uint32_t lit_pos = token.literal_start;
+    uint32_t lit_remaining = token.literal_len;
+    // Split over-long literal runs.
+    while (lit_remaining > 255) {
+      out.push_back(255);
+      out.insert(out.end(), input.begin() + lit_pos, input.begin() + lit_pos + 255);
+      out.push_back(0);  // no match
+      lit_pos += 255;
+      lit_remaining -= 255;
+    }
+    out.push_back(static_cast<uint8_t>(lit_remaining));
+    out.insert(out.end(), input.begin() + lit_pos, input.begin() + lit_pos + lit_remaining);
+    if (token.match_len != 0) {
+      out.push_back(static_cast<uint8_t>(token.match_len - 2));
+      out.push_back(static_cast<uint8_t>(token.match_dist & 0xff));
+      out.push_back(static_cast<uint8_t>(token.match_dist >> 8));
+    } else {
+      out.push_back(0);
+    }
+  }
+  return out;
+}
+
+Result<Bytes> LzoCodec::Decompress(ByteSpan input, size_t expected_size) const {
+  Bytes out(expected_size);
+  uint8_t* op = out.data();
+  uint8_t* const oend = op + expected_size;
+  size_t pos = 0;
+  const size_t in_size = input.size();
+  while (pos < in_size) {
+    const uint8_t lit_len = input[pos++];
+    if (lit_len > in_size - pos || lit_len > static_cast<size_t>(oend - op)) {
+      return ParseError("lzo: literal run out of range");
+    }
+    std::memcpy(op, input.data() + pos, lit_len);
+    op += lit_len;
+    pos += lit_len;
+    if (pos >= in_size) {
+      return ParseError("lzo: missing match byte");
+    }
+    const uint8_t match_code = input[pos++];
+    if (match_code == 0) {
+      continue;
+    }
+    if (pos + 2 > in_size) {
+      return ParseError("lzo: truncated match distance");
+    }
+    const uint32_t dist = static_cast<uint32_t>(input[pos]) |
+                          (static_cast<uint32_t>(input[pos + 1]) << 8);
+    pos += 2;
+    if (dist == 0 || dist > static_cast<size_t>(op - out.data())) {
+      return ParseError("lzo: bad match distance");
+    }
+    const uint32_t match_len = static_cast<uint32_t>(match_code) + 2;
+    if (match_len > static_cast<size_t>(oend - op)) {
+      return ParseError("lzo: match overflows output");
+    }
+    const uint8_t* src = op - dist;
+    uint32_t remaining = match_len;
+    while (remaining > 0) {
+      const uint32_t chunk = remaining < dist ? remaining : dist;
+      std::memcpy(op, src, chunk);
+      op += chunk;
+      src += chunk;
+      remaining -= chunk;
+    }
+  }
+  if (op != oend) {
+    return ParseError("lzo: output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace imk

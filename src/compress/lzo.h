@@ -1,0 +1,21 @@
+// LZO-style codec: byte-oriented LZ with explicit run headers and 3-byte
+// minimum matches. Compresses very fast with a shallow search; ratio is the
+// worst of the LZ family, decode speed is close to (slightly below) LZ4 —
+// matching LZO's position in the paper's Figure 3 bake-off.
+#ifndef IMKASLR_SRC_COMPRESS_LZO_H_
+#define IMKASLR_SRC_COMPRESS_LZO_H_
+
+#include "src/compress/codec.h"
+
+namespace imk {
+
+class LzoCodec : public Codec {
+ public:
+  std::string name() const override { return "lzo"; }
+  Result<Bytes> Compress(ByteSpan input) const override;
+  Result<Bytes> Decompress(ByteSpan input, size_t expected_size) const override;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_COMPRESS_LZO_H_

@@ -1,0 +1,41 @@
+#include "src/compress/registry.h"
+
+#include "src/compress/bzip2.h"
+#include "src/compress/gzip.h"
+#include "src/compress/lz4.h"
+#include "src/compress/lzma.h"
+#include "src/compress/lzo.h"
+#include "src/compress/zstd.h"
+
+namespace imk {
+
+Result<CodecPtr> MakeCodec(std::string_view name) {
+  if (name == "none") {
+    return CodecPtr(new NoneCodec());
+  }
+  if (name == "lz4") {
+    return CodecPtr(new Lz4Codec());
+  }
+  if (name == "lzo") {
+    return CodecPtr(new LzoCodec());
+  }
+  if (name == "gzip") {
+    return CodecPtr(new GzipCodec());
+  }
+  if (name == "zstd") {
+    return CodecPtr(new ZstdCodec());
+  }
+  if (name == "bzip2") {
+    return CodecPtr(new Bzip2Codec());
+  }
+  if (name == "xz" || name == "lzma") {
+    return CodecPtr(new LzmaCodec());
+  }
+  return NotFoundError("unknown codec: " + std::string(name));
+}
+
+std::vector<std::string> BakeoffCodecNames() {
+  return {"gzip", "bzip2", "xz", "lzo", "lz4", "zstd"};
+}
+
+}  // namespace imk

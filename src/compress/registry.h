@@ -1,0 +1,37 @@
+// Codec registry: name -> codec instance, plus the canonical bake-off list.
+#ifndef IMKASLR_SRC_COMPRESS_REGISTRY_H_
+#define IMKASLR_SRC_COMPRESS_REGISTRY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/compress/codec.h"
+
+namespace imk {
+
+// Identity codec ("compression none" in the paper's §3.3): the payload is
+// stored verbatim; "decompression" is a straight copy to the target buffer.
+class NoneCodec : public Codec {
+ public:
+  std::string name() const override { return "none"; }
+  Result<Bytes> Compress(ByteSpan input) const override {
+    return Bytes(input.begin(), input.end());
+  }
+  Result<Bytes> Decompress(ByteSpan input, size_t expected_size) const override {
+    if (input.size() != expected_size) {
+      return ParseError("none: size mismatch");
+    }
+    return Bytes(input.begin(), input.end());
+  }
+};
+
+// Creates a codec by scheme name ("none", "lz4", "lzo", "gzip", "zstd",
+// "bzip2", "xz"); kNotFound for unknown names.
+Result<CodecPtr> MakeCodec(std::string_view name);
+
+// The six compressed schemes of the paper's Figure 3 bake-off.
+std::vector<std::string> BakeoffCodecNames();
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_COMPRESS_REGISTRY_H_

@@ -1,0 +1,171 @@
+#include "src/compress/zstd.h"
+
+#include "src/compress/huffman.h"
+#include "src/compress/lz77.h"
+
+namespace imk {
+namespace {
+
+constexpr uint32_t kLiteralMaxCodeLength = HuffmanTableDecoder::kMaxLength;
+
+void WriteVarint(Bytes& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+Result<uint64_t> ReadVarint(ByteSpan data, size_t* pos) {
+  uint64_t value = 0;
+  uint32_t shift = 0;
+  while (*pos < data.size()) {
+    const uint8_t b = data[(*pos)++];
+    value |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+    if (shift > 63) {
+      return ParseError("zstd: varint overflow");
+    }
+  }
+  return ParseError("zstd: truncated varint");
+}
+
+}  // namespace
+
+// Container layout:
+//   varint  literal_count
+//   varint  huffman_stream_bytes   (0 => literals stored raw)
+//   u8[256] code lengths (packed 2 per byte, 4 bits each)  [only if huffman]
+//   bytes   huffman-coded (or raw) literal stream
+//   varint  sequence_count
+//   per sequence: varint lit_run, varint match_len_or_0, varint dist (if len>0)
+Result<Bytes> ZstdCodec::Compress(ByteSpan input) const {
+  Lz77Params params;
+  params.window_size = 256 * 1024;
+  params.min_match = 4;
+  params.max_chain = 48;
+  params.lazy = true;
+  const std::vector<Lz77Token> tokens = Lz77Parse(input, params);
+
+  // Gather all literal bytes into one stream.
+  Bytes literals;
+  for (const Lz77Token& token : tokens) {
+    literals.insert(literals.end(), input.begin() + token.literal_start,
+                    input.begin() + token.literal_start + token.literal_len);
+  }
+
+  Bytes out;
+  WriteVarint(out, literals.size());
+
+  // Huffman-code the literal stream (fall back to raw if it does not help).
+  std::vector<uint64_t> freq(256, 0);
+  for (uint8_t b : literals) {
+    ++freq[b];
+  }
+  IMK_ASSIGN_OR_RETURN(std::vector<uint8_t> lengths,
+                       BuildHuffmanLengths(freq, kLiteralMaxCodeLength));
+  HuffmanEncoder encoder(lengths);
+  BitWriter bits;
+  for (uint8_t b : literals) {
+    encoder.Encode(bits, b);
+  }
+  Bytes coded = bits.Take();
+  if (coded.size() + 128 < literals.size()) {
+    WriteVarint(out, coded.size());
+    for (size_t i = 0; i < 256; i += 2) {
+      out.push_back(static_cast<uint8_t>(lengths[i] | (lengths[i + 1] << 4)));
+    }
+    out.insert(out.end(), coded.begin(), coded.end());
+  } else {
+    WriteVarint(out, 0);
+    out.insert(out.end(), literals.begin(), literals.end());
+  }
+
+  WriteVarint(out, tokens.size());
+  for (const Lz77Token& token : tokens) {
+    WriteVarint(out, token.literal_len);
+    WriteVarint(out, token.match_len);
+    if (token.match_len != 0) {
+      WriteVarint(out, token.match_dist);
+    }
+  }
+  return out;
+}
+
+Result<Bytes> ZstdCodec::Decompress(ByteSpan input, size_t expected_size) const {
+  size_t pos = 0;
+  IMK_ASSIGN_OR_RETURN(uint64_t literal_count, ReadVarint(input, &pos));
+  IMK_ASSIGN_OR_RETURN(uint64_t coded_bytes, ReadVarint(input, &pos));
+
+  Bytes literals;
+  if (coded_bytes == 0) {
+    if (literal_count > input.size() - pos) {
+      return ParseError("zstd: raw literals past end");
+    }
+    literals.assign(input.begin() + pos, input.begin() + pos + literal_count);
+    pos += literal_count;
+  } else {
+    if (pos + 128 > input.size()) {
+      return ParseError("zstd: truncated code lengths");
+    }
+    std::vector<uint8_t> lengths(256);
+    for (size_t i = 0; i < 256; i += 2) {
+      const uint8_t packed = input[pos + i / 2];
+      lengths[i] = packed & 0xf;
+      lengths[i + 1] = packed >> 4;
+    }
+    pos += 128;
+    if (coded_bytes > input.size() - pos) {
+      return ParseError("zstd: coded literals past end");
+    }
+    IMK_ASSIGN_OR_RETURN(HuffmanTableDecoder decoder, HuffmanTableDecoder::Create(lengths));
+    BitReader reader(input.subspan(pos, coded_bytes));
+    literals.reserve(literal_count);
+    for (uint64_t i = 0; i < literal_count; ++i) {
+      IMK_ASSIGN_OR_RETURN(uint32_t symbol, decoder.Decode(reader));
+      literals.push_back(static_cast<uint8_t>(symbol));
+    }
+    pos += coded_bytes;
+  }
+
+  IMK_ASSIGN_OR_RETURN(uint64_t sequence_count, ReadVarint(input, &pos));
+  Bytes out;
+  out.reserve(expected_size);
+  size_t literal_pos = 0;
+  for (uint64_t s = 0; s < sequence_count; ++s) {
+    IMK_ASSIGN_OR_RETURN(uint64_t lit_run, ReadVarint(input, &pos));
+    IMK_ASSIGN_OR_RETURN(uint64_t match_len, ReadVarint(input, &pos));
+    if (lit_run > literals.size() - literal_pos) {
+      return ParseError("zstd: literal stream exhausted");
+    }
+    out.insert(out.end(), literals.begin() + literal_pos, literals.begin() + literal_pos + lit_run);
+    literal_pos += lit_run;
+    if (match_len == 0) {
+      continue;
+    }
+    IMK_ASSIGN_OR_RETURN(uint64_t dist, ReadVarint(input, &pos));
+    if (dist == 0 || dist > out.size()) {
+      return ParseError("zstd: bad match distance");
+    }
+    const size_t src = out.size() - dist;
+    if (dist >= match_len) {
+      out.insert(out.end(), out.begin() + src, out.begin() + src + match_len);
+    } else {
+      for (uint64_t i = 0; i < match_len; ++i) {
+        out.push_back(out[src + i]);
+      }
+    }
+    if (out.size() > expected_size) {
+      return ParseError("zstd: output exceeds expected size");
+    }
+  }
+  if (out.size() != expected_size) {
+    return ParseError("zstd: output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace imk

@@ -1,0 +1,22 @@
+// Zstd-style codec: LZ77 over a 256 KiB window, literals packed into a
+// separate table-decoded Huffman stream, sequences stored byte-aligned as
+// varints. Decoding is one table lookup per literal plus byte-aligned
+// sequence reads — faster than gzip's bit-serial loop, slower than LZ4's raw
+// copies, with a ratio at or above gzip: the zstd trade-off in Figure 3.
+#ifndef IMKASLR_SRC_COMPRESS_ZSTD_H_
+#define IMKASLR_SRC_COMPRESS_ZSTD_H_
+
+#include "src/compress/codec.h"
+
+namespace imk {
+
+class ZstdCodec : public Codec {
+ public:
+  std::string name() const override { return "zstd"; }
+  Result<Bytes> Compress(ByteSpan input) const override;
+  Result<Bytes> Decompress(ByteSpan input, size_t expected_size) const override;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_COMPRESS_ZSTD_H_

@@ -1,0 +1,78 @@
+#include "src/elf/elf_note.h"
+
+#include "src/base/align.h"
+#include "src/elf/elf_types.h"
+
+namespace imk {
+
+Bytes BuildNoteSection(const std::vector<ElfNote>& notes) {
+  ByteWriter out;
+  for (const ElfNote& note : notes) {
+    out.WriteU32(static_cast<uint32_t>(note.name.size() + 1));
+    out.WriteU32(static_cast<uint32_t>(note.desc.size()));
+    out.WriteU32(note.type);
+    out.WriteString(note.name);
+    out.WriteU8(0);
+    out.AlignTo(4);
+    out.WriteBytes(ByteSpan(note.desc));
+    out.AlignTo(4);
+  }
+  return out.Take();
+}
+
+Result<std::vector<ElfNote>> ParseNoteSection(ByteSpan data) {
+  std::vector<ElfNote> notes;
+  ByteReader reader(data);
+  while (!reader.AtEnd()) {
+    IMK_ASSIGN_OR_RETURN(uint32_t namesz, reader.ReadU32());
+    IMK_ASSIGN_OR_RETURN(uint32_t descsz, reader.ReadU32());
+    IMK_ASSIGN_OR_RETURN(uint32_t type, reader.ReadU32());
+    IMK_ASSIGN_OR_RETURN(ByteSpan name_bytes, reader.ReadBytes(namesz));
+    IMK_RETURN_IF_ERROR(reader.Skip(AlignUp(namesz, 4) - namesz));
+    IMK_ASSIGN_OR_RETURN(ByteSpan desc_bytes, reader.ReadBytes(descsz));
+    IMK_RETURN_IF_ERROR(reader.Skip(AlignUp(descsz, 4) - descsz));
+
+    ElfNote note;
+    note.type = type;
+    if (namesz > 0) {
+      // Name is NUL-terminated; strip the terminator.
+      note.name.assign(reinterpret_cast<const char*>(name_bytes.data()), namesz - 1);
+    }
+    note.desc.assign(desc_bytes.begin(), desc_bytes.end());
+    notes.push_back(std::move(note));
+  }
+  return notes;
+}
+
+Bytes EncodeKernelConstants(const KernelConstantsNote& constants) {
+  ByteWriter out;
+  out.WriteU64(constants.physical_start);
+  out.WriteU64(constants.physical_align);
+  out.WriteU64(constants.start_kernel_map);
+  out.WriteU64(constants.kernel_image_size);
+  return out.Take();
+}
+
+Result<KernelConstantsNote> DecodeKernelConstants(ByteSpan desc) {
+  ByteReader reader(desc);
+  KernelConstantsNote constants;
+  IMK_ASSIGN_OR_RETURN(constants.physical_start, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(constants.physical_align, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(constants.start_kernel_map, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(constants.kernel_image_size, reader.ReadU64());
+  return constants;
+}
+
+std::optional<KernelConstantsNote> FindKernelConstants(const std::vector<ElfNote>& notes) {
+  for (const ElfNote& note : notes) {
+    if (note.name == kNoteNameImk && note.type == kNoteTypeKernelConstants) {
+      auto decoded = DecodeKernelConstants(ByteSpan(note.desc));
+      if (decoded.ok()) {
+        return *decoded;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace imk

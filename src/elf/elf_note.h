@@ -1,0 +1,57 @@
+// ELF note construction and parsing.
+//
+// Used for (1) the PVH entry-point note (XEN_ELFNOTE_PHYS32_ENTRY analogue)
+// that direct-boot protocols read, and (2) this project's implementation of
+// the paper's future-work idea (§4.3): prepending kernel link-time constants
+// (CONFIG_PHYSICAL_START, CONFIG_PHYSICAL_ALIGN, __START_KERNEL_map,
+// KERNEL_IMAGE_SIZE) to the binary as an ELF note so the monitor does not
+// have to hardcode them.
+#ifndef IMKASLR_SRC_ELF_ELF_NOTE_H_
+#define IMKASLR_SRC_ELF_ELF_NOTE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace imk {
+
+// Note type values used by this project.
+inline constexpr uint32_t kNoteTypePvhEntry = 18;  // matches XEN_ELFNOTE_PHYS32_ENTRY
+inline constexpr uint32_t kNoteTypeKernelConstants = 0x494d4b31;  // 'IMK1'
+inline constexpr char kNoteNameXen[] = "Xen";
+inline constexpr char kNoteNameImk[] = "imkaslr";
+
+// One parsed ELF note.
+struct ElfNote {
+  std::string name;
+  uint32_t type = 0;
+  Bytes desc;
+};
+
+// Serializes notes into SHT_NOTE section content (4-byte aligned fields).
+Bytes BuildNoteSection(const std::vector<ElfNote>& notes);
+
+// Parses SHT_NOTE section content.
+Result<std::vector<ElfNote>> ParseNoteSection(ByteSpan data);
+
+// Link-time constants the paper says the monitor must otherwise hardcode.
+struct KernelConstantsNote {
+  uint64_t physical_start = 0;   // CONFIG_PHYSICAL_START
+  uint64_t physical_align = 0;   // CONFIG_PHYSICAL_ALIGN
+  uint64_t start_kernel_map = 0;  // __START_KERNEL_map
+  uint64_t kernel_image_size = 0;  // KERNEL_IMAGE_SIZE (max virtual span)
+};
+
+// Encodes/decodes a KernelConstantsNote desc payload.
+Bytes EncodeKernelConstants(const KernelConstantsNote& constants);
+Result<KernelConstantsNote> DecodeKernelConstants(ByteSpan desc);
+
+// Scans parsed notes for a kernel-constants note; nullopt if absent.
+std::optional<KernelConstantsNote> FindKernelConstants(const std::vector<ElfNote>& notes);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_ELF_ELF_NOTE_H_

@@ -1,0 +1,169 @@
+#include "src/elf/elf_reader.h"
+
+#include <cstring>
+
+namespace imk {
+
+Result<ElfReader> ElfReader::Parse(ByteSpan image) {
+  ElfReader reader;
+  IMK_RETURN_IF_ERROR(reader.ParseInternal(image));
+  return reader;
+}
+
+Status ElfReader::ParseInternal(ByteSpan image) {
+  image_ = image;
+  if (image.size() < sizeof(Elf64Ehdr)) {
+    return ParseError("image smaller than ELF header");
+  }
+  std::memcpy(&ehdr_, image.data(), sizeof(ehdr_));
+
+  if (ehdr_.e_ident[0] != kElfMag0 || ehdr_.e_ident[1] != kElfMag1 ||
+      ehdr_.e_ident[2] != kElfMag2 || ehdr_.e_ident[3] != kElfMag3) {
+    return ParseError("bad ELF magic");
+  }
+  if (ehdr_.e_ident[kEiClass] != kElfClass64) {
+    return ParseError("not ELF64");
+  }
+  if (ehdr_.e_ident[kEiData] != kElfData2Lsb) {
+    return ParseError("not little-endian");
+  }
+  if (ehdr_.e_phnum != 0 && ehdr_.e_phentsize != sizeof(Elf64Phdr)) {
+    return ParseError("unexpected program header entry size");
+  }
+  if (ehdr_.e_shnum != 0 && ehdr_.e_shentsize != sizeof(Elf64Shdr)) {
+    return ParseError("unexpected section header entry size");
+  }
+
+  // Program headers.
+  if (ehdr_.e_phnum != 0) {
+    const uint64_t table_size = uint64_t{ehdr_.e_phnum} * sizeof(Elf64Phdr);
+    if (ehdr_.e_phoff > image.size() || table_size > image.size() - ehdr_.e_phoff) {
+      return ParseError("program header table out of range");
+    }
+    phdrs_.resize(ehdr_.e_phnum);
+    std::memcpy(phdrs_.data(), image.data() + ehdr_.e_phoff, table_size);
+    for (const Elf64Phdr& phdr : phdrs_) {
+      if (phdr.p_filesz > 0 &&
+          (phdr.p_offset > image.size() || phdr.p_filesz > image.size() - phdr.p_offset)) {
+        return ParseError("segment file range out of bounds");
+      }
+      if (phdr.p_memsz < phdr.p_filesz) {
+        return ParseError("segment memsz < filesz");
+      }
+    }
+  }
+
+  // Section headers.
+  if (ehdr_.e_shnum != 0) {
+    const uint64_t table_size = uint64_t{ehdr_.e_shnum} * sizeof(Elf64Shdr);
+    if (ehdr_.e_shoff > image.size() || table_size > image.size() - ehdr_.e_shoff) {
+      return ParseError("section header table out of range");
+    }
+    std::vector<Elf64Shdr> shdrs(ehdr_.e_shnum);
+    std::memcpy(shdrs.data(), image.data() + ehdr_.e_shoff, table_size);
+
+    if (ehdr_.e_shstrndx >= ehdr_.e_shnum) {
+      return ParseError("shstrndx out of range");
+    }
+    const Elf64Shdr& shstrtab = shdrs[ehdr_.e_shstrndx];
+    if (shstrtab.sh_type != kShtStrtab) {
+      return ParseError("shstrtab has wrong type");
+    }
+
+    sections_.reserve(shdrs.size());
+    for (size_t i = 0; i < shdrs.size(); ++i) {
+      const Elf64Shdr& shdr = shdrs[i];
+      if (shdr.sh_type != kShtNobits && shdr.sh_size > 0 &&
+          (shdr.sh_offset > image.size() || shdr.sh_size > image.size() - shdr.sh_offset)) {
+        return ParseError("section file range out of bounds");
+      }
+      IMK_ASSIGN_OR_RETURN(std::string name, StringAt(shstrtab, shdr.sh_name));
+      sections_.push_back(ElfSection{std::move(name), shdr, i});
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::string> ElfReader::StringAt(const Elf64Shdr& strtab, uint32_t offset) const {
+  if (offset >= strtab.sh_size) {
+    return ParseError("string offset out of range");
+  }
+  const uint64_t start = strtab.sh_offset + offset;
+  if (start >= image_.size()) {
+    return ParseError("string table out of range");
+  }
+  const uint64_t limit = strtab.sh_offset + strtab.sh_size;
+  uint64_t end = start;
+  while (end < limit && end < image_.size() && image_[end] != 0) {
+    ++end;
+  }
+  if (end == limit || end == image_.size()) {
+    return ParseError("unterminated string in string table");
+  }
+  return std::string(reinterpret_cast<const char*>(image_.data() + start), end - start);
+}
+
+Result<const ElfSection*> ElfReader::FindSection(std::string_view name) const {
+  for (const ElfSection& section : sections_) {
+    if (section.name == name) {
+      return &section;
+    }
+  }
+  return NotFoundError("section not found: " + std::string(name));
+}
+
+Result<ByteSpan> ElfReader::SectionData(const ElfSection& section) const {
+  if (section.header.sh_type == kShtNobits) {
+    return ByteSpan{};
+  }
+  if (section.header.sh_offset > image_.size() ||
+      section.header.sh_size > image_.size() - section.header.sh_offset) {
+    return OutOfRangeError("section data out of range");
+  }
+  return image_.subspan(section.header.sh_offset, section.header.sh_size);
+}
+
+Result<ByteSpan> ElfReader::SegmentData(const Elf64Phdr& phdr) const {
+  if (phdr.p_offset > image_.size() || phdr.p_filesz > image_.size() - phdr.p_offset) {
+    return OutOfRangeError("segment data out of range");
+  }
+  return image_.subspan(phdr.p_offset, phdr.p_filesz);
+}
+
+Result<std::vector<ElfSymbol>> ElfReader::ReadSymbols() const {
+  const ElfSection* symtab = nullptr;
+  for (const ElfSection& section : sections_) {
+    if (section.header.sh_type == kShtSymtab) {
+      symtab = &section;
+      break;
+    }
+  }
+  if (symtab == nullptr) {
+    return std::vector<ElfSymbol>{};
+  }
+  if (symtab->header.sh_entsize != sizeof(Elf64Sym)) {
+    return ParseError("bad symtab entsize");
+  }
+  if (symtab->header.sh_link >= sections_.size()) {
+    return ParseError("symtab link out of range");
+  }
+  const Elf64Shdr& strtab = sections_[symtab->header.sh_link].header;
+  if (strtab.sh_type != kShtStrtab) {
+    return ParseError("symtab linked section is not a string table");
+  }
+
+  IMK_ASSIGN_OR_RETURN(ByteSpan data, SectionData(*symtab));
+  const size_t count = data.size() / sizeof(Elf64Sym);
+  std::vector<ElfSymbol> symbols;
+  symbols.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Elf64Sym sym;
+    std::memcpy(&sym, data.data() + i * sizeof(Elf64Sym), sizeof(sym));
+    IMK_ASSIGN_OR_RETURN(std::string name, StringAt(strtab, sym.st_name));
+    symbols.push_back(ElfSymbol{std::move(name), sym.st_value, sym.st_size, sym.st_info,
+                                sym.st_shndx});
+  }
+  return symbols;
+}
+
+}  // namespace imk

@@ -1,0 +1,78 @@
+// Validating ELF64 reader. The monitor treats kernel images as untrusted
+// input, so every offset/size from the file is bounds-checked before use.
+#ifndef IMKASLR_SRC_ELF_ELF_READER_H_
+#define IMKASLR_SRC_ELF_ELF_READER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/elf/elf_types.h"
+
+namespace imk {
+
+// A parsed symbol (from .symtab + its string table).
+struct ElfSymbol {
+  std::string name;
+  uint64_t value = 0;
+  uint64_t size = 0;
+  uint8_t info = 0;
+  uint16_t shndx = 0;
+};
+
+// A section header paired with its resolved name.
+struct ElfSection {
+  std::string name;
+  Elf64Shdr header{};
+  size_t index = 0;
+};
+
+// Parses an ELF64 image held in memory. The reader does not own the bytes;
+// the caller keeps them alive while the reader (and any spans it returned)
+// are in use.
+class ElfReader {
+ public:
+  // Parses and validates headers; fails with kParseError on malformed input.
+  static Result<ElfReader> Parse(ByteSpan image);
+
+  const Elf64Ehdr& header() const { return ehdr_; }
+  uint64_t entry() const { return ehdr_.e_entry; }
+  uint16_t machine() const { return ehdr_.e_machine; }
+
+  const std::vector<Elf64Phdr>& program_headers() const { return phdrs_; }
+  const std::vector<ElfSection>& sections() const { return sections_; }
+
+  // Section lookup by exact name; kNotFound if missing.
+  Result<const ElfSection*> FindSection(std::string_view name) const;
+
+  // File bytes backing a section (empty span for SHT_NOBITS).
+  Result<ByteSpan> SectionData(const ElfSection& section) const;
+
+  // File bytes backing a program header's file image.
+  Result<ByteSpan> SegmentData(const Elf64Phdr& phdr) const;
+
+  // All symbols from .symtab (empty vector if there is no symbol table).
+  Result<std::vector<ElfSymbol>> ReadSymbols() const;
+
+  // Total bytes of the underlying image.
+  size_t image_size() const { return image_.size(); }
+  ByteSpan image() const { return image_; }
+
+ private:
+  ElfReader() = default;
+
+  Status ParseInternal(ByteSpan image);
+  Result<std::string> StringAt(const Elf64Shdr& strtab, uint32_t offset) const;
+
+  ByteSpan image_;
+  Elf64Ehdr ehdr_{};
+  std::vector<Elf64Phdr> phdrs_;
+  std::vector<ElfSection> sections_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_ELF_ELF_READER_H_

@@ -1,0 +1,161 @@
+// ELF64 on-disk structures and constants, implemented from the ELF-64 object
+// file format specification (little-endian only; that is all the monitor and
+// kernel builder need).
+#ifndef IMKASLR_SRC_ELF_ELF_TYPES_H_
+#define IMKASLR_SRC_ELF_ELF_TYPES_H_
+
+#include <cstdint>
+
+namespace imk {
+
+// e_ident layout.
+inline constexpr uint8_t kElfMag0 = 0x7f;
+inline constexpr uint8_t kElfMag1 = 'E';
+inline constexpr uint8_t kElfMag2 = 'L';
+inline constexpr uint8_t kElfMag3 = 'F';
+inline constexpr uint8_t kElfClass64 = 2;
+inline constexpr uint8_t kElfData2Lsb = 1;  // little endian
+inline constexpr uint8_t kElfVersionCurrent = 1;
+inline constexpr int kEiClass = 4;
+inline constexpr int kEiData = 5;
+inline constexpr int kEiVersion = 6;
+inline constexpr int kEiNident = 16;
+
+// e_type values.
+inline constexpr uint16_t kEtNone = 0;
+inline constexpr uint16_t kEtRel = 1;
+inline constexpr uint16_t kEtExec = 2;
+inline constexpr uint16_t kEtDyn = 3;
+
+// e_machine: x86_64, plus the synthetic guest ISA used by this project.
+inline constexpr uint16_t kEmX86_64 = 62;
+inline constexpr uint16_t kEmVk64 = 0x564b;  // 'VK' — imkaslr synthetic guest ISA
+
+// Program header types / flags.
+inline constexpr uint32_t kPtNull = 0;
+inline constexpr uint32_t kPtLoad = 1;
+inline constexpr uint32_t kPtNote = 4;
+inline constexpr uint32_t kPfX = 1;
+inline constexpr uint32_t kPfW = 2;
+inline constexpr uint32_t kPfR = 4;
+
+// Section header types.
+inline constexpr uint32_t kShtNull = 0;
+inline constexpr uint32_t kShtProgbits = 1;
+inline constexpr uint32_t kShtSymtab = 2;
+inline constexpr uint32_t kShtStrtab = 3;
+inline constexpr uint32_t kShtRela = 4;
+inline constexpr uint32_t kShtNobits = 8;
+inline constexpr uint32_t kShtNote = 7;
+
+// VK64 relocation types carried in .rela sections (mirroring the x86_64
+// R_X86_64_64 / R_X86_64_32 / inverse-32 triple that Linux's `relocs` tool
+// collects into vmlinux.relocs).
+inline constexpr uint32_t kRVk64Abs64 = 1;
+inline constexpr uint32_t kRVk64Abs32 = 2;
+inline constexpr uint32_t kRVk64Inverse32 = 3;
+
+constexpr uint64_t ElfRInfo(uint32_t sym, uint32_t type) {
+  return (static_cast<uint64_t>(sym) << 32) | type;
+}
+constexpr uint32_t ElfRType(uint64_t info) { return static_cast<uint32_t>(info); }
+constexpr uint32_t ElfRSym(uint64_t info) { return static_cast<uint32_t>(info >> 32); }
+
+// Section header flags.
+inline constexpr uint64_t kShfWrite = 0x1;
+inline constexpr uint64_t kShfAlloc = 0x2;
+inline constexpr uint64_t kShfExecinstr = 0x4;
+
+// Symbol binding / type (st_info packing).
+inline constexpr uint8_t kStbLocal = 0;
+inline constexpr uint8_t kStbGlobal = 1;
+inline constexpr uint8_t kSttNotype = 0;
+inline constexpr uint8_t kSttObject = 1;
+inline constexpr uint8_t kSttFunc = 2;
+inline constexpr uint8_t kSttSection = 3;
+
+constexpr uint8_t ElfStInfo(uint8_t bind, uint8_t type) {
+  return static_cast<uint8_t>((bind << 4) | (type & 0xf));
+}
+constexpr uint8_t ElfStBind(uint8_t info) { return info >> 4; }
+constexpr uint8_t ElfStType(uint8_t info) { return info & 0xf; }
+
+// Special section indexes.
+inline constexpr uint16_t kShnUndef = 0;
+inline constexpr uint16_t kShnAbs = 0xfff1;
+
+#pragma pack(push, 1)
+
+struct Elf64Ehdr {
+  uint8_t e_ident[kEiNident];
+  uint16_t e_type;
+  uint16_t e_machine;
+  uint32_t e_version;
+  uint64_t e_entry;
+  uint64_t e_phoff;
+  uint64_t e_shoff;
+  uint32_t e_flags;
+  uint16_t e_ehsize;
+  uint16_t e_phentsize;
+  uint16_t e_phnum;
+  uint16_t e_shentsize;
+  uint16_t e_shnum;
+  uint16_t e_shstrndx;
+};
+
+struct Elf64Phdr {
+  uint32_t p_type;
+  uint32_t p_flags;
+  uint64_t p_offset;
+  uint64_t p_vaddr;
+  uint64_t p_paddr;
+  uint64_t p_filesz;
+  uint64_t p_memsz;
+  uint64_t p_align;
+};
+
+struct Elf64Shdr {
+  uint32_t sh_name;
+  uint32_t sh_type;
+  uint64_t sh_flags;
+  uint64_t sh_addr;
+  uint64_t sh_offset;
+  uint64_t sh_size;
+  uint32_t sh_link;
+  uint32_t sh_info;
+  uint64_t sh_addralign;
+  uint64_t sh_entsize;
+};
+
+struct Elf64Sym {
+  uint32_t st_name;
+  uint8_t st_info;
+  uint8_t st_other;
+  uint16_t st_shndx;
+  uint64_t st_value;
+  uint64_t st_size;
+};
+
+struct Elf64Rela {
+  uint64_t r_offset;
+  uint64_t r_info;
+  int64_t r_addend;
+};
+
+struct Elf64Nhdr {
+  uint32_t n_namesz;
+  uint32_t n_descsz;
+  uint32_t n_type;
+};
+
+#pragma pack(pop)
+
+static_assert(sizeof(Elf64Ehdr) == 64, "Elf64Ehdr must be 64 bytes");
+static_assert(sizeof(Elf64Phdr) == 56, "Elf64Phdr must be 56 bytes");
+static_assert(sizeof(Elf64Shdr) == 64, "Elf64Shdr must be 64 bytes");
+static_assert(sizeof(Elf64Sym) == 24, "Elf64Sym must be 24 bytes");
+static_assert(sizeof(Elf64Rela) == 24, "Elf64Rela must be 24 bytes");
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_ELF_ELF_TYPES_H_

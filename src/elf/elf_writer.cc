@@ -1,0 +1,289 @@
+#include "src/elf/elf_writer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "src/base/align.h"
+
+namespace imk {
+
+ElfWriter::ElfWriter(uint16_t machine, uint16_t type) : machine_(machine), type_(type) {
+  sections_.push_back(SectionSpec{});  // index 0: SHT_NULL
+}
+
+size_t ElfWriter::AddSection(SectionSpec spec) {
+  if (spec.addralign == 0) {
+    spec.addralign = 1;
+  }
+  sections_.push_back(std::move(spec));
+  return sections_.size() - 1;
+}
+
+void ElfWriter::AddLoadSegment(std::vector<size_t> section_indices, uint32_t flags,
+                               uint64_t paddr_delta) {
+  segments_.push_back(Segment{kPtLoad, flags, paddr_delta, std::move(section_indices)});
+}
+
+void ElfWriter::AddNoteSegment(size_t section_index) {
+  segments_.push_back(Segment{kPtNote, kPfR, 0, {section_index}});
+}
+
+void ElfWriter::AddSymbol(std::string name, uint64_t value, uint64_t size, uint8_t info,
+                          uint16_t shndx) {
+  symbols_.push_back(SymbolEntry{std::move(name), value, size, info, shndx});
+}
+
+Result<Bytes> ElfWriter::Finish() {
+  // Build .symtab / .strtab if any symbols were added.
+  if (!symbols_.empty()) {
+    ByteWriter strtab;
+    strtab.WriteU8(0);  // index 0: empty string
+    ByteWriter symtab;
+    // Null symbol.
+    symtab.WriteZeros(sizeof(Elf64Sym));
+    size_t local_count = 1;
+    // Locals must precede globals per the ELF spec.
+    std::stable_sort(symbols_.begin(), symbols_.end(),
+                     [](const SymbolEntry& a, const SymbolEntry& b) {
+                       return ElfStBind(a.info) < ElfStBind(b.info);
+                     });
+    for (const SymbolEntry& sym : symbols_) {
+      Elf64Sym out{};
+      out.st_name = static_cast<uint32_t>(strtab.size());
+      strtab.WriteString(sym.name);
+      strtab.WriteU8(0);
+      out.st_info = sym.info;
+      out.st_other = 0;
+      out.st_shndx = sym.shndx;
+      out.st_value = sym.value;
+      out.st_size = sym.size;
+      if (ElfStBind(sym.info) == kStbLocal) {
+        ++local_count;
+      }
+      ByteSpan raw(reinterpret_cast<const uint8_t*>(&out), sizeof(out));
+      symtab.WriteBytes(raw);
+    }
+    const size_t strtab_index = sections_.size() + 1;  // .symtab then .strtab
+    SectionSpec symtab_spec;
+    symtab_spec.name = ".symtab";
+    symtab_spec.type = kShtSymtab;
+    symtab_spec.addralign = 8;
+    symtab_spec.entsize = sizeof(Elf64Sym);
+    symtab_spec.data = symtab.Take();
+    // sh_link = string table index, sh_info = one past last local symbol.
+    // Encode via dedicated fields below (SectionSpec has no link/info, so we
+    // stash them after adding).
+    const size_t symtab_added = AddSection(std::move(symtab_spec));
+    SectionSpec strtab_spec;
+    strtab_spec.name = ".strtab";
+    strtab_spec.type = kShtStrtab;
+    strtab_spec.data = strtab.Take();
+    AddSection(std::move(strtab_spec));
+    (void)symtab_added;
+    (void)strtab_index;
+    symtab_link_info_ = {symtab_added, strtab_index, local_count};
+  }
+
+  // .shstrtab goes last.
+  ByteWriter shstr;
+  shstr.WriteU8(0);
+  std::vector<uint32_t> name_offsets(sections_.size() + 1, 0);
+  {
+    for (size_t i = 1; i < sections_.size(); ++i) {
+      name_offsets[i] = static_cast<uint32_t>(shstr.size());
+      shstr.WriteString(sections_[i].name);
+      shstr.WriteU8(0);
+    }
+    name_offsets[sections_.size()] = static_cast<uint32_t>(shstr.size());
+    shstr.WriteString(".shstrtab");
+    shstr.WriteU8(0);
+  }
+  SectionSpec shstrtab_spec;
+  shstrtab_spec.name = ".shstrtab";
+  shstrtab_spec.type = kShtStrtab;
+  shstrtab_spec.data = shstr.Take();
+  const size_t shstrtab_index = AddSection(std::move(shstrtab_spec));
+
+  const size_t num_sections = sections_.size();
+  const size_t num_segments = segments_.size();
+
+  // Layout: ehdr | phdrs | section data (segment-covered first, in segment
+  // order; then remaining sections) | shdrs.
+  std::vector<Elf64Shdr> shdrs(num_sections);
+  std::vector<bool> placed(num_sections, false);
+  placed[0] = true;
+
+  ByteWriter out;
+  out.WriteZeros(sizeof(Elf64Ehdr));
+  const size_t phoff = out.size();
+  out.WriteZeros(num_segments * sizeof(Elf64Phdr));
+
+  std::vector<Elf64Phdr> phdrs(num_segments);
+
+  // Segment file layout is congruent with the memory layout: every PT_LOAD
+  // lands at file offset base + (p_vaddr - first_vaddr). This keeps the file
+  // image executable in place (after zeroing trailing NOBITS), which the
+  // optimized compression-none bootstrap path (paper §3.3) relies on.
+  uint64_t first_seg_vaddr = UINT64_MAX;
+  for (const Segment& segment : segments_) {
+    if (segment.type == kPtLoad && !segment.sections.empty()) {
+      first_seg_vaddr = std::min(first_seg_vaddr, sections_[segment.sections.front()].addr);
+    }
+  }
+  const uint64_t segment_file_base = AlignUp(out.size(), 4096);
+
+  // Place segment-covered sections.
+  for (size_t si = 0; si < num_segments; ++si) {
+    const Segment& segment = segments_[si];
+    if (segment.sections.empty()) {
+      return InvalidArgumentError("segment with no sections");
+    }
+    for (size_t k = 0; k < segment.sections.size(); ++k) {
+      const size_t idx = segment.sections[k];
+      if (idx == 0 || idx >= num_sections) {
+        return InvalidArgumentError("segment references bad section index");
+      }
+      if (placed[idx]) {
+        return InvalidArgumentError("section placed in two segments");
+      }
+      if (k > 0) {
+        const SectionSpec& prev = sections_[segment.sections[k - 1]];
+        const uint64_t prev_size =
+            prev.type == kShtNobits ? prev.nobits_size : prev.data.size();
+        if (sections_[idx].addr < prev.addr + prev_size) {
+          return InvalidArgumentError("segment sections overlap or out of order");
+        }
+        if (prev.type == kShtNobits) {
+          return InvalidArgumentError("SHT_NOBITS section must be last in segment");
+        }
+      }
+    }
+
+    const SectionSpec& first = sections_[segment.sections.front()];
+    uint64_t seg_offset;
+    if (segment.type == kPtLoad) {
+      seg_offset = segment_file_base + (first.addr - first_seg_vaddr);
+      if (seg_offset < out.size()) {
+        return InvalidArgumentError("overlapping segment file layout (segments out of order?)");
+      }
+      out.WriteZeros(seg_offset - out.size());
+    } else {
+      out.AlignTo(std::max<uint64_t>(first.addralign, 8));
+      seg_offset = out.size();
+    }
+    const uint64_t seg_vaddr = first.addr;
+
+    uint64_t file_cursor_vaddr = seg_vaddr;
+    uint64_t memsz_end = seg_vaddr;
+    uint64_t filesz_end_offset = seg_offset;
+    for (const size_t idx : segment.sections) {
+      const SectionSpec& spec = sections_[idx];
+      Elf64Shdr& shdr = shdrs[idx];
+      shdr.sh_type = spec.type;
+      shdr.sh_flags = spec.flags;
+      shdr.sh_addr = spec.addr;
+      shdr.sh_addralign = spec.addralign;
+      shdr.sh_entsize = spec.entsize;
+      if (spec.type == kShtNobits) {
+        shdr.sh_offset = out.size();
+        shdr.sh_size = spec.nobits_size;
+        memsz_end = spec.addr + spec.nobits_size;
+      } else {
+        if (spec.addr < file_cursor_vaddr) {
+          return InternalError("vaddr cursor went backwards");
+        }
+        out.WriteZeros(spec.addr - file_cursor_vaddr);  // gap padding
+        shdr.sh_offset = out.size();
+        shdr.sh_size = spec.data.size();
+        out.WriteBytes(ByteSpan(spec.data));
+        file_cursor_vaddr = spec.addr + spec.data.size();
+        memsz_end = file_cursor_vaddr;
+        filesz_end_offset = out.size();
+      }
+      placed[idx] = true;
+    }
+
+    Elf64Phdr& phdr = phdrs[si];
+    phdr.p_type = segment.type;
+    phdr.p_flags = segment.flags;
+    phdr.p_offset = seg_offset;
+    phdr.p_vaddr = seg_vaddr;
+    phdr.p_paddr = seg_vaddr - segment.paddr_delta;
+    phdr.p_filesz = filesz_end_offset - seg_offset;
+    phdr.p_memsz = memsz_end - seg_vaddr;
+    phdr.p_align = std::max<uint64_t>(first.addralign, 8);
+  }
+
+  // Place remaining (non-alloc) sections.
+  for (size_t idx = 1; idx < num_sections; ++idx) {
+    if (placed[idx]) {
+      continue;
+    }
+    const SectionSpec& spec = sections_[idx];
+    Elf64Shdr& shdr = shdrs[idx];
+    out.AlignTo(std::max<uint64_t>(spec.addralign, 1));
+    shdr.sh_type = spec.type;
+    shdr.sh_flags = spec.flags;
+    shdr.sh_addr = spec.addr;
+    shdr.sh_addralign = spec.addralign;
+    shdr.sh_entsize = spec.entsize;
+    shdr.sh_offset = out.size();
+    if (spec.type == kShtNobits) {
+      shdr.sh_size = spec.nobits_size;
+    } else {
+      shdr.sh_size = spec.data.size();
+      out.WriteBytes(ByteSpan(spec.data));
+    }
+  }
+
+  // Section names + symtab links.
+  for (size_t idx = 1; idx < num_sections; ++idx) {
+    shdrs[idx].sh_name = name_offsets[idx];
+  }
+  if (symtab_link_info_.symtab_index != 0) {
+    shdrs[symtab_link_info_.symtab_index].sh_link =
+        static_cast<uint32_t>(symtab_link_info_.strtab_index);
+    shdrs[symtab_link_info_.symtab_index].sh_info =
+        static_cast<uint32_t>(symtab_link_info_.first_global);
+  }
+
+  // Section header table.
+  out.AlignTo(8);
+  const size_t shoff = out.size();
+  for (const Elf64Shdr& shdr : shdrs) {
+    ByteSpan raw(reinterpret_cast<const uint8_t*>(&shdr), sizeof(shdr));
+    out.WriteBytes(raw);
+  }
+
+  // ELF header.
+  Elf64Ehdr ehdr{};
+  ehdr.e_ident[0] = kElfMag0;
+  ehdr.e_ident[1] = kElfMag1;
+  ehdr.e_ident[2] = kElfMag2;
+  ehdr.e_ident[3] = kElfMag3;
+  ehdr.e_ident[kEiClass] = kElfClass64;
+  ehdr.e_ident[kEiData] = kElfData2Lsb;
+  ehdr.e_ident[kEiVersion] = kElfVersionCurrent;
+  ehdr.e_type = type_;
+  ehdr.e_machine = machine_;
+  ehdr.e_version = 1;
+  ehdr.e_entry = entry_;
+  ehdr.e_phoff = num_segments == 0 ? 0 : phoff;
+  ehdr.e_shoff = shoff;
+  ehdr.e_ehsize = sizeof(Elf64Ehdr);
+  ehdr.e_phentsize = sizeof(Elf64Phdr);
+  ehdr.e_phnum = static_cast<uint16_t>(num_segments);
+  ehdr.e_shentsize = sizeof(Elf64Shdr);
+  ehdr.e_shnum = static_cast<uint16_t>(num_sections);
+  ehdr.e_shstrndx = static_cast<uint16_t>(shstrtab_index);
+
+  Bytes image = out.Take();
+  std::memcpy(image.data(), &ehdr, sizeof(ehdr));
+  for (size_t si = 0; si < num_segments; ++si) {
+    std::memcpy(image.data() + phoff + si * sizeof(Elf64Phdr), &phdrs[si], sizeof(Elf64Phdr));
+  }
+  return image;
+}
+
+}  // namespace imk

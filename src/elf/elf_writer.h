@@ -1,0 +1,89 @@
+// ELF64 image builder used by the synthetic kernel generator.
+//
+// The writer produces fully valid ELF64 executables: program headers whose
+// file images cover their sections (with inter-section padding where virtual
+// addresses have gaps), a section header table, .symtab/.strtab built from
+// added symbols, and .shstrtab.
+#ifndef IMKASLR_SRC_ELF_ELF_WRITER_H_
+#define IMKASLR_SRC_ELF_ELF_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/elf/elf_types.h"
+
+namespace imk {
+
+// Description of one section to be emitted.
+struct SectionSpec {
+  std::string name;
+  uint32_t type = kShtProgbits;
+  uint64_t flags = 0;
+  uint64_t addr = 0;       // virtual address (0 for non-alloc sections)
+  uint64_t addralign = 1;  // required alignment of addr / file offset
+  uint64_t entsize = 0;
+  Bytes data;              // ignored for SHT_NOBITS
+  uint64_t nobits_size = 0;  // size for SHT_NOBITS sections
+};
+
+// Builds an ELF64 executable image in memory.
+class ElfWriter {
+ public:
+  ElfWriter(uint16_t machine, uint16_t type);
+
+  void set_entry(uint64_t entry) { entry_ = entry; }
+
+  // Adds a section; returns its index in the final section table. Index 0 is
+  // reserved for the null section, so the first added section gets index 1.
+  size_t AddSection(SectionSpec spec);
+
+  // Declares a PT_LOAD segment covering the given (already added) sections.
+  // Sections must be listed in increasing virtual address order and may not
+  // overlap. All but the last must not be SHT_NOBITS. `paddr_delta` is
+  // subtracted from vaddr to form paddr (kernels load at paddr != vaddr).
+  void AddLoadSegment(std::vector<size_t> section_indices, uint32_t flags, uint64_t paddr_delta);
+
+  // Declares a PT_NOTE segment covering one note section.
+  void AddNoteSegment(size_t section_index);
+
+  // Adds a symbol to the generated .symtab.
+  void AddSymbol(std::string name, uint64_t value, uint64_t size, uint8_t info, uint16_t shndx);
+
+  // Serializes the image. The writer may not be reused afterwards.
+  Result<Bytes> Finish();
+
+ private:
+  struct Segment {
+    uint32_t type;
+    uint32_t flags;
+    uint64_t paddr_delta;
+    std::vector<size_t> sections;
+  };
+  struct SymbolEntry {
+    std::string name;
+    uint64_t value;
+    uint64_t size;
+    uint8_t info;
+    uint16_t shndx;
+  };
+
+  struct SymtabLinkInfo {
+    size_t symtab_index = 0;
+    size_t strtab_index = 0;
+    size_t first_global = 0;
+  };
+
+  uint16_t machine_;
+  uint16_t type_;
+  uint64_t entry_ = 0;
+  std::vector<SectionSpec> sections_;  // index 0 = null section (empty spec)
+  std::vector<Segment> segments_;
+  std::vector<SymbolEntry> symbols_;
+  SymtabLinkInfo symtab_link_info_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_ELF_ELF_WRITER_H_

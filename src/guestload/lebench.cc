@@ -1,0 +1,82 @@
+#include "src/guestload/lebench.h"
+
+#include "src/isa/icache.h"
+
+namespace imk {
+
+std::vector<LeBenchOp> DefaultLeBenchOps(uint32_t num_syscalls) {
+  std::vector<LeBenchOp> ops = {
+      {"ref", 0, 0},
+      {"cpu", 1, 64},
+      {"context switch", 2, 256},
+      {"small read", 3, 4 * 1024},
+      {"big read", 3, 256 * 1024},
+      {"small write", 4, 4 * 1024},
+      {"big write", 4, 256 * 1024},
+      {"small mmap", 5, 16 * 1024},
+      {"big mmap", 5, 1024 * 1024},
+      {"fork", 6, 64 * 1024},
+      {"thread create", 7, 32 * 1024},
+      {"small page fault", 0, 4 * 1024},
+      {"big page fault", 1, 512 * 1024},
+      {"select", 2, 1024},
+      {"poll", 3, 1024},
+      {"epoll", 4, 1024},
+  };
+  for (LeBenchOp& op : ops) {
+    op.syscall_id %= num_syscalls;
+  }
+  return ops;
+}
+
+Result<std::vector<LeBenchResult>> RunLeBench(MicroVm& vm, const KernelBuildInfo& kernel,
+                                              uint32_t iterations,
+                                              const IcacheConfig& icache_config) {
+  std::vector<LeBenchOp> ops = DefaultLeBenchOps(kernel.num_syscalls);
+
+  IcacheModel icache(icache_config);
+  vm.set_icache(&icache);
+
+  struct Accumulator {
+    uint64_t cycles = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t guest_result = 0;
+  };
+  std::vector<Accumulator> totals(ops.size());
+
+  // Warm-up round (cold-cache compulsory misses are not what Figure 11
+  // measures), then timed round-robin rounds.
+  for (uint32_t round = 0; round < iterations + 1; ++round) {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const uint64_t hits_before = icache.hits();
+      const uint64_t misses_before = icache.misses();
+      IMK_ASSIGN_OR_RETURN(VcpuOutcome outcome,
+                           vm.CallGuest(kernel.syscall_entry_vaddr, ops[i].syscall_id,
+                                        ops[i].arg, 1ull << 28));
+      if (round == 0) {
+        continue;
+      }
+      totals[i].cycles += outcome.run.stats.cycles;
+      totals[i].hits += icache.hits() - hits_before;
+      totals[i].misses += icache.misses() - misses_before;
+      totals[i].guest_result = outcome.r0;
+    }
+  }
+  vm.set_icache(nullptr);
+
+  std::vector<LeBenchResult> results(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    results[i].name = ops[i].name;
+    results[i].cycles_per_iteration =
+        static_cast<double>(totals[i].cycles) / static_cast<double>(iterations);
+    const uint64_t accesses = totals[i].hits + totals[i].misses;
+    results[i].icache_miss_rate =
+        accesses == 0 ? 0.0
+                      : static_cast<double>(totals[i].misses) / static_cast<double>(accesses);
+    results[i].guest_result = totals[i].guest_result;
+  }
+  return results;
+}
+
+}  // namespace imk

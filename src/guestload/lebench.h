@@ -1,0 +1,52 @@
+// LEBench-style guest microbenchmarks (paper §5.4, Figure 11).
+//
+// LEBench times performance-critical kernel operations. Here each operation
+// is a guest "syscall": the vCPU enters the kernel's syscall dispatcher,
+// which indirect-calls a handler that walks its helper functions (contiguous
+// at link time; scattered by FGKASLR) and performs a size-dependent buffer
+// loop. Runs attach an L1 i-cache model, and results are reported in
+// simulated cycles — reproducing the paper's finding that KASLR is free at
+// runtime while FGKASLR pays a few percent through i-cache locality loss.
+#ifndef IMKASLR_SRC_GUESTLOAD_LEBENCH_H_
+#define IMKASLR_SRC_GUESTLOAD_LEBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/isa/icache.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+
+// One LEBench operation: a syscall id plus an argument (buffer bytes).
+struct LeBenchOp {
+  std::string name;
+  uint64_t syscall_id = 0;
+  uint64_t arg = 0;
+};
+
+// The operation mix, mirroring LEBench's small/big variants of hot syscalls.
+// Ids are taken modulo the kernel's syscall count.
+std::vector<LeBenchOp> DefaultLeBenchOps(uint32_t num_syscalls);
+
+// Per-operation result.
+struct LeBenchResult {
+  std::string name;
+  double cycles_per_iteration = 0;
+  double icache_miss_rate = 0;
+  uint64_t guest_result = 0;  // handler return value (validated by tests)
+};
+
+// Runs the ops round-robin for `iterations` rounds against a booted VM.
+// Round-robin matters: it keeps each op contending for the modeled L1i the
+// way a real workload mix would. `icache` defaults to the Haswell-class
+// geometry; tests with tiny kernels shrink it to create equivalent pressure.
+Result<std::vector<LeBenchResult>> RunLeBench(MicroVm& vm, const KernelBuildInfo& kernel,
+                                              uint32_t iterations,
+                                              const IcacheConfig& icache = IcacheConfig());
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_GUESTLOAD_LEBENCH_H_

@@ -1,0 +1,47 @@
+#include "src/isa/assembler.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace imk {
+
+void Assembler::Bind(Label label) {
+  LabelState& state = labels_[label];
+  if (state.bound) {
+    std::fprintf(stderr, "assembler: label bound twice\n");
+    std::abort();
+  }
+  state.bound = true;
+  state.position = code_.size();
+  // Patch earlier forward references: rel32 is relative to the end of the
+  // branch instruction, which is always the 4 bytes following the field.
+  for (uint64_t fixup : state.fixups) {
+    const int64_t rel = static_cast<int64_t>(state.position) - (static_cast<int64_t>(fixup) + 4);
+    code_.PatchU32(fixup, static_cast<uint32_t>(static_cast<int32_t>(rel)));
+  }
+  state.fixups.clear();
+}
+
+void Assembler::EmitBranchTarget(Label label) {
+  LabelState& state = labels_[label];
+  if (state.bound) {
+    const int64_t rel =
+        static_cast<int64_t>(state.position) - (static_cast<int64_t>(code_.size()) + 4);
+    code_.WriteU32(static_cast<uint32_t>(static_cast<int32_t>(rel)));
+  } else {
+    state.fixups.push_back(code_.size());
+    code_.WriteU32(0);
+  }
+}
+
+Bytes Assembler::TakeCode() {
+  for (const LabelState& state : labels_) {
+    if (!state.bound || !state.fixups.empty()) {
+      std::fprintf(stderr, "assembler: unbound label at finalize\n");
+      std::abort();
+    }
+  }
+  return code_.Take();
+}
+
+}  // namespace imk

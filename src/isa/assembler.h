@@ -1,0 +1,197 @@
+// VK64 assembler: emits machine code, records relocation sites for the
+// three address-immediate classes, and supports local labels for branches.
+#ifndef IMKASLR_SRC_ISA_ASSEMBLER_H_
+#define IMKASLR_SRC_ISA_ASSEMBLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/isa/isa.h"
+
+namespace imk {
+
+// The three Linux relocation classes (see paper §3.2).
+enum class RelocClass : uint8_t {
+  kAbs64 = 0,      // 64-bit absolute virtual address: add offset
+  kAbs32 = 1,      // 32-bit absolute virtual address: add offset
+  kInverse32 = 2,  // 32-bit inverse (C - vaddr): subtract offset
+};
+
+// A relocatable field: `offset` bytes into the assembled blob.
+struct RelocSite {
+  RelocClass reloc_class;
+  uint64_t offset;
+};
+
+// Emits VK64 code at an assumed base virtual address. Address-carrying
+// instructions take link-time virtual addresses and record reloc sites.
+class Assembler {
+ public:
+  explicit Assembler(uint64_t base_vaddr) : base_vaddr_(base_vaddr) {}
+
+  // --- plain instructions ---
+  void Nop() { Op(Opcode::kNop); }
+  void Halt() { Op(Opcode::kHalt); }
+  void Ret() { Op(Opcode::kRet); }
+  void LoadI(uint8_t rd, uint64_t imm) {
+    Op(Opcode::kLoadI);
+    code_.WriteU8(rd);
+    code_.WriteU64(imm);
+  }
+  void Mov(uint8_t rd, uint8_t rs) { RegReg(Opcode::kMov, rd, rs); }
+  void Add(uint8_t rd, uint8_t rs) { RegReg(Opcode::kAdd, rd, rs); }
+  void Sub(uint8_t rd, uint8_t rs) { RegReg(Opcode::kSub, rd, rs); }
+  void Xor(uint8_t rd, uint8_t rs) { RegReg(Opcode::kXor, rd, rs); }
+  void Mul(uint8_t rd, uint8_t rs) { RegReg(Opcode::kMul, rd, rs); }
+  void ShrI(uint8_t rd, uint8_t shift) {
+    Op(Opcode::kShrI);
+    code_.WriteU8(rd);
+    code_.WriteU8(shift);
+  }
+  void ShlI(uint8_t rd, uint8_t shift) {
+    Op(Opcode::kShlI);
+    code_.WriteU8(rd);
+    code_.WriteU8(shift);
+  }
+  void AndI(uint8_t rd, uint32_t imm) {
+    Op(Opcode::kAndI);
+    code_.WriteU8(rd);
+    code_.WriteU32(imm);
+  }
+  void AddI(uint8_t rd, int32_t imm) {
+    Op(Opcode::kAddI);
+    code_.WriteU8(rd);
+    code_.WriteU32(static_cast<uint32_t>(imm));
+  }
+  void Ld64(uint8_t rd, uint8_t rs, int32_t disp) { Mem(Opcode::kLd64, rd, rs, disp); }
+  void St64(uint8_t rd_base, uint8_t rs_value, int32_t disp) {
+    Mem(Opcode::kSt64, rd_base, rs_value, disp);
+  }
+  void Ld8(uint8_t rd, uint8_t rs, int32_t disp) { Mem(Opcode::kLd8, rd, rs, disp); }
+  void St8(uint8_t rd_base, uint8_t rs_value, int32_t disp) {
+    Mem(Opcode::kSt8, rd_base, rs_value, disp);
+  }
+  void Probe(uint8_t rd, uint8_t rs, int32_t disp) { Mem(Opcode::kProbe, rd, rs, disp); }
+  void Push(uint8_t rs) {
+    Op(Opcode::kPush);
+    code_.WriteU8(rs);
+  }
+  void Pop(uint8_t rd) {
+    Op(Opcode::kPop);
+    code_.WriteU8(rd);
+  }
+  void CallR(uint8_t rs) {
+    Op(Opcode::kCallR);
+    code_.WriteU8(rs);
+  }
+  void RdPc(uint8_t rd) {
+    Op(Opcode::kRdPc);
+    code_.WriteU8(rd);
+  }
+  void Out(uint16_t port, uint8_t rs) {
+    Op(Opcode::kOut);
+    code_.WriteU16(port);
+    code_.WriteU8(rs);
+  }
+  void In(uint8_t rd, uint16_t port) {
+    Op(Opcode::kIn);
+    code_.WriteU16(port);
+    code_.WriteU8(rd);
+  }
+
+  // --- address-carrying instructions (record reloc sites) ---
+  void LoadA64(uint8_t rd, uint64_t vaddr) {
+    Op(Opcode::kLoadA64);
+    code_.WriteU8(rd);
+    relocs_.push_back(RelocSite{RelocClass::kAbs64, code_.size()});
+    code_.WriteU64(vaddr);
+  }
+  void LoadA32(uint8_t rd, uint64_t vaddr) {
+    Op(Opcode::kLoadA32);
+    code_.WriteU8(rd);
+    relocs_.push_back(RelocSite{RelocClass::kAbs32, code_.size()});
+    code_.WriteU32(static_cast<uint32_t>(vaddr));
+  }
+  // `value` must be of the form (constant - vaddr) truncated to 32 bits.
+  void LoadNeg32(uint8_t rd, uint32_t value) {
+    Op(Opcode::kLoadNeg32);
+    code_.WriteU8(rd);
+    relocs_.push_back(RelocSite{RelocClass::kInverse32, code_.size()});
+    code_.WriteU32(value);
+  }
+  void Call(uint64_t target_vaddr) {
+    Op(Opcode::kCall);
+    relocs_.push_back(RelocSite{RelocClass::kAbs64, code_.size()});
+    code_.WriteU64(target_vaddr);
+  }
+
+  // --- labels and branches (PC-relative; no relocation) ---
+  using Label = size_t;
+
+  Label NewLabel() {
+    labels_.push_back(LabelState{});
+    return labels_.size() - 1;
+  }
+  void Bind(Label label);
+  void Jmp(Label label) {
+    Op(Opcode::kJmp);
+    EmitBranchTarget(label);
+  }
+  void Jz(uint8_t rs, Label label) {
+    Op(Opcode::kJz);
+    code_.WriteU8(rs);
+    EmitBranchTarget(label);
+  }
+  void Jnz(uint8_t rs, Label label) {
+    Op(Opcode::kJnz);
+    code_.WriteU8(rs);
+    EmitBranchTarget(label);
+  }
+  void Jlt(uint8_t ra, uint8_t rb, Label label) {
+    Op(Opcode::kJlt);
+    code_.WriteU8(ra);
+    code_.WriteU8(rb);
+    EmitBranchTarget(label);
+  }
+
+  // --- results ---
+  uint64_t base_vaddr() const { return base_vaddr_; }
+  uint64_t current_vaddr() const { return base_vaddr_ + code_.size(); }
+  size_t size() const { return code_.size(); }
+  const Bytes& code() const { return code_.bytes(); }
+  const std::vector<RelocSite>& relocs() const { return relocs_; }
+
+  // Finalizes (all labels must be bound) and returns the code.
+  Bytes TakeCode();
+
+ private:
+  struct LabelState {
+    bool bound = false;
+    uint64_t position = 0;            // code offset of the label
+    std::vector<uint64_t> fixups;     // offsets of rel32 fields to patch
+  };
+
+  void Op(Opcode opcode) { code_.WriteU8(static_cast<uint8_t>(opcode)); }
+  void RegReg(Opcode opcode, uint8_t rd, uint8_t rs) {
+    Op(opcode);
+    code_.WriteU8(rd);
+    code_.WriteU8(rs);
+  }
+  void Mem(Opcode opcode, uint8_t r1, uint8_t r2, int32_t disp) {
+    Op(opcode);
+    code_.WriteU8(r1);
+    code_.WriteU8(r2);
+    code_.WriteU32(static_cast<uint32_t>(disp));
+  }
+  void EmitBranchTarget(Label label);
+
+  uint64_t base_vaddr_;
+  ByteWriter code_;
+  std::vector<RelocSite> relocs_;
+  std::vector<LabelState> labels_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_ISA_ASSEMBLER_H_

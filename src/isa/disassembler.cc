@@ -1,0 +1,165 @@
+#include "src/isa/disassembler.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/isa/isa.h"
+
+namespace imk {
+namespace {
+
+std::string Format(const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+int64_t SignExtend32(uint32_t v) { return static_cast<int64_t>(static_cast<int32_t>(v)); }
+
+}  // namespace
+
+Result<DecodedInsn> DisassembleOne(ByteSpan code, uint64_t vaddr) {
+  if (code.empty()) {
+    return OutOfRangeError("empty code span");
+  }
+  const uint8_t opcode = code[0];
+  const uint32_t length = InstructionLength(opcode);
+  if (length == 0) {
+    return ParseError(Format("invalid opcode 0x%02x at 0x%" PRIx64, opcode, vaddr));
+  }
+  if (length > code.size()) {
+    return OutOfRangeError("truncated instruction");
+  }
+  const uint8_t* p = code.data();
+
+  DecodedInsn insn;
+  insn.vaddr = vaddr;
+  insn.length = length;
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kNop:
+      insn.text = "nop";
+      break;
+    case Opcode::kHalt:
+      insn.text = "halt";
+      break;
+    case Opcode::kRet:
+      insn.text = "ret";
+      break;
+    case Opcode::kLoadI:
+      insn.text = Format("loadi r%u, 0x%" PRIx64, p[1] & 0xf, LoadLe64(p + 2));
+      break;
+    case Opcode::kLoadA64:
+      insn.text = Format("loada64 r%u, 0x%" PRIx64, p[1] & 0xf, LoadLe64(p + 2));
+      break;
+    case Opcode::kLoadA32:
+      insn.text = Format("loada32 r%u, 0x%" PRIx64, p[1] & 0xf,
+                         static_cast<uint64_t>(SignExtend32(LoadLe32(p + 2))));
+      break;
+    case Opcode::kLoadNeg32:
+      insn.text = Format("loadneg32 r%u, 0x%x", p[1] & 0xf, LoadLe32(p + 2));
+      break;
+    case Opcode::kMov:
+      insn.text = Format("mov r%u, r%u", p[1] & 0xf, p[2] & 0xf);
+      break;
+    case Opcode::kAdd:
+      insn.text = Format("add r%u, r%u", p[1] & 0xf, p[2] & 0xf);
+      break;
+    case Opcode::kSub:
+      insn.text = Format("sub r%u, r%u", p[1] & 0xf, p[2] & 0xf);
+      break;
+    case Opcode::kXor:
+      insn.text = Format("xor r%u, r%u", p[1] & 0xf, p[2] & 0xf);
+      break;
+    case Opcode::kMul:
+      insn.text = Format("mul r%u, r%u", p[1] & 0xf, p[2] & 0xf);
+      break;
+    case Opcode::kShrI:
+      insn.text = Format("shri r%u, %u", p[1] & 0xf, p[2] & 63);
+      break;
+    case Opcode::kShlI:
+      insn.text = Format("shli r%u, %u", p[1] & 0xf, p[2] & 63);
+      break;
+    case Opcode::kAndI:
+      insn.text = Format("andi r%u, 0x%x", p[1] & 0xf, LoadLe32(p + 2));
+      break;
+    case Opcode::kAddI:
+      insn.text = Format("addi r%u, %" PRId64, p[1] & 0xf, SignExtend32(LoadLe32(p + 2)));
+      break;
+    case Opcode::kLd64:
+      insn.text = Format("ld64 r%u, [r%u%+" PRId64 "]", p[1] & 0xf, p[2] & 0xf,
+                         SignExtend32(LoadLe32(p + 3)));
+      break;
+    case Opcode::kSt64:
+      insn.text = Format("st64 [r%u%+" PRId64 "], r%u", p[1] & 0xf,
+                         SignExtend32(LoadLe32(p + 3)), p[2] & 0xf);
+      break;
+    case Opcode::kLd8:
+      insn.text = Format("ld8 r%u, [r%u%+" PRId64 "]", p[1] & 0xf, p[2] & 0xf,
+                         SignExtend32(LoadLe32(p + 3)));
+      break;
+    case Opcode::kSt8:
+      insn.text = Format("st8 [r%u%+" PRId64 "], r%u", p[1] & 0xf,
+                         SignExtend32(LoadLe32(p + 3)), p[2] & 0xf);
+      break;
+    case Opcode::kProbe:
+      insn.text = Format("probe r%u, [r%u%+" PRId64 "]", p[1] & 0xf, p[2] & 0xf,
+                         SignExtend32(LoadLe32(p + 3)));
+      break;
+    case Opcode::kJmp:
+      insn.text = Format("jmp 0x%" PRIx64,
+                         vaddr + length + static_cast<uint64_t>(SignExtend32(LoadLe32(p + 1))));
+      break;
+    case Opcode::kJz:
+      insn.text = Format("jz r%u, 0x%" PRIx64, p[1] & 0xf,
+                         vaddr + length + static_cast<uint64_t>(SignExtend32(LoadLe32(p + 2))));
+      break;
+    case Opcode::kJnz:
+      insn.text = Format("jnz r%u, 0x%" PRIx64, p[1] & 0xf,
+                         vaddr + length + static_cast<uint64_t>(SignExtend32(LoadLe32(p + 2))));
+      break;
+    case Opcode::kJlt:
+      insn.text = Format("jlt r%u, r%u, 0x%" PRIx64, p[1] & 0xf, p[2] & 0xf,
+                         vaddr + length + static_cast<uint64_t>(SignExtend32(LoadLe32(p + 3))));
+      break;
+    case Opcode::kCall:
+      insn.text = Format("call 0x%" PRIx64, LoadLe64(p + 1));
+      break;
+    case Opcode::kCallR:
+      insn.text = Format("callr r%u", p[1] & 0xf);
+      break;
+    case Opcode::kPush:
+      insn.text = Format("push r%u", p[1] & 0xf);
+      break;
+    case Opcode::kPop:
+      insn.text = Format("pop r%u", p[1] & 0xf);
+      break;
+    case Opcode::kOut:
+      insn.text = Format("out 0x%x, r%u", LoadLe16(p + 1), p[3] & 0xf);
+      break;
+    case Opcode::kIn:
+      insn.text = Format("in r%u, 0x%x", p[3] & 0xf, LoadLe16(p + 1));
+      break;
+    case Opcode::kRdPc:
+      insn.text = Format("rdpc r%u", p[1] & 0xf);
+      break;
+  }
+  return insn;
+}
+
+Result<std::vector<DecodedInsn>> Disassemble(ByteSpan code, uint64_t vaddr) {
+  std::vector<DecodedInsn> insns;
+  size_t offset = 0;
+  while (offset < code.size()) {
+    IMK_ASSIGN_OR_RETURN(DecodedInsn insn,
+                         DisassembleOne(code.subspan(offset), vaddr + offset));
+    offset += insn.length;
+    insns.push_back(std::move(insn));
+  }
+  return insns;
+}
+
+}  // namespace imk

@@ -1,0 +1,31 @@
+// VK64 disassembler: renders machine code back to mnemonics. Used by tests
+// (assembler round-trips), debugging, and the layout-inspection tooling in
+// the examples.
+#ifndef IMKASLR_SRC_ISA_DISASSEMBLER_H_
+#define IMKASLR_SRC_ISA_DISASSEMBLER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace imk {
+
+// One decoded instruction.
+struct DecodedInsn {
+  uint64_t vaddr = 0;
+  uint32_t length = 0;
+  std::string text;  // e.g. "loada64 r3, 0xffffffff81000000"
+};
+
+// Decodes the instruction at the start of `code` (assumed to sit at `vaddr`).
+Result<DecodedInsn> DisassembleOne(ByteSpan code, uint64_t vaddr);
+
+// Decodes a whole range; stops at the first invalid opcode (reporting it as
+// an error) or the end of the span.
+Result<std::vector<DecodedInsn>> Disassemble(ByteSpan code, uint64_t vaddr);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_ISA_DISASSEMBLER_H_

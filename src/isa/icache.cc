@@ -1,0 +1,61 @@
+#include "src/isa/icache.h"
+
+#include <cstddef>
+
+namespace imk {
+namespace {
+
+uint32_t Log2(uint32_t x) {
+  uint32_t log = 0;
+  while ((1u << log) < x) {
+    ++log;
+  }
+  return log;
+}
+
+}  // namespace
+
+IcacheModel::IcacheModel(const IcacheConfig& config) : config_(config) {
+  num_sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
+  line_shift_ = Log2(config_.line_bytes);
+  lines_.assign(static_cast<size_t>(num_sets_) * config_.ways, Line{});
+}
+
+bool IcacheModel::Access(uint64_t vaddr) {
+  const uint64_t line_addr = vaddr >> line_shift_;
+  const uint32_t set = static_cast<uint32_t>(line_addr % num_sets_);
+  const uint64_t tag = line_addr / num_sets_;
+  Line* set_lines = &lines_[static_cast<size_t>(set) * config_.ways];
+  ++tick_;
+
+  Line* victim = nullptr;
+  for (uint32_t way = 0; way < config_.ways; ++way) {
+    Line& line = set_lines[way];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    // Victim preference: any invalid line, else least recently used.
+    if (victim == nullptr || (!line.valid && victim->valid) ||
+        (line.valid == victim->valid && line.lru < victim->lru)) {
+      victim = &line;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  ++misses_;
+  return false;
+}
+
+void IcacheModel::Reset() {
+  for (Line& line : lines_) {
+    line = Line{};
+  }
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace imk

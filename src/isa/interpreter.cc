@@ -1,0 +1,275 @@
+#include "src/isa/interpreter.h"
+
+#include <cstdio>
+
+namespace imk {
+namespace {
+
+std::string HexString(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+int64_t SignExtend32(uint32_t v) { return static_cast<int64_t>(static_cast<int32_t>(v)); }
+
+}  // namespace
+
+Interpreter::Interpreter(MutableByteSpan phys, LinearMap map) : phys_(phys), map_(map) {}
+
+Result<uint64_t> Interpreter::Translate(uint64_t vaddr, uint64_t size_bytes) const {
+  const LinearMap* map = nullptr;
+  if (map_.Contains(vaddr) && map_.Contains(vaddr + size_bytes - 1)) {
+    map = &map_;
+  } else if (secondary_map_.size != 0 && secondary_map_.Contains(vaddr) &&
+             secondary_map_.Contains(vaddr + size_bytes - 1)) {
+    map = &secondary_map_;
+  } else {
+    return GuestFaultError("unmapped guest virtual address " + HexString(vaddr));
+  }
+  const uint64_t phys = map->ToPhys(vaddr);
+  if (phys + size_bytes > phys_.size()) {
+    return GuestFaultError("guest physical address out of RAM: " + HexString(phys));
+  }
+  return phys;
+}
+
+Status Interpreter::HandleProbeFault(uint64_t insn_vaddr, uint64_t* pc) {
+  if (ex_table_count_ == 0) {
+    return GuestFaultError("probe fault with no exception table, pc=" + HexString(insn_vaddr));
+  }
+  // Binary search the sorted {fault_offset, fixup_offset} table in guest
+  // memory — the same search the kernel performs over __ex_table, which is
+  // why FGKASLR must keep the table sorted after shuffling (paper §3.2).
+  const uint64_t insn_offset = insn_vaddr - ex_table_text_base_;
+  uint64_t lo = 0;
+  uint64_t hi = ex_table_count_;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    IMK_ASSIGN_OR_RETURN(uint64_t entry_phys,
+                         Translate(ex_table_vaddr_ + mid * kExTableEntrySize, kExTableEntrySize));
+    const uint64_t fault_offset = LoadLe64(phys_.data() + entry_phys);
+    if (fault_offset == insn_offset) {
+      *pc = ex_table_text_base_ + LoadLe64(phys_.data() + entry_phys + 8);
+      return OkStatus();
+    }
+    if (fault_offset < insn_offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return GuestFaultError("probe fault with no exception entry, pc=" + HexString(insn_vaddr));
+}
+
+Result<RunResult> Interpreter::Run(uint64_t entry_vaddr, uint64_t stack_top_vaddr,
+                                   uint64_t max_instructions) {
+  uint64_t pc = entry_vaddr;
+  regs_[kRegSp] = stack_top_vaddr;
+  RunResult result;
+  ExecStats& stats = result.stats;
+
+  while (stats.instructions < max_instructions) {
+    // Fetch: longest instruction is 10 bytes; translate conservatively for
+    // the opcode byte first, then the full length.
+    IMK_ASSIGN_OR_RETURN(uint64_t opcode_phys, Translate(pc, 1));
+    const uint8_t opcode = phys_[opcode_phys];
+    const uint32_t length = InstructionLength(opcode);
+    if (length == 0) {
+      return GuestFaultError("invalid opcode at pc=" + HexString(pc));
+    }
+    IMK_ASSIGN_OR_RETURN(uint64_t insn_phys, Translate(pc, length));
+    const uint8_t* insn = phys_.data() + insn_phys;
+
+    if (icache_ != nullptr) {
+      stats.cycles += 1;
+      if (!icache_->Access(pc)) {
+        stats.cycles += icache_->config().miss_penalty_cycles;
+      }
+      // A fetch crossing a line boundary touches the next line too.
+      const uint64_t line = icache_->config().line_bytes;
+      if ((pc % line) + length > line) {
+        if (!icache_->Access(pc + length - 1)) {
+          stats.cycles += icache_->config().miss_penalty_cycles;
+        }
+      }
+    }
+
+    ++stats.instructions;
+    uint64_t next_pc = pc + length;
+
+    switch (static_cast<Opcode>(opcode)) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+        result.reason = StopReason::kHalt;
+        if (icache_ != nullptr) {
+          stats.icache_hits = icache_->hits();
+          stats.icache_misses = icache_->misses();
+        }
+        return result;
+      case Opcode::kLoadI:
+      case Opcode::kLoadA64:
+        regs_[insn[1] & 0xf] = LoadLe64(insn + 2);
+        break;
+      case Opcode::kLoadA32:
+      case Opcode::kLoadNeg32:
+        // Sign-extended, mirroring x86_64's handling of kernel addresses in
+        // the top 2 GiB of the canonical space.
+        regs_[insn[1] & 0xf] = static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 2)));
+        break;
+      case Opcode::kMov:
+        regs_[insn[1] & 0xf] = regs_[insn[2] & 0xf];
+        break;
+      case Opcode::kAdd:
+        regs_[insn[1] & 0xf] += regs_[insn[2] & 0xf];
+        break;
+      case Opcode::kSub:
+        regs_[insn[1] & 0xf] -= regs_[insn[2] & 0xf];
+        break;
+      case Opcode::kXor:
+        regs_[insn[1] & 0xf] ^= regs_[insn[2] & 0xf];
+        break;
+      case Opcode::kMul:
+        regs_[insn[1] & 0xf] *= regs_[insn[2] & 0xf];
+        break;
+      case Opcode::kShrI:
+        regs_[insn[1] & 0xf] >>= (insn[2] & 63);
+        break;
+      case Opcode::kShlI:
+        regs_[insn[1] & 0xf] <<= (insn[2] & 63);
+        break;
+      case Opcode::kAndI:
+        regs_[insn[1] & 0xf] &= LoadLe32(insn + 2);
+        break;
+      case Opcode::kAddI:
+        regs_[insn[1] & 0xf] =
+            static_cast<uint64_t>(static_cast<int64_t>(regs_[insn[1] & 0xf]) +
+                                  SignExtend32(LoadLe32(insn + 2)));
+        break;
+      case Opcode::kLd64: {
+        const uint64_t addr =
+            regs_[insn[2] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
+        IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(addr, 8));
+        regs_[insn[1] & 0xf] = LoadLe64(phys_.data() + phys);
+        break;
+      }
+      case Opcode::kSt64: {
+        const uint64_t addr =
+            regs_[insn[1] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
+        IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(addr, 8));
+        StoreLe64(phys_.data() + phys, regs_[insn[2] & 0xf]);
+        break;
+      }
+      case Opcode::kLd8: {
+        const uint64_t addr =
+            regs_[insn[2] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
+        IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(addr, 1));
+        regs_[insn[1] & 0xf] = phys_[phys];
+        break;
+      }
+      case Opcode::kSt8: {
+        const uint64_t addr =
+            regs_[insn[1] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
+        IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(addr, 1));
+        phys_[phys] = static_cast<uint8_t>(regs_[insn[2] & 0xf]);
+        break;
+      }
+      case Opcode::kProbe: {
+        const uint64_t addr =
+            regs_[insn[2] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
+        auto phys = Translate(addr, 8);
+        if (phys.ok()) {
+          regs_[insn[1] & 0xf] = LoadLe64(phys_.data() + *phys);
+        } else {
+          // Faulting probe: search the exception table for a fixup target.
+          regs_[insn[1] & 0xf] = 0;
+          IMK_RETURN_IF_ERROR(HandleProbeFault(pc, &next_pc));
+        }
+        break;
+      }
+      case Opcode::kJmp:
+        next_pc += static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 1)));
+        break;
+      case Opcode::kJz:
+        if (regs_[insn[1] & 0xf] == 0) {
+          next_pc += static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 2)));
+        }
+        break;
+      case Opcode::kJnz:
+        if (regs_[insn[1] & 0xf] != 0) {
+          next_pc += static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 2)));
+        }
+        break;
+      case Opcode::kJlt:
+        if (regs_[insn[1] & 0xf] < regs_[insn[2] & 0xf]) {
+          next_pc += static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
+        }
+        break;
+      case Opcode::kCall: {
+        const uint64_t target = LoadLe64(insn + 1);
+        regs_[kRegSp] -= 8;
+        IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
+        StoreLe64(phys_.data() + phys, next_pc);
+        next_pc = target;
+        break;
+      }
+      case Opcode::kCallR: {
+        const uint64_t target = regs_[insn[1] & 0xf];
+        regs_[kRegSp] -= 8;
+        IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
+        StoreLe64(phys_.data() + phys, next_pc);
+        next_pc = target;
+        break;
+      }
+      case Opcode::kRet: {
+        IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
+        next_pc = LoadLe64(phys_.data() + phys);
+        regs_[kRegSp] += 8;
+        break;
+      }
+      case Opcode::kPush: {
+        regs_[kRegSp] -= 8;
+        IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
+        StoreLe64(phys_.data() + phys, regs_[insn[1] & 0xf]);
+        break;
+      }
+      case Opcode::kPop: {
+        IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
+        regs_[insn[1] & 0xf] = LoadLe64(phys_.data() + phys);
+        regs_[kRegSp] += 8;
+        break;
+      }
+      case Opcode::kOut: {
+        if (!port_handler_) {
+          return GuestFaultError("OUT with no port handler, pc=" + HexString(pc));
+        }
+        const uint16_t port = LoadLe16(insn + 1);
+        IMK_RETURN_IF_ERROR(port_handler_(port, true, regs_[insn[3] & 0xf]).status());
+        break;
+      }
+      case Opcode::kIn: {
+        if (!port_handler_) {
+          return GuestFaultError("IN with no port handler, pc=" + HexString(pc));
+        }
+        const uint16_t port = LoadLe16(insn + 1);
+        IMK_ASSIGN_OR_RETURN(uint64_t value, port_handler_(port, false, 0));
+        regs_[insn[3] & 0xf] = value;
+        break;
+      }
+      case Opcode::kRdPc:
+        regs_[insn[1] & 0xf] = pc;
+        break;
+    }
+    pc = next_pc;
+  }
+
+  result.reason = StopReason::kInstructionCap;
+  if (icache_ != nullptr) {
+    stats.icache_hits = icache_->hits();
+    stats.icache_misses = icache_->misses();
+  }
+  return result;
+}
+
+}  // namespace imk

@@ -1,0 +1,105 @@
+// VK64 interpreter: executes guest code out of guest physical memory through
+// a linear virtual->physical mapping (modeling the early-boot page tables the
+// booting principal installs). Port I/O is delegated to a handler supplied
+// by the vCPU; faulting PROBE loads consult the guest's exception table the
+// way the kernel's fault handler searches __ex_table.
+#ifndef IMKASLR_SRC_ISA_INTERPRETER_H_
+#define IMKASLR_SRC_ISA_INTERPRETER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/isa/icache.h"
+#include "src/isa/isa.h"
+
+namespace imk {
+
+// A linear virtual->physical window: [virt_start, virt_start + size) maps to
+// [phys_start, phys_start + size).
+struct LinearMap {
+  uint64_t virt_start = 0;
+  uint64_t phys_start = 0;
+  uint64_t size = 0;
+
+  bool Contains(uint64_t vaddr) const { return vaddr - virt_start < size; }
+  uint64_t ToPhys(uint64_t vaddr) const { return vaddr - virt_start + phys_start; }
+};
+
+// Why Run() returned.
+enum class StopReason {
+  kHalt,            // guest executed HALT
+  kInstructionCap,  // max_instructions exhausted
+};
+
+// Execution statistics for one Run().
+struct ExecStats {
+  uint64_t instructions = 0;
+  uint64_t icache_hits = 0;
+  uint64_t icache_misses = 0;
+  // Simulated cycles: 1/instruction + icache miss penalty (only meaningful
+  // when an i-cache model is attached).
+  uint64_t cycles = 0;
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kHalt;
+  ExecStats stats;
+};
+
+class Interpreter {
+ public:
+  // Port handler: called for OUT (is_write=true, `value` = register) and IN
+  // (is_write=false; return value goes to the destination register). The
+  // handler may fail, which faults the guest.
+  using PortHandler = std::function<Result<uint64_t>(uint16_t port, bool is_write, uint64_t value)>;
+
+  // `phys` is the guest's physical memory; `map` the virtual window. The
+  // caller keeps `phys` alive while the interpreter runs.
+  Interpreter(MutableByteSpan phys, LinearMap map);
+
+  void set_port_handler(PortHandler handler) { port_handler_ = std::move(handler); }
+  // Optional i-cache model fed with every instruction fetch (slows execution;
+  // used by the LEBench harness).
+  void set_icache(IcacheModel* icache) { icache_ = icache; }
+  // Extra v->p window (e.g. an identity map of low memory alongside the
+  // randomized kernel window). Checked after the primary map.
+  void set_secondary_map(LinearMap map) { secondary_map_ = map; }
+
+  // Exception table: sorted {fault_offset, fixup_offset} pairs in guest
+  // memory, offsets relative to `text_base` (the runtime address of _text) —
+  // mirroring Linux's text-relative __ex_table, which plain KASLR never
+  // touches but FGKASLR must fix up and re-sort. Registered by the vCPU when
+  // the guest announces its tables.
+  void SetExceptionTable(uint64_t table_vaddr, uint64_t count, uint64_t text_base) {
+    ex_table_vaddr_ = table_vaddr;
+    ex_table_count_ = count;
+    ex_table_text_base_ = text_base;
+  }
+
+  // Runs from `entry_vaddr` with SP = `stack_top_vaddr` until HALT, a fault
+  // (error status), or `max_instructions`.
+  Result<RunResult> Run(uint64_t entry_vaddr, uint64_t stack_top_vaddr, uint64_t max_instructions);
+
+  uint64_t reg(int index) const { return regs_[index]; }
+  void set_reg(int index, uint64_t value) { regs_[index] = value; }
+
+ private:
+  Result<uint64_t> Translate(uint64_t vaddr, uint64_t size_bytes) const;
+  Status HandleProbeFault(uint64_t insn_vaddr, uint64_t* pc);
+
+  MutableByteSpan phys_;
+  LinearMap map_;
+  LinearMap secondary_map_{};  // size 0 = unused
+  PortHandler port_handler_;
+  IcacheModel* icache_ = nullptr;
+  uint64_t ex_table_vaddr_ = 0;
+  uint64_t ex_table_count_ = 0;
+  uint64_t ex_table_text_base_ = 0;
+  uint64_t regs_[kNumRegisters] = {};
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_ISA_INTERPRETER_H_

@@ -1,0 +1,55 @@
+#include "src/isa/isa.h"
+
+namespace imk {
+
+uint32_t InstructionLength(uint8_t opcode) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kRet:
+      return 1;
+    case Opcode::kPush:
+    case Opcode::kPop:
+    case Opcode::kCallR:
+    case Opcode::kRdPc:
+      return 2;
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kXor:
+    case Opcode::kMul:
+      return 3;
+    case Opcode::kShrI:
+    case Opcode::kShlI:
+      return 3;
+    case Opcode::kOut:
+    case Opcode::kIn:
+      return 4;  // opcode + port(2) + reg
+    case Opcode::kJmp:
+      return 5;  // opcode + rel32
+    case Opcode::kLoadA32:
+    case Opcode::kLoadNeg32:
+    case Opcode::kAndI:
+    case Opcode::kAddI:
+      return 6;  // opcode + reg + imm32
+    case Opcode::kJz:
+    case Opcode::kJnz:
+      return 6;  // opcode + reg + rel32
+    case Opcode::kJlt:
+      return 7;  // opcode + reg + reg + rel32
+    case Opcode::kLd64:
+    case Opcode::kSt64:
+    case Opcode::kLd8:
+    case Opcode::kSt8:
+    case Opcode::kProbe:
+      return 7;  // opcode + reg + reg + imm32
+    case Opcode::kLoadI:
+    case Opcode::kLoadA64:
+      return 10;  // opcode + reg + imm64
+    case Opcode::kCall:
+      return 9;  // opcode + imm64
+  }
+  return 0;
+}
+
+}  // namespace imk

@@ -1,0 +1,97 @@
+// VK64: the synthetic 64-bit guest ISA.
+//
+// The ISA exists so that randomized kernels are *executed*, not just byte-
+// diffed: instruction operands carry the same three classes of absolute
+// address immediates that Linux relocations fix up (64-bit absolute, 32-bit
+// sign-extended absolute, 32-bit inverse), so a missed or double-applied
+// relocation makes the guest fault or compute a wrong checksum.
+//
+// Encoding: one opcode byte followed by operands. Registers are one byte
+// (0..15). imm8/imm16/imm32/imm64 are little-endian. Branch targets are
+// rel32, relative to the address of the *next* instruction (PC-relative code
+// needs no relocation, exactly as on x86_64).
+#ifndef IMKASLR_SRC_ISA_ISA_H_
+#define IMKASLR_SRC_ISA_ISA_H_
+
+#include <cstdint>
+
+namespace imk {
+
+enum class Opcode : uint8_t {
+  kNop = 0x00,
+  kHalt = 0x01,
+  kLoadI = 0x02,     // rd, imm64: plain constant (never relocated)
+  kLoadA64 = 0x03,   // rd, imm64: absolute virtual address (reloc: abs64)
+  kLoadA32 = 0x04,   // rd, imm32: absolute vaddr, sign-extended (reloc: abs32)
+  kLoadNeg32 = 0x05,  // rd, imm32: value of the form C - vaddr (reloc: inverse32)
+  kMov = 0x06,       // rd, rs
+  kAdd = 0x07,       // rd, rs
+  kSub = 0x08,       // rd, rs
+  kXor = 0x09,       // rd, rs
+  kMul = 0x0a,       // rd, rs
+  kShrI = 0x0b,      // rd, imm8
+  kShlI = 0x0c,      // rd, imm8
+  kAndI = 0x0d,      // rd, imm32 (zero-extended)
+  kAddI = 0x0e,      // rd, imm32 (sign-extended)
+  kLd64 = 0x0f,      // rd, [rs + imm32]
+  kSt64 = 0x10,      // [rd + imm32], rs
+  kLd8 = 0x11,       // rd, [rs + imm32]
+  kSt8 = 0x12,       // [rd + imm32], rs
+  kJmp = 0x13,       // rel32
+  kJz = 0x14,        // rs, rel32
+  kJnz = 0x15,       // rs, rel32
+  kJlt = 0x16,       // ra, rb, rel32 (unsigned a < b)
+  kCall = 0x17,      // imm64 absolute virtual target (reloc: abs64)
+  kCallR = 0x18,     // rs (indirect)
+  kRet = 0x19,
+  kPush = 0x1a,      // rs
+  kPop = 0x1b,       // rd
+  kOut = 0x1c,       // imm16 port, rs
+  kIn = 0x1d,        // rd, imm16 port
+  kProbe = 0x1e,     // rd, [rs + imm32]: may fault; exception table consulted
+  kRdPc = 0x1f,      // rd = address of this instruction
+};
+
+inline constexpr int kNumRegisters = 16;
+// Register conventions used by generated code.
+inline constexpr uint8_t kRegSp = 13;   // stack pointer
+inline constexpr uint8_t kRegRet = 0;   // return value / first argument
+
+// Port map (the guest<->monitor contract; see src/vmm/vcpu.h).
+inline constexpr uint16_t kPortConsole = 0x3f8;       // write: one ASCII byte
+inline constexpr uint16_t kPortTimestamp = 0x3f0;     // write: boot phase marker id
+inline constexpr uint16_t kPortSetupTables = 0x3f1;   // write: vaddr of KernelTablesDescriptor
+inline constexpr uint16_t kPortKallsymsTouch = 0x3f2;  // write: about to read kallsyms
+inline constexpr uint16_t kPortInitDone = 0x3f4;      // write: init checksum; ends boot
+inline constexpr uint16_t kPortTestValue = 0x3f5;     // write: values checked by tests
+
+// Boot phase marker ids written to kPortTimestamp by the synthetic kernel.
+inline constexpr uint64_t kMarkerKernelEntry = 1;
+inline constexpr uint64_t kMarkerInitStart = 2;
+
+// In-guest descriptor handed to the monitor via kPortSetupTables. All vaddr
+// fields are virtual addresses (subject to relocation) or counts.
+// Layout (little-endian u64s):
+//   +0  runtime _text vaddr (base for the offset-relative tables below)
+//   +8  ex_table vaddr      +16 ex_table count
+//   +24 kallsyms vaddr      +32 kallsyms count
+//   +40 orc table vaddr     +48 orc count
+inline constexpr uint64_t kTablesDescriptorSize = 56;
+
+// Exception table entry: { fault_insn_vaddr: u64, fixup_insn_vaddr: u64 },
+// sorted ascending by fault_insn_vaddr (binary-searched on fault).
+inline constexpr uint64_t kExTableEntrySize = 16;
+
+// Kallsyms entry: { symbol_vaddr: u64, name_hash: u64 }, sorted by vaddr.
+inline constexpr uint64_t kKallsymsEntrySize = 16;
+
+// ORC entry: { insn_vaddr: u64, stack_words: u64 }, sorted by insn_vaddr.
+inline constexpr uint64_t kOrcEntrySize = 16;
+
+// Returns the byte length of the instruction starting with `opcode`, or 0 if
+// the opcode is invalid.
+uint32_t InstructionLength(uint8_t opcode);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_ISA_ISA_H_

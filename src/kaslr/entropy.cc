@@ -1,0 +1,54 @@
+#include "src/kaslr/entropy.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace imk {
+
+Result<EntropyReport> MeasureOffsetEntropy(const OffsetConstraints& constraints, uint64_t trials,
+                                           uint64_t seed, uint32_t buckets) {
+  EntropyReport report;
+  report.trials = trials;
+  report.buckets = buckets;
+  IMK_ASSIGN_OR_RETURN(report.possible_slots, VirtualSlots(constraints));
+  report.theoretical_bits = std::log2(static_cast<double>(report.possible_slots));
+
+  Rng rng(seed);
+  std::set<uint64_t> distinct;
+  std::vector<uint64_t> histogram(buckets, 0);
+  const uint64_t max_slide =
+      (report.possible_slots - 1) * constraints.constants.physical_align;
+  uint64_t min_seen = UINT64_MAX;
+  uint64_t max_seen = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    IMK_ASSIGN_OR_RETURN(OffsetChoice choice, ChooseRandomOffsets(constraints, rng));
+    distinct.insert(choice.virt_slide);
+    min_seen = std::min(min_seen, choice.virt_slide);
+    max_seen = std::max(max_seen, choice.virt_slide);
+    const uint64_t bucket =
+        max_slide == 0
+            ? 0
+            : std::min<uint64_t>(buckets - 1, choice.virt_slide * buckets / (max_slide + 1));
+    ++histogram[bucket];
+  }
+  report.distinct_slides = distinct.size();
+  report.min_slide = static_cast<double>(min_seen);
+  report.max_slide = static_cast<double>(max_seen);
+
+  const double expected = static_cast<double>(trials) / buckets;
+  double chi = 0;
+  for (uint64_t count : histogram) {
+    const double diff = static_cast<double>(count) - expected;
+    chi += diff * diff / expected;
+  }
+  report.chi_squared = chi;
+  return report;
+}
+
+double ShuffleEntropyBits(uint64_t num_sections) {
+  // log2(n!) = lgamma(n + 1) / ln(2)
+  return std::lgamma(static_cast<double>(num_sections) + 1.0) / std::log(2.0);
+}
+
+}  // namespace imk

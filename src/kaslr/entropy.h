@@ -1,0 +1,37 @@
+// Entropy analysis helpers (paper §4.3 argues in-monitor randomization has
+// entropy equivalent to Linux's; these utilities let tests and examples
+// quantify that claim).
+#ifndef IMKASLR_SRC_KASLR_ENTROPY_H_
+#define IMKASLR_SRC_KASLR_ENTROPY_H_
+
+#include <cstdint>
+
+#include "src/base/result.h"
+#include "src/kaslr/random_offset.h"
+
+namespace imk {
+
+// Empirical sampling of the offset picker.
+struct EntropyReport {
+  uint64_t trials = 0;
+  uint64_t possible_slots = 0;   // theoretical virtual slots
+  uint64_t distinct_slides = 0;  // distinct virtual slides observed
+  double theoretical_bits = 0;   // log2(possible_slots)
+  double min_slide = 0;
+  double max_slide = 0;
+  // Chi-squared statistic of the observed slide histogram vs uniform
+  // (buckets of equal width); near `buckets` for a healthy sampler.
+  double chi_squared = 0;
+  uint32_t buckets = 0;
+};
+
+// Samples ChooseRandomOffsets `trials` times.
+Result<EntropyReport> MeasureOffsetEntropy(const OffsetConstraints& constraints, uint64_t trials,
+                                           uint64_t seed, uint32_t buckets);
+
+// Upper bound on FGKASLR's extra entropy: log2(n!) for n shuffled sections.
+double ShuffleEntropyBits(uint64_t num_sections);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KASLR_ENTROPY_H_

@@ -1,0 +1,167 @@
+#include "src/kaslr/fgkaslr.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/align.h"
+#include "src/base/stopwatch.h"
+#include "src/isa/isa.h"
+
+namespace imk {
+namespace {
+
+constexpr char kFunctionSectionPrefix[] = ".text.fn_";
+
+// Sorts a table of {u64 key, u64 value} pairs in place by key.
+void SortPairTable(uint8_t* base, uint64_t count) {
+  struct Pair {
+    uint64_t key;
+    uint64_t value;
+  };
+  Pair* pairs = reinterpret_cast<Pair*>(base);
+  std::sort(pairs, pairs + count, [](const Pair& a, const Pair& b) { return a.key < b.key; });
+}
+
+// Fixes a table of text-relative {offset, aux} pairs whose offsets point at
+// (possibly moved) code, then re-sorts. `fix_aux` additionally treats the
+// second field as a text-relative code offset (the exception table's fixup
+// target); kallsyms/ORC auxes are hashes/depths and stay untouched.
+Status FixupOffsetTable(LoadedImageView& view, uint64_t table_vaddr, uint64_t count,
+                        uint64_t text_vaddr, const ShuffleMap& map, bool fix_aux) {
+  IMK_ASSIGN_OR_RETURN(uint8_t* base, view.At(table_vaddr, count * 16));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t* entry = base + i * 16;
+    const uint64_t offset = LoadLe64(entry);
+    StoreLe64(entry, offset + static_cast<uint64_t>(map.DeltaFor(text_vaddr + offset)));
+    if (fix_aux) {
+      const uint64_t aux = LoadLe64(entry + 8);
+      StoreLe64(entry + 8, aux + static_cast<uint64_t>(map.DeltaFor(text_vaddr + aux)));
+    }
+  }
+  SortPairTable(base, count);
+  return OkStatus();
+}
+
+// Locates a table by its locator symbol; returns {vaddr, byte size}.
+Result<std::pair<uint64_t, uint64_t>> FindTable(const std::vector<ElfSymbol>& symbols,
+                                                const std::string& name) {
+  for (const ElfSymbol& symbol : symbols) {
+    if (symbol.name == name) {
+      return std::make_pair(symbol.value, symbol.size);
+    }
+  }
+  return NotFoundError("table symbol not found: " + name);
+}
+
+}  // namespace
+
+Status FixupKallsymsTable(LoadedImageView& view, uint64_t table_vaddr, uint64_t count,
+                          const ShuffleMap& map) {
+  return FixupOffsetTable(view, table_vaddr, count, view.base_vaddr(), map, /*fix_aux=*/false);
+}
+
+Result<FgKaslrResult> ShuffleFunctions(const ElfReader& elf, LoadedImageView& view,
+                                       const FgKaslrParams& params, Rng& rng) {
+  FgKaslrResult result;
+
+  // ---- step 1: collect function sections ----
+  Stopwatch parse_timer;
+  struct Section {
+    uint64_t vaddr;
+    uint64_t size;
+  };
+  std::vector<Section> sections;
+  for (const ElfSection& section : elf.sections()) {
+    if (section.name.rfind(kFunctionSectionPrefix, 0) == 0 &&
+        (section.header.sh_flags & kShfExecinstr) != 0) {
+      sections.push_back(Section{section.header.sh_addr, section.header.sh_size});
+    }
+  }
+  IMK_ASSIGN_OR_RETURN(std::vector<ElfSymbol> symbols, elf.ReadSymbols());
+  result.timings.parse_ns = parse_timer.ElapsedNs();
+
+  if (sections.empty()) {
+    return FailedPreconditionError(
+        "kernel has no per-function sections (not built with fgkaslr support)");
+  }
+  std::sort(sections.begin(), sections.end(),
+            [](const Section& a, const Section& b) { return a.vaddr < b.vaddr; });
+
+  // ---- step 2: shuffle + contiguous re-layout ----
+  Stopwatch shuffle_timer;
+  std::vector<uint32_t> order(sections.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  // Fisher-Yates with the monitor's RNG (the entropy story of §4.3).
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+  const uint64_t region_start = sections.front().vaddr;
+  uint64_t region_end = sections.back().vaddr + sections.back().size;
+  uint64_t cursor = region_start;
+  std::vector<ShuffledRange> ranges(sections.size());
+  for (uint32_t slot = 0; slot < order.size(); ++slot) {
+    const Section& section = sections[order[slot]];
+    cursor = AlignUp(cursor, 16);
+    ranges[order[slot]] = ShuffledRange{section.vaddr, cursor, section.size};
+    cursor += section.size;
+  }
+  if (cursor > region_end) {
+    return InternalError("shuffled layout exceeds original text span");
+  }
+  result.timings.shuffle_ns = shuffle_timer.ElapsedNs();
+
+  // ---- step 3: move bytes ----
+  // The bootstrap loader must copy the entire function-section region before
+  // scattering it (sections would otherwise overwrite each other); so must
+  // we. This is the memory traffic the paper's Bootstrap Setup/heap analysis
+  // talks about.
+  Stopwatch move_timer;
+  IMK_ASSIGN_OR_RETURN(uint8_t* region, view.At(region_start, region_end - region_start));
+  Bytes scratch(region, region + (region_end - region_start));
+  for (const ShuffledRange& range : ranges) {
+    IMK_ASSIGN_OR_RETURN(uint8_t* dst, view.At(range.new_vaddr, range.size));
+    std::memcpy(dst, scratch.data() + (range.old_vaddr - region_start), range.size);
+  }
+  result.map = ShuffleMap(std::move(ranges));
+  result.sections_shuffled = static_cast<uint32_t>(sections.size());
+  result.timings.move_ns = move_timer.ElapsedNs();
+
+  // ---- step 4: table fixups ----
+  const uint64_t text_vaddr = view.base_vaddr();
+
+  {
+    Stopwatch kallsyms_timer;
+    IMK_ASSIGN_OR_RETURN(auto kallsyms, FindTable(symbols, "__kallsyms"));
+    result.kallsyms_vaddr = kallsyms.first;
+    result.kallsyms_count = kallsyms.second / kKallsymsEntrySize;
+    if (params.kallsyms == KallsymsFixup::kEager) {
+      IMK_RETURN_IF_ERROR(
+          FixupKallsymsTable(view, result.kallsyms_vaddr, result.kallsyms_count, result.map));
+    } else {
+      result.kallsyms_pending = true;
+    }
+    result.timings.kallsyms_ns = kallsyms_timer.ElapsedNs();
+  }
+
+  {
+    Stopwatch tables_timer;
+    IMK_ASSIGN_OR_RETURN(auto ex_table, FindTable(symbols, "__ex_table"));
+    IMK_RETURN_IF_ERROR(FixupOffsetTable(view, ex_table.first,
+                                         ex_table.second / kExTableEntrySize, text_vaddr,
+                                         result.map, /*fix_aux=*/true));
+    if (params.fixup_orc) {
+      auto orc = FindTable(symbols, "__orc_unwind");
+      if (orc.ok()) {
+        IMK_RETURN_IF_ERROR(FixupOffsetTable(view, orc->first, orc->second / kOrcEntrySize,
+                                             text_vaddr, result.map, /*fix_aux=*/false));
+      }
+    }
+    result.timings.tables_ns = tables_timer.ElapsedNs();
+  }
+
+  return result;
+}
+
+}  // namespace imk

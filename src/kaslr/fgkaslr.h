@@ -1,0 +1,76 @@
+// FGKASLR engine: function-granular randomization (paper §3.2, §4.3).
+//
+// Steps, mirroring the Linux fg-kaslr implementation:
+//   1. parse the kernel ELF section headers and collect the per-function
+//      sections produced by -ffunction-sections (".text.fn_*" here);
+//   2. Fisher-Yates shuffle and contiguous re-layout, giving every function
+//      a unique random offset;
+//   3. physically move the section bytes (via a full copy of the text range,
+//      as the bootstrap loader must do — and whose 8x heap cost the paper
+//      calls out in §5.2);
+//   4. fix up and re-sort the address-ordered tables that the shuffle broke:
+//      kallsyms, the exception table, and (optionally) the ORC unwind table.
+//
+// Kallsyms fixup is ~22% of FGKASLR boot cost (paper §4.3), so it can be
+// made lazy (deferred to first use, re-using the port hook) or skipped.
+#ifndef IMKASLR_SRC_KASLR_FGKASLR_H_
+#define IMKASLR_SRC_KASLR_FGKASLR_H_
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/elf/elf_reader.h"
+#include "src/kaslr/relocator.h"
+#include "src/kaslr/shuffle_map.h"
+
+namespace imk {
+
+// What to do about /proc/kallsyms (paper §4.3).
+enum class KallsymsFixup {
+  kEager,  // fix up during randomization (the fair-comparison baseline)
+  kLazy,   // defer to first guest access (the paper's proposal)
+  kSkip,   // never fix up (the paper's prototype behaviour)
+};
+
+struct FgKaslrParams {
+  KallsymsFixup kallsyms = KallsymsFixup::kEager;
+  bool fixup_orc = true;  // only relevant if the kernel has an ORC table
+};
+
+// Wall-clock breakdown of the engine's steps (measured host nanoseconds).
+struct FgKaslrTimings {
+  uint64_t parse_ns = 0;     // section collection
+  uint64_t shuffle_ns = 0;   // permutation + layout
+  uint64_t move_ns = 0;      // byte movement (incl. the text copy)
+  uint64_t kallsyms_ns = 0;  // kallsyms fixup + sort
+  uint64_t tables_ns = 0;    // ex_table / ORC fixup + sort
+
+  uint64_t total() const {
+    return parse_ns + shuffle_ns + move_ns + kallsyms_ns + tables_ns;
+  }
+};
+
+struct FgKaslrResult {
+  ShuffleMap map;
+  uint32_t sections_shuffled = 0;
+  FgKaslrTimings timings;
+
+  // For a deferred (lazy) kallsyms fixup: table location (link vaddrs) and
+  // entry count; kallsyms_pending is true until FixupKallsymsTable runs.
+  bool kallsyms_pending = false;
+  uint64_t kallsyms_vaddr = 0;
+  uint64_t kallsyms_count = 0;
+};
+
+// Runs steps 1-4 over a kernel loaded (at link addresses) in `view`.
+// `elf` reads the original image file for section/symbol metadata.
+Result<FgKaslrResult> ShuffleFunctions(const ElfReader& elf, LoadedImageView& view,
+                                       const FgKaslrParams& params, Rng& rng);
+
+// Fixes up and re-sorts a kallsyms table in place (used directly by the
+// engine in eager mode, and by the monitor's first-touch hook in lazy mode).
+Status FixupKallsymsTable(LoadedImageView& view, uint64_t table_vaddr, uint64_t count,
+                          const ShuffleMap& map);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KASLR_FGKASLR_H_

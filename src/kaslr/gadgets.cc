@@ -1,0 +1,124 @@
+#include "src/kaslr/gadgets.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/isa/isa.h"
+
+namespace imk {
+namespace {
+
+constexpr uint32_t kContextBytes = 24;  // preceding bytes used as a content key
+
+uint64_t Fnv1a(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash = (hash ^ data[i]) * 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// Content key of a gadget: the bytes from (gadget - context) through its RET
+// — and not a byte further, so the key is invariant to whatever function the
+// shuffle placed next.
+uint64_t GadgetKey(ByteSpan text, uint64_t vaddr, const Gadget& gadget) {
+  const uint64_t offset = gadget.vaddr - vaddr;
+  const uint64_t start = offset >= kContextBytes ? offset - kContextBytes : 0;
+  // Decode forward to find the gadget's byte length (ends at its RET).
+  uint64_t body = 0;
+  for (uint32_t i = 0; i < gadget.instructions && offset + body < text.size(); ++i) {
+    const uint32_t length = InstructionLength(text[offset + body]);
+    if (length == 0) {
+      break;
+    }
+    body += length;
+  }
+  const uint64_t len = std::min<uint64_t>(offset - start + body, text.size() - start);
+  return Fnv1a(text.data() + start, len);
+}
+
+}  // namespace
+
+std::vector<Gadget> ScanGadgets(ByteSpan text, uint64_t vaddr, const GadgetScanOptions& options) {
+  // First decode all instruction boundaries (VK64 decodes linearly).
+  std::vector<uint32_t> starts;
+  std::vector<uint8_t> opcode_at;
+  starts.reserve(text.size() / 4);
+  size_t offset = 0;
+  while (offset < text.size()) {
+    const uint8_t opcode = text[offset];
+    const uint32_t length = InstructionLength(opcode);
+    if (length == 0 || offset + length > text.size()) {
+      ++offset;  // skip padding/garbage byte and resync
+      continue;
+    }
+    starts.push_back(static_cast<uint32_t>(offset));
+    opcode_at.push_back(opcode);
+    offset += length;
+  }
+
+  // Walk backwards from every RET collecting suffixes.
+  std::vector<Gadget> gadgets;
+  for (size_t i = 0; i < starts.size(); ++i) {
+    if (static_cast<Opcode>(opcode_at[i]) != Opcode::kRet) {
+      continue;
+    }
+    const uint32_t longest =
+        std::min<uint32_t>(options.max_instructions, static_cast<uint32_t>(i) + 1);
+    for (uint32_t len = 1; len <= longest; ++len) {
+      gadgets.push_back(Gadget{vaddr + starts[i + 1 - len], len});
+    }
+  }
+  return gadgets;
+}
+
+Result<GadgetDiversity> CompareGadgetAddresses(const std::vector<Gadget>& a, ByteSpan text_a,
+                                               uint64_t vaddr_a, const std::vector<Gadget>& b,
+                                               ByteSpan text_b, uint64_t vaddr_b) {
+  if (a.empty() || b.empty()) {
+    return InvalidArgumentError("gadget sets must be non-empty");
+  }
+  // Index b's gadgets by content key; greedy first-unused matching.
+  std::unordered_multimap<uint64_t, size_t> index;
+  index.reserve(b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    index.emplace(GadgetKey(text_b, vaddr_b, b[i]), i);
+  }
+
+  std::vector<int64_t> deltas;
+  deltas.reserve(a.size());
+  std::vector<bool> used(b.size(), false);
+  for (const Gadget& gadget : a) {
+    const uint64_t key = GadgetKey(text_a, vaddr_a, gadget);
+    auto [begin, end] = index.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      if (!used[it->second]) {
+        used[it->second] = true;
+        deltas.push_back(static_cast<int64_t>(b[it->second].vaddr - gadget.vaddr));
+        break;
+      }
+    }
+  }
+  if (deltas.empty()) {
+    return InternalError("no gadgets matched by content");
+  }
+
+  // Modal delta.
+  std::unordered_map<int64_t, uint64_t> histogram;
+  for (int64_t delta : deltas) {
+    ++histogram[delta];
+  }
+  uint64_t modal = 0;
+  for (const auto& [delta, count] : histogram) {
+    modal = std::max(modal, count);
+  }
+
+  GadgetDiversity diversity;
+  diversity.gadgets = deltas.size();
+  diversity.same_delta = modal;
+  diversity.modal_delta_fraction =
+      static_cast<double>(modal) / static_cast<double>(deltas.size());
+  return diversity;
+}
+
+}  // namespace imk

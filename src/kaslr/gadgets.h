@@ -1,0 +1,56 @@
+// Code-reuse gadget analysis (paper §3: KASLR exists to make gadgets "hard
+// for an attacker to find").
+//
+// A gadget here is a short instruction suffix ending in RET — the VK64
+// analogue of a ROP gadget. The scanner enumerates them from kernel text and
+// quantifies what randomization does to their addresses across boots: with
+// KASLR all gadgets share one offset; with FGKASLR each moves independently.
+#ifndef IMKASLR_SRC_KASLR_GADGETS_H_
+#define IMKASLR_SRC_KASLR_GADGETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace imk {
+
+// One discovered gadget.
+struct Gadget {
+  uint64_t vaddr = 0;       // address of the gadget's first instruction
+  uint32_t instructions = 0;  // length in instructions, including the RET
+};
+
+struct GadgetScanOptions {
+  uint32_t max_instructions = 4;  // longest suffix to report (incl. RET)
+};
+
+// Scans executable bytes at `vaddr` for RET-terminated suffixes. The scan
+// decodes forward from every instruction boundary (VK64 has no overlapping
+// decodings from unaligned entry the way x86 does, so boundaries suffice).
+std::vector<Gadget> ScanGadgets(ByteSpan text, uint64_t vaddr,
+                                const GadgetScanOptions& options = GadgetScanOptions());
+
+// Address-diversity statistics for the same gadget population observed in
+// two differently randomized instances of one kernel.
+struct GadgetDiversity {
+  uint64_t gadgets = 0;          // gadgets compared
+  uint64_t same_delta = 0;       // gadgets whose (b - a) delta equals the modal delta
+  double modal_delta_fraction = 0;  // same_delta / gadgets; 1.0 = one leak reveals all
+};
+
+// Matches gadgets between two runtime scans of the same kernel by *content*
+// (the gadget bytes plus surrounding context — what an attacker with a copy
+// of the kernel binary would pattern-match), then reports how concentrated
+// the address deltas are. A modal fraction of 1.0 means a single leaked
+// gadget address reveals every other gadget (plain KASLR); FGKASLR scatters
+// the deltas. `text_a`/`text_b` are the scanned byte ranges, needed for the
+// context keys.
+Result<GadgetDiversity> CompareGadgetAddresses(const std::vector<Gadget>& a, ByteSpan text_a,
+                                               uint64_t vaddr_a, const std::vector<Gadget>& b,
+                                               ByteSpan text_b, uint64_t vaddr_b);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KASLR_GADGETS_H_

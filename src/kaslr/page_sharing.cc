@@ -1,0 +1,59 @@
+#include "src/kaslr/page_sharing.h"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace imk {
+namespace {
+
+// FNV-1a over one page; collisions are resolved by byte comparison below.
+uint64_t PageHash(const uint8_t* page, uint32_t page_size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (uint32_t i = 0; i < page_size; ++i) {
+    hash = (hash ^ page[i]) * 0x100000001b3ull;
+  }
+  return hash;
+}
+
+bool IsZeroPage(const uint8_t* page, uint32_t page_size) {
+  for (uint32_t i = 0; i < page_size; ++i) {
+    if (page[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PageSharingReport ComparePages(ByteSpan a, ByteSpan b, uint32_t page_size) {
+  PageSharingReport report;
+  report.pages_a = a.size() / page_size;
+  report.pages_b = b.size() / page_size;
+
+  // Index a's pages by hash (with chaining for verification).
+  std::unordered_multimap<uint64_t, const uint8_t*> index;
+  index.reserve(report.pages_a);
+  for (uint64_t i = 0; i < report.pages_a; ++i) {
+    const uint8_t* page = a.data() + i * page_size;
+    index.emplace(PageHash(page, page_size), page);
+  }
+
+  for (uint64_t i = 0; i < report.pages_b; ++i) {
+    const uint8_t* page = b.data() + i * page_size;
+    if (IsZeroPage(page, page_size)) {
+      ++report.zero_pages_b;
+      continue;
+    }
+    auto [begin, end] = index.equal_range(PageHash(page, page_size));
+    for (auto it = begin; it != end; ++it) {
+      if (std::memcmp(it->second, page, page_size) == 0) {
+        ++report.sharable_pages;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace imk

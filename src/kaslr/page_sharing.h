@@ -1,0 +1,40 @@
+// Content-based page sharing analysis (paper §6, "Memory density despite
+// KASLR").
+//
+// Hosts reclaim memory by merging identical pages across VMs (KSM-style).
+// The paper observes that fine-grained randomization nullifies this: every
+// FGKASLR instance lays its functions out differently, so almost no kernel
+// pages match between instances — unless the host deliberately reuses a
+// random seed for a group of related VMs, a trade-off only an *in-monitor*
+// implementation can manage. These utilities quantify that.
+#ifndef IMKASLR_SRC_KASLR_PAGE_SHARING_H_
+#define IMKASLR_SRC_KASLR_PAGE_SHARING_H_
+
+#include <cstdint>
+
+#include "src/base/bytes.h"
+
+namespace imk {
+
+// Result of comparing the page contents of two memory regions.
+struct PageSharingReport {
+  uint64_t pages_a = 0;
+  uint64_t pages_b = 0;
+  uint64_t zero_pages_b = 0;    // trivially sharable (zero) pages in b
+  uint64_t sharable_pages = 0;  // non-zero pages of b whose content exists in a
+
+  // Fraction of b's non-zero pages a KSM-style merger could share with a.
+  double SharableFraction() const {
+    const uint64_t nonzero = pages_b - zero_pages_b;
+    return nonzero == 0 ? 0.0
+                        : static_cast<double>(sharable_pages) / static_cast<double>(nonzero);
+  }
+};
+
+// Compares `b`'s pages against `a`'s by content (position-independent, the
+// way content-based merging works). Both sizes are truncated to whole pages.
+PageSharingReport ComparePages(ByteSpan a, ByteSpan b, uint32_t page_size = 4096);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KASLR_PAGE_SHARING_H_

@@ -1,0 +1,55 @@
+#include "src/kaslr/random_offset.h"
+
+#include <cmath>
+
+#include "src/base/align.h"
+#include "src/kernel/layout.h"
+
+namespace imk {
+
+KernelConstantsNote DefaultKernelConstants() {
+  KernelConstantsNote constants;
+  constants.physical_start = kPhysicalStart;
+  constants.physical_align = kPhysicalAlign;
+  constants.start_kernel_map = kStartKernelMap;
+  constants.kernel_image_size = kKernelImageSize;
+  return constants;
+}
+
+Result<uint64_t> VirtualSlots(const OffsetConstraints& constraints) {
+  const KernelConstantsNote& k = constraints.constants;
+  if (!IsPowerOfTwo(k.physical_align)) {
+    return InvalidArgumentError("physical_align must be a power of two");
+  }
+  const uint64_t span = k.physical_start + constraints.image_mem_size;
+  if (span > k.kernel_image_size) {
+    return InvalidArgumentError("kernel image too large for KERNEL_IMAGE_SIZE window");
+  }
+  // Slides 0, align, 2*align, ... while the image still fits below the limit.
+  return (k.kernel_image_size - span) / k.physical_align + 1;
+}
+
+Result<double> VirtualEntropyBits(const OffsetConstraints& constraints) {
+  IMK_ASSIGN_OR_RETURN(uint64_t slots, VirtualSlots(constraints));
+  return std::log2(static_cast<double>(slots));
+}
+
+Result<OffsetChoice> ChooseRandomOffsets(const OffsetConstraints& constraints, Rng& rng) {
+  const KernelConstantsNote& k = constraints.constants;
+  IMK_ASSIGN_OR_RETURN(uint64_t virt_slots, VirtualSlots(constraints));
+
+  const uint64_t phys_needed =
+      constraints.image_mem_size + constraints.reserved_tail;
+  if (k.physical_start + phys_needed > constraints.guest_mem_size) {
+    return InvalidArgumentError("guest memory too small for kernel image");
+  }
+  const uint64_t phys_slots =
+      (constraints.guest_mem_size - k.physical_start - phys_needed) / k.physical_align + 1;
+
+  OffsetChoice choice;
+  choice.virt_slide = rng.NextBelow(virt_slots) * k.physical_align;
+  choice.phys_load_addr = k.physical_start + rng.NextBelow(phys_slots) * k.physical_align;
+  return choice;
+}
+
+}  // namespace imk

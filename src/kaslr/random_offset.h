@@ -1,0 +1,50 @@
+// Random offset selection: the Linux KASLR placement algorithm (paper §4.3).
+//
+// Virtual: a CONFIG_PHYSICAL_ALIGN-aligned slide in [0, KERNEL_IMAGE_SIZE -
+// image_size - PHYSICAL_START] added to the link address — i.e. the kernel
+// lands between its default 16 MiB offset and the 1 GiB limit ("to avoid the
+// fixmap"). Physical: an aligned load address in [PHYSICAL_START,
+// guest_mem - reserved], decoupled from the virtual choice (Linux decoupled
+// these for extra virtual entropy; §3.2).
+#ifndef IMKASLR_SRC_KASLR_RANDOM_OFFSET_H_
+#define IMKASLR_SRC_KASLR_RANDOM_OFFSET_H_
+
+#include <cstdint>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/elf/elf_note.h"
+
+namespace imk {
+
+// Inputs to placement.
+struct OffsetConstraints {
+  uint64_t image_mem_size = 0;   // kernel memsz span (text..bss end)
+  uint64_t guest_mem_size = 0;   // physical RAM available
+  uint64_t reserved_tail = 0;    // phys bytes to keep free after the image (boot stack)
+  KernelConstantsNote constants;  // link-time constants (note or hardcoded)
+};
+
+// A placement decision.
+struct OffsetChoice {
+  uint64_t virt_slide = 0;      // added to every kernel virtual address
+  uint64_t phys_load_addr = 0;  // physical address of _text
+};
+
+// Fills `constants` with the hardcoded defaults from src/kernel/layout.h
+// (what the paper's prototype does when no ELF note is present).
+KernelConstantsNote DefaultKernelConstants();
+
+// Picks a random placement satisfying `constraints`. Fails if the image
+// cannot fit.
+Result<OffsetChoice> ChooseRandomOffsets(const OffsetConstraints& constraints, Rng& rng);
+
+// Number of distinct virtual slide values (the virtual entropy pool).
+Result<uint64_t> VirtualSlots(const OffsetConstraints& constraints);
+
+// log2(VirtualSlots): bits of virtual entropy.
+Result<double> VirtualEntropyBits(const OffsetConstraints& constraints);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KASLR_RANDOM_OFFSET_H_

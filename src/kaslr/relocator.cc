@@ -1,0 +1,85 @@
+#include "src/kaslr/relocator.h"
+
+namespace imk {
+namespace {
+
+// 32-bit fields must stay sign-extendable to the same kernel window: after
+// adjustment the value's high bit must still be set (top 2 GiB) for absolute
+// fields. Inverse fields are free-form 32-bit quantities.
+Status CheckAbs32(uint64_t adjusted) {
+  if ((adjusted & 0x80000000ull) == 0) {
+    return InternalError("abs32 relocation overflowed out of the kernel window");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<RelocStats> ApplyRelocations(LoadedImageView& view, const RelocInfo& relocs,
+                                    uint64_t virt_delta) {
+  RelocStats stats;
+  for (uint64_t field_vaddr : relocs.abs64) {
+    IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(field_vaddr, 8));
+    StoreLe64(p, LoadLe64(p) + virt_delta);
+    ++stats.applied_abs64;
+  }
+  for (uint64_t field_vaddr : relocs.abs32) {
+    IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(field_vaddr, 4));
+    const uint32_t adjusted = LoadLe32(p) + static_cast<uint32_t>(virt_delta);
+    IMK_RETURN_IF_ERROR(CheckAbs32(adjusted));
+    StoreLe32(p, adjusted);
+    ++stats.applied_abs32;
+  }
+  for (uint64_t field_vaddr : relocs.inverse32) {
+    IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(field_vaddr, 4));
+    StoreLe32(p, LoadLe32(p) - static_cast<uint32_t>(virt_delta));
+    ++stats.applied_inverse32;
+  }
+  return stats;
+}
+
+Result<RelocStats> ApplyRelocationsShuffled(LoadedImageView& view, const RelocInfo& relocs,
+                                            uint64_t virt_delta, const ShuffleMap& map) {
+  RelocStats stats;
+  // Sign-extension of the 32-bit entries mirrors x86_64: the recorded field
+  // address itself may live in a moved function, so translate it first.
+  for (uint64_t field_vaddr : relocs.abs64) {
+    IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(map.Translate(field_vaddr), 8));
+    const uint64_t value = LoadLe64(p);
+    const int64_t section_delta = map.DeltaFor(value);
+    if (section_delta != 0) {
+      ++stats.section_adjusted;
+    }
+    StoreLe64(p, value + static_cast<uint64_t>(section_delta) + virt_delta);
+    ++stats.applied_abs64;
+  }
+  for (uint64_t field_vaddr : relocs.abs32) {
+    IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(map.Translate(field_vaddr), 4));
+    const uint32_t value = LoadLe32(p);
+    // Recover the full link-time address to query the map.
+    const uint64_t full = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(value)));
+    const int64_t section_delta = map.DeltaFor(full);
+    if (section_delta != 0) {
+      ++stats.section_adjusted;
+    }
+    const uint32_t adjusted =
+        value + static_cast<uint32_t>(section_delta) + static_cast<uint32_t>(virt_delta);
+    IMK_RETURN_IF_ERROR(CheckAbs32(adjusted));
+    StoreLe32(p, adjusted);
+    ++stats.applied_abs32;
+  }
+  for (uint64_t field_vaddr : relocs.inverse32) {
+    IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(map.Translate(field_vaddr), 4));
+    const uint32_t value = LoadLe32(p);
+    // value = C - vaddr(sym). The symbol's link address is not recoverable
+    // from the field alone (C is arbitrary), so inverse fields only support
+    // targets in unshuffled sections — the same restriction Linux has
+    // (per-CPU inverse relocations target fixed sections). Only the global
+    // slide is subtracted.
+    StoreLe32(p, value - static_cast<uint32_t>(virt_delta));
+    ++stats.applied_inverse32;
+  }
+  return stats;
+}
+
+}  // namespace imk

@@ -1,0 +1,69 @@
+// The relocation engine: applies the three Linux relocation classes to a
+// loaded kernel image (paper §3.2). Shared verbatim by the in-monitor path
+// and the bootstrap-loader simulation — the paper's point is that the
+// *algorithm* is identical and only the controlling principal differs (§4.3).
+#ifndef IMKASLR_SRC_KASLR_RELOCATOR_H_
+#define IMKASLR_SRC_KASLR_RELOCATOR_H_
+
+#include <cstdint>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/kaslr/shuffle_map.h"
+#include "src/kernel/relocs.h"
+
+namespace imk {
+
+// A writable window onto a loaded kernel image: link-time virtual addresses
+// in [base_vaddr, base_vaddr + buffer.size()) resolve into `buffer` (which
+// typically aliases guest physical memory at the chosen load address).
+class LoadedImageView {
+ public:
+  LoadedImageView(MutableByteSpan buffer, uint64_t base_vaddr)
+      : buffer_(buffer), base_vaddr_(base_vaddr) {}
+
+  // Host pointer for `len` bytes at link vaddr `vaddr`; kOutOfRange if the
+  // range leaves the window.
+  Result<uint8_t*> At(uint64_t vaddr, uint64_t len) {
+    const uint64_t offset = vaddr - base_vaddr_;
+    if (offset >= buffer_.size() || len > buffer_.size() - offset) {
+      return OutOfRangeError("relocation field outside loaded image");
+    }
+    return buffer_.data() + offset;
+  }
+
+  uint64_t base_vaddr() const { return base_vaddr_; }
+  uint64_t size() const { return buffer_.size(); }
+  MutableByteSpan buffer() { return buffer_; }
+
+ private:
+  MutableByteSpan buffer_;
+  uint64_t base_vaddr_;
+};
+
+// Counters for one relocation pass.
+struct RelocStats {
+  uint64_t applied_abs64 = 0;
+  uint64_t applied_abs32 = 0;
+  uint64_t applied_inverse32 = 0;
+  uint64_t section_adjusted = 0;  // values additionally shifted by a shuffled-section delta
+
+  uint64_t total() const { return applied_abs64 + applied_abs32 + applied_inverse32; }
+};
+
+// Applies plain KASLR relocations: every listed field is adjusted by
+// `virt_delta` (added for abs64/abs32, subtracted for inverse32). 32-bit
+// fields are checked against overflow out of the sign-extendable window.
+Result<RelocStats> ApplyRelocations(LoadedImageView& view, const RelocInfo& relocs,
+                                    uint64_t virt_delta);
+
+// FGKASLR-aware variant: in addition to `virt_delta`, both the *location* of
+// each field (it may live inside a moved function) and the *value* it holds
+// (it may point into a moved function) are adjusted through a binary search
+// of the shuffle map — the extra per-entry work the paper's §3.2 describes.
+Result<RelocStats> ApplyRelocationsShuffled(LoadedImageView& view, const RelocInfo& relocs,
+                                            uint64_t virt_delta, const ShuffleMap& map);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KASLR_RELOCATOR_H_

@@ -1,0 +1,36 @@
+#include "src/kaslr/shuffle_map.h"
+
+#include <algorithm>
+
+namespace imk {
+
+ShuffleMap::ShuffleMap(std::vector<ShuffledRange> ranges) : ranges_(std::move(ranges)) {
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const ShuffledRange& a, const ShuffledRange& b) {
+              return a.old_vaddr < b.old_vaddr;
+            });
+}
+
+int64_t ShuffleMap::DeltaFor(uint64_t old_vaddr) const {
+  // Greatest range with old_vaddr <= query.
+  size_t lo = 0;
+  size_t hi = ranges_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (ranges_[mid].old_vaddr <= old_vaddr) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) {
+    return 0;
+  }
+  const ShuffledRange& range = ranges_[lo - 1];
+  if (old_vaddr - range.old_vaddr < range.size) {
+    return range.delta();
+  }
+  return 0;
+}
+
+}  // namespace imk

@@ -1,0 +1,48 @@
+// ShuffleMap: where did each function section move?
+//
+// Built by the FGKASLR engine after permuting function sections; queried by
+// binary search (as in the Linux FGKASLR implementation) to translate any
+// link-time virtual address into its post-shuffle address.
+#ifndef IMKASLR_SRC_KASLR_SHUFFLE_MAP_H_
+#define IMKASLR_SRC_KASLR_SHUFFLE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace imk {
+
+// One moved (or kept) section.
+struct ShuffledRange {
+  uint64_t old_vaddr = 0;
+  uint64_t new_vaddr = 0;
+  uint64_t size = 0;
+
+  int64_t delta() const { return static_cast<int64_t>(new_vaddr - old_vaddr); }
+};
+
+// Sorted-by-old_vaddr collection of moved ranges.
+class ShuffleMap {
+ public:
+  // Ranges must be non-overlapping in old-vaddr space; the constructor sorts.
+  explicit ShuffleMap(std::vector<ShuffledRange> ranges);
+  ShuffleMap() = default;
+
+  // Displacement to add to an address inside a moved range (0 if the address
+  // is not in any shuffled section). Binary search, like Linux FGKASLR.
+  int64_t DeltaFor(uint64_t old_vaddr) const;
+
+  // Maps an old address to its new location.
+  uint64_t Translate(uint64_t old_vaddr) const {
+    return old_vaddr + static_cast<uint64_t>(DeltaFor(old_vaddr));
+  }
+
+  const std::vector<ShuffledRange>& ranges() const { return ranges_; }
+  bool empty() const { return ranges_.empty(); }
+
+ private:
+  std::vector<ShuffledRange> ranges_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KASLR_SHUFFLE_MAP_H_

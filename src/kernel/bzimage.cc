@@ -1,0 +1,164 @@
+#include "src/kernel/bzimage.h"
+
+#include "src/base/crc32.h"
+#include "src/base/rng.h"
+#include "src/compress/registry.h"
+
+namespace imk {
+namespace {
+
+constexpr uint64_t kMagic = 0x474d495a424b4d49ull;  // "IMKBZIMG"
+constexpr uint32_t kVersion = 1;
+
+// Real bootstrap loaders (arch/x86/boot + the compressed stub) are a few
+// tens of KB of machine code; the blob is generated filler of that size so
+// Table 1 image sizes and I/O costs are faithful.
+constexpr size_t kLoaderBlobSize = 40 * 1024;
+
+Bytes MakeLoaderBlob(LoaderKind kind) {
+  Rng rng(0x10ade5 + static_cast<uint64_t>(kind));
+  Bytes blob(kLoaderBlobSize);
+  for (auto& b : blob) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  blob[0] = static_cast<uint8_t>(kind);
+  return blob;
+}
+
+}  // namespace
+
+size_t BzImage::TotalSize() const {
+  // header (fixed 64 bytes) + loader + payload
+  return 64 + loader.size() + compressed_payload.size();
+}
+
+Result<BzImage> BuildBzImage(ByteSpan vmlinux, const RelocInfo& relocs,
+                             const std::string& codec_name, LoaderKind loader_kind) {
+  IMK_ASSIGN_OR_RETURN(CodecPtr codec, MakeCodec(codec_name));
+
+  // Payload: [u64 elf_size | elf | relocs blob] — relocation info is
+  // appended to the kernel *before* compression, exactly as in Figure 2.
+  ByteWriter payload;
+  payload.WriteU64(vmlinux.size());
+  payload.WriteBytes(vmlinux);
+  if (!relocs.empty()) {
+    Bytes reloc_blob = SerializeRelocs(relocs);
+    payload.WriteBytes(ByteSpan(reloc_blob));
+  }
+  Bytes raw = payload.Take();
+
+  BzImage image;
+  image.codec = codec_name;
+  image.loader_kind = loader_kind;
+  image.loader = MakeLoaderBlob(loader_kind);
+  image.payload_raw_size = raw.size();
+  image.payload_crc32 = Crc32(ByteSpan(raw));
+  IMK_ASSIGN_OR_RETURN(image.compressed_payload, codec->Compress(ByteSpan(raw)));
+  return image;
+}
+
+Bytes SerializeBzImage(const BzImage& image) {
+  ByteWriter out;
+  out.WriteU64(kMagic);
+  out.WriteU32(kVersion);
+  out.WriteU8(static_cast<uint8_t>(image.loader_kind));
+  // Codec name: fixed 11-byte field, NUL padded.
+  char name[11] = {};
+  for (size_t i = 0; i < image.codec.size() && i < sizeof(name) - 1; ++i) {
+    name[i] = image.codec[i];
+  }
+  out.WriteBytes(ByteSpan(reinterpret_cast<const uint8_t*>(name), sizeof(name)));
+  out.WriteU64(image.loader.size());
+  out.WriteU64(image.compressed_payload.size());
+  out.WriteU64(image.payload_raw_size);
+  out.WriteU32(image.payload_crc32);
+  out.WriteZeros(64 - out.size());  // pad header to 64 bytes
+  out.WriteBytes(ByteSpan(image.loader));
+  out.WriteBytes(ByteSpan(image.compressed_payload));
+  return out.Take();
+}
+
+Result<BzImageInfo> ParseBzImageHeader(ByteSpan data) {
+  ByteReader reader(data);
+  IMK_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  if (magic != kMagic) {
+    return ParseError("bzimage: bad magic");
+  }
+  IMK_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return ParseError("bzimage: unsupported version");
+  }
+  IMK_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+  if (kind > static_cast<uint8_t>(LoaderKind::kNoneOptimized)) {
+    return ParseError("bzimage: bad loader kind");
+  }
+  IMK_ASSIGN_OR_RETURN(ByteSpan name_bytes, reader.ReadBytes(11));
+  BzImageInfo info;
+  info.loader_kind = static_cast<LoaderKind>(kind);
+  const char* name = reinterpret_cast<const char*>(name_bytes.data());
+  info.codec.assign(name, strnlen(name, 11));
+  IMK_ASSIGN_OR_RETURN(info.loader_size, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(info.payload_size, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(info.payload_raw_size, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(info.payload_crc32, reader.ReadU32());
+  if (info.TotalSize() > data.size()) {
+    return ParseError("bzimage: header sizes exceed image");
+  }
+  return info;
+}
+
+Result<BzImage> ParseBzImage(ByteSpan data) {
+  ByteReader reader(data);
+  IMK_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  if (magic != kMagic) {
+    return ParseError("bzimage: bad magic");
+  }
+  IMK_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return ParseError("bzimage: unsupported version");
+  }
+  IMK_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+  if (kind > static_cast<uint8_t>(LoaderKind::kNoneOptimized)) {
+    return ParseError("bzimage: bad loader kind");
+  }
+  IMK_ASSIGN_OR_RETURN(ByteSpan name_bytes, reader.ReadBytes(11));
+  IMK_ASSIGN_OR_RETURN(uint64_t loader_size, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(uint64_t payload_size, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(uint64_t raw_size, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(uint32_t crc, reader.ReadU32());
+  IMK_RETURN_IF_ERROR(reader.Seek(64));
+  IMK_ASSIGN_OR_RETURN(ByteSpan loader, reader.ReadBytes(loader_size));
+  IMK_ASSIGN_OR_RETURN(ByteSpan payload, reader.ReadBytes(payload_size));
+
+  BzImage image;
+  image.loader_kind = static_cast<LoaderKind>(kind);
+  const char* name = reinterpret_cast<const char*>(name_bytes.data());
+  image.codec.assign(name, strnlen(name, 11));
+  image.loader.assign(loader.begin(), loader.end());
+  image.compressed_payload.assign(payload.begin(), payload.end());
+  image.payload_raw_size = raw_size;
+  image.payload_crc32 = crc;
+  return image;
+}
+
+Result<BzPayload> DecompressPayload(const BzImage& image) {
+  IMK_ASSIGN_OR_RETURN(CodecPtr codec, MakeCodec(image.codec));
+  IMK_ASSIGN_OR_RETURN(
+      Bytes raw, codec->Decompress(ByteSpan(image.compressed_payload), image.payload_raw_size));
+  if (Crc32(ByteSpan(raw)) != image.payload_crc32) {
+    return ParseError("bzimage: payload CRC mismatch");
+  }
+  ByteReader reader((ByteSpan(raw)));
+  IMK_ASSIGN_OR_RETURN(uint64_t elf_size, reader.ReadU64());
+  IMK_ASSIGN_OR_RETURN(ByteSpan elf, reader.ReadBytes(elf_size));
+
+  BzPayload payload;
+  payload.vmlinux.assign(elf.begin(), elf.end());
+  if (reader.remaining() > 0) {
+    IMK_ASSIGN_OR_RETURN(ByteSpan reloc_bytes, reader.ReadBytes(reader.remaining()));
+    IMK_ASSIGN_OR_RETURN(payload.relocs, ParseRelocs(reloc_bytes));
+  }
+  return payload;
+}
+
+}  // namespace imk

@@ -1,0 +1,78 @@
+// bzImage container: the compressed kernel + bootstrap loader bundle
+// (paper Figure 2).
+//
+// A real bzImage concatenates a small bootstrap loader program with a
+// compressed blob holding the vmlinux image and — when CONFIG_RELOCATABLE —
+// its relocation table. This module reproduces that structure: a fixed
+// header, a loader blob (its *logic* runs in src/bootstrap; the blob itself
+// is sized realistically so image-size experiments are faithful), and the
+// compressed payload [vmlinux ++ relocs].
+#ifndef IMKASLR_SRC_KERNEL_BZIMAGE_H_
+#define IMKASLR_SRC_KERNEL_BZIMAGE_H_
+
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/kernel/relocs.h"
+
+namespace imk {
+
+// Variants of the bootstrap loader baked into an image (paper §3.3).
+enum class LoaderKind : uint8_t {
+  kStandard = 0,       // copy + decompress + parse + (relocate)
+  kNoneOptimized = 1,  // compression-none-optimized: no copy, no decompression
+};
+
+// Parsed / to-be-built bzImage.
+struct BzImage {
+  std::string codec;            // compression scheme name ("lz4", "none", ...)
+  LoaderKind loader_kind = LoaderKind::kStandard;
+  Bytes loader;                 // bootstrap loader blob
+  Bytes compressed_payload;     // codec-compressed [u64 elf_size | elf | relocs]
+  uint64_t payload_raw_size = 0;   // decompressed payload size
+  uint32_t payload_crc32 = 0;      // CRC of the decompressed payload
+
+  size_t TotalSize() const;
+};
+
+// Header-only view of an image (no payload copies): what a monitor reads
+// before deciding where to place the image in guest memory.
+struct BzImageInfo {
+  std::string codec;
+  LoaderKind loader_kind = LoaderKind::kStandard;
+  uint64_t loader_size = 0;
+  uint64_t payload_size = 0;      // compressed payload bytes
+  uint64_t payload_raw_size = 0;  // decompressed payload bytes
+  uint32_t payload_crc32 = 0;
+
+  // Offset of the payload within the serialized image.
+  uint64_t PayloadOffset() const { return 64 + loader_size; }
+  uint64_t TotalSize() const { return 64 + loader_size + payload_size; }
+};
+
+// Parses just the 64-byte header.
+Result<BzImageInfo> ParseBzImageHeader(ByteSpan data);
+
+// Builds a bzImage from a kernel ELF and its relocation info (pass an empty
+// RelocInfo for non-relocatable kernels). `codec_name` must be registered.
+Result<BzImage> BuildBzImage(ByteSpan vmlinux, const RelocInfo& relocs,
+                             const std::string& codec_name, LoaderKind loader_kind);
+
+// Serializes to the on-disk format.
+Bytes SerializeBzImage(const BzImage& image);
+
+// Parses an on-disk image (validates header fields and bounds).
+Result<BzImage> ParseBzImage(ByteSpan data);
+
+// Decompresses and splits a payload back into (vmlinux, relocs). Verifies
+// the CRC recorded in the image.
+struct BzPayload {
+  Bytes vmlinux;
+  RelocInfo relocs;
+};
+Result<BzPayload> DecompressPayload(const BzImage& image);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KERNEL_BZIMAGE_H_

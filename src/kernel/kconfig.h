@@ -1,0 +1,63 @@
+// Kernel configuration profiles: the three guest kernels of the paper's
+// Table 1 (Lupine / AWS / Ubuntu) crossed with the three randomization
+// variants (nokaslr / kaslr / fgkaslr). The numeric parameters reproduce the
+// paper's size *proportions* (Table 1) at a configurable scale factor.
+#ifndef IMKASLR_SRC_KERNEL_KCONFIG_H_
+#define IMKASLR_SRC_KERNEL_KCONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace imk {
+
+// Guest kernel size class (paper Table 1).
+enum class KernelProfile {
+  kLupine,  // small single-purpose unikernel-like config (20M vmlinux)
+  kAws,     // Firecracker reference microVM config (39M vmlinux)
+  kUbuntu,  // full distribution config (45M vmlinux)
+};
+
+// Randomization variant baked into the kernel build.
+enum class RandoMode {
+  kNone,     // CONFIG_RANDOMIZE_BASE off: no relocs emitted
+  kKaslr,    // relocatable kernel + relocation info
+  kFgKaslr,  // + per-function sections (-ffunction-sections analogue)
+};
+
+const char* KernelProfileName(KernelProfile profile);
+const char* RandoModeName(RandoMode mode);
+
+// Fully resolved kernel build parameters.
+struct KernelConfig {
+  KernelProfile profile = KernelProfile::kAws;
+  RandoMode rando = RandoMode::kKaslr;
+
+  // Fraction of the paper's full kernel sizes to synthesize. Benches default
+  // to 0.25 (see DESIGN.md §6 "Scale factor"); tests use much smaller.
+  double scale = 0.25;
+
+  // CONFIG_UNWINDER_ORC analogue; disabled by default as in all the paper's
+  // kernels (§4.3), but supported for the ablation bench.
+  bool unwinder_orc = false;
+
+  // Deterministic build seed (affects function sizes and layout filler).
+  uint64_t build_seed = 0x1234;
+
+  // ---- derived generation parameters (filled by Resolve()) ----
+  uint64_t text_bytes = 0;     // target .text payload
+  uint64_t rodata_bytes = 0;   // .rodata filler beyond the generated tables
+  uint64_t data_bytes = 0;     // .data filler beyond the generated tables
+  uint64_t bss_bytes = 0;
+  uint32_t num_functions = 0;  // shuffleable functions
+  uint32_t num_indirect = 0;   // functions called through the pointer table
+
+  // Builds a resolved config for a profile/mode/scale triple.
+  static KernelConfig Make(KernelProfile profile, RandoMode rando, double scale);
+
+  // "lupine-kaslr", "aws-fgkaslr", ...
+  std::string Name() const;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KERNEL_KCONFIG_H_

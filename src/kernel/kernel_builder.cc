@@ -1,0 +1,881 @@
+#include "src/kernel/kernel_builder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/align.h"
+#include "src/base/rng.h"
+#include "src/elf/elf_note.h"
+#include "src/elf/elf_types.h"
+#include "src/elf/elf_writer.h"
+#include "src/isa/assembler.h"
+#include "src/isa/isa.h"
+#include "src/kernel/layout.h"
+
+namespace imk {
+namespace {
+
+// Physical scratch area used by syscall handlers' buffer loops (below the
+// kernel's 16 MiB minimum load address, so always free).
+constexpr uint64_t kScratchPhys = 8ull << 20;
+constexpr uint64_t kFaultProbeAddr = 0x400;  // never mapped
+constexpr uint64_t kFaultContribution = 0x1234;
+constexpr uint64_t kSelftestMissValue = 0xdeadull;
+constexpr uint32_t kNumSyscalls = 8;
+
+// Deterministic per-entity values.
+uint64_t FnConst(uint32_t i) { return (uint64_t{i} * 2654435761u) & 0xffff; }
+uint64_t RodataValue(uint32_t k) { return (uint64_t{k} * 0x9e3779b97f4a7c15ull) >> 32; }
+uint64_t NameHash(uint32_t i) { return (uint64_t{i} + 1) * 0xff51afd7ed558ccdull; }
+uint64_t OrcWords(uint32_t i) { return (i % 8) + 1; }
+
+// Pool function roles, laid out in link order:
+//   [0, num_chain)                         chain functions
+//   [num_chain, +num_indirect)             indirect-call targets
+//   [.., +kNumSyscalls)                    syscall handlers
+//   [.., +num_helpers)                     syscall helpers
+//   [last]                                 fault function (ex_table exercise)
+struct PoolPlan {
+  uint32_t num_chain = 0;
+  uint32_t num_indirect = 0;
+  uint32_t num_handlers = 0;
+  uint32_t num_helpers = 0;
+  uint32_t total = 0;
+
+  uint32_t IndirectBase() const { return num_chain; }
+  uint32_t HandlerBase() const { return num_chain + num_indirect; }
+  uint32_t HelperBase() const { return HandlerBase() + num_handlers; }
+  uint32_t FaultIndex() const { return total - 1; }
+  uint32_t HelpersPerHandler() const { return num_helpers / num_handlers; }
+};
+
+PoolPlan MakePlan(const KernelConfig& config) {
+  PoolPlan plan;
+  plan.total = std::max<uint32_t>(config.num_functions, 32);
+  plan.num_handlers = kNumSyscalls;
+  plan.num_indirect = std::min<uint32_t>(config.num_indirect, plan.total / 4);
+  plan.num_helpers = std::min<uint32_t>(512, plan.total / 4);
+  plan.num_helpers -= plan.num_helpers % plan.num_handlers;  // divisible
+  if (plan.num_helpers < plan.num_handlers) {
+    plan.num_helpers = plan.num_handlers;
+  }
+  plan.num_chain = plan.total - plan.num_indirect - plan.num_handlers - plan.num_helpers - 1;
+  return plan;
+}
+
+// All addresses a function body may reference. Pass 1 uses dummies (sizes do
+// not depend on operand values); pass 2 uses the real layout.
+struct Addresses {
+  uint64_t text = kLinkTextVaddr;  // _text
+  std::vector<uint64_t> fn;        // pool function vaddrs
+  uint64_t rodata_values = kLinkTextVaddr;
+  uint64_t kallsyms = kLinkTextVaddr;
+  uint64_t ex_table = kLinkTextVaddr;
+  uint64_t orc = kLinkTextVaddr;
+  uint64_t fn_table = kLinkTextVaddr;
+  uint64_t handler_table = kLinkTextVaddr;
+  uint64_t descriptor = kLinkTextVaddr;
+  uint64_t orc_lookup = kLinkTextVaddr;
+  uint32_t kallsyms_count = 0;
+  uint32_t orc_count = 0;
+};
+
+// Emits checksum-neutral ALU filler of exactly `bytes` bytes (bytes >= 0,
+// multiple of 1; uses 10-byte LoadI and 3-byte Xor on a scratch register,
+// plus 1-byte Nops for the remainder). Immediates are drawn from a small
+// alphabet: real kernel text is dominated by recurring instruction patterns
+// and compresses ~4-5x, and the compression experiments (Figures 3, 4, 6)
+// depend on that ratio.
+void EmitFiller(Assembler& assembler, uint32_t bytes, Rng& rng) {
+  // Repeated multi-instruction motifs: compiled code is full of recurring
+  // idioms (prologues, spills, guard checks), which is what makes kernel
+  // text compress ~5x and decompress at near-memcpy speed.
+  while (bytes >= 10) {
+    const uint32_t motif_len = 1 + static_cast<uint32_t>(rng.NextBelow(4));
+    const uint32_t reps = 2 + static_cast<uint32_t>(rng.NextBelow(8));
+    uint64_t values[4];
+    for (uint32_t i = 0; i < motif_len; ++i) {
+      values[i] = 0x1000 + rng.NextBelow(48) * 8;
+    }
+    for (uint32_t r = 0; r < reps && bytes >= 10; ++r) {
+      for (uint32_t i = 0; i < motif_len && bytes >= 10; ++i) {
+        assembler.LoadI(9, values[i]);
+        bytes -= 10;
+      }
+    }
+  }
+  while (bytes >= 3) {
+    assembler.Xor(9, 9);
+    bytes -= 3;
+  }
+  while (bytes > 0) {
+    assembler.Nop();
+    --bytes;
+  }
+}
+
+// Builder for the whole image; holds the state shared by both passes.
+class Builder {
+ public:
+  explicit Builder(const KernelConfig& config)
+      : config_(config), plan_(MakePlan(config)) {}
+
+  Result<KernelBuildInfo> Build();
+
+ private:
+  // Emits one pool function. In pass 2, adds its checksum contribution.
+  void EmitPoolFunction(uint32_t i, const Addresses& addrs, Assembler& assembler, bool final_pass);
+  void EmitChainBody(uint32_t i, const Addresses& addrs, Assembler& assembler, bool final_pass,
+                     Rng& rng);
+  void EmitLeafBody(uint32_t i, const Addresses& addrs, Assembler& assembler, bool final_pass,
+                    Rng& rng);
+  void EmitHandlerBody(uint32_t i, const Addresses& addrs, Assembler& assembler, bool final_pass,
+                       Rng& rng);
+  void EmitFaultBody(const Addresses& addrs, Assembler& assembler, bool final_pass);
+
+  // Emits the fixed .text blob (startup_64, kallsyms_selftest, syscall_entry,
+  // orc_lookup); records their offsets.
+  void EmitFixedText(const Addresses& addrs, Assembler& assembler, bool final_pass);
+  void EmitBinarySearch(Assembler& assembler);
+
+  const KernelConfig& config_;
+  PoolPlan plan_;
+
+  // Offsets within the fixed text blob (valid after EmitFixedText).
+  uint64_t off_startup_ = 0;
+  uint64_t off_selftest_ = 0;
+  uint64_t off_syscall_entry_ = 0;
+  uint64_t off_orc_lookup_ = 0;
+
+  // Offsets of the probe/fixup instructions within the fault function.
+  uint64_t fault_probe_off_ = 0;
+  uint64_t fault_fixup_off_ = 0;
+
+  // Pass-2 accumulator.
+  uint64_t checksum_ = 0;
+};
+
+void Builder::EmitChainBody(uint32_t i, const Addresses& addrs, Assembler& assembler,
+                            bool final_pass, Rng& rng) {
+  const uint64_t c = FnConst(i);
+  assembler.AddI(0, static_cast<int32_t>(c));
+  if (final_pass) {
+    checksum_ += c;
+  }
+
+  // Per-subsystem init work: a short busy loop, so the "Linux Boot" phase
+  // scales with kernel size (bigger configs init more subsystems — the
+  // Figure 9 per-profile differences).
+  {
+    const uint32_t iters = 48 + static_cast<uint32_t>(rng.NextBelow(64));
+    assembler.LoadI(11, iters);
+    auto spin = assembler.NewLabel();
+    assembler.Bind(spin);
+    assembler.AddI(11, -1);
+    assembler.Jnz(11, spin);
+  }
+
+  // Target encoded size for this function (mean ~600 bytes).
+  const uint32_t target = 96 + static_cast<uint32_t>(rng.NextBelow(1008));
+
+  if (rng.NextBelow(2) == 0) {
+    // rodata reference: adds a build-known constant (abs64 reloc).
+    const uint32_t k = static_cast<uint32_t>(rng.NextBelow(plan_.total));
+    assembler.LoadA64(3, addrs.rodata_values + 8ull * k);
+    assembler.Ld64(3, 3, 0);
+    assembler.Add(0, 3);
+    if (final_pass) {
+      checksum_ += RodataValue(k);
+    }
+  }
+  if (rng.NextBelow(4) == 0) {
+    // abs32/abs64 consistency check: contributes 0 iff both reloc classes
+    // moved the same symbol by the same offset.
+    const uint32_t j = static_cast<uint32_t>(rng.NextBelow(plan_.total));
+    assembler.LoadA32(4, addrs.fn[j]);
+    assembler.LoadA64(5, addrs.fn[j]);
+    assembler.Sub(4, 5);
+    assembler.Add(0, 4);
+  }
+  if (rng.NextBelow(8) == 0) {
+    // inverse-32 check: value C - vaddr; contributes 0 iff the inverse
+    // relocation subtracted exactly the virtual offset. Inverse references
+    // target fixed (never-shuffled) text only — the same restriction Linux
+    // has for its per-CPU inverse relocations.
+    const uint64_t kC = 0x1000 + i;
+    const uint64_t sym = addrs.text + (i % 64);  // somewhere in fixed text
+    assembler.LoadNeg32(6, static_cast<uint32_t>(kC - sym));
+    assembler.LoadA64(7, sym);
+    assembler.Add(6, 7);
+    assembler.LoadI(8, kC);
+    assembler.Sub(6, 8);
+    assembler.Add(0, 6);
+  }
+  if (config_.rando == RandoMode::kFgKaslr) {
+    // -ffunction-sections builds carry extra absolute cross-references
+    // (section anchors and per-section literal pools): Table 1 shows ~3x the
+    // relocation info of the plain KASLR build. Each block contributes 0 to
+    // the checksum but doubles as a same-symbol consistency check.
+    const uint64_t blocks = 1 + rng.NextBelow(4);
+    for (uint64_t b = 0; b < blocks; ++b) {
+      const uint32_t j = static_cast<uint32_t>(rng.NextBelow(plan_.total));
+      assembler.LoadA64(9, addrs.fn[j]);
+      assembler.LoadA64(10, addrs.fn[j]);
+      assembler.Sub(9, 10);
+      assembler.Add(0, 9);
+    }
+  }
+  if (config_.unwinder_orc && (i % 64) == 0) {
+    // ORC exercise: look up our own pc in the ORC table; adds this
+    // function's stack_words, which the build knows.
+    assembler.RdPc(3);
+    assembler.Call(addrs.orc_lookup);
+    assembler.Add(0, 3);
+    if (final_pass) {
+      checksum_ += OrcWords(i);
+    }
+  }
+
+  // Trailer: optional call to the next chain function, then Ret.
+  const bool has_next = (i + 1) < plan_.num_chain;
+  const uint32_t trailer = (has_next ? 9u : 0u) + 1u;
+  const uint32_t body = static_cast<uint32_t>(assembler.size());
+  if (body + trailer < target) {
+    EmitFiller(assembler, target - body - trailer, rng);
+  }
+  if (has_next) {
+    assembler.Call(addrs.fn[i + 1]);
+  }
+  assembler.Ret();
+}
+
+void Builder::EmitLeafBody(uint32_t i, const Addresses& addrs, Assembler& assembler,
+                           bool final_pass, Rng& rng) {
+  (void)addrs;
+  const uint64_t c = FnConst(i);
+  assembler.AddI(0, static_cast<int32_t>(c));
+  if (final_pass) {
+    checksum_ += c;  // every leaf (indirect target / helper) runs exactly once in init
+  }
+  const uint32_t target = 64 + static_cast<uint32_t>(rng.NextBelow(256));
+  const uint32_t body = static_cast<uint32_t>(assembler.size());
+  if (body + 1 < target) {
+    EmitFiller(assembler, target - body - 1, rng);
+  }
+  assembler.Ret();
+}
+
+void Builder::EmitHandlerBody(uint32_t i, const Addresses& addrs, Assembler& assembler,
+                              bool final_pass, Rng& rng) {
+  const uint64_t c = FnConst(i);
+  assembler.AddI(0, static_cast<int32_t>(c));
+  if (final_pass) {
+    checksum_ += c;
+  }
+  // Call this handler's helper group. Helpers accumulate into r0; note the
+  // helpers' own constants are charged to the checksum where the helpers are
+  // emitted, once per invocation site (init calls each handler exactly once).
+  const uint32_t handler_ordinal = i - plan_.HandlerBase();
+  const uint32_t per = plan_.HelpersPerHandler();
+  for (uint32_t h = 0; h < per; ++h) {
+    const uint32_t helper_index = plan_.HelperBase() + handler_ordinal * per + h;
+    assembler.Call(addrs.fn[helper_index]);
+  }
+  // Buffer workload: touch r2 bytes (64-byte stride) of the physical scratch
+  // area through the direct map; models the copy work of read()/write().
+  assembler.LoadI(7, kDirectMapBase + kScratchPhys);
+  assembler.Mov(8, 7);
+  assembler.Add(8, 2);
+  auto loop = assembler.NewLabel();
+  auto loop_body = assembler.NewLabel();
+  auto done = assembler.NewLabel();
+  assembler.Bind(loop);
+  assembler.Jlt(7, 8, loop_body);
+  assembler.Jmp(done);
+  assembler.Bind(loop_body);
+  assembler.St64(7, 9, 0);
+  assembler.AddI(7, 64);
+  assembler.Jmp(loop);
+  assembler.Bind(done);
+  const uint32_t target = 128 + static_cast<uint32_t>(rng.NextBelow(128));
+  const uint32_t body = static_cast<uint32_t>(assembler.size());
+  if (body + 1 < target) {
+    EmitFiller(assembler, target - body - 1, rng);
+  }
+  assembler.Ret();
+}
+
+void Builder::EmitFaultBody(const Addresses& addrs, Assembler& assembler, bool final_pass) {
+  (void)addrs;
+  assembler.LoadI(3, kFaultProbeAddr);
+  fault_probe_off_ = assembler.size();
+  assembler.Probe(4, 3, 0);
+  // Fall-through only if the probe did NOT fault: poison the checksum so the
+  // bug is observable.
+  assembler.AddI(0, 0x6666);
+  assembler.Ret();
+  fault_fixup_off_ = assembler.size();
+  assembler.AddI(0, static_cast<int32_t>(kFaultContribution));
+  assembler.Ret();
+  if (final_pass) {
+    checksum_ += kFaultContribution;
+  }
+}
+
+void Builder::EmitPoolFunction(uint32_t i, const Addresses& addrs, Assembler& assembler,
+                               bool final_pass) {
+  Rng rng(config_.build_seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+  if (i < plan_.num_chain) {
+    EmitChainBody(i, addrs, assembler, final_pass, rng);
+  } else if (i < plan_.HandlerBase()) {
+    EmitLeafBody(i, addrs, assembler, final_pass, rng);
+  } else if (i < plan_.HelperBase()) {
+    EmitHandlerBody(i, addrs, assembler, final_pass, rng);
+  } else if (i < plan_.FaultIndex()) {
+    EmitLeafBody(i, addrs, assembler, final_pass, rng);
+  } else {
+    EmitFaultBody(addrs, assembler, final_pass);
+  }
+}
+
+// Shared guest-side binary search over a sorted table of {u64 key, u64 value}
+// pairs: in r3 = key to search (greatest entry with entry.key <= r3 wins),
+// r4 = table vaddr, r5 = entry count. Returns value in r3, matched key in
+// r11. Clobbers r7-r11. Requires at least one entry with key <= r3.
+void Builder::EmitBinarySearch(Assembler& assembler) {
+  auto loop = assembler.NewLabel();
+  auto body = assembler.NewLabel();
+  auto set_hi = assembler.NewLabel();
+  auto done = assembler.NewLabel();
+  assembler.LoadI(7, 0);  // lo
+  assembler.Mov(8, 5);    // hi
+  assembler.Bind(loop);
+  assembler.Jlt(7, 8, body);
+  assembler.Jmp(done);
+  assembler.Bind(body);
+  assembler.Mov(9, 7);  // mid = (lo + hi) / 2
+  assembler.Add(9, 8);
+  assembler.ShrI(9, 1);
+  assembler.Mov(10, 9);  // entry = table + mid * 16
+  assembler.ShlI(10, 4);
+  assembler.Add(10, 4);
+  assembler.Ld64(11, 10, 0);  // entry.key
+  assembler.Jlt(3, 11, set_hi);
+  assembler.Mov(7, 9);  // lo = mid + 1
+  assembler.AddI(7, 1);
+  assembler.Jmp(loop);
+  assembler.Bind(set_hi);
+  assembler.Mov(8, 9);  // hi = mid
+  assembler.Jmp(loop);
+  assembler.Bind(done);
+  assembler.Mov(10, 7);  // entry = table + (lo - 1) * 16
+  assembler.AddI(10, -1);
+  assembler.ShlI(10, 4);
+  assembler.Add(10, 4);
+  assembler.Ld64(11, 10, 0);  // matched key
+  assembler.Ld64(3, 10, 8);   // value
+}
+
+void Builder::EmitFixedText(const Addresses& addrs, Assembler& assembler, bool final_pass) {
+  (void)final_pass;
+  // ---- startup_64: the kernel entry point ----
+  // Boot contract: r1 = guest memory size (bytes); [r2, r3) = the reserved
+  // physical hull (the loaded kernel image plus its boot stack), both
+  // page-aligned; SP set by the booting principal.
+  off_startup_ = assembler.size();
+  assembler.LoadI(6, kMarkerKernelEntry);
+  assembler.Out(kPortTimestamp, 6);
+  assembler.LoadA64(6, addrs.descriptor);
+  assembler.Out(kPortSetupTables, 6);
+
+  // Memory init: touch free RAM (everything above the 16 MiB floor except
+  // the reserved hull) through the direct map — the memblock/page-allocator
+  // init analogue, batched like Linux's deferred struct-page init. This is
+  // what makes "Linux Boot" time scale with guest memory in Figure 10, and
+  // skipping the reserved hull keeps the work independent of where
+  // randomization put the kernel.
+  {
+    assembler.LoadI(4, kDirectMapBase + kPhysicalStart);  // cursor
+    assembler.LoadI(5, kDirectMapBase);
+    assembler.Add(5, 1);  // end = direct map + memsize
+    assembler.LoadI(6, kDirectMapBase);
+    assembler.Add(6, 2);  // reserved start
+    assembler.LoadI(7, kDirectMapBase);
+    assembler.Add(7, 3);  // reserved end
+    assembler.LoadI(8, 0);
+    auto loop = assembler.NewLabel();
+    auto body = assembler.NewLabel();
+    auto do_zero = assembler.NewLabel();
+    auto skip = assembler.NewLabel();
+    auto done = assembler.NewLabel();
+    assembler.Bind(loop);
+    assembler.Jlt(4, 5, body);
+    assembler.Jmp(done);
+    assembler.Bind(body);
+    assembler.Jlt(4, 6, do_zero);  // below the reserved hull
+    assembler.Jlt(4, 7, skip);     // inside the hull: hop over it
+    assembler.Bind(do_zero);
+    assembler.St64(4, 8, 0);
+    assembler.AddI(4, 16384);  // batched struct-page init: one touch per 16 KiB
+    assembler.Jmp(loop);
+    assembler.Bind(skip);
+    assembler.Mov(4, 7);
+    assembler.Jmp(loop);
+    assembler.Bind(done);
+  }
+
+  assembler.LoadI(0, 0);  // checksum accumulator
+  if (plan_.num_chain > 0) {
+    assembler.Call(addrs.fn[0]);  // walk the whole chain
+  }
+
+  // Indirect calls through the relocated pointer table in .data.
+  for (uint32_t j = 0; j < plan_.num_indirect; ++j) {
+    assembler.LoadA64(4, addrs.fn_table + 8ull * j);
+    assembler.Ld64(5, 4, 0);
+    assembler.CallR(5);
+  }
+
+  // Call each syscall handler once (512-byte buffer arg).
+  assembler.LoadI(2, 512);
+  for (uint32_t h = 0; h < plan_.num_handlers; ++h) {
+    assembler.Call(addrs.fn[plan_.HandlerBase() + h]);
+  }
+
+  // Exception-table exercise.
+  assembler.Call(addrs.fn[plan_.FaultIndex()]);
+
+  // "Run init": the userspace handoff analogue.
+  assembler.LoadI(3, kMarkerInitStart);
+  assembler.Out(kPortTimestamp, 3);
+  {
+    assembler.LoadI(7, 0);
+    assembler.LoadI(8, 4096);
+    auto loop = assembler.NewLabel();
+    auto body = assembler.NewLabel();
+    auto done = assembler.NewLabel();
+    assembler.Bind(loop);
+    assembler.Jlt(7, 8, body);
+    assembler.Jmp(done);
+    assembler.Bind(body);
+    assembler.AddI(7, 1);
+    assembler.Jmp(loop);
+    assembler.Bind(done);
+  }
+  assembler.Out(kPortInitDone, 0);
+  assembler.Halt();
+
+  // ---- kallsyms_selftest: post-boot entry; r1 = fn_table index ----
+  // Reports the kallsyms name hash for the function the table points at, or
+  // kSelftestMissValue if the (possibly stale) kallsyms entry does not match.
+  off_selftest_ = assembler.size();
+  {
+    assembler.Out(kPortKallsymsTouch, 1);  // lazy-fixup hook (paper §4.3)
+    assembler.LoadA64(4, addrs.fn_table);
+    assembler.Mov(5, 1);
+    assembler.ShlI(5, 3);
+    assembler.Add(4, 5);
+    assembler.Ld64(3, 4, 0);  // runtime fn vaddr
+    assembler.LoadA64(6, addrs.text);
+    assembler.Sub(3, 6);  // text-relative offset
+    assembler.Mov(12, 3);  // keep the key
+    assembler.LoadA64(4, addrs.kallsyms);
+    assembler.LoadI(5, addrs.kallsyms_count);
+    EmitBinarySearch(assembler);
+    // r11 = matched key, r3 = hash. Exact match required.
+    auto match = assembler.NewLabel();
+    auto out = assembler.NewLabel();
+    assembler.Sub(11, 12);
+    assembler.Jz(11, match);
+    assembler.LoadI(3, kSelftestMissValue);
+    assembler.Jmp(out);
+    assembler.Bind(match);
+    assembler.Bind(out);
+    assembler.Mov(0, 3);
+    assembler.Out(kPortTestValue, 0);
+    assembler.Halt();
+  }
+
+  // ---- syscall_entry: post-boot entry; r1 = syscall id, r2 = arg ----
+  off_syscall_entry_ = assembler.size();
+  {
+    assembler.LoadI(0, 0);
+    assembler.LoadA64(4, addrs.handler_table);
+    assembler.Mov(5, 1);
+    assembler.ShlI(5, 3);
+    assembler.Add(4, 5);
+    assembler.Ld64(6, 4, 0);
+    assembler.CallR(6);
+    assembler.Halt();
+  }
+
+  // ---- orc_lookup: r3 = pc; returns r3 = stack words ----
+  off_orc_lookup_ = assembler.size();
+  {
+    assembler.LoadA64(6, addrs.text);
+    assembler.Sub(3, 6);  // text-relative offset
+    assembler.LoadA64(4, addrs.orc);
+    assembler.LoadI(5, addrs.orc_count);
+    EmitBinarySearch(assembler);
+    assembler.Ret();
+  }
+}
+
+Result<KernelBuildInfo> Builder::Build() {
+  // ---------- pass 1: learn sizes ----------
+  Addresses dummy;
+  dummy.fn.assign(plan_.total, kLinkTextVaddr);
+  dummy.kallsyms_count = plan_.total;
+  dummy.orc_count = config_.unwinder_orc ? plan_.total : 0;
+
+  Assembler fixed_pass1(kLinkTextVaddr);
+  EmitFixedText(dummy, fixed_pass1, /*final_pass=*/false);
+  const uint64_t fixed_size = AlignUp(fixed_pass1.size(), 16);
+
+  std::vector<uint32_t> fn_sizes(plan_.total);
+  {
+    for (uint32_t i = 0; i < plan_.total; ++i) {
+      Assembler a(0);
+      EmitPoolFunction(i, dummy, a, /*final_pass=*/false);
+      fn_sizes[i] = static_cast<uint32_t>(AlignUp(a.size(), 16));
+    }
+  }
+
+  // ---------- layout ----------
+  Addresses addrs;
+  addrs.text = kLinkTextVaddr;
+  addrs.fn.resize(plan_.total);
+  uint64_t cursor = kLinkTextVaddr + fixed_size;
+  for (uint32_t i = 0; i < plan_.total; ++i) {
+    addrs.fn[i] = cursor;
+    cursor += fn_sizes[i];
+  }
+  const uint64_t text_payload_end = cursor;
+  const uint64_t text_end =
+      std::max<uint64_t>(text_payload_end, kLinkTextVaddr + config_.text_bytes);
+
+  const uint64_t rodata_start = AlignUp(text_end, 4096);
+  addrs.rodata_values = rodata_start;
+  const uint64_t rodata_values_size = 8ull * plan_.total;
+  addrs.kallsyms = addrs.rodata_values + rodata_values_size;
+  addrs.kallsyms_count = plan_.total;
+  const uint64_t kallsyms_size = kKallsymsEntrySize * plan_.total;
+  addrs.ex_table = addrs.kallsyms + kallsyms_size;
+  const uint64_t ex_table_size = kExTableEntrySize;  // one entry
+  addrs.orc_count = config_.unwinder_orc ? plan_.total : 0;
+  addrs.orc = config_.unwinder_orc ? addrs.ex_table + ex_table_size : 0;
+  const uint64_t orc_size = kOrcEntrySize * addrs.orc_count;
+  const uint64_t rodata_payload_end = addrs.ex_table + ex_table_size + orc_size;
+  const uint64_t rodata_end =
+      std::max<uint64_t>(rodata_payload_end, rodata_start + config_.rodata_bytes);
+
+  const uint64_t data_start = AlignUp(rodata_end, 4096);
+  addrs.fn_table = data_start;
+  const uint64_t fn_table_size = 8ull * plan_.num_indirect;
+  addrs.handler_table = addrs.fn_table + fn_table_size;
+  const uint64_t handler_table_size = 8ull * plan_.num_handlers;
+  addrs.descriptor = addrs.handler_table + handler_table_size;
+  const uint64_t data_payload_end = addrs.descriptor + kTablesDescriptorSize;
+  const uint64_t data_end = std::max<uint64_t>(data_payload_end, data_start + config_.data_bytes);
+
+  const uint64_t bss_start = AlignUp(data_end, 4096);
+  const uint64_t bss_end = bss_start + config_.bss_bytes;
+  const uint64_t image_end = AlignUp(bss_end, 4096);
+
+  // Fixed-text internal offsets are pass-invariant, so pass 1 already
+  // determined orc_lookup's address.
+  addrs.orc_lookup = kLinkTextVaddr + off_orc_lookup_;
+
+  // ---------- pass 2: final code ----------
+  checksum_ = 0;
+  Assembler fixed_final(kLinkTextVaddr);
+  EmitFixedText(addrs, fixed_final, /*final_pass=*/true);
+
+  RelocInfo relocs;
+  auto collect = [&relocs](const Assembler& a, uint64_t base) {
+    for (const RelocSite& site : a.relocs()) {
+      const uint64_t vaddr = base + site.offset;
+      switch (site.reloc_class) {
+        case RelocClass::kAbs64:
+          relocs.abs64.push_back(vaddr);
+          break;
+        case RelocClass::kAbs32:
+          relocs.abs32.push_back(vaddr);
+          break;
+        case RelocClass::kInverse32:
+          relocs.inverse32.push_back(vaddr);
+          break;
+      }
+    }
+  };
+
+  Bytes fixed_blob = fixed_final.TakeCode();
+  collect(fixed_final, kLinkTextVaddr);
+  fixed_blob.resize(fixed_size, 0);
+
+  std::vector<Bytes> fn_blobs(plan_.total);
+  std::vector<FunctionInfo> functions(plan_.total);
+  for (uint32_t i = 0; i < plan_.total; ++i) {
+    Assembler a(addrs.fn[i]);
+    EmitPoolFunction(i, addrs, a, /*final_pass=*/true);
+    collect(a, addrs.fn[i]);
+    Bytes blob = a.TakeCode();
+    const uint32_t real_size = static_cast<uint32_t>(blob.size());
+    blob.resize(fn_sizes[i], 0);  // pad to the 16-aligned pass-1 size
+    if (blob.size() != fn_sizes[i] || real_size > fn_sizes[i]) {
+      return InternalError("pass size mismatch for fn " + std::to_string(i));
+    }
+    fn_blobs[i] = std::move(blob);
+    functions[i] = FunctionInfo{"fn_" + std::to_string(i), addrs.fn[i], fn_sizes[i]};
+  }
+
+  // ---------- rodata ----------
+  ByteWriter rodata;
+  for (uint32_t k = 0; k < plan_.total; ++k) {
+    rodata.WriteU64(RodataValue(k));
+  }
+  for (uint32_t i = 0; i < plan_.total; ++i) {  // kallsyms: sorted by offset
+    rodata.WriteU64(addrs.fn[i] - addrs.text);
+    rodata.WriteU64(NameHash(i));
+  }
+  {  // exception table (text-relative, sorted; single entry)
+    const uint64_t fault_base = addrs.fn[plan_.FaultIndex()] - addrs.text;
+    rodata.WriteU64(fault_base + fault_probe_off_);
+    rodata.WriteU64(fault_base + fault_fixup_off_);
+  }
+  if (config_.unwinder_orc) {  // ORC table: sorted by offset
+    for (uint32_t i = 0; i < plan_.total; ++i) {
+      rodata.WriteU64(addrs.fn[i] - addrs.text);
+      rodata.WriteU64(OrcWords(i));
+    }
+  }
+  Bytes rodata_blob = rodata.Take();
+  rodata_blob.resize(rodata_end - rodata_start, 0);
+
+  // ---------- data ----------
+  ByteWriter data;
+  for (uint32_t j = 0; j < plan_.num_indirect; ++j) {
+    relocs.abs64.push_back(addrs.fn_table + 8ull * j);
+    data.WriteU64(addrs.fn[plan_.IndirectBase() + j]);
+  }
+  for (uint32_t h = 0; h < plan_.num_handlers; ++h) {
+    relocs.abs64.push_back(addrs.handler_table + 8ull * h);
+    data.WriteU64(addrs.fn[plan_.HandlerBase() + h]);
+  }
+  {  // tables descriptor (see isa.h)
+    const uint64_t base = addrs.descriptor;
+    relocs.abs64.push_back(base + 0);
+    data.WriteU64(addrs.text);
+    relocs.abs64.push_back(base + 8);
+    data.WriteU64(addrs.ex_table);
+    data.WriteU64(1);  // ex_table count
+    relocs.abs64.push_back(base + 24);
+    data.WriteU64(addrs.kallsyms);
+    data.WriteU64(addrs.kallsyms_count);
+    if (config_.unwinder_orc) {
+      relocs.abs64.push_back(base + 40);
+    }
+    data.WriteU64(addrs.orc);
+    data.WriteU64(addrs.orc_count);
+  }
+  Bytes data_blob = data.Take();
+  data_blob.resize(data_end - data_start, 0);
+
+  std::sort(relocs.abs64.begin(), relocs.abs64.end());
+  std::sort(relocs.abs32.begin(), relocs.abs32.end());
+  std::sort(relocs.inverse32.begin(), relocs.inverse32.end());
+
+  // ---------- ELF assembly ----------
+  ElfWriter writer(kEmVk64, kEtExec);
+  writer.set_entry(kLinkTextVaddr + off_startup_);
+
+  std::vector<size_t> text_sections;
+  if (config_.rando == RandoMode::kFgKaslr) {
+    // Fixed entry text plus one section per function (the
+    // -ffunction-sections layout FGKASLR requires).
+    SectionSpec fixed_spec;
+    fixed_spec.name = ".text";
+    fixed_spec.flags = kShfAlloc | kShfExecinstr;
+    fixed_spec.addr = kLinkTextVaddr;
+    fixed_spec.addralign = 4096;
+    fixed_spec.data = std::move(fixed_blob);
+    text_sections.push_back(writer.AddSection(std::move(fixed_spec)));
+    for (uint32_t i = 0; i < plan_.total; ++i) {
+      SectionSpec spec;
+      spec.name = ".text.fn_" + std::to_string(i);
+      spec.flags = kShfAlloc | kShfExecinstr;
+      spec.addr = addrs.fn[i];
+      spec.addralign = 16;
+      spec.data = std::move(fn_blobs[i]);
+      text_sections.push_back(writer.AddSection(std::move(spec)));
+    }
+    if (text_end > text_payload_end) {
+      SectionSpec pad;
+      pad.name = ".text.rest";  // never shuffled (no ".text.fn_" prefix)
+      pad.flags = kShfAlloc | kShfExecinstr;
+      pad.addr = text_payload_end;
+      pad.addralign = 16;
+      pad.data.assign(text_end - text_payload_end, 0);
+      text_sections.push_back(writer.AddSection(std::move(pad)));
+    }
+  } else {
+    // Classic single .text blob.
+    Bytes text_blob = std::move(fixed_blob);
+    for (uint32_t i = 0; i < plan_.total; ++i) {
+      text_blob.insert(text_blob.end(), fn_blobs[i].begin(), fn_blobs[i].end());
+    }
+    text_blob.resize(text_end - kLinkTextVaddr, 0);
+    SectionSpec spec;
+    spec.name = ".text";
+    spec.flags = kShfAlloc | kShfExecinstr;
+    spec.addr = kLinkTextVaddr;
+    spec.addralign = 4096;
+    spec.data = std::move(text_blob);
+    text_sections.push_back(writer.AddSection(std::move(spec)));
+  }
+
+  SectionSpec rodata_spec;
+  rodata_spec.name = ".rodata";
+  rodata_spec.flags = kShfAlloc;
+  rodata_spec.addr = rodata_start;
+  rodata_spec.addralign = 4096;
+  rodata_spec.data = std::move(rodata_blob);
+  const size_t rodata_index = writer.AddSection(std::move(rodata_spec));
+
+  SectionSpec data_spec;
+  data_spec.name = ".data";
+  data_spec.flags = kShfAlloc | kShfWrite;
+  data_spec.addr = data_start;
+  data_spec.addralign = 4096;
+  data_spec.data = std::move(data_blob);
+  const size_t data_index = writer.AddSection(std::move(data_spec));
+
+  SectionSpec bss_spec;
+  bss_spec.name = ".bss";
+  bss_spec.type = kShtNobits;
+  bss_spec.flags = kShfAlloc | kShfWrite;
+  bss_spec.addr = bss_start;
+  bss_spec.addralign = 4096;
+  bss_spec.nobits_size = config_.bss_bytes;
+  const size_t bss_index = writer.AddSection(std::move(bss_spec));
+
+  // .rela: machine relocation records, the input Linux's `relocs` tool
+  // consumes to produce vmlinux.relocs (Figure 8's alternative flow). Only
+  // relocatable (CONFIG_RANDOMIZE_BASE) kernels carry them.
+  if (config_.rando != RandoMode::kNone) {
+    ByteWriter rela;
+    auto emit = [&rela](const std::vector<uint64_t>& list, uint32_t type) {
+      for (uint64_t vaddr : list) {
+        rela.WriteU64(vaddr);
+        rela.WriteU64(ElfRInfo(0, type));
+        rela.WriteU64(0);  // addend unused: fields hold their link-time values
+      }
+    };
+    emit(relocs.abs64, kRVk64Abs64);
+    emit(relocs.abs32, kRVk64Abs32);
+    emit(relocs.inverse32, kRVk64Inverse32);
+    SectionSpec rela_spec;
+    rela_spec.name = ".rela.kernel";
+    rela_spec.type = kShtRela;
+    rela_spec.addralign = 8;
+    rela_spec.entsize = sizeof(Elf64Rela);
+    rela_spec.data = rela.Take();
+    writer.AddSection(std::move(rela_spec));
+  }
+
+  // Notes: PVH entry + kernel constants (paper §4.3 future work).
+  {
+    std::vector<ElfNote> notes;
+    ElfNote pvh;
+    pvh.name = kNoteNameXen;
+    pvh.type = kNoteTypePvhEntry;
+    ByteWriter desc;
+    desc.WriteU64(kLinkTextVaddr + off_startup_);
+    pvh.desc = desc.Take();
+    notes.push_back(std::move(pvh));
+
+    ElfNote constants;
+    constants.name = kNoteNameImk;
+    constants.type = kNoteTypeKernelConstants;
+    KernelConstantsNote values;
+    values.physical_start = kPhysicalStart;
+    values.physical_align = kPhysicalAlign;
+    values.start_kernel_map = kStartKernelMap;
+    values.kernel_image_size = kKernelImageSize;
+    constants.desc = EncodeKernelConstants(values);
+    notes.push_back(std::move(constants));
+
+    SectionSpec note_spec;
+    note_spec.name = ".notes";
+    note_spec.type = kShtNote;
+    note_spec.addralign = 4;
+    note_spec.data = BuildNoteSection(notes);
+    writer.AddSection(std::move(note_spec));
+  }
+
+  // Segments: RX text, RO rodata, RW data+bss. paddr = vaddr - base delta so
+  // that paddr(_text) == kPhysicalStart.
+  const uint64_t paddr_delta = kStartKernelMap;
+  writer.AddLoadSegment(text_sections, kPfR | kPfX, paddr_delta);
+  writer.AddLoadSegment({rodata_index}, kPfR, paddr_delta);
+  writer.AddLoadSegment({data_index, bss_index}, kPfR | kPfW, paddr_delta);
+
+  // Symbols.
+  writer.AddSymbol("_text", kLinkTextVaddr, 0, ElfStInfo(kStbGlobal, kSttNotype), 1);
+  writer.AddSymbol("startup_64", kLinkTextVaddr + off_startup_, off_selftest_ - off_startup_,
+                   ElfStInfo(kStbGlobal, kSttFunc), 1);
+  writer.AddSymbol("kallsyms_selftest", kLinkTextVaddr + off_selftest_,
+                   off_syscall_entry_ - off_selftest_, ElfStInfo(kStbGlobal, kSttFunc), 1);
+  writer.AddSymbol("syscall_entry", kLinkTextVaddr + off_syscall_entry_,
+                   off_orc_lookup_ - off_syscall_entry_, ElfStInfo(kStbGlobal, kSttFunc), 1);
+  writer.AddSymbol("orc_lookup", kLinkTextVaddr + off_orc_lookup_, 0,
+                   ElfStInfo(kStbGlobal, kSttFunc), 1);
+  // Table locator symbols (the __start___ex_table analogues the FGKASLR
+  // engine and bootstrap loader use to find what to fix up).
+  writer.AddSymbol("__kallsyms", addrs.kallsyms, kallsyms_size,
+                   ElfStInfo(kStbGlobal, kSttObject), 0);
+  writer.AddSymbol("__ex_table", addrs.ex_table, ex_table_size,
+                   ElfStInfo(kStbGlobal, kSttObject), 0);
+  if (config_.unwinder_orc) {
+    writer.AddSymbol("__orc_unwind", addrs.orc, orc_size, ElfStInfo(kStbGlobal, kSttObject), 0);
+  }
+  for (uint32_t i = 0; i < plan_.total; ++i) {
+    writer.AddSymbol(functions[i].name, functions[i].vaddr, functions[i].size,
+                     ElfStInfo(kStbLocal, kSttFunc), 0);
+  }
+
+  IMK_ASSIGN_OR_RETURN(Bytes vmlinux, writer.Finish());
+
+  // ---------- build info ----------
+  KernelBuildInfo info;
+  info.config = config_;
+  info.vmlinux = std::move(vmlinux);
+  if (config_.rando != RandoMode::kNone) {
+    info.relocs = std::move(relocs);
+  }
+  info.entry_vaddr = kLinkTextVaddr + off_startup_;
+  info.text_vaddr = kLinkTextVaddr;
+  info.image_end_vaddr = image_end;
+  info.expected_checksum = checksum_;
+  info.selftest_entry_vaddr = kLinkTextVaddr + off_selftest_;
+  info.syscall_entry_vaddr = kLinkTextVaddr + off_syscall_entry_;
+  info.kallsyms_count = plan_.total;
+  info.num_syscalls = plan_.num_handlers;
+  info.fn_table_vaddr = addrs.fn_table;
+  info.indirect_base = plan_.IndirectBase();
+  info.indirect_hashes.reserve(plan_.num_indirect);
+  for (uint32_t j = 0; j < plan_.num_indirect; ++j) {
+    info.indirect_hashes.push_back(NameHash(plan_.IndirectBase() + j));
+  }
+  info.functions = std::move(functions);
+  return info;
+}
+
+}  // namespace
+
+Result<KernelBuildInfo> BuildKernel(const KernelConfig& config) {
+  Builder builder(config);
+  return builder.Build();
+}
+
+}  // namespace imk

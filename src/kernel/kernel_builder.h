@@ -1,0 +1,81 @@
+// Synthetic kernel image builder.
+//
+// Produces a fully valid, *executable* vmlinux ELF for the VK64 guest ISA:
+//
+//   .text        fixed code: startup_64 (init), syscall_entry, orc_lookup,
+//                kallsyms_selftest — never shuffled (like Linux's entry code)
+//   .text.fn_i   one section per generated function when the config is
+//                fgkaslr (the -ffunction-sections analogue); a single .text
+//                blob otherwise (identical bytes either way)
+//   .rodata      per-function constants, the kallsyms table (text-relative,
+//                sorted), the exception table (text-relative, sorted), the
+//                ORC table (optional), plus filler
+//   .data        function pointer table (absolute, relocated), the guest
+//                tables descriptor, plus filler
+//   .bss         SHT_NOBITS
+//   .notes       PVH entry note + kernel-constants note (paper §4.3's
+//                future-work idea)
+//
+// The generated init chain-calls every function, verifies one absolute-32
+// and one inverse-32 relocation class per sampled function, performs
+// indirect calls through the relocated pointer table, triggers one
+// exception-table fixup, and reports a checksum through port I/O. The
+// builder computes the expected checksum, so any relocation bug anywhere in
+// the monitor/bootstrap stack is observable as a boot failure.
+#ifndef IMKASLR_SRC_KERNEL_KERNEL_BUILDER_H_
+#define IMKASLR_SRC_KERNEL_KERNEL_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/kernel/kconfig.h"
+#include "src/kernel/relocs.h"
+
+namespace imk {
+
+// A generated (shuffleable) function.
+struct FunctionInfo {
+  std::string name;    // ".text.fn_<i>" section name suffix
+  uint64_t vaddr = 0;  // link-time virtual address
+  uint32_t size = 0;   // encoded bytes
+};
+
+// Everything a monitor, bootstrap loader, or test needs to know about a
+// built kernel.
+struct KernelBuildInfo {
+  KernelConfig config;
+
+  Bytes vmlinux;     // the ELF image
+  RelocInfo relocs;  // empty when config.rando == RandoMode::kNone
+
+  uint64_t entry_vaddr = 0;          // startup_64 (== text_vaddr)
+  uint64_t text_vaddr = 0;           // link-time _text
+  uint64_t image_end_vaddr = 0;      // end of .bss (memsz span)
+  uint64_t expected_checksum = 0;    // value init writes to kPortInitDone
+  uint64_t selftest_entry_vaddr = 0;  // kallsyms selftest (fixed text)
+  uint64_t syscall_entry_vaddr = 0;  // LEBench syscall dispatcher (fixed text)
+
+  uint32_t kallsyms_count = 0;
+  uint32_t num_syscalls = 0;
+
+  // Indirect-call table (in .data): entry j holds the address of indirect
+  // function j — which is functions[indirect_base + j]; `indirect_hashes[j]`
+  // is the kallsyms name hash the selftest should report for it.
+  uint64_t fn_table_vaddr = 0;
+  uint32_t indirect_base = 0;
+  std::vector<uint64_t> indirect_hashes;
+
+  std::vector<FunctionInfo> functions;  // shuffleable functions, link order
+
+  // Convenience: image memory span in bytes.
+  uint64_t ImageMemSize() const { return image_end_vaddr - text_vaddr; }
+};
+
+// Builds the image described by `config`. Deterministic in config.build_seed.
+Result<KernelBuildInfo> BuildKernel(const KernelConfig& config);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KERNEL_KERNEL_BUILDER_H_

@@ -1,0 +1,44 @@
+// Link-time address-space constants of the synthetic kernel — the analogues
+// of the Linux values the paper's §4.3 discusses (CONFIG_PHYSICAL_START,
+// CONFIG_PHYSICAL_ALIGN, __START_KERNEL_map, KERNEL_IMAGE_SIZE). The monitor
+// either hardcodes these (as the paper's prototype does) or reads them from
+// the kernel-constants ELF note (the paper's proposed future work, which this
+// project also implements — see src/elf/elf_note.h).
+#ifndef IMKASLR_SRC_KERNEL_LAYOUT_H_
+#define IMKASLR_SRC_KERNEL_LAYOUT_H_
+
+#include <cstdint>
+
+namespace imk {
+
+// __START_KERNEL_map analogue: base of the kernel text mapping window.
+inline constexpr uint64_t kStartKernelMap = 0xffffffff80000000ull;
+
+// CONFIG_PHYSICAL_START analogue: default physical load address (16 MiB) —
+// also the link-time offset of the kernel inside the text mapping window.
+inline constexpr uint64_t kPhysicalStart = 0x1000000ull;
+
+// CONFIG_PHYSICAL_ALIGN analogue (2 MiB).
+inline constexpr uint64_t kPhysicalAlign = 0x200000ull;
+
+// KERNEL_IMAGE_SIZE analogue: the kernel plus its randomization range must
+// fit in this much virtual space (1 GiB, "to avoid the fixmap" — §4.3).
+inline constexpr uint64_t kKernelImageSize = 1ull << 30;
+
+// Link-time virtual address of _text.
+inline constexpr uint64_t kLinkTextVaddr = kStartKernelMap + kPhysicalStart;
+
+// Direct-map base (page_offset analogue): identity view of guest RAM used by
+// the synthetic kernel's memory-init loop.
+inline constexpr uint64_t kDirectMapBase = 0xffff888000000000ull;
+
+// Virtual/physical slack mapped past the image end for the boot stack.
+inline constexpr uint64_t kBootStackSlack = 1ull << 20;
+
+// MIN_KERNEL_ALIGN analogue used by the optimized compression-none bzImage
+// link trick of §3.3.
+inline constexpr uint64_t kMinKernelAlign = kPhysicalAlign;
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KERNEL_LAYOUT_H_

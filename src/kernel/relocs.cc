@@ -1,0 +1,109 @@
+#include "src/kernel/relocs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/kernel/layout.h"
+
+namespace imk {
+namespace {
+
+constexpr uint64_t kMagic = 0x434f4c45524b4d49ull;  // "IMKRELOC"
+constexpr uint32_t kVersion = 1;
+
+void WriteList(ByteWriter& out, const std::vector<uint64_t>& list) {
+  for (uint64_t vaddr : list) {
+    out.WriteU32(static_cast<uint32_t>(vaddr));
+  }
+}
+
+Status ReadList(ByteReader& reader, uint32_t count, std::vector<uint64_t>& list) {
+  list.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    IMK_ASSIGN_OR_RETURN(uint32_t low, reader.ReadU32());
+    // Sign-extend: kernel virtual addresses live in the top 2 GiB.
+    list.push_back(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(low))));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+size_t RelocInfo::SerializedSize() const {
+  return 8 + 4 + 3 * 4 + total() * 4;
+}
+
+Bytes SerializeRelocs(const RelocInfo& relocs) {
+  ByteWriter out;
+  out.WriteU64(kMagic);
+  out.WriteU32(kVersion);
+  out.WriteU32(static_cast<uint32_t>(relocs.abs64.size()));
+  out.WriteU32(static_cast<uint32_t>(relocs.abs32.size()));
+  out.WriteU32(static_cast<uint32_t>(relocs.inverse32.size()));
+  WriteList(out, relocs.abs64);
+  WriteList(out, relocs.abs32);
+  WriteList(out, relocs.inverse32);
+  return out.Take();
+}
+
+Result<RelocInfo> ExtractRelocsFromElf(const ElfReader& elf) {
+  RelocInfo relocs;
+  for (const ElfSection& section : elf.sections()) {
+    if (section.header.sh_type != kShtRela) {
+      continue;
+    }
+    if (section.header.sh_entsize != sizeof(Elf64Rela)) {
+      return ParseError("rela section has bad entsize");
+    }
+    IMK_ASSIGN_OR_RETURN(ByteSpan data, elf.SectionData(section));
+    const size_t count = data.size() / sizeof(Elf64Rela);
+    for (size_t i = 0; i < count; ++i) {
+      Elf64Rela rela;
+      std::memcpy(&rela, data.data() + i * sizeof(Elf64Rela), sizeof(rela));
+      switch (ElfRType(rela.r_info)) {
+        case kRVk64Abs64:
+          relocs.abs64.push_back(rela.r_offset);
+          break;
+        case kRVk64Abs32:
+          relocs.abs32.push_back(rela.r_offset);
+          break;
+        case kRVk64Inverse32:
+          relocs.inverse32.push_back(rela.r_offset);
+          break;
+        default:
+          return ParseError("unknown relocation type in .rela section");
+      }
+    }
+  }
+  std::sort(relocs.abs64.begin(), relocs.abs64.end());
+  std::sort(relocs.abs32.begin(), relocs.abs32.end());
+  std::sort(relocs.inverse32.begin(), relocs.inverse32.end());
+  return relocs;
+}
+
+Result<RelocInfo> ParseRelocs(ByteSpan blob) {
+  ByteReader reader(blob);
+  IMK_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  if (magic != kMagic) {
+    return ParseError("relocs: bad magic");
+  }
+  IMK_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return ParseError("relocs: unsupported version");
+  }
+  IMK_ASSIGN_OR_RETURN(uint32_t n64, reader.ReadU32());
+  IMK_ASSIGN_OR_RETURN(uint32_t n32, reader.ReadU32());
+  IMK_ASSIGN_OR_RETURN(uint32_t ninv, reader.ReadU32());
+  if ((uint64_t{n64} + n32 + ninv) * 4 > reader.remaining()) {
+    return ParseError("relocs: counts exceed blob size");
+  }
+  RelocInfo relocs;
+  IMK_RETURN_IF_ERROR(ReadList(reader, n64, relocs.abs64));
+  IMK_RETURN_IF_ERROR(ReadList(reader, n32, relocs.abs32));
+  IMK_RETURN_IF_ERROR(ReadList(reader, ninv, relocs.inverse32));
+  return relocs;
+}
+
+}  // namespace imk

@@ -1,0 +1,51 @@
+// Relocation info: the vmlinux.relocs analogue.
+//
+// Linux's `relocs` tool emits, and the bootstrap loader consumes, three
+// lists of 32-bit entries (paper §3.2): 64-bit fields needing += offset,
+// 32-bit fields needing += offset, and 32-bit inverse fields needing
+// -= offset. Each entry is the (sign-extended) virtual address of the field
+// to patch. This module defines the in-memory form, the serialized blob
+// (appended to vmlinux inside a bzImage, or passed separately to the monitor
+// per the paper's Figure 8), and extraction from a built kernel ELF.
+#ifndef IMKASLR_SRC_KERNEL_RELOCS_H_
+#define IMKASLR_SRC_KERNEL_RELOCS_H_
+
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace imk {
+
+// Relocation info for one kernel image. Field addresses are link-time
+// virtual addresses, each list sorted ascending.
+struct RelocInfo {
+  std::vector<uint64_t> abs64;      // 64-bit absolute fields
+  std::vector<uint64_t> abs32;      // 32-bit absolute fields
+  std::vector<uint64_t> inverse32;  // 32-bit inverse fields
+
+  size_t total() const { return abs64.size() + abs32.size() + inverse32.size(); }
+  bool empty() const { return total() == 0; }
+
+  // Serialized size (what Table 1's "relocs" column reports).
+  size_t SerializedSize() const;
+};
+
+// Serializes to the vmlinux.relocs blob format: magic, three counts, then
+// three arrays of 32-bit entries (low 32 bits of the field vaddr; the top
+// 2 GiB mapping makes sign-extension unambiguous, as on x86_64).
+Bytes SerializeRelocs(const RelocInfo& relocs);
+
+// Parses a blob produced by SerializeRelocs.
+Result<RelocInfo> ParseRelocs(ByteSpan blob);
+
+// The `relocs` tool (paper Figure 8): extracts relocation info from the
+// .rela sections of a kernel ELF — the alternative to shipping a separate
+// vmlinux.relocs alongside the binary. Returns an empty RelocInfo for
+// non-relocatable kernels (no .rela sections).
+class ElfReader;
+Result<RelocInfo> ExtractRelocsFromElf(const ElfReader& elf);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_KERNEL_RELOCS_H_

@@ -1,0 +1,31 @@
+#include "src/vmm/boot_timeline.h"
+
+#include <cstdio>
+
+namespace imk {
+
+const char* BootPhaseName(BootPhase phase) {
+  switch (phase) {
+    case BootPhase::kInMonitor:
+      return "In-Monitor";
+    case BootPhase::kBootstrapSetup:
+      return "Bootstrap Setup";
+    case BootPhase::kDecompression:
+      return "Decompression";
+    case BootPhase::kLinuxBoot:
+      return "Linux Boot";
+  }
+  return "?";
+}
+
+std::string BootTimeline::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "total %.2fms (monitor %.2f | setup %.2f | decomp %.2f | linux %.2f)",
+                total_ms(), phase_ms(BootPhase::kInMonitor),
+                phase_ms(BootPhase::kBootstrapSetup), phase_ms(BootPhase::kDecompression),
+                phase_ms(BootPhase::kLinuxBoot));
+  return buf;
+}
+
+}  // namespace imk

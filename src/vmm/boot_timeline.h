@@ -1,0 +1,67 @@
+// Boot timeline: the phase breakdown of Figures 4, 5, 6, and 9.
+//
+// Measured nanoseconds are real host wall-clock time of actually-performed
+// work; modeled nanoseconds come from the storage model (cold-cache I/O).
+// Benches report both so the substitution stays visible.
+#ifndef IMKASLR_SRC_VMM_BOOT_TIMELINE_H_
+#define IMKASLR_SRC_VMM_BOOT_TIMELINE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imk {
+
+// The paper's phase buckets (§5.1 "Testing methodology").
+enum class BootPhase {
+  kInMonitor = 0,       // VMM work before entering guest context
+  kBootstrapSetup = 1,  // bootstrap loader work excluding decompression
+  kDecompression = 2,   // kernel decompression (incl. the none-codec copy)
+  kLinuxBoot = 3,       // guest kernel entry .. init process
+};
+inline constexpr int kNumBootPhases = 4;
+
+const char* BootPhaseName(BootPhase phase);
+
+class BootTimeline {
+ public:
+  void AddMeasured(BootPhase phase, uint64_t ns) {
+    measured_[static_cast<int>(phase)] += ns;
+  }
+  void AddModeled(BootPhase phase, uint64_t ns) { modeled_[static_cast<int>(phase)] += ns; }
+
+  uint64_t measured_ns(BootPhase phase) const { return measured_[static_cast<int>(phase)]; }
+  uint64_t modeled_ns(BootPhase phase) const { return modeled_[static_cast<int>(phase)]; }
+  uint64_t phase_ns(BootPhase phase) const {
+    return measured_ns(phase) + modeled_ns(phase);
+  }
+
+  uint64_t total_ns() const {
+    uint64_t total = 0;
+    for (int i = 0; i < kNumBootPhases; ++i) {
+      total += measured_[i] + modeled_[i];
+    }
+    return total;
+  }
+  double total_ms() const { return static_cast<double>(total_ns()) / 1e6; }
+  double phase_ms(BootPhase phase) const { return static_cast<double>(phase_ns(phase)) / 1e6; }
+
+  // Guest-written markers (port kPortTimestamp), as (marker id, host ns).
+  void RecordMarker(uint64_t marker, uint64_t host_ns) {
+    markers_.push_back({marker, host_ns});
+  }
+  const std::vector<std::pair<uint64_t, uint64_t>>& markers() const { return markers_; }
+
+  // One-line rendering like "total 18.2ms (monitor 3.1 | setup 0.0 | decomp 0.0 | linux 15.1)".
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, kNumBootPhases> measured_{};
+  std::array<uint64_t, kNumBootPhases> modeled_{};
+  std::vector<std::pair<uint64_t, uint64_t>> markers_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_BOOT_TIMELINE_H_

@@ -1,0 +1,53 @@
+#include "src/vmm/device_model.h"
+
+#include "src/base/align.h"
+
+namespace imk {
+namespace {
+
+const char* kDeviceNames[] = {
+    "virtio-net", "virtio-blk", "virtio-vsock", "serial",      "virtio-rng",  "virtio-balloon",
+    "e1000",      "ahci",       "usb-ehci",     "usb-uhci",    "vga",         "hpet",
+    "rtc",        "pit",        "pic",          "ioapic",      "pci-host",    "isa-bridge",
+    "smbus",      "audio",      "fdc",          "parallel",    "pcie-root-1", "pcie-root-2",
+    "pcie-root-3", "pcie-root-4", "tpm",        "pvpanic",
+};
+
+}  // namespace
+
+Result<DeviceModel> DeviceModel::Create(GuestMemory& memory, const DeviceModelConfig& config) {
+  DeviceModel model;
+  // Queue rings live at the top of guest RAM, below nothing else.
+  uint64_t cursor = AlignDown(memory.size(), 4096);
+  model.devices_.reserve(config.num_devices);
+  for (uint32_t i = 0; i < config.num_devices; ++i) {
+    VirtualDevice device;
+    device.name = kDeviceNames[i % (sizeof(kDeviceNames) / sizeof(kDeviceNames[0]))];
+    device.device_id = 0x1000 + i;
+
+    // Construct the register file: ids, feature words, BAR-like slots — the
+    // per-device initialization cost a board pays at power-on.
+    device.config_space.resize(config.config_space_bytes);
+    for (uint64_t off = 0; off + 4 <= device.config_space.size(); off += 4) {
+      StoreLe32(device.config_space.data() + off,
+                static_cast<uint32_t>((device.device_id << 16) ^ (off * 2654435761u)));
+    }
+    StoreLe32(device.config_space.data(), device.device_id);
+
+    // Carve and zero the queue ring out of guest RAM.
+    if (cursor < config.queue_bytes + (16ull << 20)) {
+      return InvalidArgumentError("guest memory too small for device queues");
+    }
+    cursor -= config.queue_bytes;
+    device.queue_phys = cursor;
+    device.queue_bytes = config.queue_bytes;
+    IMK_RETURN_IF_ERROR(memory.Zero(device.queue_phys, device.queue_bytes));
+    model.total_queue_bytes_ += device.queue_bytes;
+
+    model.devices_.push_back(std::move(device));
+  }
+  model.reserved_floor_ = cursor;
+  return model;
+}
+
+}  // namespace imk

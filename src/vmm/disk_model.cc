@@ -1,0 +1,48 @@
+#include "src/vmm/disk_model.h"
+
+namespace imk {
+
+void Storage::Put(const std::string& name, Bytes content) {
+  images_[name] = Image{std::move(content), /*cached=*/true};
+}
+
+Result<uint64_t> Storage::SizeOf(const std::string& name) const {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return NotFoundError("no such image: " + name);
+  }
+  return it->second.content.size();
+}
+
+Result<Storage::ReadResult> Storage::Read(const std::string& name) {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return NotFoundError("no such image: " + name);
+  }
+  ReadResult result;
+  result.data = ByteSpan(it->second.content);
+  if (!it->second.cached) {
+    const double seconds =
+        static_cast<double>(it->second.content.size()) / model_.ssd_bytes_per_sec;
+    result.modeled_io_ns = static_cast<uint64_t>(seconds * 1e9);
+    it->second.cached = true;
+  }
+  return result;
+}
+
+void Storage::DropCaches() {
+  for (auto& [name, image] : images_) {
+    image.cached = false;
+  }
+}
+
+Status Storage::Warm(const std::string& name) {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return NotFoundError("no such image: " + name);
+  }
+  it->second.cached = true;
+  return OkStatus();
+}
+
+}  // namespace imk

@@ -1,0 +1,81 @@
+#include "src/vmm/firmware.h"
+
+#include "src/isa/assembler.h"
+#include "src/isa/interpreter.h"
+
+namespace imk {
+
+Result<FirmwareReport> RunFirmwarePost(GuestMemory& memory, uint64_t work_iterations) {
+  // Assemble the POST program at its physical (identity-mapped) address.
+  Assembler assembler(kFirmwarePhys);
+
+  // 1. Zero the BDA/EBDA legacy area [0x400, 0x9fc00) in page steps.
+  assembler.LoadI(1, 0x400);
+  assembler.LoadI(2, 0x9fc00);
+  assembler.LoadI(3, 0);
+  {
+    auto loop = assembler.NewLabel();
+    auto body = assembler.NewLabel();
+    auto done = assembler.NewLabel();
+    assembler.Bind(loop);
+    assembler.Jlt(1, 2, body);
+    assembler.Jmp(done);
+    assembler.Bind(body);
+    assembler.St64(1, 3, 0);
+    assembler.AddI(1, 4096);
+    assembler.Jmp(loop);
+    assembler.Bind(done);
+  }
+
+  // 2. Table-build work (interrupt vectors, SMBIOS/ACPI analogues): a store
+  // cascade over a small window, repeated `work_iterations` times.
+  assembler.LoadI(4, work_iterations);
+  {
+    auto outer = assembler.NewLabel();
+    auto outer_done = assembler.NewLabel();
+    assembler.Bind(outer);
+    assembler.Jz(4, outer_done);
+    assembler.LoadI(5, 0x1000);
+    assembler.LoadI(6, 0x2000);
+    auto inner = assembler.NewLabel();
+    auto inner_body = assembler.NewLabel();
+    auto inner_done = assembler.NewLabel();
+    assembler.Bind(inner);
+    assembler.Jlt(5, 6, inner_body);
+    assembler.Jmp(inner_done);
+    assembler.Bind(inner_body);
+    assembler.St64(5, 4, 0);
+    assembler.AddI(5, 64);
+    assembler.Jmp(inner);
+    assembler.Bind(inner_done);
+    assembler.AddI(4, -1);
+    assembler.Jmp(outer);
+    assembler.Bind(outer_done);
+  }
+
+  // 3. Completion signature.
+  assembler.LoadI(7, 0x9fc00);
+  assembler.LoadI(8, 0x424950534f455321ull);  // "!SEOSPIB" — POST done
+  assembler.St64(7, 8, 0);
+  assembler.Halt();
+
+  Bytes code = assembler.TakeCode();
+  IMK_RETURN_IF_ERROR(memory.Write(kFirmwarePhys, ByteSpan(code)));
+
+  // Identity map over the low megabyte + a firmware stack just above it.
+  LinearMap identity;
+  identity.virt_start = 0;
+  identity.phys_start = 0;
+  identity.size = 2ull << 20;
+  Interpreter interpreter(memory.all(), identity);
+  IMK_ASSIGN_OR_RETURN(RunResult run,
+                       interpreter.Run(kFirmwarePhys, (2ull << 20) - 16, 1ull << 28));
+  if (run.reason != StopReason::kHalt) {
+    return InternalError("firmware POST did not complete");
+  }
+  FirmwareReport report;
+  report.instructions = run.stats.instructions;
+  return report;
+}
+
+}  // namespace imk

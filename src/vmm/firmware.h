@@ -1,0 +1,33 @@
+// Legacy firmware (SeaBIOS-analogue) POST stage.
+//
+// Firecracker jumps straight into the kernel's 64-bit entry point; general
+// VMMs like QEMU first run guest firmware that performs power-on self test,
+// builds legacy tables, and only then locates and enters the kernel. This
+// module assembles a small VK64 firmware image, places it at the classic
+// 0xF0000 physical address, and executes it — real guest-side work that the
+// QEMU-like monitor profile pays before every boot (paper §2.2's observation
+// that hypervisor time differs across monitors).
+#ifndef IMKASLR_SRC_VMM_FIRMWARE_H_
+#define IMKASLR_SRC_VMM_FIRMWARE_H_
+
+#include <cstdint>
+
+#include "src/base/result.h"
+#include "src/vmm/guest_memory.h"
+
+namespace imk {
+
+inline constexpr uint64_t kFirmwarePhys = 0xf0000;  // classic BIOS segment
+
+struct FirmwareReport {
+  uint64_t instructions = 0;
+};
+
+// Assembles the POST program, installs it at kFirmwarePhys, and runs it:
+// zeroes the legacy BDA/EBDA region, runs `work_iterations` of table-build
+// work, and writes a completion signature at 0x9fc00.
+Result<FirmwareReport> RunFirmwarePost(GuestMemory& memory, uint64_t work_iterations);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_FIRMWARE_H_

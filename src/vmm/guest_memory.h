@@ -1,0 +1,50 @@
+// Guest physical memory: a flat RAM array with bounds-checked access,
+// the microVM's single memory region (Firecracker-style).
+#ifndef IMKASLR_SRC_VMM_GUEST_MEMORY_H_
+#define IMKASLR_SRC_VMM_GUEST_MEMORY_H_
+
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace imk {
+
+class GuestMemory {
+ public:
+  explicit GuestMemory(uint64_t size_bytes) : ram_(size_bytes, 0) {}
+
+  uint64_t size() const { return ram_.size(); }
+
+  MutableByteSpan all() { return MutableByteSpan(ram_); }
+  ByteSpan all() const { return ByteSpan(ram_); }
+
+  // Bounds-checked subrange.
+  Result<MutableByteSpan> Slice(uint64_t phys, uint64_t len) {
+    if (phys > ram_.size() || len > ram_.size() - phys) {
+      return OutOfRangeError("guest physical range out of bounds");
+    }
+    return MutableByteSpan(ram_.data() + phys, len);
+  }
+
+  // Copies `data` into guest RAM at `phys`.
+  Status Write(uint64_t phys, ByteSpan data) {
+    IMK_ASSIGN_OR_RETURN(MutableByteSpan dst, Slice(phys, data.size()));
+    std::memcpy(dst.data(), data.data(), data.size());
+    return OkStatus();
+  }
+
+  // Zero-fills [phys, phys+len).
+  Status Zero(uint64_t phys, uint64_t len) {
+    IMK_ASSIGN_OR_RETURN(MutableByteSpan dst, Slice(phys, len));
+    std::memset(dst.data(), 0, len);
+    return OkStatus();
+  }
+
+ private:
+  std::vector<uint8_t> ram_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_GUEST_MEMORY_H_

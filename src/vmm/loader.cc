@@ -1,0 +1,191 @@
+#include "src/vmm/loader.h"
+
+#include <cstring>
+
+#include "src/base/align.h"
+#include "src/base/stopwatch.h"
+#include "src/elf/elf_note.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/kernel/layout.h"
+
+namespace imk {
+namespace {
+
+// Computes the memsz span [min vaddr, max vaddr+memsz) over PT_LOAD headers.
+void ImageSpan(const ElfReader& elf, uint64_t* base_vaddr, uint64_t* mem_size) {
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (const Elf64Phdr& phdr : elf.program_headers()) {
+    if (phdr.p_type != kPtLoad) {
+      continue;
+    }
+    lo = std::min(lo, phdr.p_vaddr);
+    hi = std::max(hi, phdr.p_vaddr + phdr.p_memsz);
+  }
+  *base_vaddr = lo;
+  *mem_size = hi - lo;
+}
+
+Result<uint64_t> PvhEntry(const ElfReader& elf) {
+  for (const ElfSection& section : elf.sections()) {
+    if (section.header.sh_type != kShtNote) {
+      continue;
+    }
+    IMK_ASSIGN_OR_RETURN(ByteSpan data, elf.SectionData(section));
+    IMK_ASSIGN_OR_RETURN(std::vector<ElfNote> notes, ParseNoteSection(data));
+    for (const ElfNote& note : notes) {
+      if (note.name == kNoteNameXen && note.type == kNoteTypePvhEntry && note.desc.size() >= 8) {
+        return LoadLe64(note.desc.data());
+      }
+    }
+  }
+  return NotFoundError("no PVH entry note in kernel image");
+}
+
+Result<KernelConstantsNote> NoteConstants(const ElfReader& elf) {
+  for (const ElfSection& section : elf.sections()) {
+    if (section.header.sh_type != kShtNote) {
+      continue;
+    }
+    IMK_ASSIGN_OR_RETURN(ByteSpan data, elf.SectionData(section));
+    IMK_ASSIGN_OR_RETURN(std::vector<ElfNote> notes, ParseNoteSection(data));
+    if (auto constants = FindKernelConstants(notes)) {
+      return *constants;
+    }
+  }
+  return NotFoundError("no kernel-constants note");
+}
+
+}  // namespace
+
+Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
+                                      const RelocInfo* relocs, const DirectBootParams& params,
+                                      Rng& rng) {
+  LoadedKernel loaded;
+
+  // ---- parse ----
+  Stopwatch parse_timer;
+  IMK_ASSIGN_OR_RETURN(ElfReader elf, ElfReader::Parse(vmlinux));
+  uint64_t link_base = 0;
+  uint64_t mem_size = 0;
+  ImageSpan(elf, &link_base, &mem_size);
+  if (mem_size == 0) {
+    return ParseError("kernel image has no loadable segments");
+  }
+  KernelConstantsNote constants = DefaultKernelConstants();
+  if (params.use_note_constants) {
+    auto from_note = NoteConstants(elf);
+    if (from_note.ok()) {
+      constants = *from_note;
+    }
+  }
+  uint64_t entry = elf.entry();
+  if (params.protocol == BootProtocol::kPvh) {
+    IMK_ASSIGN_OR_RETURN(entry, PvhEntry(elf));
+  }
+  loaded.timings.parse_ns = parse_timer.ElapsedNs();
+  loaded.link_text_vaddr = link_base;
+  loaded.image_mem_size = mem_size;
+
+  // ---- choose offsets ----
+  Stopwatch choose_timer;
+  const bool randomize = params.requested != RandoMode::kNone;
+  if (randomize) {
+    if (relocs == nullptr || relocs->empty()) {
+      return FailedPreconditionError(
+          "randomization requested but no relocation info supplied (see Figure 8: pass the "
+          "vmlinux.relocs image to the monitor)");
+    }
+    OffsetConstraints constraints;
+    constraints.image_mem_size = mem_size;
+    constraints.guest_mem_size =
+        params.usable_mem_limit != 0 ? params.usable_mem_limit : memory.size();
+    constraints.reserved_tail = params.stack_slack;
+    constraints.constants = constants;
+    IMK_ASSIGN_OR_RETURN(loaded.choice, ChooseRandomOffsets(constraints, rng));
+  } else {
+    loaded.choice.virt_slide = 0;
+    loaded.choice.phys_load_addr = constants.physical_start;
+    if (constants.physical_start + mem_size + params.stack_slack > memory.size()) {
+      return InvalidArgumentError("guest memory too small for kernel image");
+    }
+  }
+  loaded.timings.choose_ns = choose_timer.ElapsedNs();
+
+  // ---- load segments ----
+  // One segment at a time, directly to its final physical location (§5.2).
+  Stopwatch load_timer;
+  const uint64_t phys_base = loaded.choice.phys_load_addr;
+  for (const Elf64Phdr& phdr : elf.program_headers()) {
+    if (phdr.p_type != kPtLoad) {
+      continue;
+    }
+    const uint64_t phys = phys_base + (phdr.p_vaddr - link_base);
+    IMK_ASSIGN_OR_RETURN(ByteSpan file_bytes, elf.SegmentData(phdr));
+    IMK_RETURN_IF_ERROR(memory.Write(phys, file_bytes));
+    if (phdr.p_memsz > phdr.p_filesz) {
+      IMK_RETURN_IF_ERROR(memory.Zero(phys + phdr.p_filesz, phdr.p_memsz - phdr.p_filesz));
+    }
+  }
+  loaded.timings.load_ns = load_timer.ElapsedNs();
+
+  // View of the loaded image addressed by link vaddrs.
+  IMK_ASSIGN_OR_RETURN(MutableByteSpan image_ram, memory.Slice(phys_base, mem_size));
+  LoadedImageView view(image_ram, link_base);
+
+  // ---- FGKASLR: shuffle + table fixups ----
+  if (params.requested == RandoMode::kFgKaslr) {
+    if (params.fgkaslr_disabled_cmdline) {
+      // "nofgkaslr": the per-function-section parsing still happens — the
+      // paper's reason for building separate fgkaslr kernel variants — but
+      // nothing moves and no tables are touched.
+      Stopwatch fg_timer;
+      size_t function_sections = 0;
+      for (const ElfSection& section : elf.sections()) {
+        if (section.name.rfind(".text.fn_", 0) == 0) {
+          ++function_sections;
+        }
+      }
+      IMK_ASSIGN_OR_RETURN(std::vector<ElfSymbol> symbols, elf.ReadSymbols());
+      if (function_sections == 0 || symbols.empty()) {
+        return FailedPreconditionError("kernel not built for fgkaslr");
+      }
+      loaded.timings.fg_ns = fg_timer.ElapsedNs();
+    } else {
+      Stopwatch fg_timer;
+      IMK_ASSIGN_OR_RETURN(FgKaslrResult fg, ShuffleFunctions(elf, view, params.fg, rng));
+      loaded.timings.fg_ns = fg_timer.ElapsedNs();
+      loaded.fg = std::move(fg);
+    }
+  }
+
+  // ---- relocations ----
+  if (randomize) {
+    Stopwatch reloc_timer;
+    if (loaded.fg.has_value()) {
+      IMK_ASSIGN_OR_RETURN(loaded.reloc_stats, ApplyRelocationsShuffled(view, *relocs,
+                                                                        loaded.choice.virt_slide,
+                                                                        loaded.fg->map));
+    } else {
+      IMK_ASSIGN_OR_RETURN(loaded.reloc_stats,
+                           ApplyRelocations(view, *relocs, loaded.choice.virt_slide));
+    }
+    loaded.timings.reloc_ns = reloc_timer.ElapsedNs();
+  }
+
+  // ---- mappings + boot registers ----
+  loaded.entry_vaddr = entry + loaded.choice.virt_slide;
+  loaded.kernel_map.virt_start = link_base + loaded.choice.virt_slide;
+  loaded.kernel_map.phys_start = phys_base;
+  loaded.kernel_map.size = mem_size + params.stack_slack;
+  loaded.direct_map.virt_start = kDirectMapBase;
+  loaded.direct_map.phys_start = 0;
+  loaded.direct_map.size = memory.size();
+  loaded.stack_top = loaded.kernel_map.virt_start + mem_size + params.stack_slack - 16;
+  loaded.resv_start_phys = AlignDown(phys_base, 4096);
+  loaded.resv_end_phys = AlignUp(phys_base + mem_size + params.stack_slack, 4096);
+  return loaded;
+}
+
+}  // namespace imk

@@ -1,0 +1,97 @@
+// Direct kernel boot: the monitor loads an uncompressed vmlinux ELF straight
+// into guest memory (no bootstrap loader), optionally performing in-monitor
+// KASLR / FGKASLR first — the paper's core contribution (§4).
+//
+// The flow mirrors Figure 7's right-hand column:
+//   read ELF -> choose offsets -> load segments at the chosen physical
+//   address -> (FGKASLR: parse sections + shuffle + fix tables) -> handle
+//   relocations -> hand the entry point and mappings to the vCPU.
+//
+// Relocation info arrives as a separate image (the extra monitor argument of
+// Figure 8) because uncompressed boot protocols never carried it.
+#ifndef IMKASLR_SRC_VMM_LOADER_H_
+#define IMKASLR_SRC_VMM_LOADER_H_
+
+#include <optional>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/isa/interpreter.h"
+#include "src/kaslr/fgkaslr.h"
+#include "src/kaslr/random_offset.h"
+#include "src/kaslr/relocator.h"
+#include "src/kernel/kconfig.h"
+#include "src/kernel/relocs.h"
+#include "src/vmm/guest_memory.h"
+
+namespace imk {
+
+// How the monitor finds the 64-bit entry point.
+enum class BootProtocol {
+  kLinux64,  // ELF e_entry (the 64-bit Linux boot protocol analogue)
+  kPvh,      // the PVH ELF note
+};
+
+struct DirectBootParams {
+  RandoMode requested = RandoMode::kNone;  // in-monitor randomization level
+  // "nofgkaslr" on the kernel command line: an fgkaslr-capable kernel booted
+  // with the shuffle disabled. The section/symbol parsing still happens
+  // (mirroring the paper's §5.1 observation that disabling FGKASLR at boot
+  // does not remove the extra ELF parsing) but no function moves.
+  bool fgkaslr_disabled_cmdline = false;
+  FgKaslrParams fg;
+  BootProtocol protocol = BootProtocol::kLinux64;
+  // Read CONFIG_PHYSICAL_* etc. from the kernel-constants ELF note when
+  // present (paper §4.3's future-work idea); fall back to hardcoded values.
+  bool use_note_constants = true;
+  uint64_t stack_slack = 1ull << 20;  // mapped bytes past the image for the boot stack
+  // Highest usable physical byte (0 = all of guest RAM); the monitor's
+  // device model may reserve the top of RAM for queue rings.
+  uint64_t usable_mem_limit = 0;
+};
+
+// Wall-clock breakdown of monitor-side loading (all measured).
+struct LoaderTimings {
+  uint64_t parse_ns = 0;      // ELF header/segment/note parsing
+  uint64_t choose_ns = 0;     // random offset selection
+  uint64_t load_ns = 0;       // segment copies into guest memory
+  uint64_t fg_ns = 0;         // FGKASLR engine total
+  uint64_t reloc_ns = 0;      // relocation walk
+  uint64_t total() const { return parse_ns + choose_ns + load_ns + fg_ns + reloc_ns; }
+};
+
+// Everything needed to run and interrogate the loaded guest.
+struct LoadedKernel {
+  uint64_t entry_vaddr = 0;      // runtime entry (post-slide)
+  LinearMap kernel_map;          // runtime kernel window
+  LinearMap direct_map;          // direct view of RAM
+  uint64_t stack_top = 0;        // initial SP
+  uint64_t resv_start_phys = 0;  // boot register r2: reserved hull start
+  uint64_t resv_end_phys = 0;    // boot register r3: reserved hull end
+
+  OffsetChoice choice;           // zero slide / default load when not randomized
+  RelocStats reloc_stats;
+  std::optional<FgKaslrResult> fg;
+  LoaderTimings timings;
+
+  // Link-time spans, for translating symbols to runtime addresses.
+  uint64_t link_text_vaddr = 0;
+  uint64_t image_mem_size = 0;
+
+  // Runtime address of a link-time vaddr in *unshuffled* code/data.
+  uint64_t RuntimeAddr(uint64_t link_vaddr) const {
+    return link_vaddr + choice.virt_slide;
+  }
+};
+
+// Loads `vmlinux` into `memory`. `relocs` may be null (or empty) only when
+// params.requested == RandoMode::kNone; randomization without relocation
+// info is an error (the kernel would crash), mirroring the monitor argument
+// contract of Figure 8.
+Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
+                                      const RelocInfo* relocs, const DirectBootParams& params,
+                                      Rng& rng);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_LOADER_H_

@@ -1,0 +1,311 @@
+#include "src/vmm/microvm.h"
+
+#include <cstring>
+
+#include "src/base/align.h"
+#include "src/base/stopwatch.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/kernel/layout.h"
+#include "src/vmm/firmware.h"
+
+namespace imk {
+namespace {
+
+// Reads the first PT_LOAD file offset from an ELF header + phdr table
+// prefix, without a full parse (the monitor peeks ~200 bytes to compute the
+// alignment-preserving load address for the none-optimized path).
+Result<uint64_t> PeekFirstLoadOffset(ByteSpan elf_prefix) {
+  IMK_ASSIGN_OR_RETURN(ElfReader elf, ElfReader::Parse(elf_prefix));
+  uint64_t lo = UINT64_MAX;
+  uint64_t off = UINT64_MAX;
+  for (const Elf64Phdr& phdr : elf.program_headers()) {
+    if (phdr.p_type == kPtLoad && phdr.p_vaddr < lo) {
+      lo = phdr.p_vaddr;
+      off = phdr.p_offset;
+    }
+  }
+  if (off == UINT64_MAX) {
+    return ParseError("no loadable segment");
+  }
+  return off;
+}
+
+}  // namespace
+
+MicroVm::MicroVm(Storage& storage, MicroVmConfig config)
+    : storage_(storage), config_(std::move(config)) {
+  memory_ = std::make_unique<GuestMemory>(config_.mem_size_bytes);
+}
+
+void MicroVm::InstallLazyKallsymsHook(uint64_t kallsyms_vaddr, uint64_t count,
+                                      const ShuffleMap& map, uint64_t phys_base,
+                                      uint64_t link_base, uint64_t mem_size) {
+  // First guest touch of kallsyms triggers the deferred fixup (paper §4.3).
+  GuestMemory* memory = memory_.get();
+  ShuffleMap map_copy = map;
+  vcpu_->set_kallsyms_touch_hook(
+      [memory, kallsyms_vaddr, count, map_copy, phys_base, link_base, mem_size]() -> Status {
+        auto ram = memory->Slice(phys_base, mem_size);
+        if (!ram.ok()) {
+          return ram.status();
+        }
+        LoadedImageView view(*ram, link_base);
+        return FixupKallsymsTable(view, kallsyms_vaddr, count, map_copy);
+      });
+}
+
+Result<uint64_t> MicroVm::SetUpBoard() {
+  Stopwatch timer;
+  const bool qemu = config_.monitor == MonitorKind::kQemuLike;
+  IMK_ASSIGN_OR_RETURN(DeviceModel devices,
+                       DeviceModel::Create(*memory_, qemu ? DeviceModelConfig::QemuLike()
+                                                          : DeviceModelConfig::Firecracker()));
+  devices_ = std::move(devices);
+  usable_mem_top_ = devices_->reserved_floor_phys();
+  if (qemu) {
+    IMK_RETURN_IF_ERROR(RunFirmwarePost(*memory_, /*work_iterations=*/400).status());
+  }
+  return timer.ElapsedNs();
+}
+
+Result<BootReport> MicroVm::Boot() {
+  if (booted_) {
+    return FailedPreconditionError("MicroVm::Boot called twice");
+  }
+  BootReport report;
+  if (config_.boot_mode == BootMode::kDirect) {
+    IMK_ASSIGN_OR_RETURN(report, BootDirect(report));
+  } else {
+    IMK_ASSIGN_OR_RETURN(report, BootBzImage(report));
+  }
+  booted_ = true;
+  return report;
+}
+
+Result<BootReport> MicroVm::BootDirect(BootReport& report) {
+  Stopwatch monitor_timer;
+  IMK_RETURN_IF_ERROR(SetUpBoard().status());
+
+  // Read the kernel (and, per Figure 8, the optional relocs image).
+  IMK_ASSIGN_OR_RETURN(Storage::ReadResult kernel_read, storage_.Read(config_.kernel_image));
+  report.timeline.AddModeled(BootPhase::kInMonitor, kernel_read.modeled_io_ns);
+  // QEMU-like monitors stage the image through a bounce buffer (fw_cfg DMA)
+  // rather than reading segments straight into guest memory.
+  Bytes bounce;
+  if (config_.monitor == MonitorKind::kQemuLike) {
+    bounce.assign(kernel_read.data.begin(), kernel_read.data.end());
+    kernel_read.data = ByteSpan(bounce);
+  }
+  RelocInfo relocs;
+  bool have_relocs = false;
+  if (config_.relocs_from_elf) {
+    // Figure 8's alternative flow: run the relocs tool over the ELF.
+    IMK_ASSIGN_OR_RETURN(ElfReader elf, ElfReader::Parse(kernel_read.data));
+    IMK_ASSIGN_OR_RETURN(relocs, ExtractRelocsFromElf(elf));
+    have_relocs = !relocs.empty();
+  } else if (!config_.relocs_image.empty()) {
+    IMK_ASSIGN_OR_RETURN(Storage::ReadResult relocs_read, storage_.Read(config_.relocs_image));
+    report.timeline.AddModeled(BootPhase::kInMonitor, relocs_read.modeled_io_ns);
+    IMK_ASSIGN_OR_RETURN(relocs, ParseRelocs(relocs_read.data));
+    have_relocs = true;
+  }
+
+  DirectBootParams params;
+  params.requested = config_.rando;
+  params.fgkaslr_disabled_cmdline = config_.fgkaslr_disabled_cmdline;
+  params.fg = config_.fg;
+  params.protocol = config_.protocol;
+  params.use_note_constants = config_.use_note_constants;
+  params.usable_mem_limit = usable_mem_top_;
+  Rng rng(config_.seed != 0 ? config_.seed : HostEntropySeed());
+  IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
+                       DirectLoadKernel(*memory_, kernel_read.data,
+                                        have_relocs ? &relocs : nullptr, params, rng));
+
+  report.choice = loaded.choice;
+  report.reloc_stats = loaded.reloc_stats;
+  if (loaded.fg.has_value()) {
+    report.fg_timings = loaded.fg->timings;
+    report.sections_shuffled = loaded.fg->sections_shuffled;
+  }
+  virt_slide_ = loaded.choice.virt_slide;
+  stack_top_ = loaded.stack_top;
+  kernel_map_ = loaded.kernel_map;
+  direct_map_ = loaded.direct_map;
+
+  vcpu_ = std::make_unique<Vcpu>(*memory_, loaded.kernel_map, loaded.direct_map);
+  if (icache_ != nullptr) {
+    vcpu_->set_icache(icache_);
+  }
+  if (loaded.fg.has_value() && loaded.fg->kallsyms_pending &&
+      config_.fg.kallsyms == KallsymsFixup::kLazy) {
+    InstallLazyKallsymsHook(loaded.fg->kallsyms_vaddr, loaded.fg->kallsyms_count, loaded.fg->map,
+                            loaded.choice.phys_load_addr, loaded.link_text_vaddr,
+                            loaded.image_mem_size);
+  }
+  report.timeline.AddMeasured(BootPhase::kInMonitor, monitor_timer.ElapsedNs());
+
+  // Enter guest context.
+  Stopwatch guest_timer;
+  IMK_ASSIGN_OR_RETURN(VcpuOutcome outcome,
+                       vcpu_->Run(loaded.entry_vaddr, loaded.stack_top, usable_mem_top_,
+                                  loaded.resv_start_phys, loaded.resv_end_phys,
+                                  config_.max_boot_instructions));
+  report.timeline.AddMeasured(BootPhase::kLinuxBoot, guest_timer.ElapsedNs());
+  report.init_done = outcome.init_done;
+  report.init_checksum = outcome.init_checksum;
+  report.guest_stats = outcome.run.stats;
+  report.console = std::move(outcome.console);
+  for (const auto& marker : outcome.markers) {
+    report.timeline.RecordMarker(marker.first, marker.second);
+  }
+  return std::move(report);
+}
+
+Result<BootReport> MicroVm::BootBzImage(BootReport& report) {
+  Stopwatch monitor_timer;
+  IMK_RETURN_IF_ERROR(SetUpBoard().status());
+
+  IMK_ASSIGN_OR_RETURN(Storage::ReadResult image_read, storage_.Read(config_.kernel_image));
+  report.timeline.AddModeled(BootPhase::kInMonitor, image_read.modeled_io_ns);
+  Bytes bounce;
+  if (config_.monitor == MonitorKind::kQemuLike) {
+    bounce.assign(image_read.data.begin(), image_read.data.end());
+    image_read.data = ByteSpan(bounce);
+  }
+  IMK_ASSIGN_OR_RETURN(BzImageInfo info, ParseBzImageHeader(image_read.data));
+
+  // Placement. The optimized loader runs the kernel in place, so the image
+  // must land where the kernel's first loadable byte is MIN_KERNEL_ALIGN
+  // aligned and at/above the 16 MiB minimum (the §3.3 link trick).
+  uint64_t bz_load;
+  if (info.loader_kind == LoaderKind::kNoneOptimized) {
+    if (info.codec != "none") {
+      return InvalidArgumentError("optimized loader requires compression none");
+    }
+    IMK_ASSIGN_OR_RETURN(
+        ByteSpan payload_prefix,
+        ByteReader(image_read.data).SliceAt(info.PayloadOffset() + 8,
+                                            image_read.data.size() - info.PayloadOffset() - 8));
+    IMK_ASSIGN_OR_RETURN(uint64_t first_load_offset, PeekFirstLoadOffset(payload_prefix));
+    const uint64_t in_image_text = info.PayloadOffset() + 8 + first_load_offset;
+    // Find the smallest 2 MiB-aligned text address >= 16 MiB.
+    const uint64_t text_phys = AlignUp(kPhysicalStart + in_image_text, kMinKernelAlign);
+    bz_load = text_phys - in_image_text;
+  } else {
+    // Standard loader: stage the image high, leaving room above it for the
+    // loader's heap/stack, the payload copy, and the decompressed kernel.
+    const uint64_t above = info.TotalSize() + (8ull << 20) + info.payload_size +
+                           info.payload_raw_size + (1ull << 20);
+    if (above + (64ull << 20) > usable_mem_top_) {
+      return InvalidArgumentError("guest memory too small for bzImage staging");
+    }
+    bz_load = AlignDown(usable_mem_top_ - above, 4096);
+  }
+
+  // "Monitor reads bzImage into guest memory" (§3.3 step 1).
+  IMK_RETURN_IF_ERROR(memory_->Write(bz_load, image_read.data));
+  report.timeline.AddMeasured(BootPhase::kInMonitor, monitor_timer.ElapsedNs());
+
+  // "...and jumps to the bootstrap loader entry point": everything from here
+  // until the kernel entry is guest-side cost.
+  BootstrapParams params;
+  params.rando = config_.rando;
+  params.fg = config_.fg;
+  params.bzimage_load_phys = bz_load;
+  Rng rng(config_.seed != 0 ? config_.seed : HostEntropySeed());
+  IMK_ASSIGN_OR_RETURN(BootstrapResult boot, RunBootstrapLoader(*memory_, info, params, rng));
+  report.timeline.AddMeasured(BootPhase::kBootstrapSetup,
+                              boot.timings.setup_ns + boot.timings.parse_load_ns +
+                                  boot.timings.rando_ns);
+  report.timeline.AddMeasured(BootPhase::kDecompression, boot.timings.decompress_ns);
+  report.bootstrap_timings = boot.timings;
+  report.choice = boot.choice;
+  report.reloc_stats = boot.reloc_stats;
+  if (boot.fg.has_value()) {
+    report.fg_timings = boot.fg->timings;
+    report.sections_shuffled = boot.fg->sections_shuffled;
+  }
+  virt_slide_ = boot.choice.virt_slide;
+  stack_top_ = boot.stack_top;
+  kernel_map_ = boot.kernel_map;
+  direct_map_ = boot.direct_map;
+
+  vcpu_ = std::make_unique<Vcpu>(*memory_, boot.kernel_map, boot.direct_map);
+  if (icache_ != nullptr) {
+    vcpu_->set_icache(icache_);
+  }
+  if (boot.fg.has_value() && boot.fg->kallsyms_pending &&
+      config_.fg.kallsyms == KallsymsFixup::kLazy) {
+    InstallLazyKallsymsHook(boot.fg->kallsyms_vaddr, boot.fg->kallsyms_count, boot.fg->map,
+                            boot.choice.phys_load_addr, boot.link_text_vaddr,
+                            boot.image_mem_size);
+  }
+
+  Stopwatch guest_timer;
+  IMK_ASSIGN_OR_RETURN(VcpuOutcome outcome,
+                       vcpu_->Run(boot.entry_vaddr, boot.stack_top, usable_mem_top_,
+                                  boot.resv_start_phys, boot.resv_end_phys,
+                                  config_.max_boot_instructions));
+  report.timeline.AddMeasured(BootPhase::kLinuxBoot, guest_timer.ElapsedNs());
+  report.init_done = outcome.init_done;
+  report.init_checksum = outcome.init_checksum;
+  report.guest_stats = outcome.run.stats;
+  report.console = std::move(outcome.console);
+  for (const auto& marker : outcome.markers) {
+    report.timeline.RecordMarker(marker.first, marker.second);
+  }
+  return std::move(report);
+}
+
+Result<VmSnapshot> MicroVm::Snapshot() const {
+  if (!booted_) {
+    return FailedPreconditionError("Snapshot before Boot");
+  }
+  VmSnapshot snapshot;
+  ByteSpan ram = memory_->all();
+  snapshot.memory.assign(ram.begin(), ram.end());
+  snapshot.kernel_map = kernel_map_;
+  snapshot.direct_map = direct_map_;
+  snapshot.stack_top = stack_top_;
+  snapshot.virt_slide = virt_slide_;
+  return snapshot;
+}
+
+Result<std::unique_ptr<MicroVm>> MicroVm::FromSnapshot(Storage& storage,
+                                                       const VmSnapshot& snapshot) {
+  MicroVmConfig config;
+  config.mem_size_bytes = snapshot.memory.size();
+  auto vm = std::unique_ptr<MicroVm>(new MicroVm(storage, config));
+  IMK_RETURN_IF_ERROR(vm->memory_->Write(0, ByteSpan(snapshot.memory)));
+  vm->kernel_map_ = snapshot.kernel_map;
+  vm->direct_map_ = snapshot.direct_map;
+  vm->stack_top_ = snapshot.stack_top;
+  vm->virt_slide_ = snapshot.virt_slide;
+  vm->vcpu_ = std::make_unique<Vcpu>(*vm->memory_, snapshot.kernel_map, snapshot.direct_map);
+  vm->booted_ = true;
+  return vm;
+}
+
+Result<ByteSpan> MicroVm::KernelRegion() const {
+  if (!booted_) {
+    return FailedPreconditionError("KernelRegion before Boot");
+  }
+  IMK_ASSIGN_OR_RETURN(MutableByteSpan region,
+                       memory_->Slice(kernel_map_.phys_start, kernel_map_.size));
+  return ByteSpan(region.data(), region.size());
+}
+
+Result<VcpuOutcome> MicroVm::CallGuest(uint64_t link_entry, uint64_t r1, uint64_t r2,
+                                       uint64_t max_instructions) {
+  if (!booted_) {
+    return FailedPreconditionError("CallGuest before Boot");
+  }
+  if (icache_ != nullptr) {
+    vcpu_->set_icache(icache_);
+  }
+  return vcpu_->Run(RuntimeAddr(link_entry), stack_top_, r1, r2, 0, max_instructions);
+}
+
+}  // namespace imk

@@ -1,0 +1,154 @@
+// MicroVm: the Firecracker-analogue monitor.
+//
+// Owns guest memory and a vCPU, reads kernel images from Storage (through
+// the page-cache model), boots via either the direct uncompressed-kernel
+// path (with optional in-monitor (FG)KASLR — the paper's contribution) or
+// the bzImage bootstrap path (the self-randomization baselines), and records
+// the boot timeline the paper's figures break down.
+#ifndef IMKASLR_SRC_VMM_MICROVM_H_
+#define IMKASLR_SRC_VMM_MICROVM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/bootstrap/bootstrap_loader.h"
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kconfig.h"
+#include "src/vmm/boot_timeline.h"
+#include "src/vmm/device_model.h"
+#include "src/vmm/disk_model.h"
+#include "src/vmm/guest_memory.h"
+#include "src/vmm/loader.h"
+#include "src/vmm/vcpu.h"
+
+namespace imk {
+
+// Which monitor personality to emulate (paper §2.2 cross-checks Firecracker
+// results against QEMU; "the time spent in the hypervisor varies").
+enum class MonitorKind {
+  kFirecracker,  // minimal device model, no firmware, direct entry
+  kQemuLike,     // full board init, firmware POST stage, bounce-buffer load
+};
+
+// How the kernel image is booted.
+enum class BootMode {
+  kDirect,   // uncompressed vmlinux, loaded by the monitor
+  kBzImage,  // compressed (or compression-none) image via the bootstrap loader
+};
+
+struct MicroVmConfig {
+  MonitorKind monitor = MonitorKind::kFirecracker;
+  uint64_t mem_size_bytes = 256ull << 20;
+  std::string kernel_image;       // Storage name of vmlinux (direct) or bzImage
+  std::string relocs_image;       // Storage name of vmlinux.relocs ("" = none) — Figure 8
+  // Figure 8's alternative flow: run the `relocs` tool inside the monitor,
+  // deriving relocation info from the kernel's .rela sections instead of a
+  // sidecar image. Only meaningful for direct boots with randomization.
+  bool relocs_from_elf = false;
+  BootMode boot_mode = BootMode::kDirect;
+
+  // Direct boot: what the *monitor* does. bzImage boot: what the *guest
+  // loader* does (self-randomization), which must match the kernel build.
+  RandoMode rando = RandoMode::kNone;
+  // Guest command line carries "nofgkaslr" (§5.1): fgkaslr-capable kernel,
+  // shuffle disabled at boot, extra ELF parsing still paid.
+  bool fgkaslr_disabled_cmdline = false;
+  FgKaslrParams fg;
+  BootProtocol protocol = BootProtocol::kLinux64;
+  bool use_note_constants = true;
+
+  uint64_t seed = 0;              // 0 = draw from host entropy
+  uint64_t max_boot_instructions = 2ull << 30;
+};
+
+// Everything one boot produced.
+struct BootReport {
+  BootTimeline timeline;
+  bool init_done = false;
+  uint64_t init_checksum = 0;
+  OffsetChoice choice;
+  RelocStats reloc_stats;
+  std::optional<BootstrapTimings> bootstrap_timings;  // bzImage boots only
+  std::optional<FgKaslrTimings> fg_timings;
+  uint32_t sections_shuffled = 0;
+  ExecStats guest_stats;
+  std::string console;
+};
+
+// A booted VM's frozen state: the zygote/snapshot primitive the paper's
+// related-work section discusses (§7). Restored clones share the snapshot's
+// memory layout — which is exactly why snapshot reuse nullifies ASLR unless
+// the pool keeps multiple differently-randomized zygotes (Morula).
+struct VmSnapshot {
+  Bytes memory;
+  LinearMap kernel_map;
+  LinearMap direct_map;
+  uint64_t stack_top = 0;
+  uint64_t virt_slide = 0;
+};
+
+class MicroVm {
+ public:
+  MicroVm(Storage& storage, MicroVmConfig config);
+
+  // Boots the VM: monitor work + guest init, filling the timeline. May be
+  // called once per MicroVm instance.
+  Result<BootReport> Boot();
+
+  // Post-boot: runs a guest function at link-time vaddr `link_entry` (must
+  // be in unshuffled code) with boot-register args; returns the vCPU outcome.
+  // An i-cache model may be attached first via set_icache.
+  Result<VcpuOutcome> CallGuest(uint64_t link_entry, uint64_t r1, uint64_t r2,
+                                uint64_t max_instructions);
+
+  void set_icache(IcacheModel* icache) { icache_ = icache; }
+
+  // Runtime (post-slide) address of an unshuffled link-time vaddr.
+  uint64_t RuntimeAddr(uint64_t link_vaddr) const { return link_vaddr + virt_slide_; }
+
+  // Freezes the booted VM (post-Boot only).
+  Result<VmSnapshot> Snapshot() const;
+
+  // Creates a VM resumed from a snapshot: already "booted", ready for
+  // CallGuest. The clone has the snapshot's layout, not a fresh one.
+  static Result<std::unique_ptr<MicroVm>> FromSnapshot(Storage& storage,
+                                                       const VmSnapshot& snapshot);
+
+  // The guest-physical window holding the kernel image (for layout and
+  // page-sharing analysis).
+  Result<ByteSpan> KernelRegion() const;
+
+  GuestMemory& memory() { return *memory_; }
+  const MicroVmConfig& config() const { return config_; }
+
+ private:
+  // Board bring-up common to both boot paths: device model (+ firmware POST
+  // for the QEMU-like profile). Returns measured nanoseconds.
+  Result<uint64_t> SetUpBoard();
+  Result<BootReport> BootDirect(BootReport& report);
+  Result<BootReport> BootBzImage(BootReport& report);
+  void InstallLazyKallsymsHook(uint64_t kallsyms_vaddr, uint64_t count, const ShuffleMap& map,
+                               uint64_t phys_base, uint64_t link_base, uint64_t mem_size);
+
+  Storage& storage_;
+  MicroVmConfig config_;
+  std::unique_ptr<GuestMemory> memory_;
+  std::unique_ptr<Vcpu> vcpu_;
+  IcacheModel* icache_ = nullptr;
+
+  std::optional<DeviceModel> devices_;
+  uint64_t usable_mem_top_ = 0;  // RAM below the device-queue reservation
+
+  // Post-boot state.
+  bool booted_ = false;
+  uint64_t virt_slide_ = 0;
+  uint64_t stack_top_ = 0;
+  LinearMap kernel_map_;
+  LinearMap direct_map_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_MICROVM_H_

@@ -1,0 +1,79 @@
+#include "src/vmm/vcpu.h"
+
+#include "src/base/stopwatch.h"
+#include "src/isa/isa.h"
+
+namespace imk {
+
+Vcpu::Vcpu(GuestMemory& memory, LinearMap kernel_map, LinearMap direct_map)
+    : memory_(memory), kernel_map_(kernel_map), interpreter_(memory.all(), kernel_map) {
+  interpreter_.set_secondary_map(direct_map);
+  interpreter_.set_port_handler(
+      [this](uint16_t port, bool is_write, uint64_t value) -> Result<uint64_t> {
+        return HandlePort(port, is_write, value);
+      });
+}
+
+Status Vcpu::HandleSetupTables(uint64_t descriptor_vaddr) {
+  // The descriptor lives in guest memory at a (relocated) kernel vaddr.
+  if (!kernel_map_.Contains(descriptor_vaddr) ||
+      !kernel_map_.Contains(descriptor_vaddr + kTablesDescriptorSize - 1)) {
+    return GuestFaultError("tables descriptor outside kernel mapping");
+  }
+  IMK_ASSIGN_OR_RETURN(
+      MutableByteSpan raw,
+      memory_.Slice(kernel_map_.ToPhys(descriptor_vaddr), kTablesDescriptorSize));
+  const uint64_t text_base = LoadLe64(raw.data() + 0);
+  const uint64_t ex_vaddr = LoadLe64(raw.data() + 8);
+  const uint64_t ex_count = LoadLe64(raw.data() + 16);
+  interpreter_.SetExceptionTable(ex_vaddr, ex_count, text_base);
+  return OkStatus();
+}
+
+Result<uint64_t> Vcpu::HandlePort(uint16_t port, bool is_write, uint64_t value) {
+  if (!is_write) {
+    return UnsupportedError("IN from unknown port");
+  }
+  switch (port) {
+    case kPortTimestamp:
+      outcome_.markers.push_back({value, MonotonicNowNs()});
+      return 0;
+    case kPortConsole:
+      outcome_.console.push_back(static_cast<char>(value));
+      return 0;
+    case kPortSetupTables:
+      IMK_RETURN_IF_ERROR(HandleSetupTables(value));
+      return 0;
+    case kPortKallsymsTouch:
+      if (!kallsyms_touched_) {
+        kallsyms_touched_ = true;
+        if (kallsyms_hook_) {
+          IMK_RETURN_IF_ERROR(kallsyms_hook_());
+        }
+      }
+      return 0;
+    case kPortInitDone:
+      outcome_.init_done = true;
+      outcome_.init_checksum = value;
+      outcome_.markers.push_back({0xd04e, MonotonicNowNs()});
+      return 0;
+    case kPortTestValue:
+      outcome_.test_value = value;
+      return 0;
+    default:
+      return UnsupportedError("OUT to unknown port");
+  }
+}
+
+Result<VcpuOutcome> Vcpu::Run(uint64_t entry, uint64_t stack_top, uint64_t r1, uint64_t r2,
+                              uint64_t r3, uint64_t max_instructions) {
+  outcome_ = VcpuOutcome{};
+  interpreter_.set_reg(1, r1);
+  interpreter_.set_reg(2, r2);
+  interpreter_.set_reg(3, r3);
+  IMK_ASSIGN_OR_RETURN(outcome_.run, interpreter_.Run(entry, stack_top, max_instructions));
+  outcome_.r0 = interpreter_.reg(0);
+  return std::move(outcome_);
+}
+
+}  // namespace imk

@@ -1,0 +1,62 @@
+// vCPU: the VK64 interpreter wired to guest memory plus the monitor-side
+// port-I/O contract — boot-phase timestamps (the perf-traced port writes of
+// the paper's §5.1 / artifact appendix), the guest tables descriptor, the
+// kallsyms first-touch hook (lazy fixup, §4.3), and the init-done report.
+#ifndef IMKASLR_SRC_VMM_VCPU_H_
+#define IMKASLR_SRC_VMM_VCPU_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/isa/interpreter.h"
+#include "src/vmm/guest_memory.h"
+
+namespace imk {
+
+// What a guest run produced through its ports.
+struct VcpuOutcome {
+  bool init_done = false;
+  uint64_t init_checksum = 0;
+  uint64_t r0 = 0;  // guest r0 at stop (function result for post-boot calls)
+  std::optional<uint64_t> test_value;
+  std::vector<std::pair<uint64_t, uint64_t>> markers;  // (id, host ns)
+  std::string console;
+  RunResult run;
+};
+
+class Vcpu {
+ public:
+  // `kernel_map` covers the (randomized) kernel window; `direct_map` the
+  // direct view of RAM.
+  Vcpu(GuestMemory& memory, LinearMap kernel_map, LinearMap direct_map);
+
+  // Called the first time the guest touches kallsyms (lazy fixup hook).
+  void set_kallsyms_touch_hook(std::function<Status()> hook) {
+    kallsyms_hook_ = std::move(hook);
+  }
+  void set_icache(IcacheModel* icache) { interpreter_.set_icache(icache); }
+
+  // Runs the guest from `entry` with the given stack and boot registers.
+  Result<VcpuOutcome> Run(uint64_t entry, uint64_t stack_top, uint64_t r1, uint64_t r2,
+                          uint64_t r3, uint64_t max_instructions);
+
+  Interpreter& interpreter() { return interpreter_; }
+
+ private:
+  Result<uint64_t> HandlePort(uint16_t port, bool is_write, uint64_t value);
+  Status HandleSetupTables(uint64_t descriptor_vaddr);
+
+  GuestMemory& memory_;
+  LinearMap kernel_map_;
+  Interpreter interpreter_;
+  std::function<Status()> kallsyms_hook_;
+  bool kallsyms_touched_ = false;
+  VcpuOutcome outcome_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_VCPU_H_

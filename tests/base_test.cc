@@ -1,0 +1,201 @@
+// Unit tests for src/base: Result, alignment, RNG, CRC32, byte I/O, stats.
+#include <gtest/gtest.h>
+
+#include "src/base/align.h"
+#include "src/base/bytes.h"
+#include "src/base/crc32.h"
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+
+namespace imk {
+namespace {
+
+TEST(ResultTest, OkStatus) {
+  Status status = OkStatus();
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(ResultTest, ErrorCarriesCodeAndMessage) {
+  Status status = ParseError("bad magic");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kParseError);
+  EXPECT_EQ(status.ToString(), "PARSE_ERROR: bad magic");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good = 42;
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = NotFoundError("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kNotFound);
+}
+
+Result<int> Doubler(Result<int> input) {
+  IMK_ASSIGN_OR_RETURN(int value, input);
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto doubled = Doubler(21);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 42);
+  auto propagated = Doubler(InternalError("x"));
+  EXPECT_FALSE(propagated.ok());
+  EXPECT_EQ(propagated.status().code(), ErrorCode::kInternal);
+}
+
+TEST(AlignTest, Basics) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+  EXPECT_EQ(AlignUp(0, 16), 0u);
+  EXPECT_EQ(AlignUp(1, 16), 16u);
+  EXPECT_EQ(AlignUp(16, 16), 16u);
+  EXPECT_EQ(AlignDown(31, 16), 16u);
+  EXPECT_TRUE(IsAligned(0x200000, 0x200000));
+  EXPECT_FALSE(IsAligned(0x200001, 0x200000));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(5);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.NextBelow(8)];
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, 800);  // uniform-ish: expected 1000 each
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE 802.3).
+  const char* digits = "123456789";
+  const uint32_t crc = Crc32(ByteSpan(reinterpret_cast<const uint8_t*>(digits), 9));
+  EXPECT_EQ(crc, 0xcbf43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  Bytes data(1000);
+  Rng rng(1);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  const uint32_t oneshot = Crc32(ByteSpan(data));
+  uint32_t crc = 0;
+  crc = Crc32Update(crc, ByteSpan(data.data(), 400));
+  crc = Crc32Update(crc, ByteSpan(data.data() + 400, 600));
+  EXPECT_EQ(crc, oneshot);
+}
+
+TEST(ByteReaderTest, SequentialReads) {
+  ByteWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU16(0x1234);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefull);
+  Bytes data = writer.Take();
+  ByteReader reader((ByteSpan(data)));
+  EXPECT_EQ(*reader.ReadU8(), 0xab);
+  EXPECT_EQ(*reader.ReadU16(), 0x1234);
+  EXPECT_EQ(*reader.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(*reader.ReadU64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteReaderTest, OutOfRangeReadsFail) {
+  Bytes data = {1, 2, 3};
+  ByteReader reader((ByteSpan(data)));
+  EXPECT_FALSE(reader.ReadU32().ok());
+  EXPECT_TRUE(reader.ReadU16().ok());
+  EXPECT_FALSE(reader.ReadU16().ok());
+  EXPECT_FALSE(reader.Skip(10).ok());
+  EXPECT_FALSE(reader.SliceAt(2, 5).ok());
+  EXPECT_TRUE(reader.SliceAt(1, 2).ok());
+}
+
+TEST(ByteWriterTest, AlignAndPatch) {
+  ByteWriter writer;
+  writer.WriteU8(1);
+  writer.AlignTo(8);
+  EXPECT_EQ(writer.size(), 8u);
+  writer.WriteU32(0);
+  writer.PatchU32(8, 0x55667788);
+  EXPECT_EQ(LoadLe32(writer.bytes().data() + 8), 0x55667788u);
+}
+
+TEST(HumanSizeTest, Table1Style) {
+  EXPECT_EQ(HumanSize(20ull << 20), "20M");
+  EXPECT_EQ(HumanSize(94ull << 10), "94K");
+  EXPECT_EQ(HumanSize(4404019), "4.2M");
+  EXPECT_EQ(HumanSize(512), "512B");
+}
+
+TEST(StatsTest, SummaryMoments) {
+  Summary summary;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    summary.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(summary.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(summary.min(), 2.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 9.0);
+  EXPECT_NEAR(summary.stddev(), 2.138, 0.01);
+  EXPECT_NEAR(summary.percentile(50), 4.5, 0.001);
+}
+
+TEST(StatsTest, EmptySummaryIsZero) {
+  Summary summary;
+  EXPECT_EQ(summary.mean(), 0.0);
+  EXPECT_EQ(summary.min(), 0.0);
+  EXPECT_EQ(summary.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace imk

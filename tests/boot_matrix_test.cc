@@ -1,0 +1,161 @@
+// Parameterized boot matrix: every (profile x randomization x boot method)
+// combination must boot to a verified checksum. This is the repo's broadest
+// end-to-end sweep; kernels are built once per (profile, rando) and shared.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace {
+
+constexpr double kScale = 0.008;
+constexpr uint64_t kMem = 160ull << 20;
+
+enum class Method {
+  kDirect,
+  kDirectPvh,
+  kBzLz4,
+  kBzGzip,
+  kBzNone,
+  kBzNoneOptimized,
+};
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kDirect:
+      return "direct";
+    case Method::kDirectPvh:
+      return "direct_pvh";
+    case Method::kBzLz4:
+      return "bz_lz4";
+    case Method::kBzGzip:
+      return "bz_gzip";
+    case Method::kBzNone:
+      return "bz_none";
+    case Method::kBzNoneOptimized:
+      return "bz_none_opt";
+  }
+  return "?";
+}
+
+struct MatrixCase {
+  KernelProfile profile;
+  RandoMode rando;
+  Method method;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  return std::string(KernelProfileName(info.param.profile)) + "_" +
+         RandoModeName(info.param.rando) + "_" + MethodName(info.param.method);
+}
+
+// Kernel cache shared across the whole matrix.
+struct BuiltKernel {
+  KernelBuildInfo info;
+  Storage storage;
+};
+
+BuiltKernel& GetKernel(KernelProfile profile, RandoMode rando) {
+  static std::map<std::pair<int, int>, BuiltKernel>* cache =
+      new std::map<std::pair<int, int>, BuiltKernel>();
+  auto key = std::make_pair(static_cast<int>(profile), static_cast<int>(rando));
+  auto it = cache->find(key);
+  if (it != cache->end()) {
+    return it->second;
+  }
+  BuiltKernel& built = (*cache)[key];
+  auto result = BuildKernel(KernelConfig::Make(profile, rando, kScale));
+  EXPECT_TRUE(result.ok());
+  built.info = std::move(*result);
+  built.storage.Put("vmlinux", built.info.vmlinux);
+  if (!built.info.relocs.empty()) {
+    built.storage.Put("vmlinux.relocs", SerializeRelocs(built.info.relocs));
+  }
+  for (const char* codec : {"lz4", "gzip", "none"}) {
+    auto image = BuildBzImage(ByteSpan(built.info.vmlinux), built.info.relocs, codec,
+                              LoaderKind::kStandard);
+    EXPECT_TRUE(image.ok());
+    built.storage.Put(std::string("bz-") + codec, SerializeBzImage(*image));
+  }
+  auto opt = BuildBzImage(ByteSpan(built.info.vmlinux), built.info.relocs, "none",
+                          LoaderKind::kNoneOptimized);
+  EXPECT_TRUE(opt.ok());
+  built.storage.Put("bz-none-opt", SerializeBzImage(*opt));
+  return built;
+}
+
+class BootMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(BootMatrixTest, BootsWithVerifiedChecksum) {
+  const MatrixCase& param = GetParam();
+  BuiltKernel& kernel = GetKernel(param.profile, param.rando);
+
+  MicroVmConfig config;
+  config.mem_size_bytes = kMem;
+  config.rando = param.rando;
+  config.seed = 1234;
+  switch (param.method) {
+    case Method::kDirect:
+    case Method::kDirectPvh:
+      config.kernel_image = "vmlinux";
+      config.boot_mode = BootMode::kDirect;
+      if (param.rando != RandoMode::kNone) {
+        config.relocs_image = "vmlinux.relocs";
+      }
+      config.protocol =
+          param.method == Method::kDirectPvh ? BootProtocol::kPvh : BootProtocol::kLinux64;
+      break;
+    case Method::kBzLz4:
+      config.kernel_image = "bz-lz4";
+      config.boot_mode = BootMode::kBzImage;
+      break;
+    case Method::kBzGzip:
+      config.kernel_image = "bz-gzip";
+      config.boot_mode = BootMode::kBzImage;
+      break;
+    case Method::kBzNone:
+      config.kernel_image = "bz-none";
+      config.boot_mode = BootMode::kBzImage;
+      break;
+    case Method::kBzNoneOptimized:
+      config.kernel_image = "bz-none-opt";
+      config.boot_mode = BootMode::kBzImage;
+      break;
+  }
+
+  MicroVm vm(kernel.storage, config);
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+  if (param.rando != RandoMode::kNone) {
+    EXPECT_GT(report->reloc_stats.total(), 0u);
+  }
+  if (param.rando == RandoMode::kFgKaslr) {
+    EXPECT_GT(report->sections_shuffled, 10u);
+  }
+}
+
+std::vector<MatrixCase> AllCases() {
+  std::vector<MatrixCase> cases;
+  for (KernelProfile profile :
+       {KernelProfile::kLupine, KernelProfile::kAws, KernelProfile::kUbuntu}) {
+    for (RandoMode rando : {RandoMode::kNone, RandoMode::kKaslr, RandoMode::kFgKaslr}) {
+      for (Method method : {Method::kDirect, Method::kDirectPvh, Method::kBzLz4, Method::kBzGzip,
+                            Method::kBzNone, Method::kBzNoneOptimized}) {
+        cases.push_back(MatrixCase{profile, rando, method});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, BootMatrixTest, ::testing::ValuesIn(AllCases()),
+                         CaseName);
+
+}  // namespace
+}  // namespace imk

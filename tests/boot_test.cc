@@ -1,0 +1,290 @@
+// End-to-end boot tests: every boot mode x randomization mode must execute
+// the synthetic kernel to completion with the correct init checksum — the
+// strongest evidence that (in-monitor or self-) randomization preserved
+// every relocation class, the pointer tables, the exception table, and the
+// shuffled function layout.
+#include <gtest/gtest.h>
+
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace {
+
+constexpr double kTestScale = 0.01;
+constexpr uint64_t kTestMem = 128ull << 20;
+
+// Builds (once per profile/mode) and installs images into storage.
+struct TestKernel {
+  KernelBuildInfo info;
+  Storage storage;
+
+  explicit TestKernel(RandoMode rando, bool orc = false) {
+    KernelConfig config = KernelConfig::Make(KernelProfile::kLupine, rando, kTestScale);
+    config.unwinder_orc = orc;
+    auto built = BuildKernel(config);
+    if (!built.ok()) {
+      ADD_FAILURE() << "BuildKernel: " << built.status().ToString();
+      return;
+    }
+    info = std::move(*built);
+    storage.Put("vmlinux", info.vmlinux);
+    if (!info.relocs.empty()) {
+      storage.Put("vmlinux.relocs", SerializeRelocs(info.relocs));
+    }
+  }
+
+  MicroVmConfig DirectConfig(RandoMode rando) const {
+    MicroVmConfig config;
+    config.mem_size_bytes = kTestMem;
+    config.kernel_image = "vmlinux";
+    if (!info.relocs.empty()) {
+      config.relocs_image = "vmlinux.relocs";
+    }
+    config.boot_mode = BootMode::kDirect;
+    config.rando = rando;
+    config.seed = 42;
+    return config;
+  }
+
+  void AddBzImage(const std::string& codec, LoaderKind loader) {
+    auto image = BuildBzImage(ByteSpan(info.vmlinux), info.relocs, codec, loader);
+    ASSERT_TRUE(image.ok()) << image.status().ToString();
+    storage.Put("bzimage-" + codec, SerializeBzImage(*image));
+  }
+
+  MicroVmConfig BzConfig(const std::string& codec, RandoMode rando) const {
+    MicroVmConfig config;
+    config.mem_size_bytes = kTestMem;
+    config.kernel_image = "bzimage-" + codec;
+    config.boot_mode = BootMode::kBzImage;
+    config.rando = rando;
+    config.seed = 42;
+    return config;
+  }
+};
+
+TEST(DirectBootTest, NoKaslrBootsWithCorrectChecksum) {
+  TestKernel kernel(RandoMode::kNone);
+  MicroVm vm(kernel.storage, kernel.DirectConfig(RandoMode::kNone));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+  EXPECT_EQ(report->choice.virt_slide, 0u);
+}
+
+TEST(DirectBootTest, InMonitorKaslrBootsWithCorrectChecksum) {
+  TestKernel kernel(RandoMode::kKaslr);
+  MicroVm vm(kernel.storage, kernel.DirectConfig(RandoMode::kKaslr));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+  EXPECT_NE(report->choice.virt_slide, 0u);  // seed 42 should give a nonzero slide
+  EXPECT_GT(report->reloc_stats.total(), 100u);
+}
+
+TEST(DirectBootTest, InMonitorFgKaslrBootsWithCorrectChecksum) {
+  TestKernel kernel(RandoMode::kFgKaslr);
+  MicroVm vm(kernel.storage, kernel.DirectConfig(RandoMode::kFgKaslr));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+  EXPECT_GT(report->sections_shuffled, 10u);
+}
+
+TEST(DirectBootTest, RandomizationWithoutRelocsIsRejected) {
+  TestKernel kernel(RandoMode::kKaslr);
+  MicroVmConfig config = kernel.DirectConfig(RandoMode::kKaslr);
+  config.relocs_image.clear();  // forget Figure 8's extra argument
+  MicroVm vm(kernel.storage, config);
+  auto report = vm.Boot();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(DirectBootTest, PvhProtocolBoots) {
+  TestKernel kernel(RandoMode::kKaslr);
+  MicroVmConfig config = kernel.DirectConfig(RandoMode::kKaslr);
+  config.protocol = BootProtocol::kPvh;
+  MicroVm vm(kernel.storage, config);
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+}
+
+TEST(DirectBootTest, DifferentSeedsGiveDifferentLayouts) {
+  TestKernel kernel(RandoMode::kKaslr);
+  MicroVmConfig config_a = kernel.DirectConfig(RandoMode::kKaslr);
+  config_a.seed = 1;
+  MicroVmConfig config_b = kernel.DirectConfig(RandoMode::kKaslr);
+  config_b.seed = 2;
+  MicroVm vm_a(kernel.storage, config_a);
+  MicroVm vm_b(kernel.storage, config_b);
+  auto report_a = vm_a.Boot();
+  auto report_b = vm_b.Boot();
+  ASSERT_TRUE(report_a.ok());
+  ASSERT_TRUE(report_b.ok());
+  EXPECT_NE(report_a->choice.virt_slide, report_b->choice.virt_slide);
+  EXPECT_TRUE(report_a->init_done);
+  EXPECT_TRUE(report_b->init_done);
+}
+
+TEST(BzImageBootTest, Lz4SelfRandomizedKaslrBoots) {
+  TestKernel kernel(RandoMode::kKaslr);
+  kernel.AddBzImage("lz4", LoaderKind::kStandard);
+  MicroVm vm(kernel.storage, kernel.BzConfig("lz4", RandoMode::kKaslr));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+  EXPECT_GT(report->timeline.phase_ns(BootPhase::kDecompression), 0u);
+}
+
+TEST(BzImageBootTest, Lz4NoKaslrBoots) {
+  TestKernel kernel(RandoMode::kNone);
+  kernel.AddBzImage("lz4", LoaderKind::kStandard);
+  MicroVm vm(kernel.storage, kernel.BzConfig("lz4", RandoMode::kNone));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+}
+
+TEST(BzImageBootTest, CompressionNoneBoots) {
+  TestKernel kernel(RandoMode::kKaslr);
+  kernel.AddBzImage("none", LoaderKind::kStandard);
+  MicroVm vm(kernel.storage, kernel.BzConfig("none", RandoMode::kKaslr));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+}
+
+TEST(BzImageBootTest, CompressionNoneOptimizedBootsInPlace) {
+  TestKernel kernel(RandoMode::kKaslr);
+  kernel.AddBzImage("none", LoaderKind::kNoneOptimized);
+  MicroVm vm(kernel.storage, kernel.BzConfig("none", RandoMode::kKaslr));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+  // The optimized loader skips decompression entirely (§3.3).
+  EXPECT_EQ(report->timeline.phase_ns(BootPhase::kDecompression), 0u);
+}
+
+TEST(BzImageBootTest, FgKaslrSelfRandomizedBoots) {
+  TestKernel kernel(RandoMode::kFgKaslr);
+  kernel.AddBzImage("lz4", LoaderKind::kStandard);
+  MicroVm vm(kernel.storage, kernel.BzConfig("lz4", RandoMode::kFgKaslr));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+  EXPECT_GT(report->sections_shuffled, 10u);
+}
+
+TEST(BzImageBootTest, FgKaslrNoneOptimizedBootsInPlace) {
+  TestKernel kernel(RandoMode::kFgKaslr);
+  kernel.AddBzImage("none", LoaderKind::kNoneOptimized);
+  MicroVm vm(kernel.storage, kernel.BzConfig("none", RandoMode::kFgKaslr));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+}
+
+TEST(OrcKernelTest, OrcEnabledKernelBootsUnderFgKaslr) {
+  TestKernel kernel(RandoMode::kFgKaslr, /*orc=*/true);
+  MicroVm vm(kernel.storage, kernel.DirectConfig(RandoMode::kFgKaslr));
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+}
+
+TEST(DirectBootTest, RelocsFromElfBootsWithoutSidecarImage) {
+  // Figure 8's alternative flow: no vmlinux.relocs image; the monitor runs
+  // the relocs tool over the kernel's .rela sections itself.
+  TestKernel kernel(RandoMode::kKaslr);
+  MicroVmConfig config = kernel.DirectConfig(RandoMode::kKaslr);
+  config.relocs_image.clear();
+  config.relocs_from_elf = true;
+  MicroVm vm(kernel.storage, config);
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+  EXPECT_NE(report->choice.virt_slide, 0u);
+}
+
+TEST(DirectBootTest, QemuLikeMonitorBootsAndPaysMore) {
+  // The §2.2 cross-check profile: full board + firmware POST. Boots must
+  // still verify, and the monitor phase must cost more than Firecracker's.
+  TestKernel kernel(RandoMode::kKaslr);
+  MicroVmConfig fc_config = kernel.DirectConfig(RandoMode::kKaslr);
+  MicroVmConfig qemu_config = fc_config;
+  qemu_config.monitor = MonitorKind::kQemuLike;
+  MicroVm fc_vm(kernel.storage, fc_config);
+  MicroVm qemu_vm(kernel.storage, qemu_config);
+  auto fc_report = fc_vm.Boot();
+  auto qemu_report = qemu_vm.Boot();
+  ASSERT_TRUE(fc_report.ok()) << fc_report.status().ToString();
+  ASSERT_TRUE(qemu_report.ok()) << qemu_report.status().ToString();
+  EXPECT_EQ(fc_report->init_checksum, kernel.info.expected_checksum);
+  EXPECT_EQ(qemu_report->init_checksum, kernel.info.expected_checksum);
+  EXPECT_GT(qemu_report->timeline.measured_ns(BootPhase::kInMonitor),
+            fc_report->timeline.measured_ns(BootPhase::kInMonitor));
+}
+
+TEST(BzImageBootTest, QemuLikeMonitorBootsBzImage) {
+  TestKernel kernel(RandoMode::kFgKaslr);
+  kernel.AddBzImage("lz4", LoaderKind::kStandard);
+  MicroVmConfig config = kernel.BzConfig("lz4", RandoMode::kFgKaslr);
+  config.monitor = MonitorKind::kQemuLike;
+  MicroVm vm(kernel.storage, config);
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+}
+
+TEST(DirectBootTest, NoFgKaslrCmdlineDisablesShuffleButBoots) {
+  // "nofgkaslr" on the command line: an fgkaslr kernel still pays the extra
+  // ELF parsing (paper §5.1) but nothing moves.
+  TestKernel kernel(RandoMode::kFgKaslr);
+  MicroVmConfig config = kernel.DirectConfig(RandoMode::kFgKaslr);
+  config.fgkaslr_disabled_cmdline = true;
+  MicroVm vm(kernel.storage, config);
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  EXPECT_EQ(report->init_checksum, kernel.info.expected_checksum);
+  EXPECT_EQ(report->sections_shuffled, 0u);   // no shuffle happened
+  EXPECT_NE(report->choice.virt_slide, 0u);   // base KASLR still applied
+}
+
+TEST(DirectBootTest, NoFgKaslrCmdlineOnPlainKernelIsRejected) {
+  // A kernel without per-function sections cannot be booted as "fgkaslr
+  // disabled" — there is nothing to parse (mirrors needing separate builds).
+  TestKernel kernel(RandoMode::kKaslr);
+  MicroVmConfig config = kernel.DirectConfig(RandoMode::kFgKaslr);
+  config.fgkaslr_disabled_cmdline = true;
+  MicroVm vm(kernel.storage, config);
+  auto report = vm.Boot();
+  EXPECT_FALSE(report.ok());
+}
+
+// The three kernel variants share generation logic, so the nokaslr and kaslr
+// kernels must compute identical checksums (same code, different metadata).
+TEST(KernelVariantsTest, ChecksumStableAcrossRandoModes) {
+  TestKernel none_kernel(RandoMode::kNone);
+  TestKernel kaslr_kernel(RandoMode::kKaslr);
+  EXPECT_EQ(none_kernel.info.expected_checksum, kaslr_kernel.info.expected_checksum);
+}
+
+}  // namespace
+}  // namespace imk

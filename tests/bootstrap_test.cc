@@ -1,0 +1,156 @@
+// Direct unit tests of the bootstrap-loader simulation: step accounting,
+// placement rules, and error paths (the boot_test integration suite covers
+// the happy paths end to end).
+#include <gtest/gtest.h>
+
+#include "src/base/align.h"
+#include "src/bootstrap/bootstrap_loader.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/kernel/layout.h"
+
+namespace imk {
+namespace {
+
+struct Images {
+  KernelBuildInfo info;
+  Bytes lz4_image;
+  Bytes none_image;
+  Bytes opt_image;
+
+  explicit Images(RandoMode rando) {
+    auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, rando, 0.01));
+    EXPECT_TRUE(built.ok());
+    info = std::move(*built);
+    lz4_image = SerializeBzImage(
+        *BuildBzImage(ByteSpan(info.vmlinux), info.relocs, "lz4", LoaderKind::kStandard));
+    none_image = SerializeBzImage(
+        *BuildBzImage(ByteSpan(info.vmlinux), info.relocs, "none", LoaderKind::kStandard));
+    opt_image = SerializeBzImage(
+        *BuildBzImage(ByteSpan(info.vmlinux), info.relocs, "none", LoaderKind::kNoneOptimized));
+  }
+};
+
+// Places a serialized image in guest memory and runs the loader.
+Result<BootstrapResult> RunLoader(GuestMemory& memory, const Bytes& image, RandoMode rando,
+                            uint64_t bz_load, uint64_t seed = 7) {
+  IMK_ASSIGN_OR_RETURN(BzImageInfo info, ParseBzImageHeader(ByteSpan(image)));
+  IMK_RETURN_IF_ERROR(memory.Write(bz_load, ByteSpan(image)));
+  BootstrapParams params;
+  params.rando = rando;
+  params.bzimage_load_phys = bz_load;
+  Rng rng(seed);
+  return RunBootstrapLoader(memory, info, params, rng);
+}
+
+TEST(BootstrapLoaderTest, MissingLoadAddressRejected) {
+  Images images(RandoMode::kKaslr);
+  GuestMemory memory(128ull << 20);
+  auto header = ParseBzImageHeader(ByteSpan(images.lz4_image));
+  ASSERT_TRUE(header.ok());
+  BootstrapParams params;
+  params.rando = RandoMode::kKaslr;
+  params.bzimage_load_phys = 0;
+  Rng rng(1);
+  auto result = RunBootstrapLoader(memory, *header, params, rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(BootstrapLoaderTest, OptimizedLoaderRequiresAlignment) {
+  Images images(RandoMode::kKaslr);
+  GuestMemory memory(128ull << 20);
+  // Deliberately misaligned placement: the in-place kernel start misses
+  // MIN_KERNEL_ALIGN, which the loader must reject (3.3's constraint).
+  auto result = RunLoader(memory, images.opt_image, RandoMode::kKaslr, (40ull << 20) + 4096);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(BootstrapLoaderTest, OptimizedLoaderRejectsCompressedPayload) {
+  Images images(RandoMode::kKaslr);
+  // Hand-build an inconsistent container: optimized loader + lz4 payload.
+  auto bz = BuildBzImage(ByteSpan(images.info.vmlinux), images.info.relocs, "lz4",
+                         LoaderKind::kNoneOptimized);
+  ASSERT_TRUE(bz.ok());
+  Bytes image = SerializeBzImage(*bz);
+  GuestMemory memory(128ull << 20);
+  auto result = RunLoader(memory, image, RandoMode::kKaslr, 40ull << 20);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BootstrapLoaderTest, SelfRandomizationWithoutRelocsRejected) {
+  Images images(RandoMode::kNone);  // kernel built without relocation info
+  GuestMemory memory(256ull << 20);
+  auto result = RunLoader(memory, images.lz4_image, RandoMode::kKaslr, 128ull << 20);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(BootstrapLoaderTest, StandardFlowPlacesKernelBelowStaging) {
+  Images images(RandoMode::kKaslr);
+  GuestMemory memory(256ull << 20);
+  const uint64_t bz_load = 128ull << 20;
+  auto result = RunLoader(memory, images.lz4_image, RandoMode::kKaslr, bz_load);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->choice.phys_load_addr + result->image_mem_size, bz_load);
+  EXPECT_GE(result->choice.phys_load_addr, kPhysicalStart);
+  EXPECT_GT(result->timings.decompress_ns, 0u);
+  EXPECT_GT(result->reloc_stats.total(), 0u);
+}
+
+TEST(BootstrapLoaderTest, FgKaslrPaysLargerSetup) {
+  Images images(RandoMode::kFgKaslr);
+  auto run_setup = [&](RandoMode rando) -> uint64_t {
+    GuestMemory memory(256ull << 20);
+    auto header = ParseBzImageHeader(ByteSpan(images.lz4_image));
+    EXPECT_TRUE(memory.Write(128ull << 20, ByteSpan(images.lz4_image)).ok());
+    BootstrapParams params;
+    params.rando = rando;
+    params.bzimage_load_phys = 128ull << 20;
+    Rng rng(3);
+    auto result = RunBootstrapLoader(memory, *header, params, rng);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result->timings.setup_ns;
+  };
+  // 8x boot heap -> measurably more zeroing work (5.2).
+  const uint64_t kaslr_setup = run_setup(RandoMode::kKaslr);
+  const uint64_t fg_setup = run_setup(RandoMode::kFgKaslr);
+  EXPECT_GT(fg_setup, kaslr_setup);
+}
+
+TEST(BootstrapLoaderTest, OptimizedSkipsDecompressionAndLoad) {
+  Images images(RandoMode::kKaslr);
+  GuestMemory memory(256ull << 20);
+  auto header = ParseBzImageHeader(ByteSpan(images.opt_image));
+  ASSERT_TRUE(header.ok());
+  // Compute the aligned placement exactly the way the monitor does: the
+  // kernel's first loadable byte must land MIN_KERNEL_ALIGN-aligned at or
+  // above 16 MiB.
+  auto elf = ElfReader::Parse(
+      ByteSpan(images.opt_image.data() + header->PayloadOffset() + 8,
+               images.opt_image.size() - header->PayloadOffset() - 8));
+  ASSERT_TRUE(elf.ok());
+  uint64_t first_load_offset = UINT64_MAX;
+  uint64_t lowest_vaddr = UINT64_MAX;
+  for (const auto& phdr : elf->program_headers()) {
+    if (phdr.p_type == kPtLoad && phdr.p_vaddr < lowest_vaddr) {
+      lowest_vaddr = phdr.p_vaddr;
+      first_load_offset = phdr.p_offset;
+    }
+  }
+  ASSERT_NE(first_load_offset, UINT64_MAX);
+  const uint64_t in_image_text = header->PayloadOffset() + 8 + first_load_offset;
+  const uint64_t bz_load =
+      AlignUp(kPhysicalStart + in_image_text, kMinKernelAlign) - in_image_text;
+
+  auto result = RunLoader(memory, images.opt_image, RandoMode::kKaslr, bz_load);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->timings.decompress_ns, 0u);
+  // In-place: the kernel physical base sits inside the image placement.
+  EXPECT_GT(result->choice.phys_load_addr, bz_load);
+}
+
+}  // namespace
+}  // namespace imk

@@ -1,0 +1,74 @@
+// Device model and firmware tests for the monitor profiles.
+#include <gtest/gtest.h>
+
+#include "src/vmm/device_model.h"
+#include "src/vmm/firmware.h"
+
+namespace imk {
+namespace {
+
+TEST(DeviceModelTest, FirecrackerBoardIsMinimal) {
+  GuestMemory memory(128ull << 20);
+  auto model = DeviceModel::Create(memory, DeviceModelConfig::Firecracker());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->devices().size(), 4u);
+  EXPECT_LT(model->total_queue_bytes(), 128u * 1024);
+  EXPECT_GT(model->reserved_floor_phys(), (127ull << 20));
+}
+
+TEST(DeviceModelTest, QemuBoardIsMuchLarger) {
+  GuestMemory memory(128ull << 20);
+  auto fc = DeviceModel::Create(memory, DeviceModelConfig::Firecracker());
+  auto qemu = DeviceModel::Create(memory, DeviceModelConfig::QemuLike());
+  ASSERT_TRUE(fc.ok());
+  ASSERT_TRUE(qemu.ok());
+  EXPECT_GT(qemu->devices().size(), fc->devices().size() * 5);
+  EXPECT_GT(qemu->total_queue_bytes(), fc->total_queue_bytes() * 10);
+}
+
+TEST(DeviceModelTest, QueuesAreDisjointAndZeroed) {
+  GuestMemory memory(128ull << 20);
+  // Dirty the top of RAM first.
+  ASSERT_TRUE(memory.Write(memory.size() - 4096, Bytes(4096, 0xaa)).ok());
+  auto model = DeviceModel::Create(memory, DeviceModelConfig::QemuLike());
+  ASSERT_TRUE(model.ok());
+  uint64_t prev_start = memory.size();
+  for (const auto& device : model->devices()) {
+    EXPECT_EQ(device.queue_phys + device.queue_bytes, prev_start) << device.name;
+    prev_start = device.queue_phys;
+    auto ring = memory.Slice(device.queue_phys, device.queue_bytes);
+    ASSERT_TRUE(ring.ok());
+    for (uint8_t byte : *ring) {
+      ASSERT_EQ(byte, 0);
+    }
+    EXPECT_EQ(LoadLe32(device.config_space.data()), device.device_id);
+  }
+}
+
+TEST(DeviceModelTest, TinyGuestRejected) {
+  GuestMemory memory(8ull << 20);
+  auto model = DeviceModel::Create(memory, DeviceModelConfig::QemuLike());
+  EXPECT_FALSE(model.ok());
+}
+
+TEST(FirmwareTest, PostRunsAndSignsCompletion) {
+  GuestMemory memory(64ull << 20);
+  auto report = RunFirmwarePost(memory, 100);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->instructions, 1000u);
+  auto sig = memory.Slice(0x9fc00, 8);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(LoadLe64(sig->data()), 0x424950534f455321ull);
+}
+
+TEST(FirmwareTest, WorkScalesWithIterations) {
+  GuestMemory memory(64ull << 20);
+  auto small = RunFirmwarePost(memory, 10);
+  auto big = RunFirmwarePost(memory, 1000);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(big->instructions, small->instructions * 10);
+}
+
+}  // namespace
+}  // namespace imk

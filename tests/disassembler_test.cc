@@ -1,0 +1,85 @@
+// Disassembler tests: assembler output must decode back to the expected
+// mnemonics, and every generated kernel function must disassemble cleanly.
+#include <gtest/gtest.h>
+
+#include "src/elf/elf_reader.h"
+#include "src/isa/assembler.h"
+#include "src/isa/disassembler.h"
+#include "src/kernel/kernel_builder.h"
+
+namespace imk {
+namespace {
+
+TEST(DisassemblerTest, BasicMnemonics) {
+  Assembler a(0x1000);
+  a.LoadI(1, 0x42);
+  a.LoadA64(2, 0xffffffff81000000ull);
+  a.Add(1, 2);
+  a.St64(1, 2, -8);
+  a.Out(0x3f8, 1);
+  a.Ret();
+  Bytes code = a.TakeCode();
+  auto insns = Disassemble(ByteSpan(code), 0x1000);
+  ASSERT_TRUE(insns.ok()) << insns.status().ToString();
+  ASSERT_EQ(insns->size(), 6u);
+  EXPECT_EQ((*insns)[0].text, "loadi r1, 0x42");
+  EXPECT_EQ((*insns)[1].text, "loada64 r2, 0xffffffff81000000");
+  EXPECT_EQ((*insns)[2].text, "add r1, r2");
+  EXPECT_EQ((*insns)[3].text, "st64 [r1-8], r2");
+  EXPECT_EQ((*insns)[4].text, "out 0x3f8, r1");
+  EXPECT_EQ((*insns)[5].text, "ret");
+}
+
+TEST(DisassemblerTest, BranchTargetsAreAbsolute) {
+  Assembler a(0x2000);
+  auto label = a.NewLabel();
+  a.Jmp(label);
+  a.Nop();
+  a.Bind(label);
+  a.Halt();
+  Bytes code = a.TakeCode();
+  auto insns = Disassemble(ByteSpan(code), 0x2000);
+  ASSERT_TRUE(insns.ok());
+  EXPECT_EQ((*insns)[0].text, "jmp 0x2006");  // 5-byte jmp + 1-byte nop
+}
+
+TEST(DisassemblerTest, InvalidOpcodeReported) {
+  Bytes junk = {0xee, 0x00, 0x00};
+  auto insn = DisassembleOne(ByteSpan(junk), 0);
+  EXPECT_FALSE(insn.ok());
+  EXPECT_EQ(insn.status().code(), ErrorCode::kParseError);
+}
+
+TEST(DisassemblerTest, TruncatedInstructionReported) {
+  Assembler a(0);
+  a.LoadI(1, 0x1234);
+  Bytes code = a.TakeCode();
+  auto insn = DisassembleOne(ByteSpan(code.data(), 4), 0);
+  EXPECT_FALSE(insn.ok());
+  EXPECT_EQ(insn.status().code(), ErrorCode::kOutOfRange);
+}
+
+// Every function of a generated kernel must decode from start to end with no
+// invalid or truncated instructions (the builder's pad bytes are NOPs).
+TEST(DisassemblerTest, WholeKernelTextDisassembles) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kFgKaslr, 0.01));
+  ASSERT_TRUE(info.ok());
+  auto elf = ElfReader::Parse(ByteSpan(info->vmlinux));
+  ASSERT_TRUE(elf.ok());
+  size_t checked = 0;
+  for (const auto& section : elf->sections()) {
+    if (section.name.rfind(".text.fn_", 0) != 0) {
+      continue;
+    }
+    auto data = elf->SectionData(section);
+    ASSERT_TRUE(data.ok());
+    auto insns = Disassemble(*data, section.header.sh_addr);
+    ASSERT_TRUE(insns.ok()) << section.name << ": " << insns.status().ToString();
+    EXPECT_FALSE(insns->empty());
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+}  // namespace
+}  // namespace imk

@@ -1,0 +1,244 @@
+// Unit tests for the ELF64 reader/writer/notes.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/elf/elf_note.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/elf/elf_writer.h"
+
+namespace imk {
+namespace {
+
+Bytes FillPattern(size_t n, uint8_t start) {
+  Bytes data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<uint8_t>(start + i);
+  }
+  return data;
+}
+
+// Builds a small executable with text/rodata/data/bss and symbols.
+Result<Bytes> BuildSample() {
+  ElfWriter writer(kEmVk64, kEtExec);
+  writer.set_entry(0x401000);
+
+  SectionSpec text;
+  text.name = ".text";
+  text.flags = kShfAlloc | kShfExecinstr;
+  text.addr = 0x401000;
+  text.addralign = 4096;
+  text.data = FillPattern(100, 1);
+  const size_t text_index = writer.AddSection(std::move(text));
+
+  SectionSpec rodata;
+  rodata.name = ".rodata";
+  rodata.flags = kShfAlloc;
+  rodata.addr = 0x402000;
+  rodata.addralign = 4096;
+  rodata.data = FillPattern(64, 50);
+  const size_t rodata_index = writer.AddSection(std::move(rodata));
+
+  SectionSpec data;
+  data.name = ".data";
+  data.flags = kShfAlloc | kShfWrite;
+  data.addr = 0x403000;
+  data.addralign = 4096;
+  data.data = FillPattern(32, 99);
+  const size_t data_index = writer.AddSection(std::move(data));
+
+  SectionSpec bss;
+  bss.name = ".bss";
+  bss.type = kShtNobits;
+  bss.flags = kShfAlloc | kShfWrite;
+  bss.addr = 0x404000;
+  bss.addralign = 4096;
+  bss.nobits_size = 4096;
+  const size_t bss_index = writer.AddSection(std::move(bss));
+
+  writer.AddLoadSegment({text_index}, kPfR | kPfX, 0x400000);
+  writer.AddLoadSegment({rodata_index}, kPfR, 0x400000);
+  writer.AddLoadSegment({data_index, bss_index}, kPfR | kPfW, 0x400000);
+
+  writer.AddSymbol("main", 0x401000, 100, ElfStInfo(kStbGlobal, kSttFunc), 1);
+  writer.AddSymbol("local_helper", 0x401010, 16, ElfStInfo(kStbLocal, kSttFunc), 1);
+  return writer.Finish();
+}
+
+TEST(ElfWriterTest, RoundTripHeaders) {
+  auto image = BuildSample();
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  auto reader = ElfReader::Parse(ByteSpan(*image));
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+
+  EXPECT_EQ(reader->entry(), 0x401000u);
+  EXPECT_EQ(reader->machine(), kEmVk64);
+  EXPECT_EQ(reader->program_headers().size(), 3u);
+  // null + 4 sections + symtab + strtab + shstrtab
+  EXPECT_EQ(reader->sections().size(), 8u);
+}
+
+TEST(ElfWriterTest, SegmentsCoverSections) {
+  auto image = BuildSample();
+  ASSERT_TRUE(image.ok());
+  auto reader = ElfReader::Parse(ByteSpan(*image));
+  ASSERT_TRUE(reader.ok());
+
+  const auto& phdrs = reader->program_headers();
+  EXPECT_EQ(phdrs[0].p_vaddr, 0x401000u);
+  EXPECT_EQ(phdrs[0].p_filesz, 100u);
+  EXPECT_EQ(phdrs[0].p_paddr, 0x1000u);  // paddr_delta applied
+  // data+bss segment: filesz only covers .data, memsz includes .bss.
+  EXPECT_EQ(phdrs[2].p_vaddr, 0x403000u);
+  EXPECT_EQ(phdrs[2].p_filesz, 32u);
+  EXPECT_EQ(phdrs[2].p_memsz, 0x404000u + 4096 - 0x403000u);
+}
+
+TEST(ElfWriterTest, MemoryCongruentFileLayout) {
+  // In-place execution (paper §3.3) requires file offsets to mirror memory
+  // offsets across all PT_LOAD segments.
+  auto image = BuildSample();
+  ASSERT_TRUE(image.ok());
+  auto reader = ElfReader::Parse(ByteSpan(*image));
+  ASSERT_TRUE(reader.ok());
+  const auto& phdrs = reader->program_headers();
+  const uint64_t delta0 = phdrs[0].p_offset - 0;  // relative to first vaddr
+  for (const auto& phdr : phdrs) {
+    EXPECT_EQ(phdr.p_offset - delta0, phdr.p_vaddr - phdrs[0].p_vaddr);
+  }
+}
+
+TEST(ElfWriterTest, SectionDataRoundTrips) {
+  auto image = BuildSample();
+  ASSERT_TRUE(image.ok());
+  auto reader = ElfReader::Parse(ByteSpan(*image));
+  ASSERT_TRUE(reader.ok());
+  auto section = reader->FindSection(".rodata");
+  ASSERT_TRUE(section.ok());
+  auto data = reader->SectionData(**section);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(Bytes(data->begin(), data->end()), FillPattern(64, 50));
+}
+
+TEST(ElfWriterTest, SymbolsRoundTrip) {
+  auto image = BuildSample();
+  ASSERT_TRUE(image.ok());
+  auto reader = ElfReader::Parse(ByteSpan(*image));
+  ASSERT_TRUE(reader.ok());
+  auto symbols = reader->ReadSymbols();
+  ASSERT_TRUE(symbols.ok()) << symbols.status().ToString();
+  // Null symbol + 2 added.
+  ASSERT_EQ(symbols->size(), 3u);
+  // Locals sort before globals.
+  EXPECT_EQ((*symbols)[1].name, "local_helper");
+  EXPECT_EQ((*symbols)[2].name, "main");
+  EXPECT_EQ((*symbols)[2].value, 0x401000u);
+  EXPECT_EQ((*symbols)[2].size, 100u);
+}
+
+TEST(ElfReaderTest, RejectsBadMagic) {
+  Bytes junk(128, 0);
+  EXPECT_FALSE(ElfReader::Parse(ByteSpan(junk)).ok());
+}
+
+TEST(ElfReaderTest, RejectsTruncated) {
+  auto image = BuildSample();
+  ASSERT_TRUE(image.ok());
+  for (size_t cut : {10ul, 63ul, 100ul, image->size() / 2}) {
+    auto reader = ElfReader::Parse(ByteSpan(image->data(), cut));
+    EXPECT_FALSE(reader.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ElfReaderTest, RejectsOutOfRangeSectionOffsets) {
+  auto image = BuildSample();
+  ASSERT_TRUE(image.ok());
+  // Corrupt the section header table offset.
+  Bytes corrupt = *image;
+  StoreLe64(corrupt.data() + offsetof(Elf64Ehdr, e_shoff), corrupt.size() + 1000);
+  EXPECT_FALSE(ElfReader::Parse(ByteSpan(corrupt)).ok());
+}
+
+TEST(ElfReaderTest, FuzzDoesNotCrash) {
+  auto image = BuildSample();
+  ASSERT_TRUE(image.ok());
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes corrupt = *image;
+    // Flip a handful of random bytes.
+    for (int i = 0; i < 8; ++i) {
+      corrupt[rng.NextBelow(corrupt.size())] = static_cast<uint8_t>(rng.Next());
+    }
+    auto reader = ElfReader::Parse(ByteSpan(corrupt));
+    if (reader.ok()) {
+      (void)reader->ReadSymbols();
+      for (const auto& section : reader->sections()) {
+        (void)reader->SectionData(section);
+      }
+    }
+  }
+}
+
+TEST(ElfNoteTest, RoundTrip) {
+  std::vector<ElfNote> notes;
+  ElfNote pvh;
+  pvh.name = kNoteNameXen;
+  pvh.type = kNoteTypePvhEntry;
+  pvh.desc = {1, 2, 3, 4, 5, 6, 7, 8};
+  notes.push_back(pvh);
+
+  KernelConstantsNote constants;
+  constants.physical_start = 0x1000000;
+  constants.physical_align = 0x200000;
+  constants.start_kernel_map = 0xffffffff80000000ull;
+  constants.kernel_image_size = 1ull << 30;
+  ElfNote knote;
+  knote.name = kNoteNameImk;
+  knote.type = kNoteTypeKernelConstants;
+  knote.desc = EncodeKernelConstants(constants);
+  notes.push_back(knote);
+
+  Bytes blob = BuildNoteSection(notes);
+  auto parsed = ParseNoteSection(ByteSpan(blob));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].name, kNoteNameXen);
+  EXPECT_EQ((*parsed)[0].type, kNoteTypePvhEntry);
+  EXPECT_EQ((*parsed)[0].desc, pvh.desc);
+
+  auto found = FindKernelConstants(*parsed);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->physical_start, constants.physical_start);
+  EXPECT_EQ(found->physical_align, constants.physical_align);
+  EXPECT_EQ(found->start_kernel_map, constants.start_kernel_map);
+  EXPECT_EQ(found->kernel_image_size, constants.kernel_image_size);
+}
+
+TEST(ElfNoteTest, TruncatedNoteFails) {
+  std::vector<ElfNote> notes = {{std::string("Xen"), 18, Bytes{1, 2, 3, 4}}};
+  Bytes blob = BuildNoteSection(notes);
+  blob.pop_back();
+  blob.pop_back();
+  EXPECT_FALSE(ParseNoteSection(ByteSpan(blob)).ok());
+}
+
+TEST(ElfWriterTest, RejectsOverlappingSegmentSections) {
+  ElfWriter writer(kEmVk64, kEtExec);
+  SectionSpec a;
+  a.name = ".a";
+  a.flags = kShfAlloc;
+  a.addr = 0x1000;
+  a.data = FillPattern(0x200, 0);
+  const size_t ia = writer.AddSection(std::move(a));
+  SectionSpec b;
+  b.name = ".b";
+  b.flags = kShfAlloc;
+  b.addr = 0x1100;  // overlaps .a
+  b.data = FillPattern(0x100, 0);
+  const size_t ib = writer.AddSection(std::move(b));
+  writer.AddLoadSegment({ia, ib}, kPfR, 0);
+  EXPECT_FALSE(writer.Finish().ok());
+}
+
+}  // namespace
+}  // namespace imk

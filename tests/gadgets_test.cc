@@ -1,0 +1,118 @@
+// Gadget scanner tests, including the randomization-diversity property the
+// paper's §3 motivates: one leaked gadget reveals all of a KASLR kernel but
+// almost none of an FGKASLR kernel.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/elf/elf_reader.h"
+#include "src/kaslr/gadgets.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace {
+
+TEST(GadgetScanTest, FindsRetSuffixes) {
+  Assembler a(0x1000);
+  a.LoadI(1, 5);   // 10 bytes
+  a.Add(1, 2);     // 3 bytes
+  a.Ret();         // 1 byte  -> suffixes: [ret], [add;ret], [loadi;add;ret]
+  a.Nop();
+  a.Halt();
+  Bytes code = a.TakeCode();
+  auto gadgets = ScanGadgets(ByteSpan(code), 0x1000);
+  ASSERT_EQ(gadgets.size(), 3u);
+  EXPECT_EQ(gadgets[0].vaddr, 0x1000u + 13);  // the RET itself
+  EXPECT_EQ(gadgets[0].instructions, 1u);
+  EXPECT_EQ(gadgets[1].vaddr, 0x1000u + 10);  // add; ret
+  EXPECT_EQ(gadgets[2].vaddr, 0x1000u);       // loadi; add; ret
+}
+
+TEST(GadgetScanTest, RespectsMaxLength) {
+  Assembler a(0);
+  for (int i = 0; i < 10; ++i) {
+    a.Nop();
+  }
+  a.Ret();
+  Bytes code = a.TakeCode();
+  GadgetScanOptions options;
+  options.max_instructions = 2;
+  auto gadgets = ScanGadgets(ByteSpan(code), 0, options);
+  EXPECT_EQ(gadgets.size(), 2u);
+}
+
+TEST(GadgetScanTest, NoRetsNoGadgets) {
+  Assembler a(0);
+  a.LoadI(1, 1);
+  a.Halt();
+  Bytes code = a.TakeCode();
+  EXPECT_TRUE(ScanGadgets(ByteSpan(code), 0).empty());
+}
+
+TEST(GadgetScanTest, KernelTextYieldsManyGadgets) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kKaslr, 0.01));
+  ASSERT_TRUE(info.ok());
+  // Scan the in-file text: every generated function ends in RET.
+  auto elf = ElfReader::Parse(ByteSpan(info->vmlinux));
+  ASSERT_TRUE(elf.ok());
+  auto text = elf->FindSection(".text");
+  ASSERT_TRUE(text.ok());
+  auto data = elf->SectionData(**text);
+  ASSERT_TRUE(data.ok());
+  auto gadgets = ScanGadgets(*data, (*text)->header.sh_addr);
+  EXPECT_GT(gadgets.size(), info->functions.size());
+}
+
+// The diversity property, measured on real randomized boots.
+class GadgetDiversityTest : public ::testing::Test {
+ protected:
+  static double ModalFraction(RandoMode rando) {
+    auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, rando, 0.01));
+    EXPECT_TRUE(built.ok());
+    Storage storage;
+    storage.Put("vmlinux", built->vmlinux);
+    storage.Put("vmlinux.relocs", SerializeRelocs(built->relocs));
+
+    auto boot_and_scan = [&](uint64_t seed, Bytes* text_out, uint64_t* vaddr_out) {
+      MicroVmConfig config;
+      config.mem_size_bytes = 128ull << 20;
+      config.kernel_image = "vmlinux";
+      config.relocs_image = "vmlinux.relocs";
+      config.rando = rando;
+      config.seed = seed;
+      MicroVm vm(storage, config);
+      auto report = vm.Boot();
+      EXPECT_TRUE(report.ok());
+      // Runtime text: the first config.text_bytes of the kernel region.
+      auto region = vm.KernelRegion();
+      EXPECT_TRUE(region.ok());
+      const uint64_t text_size = built->config.text_bytes;
+      text_out->assign(region->begin(), region->begin() + text_size);
+      *vaddr_out = vm.RuntimeAddr(built->text_vaddr);
+      return ScanGadgets(ByteSpan(*text_out), *vaddr_out);
+    };
+
+    Bytes text_a;
+    Bytes text_b;
+    uint64_t vaddr_a = 0;
+    uint64_t vaddr_b = 0;
+    auto gadgets_a = boot_and_scan(10, &text_a, &vaddr_a);
+    auto gadgets_b = boot_and_scan(20, &text_b, &vaddr_b);
+    auto diversity = CompareGadgetAddresses(gadgets_a, ByteSpan(text_a), vaddr_a, gadgets_b,
+                                            ByteSpan(text_b), vaddr_b);
+    EXPECT_TRUE(diversity.ok()) << diversity.status().ToString();
+    EXPECT_GT(diversity->gadgets, 100u);
+    return diversity->modal_delta_fraction;
+  }
+};
+
+TEST_F(GadgetDiversityTest, KaslrGadgetsShareOneDelta) {
+  EXPECT_GT(ModalFraction(RandoMode::kKaslr), 0.95);
+}
+
+TEST_F(GadgetDiversityTest, FgKaslrGadgetsScatter) {
+  EXPECT_LT(ModalFraction(RandoMode::kFgKaslr), 0.2);
+}
+
+}  // namespace
+}  // namespace imk

@@ -1,0 +1,193 @@
+// Unit and property tests for the entropy-coding internals: bitstream,
+// length-limited Huffman construction, canonical and table decoders.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/compress/bitstream.h"
+#include "src/compress/huffman.h"
+
+namespace imk {
+namespace {
+
+TEST(BitstreamTest, LsbRoundTrip) {
+  BitWriter writer;
+  writer.WriteBits(0b1011, 4);
+  writer.WriteBits(0x3ff, 10);
+  writer.WriteBits(1, 1);
+  Bytes data = writer.Take();
+  BitReader reader((ByteSpan(data)));
+  EXPECT_EQ(*reader.ReadBits(4), 0b1011u);
+  EXPECT_EQ(*reader.ReadBits(10), 0x3ffu);
+  EXPECT_EQ(*reader.ReadBits(1), 1u);
+}
+
+TEST(BitstreamTest, MsbFirstCodes) {
+  BitWriter writer;
+  writer.WriteBitsMsbFirst(0b110, 3);
+  Bytes data = writer.Take();
+  BitReader reader((ByteSpan(data)));
+  EXPECT_EQ(*reader.ReadBit(), 1u);
+  EXPECT_EQ(*reader.ReadBit(), 1u);
+  EXPECT_EQ(*reader.ReadBit(), 0u);
+}
+
+TEST(BitstreamTest, ExhaustionFails) {
+  Bytes data = {0xff};
+  BitReader reader((ByteSpan(data)));
+  EXPECT_TRUE(reader.ReadBits(8).ok());
+  EXPECT_FALSE(reader.ReadBit().ok());
+}
+
+TEST(BitstreamTest, PeekDoesNotConsume) {
+  BitWriter writer;
+  writer.WriteBitsMsbFirst(0b10110111, 8);
+  Bytes data = writer.Take();
+  BitReader reader((ByteSpan(data)));
+  EXPECT_EQ(reader.PeekBitsMsbFirst(4), 0b1011u);
+  EXPECT_EQ(reader.PeekBitsMsbFirst(8), 0b10110111u);
+  EXPECT_TRUE(reader.ConsumeBits(2).ok());
+  EXPECT_EQ(reader.PeekBitsMsbFirst(2), 0b11u);
+  // Remaining stream bits are 110111; peeking past the end pads with zeros.
+  EXPECT_EQ(reader.PeekBitsMsbFirst(16), 0b1101110000000000u);
+}
+
+bool KraftValid(const std::vector<uint8_t>& lengths, uint32_t max_len) {
+  uint64_t sum = 0;
+  for (uint8_t len : lengths) {
+    if (len > max_len) {
+      return false;
+    }
+    if (len > 0) {
+      sum += 1ull << (max_len - len);
+    }
+  }
+  return sum <= (1ull << max_len);
+}
+
+TEST(HuffmanTest, LengthsSatisfyKraft) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint64_t> freqs(64 + rng.NextBelow(200));
+    for (auto& f : freqs) {
+      // Heavy-tailed frequencies stress the length limiter.
+      f = rng.NextBelow(4) == 0 ? rng.NextBelow(1 << 20) : rng.NextBelow(4);
+    }
+    auto lengths = BuildHuffmanLengths(freqs, 15);
+    ASSERT_TRUE(lengths.ok());
+    EXPECT_TRUE(KraftValid(*lengths, 15));
+    for (size_t i = 0; i < freqs.size(); ++i) {
+      EXPECT_EQ(freqs[i] == 0, (*lengths)[i] == 0) << i;
+    }
+  }
+}
+
+TEST(HuffmanTest, LengthLimitIsEnforced) {
+  // Fibonacci-ish frequencies force very deep trees without a limit.
+  std::vector<uint64_t> freqs(40);
+  uint64_t a = 1;
+  uint64_t b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    const uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  auto lengths = BuildHuffmanLengths(freqs, 11);
+  ASSERT_TRUE(lengths.ok());
+  EXPECT_TRUE(KraftValid(*lengths, 11));
+  for (uint8_t len : *lengths) {
+    EXPECT_LE(len, 11);
+  }
+}
+
+TEST(HuffmanTest, SingleSymbolGetsLengthOne) {
+  std::vector<uint64_t> freqs(10, 0);
+  freqs[7] = 100;
+  auto lengths = BuildHuffmanLengths(freqs, 15);
+  ASSERT_TRUE(lengths.ok());
+  EXPECT_EQ((*lengths)[7], 1);
+}
+
+TEST(HuffmanTest, EncodeDecodeRoundTrip) {
+  Rng rng(9);
+  std::vector<uint64_t> freqs(100);
+  for (auto& f : freqs) {
+    f = 1 + rng.NextBelow(1000);
+  }
+  auto lengths = BuildHuffmanLengths(freqs, 15);
+  ASSERT_TRUE(lengths.ok());
+  HuffmanEncoder encoder(*lengths);
+  auto decoder = HuffmanDecoder::Create(*lengths);
+  ASSERT_TRUE(decoder.ok());
+
+  std::vector<uint32_t> symbols(5000);
+  for (auto& s : symbols) {
+    s = static_cast<uint32_t>(rng.NextBelow(100));
+  }
+  BitWriter writer;
+  for (uint32_t s : symbols) {
+    encoder.Encode(writer, s);
+  }
+  Bytes data = writer.Take();
+  BitReader reader((ByteSpan(data)));
+  for (uint32_t expected : symbols) {
+    auto decoded = decoder->Decode(reader);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, expected);
+  }
+}
+
+TEST(HuffmanTest, TableDecoderMatchesCanonicalDecoder) {
+  Rng rng(13);
+  std::vector<uint64_t> freqs(256);
+  for (auto& f : freqs) {
+    f = rng.NextBelow(500);
+  }
+  auto lengths = BuildHuffmanLengths(freqs, HuffmanTableDecoder::kMaxLength);
+  ASSERT_TRUE(lengths.ok());
+  HuffmanEncoder encoder(*lengths);
+  auto canonical = HuffmanDecoder::Create(*lengths);
+  auto table = HuffmanTableDecoder::Create(*lengths);
+  ASSERT_TRUE(canonical.ok());
+  ASSERT_TRUE(table.ok());
+
+  std::vector<uint32_t> symbols;
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    if (freqs[i] > 0) {
+      symbols.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  BitWriter writer;
+  for (uint32_t s : symbols) {
+    encoder.Encode(writer, s);
+  }
+  Bytes data = writer.Take();
+  BitReader reader_a((ByteSpan(data)));
+  BitReader reader_b((ByteSpan(data)));
+  for (uint32_t expected : symbols) {
+    EXPECT_EQ(*canonical->Decode(reader_a), expected);
+    EXPECT_EQ(*table->Decode(reader_b), expected);
+  }
+}
+
+TEST(HuffmanTest, OversubscribedCodeRejected) {
+  // Three symbols of length 1 cannot form a prefix code.
+  std::vector<uint8_t> lengths = {1, 1, 1};
+  EXPECT_FALSE(HuffmanDecoder::Create(lengths).ok());
+  EXPECT_FALSE(HuffmanTableDecoder::Create(lengths).ok());
+}
+
+TEST(HuffmanTest, InvalidStreamCodeFails) {
+  // Incomplete code {0 -> "0"}; the bit pattern "1..." has no symbol.
+  std::vector<uint8_t> lengths = {1, 0};
+  auto decoder = HuffmanDecoder::Create(lengths);
+  ASSERT_TRUE(decoder.ok());
+  Bytes data = {0xff};
+  BitReader reader((ByteSpan(data)));
+  EXPECT_FALSE(decoder->Decode(reader).ok());
+}
+
+}  // namespace
+}  // namespace imk

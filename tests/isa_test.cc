@@ -1,0 +1,365 @@
+// Unit tests for the VK64 assembler, interpreter, and i-cache model.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/isa/icache.h"
+#include "src/isa/interpreter.h"
+#include "src/isa/isa.h"
+
+namespace imk {
+namespace {
+
+constexpr uint64_t kCodeVaddr = 0x10000;
+constexpr uint64_t kRamSize = 1 << 20;
+
+// Assembles `body`, loads at kCodeVaddr (identity-mapped RAM), runs it.
+struct TestMachine {
+  std::vector<uint8_t> ram;
+  LinearMap map;
+
+  TestMachine() : ram(kRamSize, 0) {
+    map.virt_start = 0;
+    map.phys_start = 0;
+    map.size = kRamSize;
+  }
+
+  Result<RunResult> Run(Assembler& assembler) {
+    Bytes code = assembler.TakeCode();
+    std::copy(code.begin(), code.end(), ram.begin() + kCodeVaddr);
+    interp = std::make_unique<Interpreter>(MutableByteSpan(ram), map);
+    return interp->Run(kCodeVaddr, kRamSize - 16, 1 << 20);
+  }
+
+  std::unique_ptr<Interpreter> interp;
+};
+
+TEST(AssemblerTest, InstructionLengthsMatchEncoding) {
+  Assembler a(0);
+  a.Nop();
+  EXPECT_EQ(a.size(), InstructionLength(static_cast<uint8_t>(Opcode::kNop)));
+  a.LoadI(1, 99);
+  a.Halt();
+  EXPECT_EQ(a.size(), 1u + 10u + 1u);
+}
+
+TEST(AssemblerTest, RelocSitesRecorded) {
+  Assembler a(0x1000);
+  a.LoadA64(1, 0xffffffff81000000ull);
+  a.LoadA32(2, 0xffffffff81000010ull);
+  a.LoadNeg32(3, 12345);
+  a.Call(0xffffffff81000020ull);
+  ASSERT_EQ(a.relocs().size(), 4u);
+  EXPECT_EQ(a.relocs()[0].reloc_class, RelocClass::kAbs64);
+  EXPECT_EQ(a.relocs()[0].offset, 2u);
+  EXPECT_EQ(a.relocs()[1].reloc_class, RelocClass::kAbs32);
+  EXPECT_EQ(a.relocs()[2].reloc_class, RelocClass::kInverse32);
+  EXPECT_EQ(a.relocs()[3].reloc_class, RelocClass::kAbs64);
+}
+
+TEST(InterpreterTest, AluAndHalt) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.LoadI(0, 10);
+  a.LoadI(1, 32);
+  a.Add(0, 1);   // 42
+  a.LoadI(2, 2);
+  a.Mul(0, 2);   // 84
+  a.AddI(0, -4);  // 80
+  a.ShrI(0, 2);  // 20
+  a.ShlI(0, 1);  // 40
+  a.LoadI(3, 0xff);
+  a.Xor(0, 3);   // 40 ^ 255 = 215
+  a.AndI(0, 0xf0);  // 208
+  a.Halt();
+  auto result = machine.Run(a);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reason, StopReason::kHalt);
+  EXPECT_EQ(machine.interp->reg(0), 208u);
+}
+
+TEST(InterpreterTest, LoadStore) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.LoadI(1, 0x8000);
+  a.LoadI(2, 0xdeadbeefcafef00dull);
+  a.St64(1, 2, 8);
+  a.Ld64(3, 1, 8);
+  a.LoadI(4, 0x42);
+  a.St8(1, 4, 100);
+  a.Ld8(5, 1, 100);
+  a.Halt();
+  auto result = machine.Run(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(machine.interp->reg(3), 0xdeadbeefcafef00dull);
+  EXPECT_EQ(machine.interp->reg(5), 0x42u);
+}
+
+TEST(InterpreterTest, BranchesAndLoop) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  // for (r0 = 0, r1 = 0; r0 < 10; ++r0) r1 += r0;  => r1 = 45
+  a.LoadI(0, 0);
+  a.LoadI(1, 0);
+  a.LoadI(2, 10);
+  auto loop = a.NewLabel();
+  auto body = a.NewLabel();
+  auto done = a.NewLabel();
+  a.Bind(loop);
+  a.Jlt(0, 2, body);
+  a.Jmp(done);
+  a.Bind(body);
+  a.Add(1, 0);
+  a.AddI(0, 1);
+  a.Jmp(loop);
+  a.Bind(done);
+  a.Halt();
+  auto result = machine.Run(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(machine.interp->reg(1), 45u);
+}
+
+TEST(InterpreterTest, JzJnz) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.LoadI(0, 0);
+  a.LoadI(1, 5);
+  auto skip1 = a.NewLabel();
+  auto skip2 = a.NewLabel();
+  a.Jz(0, skip1);
+  a.LoadI(2, 111);  // must be skipped
+  a.Bind(skip1);
+  a.Jnz(1, skip2);
+  a.LoadI(3, 222);  // must be skipped
+  a.Bind(skip2);
+  a.Halt();
+  auto result = machine.Run(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(machine.interp->reg(2), 0u);
+  EXPECT_EQ(machine.interp->reg(3), 0u);
+}
+
+TEST(InterpreterTest, CallRetAndStack) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  auto over = a.NewLabel();
+  a.LoadI(0, 1);
+  // call the subroutine placed after HALT
+  const uint64_t sub_vaddr = kCodeVaddr + 10 + 9 + 1;  // loadi + call + halt
+  a.Call(sub_vaddr);
+  a.Halt();
+  // subroutine: r0 += 41; ret
+  a.AddI(0, 41);
+  a.Ret();
+  a.Bind(over);  // silence unused label check by binding at end
+  auto result = machine.Run(a);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(machine.interp->reg(0), 42u);
+}
+
+TEST(InterpreterTest, IndirectCall) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  const uint64_t sub_vaddr = kCodeVaddr + 10 + 2 + 1;  // loadi + callr + halt
+  a.LoadI(5, sub_vaddr);
+  a.CallR(5);
+  a.Halt();
+  a.LoadI(0, 7);
+  a.Ret();
+  auto result = machine.Run(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(machine.interp->reg(0), 7u);
+}
+
+TEST(InterpreterTest, PushPop) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.LoadI(1, 11);
+  a.LoadI(2, 22);
+  a.Push(1);
+  a.Push(2);
+  a.Pop(3);  // 22
+  a.Pop(4);  // 11
+  a.Halt();
+  auto result = machine.Run(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(machine.interp->reg(3), 22u);
+  EXPECT_EQ(machine.interp->reg(4), 11u);
+}
+
+TEST(InterpreterTest, SignExtension32) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.LoadA32(1, 0xffffffff81000000ull);  // low 32 bits 0x81000000, sign bit set
+  a.Halt();
+  auto result = machine.Run(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(machine.interp->reg(1), 0xffffffff81000000ull);
+}
+
+TEST(InterpreterTest, RdPc) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.Nop();
+  a.RdPc(1);
+  a.Halt();
+  auto result = machine.Run(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(machine.interp->reg(1), kCodeVaddr + 1);
+}
+
+TEST(InterpreterTest, UnmappedAccessFaults) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.LoadI(1, kRamSize + 4096);  // beyond the map
+  a.Ld64(2, 1, 0);
+  a.Halt();
+  auto result = machine.Run(a);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kGuestFault);
+}
+
+TEST(InterpreterTest, InvalidOpcodeFaults) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.Halt();
+  machine.ram[kCodeVaddr] = 0xfe;  // overwrite with invalid opcode
+  Bytes code = a.TakeCode();
+  machine.ram[kCodeVaddr] = 0xfe;
+  Interpreter interp(MutableByteSpan(machine.ram), machine.map);
+  auto result = interp.Run(kCodeVaddr, kRamSize - 16, 1000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kGuestFault);
+}
+
+TEST(InterpreterTest, InstructionCapStopsRunawayLoop) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  auto loop = a.NewLabel();
+  a.Bind(loop);
+  a.Jmp(loop);
+  Bytes code = a.TakeCode();
+  std::copy(code.begin(), code.end(), machine.ram.begin() + kCodeVaddr);
+  Interpreter interp(MutableByteSpan(machine.ram), machine.map);
+  auto result = interp.Run(kCodeVaddr, kRamSize - 16, 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reason, StopReason::kInstructionCap);
+  EXPECT_EQ(result->stats.instructions, 1000u);
+}
+
+TEST(InterpreterTest, PortIo) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.LoadI(1, 0x1234);
+  a.Out(kPortTestValue, 1);
+  a.In(2, kPortTestValue);
+  a.Halt();
+  Bytes code = a.TakeCode();
+  std::copy(code.begin(), code.end(), machine.ram.begin() + kCodeVaddr);
+  Interpreter interp(MutableByteSpan(machine.ram), machine.map);
+  uint64_t seen = 0;
+  interp.set_port_handler([&](uint16_t port, bool is_write, uint64_t value) -> Result<uint64_t> {
+    EXPECT_EQ(port, kPortTestValue);
+    if (is_write) {
+      seen = value;
+      return 0;
+    }
+    return seen + 1;
+  });
+  auto result = interp.Run(kCodeVaddr, kRamSize - 16, 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(seen, 0x1234u);
+  EXPECT_EQ(interp.reg(2), 0x1235u);
+}
+
+TEST(InterpreterTest, ProbeFaultUsesExceptionTable) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.LoadI(1, kRamSize * 2);        // unmapped
+  const uint64_t probe_vaddr = kCodeVaddr + 10;
+  a.Probe(2, 1, 0);
+  a.LoadI(0, 0xbad);               // fall-through: must be skipped
+  a.Halt();
+  const uint64_t fixup_vaddr = kCodeVaddr + 10 + 7 + 10 + 1;
+  a.LoadI(0, 0x900d);
+  a.Halt();
+
+  Bytes code = a.TakeCode();
+  std::copy(code.begin(), code.end(), machine.ram.begin() + kCodeVaddr);
+  // Exception table at phys 0x100: offsets relative to text base kCodeVaddr.
+  StoreLe64(machine.ram.data() + 0x100, probe_vaddr - kCodeVaddr);
+  StoreLe64(machine.ram.data() + 0x108, fixup_vaddr - kCodeVaddr);
+  Interpreter interp(MutableByteSpan(machine.ram), machine.map);
+  interp.SetExceptionTable(0x100, 1, kCodeVaddr);
+  auto result = interp.Run(kCodeVaddr, kRamSize - 16, 1000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(interp.reg(0), 0x900du);
+  EXPECT_EQ(interp.reg(2), 0u);  // faulting probe loads zero
+}
+
+TEST(InterpreterTest, ProbeFaultWithoutTableFaults) {
+  TestMachine machine;
+  Assembler a(kCodeVaddr);
+  a.LoadI(1, kRamSize * 2);
+  a.Probe(2, 1, 0);
+  a.Halt();
+  auto result = machine.Run(a);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kGuestFault);
+}
+
+TEST(IcacheTest, HitsAfterFirstAccess) {
+  IcacheModel icache((IcacheConfig()));
+  EXPECT_FALSE(icache.Access(0x1000));
+  EXPECT_TRUE(icache.Access(0x1000));
+  EXPECT_TRUE(icache.Access(0x1030));  // same 64B line
+  EXPECT_FALSE(icache.Access(0x1040));  // next line
+  EXPECT_EQ(icache.misses(), 2u);
+  EXPECT_EQ(icache.hits(), 2u);
+}
+
+TEST(IcacheTest, CapacityEviction) {
+  IcacheConfig config;
+  config.size_bytes = 1024;
+  config.line_bytes = 64;
+  config.ways = 2;  // 8 sets
+  IcacheModel icache(config);
+  // Touch 3 lines mapping to the same set (stride = sets * line = 512).
+  EXPECT_FALSE(icache.Access(0));
+  EXPECT_FALSE(icache.Access(512));
+  EXPECT_FALSE(icache.Access(1024));  // evicts line 0 (LRU)
+  EXPECT_FALSE(icache.Access(0));     // miss again
+  EXPECT_TRUE(icache.Access(1024));   // still resident
+}
+
+TEST(IcacheTest, ResetClearsState) {
+  IcacheModel icache((IcacheConfig()));
+  icache.Access(0x40);
+  icache.Reset();
+  EXPECT_EQ(icache.accesses(), 0u);
+  EXPECT_FALSE(icache.Access(0x40));
+}
+
+TEST(IcacheTest, ScatteredLayoutMissesMore) {
+  // The Figure 11 mechanism in miniature: N small "functions" walked
+  // repeatedly, contiguous vs scattered, under capacity pressure.
+  IcacheConfig config;
+  config.size_bytes = 4096;
+  config.line_bytes = 64;
+  config.ways = 4;
+  auto run = [&](uint64_t stride) {
+    IcacheModel icache(config);
+    for (int round = 0; round < 50; ++round) {
+      for (uint64_t fn = 0; fn < 96; ++fn) {
+        icache.Access(fn * stride);
+        icache.Access(fn * stride + 24);
+      }
+    }
+    return icache.miss_rate();
+  };
+  const double contiguous = run(40);   // functions share lines
+  const double scattered = run(4096 + 64);  // one line (and set pressure) each
+  EXPECT_LT(contiguous, scattered);
+}
+
+}  // namespace
+}  // namespace imk

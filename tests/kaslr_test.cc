@@ -1,0 +1,305 @@
+// Unit tests for the KASLR core: offset picking, relocation engine, shuffle
+// map, FGKASLR engine invariants, and entropy analysis.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/base/align.h"
+#include "src/elf/elf_reader.h"
+#include "src/kaslr/entropy.h"
+#include "src/kaslr/fgkaslr.h"
+#include "src/kaslr/random_offset.h"
+#include "src/kaslr/relocator.h"
+#include "src/kaslr/shuffle_map.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/kernel/layout.h"
+
+namespace imk {
+namespace {
+
+OffsetConstraints MakeConstraints(uint64_t image_size = 8ull << 20,
+                                  uint64_t guest_mem = 256ull << 20) {
+  OffsetConstraints constraints;
+  constraints.image_mem_size = image_size;
+  constraints.guest_mem_size = guest_mem;
+  constraints.reserved_tail = 1 << 20;
+  constraints.constants = DefaultKernelConstants();
+  return constraints;
+}
+
+TEST(RandomOffsetTest, ChoicesAlignedAndInRange) {
+  OffsetConstraints constraints = MakeConstraints();
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    auto choice = ChooseRandomOffsets(constraints, rng);
+    ASSERT_TRUE(choice.ok());
+    EXPECT_TRUE(IsAligned(choice->virt_slide, kPhysicalAlign));
+    EXPECT_TRUE(IsAligned(choice->phys_load_addr, kPhysicalAlign));
+    EXPECT_GE(choice->phys_load_addr, kPhysicalStart);
+    // Virtual placement: within [16M, 1G) window.
+    EXPECT_LE(kPhysicalStart + choice->virt_slide + constraints.image_mem_size,
+              kKernelImageSize);
+    // Physical placement: image + tail fit in RAM.
+    EXPECT_LE(choice->phys_load_addr + constraints.image_mem_size + constraints.reserved_tail,
+              constraints.guest_mem_size);
+  }
+}
+
+TEST(RandomOffsetTest, SlotCountMatchesWindow) {
+  OffsetConstraints constraints = MakeConstraints(/*image_size=*/8ull << 20);
+  auto slots = VirtualSlots(constraints);
+  ASSERT_TRUE(slots.ok());
+  // (1G - 16M - 8M) / 2M + 1 = 501
+  EXPECT_EQ(*slots, (kKernelImageSize - kPhysicalStart - (8ull << 20)) / kPhysicalAlign + 1);
+}
+
+TEST(RandomOffsetTest, OversizedImageRejected) {
+  OffsetConstraints constraints = MakeConstraints(/*image_size=*/2ull << 30);
+  Rng rng(1);
+  EXPECT_FALSE(ChooseRandomOffsets(constraints, rng).ok());
+}
+
+TEST(RandomOffsetTest, TinyGuestMemoryRejected) {
+  OffsetConstraints constraints = MakeConstraints(8ull << 20, /*guest_mem=*/16ull << 20);
+  Rng rng(1);
+  EXPECT_FALSE(ChooseRandomOffsets(constraints, rng).ok());
+}
+
+TEST(RandomOffsetTest, EntropyMatchesLinuxWindow) {
+  // The paper (§4.3): offsets span 16MB..1GB with 2MB alignment — ~9 bits of
+  // entropy for a small kernel, identical to Linux.
+  OffsetConstraints constraints = MakeConstraints(8ull << 20);
+  auto bits = VirtualEntropyBits(constraints);
+  ASSERT_TRUE(bits.ok());
+  EXPECT_GT(*bits, 8.9);
+  EXPECT_LT(*bits, 9.1);
+}
+
+TEST(EntropyTest, SamplerCoversSlotsUniformly) {
+  OffsetConstraints constraints = MakeConstraints();
+  auto report = MeasureOffsetEntropy(constraints, 20000, 7, 16);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->distinct_slides, report->possible_slots / 2);
+  // Chi-squared for 16 buckets: df=15; > 45 would be wildly non-uniform.
+  EXPECT_LT(report->chi_squared, 45.0);
+  EXPECT_EQ(report->min_slide, 0.0);
+}
+
+TEST(EntropyTest, ShuffleEntropyGrows) {
+  EXPECT_NEAR(ShuffleEntropyBits(2), 1.0, 1e-9);
+  EXPECT_GT(ShuffleEntropyBits(1000), 8000);  // log2(1000!) ~ 8529
+  EXPECT_LT(ShuffleEntropyBits(1000), 9000);
+}
+
+TEST(ShuffleMapTest, TranslateAndDelta) {
+  std::vector<ShuffledRange> ranges = {
+      {0x1000, 0x3000, 0x100},
+      {0x2000, 0x1000, 0x200},
+      {0x3000, 0x2000, 0x80},
+  };
+  ShuffleMap map(ranges);
+  EXPECT_EQ(map.DeltaFor(0x1000), 0x2000);
+  EXPECT_EQ(map.DeltaFor(0x10ff), 0x2000);
+  EXPECT_EQ(map.DeltaFor(0x1100), 0);  // past range end
+  EXPECT_EQ(map.Translate(0x2080), 0x1080u);
+  EXPECT_EQ(map.Translate(0x3040), 0x2040u);
+  EXPECT_EQ(map.DeltaFor(0x500), 0);   // below all ranges
+  EXPECT_EQ(map.DeltaFor(0x9000), 0);  // above all ranges
+}
+
+TEST(RelocatorTest, AppliesAllThreeClasses) {
+  // A tiny fake image: abs64 at 0x00, abs32 at 0x10, inverse32 at 0x20.
+  Bytes buffer(0x40, 0);
+  const uint64_t base = kLinkTextVaddr;
+  StoreLe64(buffer.data() + 0x00, base + 0x123);
+  StoreLe32(buffer.data() + 0x10, static_cast<uint32_t>(base + 0x456));
+  StoreLe32(buffer.data() + 0x20, static_cast<uint32_t>(0x1000 - (base + 0x789)));
+
+  LoadedImageView view(MutableByteSpan(buffer), base);
+  RelocInfo relocs;
+  relocs.abs64 = {base + 0x00};
+  relocs.abs32 = {base + 0x10};
+  relocs.inverse32 = {base + 0x20};
+
+  const uint64_t delta = 0x600000;
+  auto stats = ApplyRelocations(view, relocs, delta);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->total(), 3u);
+  EXPECT_EQ(LoadLe64(buffer.data() + 0x00), base + 0x123 + delta);
+  EXPECT_EQ(LoadLe32(buffer.data() + 0x10), static_cast<uint32_t>(base + 0x456 + delta));
+  EXPECT_EQ(LoadLe32(buffer.data() + 0x20),
+            static_cast<uint32_t>(0x1000 - (base + 0x789) - delta));
+}
+
+TEST(RelocatorTest, FieldOutsideImageFails) {
+  Bytes buffer(0x40, 0);
+  LoadedImageView view(MutableByteSpan(buffer), kLinkTextVaddr);
+  RelocInfo relocs;
+  relocs.abs64 = {kLinkTextVaddr + 0x100};  // outside 0x40-byte image
+  EXPECT_FALSE(ApplyRelocations(view, relocs, 0x200000).ok());
+}
+
+TEST(RelocatorTest, ShuffledVariantAdjustsMovedTargets) {
+  // Value at 0x00 points into a section that moved +0x1000; field at 0x30
+  // itself lives in a section that moved +0x8.
+  Bytes buffer(0x2000, 0);
+  const uint64_t base = kLinkTextVaddr;
+  StoreLe64(buffer.data() + 0x00, base + 0x500);   // target moves
+  StoreLe64(buffer.data() + 0x38, base + 0x1800);  // field moved 0x30 -> 0x38; target static
+
+  ShuffleMap map({{base + 0x500, base + 0x1500, 0x100},   // target section
+                  {base + 0x20, base + 0x28, 0x20}});     // field section
+  LoadedImageView view(MutableByteSpan(buffer), base);
+  RelocInfo relocs;
+  relocs.abs64 = {base + 0x00, base + 0x30};
+  const uint64_t delta = 0x400000;
+  auto stats = ApplyRelocationsShuffled(view, relocs, delta, map);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->section_adjusted, 1u);
+  EXPECT_EQ(LoadLe64(buffer.data() + 0x00), base + 0x1500 + delta);
+  EXPECT_EQ(LoadLe64(buffer.data() + 0x38), base + 0x1800 + delta);
+}
+
+// ---- FGKASLR engine invariants over a real kernel image ----
+
+struct ShuffledKernel {
+  KernelBuildInfo info;
+  Bytes loaded;  // segments placed at link addresses
+  FgKaslrResult result;
+
+  static ShuffledKernel Make(uint64_t seed, KallsymsFixup kallsyms = KallsymsFixup::kEager) {
+    ShuffledKernel sk;
+    auto built =
+        BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kFgKaslr, 0.01));
+    EXPECT_TRUE(built.ok());
+    sk.info = std::move(*built);
+
+    auto elf = ElfReader::Parse(ByteSpan(sk.info.vmlinux));
+    EXPECT_TRUE(elf.ok());
+    sk.loaded.assign(sk.info.ImageMemSize(), 0);
+    for (const auto& phdr : elf->program_headers()) {
+      if (phdr.p_type != 1) {
+        continue;
+      }
+      auto data = elf->SegmentData(phdr);
+      EXPECT_TRUE(data.ok());
+      std::copy(data->begin(), data->end(),
+                sk.loaded.begin() + (phdr.p_vaddr - sk.info.text_vaddr));
+    }
+    LoadedImageView view(MutableByteSpan(sk.loaded), sk.info.text_vaddr);
+    FgKaslrParams params;
+    params.kallsyms = kallsyms;
+    Rng rng(seed);
+    auto result = ShuffleFunctions(*elf, view, params, rng);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    sk.result = std::move(*result);
+    return sk;
+  }
+};
+
+TEST(FgKaslrTest, ShuffleIsAPermutationPreservingBytes) {
+  ShuffledKernel sk = ShuffledKernel::Make(5);
+  ASSERT_EQ(sk.result.sections_shuffled, sk.info.functions.size());
+
+  // Every function's bytes must appear intact at its new address.
+  // Rebuild the original bytes from the ELF.
+  auto elf = ElfReader::Parse(ByteSpan(sk.info.vmlinux));
+  ASSERT_TRUE(elf.ok());
+  std::set<uint64_t> new_starts;
+  for (const auto& fn : sk.info.functions) {
+    const int64_t delta = sk.result.map.DeltaFor(fn.vaddr);
+    const uint64_t new_vaddr = fn.vaddr + static_cast<uint64_t>(delta);
+    EXPECT_TRUE(new_starts.insert(new_vaddr).second) << "overlapping sections";
+    auto section = elf->FindSection(".text." + fn.name);
+    ASSERT_TRUE(section.ok());
+    auto original = elf->SectionData(**section);
+    ASSERT_TRUE(original.ok());
+    ByteSpan moved(sk.loaded.data() + (new_vaddr - sk.info.text_vaddr), original->size());
+    EXPECT_TRUE(std::equal(original->begin(), original->end(), moved.begin()))
+        << fn.name << " bytes corrupted";
+  }
+}
+
+TEST(FgKaslrTest, ShuffleActuallyMovesMostFunctions) {
+  ShuffledKernel sk = ShuffledKernel::Make(5);
+  size_t moved = 0;
+  for (const auto& fn : sk.info.functions) {
+    if (sk.result.map.DeltaFor(fn.vaddr) != 0) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, sk.info.functions.size() * 9 / 10);
+}
+
+TEST(FgKaslrTest, DifferentSeedsGiveDifferentPermutations) {
+  ShuffledKernel a = ShuffledKernel::Make(5);
+  ShuffledKernel b = ShuffledKernel::Make(6);
+  size_t differing = 0;
+  for (const auto& fn : a.info.functions) {
+    if (a.result.map.DeltaFor(fn.vaddr) != b.result.map.DeltaFor(fn.vaddr)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, a.info.functions.size() / 2);
+}
+
+TEST(FgKaslrTest, KallsymsStaysSortedAndConsistent) {
+  ShuffledKernel sk = ShuffledKernel::Make(7);
+  // Locate the kallsyms table through the ELF symbol.
+  auto elf = ElfReader::Parse(ByteSpan(sk.info.vmlinux));
+  auto symbols = elf->ReadSymbols();
+  ASSERT_TRUE(symbols.ok());
+  uint64_t table_vaddr = 0;
+  uint64_t table_size = 0;
+  for (const auto& symbol : *symbols) {
+    if (symbol.name == "__kallsyms") {
+      table_vaddr = symbol.value;
+      table_size = symbol.size;
+    }
+  }
+  ASSERT_NE(table_vaddr, 0u);
+  const uint8_t* table = sk.loaded.data() + (table_vaddr - sk.info.text_vaddr);
+  uint64_t prev = 0;
+  std::set<uint64_t> offsets;
+  for (uint64_t i = 0; i < table_size / 16; ++i) {
+    const uint64_t offset = LoadLe64(table + i * 16);
+    EXPECT_GE(offset, prev) << "kallsyms not sorted after fixup";
+    prev = offset;
+    offsets.insert(offset);
+  }
+  // Every (moved) function start must appear in the fixed-up table.
+  for (const auto& fn : sk.info.functions) {
+    const uint64_t new_offset =
+        fn.vaddr + static_cast<uint64_t>(sk.result.map.DeltaFor(fn.vaddr)) - sk.info.text_vaddr;
+    EXPECT_TRUE(offsets.count(new_offset)) << fn.name;
+  }
+}
+
+TEST(FgKaslrTest, LazyModeLeavesKallsymsPending) {
+  ShuffledKernel sk = ShuffledKernel::Make(8, KallsymsFixup::kLazy);
+  EXPECT_TRUE(sk.result.kallsyms_pending);
+  EXPECT_GT(sk.result.kallsyms_count, 0u);
+  // Deferred fixup must produce a sorted table too.
+  LoadedImageView view(MutableByteSpan(sk.loaded), sk.info.text_vaddr);
+  ASSERT_TRUE(FixupKallsymsTable(view, sk.result.kallsyms_vaddr, sk.result.kallsyms_count,
+                                 sk.result.map)
+                  .ok());
+}
+
+TEST(FgKaslrTest, NonFgKernelIsRejected) {
+  auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kKaslr, 0.01));
+  ASSERT_TRUE(built.ok());
+  auto elf = ElfReader::Parse(ByteSpan(built->vmlinux));
+  ASSERT_TRUE(elf.ok());
+  Bytes loaded(built->ImageMemSize(), 0);
+  LoadedImageView view(MutableByteSpan(loaded), built->text_vaddr);
+  FgKaslrParams params;
+  Rng rng(1);
+  auto result = ShuffleFunctions(*elf, view, params, rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace imk

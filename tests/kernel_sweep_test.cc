@@ -1,0 +1,104 @@
+// Parameterized property sweep over kernel-builder scales and profiles:
+// structural invariants must hold at every size, not just the test default.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/base/align.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/kernel/layout.h"
+
+namespace imk {
+namespace {
+
+struct SweepCase {
+  KernelProfile profile;
+  double scale;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<SweepCase>& info) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s_scale_%04d", KernelProfileName(info.param.profile),
+                static_cast<int>(info.param.scale * 1000));
+  return buf;
+}
+
+class KernelSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(KernelSweepTest, StructuralInvariants) {
+  const SweepCase& param = GetParam();
+  KernelConfig config = KernelConfig::Make(param.profile, RandoMode::kFgKaslr, param.scale);
+  auto built = BuildKernel(config);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const KernelBuildInfo& info = *built;
+
+  // The ELF must parse and expose the expected structure.
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+  ASSERT_TRUE(elf.ok());
+  EXPECT_EQ(elf->entry(), info.entry_vaddr);
+
+  // The memsz span from the program headers must match ImageMemSize.
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (const auto& phdr : elf->program_headers()) {
+    if (phdr.p_type == kPtLoad) {
+      lo = std::min(lo, phdr.p_vaddr);
+      hi = std::max(hi, phdr.p_vaddr + phdr.p_memsz);
+    }
+  }
+  EXPECT_EQ(lo, info.text_vaddr);
+  EXPECT_LE(hi, info.image_end_vaddr);
+
+  // Generated functions fill most of the text budget (the remainder is the
+  // .text.rest pad section), and the .rodata section starts at or past the
+  // full budget.
+  const uint64_t text_span = info.functions.back().vaddr + info.functions.back().size -
+                             info.text_vaddr;
+  EXPECT_GE(text_span + 4096, config.text_bytes * 7 / 10);
+  auto rodata = elf->FindSection(".rodata");
+  ASSERT_TRUE(rodata.ok());
+  EXPECT_GE((*rodata)->header.sh_addr - info.text_vaddr, config.text_bytes);
+
+  // All functions are inside the text segment and 16-aligned.
+  for (const auto& fn : info.functions) {
+    EXPECT_TRUE(IsAligned(fn.vaddr, 16));
+    EXPECT_GE(fn.vaddr, info.text_vaddr);
+    EXPECT_LT(fn.vaddr + fn.size, info.image_end_vaddr);
+  }
+
+  // Relocation fields live in loadable memory and are unique per class.
+  for (const auto* list : {&info.relocs.abs64, &info.relocs.abs32, &info.relocs.inverse32}) {
+    EXPECT_TRUE(std::is_sorted(list->begin(), list->end()));
+    EXPECT_EQ(std::adjacent_find(list->begin(), list->end()), list->end())
+        << "duplicate relocation entry";
+  }
+
+  // The image fits its advertised randomization window.
+  EXPECT_LE(kPhysicalStart + info.ImageMemSize(), kKernelImageSize);
+}
+
+TEST_P(KernelSweepTest, SizesScaleMonotonically) {
+  const SweepCase& param = GetParam();
+  auto small = BuildKernel(KernelConfig::Make(param.profile, RandoMode::kKaslr, param.scale));
+  auto bigger =
+      BuildKernel(KernelConfig::Make(param.profile, RandoMode::kKaslr, param.scale * 2));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(bigger.ok());
+  EXPECT_GT(bigger->vmlinux.size(), small->vmlinux.size());
+  EXPECT_GT(bigger->relocs.total(), small->relocs.total());
+  EXPECT_GT(bigger->functions.size(), small->functions.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, KernelSweepTest,
+                         ::testing::Values(SweepCase{KernelProfile::kLupine, 0.004},
+                                           SweepCase{KernelProfile::kLupine, 0.02},
+                                           SweepCase{KernelProfile::kAws, 0.004},
+                                           SweepCase{KernelProfile::kAws, 0.02},
+                                           SweepCase{KernelProfile::kUbuntu, 0.004},
+                                           SweepCase{KernelProfile::kUbuntu, 0.02}),
+                         SweepName);
+
+}  // namespace
+}  // namespace imk

@@ -1,0 +1,264 @@
+// Unit tests for the synthetic kernel builder, relocation info format, and
+// the bzImage container.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kconfig.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/kernel/layout.h"
+#include "src/kernel/relocs.h"
+
+namespace imk {
+namespace {
+
+KernelBuildInfo Build(KernelProfile profile, RandoMode rando, double scale = 0.01) {
+  auto info = BuildKernel(KernelConfig::Make(profile, rando, scale));
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+  return std::move(*info);
+}
+
+TEST(KConfigTest, NamesAndScaling) {
+  KernelConfig lupine = KernelConfig::Make(KernelProfile::kLupine, RandoMode::kKaslr, 0.5);
+  EXPECT_EQ(lupine.Name(), "lupine-kaslr");
+  KernelConfig aws = KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, 0.5);
+  EXPECT_EQ(aws.Name(), "aws-fgkaslr");
+  // Size ordering must match Table 1: lupine < aws < ubuntu.
+  KernelConfig ubuntu = KernelConfig::Make(KernelProfile::kUbuntu, RandoMode::kNone, 0.5);
+  EXPECT_LT(lupine.text_bytes, aws.text_bytes);
+  EXPECT_LT(aws.text_bytes, ubuntu.text_bytes);
+  // Scale halves sizes.
+  KernelConfig small = KernelConfig::Make(KernelProfile::kAws, RandoMode::kKaslr, 0.25);
+  EXPECT_EQ(small.text_bytes * 2, aws.text_bytes);
+}
+
+TEST(KernelBuilderTest, ProducesValidElf) {
+  KernelBuildInfo info = Build(KernelProfile::kLupine, RandoMode::kKaslr);
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+  ASSERT_TRUE(elf.ok()) << elf.status().ToString();
+  EXPECT_EQ(elf->machine(), kEmVk64);
+  EXPECT_EQ(elf->entry(), info.entry_vaddr);
+  EXPECT_EQ(elf->program_headers().size(), 3u);  // RX, RO, RW
+  EXPECT_EQ(info.text_vaddr, kLinkTextVaddr);
+}
+
+TEST(KernelBuilderTest, DeterministicForSeed) {
+  KernelBuildInfo a = Build(KernelProfile::kLupine, RandoMode::kKaslr);
+  KernelBuildInfo b = Build(KernelProfile::kLupine, RandoMode::kKaslr);
+  EXPECT_EQ(a.vmlinux, b.vmlinux);
+  EXPECT_EQ(a.expected_checksum, b.expected_checksum);
+}
+
+TEST(KernelBuilderTest, SeedChangesImage) {
+  KernelConfig config = KernelConfig::Make(KernelProfile::kLupine, RandoMode::kKaslr, 0.01);
+  config.build_seed = 777;
+  auto b = BuildKernel(config);
+  ASSERT_TRUE(b.ok());
+  KernelBuildInfo a = Build(KernelProfile::kLupine, RandoMode::kKaslr);
+  EXPECT_NE(a.vmlinux, b->vmlinux);
+}
+
+TEST(KernelBuilderTest, NokaslrHasNoRelocs) {
+  KernelBuildInfo info = Build(KernelProfile::kLupine, RandoMode::kNone);
+  EXPECT_TRUE(info.relocs.empty());
+}
+
+TEST(KernelBuilderTest, RelocsSortedAndInImage) {
+  KernelBuildInfo info = Build(KernelProfile::kAws, RandoMode::kKaslr);
+  ASSERT_FALSE(info.relocs.empty());
+  for (const auto* list : {&info.relocs.abs64, &info.relocs.abs32, &info.relocs.inverse32}) {
+    EXPECT_TRUE(std::is_sorted(list->begin(), list->end()));
+    for (uint64_t vaddr : *list) {
+      EXPECT_GE(vaddr, info.text_vaddr);
+      EXPECT_LT(vaddr, info.image_end_vaddr);
+    }
+  }
+  EXPECT_GT(info.relocs.abs64.size(), info.relocs.abs32.size());
+  EXPECT_GT(info.relocs.abs32.size(), 0u);
+  EXPECT_GT(info.relocs.inverse32.size(), 0u);
+}
+
+TEST(KernelBuilderTest, FgKaslrHasPerFunctionSections) {
+  KernelBuildInfo fg = Build(KernelProfile::kLupine, RandoMode::kFgKaslr);
+  auto elf = ElfReader::Parse(ByteSpan(fg.vmlinux));
+  ASSERT_TRUE(elf.ok());
+  size_t fn_sections = 0;
+  for (const auto& section : elf->sections()) {
+    if (section.name.rfind(".text.fn_", 0) == 0) {
+      ++fn_sections;
+      EXPECT_NE(section.header.sh_flags & kShfExecinstr, 0u);
+      EXPECT_EQ(section.header.sh_size % 16, 0u);
+    }
+  }
+  EXPECT_EQ(fn_sections, fg.functions.size());
+
+  KernelBuildInfo plain = Build(KernelProfile::kLupine, RandoMode::kKaslr);
+  auto plain_elf = ElfReader::Parse(ByteSpan(plain.vmlinux));
+  ASSERT_TRUE(plain_elf.ok());
+  for (const auto& section : plain_elf->sections()) {
+    EXPECT_NE(section.name.rfind(".text.fn_", 0), 0u) << section.name;
+  }
+}
+
+TEST(KernelBuilderTest, FgKaslrHasMoreRelocsAndBiggerImage) {
+  // Table 1: fgkaslr kernels are ~10% bigger with ~3x the relocation info.
+  KernelBuildInfo plain = Build(KernelProfile::kAws, RandoMode::kKaslr);
+  KernelBuildInfo fg = Build(KernelProfile::kAws, RandoMode::kFgKaslr);
+  EXPECT_GT(fg.relocs.total(), plain.relocs.total() * 3 / 2);
+  EXPECT_GT(fg.vmlinux.size(), plain.vmlinux.size());
+}
+
+TEST(KernelBuilderTest, TableLocatorSymbolsPresent) {
+  KernelBuildInfo info = Build(KernelProfile::kLupine, RandoMode::kFgKaslr);
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+  ASSERT_TRUE(elf.ok());
+  auto symbols = elf->ReadSymbols();
+  ASSERT_TRUE(symbols.ok());
+  bool kallsyms = false;
+  bool ex_table = false;
+  bool startup = false;
+  for (const auto& symbol : *symbols) {
+    if (symbol.name == "__kallsyms") {
+      kallsyms = true;
+      EXPECT_EQ(symbol.size / 16, info.kallsyms_count);
+    }
+    ex_table |= symbol.name == "__ex_table";
+    if (symbol.name == "startup_64") {
+      startup = true;
+      EXPECT_EQ(symbol.value, info.entry_vaddr);
+    }
+  }
+  EXPECT_TRUE(kallsyms);
+  EXPECT_TRUE(ex_table);
+  EXPECT_TRUE(startup);
+}
+
+TEST(KernelBuilderTest, FunctionsAreDisjointAndInText) {
+  KernelBuildInfo info = Build(KernelProfile::kLupine, RandoMode::kFgKaslr);
+  uint64_t prev_end = info.text_vaddr;
+  for (const auto& fn : info.functions) {
+    EXPECT_GE(fn.vaddr, prev_end);
+    EXPECT_EQ(fn.vaddr % 16, 0u);
+    prev_end = fn.vaddr + fn.size;
+  }
+  EXPECT_LE(prev_end, info.image_end_vaddr);
+}
+
+TEST(KernelBuilderTest, SizeProportionsTrackTable1) {
+  // At equal scale, vmlinux sizes must rank lupine < aws < ubuntu with
+  // roughly the paper's 20/39/45 proportions.
+  KernelBuildInfo lupine = Build(KernelProfile::kLupine, RandoMode::kKaslr, 0.02);
+  KernelBuildInfo aws = Build(KernelProfile::kAws, RandoMode::kKaslr, 0.02);
+  KernelBuildInfo ubuntu = Build(KernelProfile::kUbuntu, RandoMode::kKaslr, 0.02);
+  const double aws_over_lupine =
+      static_cast<double>(aws.vmlinux.size()) / static_cast<double>(lupine.vmlinux.size());
+  EXPECT_GT(aws_over_lupine, 1.4);
+  EXPECT_LT(aws_over_lupine, 2.6);
+  EXPECT_GT(ubuntu.vmlinux.size(), aws.vmlinux.size());
+}
+
+TEST(RelocsTest, ExtractFromElfMatchesBuilderOutput) {
+  // Figure 8's alternative flow: the `relocs` tool derives vmlinux.relocs
+  // from the ELF's .rela sections. Extraction must reproduce exactly what
+  // the build emitted.
+  KernelBuildInfo info = Build(KernelProfile::kAws, RandoMode::kFgKaslr);
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+  ASSERT_TRUE(elf.ok());
+  auto extracted = ExtractRelocsFromElf(*elf);
+  ASSERT_TRUE(extracted.ok()) << extracted.status().ToString();
+  EXPECT_EQ(extracted->abs64, info.relocs.abs64);
+  EXPECT_EQ(extracted->abs32, info.relocs.abs32);
+  EXPECT_EQ(extracted->inverse32, info.relocs.inverse32);
+}
+
+TEST(RelocsTest, NonRelocatableKernelHasNoRelaSections) {
+  KernelBuildInfo info = Build(KernelProfile::kLupine, RandoMode::kNone);
+  auto elf = ElfReader::Parse(ByteSpan(info.vmlinux));
+  ASSERT_TRUE(elf.ok());
+  auto extracted = ExtractRelocsFromElf(*elf);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_TRUE(extracted->empty());
+}
+
+TEST(RelocsTest, SerializeParseRoundTrip) {
+  RelocInfo relocs;
+  relocs.abs64 = {kLinkTextVaddr + 0x10, kLinkTextVaddr + 0x100, kLinkTextVaddr + 0x1000};
+  relocs.abs32 = {kLinkTextVaddr + 0x20};
+  relocs.inverse32 = {kLinkTextVaddr + 0x30, kLinkTextVaddr + 0x40};
+  Bytes blob = SerializeRelocs(relocs);
+  EXPECT_EQ(blob.size(), relocs.SerializedSize());
+  auto parsed = ParseRelocs(ByteSpan(blob));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->abs64, relocs.abs64);
+  EXPECT_EQ(parsed->abs32, relocs.abs32);
+  EXPECT_EQ(parsed->inverse32, relocs.inverse32);
+}
+
+TEST(RelocsTest, RejectsBadMagicAndCounts) {
+  RelocInfo relocs;
+  relocs.abs64 = {kLinkTextVaddr};
+  Bytes blob = SerializeRelocs(relocs);
+  Bytes bad_magic = blob;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(ParseRelocs(ByteSpan(bad_magic)).ok());
+  Bytes bad_count = blob;
+  StoreLe32(bad_count.data() + 12, 1000000);  // abs64 count
+  EXPECT_FALSE(ParseRelocs(ByteSpan(bad_count)).ok());
+}
+
+TEST(BzImageTest, BuildSerializeParseRoundTrip) {
+  KernelBuildInfo info = Build(KernelProfile::kLupine, RandoMode::kKaslr);
+  auto image = BuildBzImage(ByteSpan(info.vmlinux), info.relocs, "lz4", LoaderKind::kStandard);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  Bytes serialized = SerializeBzImage(*image);
+  EXPECT_EQ(serialized.size(), image->TotalSize());
+
+  auto header = ParseBzImageHeader(ByteSpan(serialized));
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->codec, "lz4");
+  EXPECT_EQ(header->loader_kind, LoaderKind::kStandard);
+  EXPECT_EQ(header->payload_raw_size, image->payload_raw_size);
+
+  auto parsed = ParseBzImage(ByteSpan(serialized));
+  ASSERT_TRUE(parsed.ok());
+  auto payload = DecompressPayload(*parsed);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(payload->vmlinux, info.vmlinux);
+  EXPECT_EQ(payload->relocs.abs64, info.relocs.abs64);
+  EXPECT_EQ(payload->relocs.inverse32, info.relocs.inverse32);
+}
+
+TEST(BzImageTest, CompressionShrinksLz4Payload) {
+  KernelBuildInfo info = Build(KernelProfile::kLupine, RandoMode::kKaslr, 0.02);
+  auto lz4 = BuildBzImage(ByteSpan(info.vmlinux), info.relocs, "lz4", LoaderKind::kStandard);
+  auto none = BuildBzImage(ByteSpan(info.vmlinux), info.relocs, "none", LoaderKind::kStandard);
+  ASSERT_TRUE(lz4.ok());
+  ASSERT_TRUE(none.ok());
+  EXPECT_LT(lz4->TotalSize(), none->TotalSize());
+  // Table 1: bzImage(none) is slightly larger than vmlinux (loader + relocs).
+  EXPECT_GT(none->TotalSize(), info.vmlinux.size());
+}
+
+TEST(BzImageTest, CorruptPayloadFailsCrc) {
+  KernelBuildInfo info = Build(KernelProfile::kLupine, RandoMode::kKaslr);
+  auto image = BuildBzImage(ByteSpan(info.vmlinux), info.relocs, "none", LoaderKind::kStandard);
+  ASSERT_TRUE(image.ok());
+  image->compressed_payload[image->compressed_payload.size() / 2] ^= 0x1;
+  auto payload = DecompressPayload(*image);
+  EXPECT_FALSE(payload.ok());
+}
+
+TEST(BzImageTest, HeaderRejectsTruncation) {
+  KernelBuildInfo info = Build(KernelProfile::kLupine, RandoMode::kKaslr);
+  auto image = BuildBzImage(ByteSpan(info.vmlinux), info.relocs, "lz4", LoaderKind::kStandard);
+  ASSERT_TRUE(image.ok());
+  Bytes serialized = SerializeBzImage(*image);
+  serialized.resize(serialized.size() / 2);
+  EXPECT_FALSE(ParseBzImageHeader(ByteSpan(serialized)).ok());
+}
+
+}  // namespace
+}  // namespace imk

@@ -1,0 +1,124 @@
+// Unit tests for the content-based page-sharing analyzer, plus the kernel-
+// level sharing properties behind the paper's §6 memory-density discussion.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/kaslr/page_sharing.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace {
+
+TEST(PageSharingTest, IdenticalRegionsFullyShare) {
+  Bytes a(16 * 4096);
+  Rng rng(1);
+  for (auto& b : a) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  const PageSharingReport report = ComparePages(ByteSpan(a), ByteSpan(a));
+  EXPECT_EQ(report.pages_a, 16u);
+  EXPECT_EQ(report.pages_b, 16u);
+  EXPECT_EQ(report.sharable_pages, 16u);
+  EXPECT_EQ(report.zero_pages_b, 0u);
+  EXPECT_DOUBLE_EQ(report.SharableFraction(), 1.0);
+}
+
+TEST(PageSharingTest, DisjointRegionsShareNothing) {
+  Bytes a(8 * 4096);
+  Bytes b(8 * 4096);
+  Rng rng(2);
+  for (auto& byte : a) {
+    byte = static_cast<uint8_t>(rng.Next() | 1);
+  }
+  for (auto& byte : b) {
+    byte = static_cast<uint8_t>(rng.Next() | 1);
+  }
+  const PageSharingReport report = ComparePages(ByteSpan(a), ByteSpan(b));
+  EXPECT_EQ(report.sharable_pages, 0u);
+}
+
+TEST(PageSharingTest, ZeroPagesCountedSeparately) {
+  Bytes a(4 * 4096, 0);
+  Bytes b(4 * 4096, 0);
+  b[0] = 1;  // first page nonzero (and absent from a)
+  const PageSharingReport report = ComparePages(ByteSpan(a), ByteSpan(b));
+  EXPECT_EQ(report.zero_pages_b, 3u);
+  EXPECT_EQ(report.sharable_pages, 0u);
+}
+
+TEST(PageSharingTest, PositionIndependent) {
+  // A page's content matches regardless of where it sits (KSM semantics).
+  Bytes a(4 * 4096, 0);
+  Bytes b(4 * 4096, 0);
+  Rng rng(3);
+  Bytes page(4096);
+  for (auto& byte : page) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  std::copy(page.begin(), page.end(), a.begin());                    // page 0 of a
+  std::copy(page.begin(), page.end(), b.begin() + 3 * 4096);         // page 3 of b
+  const PageSharingReport report = ComparePages(ByteSpan(a), ByteSpan(b));
+  EXPECT_EQ(report.sharable_pages, 1u);
+}
+
+// Kernel-level sharing across randomization modes: the §6 story.
+class KernelSharingTest : public ::testing::Test {
+ protected:
+  static double SharingBetweenBoots(RandoMode rando, uint64_t seed_a, uint64_t seed_b) {
+    auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, rando, 0.01));
+    EXPECT_TRUE(built.ok());
+    Storage storage;
+    storage.Put("vmlinux", built->vmlinux);
+    MicroVmConfig config;
+    config.mem_size_bytes = 128ull << 20;
+    config.kernel_image = "vmlinux";
+    config.rando = rando;
+    if (!built->relocs.empty()) {
+      storage.Put("vmlinux.relocs", SerializeRelocs(built->relocs));
+      config.relocs_image = "vmlinux.relocs";
+    }
+    config.seed = seed_a;
+    MicroVm vm_a(storage, config);
+    config.seed = seed_b;
+    MicroVm vm_b(storage, config);
+    auto boot_a = vm_a.Boot();
+    auto boot_b = vm_b.Boot();
+    if (!boot_a.ok() || !boot_b.ok()) {
+      ADD_FAILURE() << "boot failed: " << boot_a.status().ToString() << " / "
+                    << boot_b.status().ToString();
+      return -1.0;
+    }
+    auto region_a = vm_a.KernelRegion();
+    auto region_b = vm_b.KernelRegion();
+    EXPECT_TRUE(region_a.ok());
+    EXPECT_TRUE(region_b.ok());
+    return ComparePages(*region_a, *region_b).SharableFraction();
+  }
+};
+
+TEST_F(KernelSharingTest, NoKaslrInstancesFullyShare) {
+  EXPECT_GT(SharingBetweenBoots(RandoMode::kNone, 1, 2), 0.999);
+}
+
+TEST_F(KernelSharingTest, KaslrReducesSharing) {
+  const double sharing = SharingBetweenBoots(RandoMode::kKaslr, 1, 2);
+  // Relocated fields scatter across many pages, but reloc-free pages still
+  // merge: partial sharing.
+  EXPECT_LT(sharing, 0.9);
+  EXPECT_GT(sharing, 0.05);
+}
+
+TEST_F(KernelSharingTest, FgKaslrNearlyEliminatesSharing) {
+  const double fg = SharingBetweenBoots(RandoMode::kFgKaslr, 1, 2);
+  const double base = SharingBetweenBoots(RandoMode::kKaslr, 1, 2);
+  EXPECT_LT(fg, base) << "function shuffling must hurt page merging more than base KASLR";
+  EXPECT_LT(fg, 0.4);
+}
+
+TEST_F(KernelSharingTest, SharedSeedRestoresSharing) {
+  EXPECT_GT(SharingBetweenBoots(RandoMode::kFgKaslr, 9, 9), 0.999);
+}
+
+}  // namespace
+}  // namespace imk

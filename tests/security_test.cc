@@ -1,0 +1,129 @@
+// Security-property tests: what does randomization actually buy an attacker
+// (paper §3.1)? These encode the attack_sim example's findings as invariants:
+// a single leaked function pointer derandomizes a KASLR kernel completely but
+// an FGKASLR kernel only at the leaked function itself.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace {
+
+constexpr uint64_t kMem = 160ull << 20;
+constexpr double kScale = 0.01;
+
+struct AttackSetup {
+  KernelBuildInfo info;
+  Storage storage;
+
+  explicit AttackSetup(RandoMode rando) {
+    auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, rando, kScale));
+    EXPECT_TRUE(built.ok());
+    info = std::move(*built);
+    storage.Put("vmlinux", info.vmlinux);
+    if (!info.relocs.empty()) {
+      storage.Put("vmlinux.relocs", SerializeRelocs(info.relocs));
+    }
+  }
+
+  // Boots, leaks the runtime address of indirect function 0 through the
+  // pointer table (a data leak), and returns whether a link-layout-based
+  // guess for `victim` succeeds.
+  bool OneLeakguessHitsVictim(RandoMode rando, uint64_t seed, uint32_t victim_index) {
+    const FunctionInfo& victim = info.functions[victim_index];
+    MicroVmConfig config;
+    config.mem_size_bytes = kMem;
+    config.kernel_image = "vmlinux";
+    if (!info.relocs.empty()) {
+      config.relocs_image = "vmlinux.relocs";
+    }
+    config.rando = rando;
+    config.seed = seed;
+    MicroVm vm(storage, config);
+    auto report = vm.Boot();
+    EXPECT_TRUE(report.ok());
+
+    const FunctionInfo& leaked_fn = info.functions[info.indirect_base];
+    const uint64_t table_phys =
+        report->choice.phys_load_addr + (info.fn_table_vaddr - info.text_vaddr);
+    auto entry = vm.memory().Slice(table_phys, 8);
+    EXPECT_TRUE(entry.ok());
+    const uint64_t leaked_runtime = LoadLe64(entry->data());
+
+    const uint64_t inferred_slide = leaked_runtime - leaked_fn.vaddr;
+    const uint64_t guess = victim.vaddr + inferred_slide;
+
+    // Ground truth for the victim: ask the guest's own (fixed-up) kallsyms
+    // which function lives at the guess. We instead check directly against
+    // the true runtime address: for unshuffled kernels it is link + slide;
+    // for FGKASLR the monitor's report is authoritative. Use the selftest on
+    // the LEAKED function to confirm the leak itself was coherent, then test
+    // the guess by scanning guest memory for the victim's entry bytes.
+    const uint64_t victim_phys_link =
+        report->choice.phys_load_addr + (victim.vaddr - info.text_vaddr);
+    auto at_link_pos = vm.memory().Slice(victim_phys_link, 8);
+    EXPECT_TRUE(at_link_pos.ok());
+    // If the kernel was shuffled, the victim is NOT at its link-relative
+    // position. Verify the guess by resolving guess -> phys through the
+    // kernel mapping and comparing against the known first instruction the
+    // builder emits for chain functions (AddI r0, const) with the victim's
+    // own constant — i.e. would the attacker's ROP target actually be the
+    // victim's entry?
+    const uint64_t guess_phys =
+        report->choice.phys_load_addr + (guess - (info.text_vaddr + report->choice.virt_slide));
+    auto guess_bytes = vm.memory().Slice(guess_phys, 6);
+    if (!guess_bytes.ok()) {
+      return false;  // guess fell outside the kernel: clean miss
+    }
+    // Chain function prologue: AddI(0, FnConst(i)) = opcode 0x0e, reg 0.
+    const uint64_t expected_const = (uint64_t{victim_index} * 2654435761u) & 0xffff;
+    const uint8_t* p = guess_bytes->data();
+    return p[0] == 0x0e && p[1] == 0 && LoadLe32(p + 2) == expected_const;
+  }
+};
+
+TEST(SecurityTest, KaslrFallsToOneLeak) {
+  AttackSetup setup(RandoMode::kKaslr);
+  const uint32_t victim_index = static_cast<uint32_t>(setup.info.functions.size() / 3);
+  int hits = 0;
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    hits += setup.OneLeakguessHitsVictim(RandoMode::kKaslr, seed, victim_index) ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 10) << "one leak must reveal the whole KASLR kernel (3.1)";
+}
+
+TEST(SecurityTest, FgKaslrSurvivesOneLeak) {
+  AttackSetup setup(RandoMode::kFgKaslr);
+  const uint32_t victim_index = static_cast<uint32_t>(setup.info.functions.size() / 3);
+  int hits = 0;
+  for (uint64_t seed = 200; seed < 210; ++seed) {
+    hits += setup.OneLeakguessHitsVictim(RandoMode::kFgKaslr, seed, victim_index) ? 1 : 0;
+  }
+  EXPECT_LE(hits, 1) << "FGKASLR must not be derandomized by a single unrelated leak";
+}
+
+TEST(SecurityTest, SlidesAreUnpredictableAcrossHostEntropyBoots) {
+  // With seed 0 the monitor pulls from the host entropy pool; successive
+  // instances must not repeat layouts (the serverless story of 3.1).
+  AttackSetup setup(RandoMode::kKaslr);
+  std::set<uint64_t> slides;
+  for (int i = 0; i < 6; ++i) {
+    MicroVmConfig config;
+    config.mem_size_bytes = kMem;
+    config.kernel_image = "vmlinux";
+    config.relocs_image = "vmlinux.relocs";
+    config.rando = RandoMode::kKaslr;
+    config.seed = 0;  // host entropy
+    MicroVm vm(setup.storage, config);
+    auto report = vm.Boot();
+    ASSERT_TRUE(report.ok());
+    slides.insert(report->choice.virt_slide);
+  }
+  EXPECT_GE(slides.size(), 5u);
+}
+
+}  // namespace
+}  // namespace imk

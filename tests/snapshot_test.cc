@@ -1,0 +1,122 @@
+// Snapshot / zygote tests (paper §7): restored clones inherit the snapshot's
+// layout — sharing memory but also sharing randomization, the ASLR-
+// nullifying property the paper contrasts with fast fresh boots.
+#include <gtest/gtest.h>
+
+#include "src/kaslr/page_sharing.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace {
+
+constexpr uint64_t kMem = 128ull << 20;
+
+struct Fixture {
+  KernelBuildInfo info;
+  Storage storage;
+
+  Fixture() {
+    auto built =
+        BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kFgKaslr, 0.01));
+    EXPECT_TRUE(built.ok());
+    info = std::move(*built);
+    storage.Put("vmlinux", info.vmlinux);
+    storage.Put("vmlinux.relocs", SerializeRelocs(info.relocs));
+  }
+
+  MicroVmConfig Config(uint64_t seed) const {
+    MicroVmConfig config;
+    config.mem_size_bytes = kMem;
+    config.kernel_image = "vmlinux";
+    config.relocs_image = "vmlinux.relocs";
+    config.rando = RandoMode::kFgKaslr;
+    config.seed = seed;
+    return config;
+  }
+};
+
+TEST(SnapshotTest, SnapshotBeforeBootFails) {
+  Fixture fixture;
+  MicroVm vm(fixture.storage, fixture.Config(1));
+  EXPECT_FALSE(vm.Snapshot().ok());
+}
+
+TEST(SnapshotTest, CloneRunsGuestCodeWithParentLayout) {
+  Fixture fixture;
+  MicroVm parent(fixture.storage, fixture.Config(2));
+  auto report = parent.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->init_done);
+
+  auto snapshot = parent.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  auto clone = MicroVm::FromSnapshot(fixture.storage, *snapshot);
+  ASSERT_TRUE(clone.ok());
+
+  // The clone resolves kernel symbols with the parent's slide.
+  EXPECT_EQ((*clone)->RuntimeAddr(fixture.info.text_vaddr),
+            parent.RuntimeAddr(fixture.info.text_vaddr));
+  auto outcome =
+      (*clone)->CallGuest(fixture.info.selftest_entry_vaddr, 0, 0, 1ull << 28);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->r0, fixture.info.indirect_hashes[0]);
+}
+
+TEST(SnapshotTest, ClonesShareAllKernelPages) {
+  Fixture fixture;
+  MicroVm parent(fixture.storage, fixture.Config(3));
+  ASSERT_TRUE(parent.Boot().ok());
+  auto snapshot = parent.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  auto clone_a = MicroVm::FromSnapshot(fixture.storage, *snapshot);
+  auto clone_b = MicroVm::FromSnapshot(fixture.storage, *snapshot);
+  ASSERT_TRUE(clone_a.ok());
+  ASSERT_TRUE(clone_b.ok());
+  auto region_a = (*clone_a)->KernelRegion();
+  auto region_b = (*clone_b)->KernelRegion();
+  ASSERT_TRUE(region_a.ok());
+  ASSERT_TRUE(region_b.ok());
+  const PageSharingReport report = ComparePages(*region_a, *region_b);
+  EXPECT_EQ(report.sharable_pages + report.zero_pages_b, report.pages_b)
+      << "zygote clones must be fully mergeable";
+}
+
+TEST(SnapshotTest, FreshBootsDoNotShareLayout) {
+  Fixture fixture;
+  MicroVm vm_a(fixture.storage, fixture.Config(4));
+  MicroVm vm_b(fixture.storage, fixture.Config(5));
+  auto report_a = vm_a.Boot();
+  auto report_b = vm_b.Boot();
+  ASSERT_TRUE(report_a.ok());
+  ASSERT_TRUE(report_b.ok());
+  EXPECT_NE(report_a->choice.virt_slide, report_b->choice.virt_slide);
+
+  auto region_a = vm_a.KernelRegion();
+  auto region_b = vm_b.KernelRegion();
+  ASSERT_TRUE(region_a.ok());
+  ASSERT_TRUE(region_b.ok());
+  const PageSharingReport report = ComparePages(*region_a, *region_b);
+  // FGKASLR instances with different seeds share almost no text/data pages.
+  EXPECT_LT(report.SharableFraction(), 0.35)
+      << "fresh FGKASLR boots should be largely unmergeable (paper 6)";
+}
+
+TEST(SnapshotTest, SameSeedBootsShareLayout) {
+  // The paper's 6 proposal: the host picks one seed for a group of related
+  // VMs, trading entropy across the group for memory density.
+  Fixture fixture;
+  MicroVm vm_a(fixture.storage, fixture.Config(6));
+  MicroVm vm_b(fixture.storage, fixture.Config(6));
+  ASSERT_TRUE(vm_a.Boot().ok());
+  ASSERT_TRUE(vm_b.Boot().ok());
+  auto region_a = vm_a.KernelRegion();
+  auto region_b = vm_b.KernelRegion();
+  ASSERT_TRUE(region_a.ok());
+  ASSERT_TRUE(region_b.ok());
+  const PageSharingReport report = ComparePages(*region_a, *region_b);
+  EXPECT_GT(report.SharableFraction(), 0.99);
+}
+
+}  // namespace
+}  // namespace imk

@@ -1,0 +1,206 @@
+// Unit tests for guest memory, the storage/page-cache model, boot timelines,
+// and monitor-side loading edge cases.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/boot_timeline.h"
+#include "src/vmm/disk_model.h"
+#include "src/vmm/guest_memory.h"
+#include "src/vmm/loader.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace {
+
+TEST(GuestMemoryTest, BoundsChecks) {
+  GuestMemory memory(4096);
+  EXPECT_TRUE(memory.Slice(0, 4096).ok());
+  EXPECT_FALSE(memory.Slice(0, 4097).ok());
+  EXPECT_FALSE(memory.Slice(4096, 1).ok());
+  EXPECT_FALSE(memory.Slice(UINT64_MAX, 1).ok());
+  Bytes data = {1, 2, 3};
+  EXPECT_TRUE(memory.Write(100, ByteSpan(data)).ok());
+  EXPECT_EQ(memory.all()[101], 2);
+  EXPECT_FALSE(memory.Write(4095, ByteSpan(data)).ok());
+  EXPECT_TRUE(memory.Zero(100, 3).ok());
+  EXPECT_EQ(memory.all()[101], 0);
+}
+
+TEST(StorageTest, CacheModel) {
+  Storage storage;
+  storage.Put("image", Bytes(560, 0));  // 560 bytes at 560 MB/s = 1000 ns cold
+  // Fresh images are cached (the producer just wrote them).
+  auto warm = storage.Read("image");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->modeled_io_ns, 0u);
+
+  storage.DropCaches();
+  auto cold = storage.Read("image");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->modeled_io_ns, 1000u);
+
+  // The read itself warms the cache.
+  auto again = storage.Read("image");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->modeled_io_ns, 0u);
+
+  storage.DropCaches();
+  ASSERT_TRUE(storage.Warm("image").ok());
+  auto warmed = storage.Read("image");
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_EQ(warmed->modeled_io_ns, 0u);
+
+  EXPECT_FALSE(storage.Read("missing").ok());
+  EXPECT_FALSE(storage.Warm("missing").ok());
+  EXPECT_EQ(*storage.SizeOf("image"), 560u);
+}
+
+TEST(BootTimelineTest, PhaseAccounting) {
+  BootTimeline timeline;
+  timeline.AddMeasured(BootPhase::kInMonitor, 1000);
+  timeline.AddModeled(BootPhase::kInMonitor, 500);
+  timeline.AddMeasured(BootPhase::kLinuxBoot, 2000);
+  EXPECT_EQ(timeline.phase_ns(BootPhase::kInMonitor), 1500u);
+  EXPECT_EQ(timeline.measured_ns(BootPhase::kInMonitor), 1000u);
+  EXPECT_EQ(timeline.modeled_ns(BootPhase::kInMonitor), 500u);
+  EXPECT_EQ(timeline.total_ns(), 3500u);
+  EXPECT_NE(timeline.ToString().find("total"), std::string::npos);
+}
+
+class LoaderEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kKaslr, 0.01));
+    ASSERT_TRUE(built.ok());
+    info_ = std::move(*built);
+  }
+  KernelBuildInfo info_;
+};
+
+TEST_F(LoaderEdgeTest, GuestMemoryTooSmall) {
+  GuestMemory memory(8ull << 20);  // image does not fit above 16 MiB
+  DirectBootParams params;
+  Rng rng(1);
+  auto loaded = DirectLoadKernel(memory, ByteSpan(info_.vmlinux), nullptr, params, rng);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(LoaderEdgeTest, GarbageKernelRejected) {
+  GuestMemory memory(64ull << 20);
+  Bytes junk(1 << 20, 0x5a);
+  DirectBootParams params;
+  Rng rng(1);
+  auto loaded = DirectLoadKernel(memory, ByteSpan(junk), nullptr, params, rng);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kParseError);
+}
+
+TEST_F(LoaderEdgeTest, NoteConstantsAreUsed) {
+  GuestMemory memory(256ull << 20);
+  DirectBootParams params;
+  params.requested = RandoMode::kKaslr;
+  params.use_note_constants = true;
+  Rng rng(7);
+  auto loaded = DirectLoadKernel(memory, ByteSpan(info_.vmlinux), &info_.relocs, params, rng);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The note carries the same constants as the defaults, so the choice obeys
+  // the standard constraints.
+  EXPECT_GE(loaded->choice.phys_load_addr, 0x1000000u);
+  EXPECT_EQ(loaded->choice.virt_slide % 0x200000, 0u);
+}
+
+TEST_F(LoaderEdgeTest, SlidesCoverTheWindowOverManyBoots) {
+  // Reusing one guest memory is fine: each load fully overwrites its image.
+  GuestMemory memory(256ull << 20);
+  DirectBootParams params;
+  params.requested = RandoMode::kKaslr;
+  Rng rng(3);
+  uint64_t min_slide = UINT64_MAX;
+  uint64_t max_slide = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto loaded = DirectLoadKernel(memory, ByteSpan(info_.vmlinux), &info_.relocs, params, rng);
+    ASSERT_TRUE(loaded.ok());
+    min_slide = std::min(min_slide, loaded->choice.virt_slide);
+    max_slide = std::max(max_slide, loaded->choice.virt_slide);
+  }
+  EXPECT_LT(min_slide, 150ull << 20);  // low slides appear
+  EXPECT_GT(max_slide, 500ull << 20);  // high slides appear
+}
+
+TEST(MicroVmTest, BootTwiceRejected) {
+  auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kNone, 0.01));
+  ASSERT_TRUE(built.ok());
+  Storage storage;
+  storage.Put("vmlinux", built->vmlinux);
+  MicroVmConfig config;
+  config.mem_size_bytes = 128ull << 20;
+  config.kernel_image = "vmlinux";
+  config.seed = 1;
+  MicroVm vm(storage, config);
+  ASSERT_TRUE(vm.Boot().ok());
+  EXPECT_FALSE(vm.Boot().ok());
+}
+
+TEST(MicroVmTest, ColdCacheAddsModeledIo) {
+  auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kNone, 0.01));
+  ASSERT_TRUE(built.ok());
+  Storage storage;
+  storage.Put("vmlinux", built->vmlinux);
+  storage.DropCaches();
+  MicroVmConfig config;
+  config.mem_size_bytes = 128ull << 20;
+  config.kernel_image = "vmlinux";
+  config.seed = 1;
+  MicroVm cold_vm(storage, config);
+  auto cold = cold_vm.Boot();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(cold->timeline.modeled_ns(BootPhase::kInMonitor), 0u);
+
+  MicroVm warm_vm(storage, config);  // cache warmed by the previous read
+  auto warm = warm_vm.Boot();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->timeline.modeled_ns(BootPhase::kInMonitor), 0u);
+}
+
+TEST(MicroVmTest, GuestMarkersRecorded) {
+  auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kNone, 0.01));
+  ASSERT_TRUE(built.ok());
+  Storage storage;
+  storage.Put("vmlinux", built->vmlinux);
+  MicroVmConfig config;
+  config.mem_size_bytes = 128ull << 20;
+  config.kernel_image = "vmlinux";
+  config.seed = 1;
+  MicroVm vm(storage, config);
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok());
+  // Kernel entry marker, init start marker, init done marker.
+  ASSERT_GE(report->timeline.markers().size(), 3u);
+  EXPECT_EQ(report->timeline.markers()[0].first, kMarkerKernelEntry);
+  EXPECT_EQ(report->timeline.markers()[1].first, kMarkerInitStart);
+}
+
+TEST(MicroVmTest, LinuxBootScalesWithGuestMemory) {
+  // Figure 10's mechanism: guest memory-init work grows with RAM size.
+  auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kNone, 0.01));
+  ASSERT_TRUE(built.ok());
+  Storage storage;
+  storage.Put("vmlinux", built->vmlinux);
+  auto boot_instructions = [&](uint64_t mem) -> uint64_t {
+    MicroVmConfig config;
+    config.mem_size_bytes = mem;
+    config.kernel_image = "vmlinux";
+    config.seed = 1;
+    MicroVm vm(storage, config);
+    auto report = vm.Boot();
+    EXPECT_TRUE(report.ok());
+    return report->guest_stats.instructions;
+  };
+  const uint64_t small = boot_instructions(128ull << 20);
+  const uint64_t big = boot_instructions(512ull << 20);
+  // Memory init touches one word per 16 KiB batch, ~4 instructions each.
+  EXPECT_GT(big, small + (384ull << 20) / 16384 * 3);
+}
+
+}  // namespace
+}  // namespace imk

@@ -1,0 +1,344 @@
+// imk_tool — developer CLI over the imkaslr public API.
+//
+// Subcommands:
+//   build    --profile=aws --rando=kaslr --scale=0.1 --out=DIR
+//            Builds a kernel; writes vmlinux, vmlinux.relocs, and bzImages.
+//   readelf  FILE
+//            Summarizes an ELF image (headers, segments, sections, notes).
+//   disasm   FILE [--section=NAME] [--max=N]
+//            Disassembles a kernel's text section(s).
+//   relocs   FILE
+//            Summarizes a vmlinux.relocs blob.
+//   boot     --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--mem=256]
+//            Boots the image with in-monitor randomization and reports the
+//            layout and timeline.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/elf/elf_note.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/isa/disassembler.h"
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/microvm.h"
+
+namespace {
+
+using imk::Bytes;
+using imk::ByteSpan;
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "imk_tool: %s\n", message.c_str());
+  std::exit(1);
+}
+
+Bytes ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Die("cannot open " + path);
+  }
+  return Bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    Die("cannot write " + path);
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+// Minimal --key=value parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) == 0) {
+        const char* eq = std::strchr(arg, '=');
+        if (eq != nullptr) {
+          values_[std::string(arg + 2, eq)] = eq + 1;
+        } else {
+          values_[arg + 2] = "1";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+imk::KernelProfile ParseProfile(const std::string& name) {
+  if (name == "lupine") {
+    return imk::KernelProfile::kLupine;
+  }
+  if (name == "aws") {
+    return imk::KernelProfile::kAws;
+  }
+  if (name == "ubuntu") {
+    return imk::KernelProfile::kUbuntu;
+  }
+  Die("unknown profile: " + name);
+}
+
+imk::RandoMode ParseRando(const std::string& name) {
+  if (name == "nokaslr" || name == "none") {
+    return imk::RandoMode::kNone;
+  }
+  if (name == "kaslr") {
+    return imk::RandoMode::kKaslr;
+  }
+  if (name == "fgkaslr") {
+    return imk::RandoMode::kFgKaslr;
+  }
+  Die("unknown randomization mode: " + name);
+}
+
+int CmdBuild(const Args& args) {
+  const std::string out_dir = args.Get("out", ".");
+  imk::KernelConfig config = imk::KernelConfig::Make(
+      ParseProfile(args.Get("profile", "aws")), ParseRando(args.Get("rando", "kaslr")),
+      args.GetDouble("scale", 0.1));
+  auto info = imk::BuildKernel(config);
+  if (!info.ok()) {
+    Die(info.status().ToString());
+  }
+  const std::string base = out_dir + "/" + config.Name();
+  WriteFile(base + ".vmlinux", ByteSpan(info->vmlinux));
+  std::printf("wrote %s.vmlinux (%s, %zu functions, entry 0x%llx)\n", base.c_str(),
+              imk::HumanSize(info->vmlinux.size()).c_str(), info->functions.size(),
+              static_cast<unsigned long long>(info->entry_vaddr));
+  if (!info->relocs.empty()) {
+    Bytes blob = imk::SerializeRelocs(info->relocs);
+    WriteFile(base + ".relocs", ByteSpan(blob));
+    std::printf("wrote %s.relocs (%zu entries, %s)\n", base.c_str(), info->relocs.total(),
+                imk::HumanSize(blob.size()).c_str());
+  }
+  for (const char* codec : {"none", "lz4"}) {
+    auto image =
+        imk::BuildBzImage(ByteSpan(info->vmlinux), info->relocs, codec,
+                          imk::LoaderKind::kStandard);
+    if (!image.ok()) {
+      Die(image.status().ToString());
+    }
+    Bytes blob = imk::SerializeBzImage(*image);
+    WriteFile(base + ".bzimage-" + codec, ByteSpan(blob));
+    std::printf("wrote %s.bzimage-%s (%s)\n", base.c_str(), codec,
+                imk::HumanSize(blob.size()).c_str());
+  }
+  return 0;
+}
+
+int CmdReadElf(const Args& args) {
+  if (args.positional().empty()) {
+    Die("readelf: missing file");
+  }
+  Bytes image = ReadFile(args.positional()[0]);
+  auto elf = imk::ElfReader::Parse(ByteSpan(image));
+  if (!elf.ok()) {
+    Die(elf.status().ToString());
+  }
+  std::printf("machine 0x%x, entry 0x%llx, %zu segments, %zu sections\n", elf->machine(),
+              static_cast<unsigned long long>(elf->entry()), elf->program_headers().size(),
+              elf->sections().size());
+  std::printf("\nsegments:\n");
+  for (const auto& phdr : elf->program_headers()) {
+    std::printf("  type %u flags %u vaddr 0x%llx paddr 0x%llx filesz %s memsz %s\n", phdr.p_type,
+                phdr.p_flags, static_cast<unsigned long long>(phdr.p_vaddr),
+                static_cast<unsigned long long>(phdr.p_paddr),
+                imk::HumanSize(phdr.p_filesz).c_str(), imk::HumanSize(phdr.p_memsz).c_str());
+  }
+  std::printf("\nsections (first 20):\n");
+  size_t shown = 0;
+  size_t fn_sections = 0;
+  for (const auto& section : elf->sections()) {
+    if (section.name.rfind(".text.fn_", 0) == 0) {
+      ++fn_sections;
+      continue;
+    }
+    if (shown++ < 20) {
+      std::printf("  %-16s type %u addr 0x%llx size %s\n", section.name.c_str(),
+                  section.header.sh_type, static_cast<unsigned long long>(section.header.sh_addr),
+                  imk::HumanSize(section.header.sh_size).c_str());
+    }
+  }
+  if (fn_sections > 0) {
+    std::printf("  ... plus %zu .text.fn_* function sections (fgkaslr build)\n", fn_sections);
+  }
+  for (const auto& section : elf->sections()) {
+    if (section.header.sh_type != imk::kShtNote) {
+      continue;
+    }
+    auto data = elf->SectionData(section);
+    auto notes = imk::ParseNoteSection(*data);
+    if (notes.ok()) {
+      std::printf("\nnotes:\n");
+      for (const auto& note : *notes) {
+        std::printf("  %s type 0x%x (%zu bytes)\n", note.name.c_str(), note.type,
+                    note.desc.size());
+      }
+      if (auto constants = imk::FindKernelConstants(*notes)) {
+        std::printf("  kernel constants: phys_start 0x%llx align 0x%llx map 0x%llx max %s\n",
+                    static_cast<unsigned long long>(constants->physical_start),
+                    static_cast<unsigned long long>(constants->physical_align),
+                    static_cast<unsigned long long>(constants->start_kernel_map),
+                    imk::HumanSize(constants->kernel_image_size).c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdDisasm(const Args& args) {
+  if (args.positional().empty()) {
+    Die("disasm: missing file");
+  }
+  Bytes image = ReadFile(args.positional()[0]);
+  auto elf = imk::ElfReader::Parse(ByteSpan(image));
+  if (!elf.ok()) {
+    Die(elf.status().ToString());
+  }
+  const std::string wanted = args.Get("section", ".text");
+  const size_t max_insns = static_cast<size_t>(args.GetDouble("max", 40));
+  auto section = elf->FindSection(wanted);
+  if (!section.ok()) {
+    Die(section.status().ToString());
+  }
+  auto data = elf->SectionData(**section);
+  if (!data.ok()) {
+    Die(data.status().ToString());
+  }
+  auto insns = imk::Disassemble(*data, (*section)->header.sh_addr);
+  if (!insns.ok()) {
+    Die(insns.status().ToString());
+  }
+  for (size_t i = 0; i < insns->size() && i < max_insns; ++i) {
+    std::printf("%016llx  %s\n", static_cast<unsigned long long>((*insns)[i].vaddr),
+                (*insns)[i].text.c_str());
+  }
+  if (insns->size() > max_insns) {
+    std::printf("... %zu more instructions\n", insns->size() - max_insns);
+  }
+  return 0;
+}
+
+int CmdRelocs(const Args& args) {
+  if (args.positional().empty()) {
+    Die("relocs: missing file (a vmlinux.relocs blob, or an ELF with --extract)");
+  }
+  Bytes blob = ReadFile(args.positional()[0]);
+  imk::Result<imk::RelocInfo> relocs = imk::ParseRelocs(ByteSpan(blob));
+  if (!args.Get("extract").empty()) {
+    // The `relocs` tool flow of Figure 8: derive the blob from the ELF.
+    auto elf = imk::ElfReader::Parse(ByteSpan(blob));
+    if (!elf.ok()) {
+      Die(elf.status().ToString());
+    }
+    relocs = imk::ExtractRelocsFromElf(*elf);
+    if (relocs.ok() && !args.Get("out").empty()) {
+      imk::Bytes serialized = imk::SerializeRelocs(*relocs);
+      WriteFile(args.Get("out"), ByteSpan(serialized));
+      std::printf("wrote %s (%s)\n", args.Get("out").c_str(),
+                  imk::HumanSize(serialized.size()).c_str());
+    }
+  }
+  if (!relocs.ok()) {
+    Die(relocs.status().ToString());
+  }
+  std::printf("%zu relocations: %zu abs64, %zu abs32, %zu inverse32\n", relocs->total(),
+              relocs->abs64.size(), relocs->abs32.size(), relocs->inverse32.size());
+  if (!relocs->abs64.empty()) {
+    std::printf("abs64 range: 0x%llx .. 0x%llx\n",
+                static_cast<unsigned long long>(relocs->abs64.front()),
+                static_cast<unsigned long long>(relocs->abs64.back()));
+  }
+  return 0;
+}
+
+int CmdBoot(const Args& args) {
+  const std::string kernel_path = args.Get("kernel");
+  if (kernel_path.empty()) {
+    Die("boot: --kernel=FILE required");
+  }
+  imk::Storage storage;
+  storage.Put("kernel", ReadFile(kernel_path));
+  imk::MicroVmConfig config;
+  config.kernel_image = "kernel";
+  config.mem_size_bytes = static_cast<uint64_t>(args.GetDouble("mem", 256)) << 20;
+  config.rando = ParseRando(args.Get("rando", "none"));
+  const std::string relocs_path = args.Get("relocs");
+  if (!relocs_path.empty()) {
+    storage.Put("relocs", ReadFile(relocs_path));
+    config.relocs_image = "relocs";
+  }
+  // Auto-detect bzImage vs vmlinux by magic.
+  Bytes head = ReadFile(kernel_path);
+  config.boot_mode = (head.size() > 8 && head[0] == 0x49 && head[1] == 0x4d && head[2] == 0x4b)
+                         ? imk::BootMode::kBzImage
+                         : imk::BootMode::kDirect;
+  imk::MicroVm vm(storage, config);
+  auto report = vm.Boot();
+  if (!report.ok()) {
+    Die(report.status().ToString());
+  }
+  std::printf("boot %s: %s\n", report->init_done ? "OK" : "INCOMPLETE",
+              report->timeline.ToString().c_str());
+  std::printf("virt slide +0x%llx, phys load 0x%llx, %llu relocations, %u sections shuffled\n",
+              static_cast<unsigned long long>(report->choice.virt_slide),
+              static_cast<unsigned long long>(report->choice.phys_load_addr),
+              static_cast<unsigned long long>(report->reloc_stats.total()),
+              report->sections_shuffled);
+  std::printf("guest checksum 0x%llx over %llu instructions\n",
+              static_cast<unsigned long long>(report->init_checksum),
+              static_cast<unsigned long long>(report->guest_stats.instructions));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: imk_tool <build|readelf|disasm|relocs|boot> [options]\n"
+                 "run with a subcommand to see its options in the header comment\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "build") {
+    return CmdBuild(args);
+  }
+  if (command == "readelf") {
+    return CmdReadElf(args);
+  }
+  if (command == "disasm") {
+    return CmdDisasm(args);
+  }
+  if (command == "relocs") {
+    return CmdRelocs(args);
+  }
+  if (command == "boot") {
+    return CmdBoot(args);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}
