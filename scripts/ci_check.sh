@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full CI gate: tier-1 build + tests, AddressSanitizer and UBSan builds with
+# the same test suite, and clang-tidy (skipped gracefully when not installed).
+# Nonzero exit on any failure.
+#
+# Usage: scripts/ci_check.sh [--skip-sanitizers]
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+skip_sanitizers=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && skip_sanitizers=1
+
+failures=0
+
+run_suite() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== $name: configure + build ($dir) ==="
+  if ! cmake -B "$dir" -S "$repo_root" "$@" >/dev/null; then
+    echo "=== $name: CONFIGURE FAILED ==="
+    failures=$((failures + 1))
+    return
+  fi
+  if ! cmake --build "$dir" -j; then
+    echo "=== $name: BUILD FAILED ==="
+    failures=$((failures + 1))
+    return
+  fi
+  echo "=== $name: ctest ==="
+  if ! (cd "$dir" && ctest --output-on-failure -j "$(nproc)"); then
+    echo "=== $name: TESTS FAILED ==="
+    failures=$((failures + 1))
+  fi
+}
+
+run_suite "tier-1" "$repo_root/build"
+if [[ $skip_sanitizers -eq 0 ]]; then
+  run_suite "asan" "$repo_root/build-asan" -DIMK_ASAN=ON
+  run_suite "ubsan" "$repo_root/build-ubsan" -DIMK_UBSAN=ON
+fi
+
+echo "=== clang-tidy ==="
+if ! "$repo_root/scripts/run_clang_tidy.sh" "$repo_root/build"; then
+  echo "=== clang-tidy: FAILED ==="
+  failures=$((failures + 1))
+fi
+
+if [[ $failures -gt 0 ]]; then
+  echo "ci_check: $failures stage(s) failed"
+  exit 1
+fi
+echo "ci_check: all stages passed"

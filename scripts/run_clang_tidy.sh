@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the project sources using the
+# compile database from a CMake build directory.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir] [paths...]
+#   build-dir  defaults to ./build
+#   paths      source globs to lint; default: src/ tools/
+#
+# Exits 0 (with a notice) when clang-tidy is not installed, so CI images
+# without LLVM still pass the rest of the pipeline; exits nonzero on lint
+# findings when the tool is present.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+tidy_bin="$(command -v clang-tidy || true)"
+if [[ -z "$tidy_bin" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping lint" >&2
+  exit 0
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing;" \
+       "configure with cmake -B $build_dir -S $repo_root first" >&2
+  exit 2
+fi
+
+declare -a files
+if [[ $# -gt 0 ]]; then
+  for path in "$@"; do
+    while IFS= read -r f; do files+=("$f"); done \
+      < <(find "$repo_root/$path" -name '*.cc' | sort)
+  done
+else
+  while IFS= read -r f; do files+=("$f"); done \
+    < <(find "$repo_root/src" "$repo_root/tools" -name '*.cc' | sort)
+fi
+
+status=0
+for f in "${files[@]}"; do
+  echo "== clang-tidy: ${f#"$repo_root"/}"
+  "$tidy_bin" -p "$build_dir" --quiet "$f" || status=1
+done
+exit $status

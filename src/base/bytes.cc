@@ -24,4 +24,10 @@ std::string HumanSize(uint64_t bytes) {
   return buf;
 }
 
+std::string HexString(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
 }  // namespace imk

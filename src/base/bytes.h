@@ -167,6 +167,9 @@ class ByteWriter {
 // Formats a byte count like "4.2M" / "94K" the way the paper's Table 1 does.
 std::string HumanSize(uint64_t bytes);
 
+// Formats a value as "0x<hex>" (for addresses in error messages and reports).
+std::string HexString(uint64_t value);
+
 }  // namespace imk
 
 #endif  // IMKASLR_SRC_BASE_BYTES_H_

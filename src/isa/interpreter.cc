@@ -5,12 +5,6 @@
 namespace imk {
 namespace {
 
-std::string HexString(uint64_t value) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(value));
-  return buf;
-}
-
 int64_t SignExtend32(uint32_t v) { return static_cast<int64_t>(static_cast<int32_t>(v)); }
 
 }  // namespace

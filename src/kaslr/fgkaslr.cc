@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
+#include <string_view>
 
 #include "src/base/align.h"
 #include "src/base/stopwatch.h"
@@ -12,14 +14,25 @@ namespace {
 
 constexpr char kFunctionSectionPrefix[] = ".text.fn_";
 
-// Sorts a table of {u64 key, u64 value} pairs in place by key.
+// Sorts a table of {u64 key, u64 value} pairs in place by key. Goes through
+// explicit loads/stores rather than reinterpret_cast: the table lives inside
+// the guest image buffer, which carries no alignment or object-lifetime
+// guarantees for a Pair type.
 void SortPairTable(uint8_t* base, uint64_t count) {
   struct Pair {
     uint64_t key;
     uint64_t value;
   };
-  Pair* pairs = reinterpret_cast<Pair*>(base);
-  std::sort(pairs, pairs + count, [](const Pair& a, const Pair& b) { return a.key < b.key; });
+  std::vector<Pair> pairs(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    pairs[i] = Pair{LoadLe64(base + i * 16), LoadLe64(base + i * 16 + 8)};
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.key < b.key; });
+  for (uint64_t i = 0; i < count; ++i) {
+    StoreLe64(base + i * 16, pairs[i].key);
+    StoreLe64(base + i * 16 + 8, pairs[i].value);
+  }
 }
 
 // Fixes a table of text-relative {offset, aux} pairs whose offsets point at
@@ -44,13 +57,13 @@ Status FixupOffsetTable(LoadedImageView& view, uint64_t table_vaddr, uint64_t co
 
 // Locates a table by its locator symbol; returns {vaddr, byte size}.
 Result<std::pair<uint64_t, uint64_t>> FindTable(const std::vector<ElfSymbol>& symbols,
-                                                const std::string& name) {
+                                                std::string_view name) {
   for (const ElfSymbol& symbol : symbols) {
     if (symbol.name == name) {
       return std::make_pair(symbol.value, symbol.size);
     }
   }
-  return NotFoundError("table symbol not found: " + name);
+  return NotFoundError("table symbol not found: " + std::string(name));
 }
 
 }  // namespace
@@ -90,9 +103,7 @@ Result<FgKaslrResult> ShuffleFunctions(const ElfReader& elf, LoadedImageView& vi
   // ---- step 2: shuffle + contiguous re-layout ----
   Stopwatch shuffle_timer;
   std::vector<uint32_t> order(sections.size());
-  for (uint32_t i = 0; i < order.size(); ++i) {
-    order[i] = i;
-  }
+  std::iota(order.begin(), order.end(), 0u);
   // Fisher-Yates with the monitor's RNG (the entropy story of §4.3).
   for (size_t i = order.size(); i > 1; --i) {
     std::swap(order[i - 1], order[rng.NextBelow(i)]);

@@ -25,9 +25,13 @@ class LoadedImageView {
   // Host pointer for `len` bytes at link vaddr `vaddr`; kOutOfRange if the
   // range leaves the window.
   Result<uint8_t*> At(uint64_t vaddr, uint64_t len) {
+    if (vaddr < base_vaddr_) {
+      return OutOfRangeError("relocation field below loaded image base: vaddr " +
+                             HexString(vaddr) + " < base " + HexString(base_vaddr_));
+    }
     const uint64_t offset = vaddr - base_vaddr_;
     if (offset >= buffer_.size() || len > buffer_.size() - offset) {
-      return OutOfRangeError("relocation field outside loaded image");
+      return OutOfRangeError("relocation field outside loaded image: vaddr " + HexString(vaddr));
     }
     return buffer_.data() + offset;
   }

@@ -1,0 +1,262 @@
+#include "src/verify/image_verifier.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/isa/isa.h"
+#include "src/verify/layout_checker.h"
+#include "src/verify/leak_scanner.h"
+#include "src/verify/reloc_checker.h"
+
+namespace imk {
+namespace {
+
+// Computes the memsz span [min vaddr, max vaddr+memsz) over PT_LOAD headers.
+void ImageSpan(const ElfReader& elf, uint64_t* base_vaddr, uint64_t* mem_size) {
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (const Elf64Phdr& phdr : elf.program_headers()) {
+    if (phdr.p_type != kPtLoad) {
+      continue;
+    }
+    lo = std::min(lo, phdr.p_vaddr);
+    hi = std::max(hi, phdr.p_vaddr + phdr.p_memsz);
+  }
+  *base_vaddr = lo;
+  *mem_size = hi > lo ? hi - lo : 0;
+}
+
+Result<KernelConstantsNote> ResolveConstants(const ElfReader& elf) {
+  for (const ElfSection& section : elf.sections()) {
+    if (section.header.sh_type != kShtNote) {
+      continue;
+    }
+    IMK_ASSIGN_OR_RETURN(ByteSpan data, elf.SectionData(section));
+    IMK_ASSIGN_OR_RETURN(std::vector<ElfNote> notes, ParseNoteSection(data));
+    if (auto constants = FindKernelConstants(notes)) {
+      return *constants;
+    }
+  }
+  return DefaultKernelConstants();
+}
+
+// One {u64 key, u64 aux} table entry.
+struct TableEntry {
+  uint64_t key;
+  uint64_t aux;
+
+  bool operator<(const TableEntry& other) const {
+    return key != other.key ? key < other.key : aux < other.aux;
+  }
+  bool operator==(const TableEntry& other) const {
+    return key == other.key && aux == other.aux;
+  }
+};
+
+// Reads `count` entries at link vaddr `table_vaddr` from a link-layout span.
+bool ReadTable(ByteSpan span, uint64_t base_vaddr, uint64_t table_vaddr, uint64_t count,
+               std::vector<TableEntry>* out) {
+  if (table_vaddr < base_vaddr) {
+    return false;
+  }
+  const uint64_t offset = table_vaddr - base_vaddr;
+  if (offset > span.size() || count * 16 > span.size() - offset) {
+    return false;
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* entry = span.data() + offset + i * 16;
+    out->push_back(TableEntry{LoadLe64(entry), LoadLe64(entry + 8)});
+  }
+  return true;
+}
+
+// Checks one text-relative {offset, aux} table: the randomized image must
+// hold, sorted by key, exactly the pre-shuffle entries with every code offset
+// translated through the shuffle map (invariant (3)). `fix_aux` marks the aux
+// field as a code offset too (the exception table's fixup target).
+void CheckOffsetTable(const VerifyInput& input, ByteSpan pristine, const ShuffleMap& map,
+                      uint64_t table_vaddr, uint64_t count, uint64_t text_vaddr, bool fix_aux,
+                      bool deferred, Invariant stale_id, Invariant unsorted_id,
+                      const char* table_name, VerifyReport& report) {
+  std::vector<TableEntry> original;
+  std::vector<TableEntry> actual;
+  if (!ReadTable(pristine, input.base_vaddr, table_vaddr, count, &original) ||
+      !ReadTable(input.randomized, input.base_vaddr, table_vaddr, count, &actual)) {
+    Finding finding;
+    finding.invariant = stale_id;
+    finding.severity = Severity::kError;
+    finding.vaddr = table_vaddr;
+    finding.section = table_name;
+    finding.message = "table outside the image span";
+    report.Add(finding);
+    return;
+  }
+  report.coverage().table_entries_checked += count;
+
+  // What a correct shuffle pass must have produced. Deferred (lazy kallsyms)
+  // tables are expected to still hold their pre-shuffle contents.
+  std::vector<TableEntry> expected = original;
+  if (!deferred) {
+    for (TableEntry& entry : expected) {
+      entry.key += static_cast<uint64_t>(map.DeltaFor(text_vaddr + entry.key));
+      if (fix_aux) {
+        entry.aux += static_cast<uint64_t>(map.DeltaFor(text_vaddr + entry.aux));
+      }
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+
+  // Sortedness of the stored table (the guest binary-searches it).
+  for (uint64_t i = 1; i < count; ++i) {
+    if (actual[i].key < actual[i - 1].key) {
+      Finding finding;
+      finding.invariant = unsorted_id;
+      finding.severity = Severity::kError;
+      finding.vaddr = table_vaddr + i * 16;
+      finding.section = table_name;
+      finding.message = "entry " + std::to_string(i) + " key " + HexString(actual[i].key) +
+                        " below predecessor " + HexString(actual[i - 1].key);
+      report.Add(finding);
+    }
+  }
+
+  // Multiset equality with the expected translation: every entry must resolve
+  // to the post-shuffle address of the symbol it named pre-shuffle.
+  std::vector<TableEntry> actual_sorted = actual;
+  std::sort(actual_sorted.begin(), actual_sorted.end());
+  for (uint64_t i = 0; i < count; ++i) {
+    if (actual_sorted[i] == expected[i]) {
+      continue;
+    }
+    Finding finding;
+    finding.invariant = stale_id;
+    finding.severity = Severity::kError;
+    finding.vaddr = table_vaddr + i * 16;
+    finding.section = table_name;
+    finding.message = "expected entry {" + HexString(expected[i].key) + ", " +
+                      HexString(expected[i].aux) + "}, found {" + HexString(actual_sorted[i].key) +
+                      ", " + HexString(actual_sorted[i].aux) + "}";
+    report.Add(finding);
+  }
+}
+
+// Locates a table by its locator symbol; returns {vaddr, byte size}.
+const ElfSymbol* FindTableSymbol(const std::vector<ElfSymbol>& symbols, const char* name) {
+  for (const ElfSymbol& symbol : symbols) {
+    if (symbol.name == name) {
+      return &symbol;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<VerifyReport> VerifyImage(const VerifyInput& input) {
+  IMK_ASSIGN_OR_RETURN(ElfReader elf, ElfReader::Parse(input.original_elf));
+  uint64_t link_base = 0;
+  uint64_t mem_size = 0;
+  ImageSpan(elf, &link_base, &mem_size);
+  if (mem_size == 0) {
+    return ParseError("original kernel image has no loadable segments");
+  }
+  if (input.base_vaddr != link_base) {
+    return InvalidArgumentError("randomized view base " + HexString(input.base_vaddr) +
+                                " does not match the ELF link base " + HexString(link_base));
+  }
+  if (input.randomized.size() < mem_size) {
+    return InvalidArgumentError("randomized view smaller than the kernel memsz span");
+  }
+
+  // Reconstruct the pristine link-layout image the randomizer started from.
+  Bytes pristine(mem_size, 0);
+  for (const Elf64Phdr& phdr : elf.program_headers()) {
+    if (phdr.p_type != kPtLoad) {
+      continue;
+    }
+    IMK_ASSIGN_OR_RETURN(ByteSpan file_bytes, elf.SegmentData(phdr));
+    std::copy(file_bytes.begin(), file_bytes.end(),
+              pristine.begin() + static_cast<ptrdiff_t>(phdr.p_vaddr - link_base));
+  }
+
+  KernelConstantsNote constants;
+  if (input.constants.has_value()) {
+    constants = *input.constants;
+  } else {
+    IMK_ASSIGN_OR_RETURN(constants, ResolveConstants(elf));
+  }
+
+  VerifyReport report;
+
+  // ---- (5) entropy sanity + (2) layout soundness ----
+  LayoutCheckContext layout_ctx;
+  layout_ctx.elf = &elf;
+  layout_ctx.map = input.map;
+  layout_ctx.choice = input.choice;
+  layout_ctx.constants = constants;
+  layout_ctx.image_mem_size = mem_size;
+  layout_ctx.guest_mem_size = input.guest_mem_size;
+  CheckEntropySanity(layout_ctx, report);
+  if (!CheckLayout(layout_ctx, report)) {
+    // The shuffle map is structurally unsound; every downstream check reads
+    // addresses *through* that map, so their verdicts would be meaningless.
+    report.set_downstream_skipped();
+    return report;
+  }
+
+  // ---- (1) relocation exactness ----
+  RelocCheckContext reloc_ctx;
+  reloc_ctx.elf = &elf;
+  reloc_ctx.pristine = ByteSpan(pristine);
+  reloc_ctx.randomized = input.randomized;
+  reloc_ctx.base_vaddr = link_base;
+  reloc_ctx.relocs = input.relocs;
+  reloc_ctx.map = input.map;
+  reloc_ctx.virt_slide = input.choice.virt_slide;
+  CheckRelocations(reloc_ctx, report);
+
+  // ---- (3) table resolution ----
+  const ShuffleMap empty_map;
+  const ShuffleMap& map = input.map != nullptr ? *input.map : empty_map;
+  auto symbols = elf.ReadSymbols();
+  if (symbols.ok()) {
+    if (const ElfSymbol* kallsyms = FindTableSymbol(*symbols, "__kallsyms")) {
+      CheckOffsetTable(input, ByteSpan(pristine), map, kallsyms->value,
+                       kallsyms->size / kKallsymsEntrySize, link_base, /*fix_aux=*/false,
+                       input.kallsyms_deferred, Invariant::kKallsymsStale,
+                       Invariant::kKallsymsUnsorted, "__kallsyms", report);
+    }
+    if (const ElfSymbol* ex_table = FindTableSymbol(*symbols, "__ex_table")) {
+      CheckOffsetTable(input, ByteSpan(pristine), map, ex_table->value,
+                       ex_table->size / kExTableEntrySize, link_base, /*fix_aux=*/true,
+                       /*deferred=*/false, Invariant::kExTableStale, Invariant::kExTableUnsorted,
+                       "__ex_table", report);
+    }
+    if (input.check_orc) {
+      if (const ElfSymbol* orc = FindTableSymbol(*symbols, "__orc_unwind")) {
+        CheckOffsetTable(input, ByteSpan(pristine), map, orc->value, orc->size / kOrcEntrySize,
+                         link_base, /*fix_aux=*/false, /*deferred=*/false, Invariant::kOrcStale,
+                         Invariant::kOrcUnsorted, "__orc_unwind", report);
+      }
+    }
+  }
+
+  // ---- (4) residual link-time pointers ----
+  LeakScanContext leak_ctx;
+  leak_ctx.elf = &elf;
+  leak_ctx.randomized = input.randomized;
+  leak_ctx.base_vaddr = link_base;
+  leak_ctx.relocs = input.relocs;
+  leak_ctx.map = input.map;
+  leak_ctx.virt_slide = input.choice.virt_slide;
+  ScanForLeaks(leak_ctx, report);
+
+  return report;
+}
+
+}  // namespace imk

@@ -1,0 +1,69 @@
+// Static KASLR-correctness analyzer for randomized kernel images.
+//
+// Takes a randomized, loaded kernel image plus its pre-randomization ELF and
+// (for FGKASLR) the shuffle map, and statically re-derives what a correct
+// relocation/shuffle pass must have produced, checking:
+//
+//   (1) relocation exactness        — src/verify/reloc_checker
+//   (2) section layout soundness    — src/verify/layout_checker
+//   (3) table resolution             — kallsyms / __ex_table / ORC entries
+//                                      name the same symbols post-shuffle
+//   (4) residual link-time pointers — src/verify/leak_scanner
+//   (5) entropy sanity              — src/verify/layout_checker
+//
+// The monitor's trust argument (paper §3.2, §4.3) is that it randomizes
+// *correctly*; this analyzer is the independent oracle for that claim, cheap
+// enough to run after every test or bench boot. Related systems (Adelie's
+// re-randomization, OSv's unikernel ASLR) grew the same machinery because a
+// single missed fixup is both a crash and a KASLR infoleak.
+#ifndef IMKASLR_SRC_VERIFY_IMAGE_VERIFIER_H_
+#define IMKASLR_SRC_VERIFY_IMAGE_VERIFIER_H_
+
+#include <optional>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/elf/elf_note.h"
+#include "src/kaslr/random_offset.h"
+#include "src/kaslr/shuffle_map.h"
+#include "src/kernel/relocs.h"
+#include "src/verify/report.h"
+
+namespace imk {
+
+// Everything the analyzer needs about one randomized image.
+struct VerifyInput {
+  // The pre-randomization vmlinux ELF (the monitor's input file).
+  ByteSpan original_elf;
+  // The randomized, loaded image: bytes covering the kernel memsz span, in
+  // link layout — randomized[v - base_vaddr] is the byte at link vaddr v
+  // (e.g. a GuestMemory slice at the chosen physical load address).
+  ByteSpan randomized;
+  uint64_t base_vaddr = 0;
+  // Relocation info used for randomization; null or empty for nokaslr boots.
+  const RelocInfo* relocs = nullptr;
+  // FGKASLR shuffle map; null or empty for plain-KASLR boots.
+  const ShuffleMap* map = nullptr;
+  // The placement the randomizer applied.
+  OffsetChoice choice;
+  // Link-time constants. nullopt = read the kernel-constants ELF note from
+  // `original_elf`, falling back to the hardcoded layout.h defaults — the
+  // same resolution order the loader uses.
+  std::optional<KernelConstantsNote> constants;
+  // Usable guest physical memory (0 = skip the physical upper-bound check).
+  uint64_t guest_mem_size = 0;
+  // True when kallsyms fixup is deferred (lazy mode, paper §4.3): the table
+  // is expected to still hold its *pre-shuffle* contents.
+  bool kallsyms_deferred = false;
+  // Check the ORC-analogue table if the kernel has one.
+  bool check_orc = true;
+};
+
+// Runs the full invariant battery. Returns a report (clean or not); errors
+// only for malformed inputs (unparseable ELF, span/base mismatch) where no
+// meaningful analysis is possible.
+Result<VerifyReport> VerifyImage(const VerifyInput& input);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VERIFY_IMAGE_VERIFIER_H_

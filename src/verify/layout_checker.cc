@@ -1,0 +1,160 @@
+#include "src/verify/layout_checker.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/align.h"
+#include "src/base/bytes.h"
+#include "src/elf/elf_types.h"
+
+namespace imk {
+namespace {
+
+constexpr char kFunctionSectionPrefix[] = ".text.fn_";
+// The FGKASLR engine lays shuffled sections out at 16-byte alignment.
+constexpr uint64_t kShuffleAlign = 16;
+
+void AddFinding(VerifyReport& report, Invariant invariant, uint64_t vaddr, std::string section,
+                std::string message) {
+  Finding finding;
+  finding.invariant = invariant;
+  finding.severity = Severity::kError;
+  finding.vaddr = vaddr;
+  finding.section = std::move(section);
+  finding.message = std::move(message);
+  report.Add(finding);
+}
+
+}  // namespace
+
+bool CheckLayout(const LayoutCheckContext& ctx, VerifyReport& report) {
+  if (ctx.map == nullptr || ctx.map->empty()) {
+    return true;  // plain KASLR: nothing moved, nothing to check
+  }
+  const ShuffleMap& map = *ctx.map;
+
+  // Collect the original function sections and their window.
+  struct FnSection {
+    uint64_t vaddr;
+    uint64_t size;
+    std::string name;
+  };
+  std::vector<FnSection> fn_sections;
+  uint64_t window_lo = UINT64_MAX;
+  uint64_t window_hi = 0;
+  if (ctx.elf != nullptr) {
+    for (const ElfSection& section : ctx.elf->sections()) {
+      if (section.name.rfind(kFunctionSectionPrefix, 0) == 0 &&
+          (section.header.sh_flags & kShfExecinstr) != 0) {
+        fn_sections.push_back(
+            FnSection{section.header.sh_addr, section.header.sh_size, section.name});
+        window_lo = std::min(window_lo, section.header.sh_addr);
+        window_hi = std::max(window_hi, section.header.sh_addr + section.header.sh_size);
+      }
+    }
+  }
+  if (fn_sections.empty()) {
+    // No per-function sections in the ELF: fall back to the window implied by
+    // the map itself (old-vaddr span) so range checks still run.
+    for (const ShuffledRange& range : map.ranges()) {
+      window_lo = std::min(window_lo, range.old_vaddr);
+      window_hi = std::max(window_hi, range.old_vaddr + range.size);
+    }
+  }
+
+  bool sound = true;
+
+  // Every original function section must appear in the map, unchanged in
+  // old-vaddr and size (the shuffle moves sections, it never drops or resizes
+  // them).
+  for (const FnSection& fn : fn_sections) {
+    ++report.coverage().sections_checked;
+    const auto& ranges = map.ranges();
+    auto it = std::find_if(ranges.begin(), ranges.end(), [&](const ShuffledRange& range) {
+      return range.old_vaddr == fn.vaddr && range.size == fn.size;
+    });
+    if (it == ranges.end()) {
+      AddFinding(report, Invariant::kSectionMissing, fn.vaddr, fn.name,
+                 "function section absent from the shuffle map (size " +
+                     std::to_string(fn.size) + ")");
+      sound = false;
+    }
+  }
+
+  // Destination soundness: alignment, window containment, no overlap.
+  std::vector<const ShuffledRange*> by_new;
+  by_new.reserve(map.ranges().size());
+  for (const ShuffledRange& range : map.ranges()) {
+    by_new.push_back(&range);
+    if (fn_sections.empty()) {
+      ++report.coverage().sections_checked;
+    }
+    if (!IsAligned(range.new_vaddr, kShuffleAlign)) {
+      AddFinding(report, Invariant::kSectionMisaligned, range.new_vaddr, "",
+                 "shuffled destination not " + std::to_string(kShuffleAlign) +
+                     "-byte aligned (from " + HexString(range.old_vaddr) + ")");
+      sound = false;
+    }
+    if (range.new_vaddr < window_lo || range.new_vaddr + range.size > window_hi) {
+      AddFinding(report, Invariant::kSectionOutOfWindow, range.new_vaddr, "",
+                 "shuffled destination [" + HexString(range.new_vaddr) + ", " +
+                     HexString(range.new_vaddr + range.size) + ") leaves the text window [" +
+                     HexString(window_lo) + ", " + HexString(window_hi) + ")");
+      sound = false;
+    }
+  }
+  std::sort(by_new.begin(), by_new.end(), [](const ShuffledRange* a, const ShuffledRange* b) {
+    return a->new_vaddr < b->new_vaddr;
+  });
+  for (size_t i = 1; i < by_new.size(); ++i) {
+    const ShuffledRange* prev = by_new[i - 1];
+    const ShuffledRange* cur = by_new[i];
+    if (cur->new_vaddr < prev->new_vaddr + prev->size) {
+      AddFinding(report, Invariant::kSectionOverlap, cur->new_vaddr, "",
+                 "shuffled sections overlap: [" + HexString(prev->new_vaddr) + ", " +
+                     HexString(prev->new_vaddr + prev->size) + ") and [" +
+                     HexString(cur->new_vaddr) + ", " + HexString(cur->new_vaddr + cur->size) +
+                     ") (from " + HexString(prev->old_vaddr) + " and " +
+                     HexString(cur->old_vaddr) + ")");
+      sound = false;
+    }
+  }
+  return sound;
+}
+
+void CheckEntropySanity(const LayoutCheckContext& ctx, VerifyReport& report) {
+  const uint64_t slide = ctx.choice.virt_slide;
+  const uint64_t phys = ctx.choice.phys_load_addr;
+  const KernelConstantsNote& constants = ctx.constants;
+
+  if (constants.physical_align != 0 && slide % constants.physical_align != 0) {
+    AddFinding(report, Invariant::kSlideMisaligned, slide, "",
+               "virtual slide not aligned to physical_align " +
+                   HexString(constants.physical_align));
+  }
+  // The image plus its slide must stay inside the randomization window
+  // [physical_start, kernel_image_size) of the text mapping ("to avoid the
+  // fixmap", §4.3).
+  if (constants.kernel_image_size != 0 &&
+      constants.physical_start + slide + ctx.image_mem_size > constants.kernel_image_size) {
+    AddFinding(report, Invariant::kSlideOutOfRange, slide, "",
+               "slide " + HexString(slide) + " pushes the image past kernel_image_size " +
+                   HexString(constants.kernel_image_size));
+  }
+  if (constants.physical_align != 0 && phys % constants.physical_align != 0) {
+    AddFinding(report, Invariant::kPhysMisaligned, phys, "",
+               "physical load address not aligned to " + HexString(constants.physical_align));
+  }
+  if (phys < constants.physical_start) {
+    AddFinding(report, Invariant::kPhysOutOfRange, phys, "",
+               "physical load address below physical_start " +
+                   HexString(constants.physical_start));
+  }
+  if (ctx.guest_mem_size != 0 && phys + ctx.image_mem_size > ctx.guest_mem_size) {
+    AddFinding(report, Invariant::kPhysOutOfRange, phys, "",
+               "image end " + HexString(phys + ctx.image_mem_size) +
+                   " past usable guest memory " + HexString(ctx.guest_mem_size));
+  }
+}
+
+}  // namespace imk

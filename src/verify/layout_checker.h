@@ -1,0 +1,41 @@
+// Invariants (2) and (5): post-shuffle section layout and entropy sanity.
+//
+// Layout: after FGKASLR shuffling, the shuffle map must describe a sound
+// re-layout of the kernel's function sections — every per-function section of
+// the original ELF accounted for, every destination 16-byte aligned, inside
+// the original function-section window, and overlapping nothing.
+//
+// Entropy: the applied virtual slide and physical load address must obey the
+// configured randomization range and alignment (CONFIG_PHYSICAL_ALIGN,
+// KERNEL_IMAGE_SIZE — paper §4.3), whether they came from hardcoded constants
+// or the kernel-constants ELF note.
+#ifndef IMKASLR_SRC_VERIFY_LAYOUT_CHECKER_H_
+#define IMKASLR_SRC_VERIFY_LAYOUT_CHECKER_H_
+
+#include "src/elf/elf_note.h"
+#include "src/elf/elf_reader.h"
+#include "src/kaslr/random_offset.h"
+#include "src/kaslr/shuffle_map.h"
+#include "src/verify/report.h"
+
+namespace imk {
+
+struct LayoutCheckContext {
+  const ElfReader* elf = nullptr;   // original image
+  const ShuffleMap* map = nullptr;  // null or empty = plain KASLR (no layout check)
+  OffsetChoice choice;
+  KernelConstantsNote constants;    // resolved link-time constants
+  uint64_t image_mem_size = 0;      // kernel memsz span
+  uint64_t guest_mem_size = 0;      // 0 = skip the physical upper-bound check
+};
+
+// Checks section layout; returns true when the shuffle map is structurally
+// sound (callers skip map-dependent checks otherwise).
+bool CheckLayout(const LayoutCheckContext& ctx, VerifyReport& report);
+
+// Checks slide/physical placement against the randomization constraints.
+void CheckEntropySanity(const LayoutCheckContext& ctx, VerifyReport& report);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VERIFY_LAYOUT_CHECKER_H_

@@ -1,0 +1,89 @@
+#include "src/verify/leak_scanner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/align.h"
+#include "src/elf/elf_types.h"
+
+namespace imk {
+
+void ScanForLeaks(const LeakScanContext& ctx, VerifyReport& report) {
+  if (ctx.elf == nullptr || ctx.virt_slide == 0) {
+    return;  // zero slide: link range == runtime range, scan is vacuous
+  }
+
+  // Link-time text range over all executable sections.
+  uint64_t text_lo = UINT64_MAX;
+  uint64_t text_hi = 0;
+  for (const ElfSection& section : ctx.elf->sections()) {
+    if ((section.header.sh_flags & kShfExecinstr) != 0 &&
+        (section.header.sh_flags & kShfAlloc) != 0) {
+      text_lo = std::min(text_lo, section.header.sh_addr);
+      text_hi = std::max(text_hi, section.header.sh_addr + section.header.sh_size);
+    }
+  }
+  if (text_lo >= text_hi) {
+    return;
+  }
+  // A stale pointer sits in the link range; a relocated one in the slid
+  // range. Values in the intersection are undecidable and left alone (they
+  // only exist when the slide is smaller than the text span).
+  const uint64_t runtime_lo = text_lo + ctx.virt_slide;
+  const uint64_t runtime_hi = text_hi + ctx.virt_slide;
+
+  // Registered 8-byte relocation fields, at their post-shuffle locations —
+  // the reloc checker owns those.
+  std::vector<uint64_t> excluded;
+  if (ctx.relocs != nullptr) {
+    excluded.reserve(ctx.relocs->abs64.size());
+    for (uint64_t field_vaddr : ctx.relocs->abs64) {
+      excluded.push_back(ctx.map != nullptr ? ctx.map->Translate(field_vaddr) : field_vaddr);
+    }
+    std::sort(excluded.begin(), excluded.end());
+  }
+
+  for (const ElfSection& section : ctx.elf->sections()) {
+    const Elf64Shdr& header = section.header;
+    if ((header.sh_flags & kShfAlloc) == 0 || (header.sh_flags & kShfExecinstr) != 0 ||
+        header.sh_type == kShtNobits || header.sh_size == 0) {
+      continue;
+    }
+    if (header.sh_type == kShtNote) {
+      // Notes legitimately carry link-time addresses the monitor reads from
+      // the *file* before randomizing (PVH entry point, kernel constants);
+      // they are metadata, not runtime pointers.
+      continue;
+    }
+    const uint64_t start = AlignUp(header.sh_addr, 8);
+    const uint64_t end = header.sh_addr + header.sh_size;
+    for (uint64_t vaddr = start; vaddr + 8 <= end; vaddr += 8) {
+      if (vaddr < ctx.base_vaddr || vaddr - ctx.base_vaddr + 8 > ctx.randomized.size()) {
+        continue;
+      }
+      ++report.coverage().data_words_scanned;
+      const uint64_t value = LoadLe64(ctx.randomized.data() + (vaddr - ctx.base_vaddr));
+      if (value < text_lo || value >= text_hi) {
+        continue;  // not a link-time text pointer
+      }
+      if (value >= runtime_lo && value < runtime_hi) {
+        continue;  // also plausible as a correctly slid pointer
+      }
+      if (std::binary_search(excluded.begin(), excluded.end(), vaddr)) {
+        continue;  // registered relocation field: reloc checker's domain
+      }
+      Finding finding;
+      finding.invariant = Invariant::kStaleTextPointer;
+      finding.severity = Severity::kError;
+      finding.vaddr = vaddr;
+      finding.section = section.name;
+      finding.message = "residual value " + HexString(value) +
+                        " still points into the link-time text range [" + HexString(text_lo) +
+                        ", " + HexString(text_hi) + ") after a slide of " +
+                        HexString(ctx.virt_slide);
+      report.Add(finding);
+    }
+  }
+}
+
+}  // namespace imk

@@ -1,0 +1,40 @@
+// Invariant (4): no stale link-time text pointer survives randomization.
+//
+// Scans every 8-byte-aligned word of the randomized image's non-executable
+// allocated sections (.data, .rodata, notes) for values that still point into
+// the *link-time* text range but not into the *runtime* (slid) text range. A
+// correctly relocated pointer always lands in the runtime range; a residual
+// link-time pointer is a missed relocation — simultaneously a crash (the
+// guest will jump or load through it) and a KASLR infoleak (it reveals the
+// unslid layout to anyone who can read the word). Fields registered in the
+// relocation tables are excluded: their exactness is the reloc checker's
+// invariant, and double-reporting one missed relocation as two findings
+// would blur the corruption matrix.
+#ifndef IMKASLR_SRC_VERIFY_LEAK_SCANNER_H_
+#define IMKASLR_SRC_VERIFY_LEAK_SCANNER_H_
+
+#include "src/base/bytes.h"
+#include "src/elf/elf_reader.h"
+#include "src/kaslr/shuffle_map.h"
+#include "src/kernel/relocs.h"
+#include "src/verify/report.h"
+
+namespace imk {
+
+struct LeakScanContext {
+  const ElfReader* elf = nullptr;  // original image (section geometry)
+  ByteSpan randomized;             // post-randomization bytes, link layout
+  uint64_t base_vaddr = 0;
+  const RelocInfo* relocs = nullptr;  // fields to exclude (may be null)
+  const ShuffleMap* map = nullptr;    // to translate excluded field locations
+  uint64_t virt_slide = 0;
+};
+
+// Appends one kStaleTextPointer finding per residual link-time text pointer.
+// A zero slide makes link and runtime ranges indistinguishable; the scan is
+// skipped (coverage stays 0) rather than reporting nothing as a clean pass.
+void ScanForLeaks(const LeakScanContext& ctx, VerifyReport& report);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VERIFY_LEAK_SCANNER_H_

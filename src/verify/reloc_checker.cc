@@ -1,0 +1,148 @@
+#include "src/verify/reloc_checker.h"
+
+#include "src/verify/verify_util.h"
+
+namespace imk {
+namespace {
+
+// Bounds-checked read of `len` bytes at link vaddr `vaddr` from a span based
+// at `base`; nullptr if out of range (reported by the caller).
+const uint8_t* FieldAt(ByteSpan span, uint64_t base, uint64_t vaddr, uint64_t len) {
+  if (vaddr < base) {
+    return nullptr;
+  }
+  const uint64_t offset = vaddr - base;
+  if (offset >= span.size() || len > span.size() - offset) {
+    return nullptr;
+  }
+  return span.data() + offset;
+}
+
+struct Checker {
+  const RelocCheckContext& ctx;
+  VerifyReport& report;
+  const ShuffleMap empty_map;
+
+  const ShuffleMap& map() const {
+    return ctx.map != nullptr ? *ctx.map : empty_map;
+  }
+
+  void AddFinding(Invariant invariant, uint64_t field_vaddr, std::string message) {
+    Finding finding;
+    finding.invariant = invariant;
+    finding.severity = Severity::kError;
+    finding.vaddr = field_vaddr;
+    if (ctx.elf != nullptr) {
+      finding.section = SectionNameAt(*ctx.elf, field_vaddr);
+    }
+    finding.message = std::move(message);
+    report.Add(finding);
+  }
+
+  // Reads original and randomized field bytes; reports and returns false if
+  // either location is outside its image.
+  bool Fields(Invariant invariant, uint64_t field_vaddr, uint64_t len, const uint8_t** orig,
+              const uint8_t** actual) {
+    *orig = FieldAt(ctx.pristine, ctx.base_vaddr, field_vaddr, len);
+    if (*orig == nullptr) {
+      AddFinding(invariant, field_vaddr, "relocation field outside the original image");
+      return false;
+    }
+    const uint64_t moved_vaddr = map().Translate(field_vaddr);
+    *actual = FieldAt(ctx.randomized, ctx.base_vaddr, moved_vaddr, len);
+    if (*actual == nullptr) {
+      AddFinding(invariant, field_vaddr,
+                 "post-shuffle field location " + HexString(moved_vaddr) +
+                     " outside the randomized image");
+      return false;
+    }
+    return true;
+  }
+
+  void CheckAbs64(uint64_t field_vaddr) {
+    ++report.coverage().relocations_checked;
+    const uint8_t* orig_p = nullptr;
+    const uint8_t* actual_p = nullptr;
+    if (!Fields(Invariant::kRelocAbs64, field_vaddr, 8, &orig_p, &actual_p)) {
+      return;
+    }
+    const uint64_t original = LoadLe64(orig_p);
+    const uint64_t expected =
+        original + static_cast<uint64_t>(map().DeltaFor(original)) + ctx.virt_slide;
+    const uint64_t actual = LoadLe64(actual_p);
+    if (actual != expected) {
+      AddFinding(Invariant::kRelocAbs64, field_vaddr,
+                 "expected " + HexString(expected) + ", found " + HexString(actual) +
+                     " (link-time value " + HexString(original) + ")");
+    }
+  }
+
+  void CheckAbs32(uint64_t field_vaddr) {
+    ++report.coverage().relocations_checked;
+    const uint8_t* orig_p = nullptr;
+    const uint8_t* actual_p = nullptr;
+    if (!Fields(Invariant::kRelocAbs32, field_vaddr, 4, &orig_p, &actual_p)) {
+      return;
+    }
+    const uint32_t original = LoadLe32(orig_p);
+    // Recover the full link-time address the way the relocator does, to query
+    // the shuffle map for a moved target.
+    const uint64_t full =
+        static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(original)));
+    const uint32_t expected = original + static_cast<uint32_t>(map().DeltaFor(full)) +
+                              static_cast<uint32_t>(ctx.virt_slide);
+    const uint32_t actual = LoadLe32(actual_p);
+    if (actual != expected) {
+      AddFinding(Invariant::kRelocAbs32, field_vaddr,
+                 "expected " + HexString(expected) + ", found " + HexString(actual) +
+                     " (link-time value " + HexString(original) + ")");
+      return;
+    }
+    // The adjusted value must stay sign-extendable into the top-2GiB window.
+    if ((actual & 0x80000000u) == 0) {
+      AddFinding(Invariant::kRelocAbs32, field_vaddr,
+                 "adjusted value " + HexString(actual) +
+                     " fell out of the sign-extendable kernel window");
+    }
+  }
+
+  void CheckInverse32(uint64_t field_vaddr) {
+    ++report.coverage().relocations_checked;
+    const uint8_t* orig_p = nullptr;
+    const uint8_t* actual_p = nullptr;
+    if (!Fields(Invariant::kRelocInverse32, field_vaddr, 4, &orig_p, &actual_p)) {
+      return;
+    }
+    const uint32_t original = LoadLe32(orig_p);
+    // Inverse fields hold C - vaddr(sym) for targets in unshuffled sections
+    // (the same restriction Linux and the relocator have), so only the global
+    // slide is subtracted.
+    const uint32_t expected = original - static_cast<uint32_t>(ctx.virt_slide);
+    const uint32_t actual = LoadLe32(actual_p);
+    if (actual != expected) {
+      AddFinding(Invariant::kRelocInverse32, field_vaddr,
+                 "expected " + HexString(expected) + ", found " + HexString(actual) +
+                     " (link-time value " + HexString(original) + ")");
+    }
+  }
+};
+
+}  // namespace
+
+void CheckRelocations(const RelocCheckContext& ctx, VerifyReport& report) {
+  if (ctx.relocs == nullptr) {
+    return;
+  }
+  Checker checker{ctx, report, ShuffleMap()};
+  for (uint64_t field_vaddr : ctx.relocs->abs64) {
+    checker.CheckAbs64(field_vaddr);
+  }
+  for (uint64_t field_vaddr : ctx.relocs->abs32) {
+    checker.CheckAbs32(field_vaddr);
+  }
+  for (uint64_t field_vaddr : ctx.relocs->inverse32) {
+    checker.CheckInverse32(field_vaddr);
+  }
+}
+
+}  // namespace imk

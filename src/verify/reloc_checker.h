@@ -1,0 +1,36 @@
+// Invariant (1): relocation exactness.
+//
+// Replays every entry of the three Linux relocation classes against the
+// *pristine* (pre-randomization) image and asserts the randomized image holds
+// exactly the expected rewritten value: original + virt_slide (+ the shuffle
+// delta of the pointed-to function, for FGKASLR images). A skipped, doubled,
+// or wrongly-adjusted relocation — the relocator/shuffler hot-path bugs the
+// paper's trust argument (§3.2, §4.3) depends on excluding — shows up as one
+// finding per field, naming expected and actual values.
+#ifndef IMKASLR_SRC_VERIFY_RELOC_CHECKER_H_
+#define IMKASLR_SRC_VERIFY_RELOC_CHECKER_H_
+
+#include "src/base/bytes.h"
+#include "src/elf/elf_reader.h"
+#include "src/kaslr/shuffle_map.h"
+#include "src/kernel/relocs.h"
+#include "src/verify/report.h"
+
+namespace imk {
+
+struct RelocCheckContext {
+  const ElfReader* elf = nullptr;  // original image, for section naming
+  ByteSpan pristine;               // pre-randomization bytes, link layout
+  ByteSpan randomized;             // post-randomization bytes, link layout
+  uint64_t base_vaddr = 0;         // link vaddr of byte 0 of both spans
+  const RelocInfo* relocs = nullptr;
+  const ShuffleMap* map = nullptr;  // null or empty = plain KASLR
+  uint64_t virt_slide = 0;
+};
+
+// Appends one finding per mis-relocated field; bumps coverage counters.
+void CheckRelocations(const RelocCheckContext& ctx, VerifyReport& report);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VERIFY_RELOC_CHECKER_H_

@@ -1,0 +1,177 @@
+#include "src/verify/report.h"
+
+#include <algorithm>
+
+#include "src/base/bytes.h"
+
+namespace imk {
+namespace {
+
+// Escapes a string for embedding in a JSON string literal. Findings carry
+// section names and generated messages only, but escape defensively anyway.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* InvariantName(Invariant invariant) {
+  switch (invariant) {
+    case Invariant::kRelocAbs64:
+      return "reloc-abs64";
+    case Invariant::kRelocAbs32:
+      return "reloc-abs32";
+    case Invariant::kRelocInverse32:
+      return "reloc-inverse32";
+    case Invariant::kSectionOverlap:
+      return "section-overlap";
+    case Invariant::kSectionMisaligned:
+      return "section-misaligned";
+    case Invariant::kSectionOutOfWindow:
+      return "section-out-of-window";
+    case Invariant::kSectionMissing:
+      return "section-missing";
+    case Invariant::kKallsymsStale:
+      return "kallsyms-stale";
+    case Invariant::kKallsymsUnsorted:
+      return "kallsyms-unsorted";
+    case Invariant::kExTableStale:
+      return "ex-table-stale";
+    case Invariant::kExTableUnsorted:
+      return "ex-table-unsorted";
+    case Invariant::kOrcStale:
+      return "orc-stale";
+    case Invariant::kOrcUnsorted:
+      return "orc-unsorted";
+    case Invariant::kStaleTextPointer:
+      return "stale-text-pointer";
+    case Invariant::kSlideMisaligned:
+      return "slide-misaligned";
+    case Invariant::kSlideOutOfRange:
+      return "slide-out-of-range";
+    case Invariant::kPhysMisaligned:
+      return "phys-misaligned";
+    case Invariant::kPhysOutOfRange:
+      return "phys-out-of-range";
+  }
+  return "unknown";
+}
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+  }
+  return "unknown";
+}
+
+void VerifyReport::Add(Finding finding) {
+  ++total_count_;
+  if (finding.severity == Severity::kError) {
+    ++error_count_;
+  }
+  auto it = std::find_if(counts_.begin(), counts_.end(),
+                         [&](const auto& entry) { return entry.first == finding.invariant; });
+  if (it == counts_.end()) {
+    counts_.emplace_back(finding.invariant, 1);
+    it = counts_.end() - 1;
+  } else {
+    ++it->second;
+  }
+  if (it->second <= kMaxRecordedPerInvariant) {
+    findings_.push_back(std::move(finding));
+  }
+}
+
+uint64_t VerifyReport::CountOf(Invariant invariant) const {
+  for (const auto& entry : counts_) {
+    if (entry.first == invariant) {
+      return entry.second;
+    }
+  }
+  return 0;
+}
+
+std::string VerifyReport::ToString() const {
+  std::string out;
+  if (clean()) {
+    out += "verify: CLEAN";
+  } else {
+    out += "verify: " + std::to_string(total_count_) + " finding(s)";
+  }
+  out += " [" + std::to_string(coverage_.relocations_checked) + " relocs, " +
+         std::to_string(coverage_.sections_checked) + " sections, " +
+         std::to_string(coverage_.table_entries_checked) + " table entries, " +
+         std::to_string(coverage_.data_words_scanned) + " data words checked]";
+  if (downstream_skipped_) {
+    out += " (structural findings: relocation/table/leak checks skipped)";
+  }
+  for (const Finding& finding : findings_) {
+    out += "\n  [" + std::string(SeverityName(finding.severity)) + "] " +
+           InvariantName(finding.invariant) + " at " + HexString(finding.vaddr);
+    if (!finding.section.empty()) {
+      out += " (" + finding.section + ")";
+    }
+    out += ": " + finding.message;
+  }
+  if (findings_.size() < total_count_) {
+    out += "\n  ... " + std::to_string(total_count_ - findings_.size()) + " more not recorded";
+  }
+  return out;
+}
+
+std::string VerifyReport::ToJson() const {
+  std::string out = "{";
+  out += "\"clean\":" + std::string(clean() ? "true" : "false");
+  out += ",\"total_findings\":" + std::to_string(total_count_);
+  out += ",\"downstream_skipped\":" + std::string(downstream_skipped_ ? "true" : "false");
+  out += ",\"coverage\":{";
+  out += "\"relocations_checked\":" + std::to_string(coverage_.relocations_checked);
+  out += ",\"sections_checked\":" + std::to_string(coverage_.sections_checked);
+  out += ",\"table_entries_checked\":" + std::to_string(coverage_.table_entries_checked);
+  out += ",\"data_words_scanned\":" + std::to_string(coverage_.data_words_scanned);
+  out += "},\"findings\":[";
+  for (size_t i = 0; i < findings_.size(); ++i) {
+    const Finding& finding = findings_[i];
+    if (i != 0) {
+      out += ",";
+    }
+    out += "{\"invariant\":\"" + std::string(InvariantName(finding.invariant)) + "\"";
+    out += ",\"severity\":\"" + std::string(SeverityName(finding.severity)) + "\"";
+    out += ",\"vaddr\":\"" + HexString(finding.vaddr) + "\"";
+    out += ",\"section\":\"" + JsonEscape(finding.section) + "\"";
+    out += ",\"message\":\"" + JsonEscape(finding.message) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace imk

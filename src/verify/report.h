@@ -1,0 +1,116 @@
+// Structured findings for the static KASLR-correctness analyzer.
+//
+// Every invariant the analyzer checks has a stable id; each violation becomes
+// a Finding carrying the id, a severity, the offending link-time vaddr, and
+// the section it falls in. A VerifyReport collects findings plus coverage
+// counters (how much was actually checked — a report that checked nothing is
+// not evidence of correctness), pretty-prints for humans, and serializes to
+// JSON for tooling.
+#ifndef IMKASLR_SRC_VERIFY_REPORT_H_
+#define IMKASLR_SRC_VERIFY_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imk {
+
+// Stable invariant identifiers (the analyzer's catalogue; see DESIGN.md).
+enum class Invariant {
+  // (1) relocation exactness: every listed field rewritten by exactly the
+  // slide (+ shuffle delta for moved targets), no more, no less.
+  kRelocAbs64,
+  kRelocAbs32,
+  kRelocInverse32,
+  // (2) post-shuffle section layout soundness.
+  kSectionOverlap,
+  kSectionMisaligned,
+  kSectionOutOfWindow,
+  kSectionMissing,
+  // (3) address-ordered tables resolve to the post-shuffle address of the
+  // same symbol they named pre-shuffle, and stay sorted.
+  kKallsymsStale,
+  kKallsymsUnsorted,
+  kExTableStale,
+  kExTableUnsorted,
+  kOrcStale,
+  kOrcUnsorted,
+  // (4) no residual pointer into the link-time text range survives in
+  // .data/.rodata (a missed relocation is a KASLR infoleak).
+  kStaleTextPointer,
+  // (5) entropy sanity: the applied offsets obey the configured
+  // randomization range and alignment.
+  kSlideMisaligned,
+  kSlideOutOfRange,
+  kPhysMisaligned,
+  kPhysOutOfRange,
+};
+
+// Stable string form of an invariant id ("reloc-abs64", "section-overlap", ...).
+const char* InvariantName(Invariant invariant);
+
+enum class Severity {
+  kError,    // the image is unsound (crash and/or KASLR bypass)
+  kWarning,  // suspicious but not provably wrong
+};
+
+const char* SeverityName(Severity severity);
+
+// One invariant violation.
+struct Finding {
+  Invariant invariant = Invariant::kRelocAbs64;
+  Severity severity = Severity::kError;
+  uint64_t vaddr = 0;   // link-time virtual address the finding anchors to
+  std::string section;  // section containing vaddr ("" if unknown)
+  std::string message;  // human-readable detail (expected vs actual, etc.)
+};
+
+// Coverage counters: what the analyzer actually examined.
+struct VerifyCoverage {
+  uint64_t relocations_checked = 0;
+  uint64_t sections_checked = 0;
+  uint64_t table_entries_checked = 0;
+  uint64_t data_words_scanned = 0;
+};
+
+// The analyzer's output: findings + coverage. A report is `clean()` iff no
+// finding of Severity::kError was recorded.
+class VerifyReport {
+ public:
+  // Records a finding. To bound report size on badly corrupted images, at
+  // most kMaxRecordedPerInvariant findings are *stored* per invariant id;
+  // all are *counted*.
+  static constexpr size_t kMaxRecordedPerInvariant = 64;
+  void Add(Finding finding);
+
+  bool clean() const { return error_count_ == 0; }
+  uint64_t total_findings() const { return total_count_; }
+  // Total violations of one invariant (including unrecorded overflow).
+  uint64_t CountOf(Invariant invariant) const;
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  VerifyCoverage& coverage() { return coverage_; }
+  const VerifyCoverage& coverage() const { return coverage_; }
+
+  // Set when structural (layout/entropy) findings made the downstream
+  // relocation/table/leak checks meaningless, so they were skipped.
+  void set_downstream_skipped() { downstream_skipped_ = true; }
+  bool downstream_skipped() const { return downstream_skipped_; }
+
+  // Multi-line human-readable summary.
+  std::string ToString() const;
+  // Machine-readable JSON object (stable keys; see DESIGN.md for a sample).
+  std::string ToJson() const;
+
+ private:
+  std::vector<Finding> findings_;
+  std::vector<std::pair<Invariant, uint64_t>> counts_;  // per-invariant totals
+  uint64_t total_count_ = 0;
+  uint64_t error_count_ = 0;
+  bool downstream_skipped_ = false;
+  VerifyCoverage coverage_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VERIFY_REPORT_H_

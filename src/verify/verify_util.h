@@ -1,0 +1,28 @@
+// Small shared helpers for the verify checkers.
+#ifndef IMKASLR_SRC_VERIFY_VERIFY_UTIL_H_
+#define IMKASLR_SRC_VERIFY_VERIFY_UTIL_H_
+
+#include <string>
+
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+
+namespace imk {
+
+// Name of the allocated section containing link vaddr `vaddr` ("" if none).
+inline std::string SectionNameAt(const ElfReader& elf, uint64_t vaddr) {
+  for (const ElfSection& section : elf.sections()) {
+    if ((section.header.sh_flags & kShfAlloc) == 0) {
+      continue;
+    }
+    if (vaddr >= section.header.sh_addr &&
+        vaddr < section.header.sh_addr + section.header.sh_size) {
+      return section.name;
+    }
+  }
+  return "";
+}
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VERIFY_VERIFY_UTIL_H_

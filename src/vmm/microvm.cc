@@ -146,6 +146,32 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
   }
   report.timeline.AddMeasured(BootPhase::kInMonitor, monitor_timer.ElapsedNs());
 
+  if (config_.verify_after_load) {
+    // Static verification window: the image is fully randomized but no guest
+    // instruction has run yet, so memory still matches what the randomizer
+    // produced (deferred kallsyms tables are expected pristine).
+    VerifyInput verify_input;
+    verify_input.original_elf = kernel_read.data;
+    IMK_ASSIGN_OR_RETURN(MutableByteSpan image_view,
+                         memory_->Slice(loaded.choice.phys_load_addr, loaded.image_mem_size));
+    verify_input.randomized = ByteSpan(image_view.data(), image_view.size());
+    verify_input.base_vaddr = loaded.link_text_vaddr;
+    verify_input.relocs = have_relocs ? &relocs : nullptr;
+    verify_input.map = loaded.fg.has_value() ? &loaded.fg->map : nullptr;
+    verify_input.choice = loaded.choice;
+    if (!config_.use_note_constants) {
+      verify_input.constants = DefaultKernelConstants();
+    }
+    verify_input.guest_mem_size = usable_mem_top_;
+    verify_input.kallsyms_deferred = loaded.fg.has_value() && loaded.fg->kallsyms_pending;
+    verify_input.check_orc = config_.fg.fixup_orc;
+    IMK_ASSIGN_OR_RETURN(VerifyReport verify_report, VerifyImage(verify_input));
+    if (!verify_report.clean()) {
+      return InternalError("post-load image verification failed:\n" + verify_report.ToString());
+    }
+    report.verify = std::move(verify_report);
+  }
+
   // Enter guest context.
   Stopwatch guest_timer;
   IMK_ASSIGN_OR_RETURN(VcpuOutcome outcome,

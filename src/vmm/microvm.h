@@ -16,6 +16,7 @@
 #include "src/bootstrap/bootstrap_loader.h"
 #include "src/kernel/bzimage.h"
 #include "src/kernel/kconfig.h"
+#include "src/verify/image_verifier.h"
 #include "src/vmm/boot_timeline.h"
 #include "src/vmm/device_model.h"
 #include "src/vmm/disk_model.h"
@@ -61,6 +62,15 @@ struct MicroVmConfig {
 
   uint64_t seed = 0;              // 0 = draw from host entropy
   uint64_t max_boot_instructions = 2ull << 30;
+
+  // Opt-in static verification (src/verify): after the monitor loads and
+  // randomizes the image — before the first guest instruction — run the full
+  // invariant battery against the pre-randomization ELF. Boot fails with
+  // kInternal if any invariant is violated; on success the report rides in
+  // BootReport::verify. Direct boots only: the bzImage path randomizes
+  // in-guest and discards the intermediate vmlinux, so the flag is ignored
+  // there.
+  bool verify_after_load = false;
 };
 
 // Everything one boot produced.
@@ -75,6 +85,7 @@ struct BootReport {
   uint32_t sections_shuffled = 0;
   ExecStats guest_stats;
   std::string console;
+  std::optional<VerifyReport> verify;  // set when config.verify_after_load ran
 };
 
 // A booted VM's frozen state: the zygote/snapshot primitive the paper's

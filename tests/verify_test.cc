@@ -1,0 +1,284 @@
+// Fault-injection tests for the static KASLR-correctness analyzer: every
+// clean profile × mode combination must verify with zero findings, and each
+// injected corruption class must yield exactly the finding whose invariant
+// it violates.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/elf/elf_reader.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/kernel/relocs.h"
+#include "src/vmm/guest_memory.h"
+#include "src/vmm/loader.h"
+#include "src/vmm/microvm.h"
+#include "src/verify/image_verifier.h"
+
+namespace imk {
+namespace {
+
+constexpr uint64_t kGuestMem = 256ull << 20;
+constexpr double kScale = 0.02;
+
+// A kernel randomized into guest memory, plus the view the verifier needs.
+struct Loaded {
+  std::unique_ptr<GuestMemory> memory;
+  LoadedKernel kernel;
+  MutableByteSpan image;
+};
+
+Result<Loaded> LoadImage(const KernelBuildInfo& info, RandoMode rando, uint64_t seed,
+                         FgKaslrParams fg = FgKaslrParams()) {
+  Loaded out;
+  out.memory = std::make_unique<GuestMemory>(kGuestMem);
+  DirectBootParams params;
+  params.requested = rando;
+  params.fg = fg;
+  Rng rng(seed);
+  IMK_ASSIGN_OR_RETURN(
+      out.kernel, DirectLoadKernel(*out.memory, ByteSpan(info.vmlinux),
+                                   info.relocs.empty() ? nullptr : &info.relocs, params, rng));
+  IMK_ASSIGN_OR_RETURN(
+      out.image, out.memory->Slice(out.kernel.choice.phys_load_addr, out.kernel.image_mem_size));
+  return out;
+}
+
+// Corruptions that un-apply or re-apply a slide are invisible at slide zero,
+// so those tests need a seed whose draw lands on a nonzero slot.
+Result<Loaded> LoadWithNonzeroSlide(const KernelBuildInfo& info, RandoMode rando,
+                                    FgKaslrParams fg = FgKaslrParams()) {
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    IMK_ASSIGN_OR_RETURN(Loaded loaded, LoadImage(info, rando, seed, fg));
+    if (loaded.kernel.choice.virt_slide != 0) {
+      return loaded;
+    }
+  }
+  return InternalError("no seed in 1..32 produced a nonzero slide");
+}
+
+VerifyInput InputFor(const KernelBuildInfo& info, const Loaded& loaded) {
+  VerifyInput input;
+  input.original_elf = ByteSpan(info.vmlinux);
+  input.randomized = ByteSpan(loaded.image.data(), loaded.image.size());
+  input.base_vaddr = loaded.kernel.link_text_vaddr;
+  input.relocs = info.relocs.empty() ? nullptr : &info.relocs;
+  input.map = loaded.kernel.fg.has_value() ? &loaded.kernel.fg->map : nullptr;
+  input.choice = loaded.kernel.choice;
+  input.guest_mem_size = kGuestMem;
+  input.kallsyms_deferred = loaded.kernel.fg.has_value() && loaded.kernel.fg->kallsyms_pending;
+  return input;
+}
+
+// Pointer into the randomized image for the (possibly shuffled) location of a
+// link-time field address.
+uint8_t* FieldPtr(const Loaded& loaded, uint64_t link_vaddr) {
+  uint64_t vaddr = link_vaddr;
+  if (loaded.kernel.fg.has_value()) {
+    vaddr = loaded.kernel.fg->map.Translate(vaddr);
+  }
+  return loaded.image.data() + (vaddr - loaded.kernel.link_text_vaddr);
+}
+
+TEST(VerifyCleanTest, AllProfilesAndModesVerifyClean) {
+  for (KernelProfile profile :
+       {KernelProfile::kLupine, KernelProfile::kAws, KernelProfile::kUbuntu}) {
+    for (RandoMode rando : {RandoMode::kKaslr, RandoMode::kFgKaslr}) {
+      KernelConfig config = KernelConfig::Make(profile, rando, kScale);
+      SCOPED_TRACE(config.Name());
+      auto info = BuildKernel(config);
+      ASSERT_TRUE(info.ok()) << info.status().ToString();
+      auto loaded = LoadImage(*info, rando, /*seed=*/3);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      auto report = VerifyImage(InputFor(*info, *loaded));
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_TRUE(report->clean()) << report->ToString();
+      EXPECT_EQ(report->total_findings(), 0u);
+      EXPECT_GT(report->coverage().relocations_checked, 0u);
+      EXPECT_GT(report->coverage().table_entries_checked, 0u);
+      EXPECT_GT(report->coverage().data_words_scanned, 0u);
+      if (rando == RandoMode::kFgKaslr) {
+        EXPECT_GT(report->coverage().sections_checked, 0u);
+      }
+    }
+  }
+}
+
+TEST(VerifyCleanTest, UnrandomizedImageVerifiesClean) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kNone, kScale));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto loaded = LoadImage(*info, RandoMode::kNone, /*seed=*/5);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->kernel.choice.virt_slide, 0u);
+  auto report = VerifyImage(InputFor(*info, *loaded));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+}
+
+TEST(VerifyFaultTest, SkippedAbs64RelocationDetected) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kKaslr, kScale));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  ASSERT_FALSE(info->relocs.abs64.empty());
+  auto loaded = LoadWithNonzeroSlide(*info, RandoMode::kKaslr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Un-apply the slide at one abs64 field, as if the relocation walk skipped
+  // the entry: the field reverts to its link-time value.
+  uint8_t* field = FieldPtr(*loaded, info->relocs.abs64.front());
+  StoreLe64(field, LoadLe64(field) - loaded->kernel.choice.virt_slide);
+
+  auto report = VerifyImage(InputFor(*info, *loaded));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->CountOf(Invariant::kRelocAbs64), 1u) << report->ToString();
+  EXPECT_EQ(report->total_findings(), 1u) << report->ToString();
+}
+
+TEST(VerifyFaultTest, DoubleAppliedInverse32RelocationDetected) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kKaslr, kScale));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  ASSERT_FALSE(info->relocs.inverse32.empty());
+  auto loaded = LoadWithNonzeroSlide(*info, RandoMode::kKaslr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Apply the inverse adjustment a second time (a double-visited entry).
+  uint8_t* field = FieldPtr(*loaded, info->relocs.inverse32.front());
+  StoreLe32(field, LoadLe32(field) - static_cast<uint32_t>(loaded->kernel.choice.virt_slide));
+
+  auto report = VerifyImage(InputFor(*info, *loaded));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->CountOf(Invariant::kRelocInverse32), 1u) << report->ToString();
+  EXPECT_EQ(report->total_findings(), 1u) << report->ToString();
+}
+
+TEST(VerifyFaultTest, OverlappingShuffledSectionsDetected) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, kScale));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto loaded = LoadImage(*info, RandoMode::kFgKaslr, /*seed=*/9);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->kernel.fg.has_value());
+  std::vector<ShuffledRange> ranges = loaded->kernel.fg->map.ranges();
+  ASSERT_GE(ranges.size(), 2u);
+
+  // Collide a section with an equal-or-larger one so its span nests inside
+  // the victim's: exactly one adjacent pair in new-vaddr order overlaps.
+  const size_t victim = ranges[0].size >= ranges[1].size ? 0 : 1;
+  const size_t mover = 1 - victim;
+  ranges[mover].new_vaddr = ranges[victim].new_vaddr;
+  ShuffleMap corrupted(std::move(ranges));
+
+  VerifyInput input = InputFor(*info, *loaded);
+  input.map = &corrupted;
+  auto report = VerifyImage(input);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->CountOf(Invariant::kSectionOverlap), 1u) << report->ToString();
+  EXPECT_EQ(report->total_findings(), 1u) << report->ToString();
+  // A structurally unsound map poisons every check that reads through it.
+  EXPECT_TRUE(report->downstream_skipped());
+}
+
+// Does the 8-byte word at `slot` overlap any relocation field?
+bool TouchesRelocField(const RelocInfo& relocs, uint64_t slot) {
+  for (const auto* list : {&relocs.abs64, &relocs.abs32, &relocs.inverse32}) {
+    for (uint64_t field : *list) {
+      if (field < slot + 8 && slot < field + 8) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(VerifyFaultTest, StaleTextPointerInDataDetected) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kKaslr, kScale));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto loaded = LoadWithNonzeroSlide(*info, RandoMode::kKaslr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Plant a link-time text address in a .data slot the relocation info does
+  // not cover — the residue an incomplete relocs list would leave behind.
+  auto elf = ElfReader::Parse(ByteSpan(info->vmlinux));
+  ASSERT_TRUE(elf.ok());
+  auto data_section = elf->FindSection(".data");
+  ASSERT_TRUE(data_section.ok());
+  const uint64_t lo = (*data_section)->header.sh_addr;
+  const uint64_t hi = lo + (*data_section)->header.sh_size;
+  uint64_t slot = 0;
+  for (uint64_t candidate = (lo + 7) & ~7ull; candidate + 8 <= hi; candidate += 8) {
+    if (!TouchesRelocField(info->relocs, candidate)) {
+      slot = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(slot, 0u) << "no relocation-free 8-byte slot in .data";
+  StoreLe64(FieldPtr(*loaded, slot), loaded->kernel.link_text_vaddr + 16);
+
+  auto report = VerifyImage(InputFor(*info, *loaded));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->CountOf(Invariant::kStaleTextPointer), 1u) << report->ToString();
+  EXPECT_EQ(report->total_findings(), 1u) << report->ToString();
+}
+
+TEST(VerifyKallsymsTest, LazyFixupCleanWhenDeferredStaleWhenNot) {
+  FgKaslrParams fg;
+  fg.kallsyms = KallsymsFixup::kLazy;
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, kScale));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto loaded = LoadImage(*info, RandoMode::kFgKaslr, /*seed=*/13, fg);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->kernel.fg.has_value());
+  ASSERT_TRUE(loaded->kernel.fg->kallsyms_pending);
+
+  // Lazy fixup window: kallsyms still pristine is the *expected* state.
+  VerifyInput input = InputFor(*info, *loaded);
+  ASSERT_TRUE(input.kallsyms_deferred);
+  auto deferred_report = VerifyImage(input);
+  ASSERT_TRUE(deferred_report.ok()) << deferred_report.status().ToString();
+  EXPECT_TRUE(deferred_report->clean()) << deferred_report->ToString();
+
+  // The same bytes judged against eager-fixup expectations are stale.
+  input.kallsyms_deferred = false;
+  auto eager_report = VerifyImage(input);
+  ASSERT_TRUE(eager_report.ok()) << eager_report.status().ToString();
+  EXPECT_GT(eager_report->CountOf(Invariant::kKallsymsStale), 0u);
+}
+
+TEST(VerifyReportTest, JsonSerialization) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kKaslr, kScale));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto loaded = LoadImage(*info, RandoMode::kKaslr, /*seed=*/3);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto report = VerifyImage(InputFor(*info, *loaded));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"clean\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_findings\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"relocations_checked\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"findings\":[]"), std::string::npos) << json;
+}
+
+TEST(VerifyMicroVmTest, VerifyAfterLoadHookRunsOnCleanBoot) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, kScale));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  Storage storage;
+  storage.Put("kernel", Bytes(info->vmlinux));
+  storage.Put("relocs", SerializeRelocs(info->relocs));
+
+  MicroVmConfig config;
+  config.kernel_image = "kernel";
+  config.relocs_image = "relocs";
+  config.rando = RandoMode::kFgKaslr;
+  config.seed = 11;
+  config.verify_after_load = true;
+  MicroVm vm(storage, config);
+  auto report = vm.Boot();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->init_done);
+  ASSERT_TRUE(report->verify.has_value());
+  EXPECT_TRUE(report->verify->clean()) << report->verify->ToString();
+  EXPECT_GT(report->verify->coverage().relocations_checked, 0u);
+}
+
+}  // namespace
+}  // namespace imk

@@ -12,6 +12,13 @@
 //   boot     --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--mem=256]
 //            Boots the image with in-monitor randomization and reports the
 //            layout and timeline.
+//   verify   --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--seed=N]
+//            [--mem=256] [--json] [--corrupt=MODE]
+//            Randomizes the image in-monitor (no guest execution), then runs
+//            the static KASLR-correctness analyzer over the result. Exits 0
+//            on a clean report, 1 on findings. --corrupt injects one fault
+//            first (skip-abs64 | double-inverse32 | overlap-section |
+//            stale-pointer) to demonstrate detection.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +31,8 @@
 #include "src/isa/disassembler.h"
 #include "src/kernel/bzimage.h"
 #include "src/kernel/kernel_builder.h"
+#include "src/verify/image_verifier.h"
+#include "src/vmm/loader.h"
 #include "src/vmm/microvm.h"
 
 namespace {
@@ -313,12 +322,151 @@ int CmdBoot(const Args& args) {
   return 0;
 }
 
+// Does the 8-byte word at link vaddr `slot` overlap any relocation field?
+bool TouchesRelocField(const imk::RelocInfo& relocs, uint64_t slot) {
+  for (const auto* list : {&relocs.abs64, &relocs.abs32, &relocs.inverse32}) {
+    for (uint64_t field : *list) {
+      if (field < slot + 8 && slot < field + 8) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int CmdVerify(const Args& args) {
+  const std::string kernel_path = args.Get("kernel");
+  if (kernel_path.empty()) {
+    Die("verify: --kernel=FILE required");
+  }
+  Bytes vmlinux = ReadFile(kernel_path);
+
+  imk::RelocInfo relocs;
+  bool have_relocs = false;
+  const std::string relocs_path = args.Get("relocs");
+  if (!relocs_path.empty()) {
+    Bytes blob = ReadFile(relocs_path);
+    auto parsed = imk::ParseRelocs(ByteSpan(blob));
+    if (!parsed.ok()) {
+      Die(parsed.status().ToString());
+    }
+    relocs = std::move(*parsed);
+    have_relocs = true;
+  } else {
+    // Figure 8's in-monitor `relocs` flow: derive from the ELF itself.
+    auto elf = imk::ElfReader::Parse(ByteSpan(vmlinux));
+    if (!elf.ok()) {
+      Die(elf.status().ToString());
+    }
+    auto extracted = imk::ExtractRelocsFromElf(*elf);
+    if (!extracted.ok()) {
+      Die(extracted.status().ToString());
+    }
+    relocs = std::move(*extracted);
+    have_relocs = !relocs.empty();
+  }
+
+  const imk::RandoMode rando = ParseRando(args.Get("rando", "kaslr"));
+  const uint64_t mem_bytes = static_cast<uint64_t>(args.GetDouble("mem", 256)) << 20;
+  imk::GuestMemory memory(mem_bytes);
+  imk::DirectBootParams params;
+  params.requested = rando;
+  const uint64_t seed = static_cast<uint64_t>(args.GetDouble("seed", 0));
+  imk::Rng rng(seed != 0 ? seed : imk::HostEntropySeed());
+  auto loaded =
+      imk::DirectLoadKernel(memory, ByteSpan(vmlinux), have_relocs ? &relocs : nullptr,
+                            params, rng);
+  if (!loaded.ok()) {
+    Die(loaded.status().ToString());
+  }
+  auto image = memory.Slice(loaded->choice.phys_load_addr, loaded->image_mem_size);
+  if (!image.ok()) {
+    Die(image.status().ToString());
+  }
+
+  // Optional fault injection, to demonstrate each detector class.
+  const imk::ShuffleMap* map = loaded->fg.has_value() ? &loaded->fg->map : nullptr;
+  imk::ShuffleMap corrupted_map;
+  const uint64_t base = loaded->link_text_vaddr;
+  const uint64_t slide = loaded->choice.virt_slide;
+  auto field_ptr = [&](uint64_t link_vaddr) {
+    const uint64_t moved = map != nullptr ? map->Translate(link_vaddr) : link_vaddr;
+    return image->data() + (moved - base);
+  };
+  const std::string corrupt = args.Get("corrupt");
+  if (corrupt == "skip-abs64") {
+    if (relocs.abs64.empty() || slide == 0) {
+      Die("skip-abs64 needs abs64 relocations and a nonzero slide (pick another --seed)");
+    }
+    uint8_t* p = field_ptr(relocs.abs64.front());
+    imk::StoreLe64(p, imk::LoadLe64(p) - slide);  // un-apply: as if the walk skipped it
+  } else if (corrupt == "double-inverse32") {
+    if (relocs.inverse32.empty() || slide == 0) {
+      Die("double-inverse32 needs inverse32 relocations and a nonzero slide");
+    }
+    uint8_t* p = field_ptr(relocs.inverse32.front());
+    imk::StoreLe32(p, imk::LoadLe32(p) - static_cast<uint32_t>(slide));  // second application
+  } else if (corrupt == "overlap-section") {
+    if (map == nullptr || map->ranges().size() < 2) {
+      Die("overlap-section requires an fgkaslr image (--rando=fgkaslr)");
+    }
+    std::vector<imk::ShuffledRange> ranges = map->ranges();
+    ranges[1].new_vaddr = ranges[0].new_vaddr;
+    corrupted_map = imk::ShuffleMap(std::move(ranges));
+    map = &corrupted_map;
+  } else if (corrupt == "stale-pointer") {
+    if (slide == 0) {
+      Die("stale-pointer needs a nonzero slide (pick another --seed)");
+    }
+    auto elf = imk::ElfReader::Parse(ByteSpan(vmlinux));
+    auto data_section = elf->FindSection(".data");
+    if (!data_section.ok()) {
+      Die(data_section.status().ToString());
+    }
+    const uint64_t lo = (*data_section)->header.sh_addr;
+    const uint64_t hi = lo + (*data_section)->header.sh_size;
+    uint64_t slot = 0;
+    for (uint64_t candidate = (lo + 7) & ~7ull; candidate + 8 <= hi; candidate += 8) {
+      if (!TouchesRelocField(relocs, candidate)) {
+        slot = candidate;
+        break;
+      }
+    }
+    if (slot == 0) {
+      Die("stale-pointer: no relocation-free 8-byte slot in .data");
+    }
+    imk::StoreLe64(field_ptr(slot), base + 16);  // a link-time text address
+  } else if (!corrupt.empty()) {
+    Die("unknown --corrupt mode: " + corrupt);
+  }
+
+  imk::VerifyInput input;
+  input.original_elf = ByteSpan(vmlinux);
+  input.randomized = ByteSpan(image->data(), image->size());
+  input.base_vaddr = base;
+  input.relocs = have_relocs ? &relocs : nullptr;
+  input.map = map;
+  input.choice = loaded->choice;
+  input.guest_mem_size = mem_bytes;
+  input.kallsyms_deferred = loaded->fg.has_value() && loaded->fg->kallsyms_pending;
+  auto report = imk::VerifyImage(input);
+  if (!report.ok()) {
+    Die(report.status().ToString());
+  }
+  if (!args.Get("json").empty()) {
+    std::printf("%s\n", report->ToJson().c_str());
+  } else {
+    std::printf("%s\n", report->ToString().c_str());
+  }
+  return report->clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: imk_tool <build|readelf|disasm|relocs|boot> [options]\n"
+                 "usage: imk_tool <build|readelf|disasm|relocs|boot|verify> [options]\n"
                  "run with a subcommand to see its options in the header comment\n");
     return 1;
   }
@@ -338,6 +486,9 @@ int main(int argc, char** argv) {
   }
   if (command == "boot") {
     return CmdBoot(args);
+  }
+  if (command == "verify") {
+    return CmdVerify(args);
   }
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
