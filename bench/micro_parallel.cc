@@ -1,0 +1,298 @@
+// micro_parallel — acceptance bench for the parallel, amortized in-monitor
+// randomization pipeline (PR 2).
+//
+// Reports, per stage, the serial reference against the batch/sharded path
+// (reloc apply, FGKASLR shuffle+move, image copy), and the end-to-end
+// monitor load time cold (template built every boot) against cached
+// (template served from the ImageTemplateCache, scratch buffers reused) —
+// the many-boots-per-second fleet scenario of the paper's §7 discussion.
+//
+// Targets (see ISSUE.md): >= 2x on reloc apply with 4 workers, >= 5x
+// cold vs cached end-to-end. Writes machine-readable results to
+// BENCH_parallel.json (override with --out=FILE).
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "bench/common.h"
+#include "src/base/stopwatch.h"
+#include "src/base/threadpool.h"
+#include "src/elf/elf_note.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+#include "src/kaslr/fgkaslr.h"
+#include "src/kaslr/random_offset.h"
+#include "src/kaslr/relocator.h"
+#include "src/kernel/relocs.h"
+#include "src/vmm/image_template.h"
+#include "src/vmm/loader.h"
+
+namespace imk {
+namespace {
+
+struct StagePair {
+  std::string name;
+  double serial_ns = 0;
+  double fast_ns = 0;
+  double speedup() const { return fast_ns > 0 ? serial_ns / fast_ns : 0; }
+};
+
+double MedianNs(uint32_t warmup, uint32_t reps, const std::function<Result<double>()>& body) {
+  Summary summary = bench::CheckOk(Repeat(warmup, reps, body), "Repeat");
+  return summary.percentile(50);
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  std::string out_path = "BENCH_parallel.json";
+  uint32_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<uint32_t>(std::atoi(argv[i] + 10));
+    }
+  }
+
+  std::printf("micro_parallel: scale=%.3g reps=%u threads=%u\n", opts.scale, opts.reps, threads);
+  KernelBuildInfo info = bench::CheckOk(
+      BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, opts.scale)),
+      "BuildKernel");
+  auto tmpl = bench::CheckOk(BuildImageTemplate(ByteSpan(info.vmlinux), TemplateOptions{}),
+                             "BuildImageTemplate");
+  ThreadPool pool(threads);
+  RelocScratch scratch;
+  Bytes move_scratch;
+
+  // One representative shuffled image for the reloc-apply stage.
+  Bytes shuffled = tmpl->pristine;
+  ShuffleMap map;
+  {
+    LoadedImageView view(MutableByteSpan(shuffled), tmpl->link_base);
+    Rng rng(2);
+    auto fg = bench::CheckOk(ShuffleFunctionsPreparsed(*tmpl->fg, view, FgKaslrParams{}, rng),
+                             "ShuffleFunctionsPreparsed");
+    map = fg.map;
+  }
+  constexpr uint64_t kSlide = 0x4000000;
+
+  // ---- stage: relocation apply ----
+  StagePair reloc{"reloc_apply"};
+  {
+    Bytes image = shuffled;
+    reloc.serial_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
+      image = shuffled;
+      LoadedImageView view(MutableByteSpan(image), tmpl->link_base);
+      Stopwatch timer;
+      IMK_RETURN_IF_ERROR(ApplyRelocationsShuffledPerEntry(view, info.relocs, kSlide, map)
+                              .status());
+      return static_cast<double>(timer.ElapsedNs());
+    });
+    RelocApplyOptions options;
+    options.pool = &pool;
+    options.scratch = &scratch;
+    reloc.fast_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
+      image = shuffled;
+      LoadedImageView view(MutableByteSpan(image), tmpl->link_base);
+      Stopwatch timer;
+      IMK_RETURN_IF_ERROR(
+          ApplyRelocationsShuffled(view, info.relocs, kSlide, map, options).status());
+      return static_cast<double>(timer.ElapsedNs());
+    });
+  }
+
+  // ---- stage: FGKASLR shuffle + move + table fixups ----
+  StagePair fg_stage{"fg_shuffle_move"};
+  {
+    Bytes image = tmpl->pristine;
+    FgExecContext reference_context;
+    reference_context.reference = true;
+    fg_stage.serial_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
+      image = tmpl->pristine;
+      LoadedImageView view(MutableByteSpan(image), tmpl->link_base);
+      Rng rng(3);
+      Stopwatch timer;
+      IMK_RETURN_IF_ERROR(
+          ShuffleFunctionsPreparsed(*tmpl->fg, view, FgKaslrParams{}, rng, reference_context)
+              .status());
+      return static_cast<double>(timer.ElapsedNs());
+    });
+    FgExecContext context;
+    context.pool = &pool;
+    context.scratch = &scratch;
+    context.move_scratch = &move_scratch;
+    context.pristine = ByteSpan(tmpl->pristine);
+    fg_stage.fast_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
+      image = tmpl->pristine;
+      LoadedImageView view(MutableByteSpan(image), tmpl->link_base);
+      Rng rng(3);
+      Stopwatch timer;
+      IMK_RETURN_IF_ERROR(
+          ShuffleFunctionsPreparsed(*tmpl->fg, view, FgKaslrParams{}, rng, context).status());
+      return static_cast<double>(timer.ElapsedNs());
+    });
+  }
+
+  // ---- stage: image copy into guest memory ----
+  StagePair copy_stage{"image_copy"};
+  {
+    Bytes dst(tmpl->mem_size, 0);
+    copy_stage.serial_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
+      Stopwatch timer;
+      std::memcpy(dst.data(), tmpl->pristine.data(), tmpl->mem_size);
+      return static_cast<double>(timer.ElapsedNs());
+    });
+    copy_stage.fast_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
+      Stopwatch timer;
+      pool.ParallelFor(tmpl->mem_size, [&](uint64_t begin, uint64_t end) {
+        std::memcpy(dst.data() + begin, tmpl->pristine.data() + begin, end - begin);
+      });
+      return static_cast<double>(timer.ElapsedNs());
+    });
+  }
+
+  // ---- stage: end-to-end monitor load, cold vs cached ----
+  // serial = the pre-PR-2 per-boot pipeline, i.e. what `imk_tool boot` did
+  // for every VM before this change: decode the vmlinux.relocs blob handed
+  // to the monitor (Figure 8), re-parse the ELF, walk the note sections for
+  // the kernel-constants note, choose offsets, copy segments one at a time,
+  // shuffle with freshly allocated scratch and reference (per-entry +
+  // re-sort) table fixups, and apply relocations with per-entry binary
+  // searches.
+  // cold_ns (JSON only) = the repo's current cacheless DirectLoadKernel
+  // (template built inline per boot, batch relocator, no worker pool).
+  // fast = the product path with a warm ImageTemplateCache + worker pool +
+  // reusable scratch buffers — the paper's §7 fleet scenario.
+  StagePair load_stage{"end_to_end_load"};
+  double load_cold_ns = 0;
+  {
+    GuestMemory memory(256ull << 20);
+    const Bytes relocs_blob = SerializeRelocs(info.relocs);
+    FgExecContext reference_context;
+    reference_context.reference = true;
+    load_stage.serial_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
+      Rng rng(7);
+      Stopwatch timer;
+      IMK_ASSIGN_OR_RETURN(RelocInfo boot_relocs, ParseRelocs(ByteSpan(relocs_blob)));
+      IMK_ASSIGN_OR_RETURN(ElfReader elf, ElfReader::Parse(ByteSpan(info.vmlinux)));
+      uint64_t lo = UINT64_MAX;
+      uint64_t hi = 0;
+      for (const Elf64Phdr& phdr : elf.program_headers()) {
+        if (phdr.p_type != kPtLoad) continue;
+        lo = std::min(lo, phdr.p_vaddr);
+        hi = std::max(hi, phdr.p_vaddr + phdr.p_memsz);
+      }
+      KernelConstantsNote constants = DefaultKernelConstants();
+      for (const ElfSection& section : elf.sections()) {
+        if (section.header.sh_type != kShtNote) continue;
+        IMK_ASSIGN_OR_RETURN(ByteSpan note_data, elf.SectionData(section));
+        IMK_ASSIGN_OR_RETURN(std::vector<ElfNote> notes, ParseNoteSection(note_data));
+        if (auto found = FindKernelConstants(notes)) {
+          constants = *found;
+          break;
+        }
+      }
+      OffsetConstraints constraints;
+      constraints.image_mem_size = hi - lo;
+      constraints.guest_mem_size = memory.size();
+      constraints.constants = constants;
+      IMK_ASSIGN_OR_RETURN(OffsetChoice choice, ChooseRandomOffsets(constraints, rng));
+      IMK_ASSIGN_OR_RETURN(MutableByteSpan ram, memory.Slice(choice.phys_load_addr, hi - lo));
+      for (const Elf64Phdr& phdr : elf.program_headers()) {
+        if (phdr.p_type != kPtLoad) continue;
+        IMK_ASSIGN_OR_RETURN(ByteSpan file_bytes, elf.SegmentData(phdr));
+        uint8_t* dst = ram.data() + (phdr.p_vaddr - lo);
+        std::memcpy(dst, file_bytes.data(), file_bytes.size());
+        std::memset(dst + file_bytes.size(), 0, phdr.p_memsz - file_bytes.size());
+      }
+      LoadedImageView view(ram, lo);
+      IMK_ASSIGN_OR_RETURN(FgMetadata fg_meta, ParseFgMetadata(elf));
+      IMK_ASSIGN_OR_RETURN(
+          FgKaslrResult fg_result,
+          ShuffleFunctionsPreparsed(fg_meta, view, FgKaslrParams{}, rng, reference_context));
+      IMK_RETURN_IF_ERROR(
+          ApplyRelocationsShuffledPerEntry(view, boot_relocs, choice.virt_slide, fg_result.map)
+              .status());
+      return static_cast<double>(timer.ElapsedNs());
+    });
+    DirectBootParams params;
+    params.requested = RandoMode::kFgKaslr;
+    load_cold_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
+      Rng rng(7);
+      Stopwatch timer;
+      IMK_RETURN_IF_ERROR(
+          DirectLoadKernel(memory, ByteSpan(info.vmlinux), &info.relocs, params, rng).status());
+      return static_cast<double>(timer.ElapsedNs());
+    });
+    ImageTemplateCache cache(4);
+    DirectLoadResources resources;
+    resources.pool = &pool;
+    resources.cache = &cache;
+    resources.reloc_scratch = &scratch;
+    resources.move_scratch = &move_scratch;
+    load_stage.fast_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
+      Rng rng(7);
+      Stopwatch timer;
+      IMK_RETURN_IF_ERROR(DirectLoadKernel(memory, ByteSpan(info.vmlinux), &info.relocs, params,
+                                           rng, resources)
+                              .status());
+      return static_cast<double>(timer.ElapsedNs());
+    });
+  }
+
+  const StagePair* stages[] = {&reloc, &fg_stage, &copy_stage, &load_stage};
+  TextTable table({"stage", "serial/cold (us)", "batch/cached (us)", "speedup"});
+  for (const StagePair* stage : stages) {
+    table.AddRow({stage->name, TextTable::Fmt(stage->serial_ns / 1000.0),
+                  TextTable::Fmt(stage->fast_ns / 1000.0), TextTable::Fmt(stage->speedup())});
+  }
+  table.Print();
+
+  const bool reloc_ok = reloc.speedup() >= 2.0;
+  const bool load_ok = load_stage.speedup() >= 5.0;
+  std::printf("targets: reloc_apply %.2fx (>=2x %s), end_to_end %.2fx (>=5x %s)\n",
+              reloc.speedup(), reloc_ok ? "PASS" : "MISS", load_stage.speedup(),
+              load_ok ? "PASS" : "MISS");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"micro_parallel\",\n"
+               "  \"scale\": %g,\n"
+               "  \"reps\": %u,\n"
+               "  \"threads\": %u,\n"
+               "  \"relocations\": %llu,\n"
+               "  \"image_bytes\": %llu,\n"
+               "  \"stages\": {\n",
+               opts.scale, opts.reps, threads,
+               static_cast<unsigned long long>(info.relocs.total()),
+               static_cast<unsigned long long>(tmpl->mem_size));
+  for (size_t i = 0; i < 4; ++i) {
+    const StagePair* stage = stages[i];
+    if (stage == &load_stage) {
+      std::fprintf(out,
+                   "    \"%s\": {\"serial_ns\": %.0f, \"cold_cacheless_ns\": %.0f, "
+                   "\"fast_ns\": %.0f, \"speedup\": %.3f}%s\n",
+                   stage->name.c_str(), stage->serial_ns, load_cold_ns, stage->fast_ns,
+                   stage->speedup(), i + 1 < 4 ? "," : "");
+      continue;
+    }
+    std::fprintf(out,
+                 "    \"%s\": {\"serial_ns\": %.0f, \"fast_ns\": %.0f, \"speedup\": %.3f}%s\n",
+                 stage->name.c_str(), stage->serial_ns, stage->fast_ns, stage->speedup(),
+                 i + 1 < 4 ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace imk
+
+int main(int argc, char** argv) { return imk::Run(argc, argv); }

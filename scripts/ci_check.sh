@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full CI gate: tier-1 build + tests, AddressSanitizer and UBSan builds with
-# the same test suite, and clang-tidy (skipped gracefully when not installed).
-# Nonzero exit on any failure.
+# the same test suite, a ThreadSanitizer build running the boot matrix and the
+# parallel-pipeline equivalence tests (the ThreadPool-sharded loader paths),
+# a micro_parallel bench smoke on a tiny image, and clang-tidy (skipped
+# gracefully when not installed). Nonzero exit on any failure.
 #
 # Usage: scripts/ci_check.sh [--skip-sanitizers]
 set -u
@@ -12,9 +14,10 @@ skip_sanitizers=0
 
 failures=0
 
+# run_suite NAME DIR CTEST_FILTER [cmake args...] — empty filter runs all.
 run_suite() {
-  local name="$1" dir="$2"
-  shift 2
+  local name="$1" dir="$2" filter="$3"
+  shift 3
   echo "=== $name: configure + build ($dir) ==="
   if ! cmake -B "$dir" -S "$repo_root" "$@" >/dev/null; then
     echo "=== $name: CONFIGURE FAILED ==="
@@ -27,16 +30,30 @@ run_suite() {
     return
   fi
   echo "=== $name: ctest ==="
-  if ! (cd "$dir" && ctest --output-on-failure -j "$(nproc)"); then
+  local ctest_args=(--output-on-failure -j "$(nproc)")
+  [[ -n "$filter" ]] && ctest_args+=(-R "$filter")
+  if ! (cd "$dir" && ctest "${ctest_args[@]}"); then
     echo "=== $name: TESTS FAILED ==="
     failures=$((failures + 1))
   fi
 }
 
-run_suite "tier-1" "$repo_root/build"
+run_suite "tier-1" "$repo_root/build" ""
 if [[ $skip_sanitizers -eq 0 ]]; then
-  run_suite "asan" "$repo_root/build-asan" -DIMK_ASAN=ON
-  run_suite "ubsan" "$repo_root/build-ubsan" -DIMK_UBSAN=ON
+  run_suite "asan" "$repo_root/build-asan" "" -DIMK_ASAN=ON
+  run_suite "ubsan" "$repo_root/build-ubsan" "" -DIMK_UBSAN=ON
+  # TSan covers the sharded loader paths: every ParallelFor call site runs
+  # under the boot matrix and the worker-count/cache equivalence tests.
+  run_suite "tsan" "$repo_root/build-tsan" \
+    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix" \
+    -DIMK_TSAN=ON
+fi
+
+echo "=== bench smoke (micro_parallel, tiny image) ==="
+if ! "$repo_root/build/bench/micro_parallel" --scale=0.02 --reps=2 --warmup=1 \
+    --out="$repo_root/build/bench_smoke.json" >/dev/null; then
+  echo "=== bench smoke: FAILED ==="
+  failures=$((failures + 1))
 fi
 
 echo "=== clang-tidy ==="

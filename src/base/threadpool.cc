@@ -1,0 +1,131 @@
+#include "src/base/threadpool.h"
+
+namespace imk {
+
+ThreadPool::ThreadPool(uint32_t workers) : workers_(workers) {
+  if (workers_ == 0) {
+    workers_ = std::thread::hardware_concurrency();
+    if (workers_ == 0) {
+      workers_ = 1;
+    }
+  }
+  threads_.reserve(workers_ - 1);
+  for (uint32_t i = 0; i + 1 < workers_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
+  for (;;) {
+    const uint32_t chunk = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job->chunks) {
+      return;
+    }
+    auto [begin, end] = ChunkRange(job->n, job->chunks, chunk);
+    try {
+      (*job->fn)(chunk, begin, end);
+    } catch (...) {
+      job->errors[chunk] = std::current_exception();
+    }
+    if (job->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk done: wake the caller. The lock orders the wake against
+      // the caller's predicate check.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;  // shared ownership keeps the job alive past the caller
+    }
+    if (job != nullptr) {
+      RunChunks(job);
+    }
+  }
+}
+
+void ThreadPool::ParallelForChunked(
+    uint64_t n, uint32_t chunks,
+    const std::function<void(uint32_t, uint64_t, uint64_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (chunks == 0) {
+    chunks = 1;
+  }
+  // More chunks than items would only yield empty ranges; clamp so every
+  // chunk is non-empty and the partition stays the documented one.
+  if (chunks > n) {
+    chunks = static_cast<uint32_t>(n);
+  }
+  if (workers_ == 1 || chunks == 1) {
+    // Inline path: same partition, same order, no synchronization.
+    std::exception_ptr first_error;
+    for (uint32_t i = 0; i < chunks; ++i) {
+      auto [begin, end] = ChunkRange(n, chunks, i);
+      try {
+        fn(i, begin, end);
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->chunks = chunks;
+  job->fn = &fn;
+  job->pending.store(chunks, std::memory_order_relaxed);
+  job->errors.assign(chunks, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(job);  // the caller is a lane too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job->pending.load(std::memory_order_acquire) == 0; });
+    job_ = nullptr;
+  }
+  // `fn` may not be touched by workers past this point: pending == 0 means
+  // every chunk body finished, and late cursor reads only see exhaustion.
+  // Deterministic propagation: the lowest-index failure wins regardless of
+  // which worker hit it first.
+  for (uint32_t i = 0; i < chunks; ++i) {
+    if (job->errors[i]) {
+      std::rethrow_exception(job->errors[i]);
+    }
+  }
+}
+
+}  // namespace imk

@@ -1,0 +1,97 @@
+// A small fixed-worker thread pool with static range partitioning, built for
+// the monitor's randomization hot path (segment load, section move, sharded
+// relocation apply). Design constraints, in order:
+//
+//   1. Determinism: ParallelFor only ever splits [0, n) into contiguous
+//      chunks computed from (n, chunks) — never from timing — so any
+//      reduction that combines per-chunk results in chunk order is identical
+//      for every worker count, including the inline (workers == 1) path.
+//   2. No allocation on the hot path beyond the shared job state: workers are
+//      spawned once at construction and claim chunk indices from an atomic
+//      cursor; the caller participates instead of blocking idle.
+//   3. Exceptions from the body are captured per chunk and the lowest-index
+//      one is rethrown in the caller (library code is Status-based, but the
+//      pool is usable from tests/benches that do throw).
+#ifndef IMKASLR_SRC_BASE_THREADPOOL_H_
+#define IMKASLR_SRC_BASE_THREADPOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace imk {
+
+class ThreadPool {
+ public:
+  // `workers` total execution lanes, including the calling thread; the pool
+  // spawns workers-1 threads. 0 is clamped to the hardware concurrency.
+  explicit ThreadPool(uint32_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t workers() const { return workers_; }
+
+  // Runs fn(chunk, begin, end) over `chunks` contiguous ranges statically
+  // partitioned from [0, n); blocks until every chunk finished. Chunk i is
+  // [i*n/chunks, (i+1)*n/chunks), so results are independent of scheduling;
+  // the chunk index lets callers keep deterministic shard-local accumulators.
+  // Not reentrant: the body must not call back into the same pool, and only
+  // one ParallelFor may be in flight per pool at a time.
+  void ParallelForChunked(uint64_t n, uint32_t chunks,
+                          const std::function<void(uint32_t chunk, uint64_t begin, uint64_t end)>& fn);
+
+  // Index-free form.
+  void ParallelFor(uint64_t n, uint32_t chunks,
+                   const std::function<void(uint64_t begin, uint64_t end)>& fn) {
+    ParallelForChunked(n, chunks,
+                       [&fn](uint32_t, uint64_t begin, uint64_t end) { fn(begin, end); });
+  }
+
+  // Convenience: one chunk per worker.
+  void ParallelFor(uint64_t n, const std::function<void(uint64_t, uint64_t)>& fn) {
+    ParallelFor(n, workers_, fn);
+  }
+
+  // The i-th of `chunks` static partitions of [0, n) (exposed so shard-local
+  // reductions in callers and tests can name the exact ranges the pool uses).
+  static std::pair<uint64_t, uint64_t> ChunkRange(uint64_t n, uint32_t chunks, uint32_t index) {
+    return {n * index / chunks, n * (index + 1) / chunks};
+  }
+
+ private:
+  struct Job {
+    uint64_t n = 0;
+    uint32_t chunks = 0;
+    const std::function<void(uint32_t, uint64_t, uint64_t)>* fn = nullptr;
+    std::atomic<uint32_t> next_chunk{0};
+    std::atomic<uint32_t> pending{0};  // chunks not yet finished
+    std::vector<std::exception_ptr> errors;  // one slot per chunk
+  };
+
+  void WorkerLoop();
+  // Claims and runs chunks of `job` until the cursor is exhausted.
+  void RunChunks(const std::shared_ptr<Job>& job);
+
+  uint32_t workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for a job generation
+  std::condition_variable done_cv_;   // caller waits for pending == 0
+  uint64_t generation_ = 0;           // bumped per ParallelFor to wake workers
+  bool shutdown_ = false;
+  std::shared_ptr<Job> job_;  // non-null while a ParallelFor is in flight
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_THREADPOOL_H_

@@ -35,12 +35,12 @@ void SortPairTable(uint8_t* base, uint64_t count) {
   }
 }
 
-// Fixes a table of text-relative {offset, aux} pairs whose offsets point at
-// (possibly moved) code, then re-sorts. `fix_aux` additionally treats the
-// second field as a text-relative code offset (the exception table's fixup
-// target); kallsyms/ORC auxes are hashes/depths and stay untouched.
-Status FixupOffsetTable(LoadedImageView& view, uint64_t table_vaddr, uint64_t count,
-                        uint64_t text_vaddr, const ShuffleMap& map, bool fix_aux) {
+// Reference fixup: per-entry binary search through the map, then a full
+// comparison sort — exactly what the Linux bootstrap loader (and this repo
+// before the batch relocator) does. Kept as the serial baseline, as the
+// equivalence-test oracle, and as the fallback for unsorted input tables.
+Status FixupOffsetTableReference(LoadedImageView& view, uint64_t table_vaddr, uint64_t count,
+                                 uint64_t text_vaddr, const ShuffleMap& map, bool fix_aux) {
   IMK_ASSIGN_OR_RETURN(uint8_t* base, view.At(table_vaddr, count * 16));
   for (uint64_t i = 0; i < count; ++i) {
     uint8_t* entry = base + i * 16;
@@ -55,52 +55,203 @@ Status FixupOffsetTable(LoadedImageView& view, uint64_t table_vaddr, uint64_t co
   return OkStatus();
 }
 
-// Locates a table by its locator symbol; returns {vaddr, byte size}.
-Result<std::pair<uint64_t, uint64_t>> FindTable(const std::vector<ElfSymbol>& symbols,
-                                                std::string_view name) {
-  for (const ElfSymbol& symbol : symbols) {
-    if (symbol.name == name) {
-      return std::make_pair(symbol.value, symbol.size);
+// Fixes a table of text-relative {offset, aux} pairs whose offsets point at
+// (possibly moved) code, then restores key order. `fix_aux` additionally
+// treats the second field as a text-relative code offset (the exception
+// table's fixup target); kallsyms/ORC auxes are hashes/depths and stay
+// untouched. `index` (optional) answers the same queries as `map` in O(1).
+//
+// Re-ordering exploits the table's structure instead of a comparison sort:
+// the input is key-sorted, so the entries of one moved section form a
+// contiguous run that stays internally sorted after its constant delta is
+// added, and the new intervals of moved sections are pairwise disjoint.
+// Emitting the runs in new-interval order yields a sorted "moved" bucket;
+// entries outside every section keep their keys and stay sorted as-is; one
+// linear merge of the two buckets rebuilds the table. `new_order` (optional)
+// lists range ids in ascending new_vaddr — the shuffle's placement order —
+// which turns the run ordering itself into a linear walk: O(n + m) total,
+// and with one table entry per section (kallsyms) that difference is the
+// whole sort. Pass 1 never writes the table, so an unsorted input falls back
+// to the reference fixup on untouched bytes.
+Status FixupOffsetTable(LoadedImageView& view, uint64_t table_vaddr, uint64_t count,
+                        uint64_t text_vaddr, const ShuffleMap& map,
+                        const ShuffleDeltaIndex* index, bool fix_aux,
+                        const std::vector<uint32_t>* new_order, RelocScratch* scratch) {
+  IMK_ASSIGN_OR_RETURN(uint8_t* base, view.At(table_vaddr, count * 16));
+  auto delta_for = [&](uint64_t vaddr) {
+    return index != nullptr ? index->DeltaFor(vaddr) : map.DeltaFor(vaddr);
+  };
+  auto rid_for = [&](uint64_t vaddr) {
+    return index != nullptr ? index->RangeIdFor(vaddr) : map.RangeIdFor(vaddr);
+  };
+
+  RelocScratch local_scratch;
+  RelocScratch& buffers = scratch != nullptr ? *scratch : local_scratch;
+  std::vector<std::pair<uint64_t, uint64_t>>& moved = buffers.table_moved;
+  std::vector<std::pair<uint64_t, uint64_t>>& unmoved = buffers.table_unmoved;
+  moved.clear();
+  unmoved.clear();
+  moved.reserve(count);
+  unmoved.reserve(count);
+
+  // Pass 1: classify entries into buckets (keys and auxes already fixed),
+  // verify the input was sorted. Runs are tagged by range id as encountered;
+  // input order within a bucket is preserved, so each run stays contiguous.
+  // Read-only on the table itself.
+  const std::vector<ShuffledRange>& ranges = map.ranges();
+  std::vector<std::pair<uint32_t, uint32_t>>& runs = buffers.table_runs;  // (start, length)
+  std::vector<int32_t>& run_of_rid = buffers.table_run_of_rid;
+  std::vector<uint64_t>& run_new_start = buffers.table_run_new_start;
+  runs.clear();
+  run_new_start.clear();
+  run_of_rid.assign(ranges.size(), -1);
+  bool input_sorted = true;
+  uint64_t prev_key = 0;
+  int32_t current_rid = INT32_MIN;  // distinct from any rid / -1
+  for (uint64_t i = 0; i < count && input_sorted; ++i) {
+    const uint8_t* entry = base + i * 16;
+    const uint64_t offset = LoadLe64(entry);
+    if (i > 0 && offset < prev_key) {
+      input_sorted = false;
+      break;
+    }
+    prev_key = offset;
+    const int32_t rid = rid_for(text_vaddr + offset);
+    const int64_t delta = rid >= 0 ? ranges[rid].delta() : 0;
+    const uint64_t fixed = offset + static_cast<uint64_t>(delta);
+    uint64_t aux = LoadLe64(entry + 8);
+    if (fix_aux) {
+      aux += static_cast<uint64_t>(delta_for(text_vaddr + aux));
+    }
+    if (rid < 0) {
+      unmoved.emplace_back(fixed, aux);
+      current_rid = INT32_MIN;
+      continue;
+    }
+    if (rid != current_rid) {
+      // A section's old interval is contiguous in a sorted input, so a rid
+      // can only open one run; seeing it twice means the input wasn't
+      // sorted after all.
+      if (run_of_rid[rid] != -1) {
+        input_sorted = false;
+        break;
+      }
+      run_of_rid[rid] = static_cast<int32_t>(runs.size());
+      runs.emplace_back(static_cast<uint32_t>(moved.size()), 0);
+      run_new_start.push_back(ranges[rid].new_vaddr);
+      current_rid = rid;
+    }
+    ++runs[run_of_rid[rid]].second;
+    moved.emplace_back(fixed, aux);
+  }
+
+  if (!input_sorted) {
+    return FixupOffsetTableReference(view, table_vaddr, count, text_vaddr, map, fix_aux);
+  }
+
+  // Pass 2: emit moved runs in new-interval order, merge with the unmoved
+  // bucket, store back — each table entry written exactly once.
+  uint64_t out = 0;
+  uint64_t un = 0;  // cursor into the unmoved bucket
+  const auto emit = [&](const std::pair<uint64_t, uint64_t>& pair) {
+    StoreLe64(base + out * 16, pair.first);
+    StoreLe64(base + out * 16 + 8, pair.second);
+    ++out;
+  };
+  const auto emit_run = [&](uint32_t run_id) {
+    const auto [start, length] = runs[run_id];
+    for (uint32_t i = 0; i < length; ++i) {
+      const std::pair<uint64_t, uint64_t>& pair = moved[start + i];
+      while (un < unmoved.size() && unmoved[un].first <= pair.first) {
+        emit(unmoved[un++]);
+      }
+      emit(pair);
+    }
+  };
+  if (new_order != nullptr && new_order->size() == ranges.size()) {
+    for (const uint32_t rid : *new_order) {
+      if (run_of_rid[rid] >= 0) {
+        emit_run(static_cast<uint32_t>(run_of_rid[rid]));
+      }
+    }
+  } else {
+    std::vector<uint32_t>& run_order = buffers.run_order;
+    run_order.resize(runs.size());
+    for (uint32_t i = 0; i < runs.size(); ++i) {
+      run_order[i] = i;
+    }
+    std::sort(run_order.begin(), run_order.end(),
+              [&](uint32_t a, uint32_t b) { return run_new_start[a] < run_new_start[b]; });
+    for (uint32_t run_id : run_order) {
+      emit_run(run_id);
     }
   }
-  return NotFoundError("table symbol not found: " + std::string(name));
+  while (un < unmoved.size()) {
+    emit(unmoved[un++]);
+  }
+  return OkStatus();
+}
+
+// Locates a table by its locator symbol.
+FgTable FindTable(const std::vector<ElfSymbol>& symbols, std::string_view name) {
+  for (const ElfSymbol& symbol : symbols) {
+    if (symbol.name == name) {
+      return FgTable{true, symbol.value, symbol.size};
+    }
+  }
+  return FgTable{};
+}
+
+Status RequireTable(const FgTable& table, std::string_view name) {
+  if (!table.present) {
+    return NotFoundError("table symbol not found: " + std::string(name));
+  }
+  return OkStatus();
 }
 
 }  // namespace
 
 Status FixupKallsymsTable(LoadedImageView& view, uint64_t table_vaddr, uint64_t count,
                           const ShuffleMap& map) {
-  return FixupOffsetTable(view, table_vaddr, count, view.base_vaddr(), map, /*fix_aux=*/false);
+  return FixupOffsetTable(view, table_vaddr, count, view.base_vaddr(), map, /*index=*/nullptr,
+                          /*fix_aux=*/false, /*new_order=*/nullptr, /*scratch=*/nullptr);
 }
 
-Result<FgKaslrResult> ShuffleFunctions(const ElfReader& elf, LoadedImageView& view,
-                                       const FgKaslrParams& params, Rng& rng) {
-  FgKaslrResult result;
-
-  // ---- step 1: collect function sections ----
-  Stopwatch parse_timer;
-  struct Section {
-    uint64_t vaddr;
-    uint64_t size;
-  };
-  std::vector<Section> sections;
+Result<FgMetadata> ParseFgMetadata(const ElfReader& elf) {
+  FgMetadata meta;
   for (const ElfSection& section : elf.sections()) {
     if (section.name.rfind(kFunctionSectionPrefix, 0) == 0 &&
         (section.header.sh_flags & kShfExecinstr) != 0) {
-      sections.push_back(Section{section.header.sh_addr, section.header.sh_size});
+      meta.sections.push_back(FgFunctionSection{section.header.sh_addr, section.header.sh_size});
     }
   }
   IMK_ASSIGN_OR_RETURN(std::vector<ElfSymbol> symbols, elf.ReadSymbols());
-  result.timings.parse_ns = parse_timer.ElapsedNs();
+  if (meta.sections.empty() || symbols.empty()) {
+    return FailedPreconditionError(
+        "kernel has no per-function sections (not built with fgkaslr support)");
+  }
+  std::sort(meta.sections.begin(), meta.sections.end(),
+            [](const FgFunctionSection& a, const FgFunctionSection& b) {
+              return a.vaddr < b.vaddr;
+            });
+  meta.kallsyms = FindTable(symbols, "__kallsyms");
+  meta.ex_table = FindTable(symbols, "__ex_table");
+  meta.orc = FindTable(symbols, "__orc_unwind");
+  return meta;
+}
 
+Result<FgKaslrResult> ShuffleFunctionsPreparsed(const FgMetadata& meta, LoadedImageView& view,
+                                                const FgKaslrParams& params, Rng& rng,
+                                                const FgExecContext& context) {
+  FgKaslrResult result;
+  const std::vector<FgFunctionSection>& sections = meta.sections;
   if (sections.empty()) {
     return FailedPreconditionError(
         "kernel has no per-function sections (not built with fgkaslr support)");
   }
-  std::sort(sections.begin(), sections.end(),
-            [](const Section& a, const Section& b) { return a.vaddr < b.vaddr; });
 
   // ---- step 2: shuffle + contiguous re-layout ----
+  // Serial by design: the permutation must be a pure function of the seed.
   Stopwatch shuffle_timer;
   std::vector<uint32_t> order(sections.size());
   std::iota(order.begin(), order.end(), 0u);
@@ -113,7 +264,7 @@ Result<FgKaslrResult> ShuffleFunctions(const ElfReader& elf, LoadedImageView& vi
   uint64_t cursor = region_start;
   std::vector<ShuffledRange> ranges(sections.size());
   for (uint32_t slot = 0; slot < order.size(); ++slot) {
-    const Section& section = sections[order[slot]];
+    const FgFunctionSection& section = sections[order[slot]];
     cursor = AlignUp(cursor, 16);
     ranges[order[slot]] = ShuffledRange{section.vaddr, cursor, section.size};
     cursor += section.size;
@@ -127,13 +278,77 @@ Result<FgKaslrResult> ShuffleFunctions(const ElfReader& elf, LoadedImageView& vi
   // The bootstrap loader must copy the entire function-section region before
   // scattering it (sections would otherwise overwrite each other); so must
   // we. This is the memory traffic the paper's Bootstrap Setup/heap analysis
-  // talks about.
+  // talks about. Both the region copy and the placement loop shard cleanly:
+  // destination ranges are pairwise disjoint and the scratch copy is
+  // read-only during placement.
   Stopwatch move_timer;
-  IMK_ASSIGN_OR_RETURN(uint8_t* region, view.At(region_start, region_end - region_start));
-  Bytes scratch(region, region + (region_end - region_start));
-  for (const ShuffledRange& range : ranges) {
-    IMK_ASSIGN_OR_RETURN(uint8_t* dst, view.At(range.new_vaddr, range.size));
-    std::memcpy(dst, scratch.data() + (range.old_vaddr - region_start), range.size);
+  const uint64_t region_size = region_end - region_start;
+  IMK_ASSIGN_OR_RETURN(uint8_t* region, view.At(region_start, region_size));
+  ThreadPool* pool = context.reference ? nullptr : context.pool;
+  Bytes local_scratch;
+  const uint8_t* source = nullptr;
+  const bool from_pristine = !context.reference &&
+                             context.pristine.size() == view.size() &&
+                             !context.pristine.empty();
+  if (from_pristine) {
+    // An immutable pristine image doubles as the region snapshot: place
+    // sections straight out of it, no defensive copy. Gap bytes (alignment
+    // padding and the layout tail) are restored from pristine inline with
+    // placement, so the caller may leave the whole region uninitialized and
+    // skip it in its image copy.
+    source = context.pristine.data() + (region_start - view.base_vaddr());
+  } else {
+    Bytes& scratch =
+        !context.reference && context.move_scratch != nullptr ? *context.move_scratch
+                                                              : local_scratch;
+    scratch.resize(region_size);
+    if (pool != nullptr && pool->workers() > 1) {
+      pool->ParallelFor(region_size, [&](uint64_t begin, uint64_t end) {
+        std::memcpy(scratch.data() + begin, region + begin, end - begin);
+      });
+    } else {
+      std::memcpy(scratch.data(), region, region_size);
+    }
+    source = scratch.data();
+  }
+  if (context.reference) {
+    // The pre-batch walk: sections in old-address order, scattered writes.
+    for (const ShuffledRange& range : ranges) {
+      std::memcpy(region + (range.new_vaddr - region_start),
+                  source + (range.old_vaddr - region_start), range.size);
+    }
+  } else {
+    // Place in new-address (slot) order so writes stream sequentially
+    // through the region; each slot also restores the alignment gap that
+    // precedes it when placement reads from pristine (the gap bytes were
+    // never copied by the loader in that mode).
+    const auto place_slots = [&](uint64_t slot_begin, uint64_t slot_end) {
+      uint64_t prev_end = region_start;
+      if (slot_begin > 0) {
+        const ShuffledRange& prev = ranges[order[slot_begin - 1]];
+        prev_end = prev.new_vaddr + prev.size;
+      }
+      for (uint64_t slot = slot_begin; slot < slot_end; ++slot) {
+        const ShuffledRange& range = ranges[order[slot]];
+        if (from_pristine && range.new_vaddr > prev_end) {
+          std::memcpy(region + (prev_end - region_start), source + (prev_end - region_start),
+                      range.new_vaddr - prev_end);
+        }
+        std::memcpy(region + (range.new_vaddr - region_start),
+                    source + (range.old_vaddr - region_start), range.size);
+        prev_end = range.new_vaddr + range.size;
+      }
+    };
+    if (pool != nullptr && pool->workers() > 1) {
+      pool->ParallelFor(order.size(), place_slots);
+    } else {
+      place_slots(0, order.size());
+    }
+    if (from_pristine && cursor < region_end) {
+      // Layout tail after the last placed section.
+      std::memcpy(region + (cursor - region_start), source + (cursor - region_start),
+                  region_end - cursor);
+    }
   }
   result.map = ShuffleMap(std::move(ranges));
   result.sections_shuffled = static_cast<uint32_t>(sections.size());
@@ -141,15 +356,51 @@ Result<FgKaslrResult> ShuffleFunctions(const ElfReader& elf, LoadedImageView& vi
 
   // ---- step 4: table fixups ----
   const uint64_t text_vaddr = view.base_vaddr();
+  RelocScratch local_reloc_scratch;
+  RelocScratch& reloc_scratch =
+      context.scratch != nullptr ? *context.scratch : local_reloc_scratch;
+  const ShuffleDeltaIndex* index = nullptr;
+  // Placement already visits sections in ascending new_vaddr (order[slot]
+  // indexes ranges built 1:1 over the old-sorted section list, and the
+  // ShuffleMap constructor's sort leaves an already-sorted vector as-is), so
+  // `order` doubles as the fixups' new-interval emit order. Verified cheaply
+  // rather than assumed: zero-size or duplicate section addresses would
+  // break the invariant, and then the fixup falls back to its sort.
+  const std::vector<uint32_t>* table_order = nullptr;
+  if (!context.reference) {
+    reloc_scratch.value_index.Rebuild(result.map);
+    index = &reloc_scratch.value_index;
+    const std::vector<ShuffledRange>& map_ranges = result.map.ranges();
+    bool ascending = map_ranges.size() == order.size();
+    uint64_t prev_new = 0;
+    for (size_t slot = 0; ascending && slot < order.size(); ++slot) {
+      const uint64_t new_vaddr = map_ranges[order[slot]].new_vaddr;
+      if (slot > 0 && new_vaddr < prev_new) {
+        ascending = false;
+      }
+      prev_new = new_vaddr;
+    }
+    if (ascending) {
+      table_order = &order;
+    }
+  }
+  const auto fixup = [&](uint64_t table_vaddr, uint64_t table_count, bool fix_aux) {
+    if (context.reference) {
+      return FixupOffsetTableReference(view, table_vaddr, table_count, text_vaddr, result.map,
+                                       fix_aux);
+    }
+    return FixupOffsetTable(view, table_vaddr, table_count, text_vaddr, result.map, index,
+                            fix_aux, table_order, &reloc_scratch);
+  };
 
   {
     Stopwatch kallsyms_timer;
-    IMK_ASSIGN_OR_RETURN(auto kallsyms, FindTable(symbols, "__kallsyms"));
-    result.kallsyms_vaddr = kallsyms.first;
-    result.kallsyms_count = kallsyms.second / kKallsymsEntrySize;
+    IMK_RETURN_IF_ERROR(RequireTable(meta.kallsyms, "__kallsyms"));
+    result.kallsyms_vaddr = meta.kallsyms.vaddr;
+    result.kallsyms_count = meta.kallsyms.size / kKallsymsEntrySize;
     if (params.kallsyms == KallsymsFixup::kEager) {
-      IMK_RETURN_IF_ERROR(
-          FixupKallsymsTable(view, result.kallsyms_vaddr, result.kallsyms_count, result.map));
+      IMK_RETURN_IF_ERROR(fixup(result.kallsyms_vaddr, result.kallsyms_count,
+                                /*fix_aux=*/false));
     } else {
       result.kallsyms_pending = true;
     }
@@ -158,20 +409,26 @@ Result<FgKaslrResult> ShuffleFunctions(const ElfReader& elf, LoadedImageView& vi
 
   {
     Stopwatch tables_timer;
-    IMK_ASSIGN_OR_RETURN(auto ex_table, FindTable(symbols, "__ex_table"));
-    IMK_RETURN_IF_ERROR(FixupOffsetTable(view, ex_table.first,
-                                         ex_table.second / kExTableEntrySize, text_vaddr,
-                                         result.map, /*fix_aux=*/true));
-    if (params.fixup_orc) {
-      auto orc = FindTable(symbols, "__orc_unwind");
-      if (orc.ok()) {
-        IMK_RETURN_IF_ERROR(FixupOffsetTable(view, orc->first, orc->second / kOrcEntrySize,
-                                             text_vaddr, result.map, /*fix_aux=*/false));
-      }
+    IMK_RETURN_IF_ERROR(RequireTable(meta.ex_table, "__ex_table"));
+    IMK_RETURN_IF_ERROR(fixup(meta.ex_table.vaddr, meta.ex_table.size / kExTableEntrySize,
+                              /*fix_aux=*/true));
+    if (params.fixup_orc && meta.orc.present) {
+      IMK_RETURN_IF_ERROR(fixup(meta.orc.vaddr, meta.orc.size / kOrcEntrySize,
+                                /*fix_aux=*/false));
     }
     result.timings.tables_ns = tables_timer.ElapsedNs();
   }
 
+  return result;
+}
+
+Result<FgKaslrResult> ShuffleFunctions(const ElfReader& elf, LoadedImageView& view,
+                                       const FgKaslrParams& params, Rng& rng) {
+  Stopwatch parse_timer;
+  IMK_ASSIGN_OR_RETURN(FgMetadata meta, ParseFgMetadata(elf));
+  const uint64_t parse_ns = parse_timer.ElapsedNs();
+  IMK_ASSIGN_OR_RETURN(FgKaslrResult result, ShuffleFunctionsPreparsed(meta, view, params, rng));
+  result.timings.parse_ns = parse_ns;
   return result;
 }
 

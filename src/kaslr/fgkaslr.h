@@ -11,6 +11,13 @@
 //   4. fix up and re-sort the address-ordered tables that the shuffle broke:
 //      kallsyms, the exception table, and (optionally) the ORC unwind table.
 //
+// Step 1 is boot-invariant: its output (FgMetadata) depends only on the
+// image bytes, so the monitor's ImageTemplateCache computes it once per
+// kernel and every boot re-runs only steps 2-4 with a fresh seed. Step 3's
+// placement loop moves disjoint byte ranges and shards over a ThreadPool;
+// the shuffle order itself comes from a serial Fisher-Yates walk of the
+// seeded RNG, so layouts never depend on worker interleaving.
+//
 // Kallsyms fixup is ~22% of FGKASLR boot cost (paper §4.3), so it can be
 // made lazy (deferred to first use, re-using the port hook) or skipped.
 #ifndef IMKASLR_SRC_KASLR_FGKASLR_H_
@@ -18,6 +25,7 @@
 
 #include "src/base/result.h"
 #include "src/base/rng.h"
+#include "src/base/threadpool.h"
 #include "src/elf/elf_reader.h"
 #include "src/kaslr/relocator.h"
 #include "src/kaslr/shuffle_map.h"
@@ -38,7 +46,7 @@ struct FgKaslrParams {
 
 // Wall-clock breakdown of the engine's steps (measured host nanoseconds).
 struct FgKaslrTimings {
-  uint64_t parse_ns = 0;     // section collection
+  uint64_t parse_ns = 0;     // section collection (0 when served from a template)
   uint64_t shuffle_ns = 0;   // permutation + layout
   uint64_t move_ns = 0;      // byte movement (incl. the text copy)
   uint64_t kallsyms_ns = 0;  // kallsyms fixup + sort
@@ -60,6 +68,61 @@ struct FgKaslrResult {
   uint64_t kallsyms_vaddr = 0;
   uint64_t kallsyms_count = 0;
 };
+
+// One .text.fn_* section, by link address.
+struct FgFunctionSection {
+  uint64_t vaddr = 0;
+  uint64_t size = 0;
+};
+
+// Location of an address-ordered table that the shuffle invalidates.
+struct FgTable {
+  bool present = false;
+  uint64_t vaddr = 0;
+  uint64_t size = 0;
+};
+
+// Step 1's boot-invariant output: everything the shuffle needs that depends
+// only on the image bytes. Cacheable across boots of the same kernel.
+struct FgMetadata {
+  std::vector<FgFunctionSection> sections;  // sorted ascending by vaddr
+  FgTable kallsyms;                         // __kallsyms
+  FgTable ex_table;                         // __ex_table
+  FgTable orc;                              // __orc_unwind
+};
+
+// Collects function sections and table locations from the kernel ELF.
+// kFailedPrecondition if the kernel is not fgkaslr-capable (no per-function
+// sections or no symbol table); missing individual tables are recorded as
+// absent and surface only when the shuffle needs them.
+Result<FgMetadata> ParseFgMetadata(const ElfReader& elf);
+
+// Reusable execution resources for steps 2-4; all optional.
+struct FgExecContext {
+  ThreadPool* pool = nullptr;       // shards the placement memcpy loop
+  RelocScratch* scratch = nullptr;  // reused value index for table fixups
+  Bytes* move_scratch = nullptr;    // reused text-copy buffer (the §5.2 heap)
+  // Immutable pre-randomization image aligned with `view` (same base vaddr
+  // and size), e.g. an ImageTemplate's pristine buffer. When set, sections
+  // are placed directly from it and the defensive region copy — the heap
+  // cost §5.2 charges to the bootstrap loader, which must shuffle in place
+  // — is skipped entirely. Final bytes are identical either way: the
+  // in-place path's scratch snapshot equals the pristine region.
+  ByteSpan pristine;
+  // Run steps 3-4 exactly as the pre-batch bootstrap loader would: defensive
+  // region copy, placement in section order, per-entry binary-search table
+  // fixups followed by a full comparison sort. Ignores pool/scratch/pristine.
+  // Produces bit-identical images to the fast path; the serial baselines in
+  // bench/micro_parallel and the equivalence tests rely on it.
+  bool reference = false;
+};
+
+// Runs steps 2-4 over a kernel loaded (at link addresses) in `view`, using
+// previously collected metadata. Deterministic in (meta, params, seed):
+// identical for every pool size and for cached vs freshly parsed metadata.
+Result<FgKaslrResult> ShuffleFunctionsPreparsed(const FgMetadata& meta, LoadedImageView& view,
+                                                const FgKaslrParams& params, Rng& rng,
+                                                const FgExecContext& context = {});
 
 // Runs steps 1-4 over a kernel loaded (at link addresses) in `view`.
 // `elf` reads the original image file for section/symbol metadata.

@@ -3,43 +3,245 @@
 namespace imk {
 namespace {
 
-// 32-bit fields must stay sign-extendable to the same kernel window: after
-// adjustment the value's high bit must still be set (top 2 GiB) for absolute
-// fields. Inverse fields are free-form 32-bit quantities.
-Status CheckAbs32(uint64_t adjusted) {
-  if ((adjusted & 0x80000000ull) == 0) {
-    return InternalError("abs32 relocation overflowed out of the kernel window");
+// Runs `body(i, stats)` for every i in [0, n), sharded over `pool` when one
+// is supplied. Each shard accumulates into its own RelocStats and Status
+// slot; shard results are merged in chunk order, so the combined stats and
+// the surfaced error are identical for every worker count. Relocation bodies
+// write only their own entry's field, so shards never race.
+template <typename Body>
+Result<RelocStats> ShardedApply(ThreadPool* pool, size_t n, const Body& body) {
+  if (pool == nullptr || pool->workers() == 1 || n < 2) {
+    RelocStats stats;
+    for (size_t i = 0; i < n; ++i) {
+      IMK_RETURN_IF_ERROR(body(i, stats));
+    }
+    return stats;
   }
-  return OkStatus();
+  const uint32_t chunks = pool->workers();
+  std::vector<RelocStats> chunk_stats(chunks);
+  std::vector<Status> chunk_status(chunks);
+  pool->ParallelForChunked(n, chunks, [&](uint32_t chunk, uint64_t begin, uint64_t end) {
+    RelocStats& stats = chunk_stats[chunk];
+    for (uint64_t i = begin; i < end; ++i) {
+      Status status = body(i, stats);
+      if (!status.ok()) {
+        chunk_status[chunk] = std::move(status);
+        return;
+      }
+    }
+  });
+  RelocStats merged;
+  for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
+    IMK_RETURN_IF_ERROR(chunk_status[chunk]);
+    merged.applied_abs64 += chunk_stats[chunk].applied_abs64;
+    merged.applied_abs32 += chunk_stats[chunk].applied_abs32;
+    merged.applied_inverse32 += chunk_stats[chunk].applied_inverse32;
+    merged.section_adjusted += chunk_stats[chunk].section_adjusted;
+    merged.flagged_inverse32 += chunk_stats[chunk].flagged_inverse32;
+  }
+  return merged;
+}
+
+// Accumulates partial stats from one pass into the boot total.
+void Accumulate(RelocStats& total, const RelocStats& pass) {
+  total.applied_abs64 += pass.applied_abs64;
+  total.applied_abs32 += pass.applied_abs32;
+  total.applied_inverse32 += pass.applied_inverse32;
+  total.section_adjusted += pass.section_adjusted;
+  total.flagged_inverse32 += pass.flagged_inverse32;
 }
 
 }  // namespace
 
 Result<RelocStats> ApplyRelocations(LoadedImageView& view, const RelocInfo& relocs,
-                                    uint64_t virt_delta) {
+                                    uint64_t virt_delta, const RelocApplyOptions& options) {
+  const uint32_t delta32 = static_cast<uint32_t>(virt_delta);
   RelocStats stats;
-  for (uint64_t field_vaddr : relocs.abs64) {
-    IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(field_vaddr, 8));
-    StoreLe64(p, LoadLe64(p) + virt_delta);
-    ++stats.applied_abs64;
-  }
-  for (uint64_t field_vaddr : relocs.abs32) {
-    IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(field_vaddr, 4));
-    const uint32_t adjusted = LoadLe32(p) + static_cast<uint32_t>(virt_delta);
-    IMK_RETURN_IF_ERROR(CheckAbs32(adjusted));
-    StoreLe32(p, adjusted);
-    ++stats.applied_abs32;
-  }
-  for (uint64_t field_vaddr : relocs.inverse32) {
-    IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(field_vaddr, 4));
-    StoreLe32(p, LoadLe32(p) - static_cast<uint32_t>(virt_delta));
-    ++stats.applied_inverse32;
-  }
+
+  IMK_ASSIGN_OR_RETURN(
+      RelocStats abs64_stats,
+      ShardedApply(options.pool, relocs.abs64.size(), [&](size_t i, RelocStats& s) -> Status {
+        IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(relocs.abs64[i], 8));
+        StoreLe64(p, LoadLe64(p) + virt_delta);
+        ++s.applied_abs64;
+        return OkStatus();
+      }));
+  Accumulate(stats, abs64_stats);
+
+  IMK_ASSIGN_OR_RETURN(
+      RelocStats abs32_stats,
+      ShardedApply(options.pool, relocs.abs32.size(), [&](size_t i, RelocStats& s) -> Status {
+        IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(relocs.abs32[i], 4));
+        const uint32_t adjusted = LoadLe32(p) + delta32;
+        IMK_RETURN_IF_ERROR(CheckAbs32(adjusted));
+        StoreLe32(p, adjusted);
+        ++s.applied_abs32;
+        return OkStatus();
+      }));
+  Accumulate(stats, abs32_stats);
+
+  IMK_ASSIGN_OR_RETURN(
+      RelocStats inv_stats,
+      ShardedApply(options.pool, relocs.inverse32.size(), [&](size_t i, RelocStats& s) -> Status {
+        IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(relocs.inverse32[i], 4));
+        const uint32_t value = LoadLe32(p);
+        const uint32_t adjusted = value - delta32;
+        if (Inverse32Underflowed(value, adjusted, delta32)) {
+          ++s.flagged_inverse32;
+        }
+        StoreLe32(p, adjusted);
+        ++s.applied_inverse32;
+        return OkStatus();
+      }));
+  Accumulate(stats, inv_stats);
   return stats;
 }
 
 Result<RelocStats> ApplyRelocationsShuffled(LoadedImageView& view, const RelocInfo& relocs,
-                                            uint64_t virt_delta, const ShuffleMap& map) {
+                                            uint64_t virt_delta, const ShuffleMap& map,
+                                            const RelocApplyOptions& options) {
+  RelocScratch local_scratch;
+  RelocScratch& scratch = options.scratch != nullptr ? *options.scratch : local_scratch;
+
+  // ---- batch setup ----
+  // Range ids are a pure function of the image's link-time geometry, so the
+  // classification of every field location (sorted lists -> one linear
+  // merge, the BatchDeltas strategy) and of every loaded value (unsorted ->
+  // granule index) is computed once per image and reused across boots; a
+  // repeat boot only refreshes the per-range delta array below.
+  const uint64_t sig = map.OldGeometrySignature();
+  const bool geometry_reusable = scratch.geometry_valid && scratch.geometry_sig == sig;
+  scratch.geometry_sig = sig;
+  scratch.geometry_valid = true;
+
+  const std::vector<ShuffledRange>& ranges = map.ranges();
+  scratch.range_delta.resize(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    scratch.range_delta[i] = ranges[i].delta();
+  }
+  const int64_t* range_delta = scratch.range_delta.data();
+
+  // On a miss the cache identity is poisoned until the whole apply pass
+  // succeeds (see the stamping below): an error mid-pass must not leave a
+  // partially classified value_rid array that a later boot would trust.
+  const auto prepare = [&](RelocScratch::ClassCache& cache, const std::vector<uint64_t>& fields,
+                           bool classify_values) -> bool {
+    const bool hit = geometry_reusable && cache.fields == fields.data() &&
+                     cache.count == fields.size() && cache.field_rid.size() == fields.size() &&
+                     (!classify_values || cache.value_rid.size() == fields.size());
+    if (!hit) {
+      cache.fields = nullptr;
+      cache.count = 0;
+      cache.field_rid.resize(fields.size());
+      map.BatchRangeIds(fields.data(), fields.size(), cache.field_rid.data());
+      cache.value_rid.clear();
+      if (classify_values) {
+        cache.value_rid.resize(fields.size());
+      }
+    }
+    return hit;
+  };
+  const bool hit64 = prepare(scratch.abs64_class, relocs.abs64, /*classify_values=*/true);
+  const bool hit32 = prepare(scratch.abs32_class, relocs.abs32, /*classify_values=*/true);
+  prepare(scratch.inverse32_class, relocs.inverse32, /*classify_values=*/false);
+  if (!hit64 || !hit32) {
+    scratch.value_index.Rebuild(map);
+  }
+  const ShuffleDeltaIndex& index = scratch.value_index;
+
+  const size_t n64 = relocs.abs64.size();
+  const size_t n32 = relocs.abs32.size();
+  const size_t ninv = relocs.inverse32.size();
+  const uint32_t delta32 = static_cast<uint32_t>(virt_delta);
+  RelocStats stats;
+
+  const int32_t* field_rid64 = scratch.abs64_class.field_rid.data();
+  int32_t* value_rid64 = scratch.abs64_class.value_rid.data();
+  IMK_ASSIGN_OR_RETURN(
+      RelocStats abs64_stats,
+      ShardedApply(options.pool, n64, [&](size_t i, RelocStats& s) -> Status {
+        const int32_t frid = field_rid64[i];
+        const uint64_t moved =
+            relocs.abs64[i] + static_cast<uint64_t>(frid >= 0 ? range_delta[frid] : 0);
+        IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(moved, 8));
+        const uint64_t value = LoadLe64(p);
+        // Pre-relocation values are pristine image bytes, so the value's
+        // range id is boot-invariant too; classify on the first boot only.
+        const int32_t vrid = hit64 ? value_rid64[i] : (value_rid64[i] = index.RangeIdFor(value));
+        const int64_t section_delta = vrid >= 0 ? range_delta[vrid] : 0;
+        if (section_delta != 0) {
+          ++s.section_adjusted;
+        }
+        StoreLe64(p, value + static_cast<uint64_t>(section_delta) + virt_delta);
+        ++s.applied_abs64;
+        return OkStatus();
+      }));
+  Accumulate(stats, abs64_stats);
+
+  const int32_t* field_rid32 = scratch.abs32_class.field_rid.data();
+  int32_t* value_rid32 = scratch.abs32_class.value_rid.data();
+  IMK_ASSIGN_OR_RETURN(
+      RelocStats abs32_stats,
+      ShardedApply(options.pool, n32, [&](size_t i, RelocStats& s) -> Status {
+        const int32_t frid = field_rid32[i];
+        const uint64_t moved =
+            relocs.abs32[i] + static_cast<uint64_t>(frid >= 0 ? range_delta[frid] : 0);
+        IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(moved, 4));
+        const uint32_t value = LoadLe32(p);
+        // Recover the full link-time address to query the map.
+        const uint64_t full =
+            static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(value)));
+        const int32_t vrid = hit32 ? value_rid32[i] : (value_rid32[i] = index.RangeIdFor(full));
+        const int64_t section_delta = vrid >= 0 ? range_delta[vrid] : 0;
+        if (section_delta != 0) {
+          ++s.section_adjusted;
+        }
+        const uint32_t adjusted = value + static_cast<uint32_t>(section_delta) + delta32;
+        IMK_RETURN_IF_ERROR(CheckAbs32(adjusted));
+        StoreLe32(p, adjusted);
+        ++s.applied_abs32;
+        return OkStatus();
+      }));
+  Accumulate(stats, abs32_stats);
+
+  const int32_t* field_rid_inv = scratch.inverse32_class.field_rid.data();
+  IMK_ASSIGN_OR_RETURN(
+      RelocStats inv_stats,
+      ShardedApply(options.pool, ninv, [&](size_t i, RelocStats& s) -> Status {
+        const int32_t frid = field_rid_inv[i];
+        const uint64_t moved =
+            relocs.inverse32[i] + static_cast<uint64_t>(frid >= 0 ? range_delta[frid] : 0);
+        IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(moved, 4));
+        const uint32_t value = LoadLe32(p);
+        // value = C - vaddr(sym). The symbol's link address is not
+        // recoverable from the field alone (C is arbitrary), so inverse
+        // fields only support targets in unshuffled sections — the same
+        // restriction Linux has (per-CPU inverse relocations target fixed
+        // sections). Only the global slide is subtracted.
+        const uint32_t adjusted = value - delta32;
+        if (Inverse32Underflowed(value, adjusted, delta32)) {
+          ++s.flagged_inverse32;
+        }
+        StoreLe32(p, adjusted);
+        ++s.applied_inverse32;
+        return OkStatus();
+      }));
+  Accumulate(stats, inv_stats);
+
+  const auto stamp = [](RelocScratch::ClassCache& cache, const std::vector<uint64_t>& fields) {
+    cache.fields = fields.data();
+    cache.count = fields.size();
+  };
+  stamp(scratch.abs64_class, relocs.abs64);
+  stamp(scratch.abs32_class, relocs.abs32);
+  stamp(scratch.inverse32_class, relocs.inverse32);
+  return stats;
+}
+
+Result<RelocStats> ApplyRelocationsShuffledPerEntry(LoadedImageView& view,
+                                                    const RelocInfo& relocs, uint64_t virt_delta,
+                                                    const ShuffleMap& map) {
+  const uint32_t delta32 = static_cast<uint32_t>(virt_delta);
   RelocStats stats;
   // Sign-extension of the 32-bit entries mirrors x86_64: the recorded field
   // address itself may live in a moved function, so translate it first.
@@ -56,14 +258,12 @@ Result<RelocStats> ApplyRelocationsShuffled(LoadedImageView& view, const RelocIn
   for (uint64_t field_vaddr : relocs.abs32) {
     IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(map.Translate(field_vaddr), 4));
     const uint32_t value = LoadLe32(p);
-    // Recover the full link-time address to query the map.
     const uint64_t full = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(value)));
     const int64_t section_delta = map.DeltaFor(full);
     if (section_delta != 0) {
       ++stats.section_adjusted;
     }
-    const uint32_t adjusted =
-        value + static_cast<uint32_t>(section_delta) + static_cast<uint32_t>(virt_delta);
+    const uint32_t adjusted = value + static_cast<uint32_t>(section_delta) + delta32;
     IMK_RETURN_IF_ERROR(CheckAbs32(adjusted));
     StoreLe32(p, adjusted);
     ++stats.applied_abs32;
@@ -71,12 +271,11 @@ Result<RelocStats> ApplyRelocationsShuffled(LoadedImageView& view, const RelocIn
   for (uint64_t field_vaddr : relocs.inverse32) {
     IMK_ASSIGN_OR_RETURN(uint8_t* p, view.At(map.Translate(field_vaddr), 4));
     const uint32_t value = LoadLe32(p);
-    // value = C - vaddr(sym). The symbol's link address is not recoverable
-    // from the field alone (C is arbitrary), so inverse fields only support
-    // targets in unshuffled sections — the same restriction Linux has
-    // (per-CPU inverse relocations target fixed sections). Only the global
-    // slide is subtracted.
-    StoreLe32(p, value - static_cast<uint32_t>(virt_delta));
+    const uint32_t adjusted = value - delta32;
+    if (Inverse32Underflowed(value, adjusted, delta32)) {
+      ++stats.flagged_inverse32;
+    }
+    StoreLe32(p, adjusted);
     ++stats.applied_inverse32;
   }
   return stats;

@@ -2,13 +2,24 @@
 // loaded kernel image (paper §3.2). Shared verbatim by the in-monitor path
 // and the bootstrap-loader simulation — the paper's point is that the
 // *algorithm* is identical and only the controlling principal differs (§4.3).
+//
+// Two execution strategies produce bit-identical images and stats:
+//   - per-entry: the reference walk, one ShuffleMap binary search per lookup
+//     (what the Linux bootstrap loader does);
+//   - batch: ShuffleMap::BatchDeltas linear merges for the (sorted) field
+//     lists plus a ShuffleDeltaIndex for the unsorted field *values*, with
+//     the apply loop optionally sharded over a ThreadPool. Every relocation
+//     writes only its own field, so shards are data-race-free.
 #ifndef IMKASLR_SRC_KASLR_RELOCATOR_H_
 #define IMKASLR_SRC_KASLR_RELOCATOR_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/base/bytes.h"
 #include "src/base/result.h"
+#include "src/base/threadpool.h"
 #include "src/kaslr/shuffle_map.h"
 #include "src/kernel/relocs.h"
 
@@ -51,22 +62,100 @@ struct RelocStats {
   uint64_t applied_abs32 = 0;
   uint64_t applied_inverse32 = 0;
   uint64_t section_adjusted = 0;  // values additionally shifted by a shuffled-section delta
+  // inverse32 adjustments whose 32-bit subtraction wrapped past zero — the
+  // value left the representable window, which on real hardware would
+  // sign-extend to a different quadrant. Flagged, not fatal: inverse fields
+  // are free-form quantities and small constants legitimately go negative.
+  uint64_t flagged_inverse32 = 0;
 
   uint64_t total() const { return applied_abs64 + applied_abs32 + applied_inverse32; }
+
+  bool operator==(const RelocStats&) const = default;
+};
+
+// 32-bit absolute fields must stay sign-extendable to the kernel window:
+// after adjustment the high bit must still be set (top 2 GiB). Shared by the
+// serial, shuffled, and batch apply paths and by the bootstrap loader.
+inline Status CheckAbs32(uint64_t adjusted) {
+  if ((adjusted & 0x80000000ull) == 0) {
+    return InternalError("abs32 relocation overflowed out of the kernel window");
+  }
+  return OkStatus();
+}
+
+// Window check for inverse32 fields: subtracting the slide must not wrap the
+// 32-bit field past zero (original < delta as uint32). Returns true when the
+// adjustment underflowed and should be flagged in RelocStats.
+inline bool Inverse32Underflowed(uint32_t original, uint32_t adjusted, uint32_t delta32) {
+  return delta32 != 0 && adjusted > original;
+}
+
+// Reusable per-boot buffers for the batch strategy. Beyond keeping
+// allocations alive, the scratch caches the *classification* of each
+// relocation: which shuffled range a field's location and its loaded value
+// fall in depends only on the image's link-time geometry, so it is
+// identical for every boot of the same image. Repeat boots skip the merge
+// and index lookups entirely and recombine the cached range ids with the
+// fresh permutation's per-range deltas. The cache is keyed by the identity
+// of the relocation arrays plus ShuffleMap::OldGeometrySignature(); it
+// assumes the caller keeps the RelocInfo storage stable while reusing the
+// scratch (true for the sidecar/template-held fleets it serves).
+struct RelocScratch {
+  // Boot-invariant classification of one sorted relocation list.
+  struct ClassCache {
+    const uint64_t* fields = nullptr;  // identity of the source array
+    size_t count = 0;
+    std::vector<int32_t> field_rid;  // range id of each field location (-1 none)
+    std::vector<int32_t> value_rid;  // range id of each loaded value (abs64/abs32)
+  };
+
+  ShuffleDeltaIndex value_index;
+  std::vector<int64_t> range_delta;  // per boot: delta of each range id
+  ClassCache abs64_class;
+  ClassCache abs32_class;
+  ClassCache inverse32_class;  // field classification only
+  uint64_t geometry_sig = 0;
+  bool geometry_valid = false;
+
+  // Reusable buffers for the FGKASLR fixup-table merge (fgkaslr.cc): the
+  // moved-entry bucket, the unmoved-entry bucket, and the per-range run
+  // bookkeeping (open runs, rid -> run, new-start keys, emit order).
+  std::vector<std::pair<uint64_t, uint64_t>> table_moved;
+  std::vector<std::pair<uint64_t, uint64_t>> table_unmoved;
+  std::vector<std::pair<uint32_t, uint32_t>> table_runs;
+  std::vector<int32_t> table_run_of_rid;
+  std::vector<uint64_t> table_run_new_start;
+  std::vector<uint32_t> run_order;
+};
+
+// Execution options shared by both apply entry points. Defaults reproduce
+// the historical serial behaviour.
+struct RelocApplyOptions {
+  ThreadPool* pool = nullptr;      // nullptr => single-threaded
+  RelocScratch* scratch = nullptr;  // nullptr => per-call temporaries
 };
 
 // Applies plain KASLR relocations: every listed field is adjusted by
 // `virt_delta` (added for abs64/abs32, subtracted for inverse32). 32-bit
 // fields are checked against overflow out of the sign-extendable window.
 Result<RelocStats> ApplyRelocations(LoadedImageView& view, const RelocInfo& relocs,
-                                    uint64_t virt_delta);
+                                    uint64_t virt_delta, const RelocApplyOptions& options = {});
 
 // FGKASLR-aware variant: in addition to `virt_delta`, both the *location* of
 // each field (it may live inside a moved function) and the *value* it holds
-// (it may point into a moved function) are adjusted through a binary search
-// of the shuffle map — the extra per-entry work the paper's §3.2 describes.
+// (it may point into a moved function) are adjusted through the shuffle map
+// — the extra per-entry work the paper's §3.2 describes. Uses the batch
+// strategy; results are bit-identical to the per-entry reference below.
 Result<RelocStats> ApplyRelocationsShuffled(LoadedImageView& view, const RelocInfo& relocs,
-                                            uint64_t virt_delta, const ShuffleMap& map);
+                                            uint64_t virt_delta, const ShuffleMap& map,
+                                            const RelocApplyOptions& options = {});
+
+// The reference per-entry walk (one binary search per lookup, no batching,
+// no sharding). Kept callable for equivalence tests and as the serial
+// baseline in bench/micro_parallel.
+Result<RelocStats> ApplyRelocationsShuffledPerEntry(LoadedImageView& view,
+                                                    const RelocInfo& relocs, uint64_t virt_delta,
+                                                    const ShuffleMap& map);
 
 }  // namespace imk
 

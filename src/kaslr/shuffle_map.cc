@@ -11,7 +11,7 @@ ShuffleMap::ShuffleMap(std::vector<ShuffledRange> ranges) : ranges_(std::move(ra
             });
 }
 
-int64_t ShuffleMap::DeltaFor(uint64_t old_vaddr) const {
+int32_t ShuffleMap::RangeIdFor(uint64_t old_vaddr) const {
   // Greatest range with old_vaddr <= query.
   size_t lo = 0;
   size_t hi = ranges_.size();
@@ -24,13 +24,122 @@ int64_t ShuffleMap::DeltaFor(uint64_t old_vaddr) const {
     }
   }
   if (lo == 0) {
-    return 0;
+    return -1;
   }
   const ShuffledRange& range = ranges_[lo - 1];
   if (old_vaddr - range.old_vaddr < range.size) {
-    return range.delta();
+    return static_cast<int32_t>(lo - 1);
   }
-  return 0;
+  return -1;
+}
+
+int64_t ShuffleMap::DeltaFor(uint64_t old_vaddr) const {
+  const int32_t rid = RangeIdFor(old_vaddr);
+  return rid >= 0 ? ranges_[rid].delta() : 0;
+}
+
+void ShuffleMap::BatchDeltas(const uint64_t* addrs, size_t count, int64_t* out) const {
+  // One merge pass: `cursor` only ever advances because addrs is ascending.
+  // Mirrors DeltaFor exactly: the candidate is the greatest range whose start
+  // is <= addr, and only that candidate's extent is tested.
+  size_t cursor = 0;  // first range with old_vaddr > addr
+  const size_t range_count = ranges_.size();
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t addr = addrs[i];
+    while (cursor < range_count && ranges_[cursor].old_vaddr <= addr) {
+      ++cursor;
+    }
+    if (cursor == 0) {
+      out[i] = 0;
+      continue;
+    }
+    const ShuffledRange& range = ranges_[cursor - 1];
+    out[i] = (addr - range.old_vaddr < range.size) ? range.delta() : 0;
+  }
+}
+
+void ShuffleMap::BatchRangeIds(const uint64_t* addrs, size_t count, int32_t* out) const {
+  // Same merge as BatchDeltas, emitting ids.
+  size_t cursor = 0;
+  const size_t range_count = ranges_.size();
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t addr = addrs[i];
+    while (cursor < range_count && ranges_[cursor].old_vaddr <= addr) {
+      ++cursor;
+    }
+    if (cursor == 0) {
+      out[i] = -1;
+      continue;
+    }
+    const ShuffledRange& range = ranges_[cursor - 1];
+    out[i] = (addr - range.old_vaddr < range.size) ? static_cast<int32_t>(cursor - 1) : -1;
+  }
+}
+
+uint64_t ShuffleMap::OldGeometrySignature() const {
+  uint64_t h = 0xcbf29ce484222325ull ^ ranges_.size();
+  const auto mix = [&h](uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 16) {
+      h = (h ^ ((v >> shift) & 0xffff)) * 0x100000001b3ull;
+    }
+  };
+  for (const ShuffledRange& range : ranges_) {
+    mix(range.old_vaddr);
+    mix(range.size);
+  }
+  return h;
+}
+
+void ShuffleDeltaIndex::Rebuild(const ShuffleMap& map) {
+  map_ = &map;
+  const std::vector<ShuffledRange>& ranges = map.ranges();
+  // Per-boot part: the delta of each range id.
+  deltas_.resize(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    deltas_[i] = ranges[i].delta();
+  }
+  // Boot-invariant part: the granule -> range-id table. Skipped when this
+  // index last saw the same old-address geometry (a fresh shuffle of the
+  // same image).
+  const uint64_t sig = map.OldGeometrySignature();
+  if (geometry_valid_ && sig == geometry_sig_) {
+    return;
+  }
+  geometry_sig_ = sig;
+  geometry_valid_ = true;
+  granules_.clear();
+  if (map.empty()) {
+    span_start_ = 0;
+    span_end_ = 0;
+    return;
+  }
+  constexpr uint64_t kGranule = 1ull << kGranuleShift;
+  span_start_ = ranges.front().old_vaddr & ~(kGranule - 1);
+  span_end_ = ranges.back().old_vaddr + ranges.back().size;
+  span_end_ = (span_end_ + kGranule - 1) & ~(kGranule - 1);
+  granules_.assign((span_end_ - span_start_) >> kGranuleShift, kNoRange);
+  for (size_t rid = 0; rid < ranges.size(); ++rid) {
+    const ShuffledRange& range = ranges[rid];
+    if (range.size == 0) {
+      // A degenerate range still shadows later-start lookups in DeltaFor's
+      // candidate selection; force its granule onto the exact path.
+      if (range.old_vaddr >= span_start_ && range.old_vaddr < span_end_) {
+        granules_[(range.old_vaddr - span_start_) >> kGranuleShift] = kMixedGranule;
+      }
+      continue;
+    }
+    const uint64_t first = (range.old_vaddr - span_start_) >> kGranuleShift;
+    const uint64_t last = (range.old_vaddr + range.size - 1 - span_start_) >> kGranuleShift;
+    // Interior granules lie fully inside the range; the two edge granules may
+    // also cover bytes outside it (unaligned start/end) and must take the
+    // exact path unless the range happens to cover them completely.
+    for (uint64_t g = first; g <= last; ++g) {
+      const uint64_t granule_start = span_start_ + (g << kGranuleShift);
+      const bool covered =
+          range.old_vaddr <= granule_start && granule_start + kGranule <= range.old_vaddr + range.size;
+      granules_[g] = covered ? static_cast<int32_t>(rid) : kMixedGranule;
+    }
+  }
 }
 
 }  // namespace imk

@@ -1,11 +1,17 @@
 // ShuffleMap: where did each function section move?
 //
-// Built by the FGKASLR engine after permuting function sections; queried by
-// binary search (as in the Linux FGKASLR implementation) to translate any
-// link-time virtual address into its post-shuffle address.
+// Built by the FGKASLR engine after permuting function sections; queried
+// either per entry by binary search (as in the Linux FGKASLR implementation)
+// or in batch. The batch forms exist because the relocation walk is the
+// monitor's hottest loop (paper §5-§6): with n relocations and m moved
+// sections, per-entry binary search costs O(n log m), while a single linear
+// merge over the (already sorted) relocation list and the sorted ranges
+// costs O(n + m), and a per-boot granule index answers unsorted value
+// queries in O(1) after an O(region) build.
 #ifndef IMKASLR_SRC_KASLR_SHUFFLE_MAP_H_
 #define IMKASLR_SRC_KASLR_SHUFFLE_MAP_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -36,11 +42,87 @@ class ShuffleMap {
     return old_vaddr + static_cast<uint64_t>(DeltaFor(old_vaddr));
   }
 
+  // Index into ranges() of the range containing old_vaddr, -1 if none. The
+  // range id depends only on the *old* (link-time) geometry, so for a given
+  // image it is identical across boots — the property the relocator's
+  // classification caches rely on. DeltaFor(a) == (RangeIdFor(a) >= 0 ?
+  // ranges()[RangeIdFor(a)].delta() : 0).
+  int32_t RangeIdFor(uint64_t old_vaddr) const;
+
+  // Batch form of DeltaFor for an ascending address list: out[i] =
+  // DeltaFor(addrs[i]), computed by one linear merge over (addrs x ranges).
+  // Precondition: addrs is sorted ascending (relocation lists are; see
+  // kernel/relocs.h). Results are identical to per-entry DeltaFor.
+  void BatchDeltas(const uint64_t* addrs, size_t count, int64_t* out) const;
+
+  // Same linear merge, but emitting range ids (see RangeIdFor) instead of
+  // deltas — the boot-invariant form a caller can cache and combine with
+  // fresh per-boot deltas.
+  void BatchRangeIds(const uint64_t* addrs, size_t count, int32_t* out) const;
+
+  // Order-independent hash of the old-address geometry (old_vaddr, size of
+  // every range, in sorted order). Two maps built from the same image share
+  // the signature whatever the permutation; it keys caches of RangeIdFor
+  // results across boots.
+  uint64_t OldGeometrySignature() const;
+
   const std::vector<ShuffledRange>& ranges() const { return ranges_; }
   bool empty() const { return ranges_.empty(); }
 
  private:
   std::vector<ShuffledRange> ranges_;
+};
+
+// Constant-time DeltaFor/RangeIdFor for *unsorted* queries (the values
+// loaded out of abs64/abs32 fields point anywhere in text): a granule-
+// indexed table over the shuffled span. Granules fully inside one range (or
+// in no range) store the range id directly; the O(m) granules straddling a
+// range boundary store a sentinel and fall back to the map's binary search,
+// so every answer is exactly DeltaFor()/RangeIdFor(). The granule table
+// depends only on the old-address geometry, so Rebuild() for a new boot of
+// the same image (same sections, fresh permutation) skips the O(span)
+// granule refill and only refreshes the per-range delta array — the index
+// is a reusable per-boot translation scratch.
+class ShuffleDeltaIndex {
+ public:
+  ShuffleDeltaIndex() = default;
+
+  // Rebuilds the index for `map`. O(span / granule + m) the first time a
+  // geometry is seen, O(m) for repeat boots of the same image.
+  void Rebuild(const ShuffleMap& map);
+
+  int32_t RangeIdFor(uint64_t old_vaddr) const {
+    if (old_vaddr < span_start_ || old_vaddr >= span_end_) {
+      return kNoRange;
+    }
+    const int32_t entry = granules_[(old_vaddr - span_start_) >> kGranuleShift];
+    if (entry != kMixedGranule) {
+      return entry;
+    }
+    return map_->RangeIdFor(old_vaddr);
+  }
+
+  int64_t DeltaFor(uint64_t old_vaddr) const {
+    const int32_t rid = RangeIdFor(old_vaddr);
+    return rid >= 0 ? deltas_[rid] : 0;
+  }
+
+  uint64_t Translate(uint64_t old_vaddr) const {
+    return old_vaddr + static_cast<uint64_t>(DeltaFor(old_vaddr));
+  }
+
+ private:
+  static constexpr int kGranuleShift = 4;  // 16-byte granules
+  static constexpr int32_t kMixedGranule = INT32_MIN;
+  static constexpr int32_t kNoRange = -1;
+
+  const ShuffleMap* map_ = nullptr;
+  uint64_t span_start_ = 0;
+  uint64_t span_end_ = 0;
+  uint64_t geometry_sig_ = 0;
+  bool geometry_valid_ = false;
+  std::vector<int32_t> granules_;  // range id, kNoRange, or kMixedGranule
+  std::vector<int64_t> deltas_;    // per-boot delta of each range id
 };
 
 }  // namespace imk

@@ -1,0 +1,263 @@
+#include "src/vmm/image_template.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/base/crc32.h"
+#include "src/elf/elf_reader.h"
+#include "src/elf/elf_types.h"
+
+namespace imk {
+namespace {
+
+// Computes the memsz span [min vaddr, max vaddr+memsz) over PT_LOAD headers.
+// An image with no loadable segment reports mem_size 0 (not the wrapped
+// `0 - UINT64_MAX` the old min/max seeding produced, which defeated the
+// caller's emptiness check).
+Status ImageSpan(const ElfReader& elf, uint64_t* base_vaddr, uint64_t* mem_size) {
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  bool any = false;
+  for (const Elf64Phdr& phdr : elf.program_headers()) {
+    if (phdr.p_type != kPtLoad) {
+      continue;
+    }
+    if (phdr.p_vaddr + phdr.p_memsz < phdr.p_vaddr) {
+      return ParseError("PT_LOAD vaddr+memsz overflows");
+    }
+    any = true;
+    lo = std::min(lo, phdr.p_vaddr);
+    hi = std::max(hi, phdr.p_vaddr + phdr.p_memsz);
+  }
+  if (!any) {
+    *base_vaddr = 0;
+    *mem_size = 0;
+    return OkStatus();
+  }
+  *base_vaddr = lo;
+  *mem_size = hi - lo;
+  return OkStatus();
+}
+
+Result<uint64_t> PvhEntry(const ElfReader& elf) {
+  for (const ElfSection& section : elf.sections()) {
+    if (section.header.sh_type != kShtNote) {
+      continue;
+    }
+    IMK_ASSIGN_OR_RETURN(ByteSpan data, elf.SectionData(section));
+    IMK_ASSIGN_OR_RETURN(std::vector<ElfNote> notes, ParseNoteSection(data));
+    for (const ElfNote& note : notes) {
+      if (note.name == kNoteNameXen && note.type == kNoteTypePvhEntry && note.desc.size() >= 8) {
+        return LoadLe64(note.desc.data());
+      }
+    }
+  }
+  return NotFoundError("no PVH entry note in kernel image");
+}
+
+Result<KernelConstantsNote> NoteConstants(const ElfReader& elf) {
+  for (const ElfSection& section : elf.sections()) {
+    if (section.header.sh_type != kShtNote) {
+      continue;
+    }
+    IMK_ASSIGN_OR_RETURN(ByteSpan data, elf.SectionData(section));
+    IMK_ASSIGN_OR_RETURN(std::vector<ElfNote> notes, ParseNoteSection(data));
+    if (auto constants = FindKernelConstants(notes)) {
+      return *constants;
+    }
+  }
+  return NotFoundError("no kernel-constants note");
+}
+
+// Cheap identity probe over a fixed set of sampled windows (ends + interior
+// strides). Used only to guard the cache's span memo against an address being
+// reused for a different image; the authoritative key stays the full CRC32.
+uint64_t SampleFingerprint(ByteSpan span) {
+  uint64_t h = 0xcbf29ce484222325ull ^ span.size();
+  const auto mix = [&h](const uint8_t* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h = (h ^ p[i]) * 0x100000001b3ull;
+    }
+  };
+  const size_t n = span.size();
+  if (n <= 256) {
+    mix(span.data(), n);
+    return h;
+  }
+  mix(span.data(), 64);
+  mix(span.data() + n - 64, 64);
+  for (uint64_t k = 1; k <= 6; ++k) {
+    mix(span.data() + (n * k) / 7, 32);
+  }
+  return h;
+}
+
+Result<std::shared_ptr<const ImageTemplate>> BuildTemplate(ByteSpan vmlinux,
+                                                           const TemplateOptions& options,
+                                                           uint32_t crc) {
+  auto tmpl = std::make_shared<ImageTemplate>();
+  tmpl->crc32 = crc;
+  tmpl->file_size = vmlinux.size();
+  tmpl->relocs_extracted = options.extract_relocs;
+
+  IMK_ASSIGN_OR_RETURN(ElfReader elf, ElfReader::Parse(vmlinux));
+  IMK_RETURN_IF_ERROR(ImageSpan(elf, &tmpl->link_base, &tmpl->mem_size));
+  if (tmpl->mem_size == 0) {
+    return ParseError("kernel image has no loadable segments");
+  }
+  tmpl->elf_entry = elf.entry();
+
+  // Pre-render the loaded image at link addresses: file bytes in place,
+  // BSS tails and inter-segment holes zero. Per-boot loading becomes a
+  // single (chunkable) memcpy of this buffer.
+  tmpl->pristine.assign(tmpl->mem_size, 0);
+  for (const Elf64Phdr& phdr : elf.program_headers()) {
+    if (phdr.p_type != kPtLoad) {
+      continue;
+    }
+    const uint64_t offset = phdr.p_vaddr - tmpl->link_base;
+    if (phdr.p_filesz > phdr.p_memsz || offset + phdr.p_memsz > tmpl->mem_size) {
+      return ParseError("PT_LOAD segment exceeds image span");
+    }
+    IMK_ASSIGN_OR_RETURN(ByteSpan file_bytes, elf.SegmentData(phdr));
+    if (file_bytes.size() > phdr.p_filesz) {
+      return ParseError("PT_LOAD file image larger than p_filesz");
+    }
+    std::memcpy(tmpl->pristine.data() + offset, file_bytes.data(), file_bytes.size());
+  }
+
+  {
+    auto pvh = PvhEntry(elf);
+    if (pvh.ok()) {
+      tmpl->pvh_entry = *pvh;
+    } else if (pvh.status().code() != ErrorCode::kNotFound) {
+      return pvh.status();
+    }
+  }
+  {
+    auto constants = NoteConstants(elf);
+    if (constants.ok()) {
+      tmpl->note_constants = *constants;
+    } else if (constants.status().code() != ErrorCode::kNotFound) {
+      return constants.status();
+    }
+  }
+  {
+    // Absent fgkaslr support is a property of the image, not an error; any
+    // other failure (corrupt symtab, bad section offsets) still surfaces.
+    auto fg = ParseFgMetadata(elf);
+    if (fg.ok()) {
+      tmpl->fg = std::move(*fg);
+    } else if (fg.status().code() != ErrorCode::kFailedPrecondition) {
+      return fg.status();
+    }
+  }
+  if (options.extract_relocs) {
+    IMK_ASSIGN_OR_RETURN(tmpl->elf_relocs, ExtractRelocsFromElf(elf));
+  }
+  return std::shared_ptr<const ImageTemplate>(std::move(tmpl));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ImageTemplate>> BuildImageTemplate(ByteSpan vmlinux,
+                                                                const TemplateOptions& options) {
+  // Inline (cacheless) builds skip hashing: the cold boot path never needs
+  // an identity key, and hashing the whole image would dominate the parse.
+  return BuildTemplate(vmlinux, options, /*crc=*/0);
+}
+
+Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
+    ByteSpan vmlinux, const TemplateOptions& options) {
+  // Fast identity path: a monitor fleet resolves the same read-only mapping
+  // of the kernel image on every boot. Re-hashing all of it per lookup would
+  // cost more than the remaining boot-varying pipeline, so (address, size,
+  // sampled fingerprint) memoizes span -> key; the fingerprint guards
+  // against the address being recycled for a different image. The memo
+  // assumes the caller keeps the image bytes immutable while booting from
+  // them, which holds for read-only mapped kernel files.
+  const uint64_t probe = SampleFingerprint(vmlinux);
+  Key key{};
+  bool have_key = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const SpanMemo& memo : memo_) {
+      if (memo.data == vmlinux.data() && memo.size == vmlinux.size() && memo.probe == probe) {
+        key = memo.key;
+        have_key = true;
+        break;
+      }
+    }
+  }
+  if (!have_key) {
+    key = Key{Crc32(vmlinux), vmlinux.size()};
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    memo_[memo_next_] = SpanMemo{vmlinux.data(), vmlinux.size(), probe, key};
+    memo_next_ = (memo_next_ + 1) % memo_.size();
+    auto it = index_.find(key);
+    // A template built with extract_relocs satisfies lookups without it; the
+    // reverse upgrade falls through to a rebuild.
+    if (it != index_.end() &&
+        (it->second->value->relocs_extracted || !options.extract_relocs)) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return it->second->value;
+    }
+    ++misses_;
+  }
+
+  // Build outside the lock: parsing a large vmlinux must not serialize
+  // lookups of other kernels. A racing builder of the same key just wins
+  // the insert below; both results are identical.
+  IMK_ASSIGN_OR_RETURN(std::shared_ptr<const ImageTemplate> built,
+                       BuildTemplate(vmlinux, options, std::get<0>(key)));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->value = built;  // upgrade (or racing duplicate; same bytes)
+    return built;
+  }
+  lru_.push_front(Entry{key, built});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return built;
+}
+
+uint64_t ImageTemplateCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t ImageTemplateCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+size_t ImageTemplateCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ImageTemplateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  memo_.fill(SpanMemo{});
+  memo_next_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+ImageTemplateCache& GlobalImageTemplateCache() {
+  static ImageTemplateCache* cache = new ImageTemplateCache();
+  return *cache;
+}
+
+}  // namespace imk

@@ -4,87 +4,31 @@
 
 #include "src/base/align.h"
 #include "src/base/stopwatch.h"
-#include "src/elf/elf_note.h"
-#include "src/elf/elf_reader.h"
-#include "src/elf/elf_types.h"
 #include "src/kernel/layout.h"
 
 namespace imk {
-namespace {
 
-// Computes the memsz span [min vaddr, max vaddr+memsz) over PT_LOAD headers.
-void ImageSpan(const ElfReader& elf, uint64_t* base_vaddr, uint64_t* mem_size) {
-  uint64_t lo = UINT64_MAX;
-  uint64_t hi = 0;
-  for (const Elf64Phdr& phdr : elf.program_headers()) {
-    if (phdr.p_type != kPtLoad) {
-      continue;
-    }
-    lo = std::min(lo, phdr.p_vaddr);
-    hi = std::max(hi, phdr.p_vaddr + phdr.p_memsz);
-  }
-  *base_vaddr = lo;
-  *mem_size = hi - lo;
-}
-
-Result<uint64_t> PvhEntry(const ElfReader& elf) {
-  for (const ElfSection& section : elf.sections()) {
-    if (section.header.sh_type != kShtNote) {
-      continue;
-    }
-    IMK_ASSIGN_OR_RETURN(ByteSpan data, elf.SectionData(section));
-    IMK_ASSIGN_OR_RETURN(std::vector<ElfNote> notes, ParseNoteSection(data));
-    for (const ElfNote& note : notes) {
-      if (note.name == kNoteNameXen && note.type == kNoteTypePvhEntry && note.desc.size() >= 8) {
-        return LoadLe64(note.desc.data());
-      }
-    }
-  }
-  return NotFoundError("no PVH entry note in kernel image");
-}
-
-Result<KernelConstantsNote> NoteConstants(const ElfReader& elf) {
-  for (const ElfSection& section : elf.sections()) {
-    if (section.header.sh_type != kShtNote) {
-      continue;
-    }
-    IMK_ASSIGN_OR_RETURN(ByteSpan data, elf.SectionData(section));
-    IMK_ASSIGN_OR_RETURN(std::vector<ElfNote> notes, ParseNoteSection(data));
-    if (auto constants = FindKernelConstants(notes)) {
-      return *constants;
-    }
-  }
-  return NotFoundError("no kernel-constants note");
-}
-
-}  // namespace
-
-Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
-                                      const RelocInfo* relocs, const DirectBootParams& params,
-                                      Rng& rng) {
+Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory, const ImageTemplate& tmpl,
+                                            const RelocInfo* relocs,
+                                            const DirectBootParams& params, Rng& rng,
+                                            const DirectLoadResources& resources) {
   LoadedKernel loaded;
-
-  // ---- parse ----
-  Stopwatch parse_timer;
-  IMK_ASSIGN_OR_RETURN(ElfReader elf, ElfReader::Parse(vmlinux));
-  uint64_t link_base = 0;
-  uint64_t mem_size = 0;
-  ImageSpan(elf, &link_base, &mem_size);
-  if (mem_size == 0) {
+  const uint64_t link_base = tmpl.link_base;
+  const uint64_t mem_size = tmpl.mem_size;
+  if (mem_size == 0 || tmpl.pristine.size() != mem_size) {
     return ParseError("kernel image has no loadable segments");
   }
   KernelConstantsNote constants = DefaultKernelConstants();
-  if (params.use_note_constants) {
-    auto from_note = NoteConstants(elf);
-    if (from_note.ok()) {
-      constants = *from_note;
-    }
+  if (params.use_note_constants && tmpl.note_constants.has_value()) {
+    constants = *tmpl.note_constants;
   }
-  uint64_t entry = elf.entry();
+  uint64_t entry = tmpl.elf_entry;
   if (params.protocol == BootProtocol::kPvh) {
-    IMK_ASSIGN_OR_RETURN(entry, PvhEntry(elf));
+    if (!tmpl.pvh_entry.has_value()) {
+      return NotFoundError("no PVH entry note in kernel image");
+    }
+    entry = *tmpl.pvh_entry;
   }
-  loaded.timings.parse_ns = parse_timer.ElapsedNs();
   loaded.link_text_vaddr = link_base;
   loaded.image_mem_size = mem_size;
 
@@ -113,48 +57,77 @@ Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
   }
   loaded.timings.choose_ns = choose_timer.ElapsedNs();
 
-  // ---- load segments ----
-  // One segment at a time, directly to its final physical location (§5.2).
+  // ---- load image ----
+  // The template pre-rendered the segments (file bytes + zeroed BSS/holes)
+  // at link offsets, so per-boot loading is one big copy to the chosen
+  // physical base — the stage the paper's §5.2 measures as "load segments".
+  // The copy shards trivially: chunks write disjoint destination ranges.
   Stopwatch load_timer;
   const uint64_t phys_base = loaded.choice.phys_load_addr;
-  for (const Elf64Phdr& phdr : elf.program_headers()) {
-    if (phdr.p_type != kPtLoad) {
-      continue;
-    }
-    const uint64_t phys = phys_base + (phdr.p_vaddr - link_base);
-    IMK_ASSIGN_OR_RETURN(ByteSpan file_bytes, elf.SegmentData(phdr));
-    IMK_RETURN_IF_ERROR(memory.Write(phys, file_bytes));
-    if (phdr.p_memsz > phdr.p_filesz) {
-      IMK_RETURN_IF_ERROR(memory.Zero(phys + phdr.p_filesz, phdr.p_memsz - phdr.p_filesz));
+  IMK_ASSIGN_OR_RETURN(MutableByteSpan image_ram, memory.Slice(phys_base, mem_size));
+  const uint8_t* src = tmpl.pristine.data();
+  uint8_t* dst = image_ram.data();
+  ThreadPool* pool = resources.pool;
+  // When the FGKASLR shuffle is about to run, the function-section region is
+  // fully rewritten by placement straight out of the pristine buffer (gaps
+  // included — see FgExecContext::pristine), so copying it here would write
+  // every byte twice. Copy only the prefix and suffix around it.
+  uint64_t skip_lo = mem_size;
+  uint64_t skip_hi = mem_size;
+  if (params.requested == RandoMode::kFgKaslr && !params.fgkaslr_disabled_cmdline &&
+      tmpl.fg.has_value() && !tmpl.fg->sections.empty()) {
+    const uint64_t region_lo = tmpl.fg->sections.front().vaddr;
+    const uint64_t region_hi =
+        tmpl.fg->sections.back().vaddr + tmpl.fg->sections.back().size;
+    if (region_lo >= link_base && region_hi >= region_lo &&
+        region_hi - link_base <= mem_size) {
+      skip_lo = region_lo - link_base;
+      skip_hi = region_hi - link_base;
     }
   }
+  const auto copy_span = [&](uint64_t begin, uint64_t end) {
+    if (begin >= end) {
+      return;
+    }
+    if (pool != nullptr && pool->workers() > 1) {
+      pool->ParallelFor(end - begin, [&](uint64_t chunk_begin, uint64_t chunk_end) {
+        std::memcpy(dst + begin + chunk_begin, src + begin + chunk_begin,
+                    chunk_end - chunk_begin);
+      });
+    } else {
+      std::memcpy(dst + begin, src + begin, end - begin);
+    }
+  };
+  copy_span(0, skip_lo);
+  copy_span(skip_hi, mem_size);
   loaded.timings.load_ns = load_timer.ElapsedNs();
 
   // View of the loaded image addressed by link vaddrs.
-  IMK_ASSIGN_OR_RETURN(MutableByteSpan image_ram, memory.Slice(phys_base, mem_size));
   LoadedImageView view(image_ram, link_base);
 
   // ---- FGKASLR: shuffle + table fixups ----
   if (params.requested == RandoMode::kFgKaslr) {
     if (params.fgkaslr_disabled_cmdline) {
-      // "nofgkaslr": the per-function-section parsing still happens — the
-      // paper's reason for building separate fgkaslr kernel variants — but
-      // nothing moves and no tables are touched.
-      Stopwatch fg_timer;
-      size_t function_sections = 0;
-      for (const ElfSection& section : elf.sections()) {
-        if (section.name.rfind(".text.fn_", 0) == 0) {
-          ++function_sections;
-        }
-      }
-      IMK_ASSIGN_OR_RETURN(std::vector<ElfSymbol> symbols, elf.ReadSymbols());
-      if (function_sections == 0 || symbols.empty()) {
+      // "nofgkaslr": the per-function-section metadata is still demanded —
+      // the paper's reason for building separate fgkaslr kernel variants —
+      // but nothing moves and no tables are touched. (With a warm template
+      // the parse itself was already amortized away.)
+      if (!tmpl.fg.has_value()) {
         return FailedPreconditionError("kernel not built for fgkaslr");
       }
-      loaded.timings.fg_ns = fg_timer.ElapsedNs();
     } else {
+      if (!tmpl.fg.has_value()) {
+        return FailedPreconditionError(
+            "kernel has no per-function sections (not built with fgkaslr support)");
+      }
       Stopwatch fg_timer;
-      IMK_ASSIGN_OR_RETURN(FgKaslrResult fg, ShuffleFunctions(elf, view, params.fg, rng));
+      FgExecContext fg_context;
+      fg_context.pool = resources.pool;
+      fg_context.scratch = resources.reloc_scratch;
+      fg_context.move_scratch = resources.move_scratch;
+      fg_context.pristine = ByteSpan(tmpl.pristine);
+      IMK_ASSIGN_OR_RETURN(FgKaslrResult fg,
+                           ShuffleFunctionsPreparsed(*tmpl.fg, view, params.fg, rng, fg_context));
       loaded.timings.fg_ns = fg_timer.ElapsedNs();
       loaded.fg = std::move(fg);
     }
@@ -163,13 +136,17 @@ Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
   // ---- relocations ----
   if (randomize) {
     Stopwatch reloc_timer;
+    RelocApplyOptions reloc_options;
+    reloc_options.pool = resources.pool;
+    reloc_options.scratch = resources.reloc_scratch;
     if (loaded.fg.has_value()) {
-      IMK_ASSIGN_OR_RETURN(loaded.reloc_stats, ApplyRelocationsShuffled(view, *relocs,
-                                                                        loaded.choice.virt_slide,
-                                                                        loaded.fg->map));
-    } else {
       IMK_ASSIGN_OR_RETURN(loaded.reloc_stats,
-                           ApplyRelocations(view, *relocs, loaded.choice.virt_slide));
+                           ApplyRelocationsShuffled(view, *relocs, loaded.choice.virt_slide,
+                                                    loaded.fg->map, reloc_options));
+    } else {
+      IMK_ASSIGN_OR_RETURN(loaded.reloc_stats, ApplyRelocations(view, *relocs,
+                                                                loaded.choice.virt_slide,
+                                                                reloc_options));
     }
     loaded.timings.reloc_ns = reloc_timer.ElapsedNs();
   }
@@ -185,6 +162,29 @@ Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
   loaded.stack_top = loaded.kernel_map.virt_start + mem_size + params.stack_slack - 16;
   loaded.resv_start_phys = AlignDown(phys_base, 4096);
   loaded.resv_end_phys = AlignUp(phys_base + mem_size + params.stack_slack, 4096);
+  return loaded;
+}
+
+Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
+                                      const RelocInfo* relocs, const DirectBootParams& params,
+                                      Rng& rng, const DirectLoadResources& resources) {
+  // ---- parse (or skip it: template cache hit) ----
+  Stopwatch parse_timer;
+  std::shared_ptr<const ImageTemplate> tmpl;
+  bool cache_hit = false;
+  if (resources.cache != nullptr) {
+    const uint64_t hits_before = resources.cache->hits();
+    IMK_ASSIGN_OR_RETURN(tmpl, resources.cache->GetOrBuild(vmlinux, TemplateOptions{}));
+    cache_hit = resources.cache->hits() > hits_before;
+  } else {
+    IMK_ASSIGN_OR_RETURN(tmpl, BuildImageTemplate(vmlinux, TemplateOptions{}));
+  }
+  const uint64_t parse_ns = parse_timer.ElapsedNs();
+
+  IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
+                       DirectLoadFromTemplate(memory, *tmpl, relocs, params, rng, resources));
+  loaded.timings.parse_ns = parse_ns;
+  loaded.template_cache_hit = cache_hit;
   return loaded;
 }
 

@@ -7,6 +7,14 @@
 //   address -> (FGKASLR: parse sections + shuffle + fix tables) -> handle
 //   relocations -> hand the entry point and mappings to the vCPU.
 //
+// Since PR 2 the boot-invariant half of that flow (everything up to and
+// including "read ELF", plus the section/symbol metadata FGKASLR needs) is
+// factored into an ImageTemplate (src/vmm/image_template.h). DirectLoadKernel
+// builds or looks up the template, then DirectLoadFromTemplate runs only the
+// boot-varying stages — choose, copy, shuffle, relocate — optionally sharded
+// over a ThreadPool. Randomized layouts depend only on (image, seed), never
+// on worker count or cache state.
+//
 // Relocation info arrives as a separate image (the extra monitor argument of
 // Figure 8) because uncompressed boot protocols never carried it.
 #ifndef IMKASLR_SRC_VMM_LOADER_H_
@@ -16,6 +24,7 @@
 
 #include "src/base/result.h"
 #include "src/base/rng.h"
+#include "src/base/threadpool.h"
 #include "src/isa/interpreter.h"
 #include "src/kaslr/fgkaslr.h"
 #include "src/kaslr/random_offset.h"
@@ -23,6 +32,7 @@
 #include "src/kernel/kconfig.h"
 #include "src/kernel/relocs.h"
 #include "src/vmm/guest_memory.h"
+#include "src/vmm/image_template.h"
 
 namespace imk {
 
@@ -50,11 +60,20 @@ struct DirectBootParams {
   uint64_t usable_mem_limit = 0;
 };
 
+// Reusable execution resources for the load pipeline; all optional, all
+// perf-only: results are bit-identical with or without them.
+struct DirectLoadResources {
+  ThreadPool* pool = nullptr;           // shards image copy / fg move / reloc apply
+  ImageTemplateCache* cache = nullptr;  // template reuse across boots (null = build inline)
+  RelocScratch* reloc_scratch = nullptr;  // reused reloc delta buffers + value index
+  Bytes* move_scratch = nullptr;          // reused FGKASLR text-copy buffer
+};
+
 // Wall-clock breakdown of monitor-side loading (all measured).
 struct LoaderTimings {
-  uint64_t parse_ns = 0;      // ELF header/segment/note parsing
+  uint64_t parse_ns = 0;      // template acquisition: ELF parse, or cache lookup on a hit
   uint64_t choose_ns = 0;     // random offset selection
-  uint64_t load_ns = 0;       // segment copies into guest memory
+  uint64_t load_ns = 0;       // image copy into guest memory
   uint64_t fg_ns = 0;         // FGKASLR engine total
   uint64_t reloc_ns = 0;      // relocation walk
   uint64_t total() const { return parse_ns + choose_ns + load_ns + fg_ns + reloc_ns; }
@@ -73,6 +92,7 @@ struct LoadedKernel {
   RelocStats reloc_stats;
   std::optional<FgKaslrResult> fg;
   LoaderTimings timings;
+  bool template_cache_hit = false;  // parse was skipped (served from the cache)
 
   // Link-time spans, for translating symbols to runtime addresses.
   uint64_t link_text_vaddr = 0;
@@ -84,13 +104,23 @@ struct LoadedKernel {
   }
 };
 
-// Loads `vmlinux` into `memory`. `relocs` may be null (or empty) only when
-// params.requested == RandoMode::kNone; randomization without relocation
-// info is an error (the kernel would crash), mirroring the monitor argument
-// contract of Figure 8.
+// Runs the boot-varying stages against an already-built template: choose
+// offsets, copy the pristine image into `memory`, shuffle, relocate.
+// Deterministic in (tmpl, params, seed): identical guest bytes for every
+// resources configuration.
+Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory, const ImageTemplate& tmpl,
+                                            const RelocInfo* relocs,
+                                            const DirectBootParams& params, Rng& rng,
+                                            const DirectLoadResources& resources = {});
+
+// Loads `vmlinux` into `memory`: template build (or cache lookup, when
+// resources.cache is set) + DirectLoadFromTemplate. `relocs` may be null (or
+// empty) only when params.requested == RandoMode::kNone; randomization
+// without relocation info is an error (the kernel would crash), mirroring
+// the monitor argument contract of Figure 8.
 Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
                                       const RelocInfo* relocs, const DirectBootParams& params,
-                                      Rng& rng);
+                                      Rng& rng, const DirectLoadResources& resources = {});
 
 }  // namespace imk
 

@@ -97,18 +97,35 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
     bounce.assign(kernel_read.data.begin(), kernel_read.data.end());
     kernel_read.data = ByteSpan(bounce);
   }
-  RelocInfo relocs;
-  bool have_relocs = false;
+  // Template acquisition: the boot-invariant work (ELF parse, pristine
+  // image render, fgkaslr metadata, optionally the in-monitor relocs tool of
+  // Figure 8). With the cache warm — the fleet scenario — every boot of the
+  // same kernel skips all of it and pays only a CRC32 of the image.
+  TemplateOptions template_options;
+  template_options.extract_relocs = config_.relocs_from_elf;
+  ImageTemplateCache* cache = nullptr;
+  if (config_.use_template_cache) {
+    cache = config_.template_cache != nullptr ? config_.template_cache
+                                              : &GlobalImageTemplateCache();
+  }
+  std::shared_ptr<const ImageTemplate> tmpl;
+  if (cache != nullptr) {
+    IMK_ASSIGN_OR_RETURN(tmpl, cache->GetOrBuild(kernel_read.data, template_options));
+  } else {
+    IMK_ASSIGN_OR_RETURN(tmpl, BuildImageTemplate(kernel_read.data, template_options));
+  }
+
+  RelocInfo sidecar_relocs;
+  const RelocInfo* relocs = nullptr;
   if (config_.relocs_from_elf) {
-    // Figure 8's alternative flow: run the relocs tool over the ELF.
-    IMK_ASSIGN_OR_RETURN(ElfReader elf, ElfReader::Parse(kernel_read.data));
-    IMK_ASSIGN_OR_RETURN(relocs, ExtractRelocsFromElf(elf));
-    have_relocs = !relocs.empty();
+    if (!tmpl->elf_relocs.empty()) {
+      relocs = &tmpl->elf_relocs;
+    }
   } else if (!config_.relocs_image.empty()) {
     IMK_ASSIGN_OR_RETURN(Storage::ReadResult relocs_read, storage_.Read(config_.relocs_image));
     report.timeline.AddModeled(BootPhase::kInMonitor, relocs_read.modeled_io_ns);
-    IMK_ASSIGN_OR_RETURN(relocs, ParseRelocs(relocs_read.data));
-    have_relocs = true;
+    IMK_ASSIGN_OR_RETURN(sidecar_relocs, ParseRelocs(relocs_read.data));
+    relocs = &sidecar_relocs;
   }
 
   DirectBootParams params;
@@ -119,9 +136,14 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
   params.use_note_constants = config_.use_note_constants;
   params.usable_mem_limit = usable_mem_top_;
   Rng rng(config_.seed != 0 ? config_.seed : HostEntropySeed());
+  std::optional<ThreadPool> pool;
+  DirectLoadResources resources;
+  if (config_.load_threads != 1) {
+    pool.emplace(config_.load_threads);
+    resources.pool = &*pool;
+  }
   IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
-                       DirectLoadKernel(*memory_, kernel_read.data,
-                                        have_relocs ? &relocs : nullptr, params, rng));
+                       DirectLoadFromTemplate(*memory_, *tmpl, relocs, params, rng, resources));
 
   report.choice = loaded.choice;
   report.reloc_stats = loaded.reloc_stats;
@@ -156,7 +178,7 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
                          memory_->Slice(loaded.choice.phys_load_addr, loaded.image_mem_size));
     verify_input.randomized = ByteSpan(image_view.data(), image_view.size());
     verify_input.base_vaddr = loaded.link_text_vaddr;
-    verify_input.relocs = have_relocs ? &relocs : nullptr;
+    verify_input.relocs = relocs;
     verify_input.map = loaded.fg.has_value() ? &loaded.fg->map : nullptr;
     verify_input.choice = loaded.choice;
     if (!config_.use_note_constants) {

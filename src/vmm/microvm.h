@@ -63,6 +63,17 @@ struct MicroVmConfig {
   uint64_t seed = 0;              // 0 = draw from host entropy
   uint64_t max_boot_instructions = 2ull << 30;
 
+  // Randomization-pipeline resources (PR 2). `load_threads` execution lanes
+  // shard the image copy, FGKASLR moves, and relocation passes (0 = hardware
+  // concurrency; 1 = fully serial). Results are bit-identical for every
+  // value. The template cache amortizes ELF parsing across boots of the same
+  // kernel; `template_cache` overrides the process-global cache (tests and
+  // benches inject their own), and `use_template_cache = false` re-parses
+  // every boot (the pre-PR-2 behaviour, kept for measurement).
+  uint32_t load_threads = 1;
+  bool use_template_cache = true;
+  ImageTemplateCache* template_cache = nullptr;
+
   // Opt-in static verification (src/verify): after the monitor loads and
   // randomizes the image — before the first guest instruction — run the full
   // invariant battery against the pre-randomization ELF. Boot fails with

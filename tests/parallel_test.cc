@@ -1,0 +1,496 @@
+// PR 2 test battery: the parallel, amortized randomization pipeline.
+//
+// Three invariants under test:
+//   1. ThreadPool's static partitioning is exact (full coverage, no overlap)
+//      and errors propagate deterministically.
+//   2. The batch translation machinery (ShuffleMap::BatchDeltas and
+//      ShuffleDeltaIndex) answers exactly like per-entry binary search.
+//   3. The loader produces byte-identical guest memory for the same
+//      (image, seed) regardless of worker count and template-cache state —
+//      the determinism contract of DirectLoadFromTemplate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "src/base/threadpool.h"
+#include "src/elf/elf_types.h"
+#include "src/elf/elf_writer.h"
+#include "src/kaslr/fgkaslr.h"
+#include "src/kaslr/relocator.h"
+#include "src/kaslr/shuffle_map.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/image_template.h"
+#include "src/vmm/loader.h"
+
+namespace imk {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ChunkRangePartitionsExactly) {
+  for (uint64_t n : {0ull, 1ull, 7ull, 64ull, 1000003ull}) {
+    for (uint32_t chunks : {1u, 2u, 3u, 7u, 16u}) {
+      uint64_t expected_begin = 0;
+      for (uint32_t i = 0; i < chunks; ++i) {
+        auto [begin, end] = ThreadPool::ChunkRange(n, chunks, i);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(begin, end);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<uint32_t> calls{0};
+  pool.ParallelFor(0, [&](uint64_t, uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (uint64_t n : {1ull, 3ull, 5ull, 64ull, 1000ull}) {
+    // n < workers exercises the chunk clamp; larger n the general path.
+    std::vector<std::atomic<uint32_t>> hits(n);
+    pool.ParallelFor(n, [&](uint64_t begin, uint64_t end) {
+      for (uint64_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1);
+      }
+    });
+    for (uint64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1u) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1u);
+  uint64_t sum = 0;  // no atomics needed: everything runs on this thread
+  pool.ParallelFor(100, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      sum += i;
+    }
+  });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelForChunked(100, 4,
+                              [&](uint32_t chunk, uint64_t, uint64_t) {
+                                if (chunk == 2) {
+                                  throw std::runtime_error("chunk 2 failed");
+                                }
+                              }),
+      std::runtime_error);
+  // The pool survives a throwing job and keeps working.
+  std::atomic<uint32_t> calls{0};
+  pool.ParallelFor(8, [&](uint64_t begin, uint64_t end) {
+    calls.fetch_add(static_cast<uint32_t>(end - begin));
+  });
+  EXPECT_EQ(calls.load(), 8u);
+}
+
+TEST(ThreadPoolTest, LowestChunkExceptionWins) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 10; ++rep) {
+    try {
+      pool.ParallelForChunked(16, 4, [&](uint32_t chunk, uint64_t, uint64_t) {
+        throw std::runtime_error("chunk " + std::to_string(chunk));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 0");
+    }
+  }
+}
+
+// ---------------------------------------------- BatchDeltas / ShuffleDeltaIndex
+
+ShuffleMap MakeMapWithGapsAndZeroSize() {
+  // Deliberately awkward: gaps between ranges, a zero-size range, unaligned
+  // starts/sizes, and ranges smaller than one 16-byte granule.
+  std::vector<ShuffledRange> ranges;
+  ranges.push_back({0x1000, 0x2000, 0x100});
+  ranges.push_back({0x1105, 0x3000, 0x3b});   // unaligned start+size, gap before
+  ranges.push_back({0x1200, 0x1200, 0});      // zero-size
+  ranges.push_back({0x1210, 0x4000, 0x8});    // sub-granule
+  ranges.push_back({0x1400, 0x1500, 0x400});  // overlaps granule boundaries
+  return ShuffleMap(std::move(ranges));
+}
+
+TEST(BatchDeltasTest, MatchesPerEntryDeltaFor) {
+  const ShuffleMap map = MakeMapWithGapsAndZeroSize();
+  std::vector<uint64_t> addrs;
+  for (uint64_t a = 0xf80; a < 0x1900; ++a) {  // dense sweep incl. both flanks
+    addrs.push_back(a);
+  }
+  std::vector<int64_t> batch(addrs.size());
+  map.BatchDeltas(addrs.data(), addrs.size(), batch.data());
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    EXPECT_EQ(batch[i], map.DeltaFor(addrs[i])) << "addr " << addrs[i];
+  }
+}
+
+TEST(BatchDeltasTest, EmptyInputsAndEmptyMap) {
+  const ShuffleMap empty_map;
+  std::vector<uint64_t> addrs = {1, 2, 0x1000};
+  std::vector<int64_t> out(addrs.size(), -1);
+  empty_map.BatchDeltas(addrs.data(), addrs.size(), out.data());
+  for (int64_t delta : out) {
+    EXPECT_EQ(delta, 0);
+  }
+  const ShuffleMap map = MakeMapWithGapsAndZeroSize();
+  map.BatchDeltas(nullptr, 0, nullptr);  // must tolerate count == 0
+}
+
+TEST(ShuffleDeltaIndexTest, MatchesPerEntryDeltaFor) {
+  const ShuffleMap map = MakeMapWithGapsAndZeroSize();
+  ShuffleDeltaIndex index;
+  index.Rebuild(map);
+  for (uint64_t a = 0xf80; a < 0x1900; ++a) {
+    EXPECT_EQ(index.DeltaFor(a), map.DeltaFor(a)) << "addr " << a;
+    EXPECT_EQ(index.Translate(a), map.Translate(a)) << "addr " << a;
+  }
+  // Far outside the span.
+  EXPECT_EQ(index.DeltaFor(0), 0);
+  EXPECT_EQ(index.DeltaFor(UINT64_MAX), 0);
+}
+
+TEST(ShuffleDeltaIndexTest, RebuildReusesAcrossMaps) {
+  ShuffleDeltaIndex index;
+  index.Rebuild(MakeMapWithGapsAndZeroSize());
+  const ShuffleMap second(std::vector<ShuffledRange>{{0x9000, 0xa000, 0x40}});
+  index.Rebuild(second);
+  for (uint64_t a = 0x8fe0; a < 0x9060; ++a) {
+    EXPECT_EQ(index.DeltaFor(a), second.DeltaFor(a)) << "addr " << a;
+  }
+}
+
+TEST(ShuffleDeltaIndexTest, MatchesOnRealShuffle) {
+  auto built = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, 0.05));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto tmpl = BuildImageTemplate(ByteSpan(built->vmlinux), TemplateOptions{});
+  ASSERT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+  ASSERT_TRUE((*tmpl)->fg.has_value());
+
+  Bytes image = (*tmpl)->pristine;
+  LoadedImageView view(MutableByteSpan(image), (*tmpl)->link_base);
+  Rng rng(1234);
+  auto fg = ShuffleFunctionsPreparsed(*(*tmpl)->fg, view, FgKaslrParams{}, rng);
+  ASSERT_TRUE(fg.ok()) << fg.status().ToString();
+
+  ShuffleDeltaIndex index;
+  index.Rebuild(fg->map);
+  const auto& ranges = fg->map.ranges();
+  ASSERT_FALSE(ranges.empty());
+  for (const ShuffledRange& range : ranges) {
+    for (uint64_t probe : {range.old_vaddr, range.old_vaddr + range.size / 2,
+                           range.old_vaddr + range.size - 1, range.old_vaddr + range.size}) {
+      EXPECT_EQ(index.DeltaFor(probe), fg->map.DeltaFor(probe)) << "addr " << probe;
+    }
+  }
+}
+
+// ------------------------------------------------------------- equivalence
+
+class PipelineEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto built = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, 0.05));
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    info_ = std::move(*built);
+  }
+
+  Result<LoadedKernel> Load(GuestMemory& memory, uint64_t seed,
+                            const DirectLoadResources& resources) {
+    DirectBootParams params;
+    params.requested = RandoMode::kFgKaslr;
+    Rng rng(seed);
+    return DirectLoadKernel(memory, ByteSpan(info_.vmlinux), &info_.relocs, params, rng,
+                            resources);
+  }
+
+  KernelBuildInfo info_;
+};
+
+TEST_F(PipelineEquivalenceTest, PerEntryVsBatchBitIdentical) {
+  auto tmpl = BuildImageTemplate(ByteSpan(info_.vmlinux), TemplateOptions{});
+  ASSERT_TRUE(tmpl.ok());
+  ASSERT_TRUE((*tmpl)->fg.has_value());
+
+  Bytes image_a = (*tmpl)->pristine;
+  Bytes image_b = (*tmpl)->pristine;
+  LoadedImageView view_a(MutableByteSpan(image_a), (*tmpl)->link_base);
+  LoadedImageView view_b(MutableByteSpan(image_b), (*tmpl)->link_base);
+
+  // Same seed => same shuffle on both copies.
+  Rng rng_a(42), rng_b(42);
+  auto fg_a = ShuffleFunctionsPreparsed(*(*tmpl)->fg, view_a, FgKaslrParams{}, rng_a);
+  auto fg_b = ShuffleFunctionsPreparsed(*(*tmpl)->fg, view_b, FgKaslrParams{}, rng_b);
+  ASSERT_TRUE(fg_a.ok());
+  ASSERT_TRUE(fg_b.ok());
+  ASSERT_TRUE(image_a == image_b);
+
+  const uint64_t slide = 0x1234000;
+  auto batch = ApplyRelocationsShuffled(view_a, info_.relocs, slide, fg_a->map);
+  auto reference = ApplyRelocationsShuffledPerEntry(view_b, info_.relocs, slide, fg_b->map);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_TRUE(*batch == *reference);
+  EXPECT_GT(batch->total(), 0u);
+  EXPECT_TRUE(image_a == image_b) << "batch and per-entry relocation diverged";
+}
+
+TEST_F(PipelineEquivalenceTest, WorkerCountInvariance) {
+  constexpr uint64_t kSeed = 7;
+  GuestMemory baseline_mem(64ull << 20);
+  auto baseline = Load(baseline_mem, kSeed, DirectLoadResources{});
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_TRUE(baseline->fg.has_value());
+
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    RelocScratch scratch;
+    Bytes move_scratch;
+    DirectLoadResources resources;
+    resources.pool = &pool;
+    resources.reloc_scratch = &scratch;
+    resources.move_scratch = &move_scratch;
+
+    GuestMemory memory(64ull << 20);
+    auto loaded = Load(memory, kSeed, resources);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    EXPECT_EQ(loaded->entry_vaddr, baseline->entry_vaddr);
+    EXPECT_EQ(loaded->choice.virt_slide, baseline->choice.virt_slide);
+    EXPECT_EQ(loaded->choice.phys_load_addr, baseline->choice.phys_load_addr);
+    EXPECT_TRUE(loaded->reloc_stats == baseline->reloc_stats);
+
+    ASSERT_TRUE(loaded->fg.has_value());
+    const auto& ranges = loaded->fg->map.ranges();
+    const auto& baseline_ranges = baseline->fg->map.ranges();
+    ASSERT_EQ(ranges.size(), baseline_ranges.size());
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      EXPECT_EQ(ranges[i].old_vaddr, baseline_ranges[i].old_vaddr);
+      EXPECT_EQ(ranges[i].new_vaddr, baseline_ranges[i].new_vaddr);
+      EXPECT_EQ(ranges[i].size, baseline_ranges[i].size);
+    }
+
+    ByteSpan got = memory.all();
+    ByteSpan want = baseline_mem.all();
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size()), 0)
+        << "guest memory diverged with " << workers << " workers";
+  }
+}
+
+TEST_F(PipelineEquivalenceTest, CacheHitMissInvariance) {
+  constexpr uint64_t kSeed = 11;
+  GuestMemory cold_mem(64ull << 20);
+  auto cold = Load(cold_mem, kSeed, DirectLoadResources{});  // no cache at all
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->template_cache_hit);
+
+  ImageTemplateCache cache(2);
+  DirectLoadResources resources;
+  resources.cache = &cache;
+
+  GuestMemory miss_mem(64ull << 20);
+  auto miss = Load(miss_mem, kSeed, resources);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->template_cache_hit);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  GuestMemory hit_mem(64ull << 20);
+  auto hit = Load(hit_mem, kSeed, resources);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->template_cache_hit);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  ByteSpan a = cold_mem.all();
+  ByteSpan b = miss_mem.all();
+  ByteSpan c = hit_mem.all();
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0) << "cache-miss boot diverged";
+  EXPECT_EQ(std::memcmp(a.data(), c.data(), a.size()), 0) << "cache-hit boot diverged";
+  EXPECT_TRUE(cold->reloc_stats == hit->reloc_stats);
+}
+
+TEST_F(PipelineEquivalenceTest, ReferenceModeBitIdentical) {
+  // The pre-batch reference pipeline (defensive copy, old-order placement,
+  // per-entry fixups + full sort) and the fast pipeline (pristine-sourced
+  // placement, placement-order fixup merge, pooled loops) must agree byte
+  // for byte — FgExecContext::reference is the oracle the bench's serial
+  // baseline runs, so it has to be a true behavioural twin.
+  auto tmpl = BuildImageTemplate(ByteSpan(info_.vmlinux), TemplateOptions{});
+  ASSERT_TRUE(tmpl.ok());
+  ASSERT_TRUE((*tmpl)->fg.has_value());
+
+  Bytes image_ref = (*tmpl)->pristine;
+  Bytes image_fast = (*tmpl)->pristine;
+  LoadedImageView view_ref(MutableByteSpan(image_ref), (*tmpl)->link_base);
+  LoadedImageView view_fast(MutableByteSpan(image_fast), (*tmpl)->link_base);
+
+  FgExecContext reference_context;
+  reference_context.reference = true;
+  ThreadPool pool(4);
+  RelocScratch scratch;
+  Bytes move_scratch;
+  FgExecContext fast_context;
+  fast_context.pool = &pool;
+  fast_context.scratch = &scratch;
+  fast_context.move_scratch = &move_scratch;
+  fast_context.pristine = ByteSpan((*tmpl)->pristine);
+
+  Rng rng_ref(13), rng_fast(13);
+  auto fg_ref =
+      ShuffleFunctionsPreparsed(*(*tmpl)->fg, view_ref, FgKaslrParams{}, rng_ref,
+                                reference_context);
+  auto fg_fast =
+      ShuffleFunctionsPreparsed(*(*tmpl)->fg, view_fast, FgKaslrParams{}, rng_fast, fast_context);
+  ASSERT_TRUE(fg_ref.ok()) << fg_ref.status().ToString();
+  ASSERT_TRUE(fg_fast.ok()) << fg_fast.status().ToString();
+  EXPECT_EQ(fg_ref->sections_shuffled, fg_fast->sections_shuffled);
+  EXPECT_TRUE(image_ref == image_fast) << "reference and fast shuffle diverged";
+
+  const uint64_t slide = 0x2000000;
+  auto stats_ref = ApplyRelocationsShuffledPerEntry(view_ref, info_.relocs, slide, fg_ref->map);
+  RelocApplyOptions options;
+  options.pool = &pool;
+  options.scratch = &scratch;
+  auto stats_fast =
+      ApplyRelocationsShuffled(view_fast, info_.relocs, slide, fg_fast->map, options);
+  ASSERT_TRUE(stats_ref.ok());
+  ASSERT_TRUE(stats_fast.ok());
+  EXPECT_TRUE(*stats_ref == *stats_fast);
+  EXPECT_TRUE(image_ref == image_fast) << "reference and fast relocation diverged";
+}
+
+TEST_F(PipelineEquivalenceTest, ScratchReuseAcrossSeeds) {
+  // One RelocScratch carried across boots with different seeds: the second
+  // and third boots hit the boot-invariant classification caches (same image
+  // geometry, fresh permutation + slide) and must still match a boot that
+  // classified from scratch.
+  ThreadPool pool(2);
+  RelocScratch shared_scratch;
+  Bytes move_scratch;
+  ImageTemplateCache cache(2);
+  DirectLoadResources reused;
+  reused.pool = &pool;
+  reused.cache = &cache;
+  reused.reloc_scratch = &shared_scratch;
+  reused.move_scratch = &move_scratch;
+
+  for (uint64_t seed : {3ull, 17ull, 99ull}) {
+    GuestMemory reused_mem(64ull << 20);
+    auto with_reuse = Load(reused_mem, seed, reused);
+    ASSERT_TRUE(with_reuse.ok()) << with_reuse.status().ToString();
+
+    GuestMemory fresh_mem(64ull << 20);
+    auto fresh = Load(fresh_mem, seed, DirectLoadResources{});
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+    EXPECT_EQ(with_reuse->choice.virt_slide, fresh->choice.virt_slide);
+    EXPECT_TRUE(with_reuse->reloc_stats == fresh->reloc_stats);
+    ByteSpan got = reused_mem.all();
+    ByteSpan want = fresh_mem.all();
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size()), 0)
+        << "scratch reuse diverged at seed " << seed;
+  }
+}
+
+// ------------------------------------------------------------ template cache
+
+TEST(ImageTemplateCacheTest, LruEvictionAndCounters) {
+  auto a = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kKaslr, 0.01));
+  auto b = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kKaslr, 0.01));
+  auto c = BuildKernel(KernelConfig::Make(KernelProfile::kUbuntu, RandoMode::kKaslr, 0.01));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  ImageTemplateCache cache(2);
+  ASSERT_TRUE(cache.GetOrBuild(ByteSpan(a->vmlinux), TemplateOptions{}).ok());
+  ASSERT_TRUE(cache.GetOrBuild(ByteSpan(b->vmlinux), TemplateOptions{}).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Hit A (making B least-recent), insert C => B evicted.
+  ASSERT_TRUE(cache.GetOrBuild(ByteSpan(a->vmlinux), TemplateOptions{}).ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  ASSERT_TRUE(cache.GetOrBuild(ByteSpan(c->vmlinux), TemplateOptions{}).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_TRUE(cache.GetOrBuild(ByteSpan(a->vmlinux), TemplateOptions{}).ok());
+  EXPECT_EQ(cache.hits(), 2u);
+  ASSERT_TRUE(cache.GetOrBuild(ByteSpan(b->vmlinux), TemplateOptions{}).ok());
+  EXPECT_EQ(cache.misses(), 4u);  // B was evicted and rebuilt
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ImageTemplateCacheTest, RelocsExtractionUpgrades) {
+  auto built = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, RandoMode::kKaslr, 0.01));
+  ASSERT_TRUE(built.ok());
+
+  ImageTemplateCache cache(2);
+  TemplateOptions plain;
+  TemplateOptions with_relocs;
+  with_relocs.extract_relocs = true;
+
+  auto first = cache.GetOrBuild(ByteSpan(built->vmlinux), plain);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE((*first)->relocs_extracted);
+
+  // Asking for relocs afterwards must rebuild (upgrade), not serve stale.
+  auto upgraded = cache.GetOrBuild(ByteSpan(built->vmlinux), with_relocs);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_TRUE((*upgraded)->relocs_extracted);
+  EXPECT_FALSE((*upgraded)->elf_relocs.empty());
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // And the upgraded entry satisfies both option sets from now on.
+  auto again_plain = cache.GetOrBuild(ByteSpan(built->vmlinux), plain);
+  auto again_relocs = cache.GetOrBuild(ByteSpan(built->vmlinux), with_relocs);
+  ASSERT_TRUE(again_plain.ok() && again_relocs.ok());
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(again_plain->get(), again_relocs->get());
+}
+
+// --------------------------------------------------- ImageSpan regression
+
+TEST(ImageSpanRegressionTest, NoLoadableSegmentsIsCleanParseError) {
+  // An ELF with sections but zero PT_LOAD headers. The old span computation
+  // seeded lo=UINT64_MAX/hi=0 and reported hi-lo == 1 (unsigned wrap), so
+  // the "no loadable segments" guard never fired and the loader continued
+  // with a garbage link base.
+  ElfWriter writer(kEmVk64, kEtExec);
+  SectionSpec text;
+  text.name = ".text";
+  text.flags = kShfAlloc | kShfExecinstr;
+  text.addr = 0x401000;
+  text.data = Bytes(64, 0x90);
+  writer.AddSection(std::move(text));
+  auto image = writer.Finish();
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  auto tmpl = BuildImageTemplate(ByteSpan(*image), TemplateOptions{});
+  ASSERT_FALSE(tmpl.ok());
+  EXPECT_EQ(tmpl.status().code(), ErrorCode::kParseError);
+  EXPECT_NE(tmpl.status().message().find("no loadable segments"), std::string::npos);
+
+  GuestMemory memory(16ull << 20);
+  DirectBootParams params;
+  Rng rng(1);
+  auto loaded = DirectLoadKernel(memory, ByteSpan(*image), nullptr, params, rng);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kParseError);
+}
+
+}  // namespace
+}  // namespace imk

@@ -10,10 +10,14 @@
 //   relocs   FILE
 //            Summarizes a vmlinux.relocs blob.
 //   boot     --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--mem=256]
+//            [--threads=N] [--no-template-cache]
 //            Boots the image with in-monitor randomization and reports the
-//            layout and timeline.
+//            layout and timeline. --threads=N shards the randomization
+//            pipeline over N lanes (0 = hardware concurrency; results are
+//            bit-identical for every N); --no-template-cache re-parses the
+//            ELF on every boot instead of reusing the image template.
 //   verify   --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--seed=N]
-//            [--mem=256] [--json] [--corrupt=MODE]
+//            [--mem=256] [--threads=N] [--json] [--corrupt=MODE]
 //            Randomizes the image in-monitor (no guest execution), then runs
 //            the static KASLR-correctness analyzer over the result. Exits 0
 //            on a clean report, 1 on findings. --corrupt injects one fault
@@ -23,6 +27,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "src/elf/elf_note.h"
@@ -294,6 +299,8 @@ int CmdBoot(const Args& args) {
   config.kernel_image = "kernel";
   config.mem_size_bytes = static_cast<uint64_t>(args.GetDouble("mem", 256)) << 20;
   config.rando = ParseRando(args.Get("rando", "none"));
+  config.load_threads = static_cast<uint32_t>(args.GetDouble("threads", 1));
+  config.use_template_cache = args.Get("no-template-cache").empty();
   const std::string relocs_path = args.Get("relocs");
   if (!relocs_path.empty()) {
     storage.Put("relocs", ReadFile(relocs_path));
@@ -373,9 +380,16 @@ int CmdVerify(const Args& args) {
   params.requested = rando;
   const uint64_t seed = static_cast<uint64_t>(args.GetDouble("seed", 0));
   imk::Rng rng(seed != 0 ? seed : imk::HostEntropySeed());
+  const uint32_t threads = static_cast<uint32_t>(args.GetDouble("threads", 1));
+  std::optional<imk::ThreadPool> pool;
+  imk::DirectLoadResources resources;
+  if (threads != 1) {
+    pool.emplace(threads);
+    resources.pool = &*pool;
+  }
   auto loaded =
       imk::DirectLoadKernel(memory, ByteSpan(vmlinux), have_relocs ? &relocs : nullptr,
-                            params, rng);
+                            params, rng, resources);
   if (!loaded.ok()) {
     Die(loaded.status().ToString());
   }
