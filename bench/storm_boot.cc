@@ -1,0 +1,172 @@
+// storm_boot — boot-storm fleet bench for the zero-copy CoW guest memory
+// (the paper's §7 serverless fleet scenario: one host, one kernel image,
+// hundreds of microVM launches).
+//
+// Per randomization policy, three lanes:
+//   serial baseline  launch work one VM at a time with the un-amortized
+//                    per-boot pipeline (template rebuilt every boot) — what
+//                    the monitor paid per VM before the fleet pipeline
+//   launch storm     --vms launches across --threads workers against one
+//                    warm shared ImageTemplateCache with zero-copy CoW
+//                    mapping — the optimized monitor path
+//   full storm       complete boots (guest init executed, checksum
+//                    verified), measuring per-boot latency p50/p99 and the
+//                    per-VM resident cost: privately materialized (dirty)
+//                    image frames vs frames still aliased to the template
+//
+// Launch throughput counts monitor-side work only: guest init burns the
+// VM's own vCPU time in a real fleet, and the interpreter simulating it on
+// the host would drown the monitor numbers (DESIGN.md §9).
+//
+// Targets (see ISSUE.md, scale 1.0): kaslr per-VM dirty image bytes <= 50%
+// of the image, warm launch storm >= 2x the serial baseline at 4 threads.
+// Writes BENCH_storm.json (--out=FILE).
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench/common.h"
+#include "src/vmm/boot_storm.h"
+
+namespace imk {
+namespace {
+
+struct ModeRow {
+  const char* name = "";
+  StormStats serial;  // launch-only, cold (per-boot parse), 1 thread
+  StormStats launch;  // launch-only, warm shared cache, --threads
+  StormStats full;    // full boots, warm shared cache, --threads
+  double launch_speedup() const {
+    return serial.boots_per_sec() > 0 ? launch.boots_per_sec() / serial.boots_per_sec() : 0;
+  }
+};
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  std::string out_path = "BENCH_storm.json";
+  uint32_t vms = 16;
+  uint32_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--vms=", 6) == 0) {
+      vms = static_cast<uint32_t>(std::atoi(argv[i] + 6));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<uint32_t>(std::atoi(argv[i] + 10));
+    }
+  }
+  std::printf("storm_boot: scale=%.3g vms=%u threads=%u (host cores: %u)\n\n", opts.scale, vms,
+              threads, std::thread::hardware_concurrency());
+
+  const RandoMode modes[] = {RandoMode::kNone, RandoMode::kKaslr, RandoMode::kFgKaslr};
+  ModeRow rows[3];
+  TextTable table({"policy", "serial launch/s", "storm launch/s", "speedup", "boot p50 ms",
+                   "boot p99 ms", "dirty image %", "resident MiB/VM"});
+
+  for (size_t m = 0; m < 3; ++m) {
+    const RandoMode rando = modes[m];
+    rows[m].name = RandoModeName(rando);
+    KernelBuildInfo info = bench::CheckOk(
+        BuildKernel(KernelConfig::Make(KernelProfile::kAws, rando, opts.scale)), "BuildKernel");
+    const Bytes relocs_blob = info.relocs.empty() ? Bytes() : SerializeRelocs(info.relocs);
+
+    ImageTemplateCache cache;
+    StormOptions storm_opts;
+    storm_opts.vms = vms;
+    storm_opts.rando = rando;
+    storm_opts.expected_checksum = info.expected_checksum;
+    storm_opts.cache = &cache;
+
+    // Serial baseline: one at a time, template rebuilt per boot.
+    storm_opts.launch_only = true;
+    storm_opts.use_template_cache = false;
+    storm_opts.threads = 1;
+    rows[m].serial = bench::CheckOk(
+        RunBootStorm(ByteSpan(info.vmlinux), ByteSpan(relocs_blob), storm_opts), "serial");
+
+    // Warm launch storm.
+    storm_opts.use_template_cache = true;
+    storm_opts.threads = threads;
+    rows[m].launch = bench::CheckOk(
+        RunBootStorm(ByteSpan(info.vmlinux), ByteSpan(relocs_blob), storm_opts), "launch storm");
+
+    // Full boots: guest init + checksum + density.
+    storm_opts.launch_only = false;
+    rows[m].full = bench::CheckOk(
+        RunBootStorm(ByteSpan(info.vmlinux), ByteSpan(relocs_blob), storm_opts), "full storm");
+
+    table.AddRow({rows[m].name, TextTable::Fmt(rows[m].serial.boots_per_sec(), 1),
+                  TextTable::Fmt(rows[m].launch.boots_per_sec(), 1),
+                  TextTable::Fmt(rows[m].launch_speedup()),
+                  TextTable::Fmt(rows[m].full.boot_ms.percentile(50), 1),
+                  TextTable::Fmt(rows[m].full.boot_ms.percentile(99), 1),
+                  TextTable::Fmt(rows[m].full.image_dirty_fraction() * 100, 1),
+                  TextTable::Fmt(rows[m].full.resident_mb.mean(), 1)});
+  }
+  table.Print();
+
+  const double kaslr_dirty = rows[1].full.image_dirty_fraction();
+  const bool dirty_ok = kaslr_dirty <= 0.5;
+  const bool speedup_ok = rows[1].launch_speedup() >= 2.0;
+  std::printf(
+      "\ntargets (kaslr): dirty image bytes %.1f%% (<=50%% %s), "
+      "warm launch storm %.2fx serial baseline (>=2x %s)\n",
+      kaslr_dirty * 100, dirty_ok ? "PASS" : "MISS", rows[1].launch_speedup(),
+      speedup_ok ? "PASS" : "MISS");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"storm_boot\",\n"
+               "  \"scale\": %g,\n"
+               "  \"vms\": %u,\n"
+               "  \"threads\": %u,\n"
+               "  \"host_cores\": %u,\n"
+               "  \"modes\": {\n",
+               opts.scale, vms, threads, std::thread::hardware_concurrency());
+  for (size_t m = 0; m < 3; ++m) {
+    const ModeRow& row = rows[m];
+    std::fprintf(
+        out,
+        "    \"%s\": {\n"
+        "      \"serial_launches_per_sec\": %.3f,\n"
+        "      \"storm_launches_per_sec\": %.3f,\n"
+        "      \"launch_speedup\": %.3f,\n"
+        "      \"launch_p50_ms\": %.3f,\n"
+        "      \"boot_p50_ms\": %.3f,\n"
+        "      \"boot_p99_ms\": %.3f,\n"
+        "      \"full_boots_per_sec\": %.3f,\n"
+        "      \"image_bytes\": %llu,\n"
+        "      \"image_frames\": %llu,\n"
+        "      \"image_dirty_frames_mean\": %.1f,\n"
+        "      \"image_shared_frames_mean\": %.1f,\n"
+        "      \"image_dirty_fraction\": %.4f,\n"
+        "      \"resident_mb_per_vm_mean\": %.3f,\n"
+        "      \"template_cache_hits\": %llu,\n"
+        "      \"template_cache_misses\": %llu\n"
+        "    }%s\n",
+        row.name, row.serial.boots_per_sec(), row.launch.boots_per_sec(), row.launch_speedup(),
+        row.launch.boot_ms.percentile(50), row.full.boot_ms.percentile(50),
+        row.full.boot_ms.percentile(99), row.full.boots_per_sec(),
+        static_cast<unsigned long long>(row.full.image_bytes),
+        static_cast<unsigned long long>(row.full.image_frames),
+        row.full.image_dirty_frames.mean(), row.full.image_shared_frames.mean(),
+        row.full.image_dirty_fraction(), row.full.resident_mb.mean(),
+        static_cast<unsigned long long>(row.launch.cache_hits + row.full.cache_hits),
+        static_cast<unsigned long long>(row.launch.cache_misses + row.full.cache_misses),
+        m + 1 < 3 ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace imk
+
+int main(int argc, char** argv) { return imk::Run(argc, argv); }

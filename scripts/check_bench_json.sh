@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regression guard over the committed bench records: the numbers we publish in
+# BENCH_*.json must keep satisfying the PR acceptance targets. Re-recording a
+# bench that regresses past a target fails CI instead of silently shipping a
+# worse number.
+#
+# Usage: scripts/check_bench_json.sh [repo_root]
+set -u
+
+repo_root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+python3 - "$repo_root" <<'EOF'
+import json
+import sys
+
+root = sys.argv[1]
+failures = []
+
+
+def check(label, cond):
+    print(f"{'ok  ' if cond else 'FAIL'} {label}")
+    if not cond:
+        failures.append(label)
+
+
+with open(f"{root}/BENCH_parallel.json") as f:
+    parallel = json.load(f)
+stages = parallel["stages"]
+check("parallel: reloc_apply batch speedup >= 4x",
+      stages["reloc_apply"]["speedup"] >= 4.0)
+check("parallel: end_to_end warm speedup >= 3x",
+      stages["end_to_end_load"]["speedup"] >= 3.0)
+mem = parallel["memory"]
+check("parallel: loader maps some frames zero-copy",
+      mem["mapped_shared_frames"] > 0)
+check("parallel: load stage dirties <1% of image frames",
+      mem["load_dirty_frames"] < 0.01 * mem["image_frames"])
+
+with open(f"{root}/BENCH_storm.json") as f:
+    storm = json.load(f)
+kaslr = storm["modes"]["kaslr"]
+check("storm: kaslr dirty image fraction <= 50%",
+      kaslr["image_dirty_fraction"] <= 0.5)
+check("storm: kaslr warm launch storm >= 2x serial baseline",
+      kaslr["launch_speedup"] >= 2.0)
+check("storm: template cache misses bounded (one build per mode)",
+      all(m["template_cache_misses"] <= 1 for m in storm["modes"].values()))
+nok = storm["modes"]["nokaslr"]["image_dirty_fraction"]
+kas = kaslr["image_dirty_fraction"]
+fgk = storm["modes"]["fgkaslr"]["image_dirty_fraction"]
+check("storm: dirty-density ordering nokaslr <= kaslr <= fgkaslr",
+      nok <= kas + 1e-9 and kas <= fgk + 1e-9)
+
+if failures:
+    print(f"check_bench_json: {len(failures)} target(s) regressed")
+    sys.exit(1)
+print("check_bench_json: all committed bench targets hold")
+EOF

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full CI gate: tier-1 build + tests, AddressSanitizer and UBSan builds with
-# the same test suite, a ThreadSanitizer build running the boot matrix and the
-# parallel-pipeline equivalence tests (the ThreadPool-sharded loader paths),
-# a micro_parallel bench smoke on a tiny image, and clang-tidy (skipped
-# gracefully when not installed). Nonzero exit on any failure.
+# the same test suite, a ThreadSanitizer build running the boot matrix, the
+# parallel-pipeline equivalence tests (the ThreadPool-sharded loader paths)
+# and the boot-storm/CoW-fault tests, bench smokes (micro_parallel and
+# storm_boot on tiny images), a regression guard over the committed
+# BENCH_*.json targets, and clang-tidy (skipped gracefully when not
+# installed). Nonzero exit on any failure.
 #
 # Usage: scripts/ci_check.sh [--skip-sanitizers]
 set -u
@@ -42,10 +44,11 @@ run_suite "tier-1" "$repo_root/build" ""
 if [[ $skip_sanitizers -eq 0 ]]; then
   run_suite "asan" "$repo_root/build-asan" "" -DIMK_ASAN=ON
   run_suite "ubsan" "$repo_root/build-ubsan" "" -DIMK_UBSAN=ON
-  # TSan covers the sharded loader paths: every ParallelFor call site runs
-  # under the boot matrix and the worker-count/cache equivalence tests.
+  # TSan covers the sharded loader paths (every ParallelFor call site under
+  # the boot matrix and the worker-count/cache equivalence tests) plus the
+  # boot-storm workers racing CoW faults and the single-flight template build.
   run_suite "tsan" "$repo_root/build-tsan" \
-    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix" \
+    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix|BootStorm|FrameStore" \
     -DIMK_TSAN=ON
 fi
 
@@ -53,6 +56,19 @@ echo "=== bench smoke (micro_parallel, tiny image) ==="
 if ! "$repo_root/build/bench/micro_parallel" --scale=0.02 --reps=2 --warmup=1 \
     --out="$repo_root/build/bench_smoke.json" >/dev/null; then
   echo "=== bench smoke: FAILED ==="
+  failures=$((failures + 1))
+fi
+
+echo "=== bench smoke (storm_boot, tiny fleet) ==="
+if ! "$repo_root/build/bench/storm_boot" --scale=0.02 --vms=4 --threads=2 \
+    --out="$repo_root/build/storm_smoke.json" >/dev/null; then
+  echo "=== storm smoke: FAILED ==="
+  failures=$((failures + 1))
+fi
+
+echo "=== committed bench targets (BENCH_*.json) ==="
+if ! "$repo_root/scripts/check_bench_json.sh" "$repo_root"; then
+  echo "=== bench targets: FAILED ==="
   failures=$((failures + 1))
 fi
 

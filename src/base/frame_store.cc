@@ -1,0 +1,189 @@
+#include "src/base/frame_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace imk {
+namespace {
+
+constexpr uint8_t kStateZero = static_cast<uint8_t>(FrameStore::FrameState::kZero);
+constexpr uint8_t kStateShared = static_cast<uint8_t>(FrameStore::FrameState::kShared);
+constexpr uint8_t kStateDirty = static_cast<uint8_t>(FrameStore::FrameState::kDirty);
+
+}  // namespace
+
+FrameStore::FrameStore(uint64_t size_bytes)
+    : size_(size_bytes),
+      frame_count_((size_bytes + kFrameBytes - 1) / kFrameBytes) {
+  // calloc: the OS lazily backs the arena with zero pages, so an untouched
+  // 256 MiB guest costs address space, not resident memory — and zero-state
+  // frames can point straight at their (still zero) arena slot.
+  arena_ = static_cast<uint8_t*>(std::calloc(frame_count_ ? frame_count_ : 1, kFrameBytes));
+  owns_arena_ = true;
+  read_ptrs_ = std::make_unique<std::atomic<const uint8_t*>[]>(frame_count_);
+  states_ = std::make_unique<std::atomic<uint8_t>[]>(frame_count_);
+  for (uint64_t f = 0; f < frame_count_; ++f) {
+    read_ptrs_[f].store(arena_frame(f), std::memory_order_relaxed);
+    states_[f].store(kStateZero, std::memory_order_relaxed);
+  }
+}
+
+FrameStore::FrameStore(MutableByteSpan external)
+    : size_(external.size()),
+      frame_count_((external.size() + kFrameBytes - 1) / kFrameBytes) {
+  arena_ = external.data();
+  owns_arena_ = false;
+  read_ptrs_ = std::make_unique<std::atomic<const uint8_t*>[]>(frame_count_);
+  states_ = std::make_unique<std::atomic<uint8_t>[]>(frame_count_);
+  for (uint64_t f = 0; f < frame_count_; ++f) {
+    read_ptrs_[f].store(arena_frame(f), std::memory_order_relaxed);
+    states_[f].store(kStateDirty, std::memory_order_relaxed);
+  }
+  dirty_frames_.store(frame_count_, std::memory_order_relaxed);
+}
+
+FrameStore::~FrameStore() {
+  if (owns_arena_) {
+    std::free(arena_);
+  }
+}
+
+void FrameStore::FaultFrame(uint64_t frame) {
+  std::lock_guard<std::mutex> lock(fault_shards_[frame % kFaultShards]);
+  const uint8_t state = states_[frame].load(std::memory_order_acquire);
+  if (state == kStateDirty) {
+    return;  // another thread materialized it while we waited
+  }
+  uint8_t* slot = arena_frame(frame);
+  if (state == kStateShared) {
+    std::memcpy(slot, read_ptrs_[frame].load(std::memory_order_relaxed), kFrameBytes);
+    shared_frames_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Zero state: the arena slot has never been written, so it is already the
+  // frame's content.
+  read_ptrs_[frame].store(slot, std::memory_order_release);
+  dirty_frames_.fetch_add(1, std::memory_order_relaxed);
+  states_[frame].store(kStateDirty, std::memory_order_release);
+}
+
+Status FrameStore::MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const void> owner) {
+  if (!owns_arena_) {
+    return FailedPreconditionError("MapShared on an externally backed FrameStore");
+  }
+  if (phys % kFrameBytes != 0) {
+    return InvalidArgumentError("MapShared phys must be frame-aligned");
+  }
+  IMK_RETURN_IF_ERROR(CheckRange(phys, src.size()));
+  const uint64_t whole = src.size() / kFrameBytes;
+  const uint64_t first = phys >> kFrameShift;
+  for (uint64_t i = 0; i < whole; ++i) {
+    const uint64_t f = first + i;
+    std::lock_guard<std::mutex> lock(fault_shards_[f % kFaultShards]);
+    const uint8_t state = states_[f].load(std::memory_order_acquire);
+    if (state == kStateDirty) {
+      dirty_frames_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (state != kStateShared) {
+      shared_frames_.fetch_add(1, std::memory_order_relaxed);
+    }
+    read_ptrs_[f].store(src.data() + i * kFrameBytes, std::memory_order_release);
+    states_[f].store(kStateShared, std::memory_order_release);
+  }
+  // Sub-frame tail: too small to alias a whole frame, copy it.
+  const uint64_t tail = src.size() - whole * kFrameBytes;
+  if (tail != 0) {
+    IMK_RETURN_IF_ERROR(Write(phys + whole * kFrameBytes, src.subspan(whole * kFrameBytes)));
+  }
+  if (owner != nullptr) {
+    std::lock_guard<std::mutex> lock(owners_mutex_);
+    owners_.push_back(std::move(owner));
+  }
+  return OkStatus();
+}
+
+Result<uint8_t*> FrameStore::WritablePtr(uint64_t phys, uint64_t len) {
+  IMK_RETURN_IF_ERROR(CheckRange(phys, len));
+  if (len != 0) {
+    const uint64_t last = (phys + len - 1) >> kFrameShift;
+    for (uint64_t f = phys >> kFrameShift; f <= last; ++f) {
+      if (!FrameDirty(f)) {
+        FaultFrame(f);
+      }
+    }
+  }
+  return arena_ + phys;
+}
+
+Result<const uint8_t*> FrameStore::ReadPtr(uint64_t phys, uint64_t len, uint8_t* scratch) const {
+  IMK_RETURN_IF_ERROR(CheckRange(phys, len));
+  if (len == 0) {
+    return arena_ + phys;
+  }
+  const uint64_t first = phys >> kFrameShift;
+  const uint64_t last = (phys + len - 1) >> kFrameShift;
+  if (first == last) {
+    return read_ptrs_[first].load(std::memory_order_acquire) + (phys & (kFrameBytes - 1));
+  }
+  bool contiguous = true;
+  for (uint64_t f = first; f <= last; ++f) {
+    if (!FrameDirty(f)) {
+      contiguous = false;
+      break;
+    }
+  }
+  if (contiguous) {
+    return arena_ + phys;
+  }
+  IMK_RETURN_IF_ERROR(Read(phys, scratch, len));
+  return scratch;
+}
+
+Status FrameStore::Read(uint64_t phys, uint8_t* dst, uint64_t len) const {
+  IMK_RETURN_IF_ERROR(CheckRange(phys, len));
+  uint64_t cursor = phys;
+  uint64_t remaining = len;
+  while (remaining != 0) {
+    const uint64_t f = cursor >> kFrameShift;
+    const uint64_t offset = cursor & (kFrameBytes - 1);
+    const uint64_t chunk = std::min(remaining, kFrameBytes - offset);
+    std::memcpy(dst, read_ptrs_[f].load(std::memory_order_acquire) + offset, chunk);
+    dst += chunk;
+    cursor += chunk;
+    remaining -= chunk;
+  }
+  return OkStatus();
+}
+
+Status FrameStore::Write(uint64_t phys, ByteSpan data) {
+  IMK_ASSIGN_OR_RETURN(uint8_t* dst, WritablePtr(phys, data.size()));
+  if (!data.empty()) {
+    std::memcpy(dst, data.data(), data.size());
+  }
+  return OkStatus();
+}
+
+Status FrameStore::Zero(uint64_t phys, uint64_t len) {
+  IMK_RETURN_IF_ERROR(CheckRange(phys, len));
+  uint64_t cursor = phys;
+  uint64_t remaining = len;
+  while (remaining != 0) {
+    const uint64_t f = cursor >> kFrameShift;
+    const uint64_t offset = cursor & (kFrameBytes - 1);
+    const uint64_t chunk = std::min(remaining, kFrameBytes - offset);
+    // A frame still in the zero state already reads as zeros; touching it
+    // would materialize it for nothing (this keeps carving device queues out
+    // of untouched RAM free).
+    if (StateOf(f) != FrameState::kZero) {
+      if (!FrameDirty(f)) {
+        FaultFrame(f);
+      }
+      std::memset(arena_ + cursor, 0, chunk);
+    }
+    cursor += chunk;
+    remaining -= chunk;
+  }
+  return OkStatus();
+}
+
+}  // namespace imk

@@ -1,0 +1,137 @@
+// FrameStore: paged guest physical memory with copy-on-write frames.
+//
+// RAM is a table of 4 KiB frames, each in one of three states:
+//   - zero:   untouched RAM; reads see zeros, nothing is materialized.
+//   - shared: the frame aliases immutable bytes owned by someone else
+//             (an ImageTemplate's pristine image) — the monitor-CoW
+//             mapping the paper's §6 density argument relies on.
+//   - dirty:  the frame was written; its bytes live in this store's
+//             private arena.
+//
+// The private arena is one contiguous lazily-backed allocation (calloc, so
+// untouched frames cost address space, not resident memory). Because every
+// materialized frame lands at arena + frame * kFrameBytes, any fully
+// materialized range is host-contiguous: WritablePtr can hand out flat
+// pointers spanning many frames, which is what lets the relocator and
+// FGKASLR mover run unmodified over paged memory.
+//
+// Thread safety: concurrent WritablePtr/Read/Write calls on disjoint byte
+// ranges are safe even when they share frames (the loader's ThreadPool
+// shards do exactly that). Faulting is guarded by sharded mutexes; frame
+// state and read pointers are released/acquired so a reader never observes
+// a frame pointer before the bytes behind it are in place.
+#ifndef IMKASLR_SRC_BASE_FRAME_STORE_H_
+#define IMKASLR_SRC_BASE_FRAME_STORE_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace imk {
+
+class FrameStore {
+ public:
+  static constexpr uint64_t kFrameBytes = 4096;
+
+  // Owning store: `size_bytes` of RAM, all frames zero.
+  explicit FrameStore(uint64_t size_bytes);
+  // Flat adapter: wraps caller-owned storage, every frame pre-materialized
+  // (no CoW). Used where a plain byte buffer must act as guest memory.
+  explicit FrameStore(MutableByteSpan external);
+  ~FrameStore();
+  FrameStore(const FrameStore&) = delete;
+  FrameStore& operator=(const FrameStore&) = delete;
+
+  uint64_t size() const { return size_; }
+  uint64_t frame_count() const { return frame_count_; }
+
+  // Aliases whole frames of [phys, phys + src.size()) to `src` zero-copy;
+  // the sub-frame tail (if any) is copied into the arena. `phys` must be
+  // frame-aligned; `src` must stay immutable and outlive the mapping
+  // (`owner` pins it). Previously dirty frames revert to shared.
+  Status MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const void> owner);
+
+  // Write access: materializes every frame covering [phys, phys + len) and
+  // returns the contiguous arena pointer. Thread-safe.
+  Result<uint8_t*> WritablePtr(uint64_t phys, uint64_t len);
+
+  // Read access without materializing. Fast path returns a direct pointer
+  // (single frame, or an already-contiguous dirty run); a range straddling
+  // a shared/zero frame boundary is gathered into `scratch`, which must
+  // hold `len` bytes.
+  Result<const uint8_t*> ReadPtr(uint64_t phys, uint64_t len, uint8_t* scratch) const;
+
+  // Gather-copies [phys, phys + len) into `dst` without materializing.
+  Status Read(uint64_t phys, uint8_t* dst, uint64_t len) const;
+
+  // Copies `data` into the store (materializing covered frames).
+  Status Write(uint64_t phys, ByteSpan data);
+
+  // Zero-fills [phys, phys + len). Frames still in the zero state are left
+  // untouched (no materialization — this is what keeps device-queue carving
+  // free); shared/dirty frames are materialized and cleared.
+  Status Zero(uint64_t phys, uint64_t len);
+
+  // Direct per-frame inspection (for sharing reports).
+  enum class FrameState : uint8_t { kZero = 0, kShared = 1, kDirty = 2 };
+  FrameState StateOf(uint64_t frame) const {
+    return static_cast<FrameState>(states_[frame].load(std::memory_order_acquire));
+  }
+  // For a shared frame: the immutable source bytes it aliases (template
+  // identity for cross-VM sharing analysis). nullptr otherwise.
+  const uint8_t* SharedSource(uint64_t frame) const {
+    return StateOf(frame) == FrameState::kShared
+               ? read_ptrs_[frame].load(std::memory_order_acquire)
+               : nullptr;
+  }
+
+  // Accounting. dirty = privately materialized, shared = template-aliased,
+  // zero = untouched. dirty + shared + zero == frame_count.
+  uint64_t dirty_frames() const { return dirty_frames_.load(std::memory_order_relaxed); }
+  uint64_t shared_frames() const { return shared_frames_.load(std::memory_order_relaxed); }
+  uint64_t zero_frames() const { return frame_count_ - dirty_frames() - shared_frames(); }
+  uint64_t dirty_bytes() const { return dirty_frames() * kFrameBytes; }
+
+ private:
+  static constexpr uint64_t kFrameShift = 12;
+  static constexpr size_t kFaultShards = 64;
+
+  Status CheckRange(uint64_t phys, uint64_t len) const {
+    if (phys > size_ || len > size_ - phys) {
+      return OutOfRangeError("guest physical range out of bounds");
+    }
+    return OkStatus();
+  }
+  uint8_t* arena_frame(uint64_t frame) { return arena_ + (frame << kFrameShift); }
+  const uint8_t* arena_frame(uint64_t frame) const { return arena_ + (frame << kFrameShift); }
+  bool FrameDirty(uint64_t frame) const {
+    return states_[frame].load(std::memory_order_acquire) ==
+           static_cast<uint8_t>(FrameState::kDirty);
+  }
+  // Slow path: copy-on-write fault for one frame.
+  void FaultFrame(uint64_t frame);
+
+  uint64_t size_ = 0;
+  uint64_t frame_count_ = 0;
+  uint8_t* arena_ = nullptr;           // full-size backing (owned unless external)
+  bool owns_arena_ = false;
+  // Per-frame state and read pointer. The read pointer is always valid for
+  // reading kFrameBytes (zero frames point at their — still zero — arena
+  // slot, shared frames at the owner's bytes, dirty frames at the arena).
+  std::unique_ptr<std::atomic<const uint8_t*>[]> read_ptrs_;
+  std::unique_ptr<std::atomic<uint8_t>[]> states_;
+  std::atomic<uint64_t> dirty_frames_{0};
+  std::atomic<uint64_t> shared_frames_{0};
+  std::array<std::mutex, kFaultShards> fault_shards_;
+  std::mutex owners_mutex_;
+  std::vector<std::shared_ptr<const void>> owners_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_FRAME_STORE_H_

@@ -9,7 +9,10 @@ int64_t SignExtend32(uint32_t v) { return static_cast<int64_t>(static_cast<int32
 
 }  // namespace
 
-Interpreter::Interpreter(MutableByteSpan phys, LinearMap map) : phys_(phys), map_(map) {}
+Interpreter::Interpreter(MutableByteSpan phys, LinearMap map)
+    : flat_(std::make_unique<FrameStore>(phys)), store_(flat_.get()), map_(map) {}
+
+Interpreter::Interpreter(FrameStore& phys, LinearMap map) : store_(&phys), map_(map) {}
 
 Result<uint64_t> Interpreter::Translate(uint64_t vaddr, uint64_t size_bytes) const {
   const LinearMap* map = nullptr;
@@ -22,7 +25,7 @@ Result<uint64_t> Interpreter::Translate(uint64_t vaddr, uint64_t size_bytes) con
     return GuestFaultError("unmapped guest virtual address " + HexString(vaddr));
   }
   const uint64_t phys = map->ToPhys(vaddr);
-  if (phys + size_bytes > phys_.size()) {
+  if (phys + size_bytes > store_->size()) {
     return GuestFaultError("guest physical address out of RAM: " + HexString(phys));
   }
   return phys;
@@ -42,9 +45,10 @@ Status Interpreter::HandleProbeFault(uint64_t insn_vaddr, uint64_t* pc) {
     const uint64_t mid = lo + (hi - lo) / 2;
     IMK_ASSIGN_OR_RETURN(uint64_t entry_phys,
                          Translate(ex_table_vaddr_ + mid * kExTableEntrySize, kExTableEntrySize));
-    const uint64_t fault_offset = LoadLe64(phys_.data() + entry_phys);
+    IMK_ASSIGN_OR_RETURN(uint64_t fault_offset, Load64(entry_phys));
     if (fault_offset == insn_offset) {
-      *pc = ex_table_text_base_ + LoadLe64(phys_.data() + entry_phys + 8);
+      IMK_ASSIGN_OR_RETURN(uint64_t fixup, Load64(entry_phys + 8));
+      *pc = ex_table_text_base_ + fixup;
       return OkStatus();
     }
     if (fault_offset < insn_offset) {
@@ -65,15 +69,17 @@ Result<RunResult> Interpreter::Run(uint64_t entry_vaddr, uint64_t stack_top_vadd
 
   while (stats.instructions < max_instructions) {
     // Fetch: longest instruction is 10 bytes; translate conservatively for
-    // the opcode byte first, then the full length.
+    // the opcode byte first, then the full length. Fetches never materialize
+    // frames: code executing straight out of shared template pages is the
+    // point of the CoW mapping.
     IMK_ASSIGN_OR_RETURN(uint64_t opcode_phys, Translate(pc, 1));
-    const uint8_t opcode = phys_[opcode_phys];
+    IMK_ASSIGN_OR_RETURN(uint8_t opcode, Load8(opcode_phys));
     const uint32_t length = InstructionLength(opcode);
     if (length == 0) {
       return GuestFaultError("invalid opcode at pc=" + HexString(pc));
     }
     IMK_ASSIGN_OR_RETURN(uint64_t insn_phys, Translate(pc, length));
-    const uint8_t* insn = phys_.data() + insn_phys;
+    IMK_ASSIGN_OR_RETURN(const uint8_t* insn, store_->ReadPtr(insn_phys, length, insn_buf_));
 
     if (icache_ != nullptr) {
       stats.cycles += 1;
@@ -145,28 +151,28 @@ Result<RunResult> Interpreter::Run(uint64_t entry_vaddr, uint64_t stack_top_vadd
         const uint64_t addr =
             regs_[insn[2] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
         IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(addr, 8));
-        regs_[insn[1] & 0xf] = LoadLe64(phys_.data() + phys);
+        IMK_ASSIGN_OR_RETURN(regs_[insn[1] & 0xf], Load64(phys));
         break;
       }
       case Opcode::kSt64: {
         const uint64_t addr =
             regs_[insn[1] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
         IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(addr, 8));
-        StoreLe64(phys_.data() + phys, regs_[insn[2] & 0xf]);
+        IMK_RETURN_IF_ERROR(Store64(phys, regs_[insn[2] & 0xf]));
         break;
       }
       case Opcode::kLd8: {
         const uint64_t addr =
             regs_[insn[2] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
         IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(addr, 1));
-        regs_[insn[1] & 0xf] = phys_[phys];
+        IMK_ASSIGN_OR_RETURN(regs_[insn[1] & 0xf], Load8(phys));
         break;
       }
       case Opcode::kSt8: {
         const uint64_t addr =
             regs_[insn[1] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
         IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(addr, 1));
-        phys_[phys] = static_cast<uint8_t>(regs_[insn[2] & 0xf]);
+        IMK_RETURN_IF_ERROR(Store8(phys, static_cast<uint8_t>(regs_[insn[2] & 0xf])));
         break;
       }
       case Opcode::kProbe: {
@@ -174,7 +180,7 @@ Result<RunResult> Interpreter::Run(uint64_t entry_vaddr, uint64_t stack_top_vadd
             regs_[insn[2] & 0xf] + static_cast<uint64_t>(SignExtend32(LoadLe32(insn + 3)));
         auto phys = Translate(addr, 8);
         if (phys.ok()) {
-          regs_[insn[1] & 0xf] = LoadLe64(phys_.data() + *phys);
+          IMK_ASSIGN_OR_RETURN(regs_[insn[1] & 0xf], Load64(*phys));
         } else {
           // Faulting probe: search the exception table for a fixup target.
           regs_[insn[1] & 0xf] = 0;
@@ -204,7 +210,7 @@ Result<RunResult> Interpreter::Run(uint64_t entry_vaddr, uint64_t stack_top_vadd
         const uint64_t target = LoadLe64(insn + 1);
         regs_[kRegSp] -= 8;
         IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
-        StoreLe64(phys_.data() + phys, next_pc);
+        IMK_RETURN_IF_ERROR(Store64(phys, next_pc));
         next_pc = target;
         break;
       }
@@ -212,25 +218,25 @@ Result<RunResult> Interpreter::Run(uint64_t entry_vaddr, uint64_t stack_top_vadd
         const uint64_t target = regs_[insn[1] & 0xf];
         regs_[kRegSp] -= 8;
         IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
-        StoreLe64(phys_.data() + phys, next_pc);
+        IMK_RETURN_IF_ERROR(Store64(phys, next_pc));
         next_pc = target;
         break;
       }
       case Opcode::kRet: {
         IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
-        next_pc = LoadLe64(phys_.data() + phys);
+        IMK_ASSIGN_OR_RETURN(next_pc, Load64(phys));
         regs_[kRegSp] += 8;
         break;
       }
       case Opcode::kPush: {
         regs_[kRegSp] -= 8;
         IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
-        StoreLe64(phys_.data() + phys, regs_[insn[1] & 0xf]);
+        IMK_RETURN_IF_ERROR(Store64(phys, regs_[insn[1] & 0xf]));
         break;
       }
       case Opcode::kPop: {
         IMK_ASSIGN_OR_RETURN(uint64_t phys, Translate(regs_[kRegSp], 8));
-        regs_[insn[1] & 0xf] = LoadLe64(phys_.data() + phys);
+        IMK_ASSIGN_OR_RETURN(regs_[insn[1] & 0xf], Load64(phys));
         regs_[kRegSp] += 8;
         break;
       }

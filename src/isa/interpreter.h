@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "src/base/bytes.h"
+#include "src/base/frame_store.h"
 #include "src/base/result.h"
 #include "src/isa/icache.h"
 #include "src/isa/isa.h"
@@ -56,8 +58,12 @@ class Interpreter {
   using PortHandler = std::function<Result<uint64_t>(uint16_t port, bool is_write, uint64_t value)>;
 
   // `phys` is the guest's physical memory; `map` the virtual window. The
-  // caller keeps `phys` alive while the interpreter runs.
+  // caller keeps `phys` alive while the interpreter runs. The flat-span form
+  // wraps the buffer in a fully materialized FrameStore; the FrameStore form
+  // executes straight over paged copy-on-write memory, so guest stores fault
+  // frames in and guest loads never materialize anything.
   Interpreter(MutableByteSpan phys, LinearMap map);
+  Interpreter(FrameStore& phys, LinearMap map);
 
   void set_port_handler(PortHandler handler) { port_handler_ = std::move(handler); }
   // Optional i-cache model fed with every instruction fetch (slows execution;
@@ -89,7 +95,31 @@ class Interpreter {
   Result<uint64_t> Translate(uint64_t vaddr, uint64_t size_bytes) const;
   Status HandleProbeFault(uint64_t insn_vaddr, uint64_t* pc);
 
-  MutableByteSpan phys_;
+  // Frame-aware physical accessors (single-frame accesses resolve to one
+  // pointer lookup; frame-straddling loads gather, stores materialize).
+  Result<uint64_t> Load64(uint64_t phys) const {
+    uint8_t buf[8];
+    IMK_ASSIGN_OR_RETURN(const uint8_t* p, store_->ReadPtr(phys, 8, buf));
+    return LoadLe64(p);
+  }
+  Result<uint8_t> Load8(uint64_t phys) const {
+    uint8_t buf[1];
+    IMK_ASSIGN_OR_RETURN(const uint8_t* p, store_->ReadPtr(phys, 1, buf));
+    return *p;
+  }
+  Status Store64(uint64_t phys, uint64_t value) {
+    IMK_ASSIGN_OR_RETURN(uint8_t* p, store_->WritablePtr(phys, 8));
+    StoreLe64(p, value);
+    return OkStatus();
+  }
+  Status Store8(uint64_t phys, uint8_t value) {
+    IMK_ASSIGN_OR_RETURN(uint8_t* p, store_->WritablePtr(phys, 1));
+    *p = value;
+    return OkStatus();
+  }
+
+  std::unique_ptr<FrameStore> flat_;  // owns the store in flat-span mode
+  FrameStore* store_ = nullptr;
   LinearMap map_;
   LinearMap secondary_map_{};  // size 0 = unused
   PortHandler port_handler_;
@@ -98,6 +128,7 @@ class Interpreter {
   uint64_t ex_table_count_ = 0;
   uint64_t ex_table_text_base_ = 0;
   uint64_t regs_[kNumRegisters] = {};
+  uint8_t insn_buf_[16] = {};  // gather target for frame-straddling fetches
 };
 
 }  // namespace imk

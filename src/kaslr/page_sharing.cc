@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace imk {
 namespace {
@@ -51,6 +52,51 @@ PageSharingReport ComparePages(ByteSpan a, ByteSpan b, uint32_t page_size) {
         ++report.sharable_pages;
         break;
       }
+    }
+  }
+  return report;
+}
+
+MonitorCowReport CompareMonitorCow(const FrameStore& a, uint64_t phys_a, const FrameStore& b,
+                                   uint64_t phys_b, uint64_t len) {
+  constexpr uint64_t kFrame = FrameStore::kFrameBytes;
+  MonitorCowReport report;
+  const uint64_t frames = len / kFrame;
+  report.frames_a = frames;
+  report.frames_b = frames;
+
+  // Alias identity = the template pointer a shared frame reads from.
+  std::unordered_set<const uint8_t*> sources_a;
+  sources_a.reserve(frames);
+  for (uint64_t f = 0; f < frames; ++f) {
+    const uint64_t frame_a = phys_a / kFrame + f;
+    switch (a.StateOf(frame_a)) {
+      case FrameStore::FrameState::kShared:
+        ++report.aliased_a;
+        sources_a.insert(a.SharedSource(frame_a));
+        break;
+      case FrameStore::FrameState::kDirty:
+        ++report.dirty_a;
+        break;
+      case FrameStore::FrameState::kZero:
+        break;
+    }
+  }
+  for (uint64_t f = 0; f < frames; ++f) {
+    const uint64_t frame_b = phys_b / kFrame + f;
+    switch (b.StateOf(frame_b)) {
+      case FrameStore::FrameState::kShared: {
+        ++report.aliased_b;
+        if (sources_a.count(b.SharedSource(frame_b)) != 0) {
+          ++report.shared_frames;
+        }
+        break;
+      }
+      case FrameStore::FrameState::kDirty:
+        ++report.dirty_b;
+        break;
+      case FrameStore::FrameState::kZero:
+        break;
     }
   }
   return report;

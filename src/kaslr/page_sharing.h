@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "src/base/bytes.h"
+#include "src/base/frame_store.h"
 
 namespace imk {
 
@@ -34,6 +35,38 @@ struct PageSharingReport {
 // Compares `b`'s pages against `a`'s by content (position-independent, the
 // way content-based merging works). Both sizes are truncated to whole pages.
 PageSharingReport ComparePages(ByteSpan a, ByteSpan b, uint32_t page_size = 4096);
+
+// Host-visible monitor-CoW sharing between two VMs' paged guest memories.
+//
+// Unlike KSM-style content merging — which must scan, hash, and compare page
+// contents after the fact — the monitor *knows* which frames still alias the
+// shared kernel template: it mapped them zero-copy at load and only broke
+// the aliases the randomizer wrote through. A template frame aliased by both
+// VMs is physically one host frame. Alias identity is position-independent
+// (the template pointer, not the guest-physical slot), so two VMs share
+// template frames even when KASLR loaded their images at different physical
+// bases.
+struct MonitorCowReport {
+  uint64_t frames_a = 0;   // frames spanned by region a
+  uint64_t frames_b = 0;
+  uint64_t aliased_a = 0;  // a's frames still aliased to a template
+  uint64_t aliased_b = 0;
+  uint64_t dirty_a = 0;    // a's privately materialized frames
+  uint64_t dirty_b = 0;
+  uint64_t shared_frames = 0;  // template frames aliased by BOTH VMs
+
+  // Fraction of b's spanned frames that are one host frame with a.
+  double SharedFraction() const {
+    return frames_b == 0 ? 0.0
+                         : static_cast<double>(shared_frames) / static_cast<double>(frames_b);
+  }
+};
+
+// Compares the frame tables of [phys_a, phys_a + len) in `a` against
+// [phys_b, phys_b + len) in `b`. Both ranges must be frame-aligned and in
+// bounds; len is truncated to whole frames.
+MonitorCowReport CompareMonitorCow(const FrameStore& a, uint64_t phys_a, const FrameStore& b,
+                                   uint64_t phys_b, uint64_t len);
 
 }  // namespace imk
 

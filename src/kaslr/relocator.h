@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/base/frame_store.h"
 #include "src/base/result.h"
 #include "src/base/threadpool.h"
 #include "src/kaslr/shuffle_map.h"
@@ -26,33 +27,50 @@
 namespace imk {
 
 // A writable window onto a loaded kernel image: link-time virtual addresses
-// in [base_vaddr, base_vaddr + buffer.size()) resolve into `buffer` (which
-// typically aliases guest physical memory at the chosen load address).
+// in [base_vaddr, base_vaddr + size) resolve into the backing storage.
+//
+// Two backings:
+//   - a flat buffer (host-side staging, bootstrap loader, tests);
+//   - paged guest memory (FrameStore) at a physical load address. Every
+//     randomizer write funnels through At(), so in this mode At() doubles as
+//     the copy-on-write fault point: only frames the randomizer actually
+//     touches — relocated fields, shuffled FGKASLR sections, fixup tables —
+//     are materialized per-VM, everything else stays aliased to the shared
+//     kernel template.
 class LoadedImageView {
  public:
   LoadedImageView(MutableByteSpan buffer, uint64_t base_vaddr)
-      : buffer_(buffer), base_vaddr_(base_vaddr) {}
+      : buffer_(buffer), size_(buffer.size()), base_vaddr_(base_vaddr) {}
 
-  // Host pointer for `len` bytes at link vaddr `vaddr`; kOutOfRange if the
-  // range leaves the window.
+  LoadedImageView(FrameStore& frames, uint64_t phys_base, uint64_t size, uint64_t base_vaddr)
+      : frames_(&frames), phys_base_(phys_base), size_(size), base_vaddr_(base_vaddr) {}
+
+  // Writable host pointer for `len` bytes at link vaddr `vaddr`; kOutOfRange
+  // if the range leaves the window. Paged backing materializes the covered
+  // frames (contiguously — see FrameStore::WritablePtr).
   Result<uint8_t*> At(uint64_t vaddr, uint64_t len) {
     if (vaddr < base_vaddr_) {
       return OutOfRangeError("relocation field below loaded image base: vaddr " +
                              HexString(vaddr) + " < base " + HexString(base_vaddr_));
     }
     const uint64_t offset = vaddr - base_vaddr_;
-    if (offset >= buffer_.size() || len > buffer_.size() - offset) {
+    if (offset >= size_ || len > size_ - offset) {
       return OutOfRangeError("relocation field outside loaded image: vaddr " + HexString(vaddr));
+    }
+    if (frames_ != nullptr) {
+      return frames_->WritablePtr(phys_base_ + offset, len);
     }
     return buffer_.data() + offset;
   }
 
   uint64_t base_vaddr() const { return base_vaddr_; }
-  uint64_t size() const { return buffer_.size(); }
-  MutableByteSpan buffer() { return buffer_; }
+  uint64_t size() const { return size_; }
 
  private:
-  MutableByteSpan buffer_;
+  MutableByteSpan buffer_;            // flat backing (unused when paged)
+  FrameStore* frames_ = nullptr;      // paged backing
+  uint64_t phys_base_ = 0;
+  uint64_t size_ = 0;
   uint64_t base_vaddr_;
 };
 

@@ -75,6 +75,7 @@ struct Addresses {
   uint64_t fn_table = kLinkTextVaddr;
   uint64_t handler_table = kLinkTextVaddr;
   uint64_t descriptor = kLinkTextVaddr;
+  uint64_t initcall_table = kLinkTextVaddr;
   uint64_t orc_lookup = kLinkTextVaddr;
   uint32_t kallsyms_count = 0;
   uint32_t orc_count = 0;
@@ -86,16 +87,19 @@ struct Addresses {
 // alphabet: real kernel text is dominated by recurring instruction patterns
 // and compresses ~4-5x, and the compression experiments (Figures 3, 4, 6)
 // depend on that ratio.
-void EmitFiller(Assembler& assembler, uint32_t bytes, Rng& rng) {
+void EmitFiller(Assembler& assembler, uint32_t bytes, Rng& rng, uint64_t salt) {
   // Repeated multi-instruction motifs: compiled code is full of recurring
   // idioms (prologues, spills, guard checks), which is what makes kernel
-  // text compress ~5x and decompress at near-memcpy speed.
+  // text compress well and decompress at near-memcpy speed. The high word
+  // carries a per-function salt — like symbol-dependent constants in real
+  // code — so byte windows are unique across functions (gadget-content
+  // matching stays unambiguous) while motifs still repeat within one.
   while (bytes >= 10) {
     const uint32_t motif_len = 1 + static_cast<uint32_t>(rng.NextBelow(4));
     const uint32_t reps = 2 + static_cast<uint32_t>(rng.NextBelow(8));
     uint64_t values[4];
     for (uint32_t i = 0; i < motif_len; ++i) {
-      values[i] = 0x1000 + rng.NextBelow(48) * 8;
+      values[i] = (salt << 32) | (0x1000 + rng.NextBelow(48) * 8);
     }
     for (uint32_t r = 0; r < reps && bytes >= 10; ++r) {
       for (uint32_t i = 0; i < motif_len && bytes >= 10; ++i) {
@@ -178,7 +182,13 @@ void Builder::EmitChainBody(uint32_t i, const Addresses& addrs, Assembler& assem
   // Target encoded size for this function (mean ~600 bytes).
   const uint32_t target = 96 + static_cast<uint32_t>(rng.NextBelow(1008));
 
-  if (rng.NextBelow(2) == 0) {
+  // Absolute address references are *sparse* in kernel text: x86_64 code is
+  // overwhelmingly RIP-relative, with abs relocations showing up only at
+  // symbol-address materializations (per-CPU bases, section bounds, literal
+  // pools). Deterministic strides — not rng draws — keep pass-1/pass-2 sizes
+  // identical and guarantee every reloc class appears even in tiny test
+  // kernels (i == 1, 2, 3 are always present when the chain has >= 4 links).
+  if ((i % 16) == 1) {
     // rodata reference: adds a build-known constant (abs64 reloc).
     const uint32_t k = static_cast<uint32_t>(rng.NextBelow(plan_.total));
     assembler.LoadA64(3, addrs.rodata_values + 8ull * k);
@@ -188,7 +198,7 @@ void Builder::EmitChainBody(uint32_t i, const Addresses& addrs, Assembler& assem
       checksum_ += RodataValue(k);
     }
   }
-  if (rng.NextBelow(4) == 0) {
+  if ((i % 32) == 2) {
     // abs32/abs64 consistency check: contributes 0 iff both reloc classes
     // moved the same symbol by the same offset.
     const uint32_t j = static_cast<uint32_t>(rng.NextBelow(plan_.total));
@@ -197,7 +207,7 @@ void Builder::EmitChainBody(uint32_t i, const Addresses& addrs, Assembler& assem
     assembler.Sub(4, 5);
     assembler.Add(0, 4);
   }
-  if (rng.NextBelow(8) == 0) {
+  if ((i % 64) == 3) {
     // inverse-32 check: value C - vaddr; contributes 0 iff the inverse
     // relocation subtracted exactly the virtual offset. Inverse references
     // target fixed (never-shuffled) text only — the same restriction Linux
@@ -236,15 +246,30 @@ void Builder::EmitChainBody(uint32_t i, const Addresses& addrs, Assembler& assem
     }
   }
 
-  // Trailer: optional call to the next chain function, then Ret.
+  // Trailer: optional call to the next chain function, then Ret. Plain
+  // builds call PC-relative (RdPc + AddI delta + CallR — the E8 rel32
+  // analogue: caller and callee slide together, so no relocation), which is
+  // why real kernel *text* pages are mostly reloc-free under plain KASLR.
+  // FGKASLR builds must use an absolute call: the callee is a separate
+  // function-section that can move independently, and only absolute fields
+  // go through the shuffle-aware relocation pass — one source of the ~3x
+  // relocation-info blowup Table 1 reports for fgkaslr kernels.
   const bool has_next = (i + 1) < plan_.num_chain;
-  const uint32_t trailer = (has_next ? 9u : 0u) + 1u;
+  const bool abs_call = config_.rando == RandoMode::kFgKaslr;
+  const uint32_t trailer = (has_next ? (abs_call ? 9u : 10u) : 0u) + 1u;
   const uint32_t body = static_cast<uint32_t>(assembler.size());
   if (body + trailer < target) {
-    EmitFiller(assembler, target - body - trailer, rng);
+    EmitFiller(assembler, target - body - trailer, rng, i + 1);
   }
   if (has_next) {
-    assembler.Call(addrs.fn[i + 1]);
+    if (abs_call) {
+      assembler.Call(addrs.fn[i + 1]);
+    } else {
+      const uint64_t rdpc_vaddr = assembler.current_vaddr();
+      assembler.RdPc(10);
+      assembler.AddI(10, static_cast<int32_t>(addrs.fn[i + 1] - rdpc_vaddr));
+      assembler.CallR(10);
+    }
   }
   assembler.Ret();
 }
@@ -260,7 +285,7 @@ void Builder::EmitLeafBody(uint32_t i, const Addresses& addrs, Assembler& assemb
   const uint32_t target = 64 + static_cast<uint32_t>(rng.NextBelow(256));
   const uint32_t body = static_cast<uint32_t>(assembler.size());
   if (body + 1 < target) {
-    EmitFiller(assembler, target - body - 1, rng);
+    EmitFiller(assembler, target - body - 1, rng, i + 1);
   }
   assembler.Ret();
 }
@@ -300,7 +325,7 @@ void Builder::EmitHandlerBody(uint32_t i, const Addresses& addrs, Assembler& ass
   const uint32_t target = 128 + static_cast<uint32_t>(rng.NextBelow(128));
   const uint32_t body = static_cast<uint32_t>(assembler.size());
   if (body + 1 < target) {
-    EmitFiller(assembler, target - body - 1, rng);
+    EmitFiller(assembler, target - body - 1, rng, i + 1);
   }
   assembler.Ret();
 }
@@ -575,7 +600,14 @@ Result<KernelBuildInfo> Builder::Build() {
   addrs.handler_table = addrs.fn_table + fn_table_size;
   const uint64_t handler_table_size = 8ull * plan_.num_handlers;
   addrs.descriptor = addrs.handler_table + handler_table_size;
-  const uint64_t data_payload_end = addrs.descriptor + kTablesDescriptorSize;
+  // Initcall-style function-pointer array: one abs64 entry per chain
+  // function. Models where real kernels concentrate their absolute
+  // relocations — initcall levels, ops structs, jump tables live in .data,
+  // not text — so KASLR's private (unmergeable, monitor-CoW-dirty) pages
+  // cluster in the data section the same way Linux's do.
+  addrs.initcall_table = addrs.descriptor + kTablesDescriptorSize;
+  const uint64_t initcall_table_size = 8ull * plan_.num_chain;
+  const uint64_t data_payload_end = addrs.initcall_table + initcall_table_size;
   const uint64_t data_end = std::max<uint64_t>(data_payload_end, data_start + config_.data_bytes);
 
   const uint64_t bss_start = AlignUp(data_end, 4096);
@@ -677,6 +709,10 @@ Result<KernelBuildInfo> Builder::Build() {
     }
     data.WriteU64(addrs.orc);
     data.WriteU64(addrs.orc_count);
+  }
+  for (uint32_t c = 0; c < plan_.num_chain; ++c) {  // initcall-style pointers
+    relocs.abs64.push_back(addrs.initcall_table + 8ull * c);
+    data.WriteU64(addrs.fn[c]);
   }
   Bytes data_blob = data.Take();
   data_blob.resize(data_end - data_start, 0);

@@ -1,0 +1,250 @@
+#include "src/vmm/boot_storm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/base/align.h"
+#include "src/base/stopwatch.h"
+#include "src/vmm/loader.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace {
+
+struct BootSample {
+  uint64_t latency_ns = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t image_dirty_frames = 0;
+  uint64_t image_shared_frames = 0;
+};
+
+// Frame-state census of the kernel-image window after boot: how much of the
+// image this VM privately materialized vs still aliases to the template.
+void CensusImageFrames(const FrameStore& frames, uint64_t phys_base, uint64_t image_frames,
+                       BootSample* sample) {
+  constexpr uint64_t kFrame = FrameStore::kFrameBytes;
+  const uint64_t first = AlignDown(phys_base, kFrame) / kFrame;
+  for (uint64_t f = 0; f < image_frames; ++f) {
+    switch (frames.StateOf(first + f)) {
+      case FrameStore::FrameState::kDirty:
+        ++sample->image_dirty_frames;
+        break;
+      case FrameStore::FrameState::kShared:
+        ++sample->image_shared_frames;
+        break;
+      case FrameStore::FrameState::kZero:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
+                                const StormOptions& options) {
+  if (options.vms == 0 || options.threads == 0) {
+    return InvalidArgumentError("storm needs at least one VM and one thread");
+  }
+  if (options.rando != RandoMode::kNone && relocs_blob.empty()) {
+    return FailedPreconditionError("randomized storm needs relocation info (Figure 8)");
+  }
+  const uint32_t threads = std::min(options.threads, options.vms);
+
+  ImageTemplateCache local_cache;
+  ImageTemplateCache& cache = options.cache != nullptr ? *options.cache : local_cache;
+  const uint64_t hits_before = cache.hits();
+  const uint64_t misses_before = cache.misses();
+
+  // The page-cache model mutates per-read state, so each worker owns a
+  // Storage; the bytes are identical, and the template cache recognizes them
+  // by content hash regardless of which copy a lookup reads from.
+  std::vector<std::unique_ptr<Storage>> storages;
+  storages.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    auto storage = std::make_unique<Storage>();
+    storage->Put("vmlinux", Bytes(vmlinux.begin(), vmlinux.end()));
+    if (!relocs_blob.empty()) {
+      storage->Put("vmlinux.relocs", Bytes(relocs_blob.begin(), relocs_blob.end()));
+    }
+    storages.push_back(std::move(storage));
+  }
+
+  // Launch-only boots bypass Storage and read the caller's span directly
+  // (stable address -> the cache's span memo short-circuits the hash).
+  RelocInfo relocs;
+  if (options.launch_only && !relocs_blob.empty()) {
+    IMK_ASSIGN_OR_RETURN(relocs, ParseRelocs(relocs_blob));
+  }
+
+  const auto make_config = [&](uint64_t seed) {
+    MicroVmConfig config;
+    config.mem_size_bytes = options.mem_size_bytes;
+    config.kernel_image = "vmlinux";
+    if (!relocs_blob.empty()) {
+      config.relocs_image = "vmlinux.relocs";
+    }
+    config.rando = options.rando;
+    config.seed = seed;
+    config.load_threads = options.load_threads;
+    config.use_template_cache = options.use_template_cache;
+    config.template_cache = &cache;
+    return config;
+  };
+
+  std::mutex error_mutex;
+  Status first_error = OkStatus();
+  const auto record_error = [&](Status status) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error.ok()) {
+      first_error = std::move(status);
+    }
+  };
+
+  StormStats stats;
+  stats.vms = options.vms;
+  stats.threads = threads;
+  std::vector<BootSample> samples(options.vms);
+  if (options.keep_kernel_regions) {
+    stats.kernel_regions.resize(options.vms);
+  }
+  std::atomic<uint64_t> image_frames{0};
+  std::atomic<uint64_t> image_bytes{0};
+
+  // Launch lane: the monitor-side launch pipeline only (what the host pays
+  // per VM), straight through DirectLoadKernel against a fresh CoW memory.
+  const auto launch_one = [&](uint64_t seed, BootSample* sample,
+                              Bytes* kernel_region) -> Status {
+    GuestMemory memory(options.mem_size_bytes);
+    Rng rng(seed);
+    DirectBootParams params;
+    params.requested = options.rando;
+    DirectLoadResources resources;
+    if (options.use_template_cache) {
+      resources.cache = &cache;
+    }
+    const RelocInfo* relocs_ptr = relocs.empty() ? nullptr : &relocs;
+    Stopwatch timer;
+    IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
+                         DirectLoadKernel(memory, vmlinux, relocs_ptr, params, rng, resources));
+    if (sample != nullptr) {
+      sample->latency_ns = timer.ElapsedNs();
+      sample->resident_bytes = memory.dirty_bytes();
+      CensusImageFrames(memory.frames(), loaded.choice.phys_load_addr,
+                        loaded.mem.image_frames, sample);
+      image_frames.store(loaded.mem.image_frames, std::memory_order_relaxed);
+      image_bytes.store(loaded.mem.image_frames * FrameStore::kFrameBytes,
+                        std::memory_order_relaxed);
+    }
+    if (kernel_region != nullptr) {
+      IMK_ASSIGN_OR_RETURN(
+          *kernel_region, memory.CopyRange(loaded.choice.phys_load_addr, loaded.image_mem_size));
+    }
+    return OkStatus();
+  };
+
+  // Full lane: Boot() through the monitor, guest init included, checksum
+  // verified — the correctness and density view of the same storm.
+  const auto boot_one = [&](Storage& storage, uint64_t seed, BootSample* sample,
+                            Bytes* kernel_region) -> Status {
+    if (options.launch_only) {
+      return launch_one(seed, sample, kernel_region);
+    }
+    MicroVm vm(storage, make_config(seed));
+    Stopwatch timer;
+    IMK_ASSIGN_OR_RETURN(BootReport report, vm.Boot());
+    const uint64_t latency_ns = timer.ElapsedNs();
+    if (!report.init_done) {
+      return InternalError("storm boot did not reach init completion");
+    }
+    if (options.expected_checksum != 0 && report.init_checksum != options.expected_checksum) {
+      return InternalError("storm boot checksum mismatch (nondeterministic layout?)");
+    }
+    if (sample != nullptr) {
+      sample->latency_ns = latency_ns;
+      sample->resident_bytes = vm.memory().dirty_bytes();
+      CensusImageFrames(vm.memory().frames(), report.choice.phys_load_addr,
+                        report.mem.image_frames, sample);
+      image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
+      image_bytes.store(report.mem.image_frames * FrameStore::kFrameBytes,
+                        std::memory_order_relaxed);
+    }
+    if (kernel_region != nullptr) {
+      IMK_ASSIGN_OR_RETURN(*kernel_region, vm.KernelRegion());
+    }
+    return OkStatus();
+  };
+
+  // ---- warm-up: prime the template cache and page-cache models ----
+  // The first wave deliberately races every worker into the same cache key,
+  // exercising the single-flight build; nothing from this phase is measured.
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (uint32_t w = 0; w < options.warmup_per_thread; ++w) {
+          const uint64_t seed =
+              options.seed_base + options.vms + static_cast<uint64_t>(t) * options.warmup_per_thread + w;
+          Status status = boot_one(*storages[t], seed, nullptr, nullptr);
+          if (!status.ok()) {
+            record_error(std::move(status));
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    if (!first_error.ok()) {
+      return first_error;
+    }
+  }
+
+  // ---- the storm ----
+  std::atomic<uint32_t> next{0};
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (;;) {
+        const uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= options.vms) {
+          return;
+        }
+        Bytes* region = options.keep_kernel_regions ? &stats.kernel_regions[i] : nullptr;
+        Status status = boot_one(*storages[t], options.seed_base + i, &samples[i], region);
+        if (!status.ok()) {
+          record_error(std::move(status));
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  stats.wall_ns = wall.ElapsedNs();
+  if (!first_error.ok()) {
+    return first_error;
+  }
+
+  for (const BootSample& sample : samples) {
+    stats.boot_ms.Add(static_cast<double>(sample.latency_ns) / 1e6);
+    stats.resident_mb.Add(static_cast<double>(sample.resident_bytes) / (1024.0 * 1024.0));
+    stats.image_dirty_frames.Add(static_cast<double>(sample.image_dirty_frames));
+    stats.image_shared_frames.Add(static_cast<double>(sample.image_shared_frames));
+  }
+  stats.image_frames = image_frames.load(std::memory_order_relaxed);
+  stats.image_bytes = image_bytes.load(std::memory_order_relaxed);
+  stats.cache_hits = cache.hits() - hits_before;
+  stats.cache_misses = cache.misses() - misses_before;
+  return stats;
+}
+
+}  // namespace imk

@@ -1,0 +1,92 @@
+// Boot-storm fleet driver: boots N microVMs across T worker threads against
+// one shared ImageTemplateCache — the serverless cold-start burst of the
+// paper's §7 discussion (a Firecracker host launching hundreds of VMs of the
+// same rootfs per second). Measures warm fleet throughput, per-boot latency,
+// and the per-VM resident (privately materialized) memory that in-monitor
+// randomization costs under each policy.
+//
+// Layouts are deterministic in the per-VM seed (seed_base + vm index), never
+// in thread count or scheduling: VM i's kernel bytes are identical whether
+// the storm ran on 1 thread or 16.
+#ifndef IMKASLR_SRC_VMM_BOOT_STORM_H_
+#define IMKASLR_SRC_VMM_BOOT_STORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/base/stats.h"
+#include "src/kernel/kconfig.h"
+#include "src/vmm/image_template.h"
+
+namespace imk {
+
+struct StormOptions {
+  uint32_t vms = 16;
+  uint32_t threads = 4;
+  RandoMode rando = RandoMode::kNone;
+  uint64_t mem_size_bytes = 256ull << 20;
+  // VM i boots with seed seed_base + i; warm-up boots draw from past the
+  // measured range so they never alias a measured layout.
+  uint64_t seed_base = 1;
+  uint32_t load_threads = 1;  // per-VM pipeline lanes (storm parallelism is across VMs)
+  // Guest init checksum each boot must reproduce (0 = skip verification).
+  uint64_t expected_checksum = 0;
+  // Capture every VM's kernel-image window (determinism tests; costly).
+  bool keep_kernel_regions = false;
+  // Template cache shared by all workers (null = one private to this storm).
+  // Pass the same cache across calls to measure warm-cache behaviour.
+  ImageTemplateCache* cache = nullptr;
+  // Discarded per-thread boots before the measured window (warms the
+  // template cache and the storage page-cache model).
+  uint32_t warmup_per_thread = 1;
+  // Launch-only lane: run just the monitor-side launch work (template
+  // lookup, offset choice, zero-copy map, shuffle, relocate) and skip guest
+  // execution. This is the host's cost to bring a VM to its first guest
+  // instruction — the number a fleet manager provisions against; guest init
+  // afterwards burns the VM's own vCPU time, which the interpreter would
+  // otherwise simulate on the host and drown the monitor numbers in.
+  bool launch_only = false;
+  // false = rebuild the template every boot (the un-amortized per-boot
+  // parse+render pipeline, i.e. the serial fleet baseline).
+  bool use_template_cache = true;
+};
+
+struct StormStats {
+  uint32_t vms = 0;
+  uint32_t threads = 0;
+  uint64_t wall_ns = 0;  // measured storm window, warm-up excluded
+
+  Summary boot_ms;              // per-boot wall latency
+  Summary resident_mb;          // whole-VM privately materialized MiB at boot end
+  Summary image_dirty_frames;   // private frames inside the kernel image window
+  Summary image_shared_frames;  // image frames still aliased to the shared template
+
+  uint64_t image_frames = 0;  // frames one loaded image spans
+  uint64_t image_bytes = 0;   // image memsz span
+  uint64_t cache_hits = 0;    // template-cache counters across the whole storm
+  uint64_t cache_misses = 0;
+
+  std::vector<Bytes> kernel_regions;  // per VM, when keep_kernel_regions
+
+  double boots_per_sec() const {
+    return wall_ns == 0 ? 0.0 : static_cast<double>(vms) / (static_cast<double>(wall_ns) / 1e9);
+  }
+  // Mean fraction of the image each VM privately materialized.
+  double image_dirty_fraction() const {
+    return image_frames == 0 || boot_ms.empty()
+               ? 0.0
+               : image_dirty_frames.mean() / static_cast<double>(image_frames);
+  }
+};
+
+// Runs one storm. `relocs_blob` may be empty only for RandoMode::kNone.
+// Each worker thread gets a private Storage (the page-cache model is not
+// thread-safe); the template cache is the only cross-thread state.
+Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
+                                const StormOptions& options);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_BOOT_STORM_H_

@@ -67,7 +67,7 @@ Result<FirmwareReport> RunFirmwarePost(GuestMemory& memory, uint64_t work_iterat
   identity.virt_start = 0;
   identity.phys_start = 0;
   identity.size = 2ull << 20;
-  Interpreter interpreter(memory.all(), identity);
+  Interpreter interpreter(memory.frames(), identity);
   IMK_ASSIGN_OR_RETURN(RunResult run,
                        interpreter.Run(kFirmwarePhys, (2ull << 20) - 16, 1ull << 28));
   if (run.reason != StopReason::kHalt) {

@@ -1,48 +1,74 @@
-// Guest physical memory: a flat RAM array with bounds-checked access,
-// the microVM's single memory region (Firecracker-style).
+// Guest physical memory: the microVM's single memory region
+// (Firecracker-style), backed by a paged copy-on-write FrameStore. Untouched
+// RAM reads as zeros without being materialized; the loader aliases kernel
+// template frames zero-copy and only frames the randomizer (or the guest)
+// writes become private to the VM — the per-VM resident cost the paper's §6
+// density ablation measures.
 #ifndef IMKASLR_SRC_VMM_GUEST_MEMORY_H_
 #define IMKASLR_SRC_VMM_GUEST_MEMORY_H_
 
-#include <vector>
+#include <memory>
+#include <utility>
 
 #include "src/base/bytes.h"
+#include "src/base/frame_store.h"
 #include "src/base/result.h"
 
 namespace imk {
 
 class GuestMemory {
  public:
-  explicit GuestMemory(uint64_t size_bytes) : ram_(size_bytes, 0) {}
+  explicit GuestMemory(uint64_t size_bytes) : frames_(size_bytes) {}
 
-  uint64_t size() const { return ram_.size(); }
+  uint64_t size() const { return frames_.size(); }
 
-  MutableByteSpan all() { return MutableByteSpan(ram_); }
-  ByteSpan all() const { return ByteSpan(ram_); }
+  FrameStore& frames() { return frames_; }
+  const FrameStore& frames() const { return frames_; }
 
-  // Bounds-checked subrange.
+  // Bounds-checked writable subrange. Materializes every covered frame
+  // (copy-on-write): use Read/CopyRange for accesses that should not
+  // dirty the VM.
   Result<MutableByteSpan> Slice(uint64_t phys, uint64_t len) {
-    if (phys > ram_.size() || len > ram_.size() - phys) {
-      return OutOfRangeError("guest physical range out of bounds");
-    }
-    return MutableByteSpan(ram_.data() + phys, len);
+    IMK_ASSIGN_OR_RETURN(uint8_t* ptr, frames_.WritablePtr(phys, len));
+    return MutableByteSpan(ptr, len);
+  }
+
+  // Whole-RAM span. Materializes everything — snapshotting and test
+  // comparisons only.
+  MutableByteSpan all() {
+    return MutableByteSpan(*frames_.WritablePtr(0, frames_.size()), frames_.size());
+  }
+
+  // Gather-copies [phys, phys+len) without materializing shared/zero frames.
+  Status Read(uint64_t phys, MutableByteSpan dst) const {
+    return frames_.Read(phys, dst.data(), dst.size());
+  }
+
+  Result<Bytes> CopyRange(uint64_t phys, uint64_t len) const {
+    Bytes out(len);
+    IMK_RETURN_IF_ERROR(frames_.Read(phys, out.data(), len));
+    return out;
   }
 
   // Copies `data` into guest RAM at `phys`.
-  Status Write(uint64_t phys, ByteSpan data) {
-    IMK_ASSIGN_OR_RETURN(MutableByteSpan dst, Slice(phys, data.size()));
-    std::memcpy(dst.data(), data.data(), data.size());
-    return OkStatus();
+  Status Write(uint64_t phys, ByteSpan data) { return frames_.Write(phys, data); }
+
+  // Zero-fills [phys, phys+len). Untouched frames stay unmaterialized.
+  Status Zero(uint64_t phys, uint64_t len) { return frames_.Zero(phys, len); }
+
+  // Aliases template frames into guest RAM zero-copy (see FrameStore).
+  Status MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const void> owner) {
+    return frames_.MapShared(phys, src, std::move(owner));
   }
 
-  // Zero-fills [phys, phys+len).
-  Status Zero(uint64_t phys, uint64_t len) {
-    IMK_ASSIGN_OR_RETURN(MutableByteSpan dst, Slice(phys, len));
-    std::memset(dst.data(), 0, len);
-    return OkStatus();
-  }
+  // Resident accounting (monitor-CoW view of this VM's memory density).
+  uint64_t dirty_bytes() const { return frames_.dirty_bytes(); }
+  uint64_t dirty_frames() const { return frames_.dirty_frames(); }
+  uint64_t shared_frames() const { return frames_.shared_frames(); }
+  uint64_t zero_frames() const { return frames_.zero_frames(); }
 
  private:
-  std::vector<uint8_t> ram_;
+  FrameStore frames_;
 };
 
 }  // namespace imk

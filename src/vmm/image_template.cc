@@ -192,42 +192,75 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
   if (!have_key) {
     key = Key{Crc32(vmlinux), vmlinux.size()};
   }
+  std::shared_ptr<BuildState> flight;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     memo_[memo_next_] = SpanMemo{vmlinux.data(), vmlinux.size(), probe, key};
     memo_next_ = (memo_next_ + 1) % memo_.size();
-    auto it = index_.find(key);
-    // A template built with extract_relocs satisfies lookups without it; the
-    // reverse upgrade falls through to a rebuild.
-    if (it != index_.end() &&
-        (it->second->value->relocs_extracted || !options.extract_relocs)) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++hits_;
-      return it->second->value;
+    for (;;) {
+      auto it = index_.find(key);
+      // A template built with extract_relocs satisfies lookups without it;
+      // the reverse upgrade falls through to a rebuild.
+      if (it != index_.end() &&
+          (it->second->value->relocs_extracted || !options.extract_relocs)) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+        return it->second->value;
+      }
+      // Single-flight: a boot storm's first wave all misses the same key at
+      // once, and parsing the same multi-megabyte vmlinux N times in
+      // parallel wastes N-1 parses worth of CPU and transient memory. One
+      // caller builds; everyone else blocks on its completion, then re-reads
+      // the cache. Distinct keys still build fully concurrently.
+      auto fit = in_flight_.find(key);
+      if (fit != in_flight_.end() &&
+          (fit->second->extracts_relocs || !options.extract_relocs)) {
+        std::shared_ptr<BuildState> other = fit->second;
+        build_done_.wait(lock, [&] { return other->done; });
+        if (!other->status.ok()) {
+          return other->status;
+        }
+        continue;  // the builder inserted it; take the hit path
+      }
+      ++misses_;
+      flight = std::make_shared<BuildState>();
+      flight->extracts_relocs = options.extract_relocs;
+      in_flight_[key] = flight;  // may replace a weaker (no-relocs) flight
+      break;
     }
-    ++misses_;
   }
 
   // Build outside the lock: parsing a large vmlinux must not serialize
-  // lookups of other kernels. A racing builder of the same key just wins
-  // the insert below; both results are identical.
-  IMK_ASSIGN_OR_RETURN(std::shared_ptr<const ImageTemplate> built,
-                       BuildTemplate(vmlinux, options, std::get<0>(key)));
+  // lookups of other kernels.
+  Result<std::shared_ptr<const ImageTemplate>> built =
+      BuildTemplate(vmlinux, options, std::get<0>(key));
 
   std::lock_guard<std::mutex> lock(mutex_);
+  auto fit = in_flight_.find(key);
+  if (fit != in_flight_.end() && fit->second == flight) {
+    in_flight_.erase(fit);
+  }
+  flight->done = true;
+  if (!built.ok()) {
+    flight->status = built.status();
+    build_done_.notify_all();
+    return built.status();
+  }
+  flight->status = OkStatus();
+  build_done_.notify_all();
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    it->second->value = built;  // upgrade (or racing duplicate; same bytes)
-    return built;
+    it->second->value = *built;  // upgrade (or racing duplicate; same bytes)
+    return *built;
   }
-  lru_.push_front(Entry{key, built});
+  lru_.push_front(Entry{key, *built});
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
-  return built;
+  return *built;
 }
 
 uint64_t ImageTemplateCache::hits() const {

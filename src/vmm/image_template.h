@@ -15,6 +15,7 @@
 #define IMKASLR_SRC_VMM_IMAGE_TEMPLATE_H_
 
 #include <array>
+#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
@@ -105,10 +106,20 @@ class ImageTemplateCache {
     Key key{};
   };
 
+  // Single-flight state for one in-progress build; concurrent callers of
+  // the same key block on `done` instead of duplicating the parse.
+  struct BuildState {
+    bool done = false;
+    bool extracts_relocs = false;  // the flight satisfies extract_relocs lookups
+    Status status = OkStatus();    // failure propagated to every waiter
+  };
+
   const size_t capacity_;
   mutable std::mutex mutex_;
+  std::condition_variable build_done_;
   std::list<Entry> lru_;  // front = most recent
   std::map<Key, std::list<Entry>::iterator> index_;
+  std::map<Key, std::shared_ptr<BuildState>> in_flight_;
   std::array<SpanMemo, 4> memo_{};
   size_t memo_next_ = 0;
   uint64_t hits_ = 0;

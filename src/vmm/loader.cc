@@ -8,10 +8,15 @@
 
 namespace imk {
 
-Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory, const ImageTemplate& tmpl,
+Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
+                                            std::shared_ptr<const ImageTemplate> tmpl_ptr,
                                             const RelocInfo* relocs,
                                             const DirectBootParams& params, Rng& rng,
                                             const DirectLoadResources& resources) {
+  if (tmpl_ptr == nullptr) {
+    return InvalidArgumentError("DirectLoadFromTemplate: null template");
+  }
+  const ImageTemplate& tmpl = *tmpl_ptr;
   LoadedKernel loaded;
   const uint64_t link_base = tmpl.link_base;
   const uint64_t mem_size = tmpl.mem_size;
@@ -57,21 +62,29 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory, const ImageTemp
   }
   loaded.timings.choose_ns = choose_timer.ElapsedNs();
 
-  // ---- load image ----
+  // ---- load image (map) ----
   // The template pre-rendered the segments (file bytes + zeroed BSS/holes)
-  // at link offsets, so per-boot loading is one big copy to the chosen
-  // physical base — the stage the paper's §5.2 measures as "load segments".
-  // The copy shards trivially: chunks write disjoint destination ranges.
+  // at link offsets. Per-boot loading aliases whole frames of that pristine
+  // buffer into guest memory zero-copy — the monitor-CoW sharing the paper's
+  // §6 density argument needs — and copies only the sub-frame head/tail of
+  // each region. Frames the randomizer later writes materialize on fault.
   Stopwatch load_timer;
+  constexpr uint64_t kFrame = FrameStore::kFrameBytes;
   const uint64_t phys_base = loaded.choice.phys_load_addr;
-  IMK_ASSIGN_OR_RETURN(MutableByteSpan image_ram, memory.Slice(phys_base, mem_size));
-  const uint8_t* src = tmpl.pristine.data();
-  uint8_t* dst = image_ram.data();
+  FrameStore& frames = memory.frames();
+  if (phys_base > memory.size() || mem_size > memory.size() - phys_base) {
+    return OutOfRangeError("guest physical range out of bounds");
+  }
+  const uint64_t dirty_at_start = frames.dirty_frames();
+  loaded.mem.image_frames =
+      (AlignUp(phys_base + mem_size, kFrame) - AlignDown(phys_base, kFrame)) / kFrame;
+  const ByteSpan pristine(tmpl.pristine);
   ThreadPool* pool = resources.pool;
   // When the FGKASLR shuffle is about to run, the function-section region is
   // fully rewritten by placement straight out of the pristine buffer (gaps
-  // included — see FgExecContext::pristine), so copying it here would write
-  // every byte twice. Copy only the prefix and suffix around it.
+  // included — see FgExecContext::pristine), so aliasing it here would make
+  // every frame fault a template copy right before being overwritten. Leave
+  // it as untouched zero frames; placement materializes them copy-free.
   uint64_t skip_lo = mem_size;
   uint64_t skip_hi = mem_size;
   if (params.requested == RandoMode::kFgKaslr && !params.fgkaslr_disabled_cmdline &&
@@ -85,25 +98,68 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory, const ImageTemp
       skip_hi = region_hi - link_base;
     }
   }
-  const auto copy_span = [&](uint64_t begin, uint64_t end) {
-    if (begin >= end) {
-      return;
-    }
-    if (pool != nullptr && pool->workers() > 1) {
-      pool->ParallelFor(end - begin, [&](uint64_t chunk_begin, uint64_t chunk_end) {
-        std::memcpy(dst + begin + chunk_begin, src + begin + chunk_begin,
-                    chunk_end - chunk_begin);
-      });
-    } else {
-      std::memcpy(dst + begin, src + begin, end - begin);
-    }
-  };
-  copy_span(0, skip_lo);
-  copy_span(skip_hi, mem_size);
+  if (phys_base % kFrame == 0) {
+    // Image offsets coincide with frame offsets (the chooser aligns to
+    // CONFIG_PHYSICAL_ALIGN, a multiple of the frame size): alias every
+    // whole frame, copy the ragged edges.
+    const auto map_region = [&](uint64_t begin, uint64_t end) -> Status {
+      if (begin >= end) {
+        return OkStatus();
+      }
+      const uint64_t interior_lo = AlignUp(begin, kFrame);
+      const uint64_t interior_hi = std::max(interior_lo, AlignDown(end, kFrame));
+      const uint64_t head_end = std::min(interior_lo, end);
+      if (begin < head_end) {
+        IMK_RETURN_IF_ERROR(
+            memory.Write(phys_base + begin, pristine.subspan(begin, head_end - begin)));
+        loaded.mem.copied_bytes += head_end - begin;
+      }
+      if (interior_lo < interior_hi) {
+        IMK_RETURN_IF_ERROR(memory.MapShared(
+            phys_base + interior_lo, pristine.subspan(interior_lo, interior_hi - interior_lo),
+            tmpl_ptr));
+        loaded.mem.mapped_shared_frames += (interior_hi - interior_lo) / kFrame;
+      }
+      if (interior_hi < end && interior_hi >= interior_lo) {
+        IMK_RETURN_IF_ERROR(
+            memory.Write(phys_base + interior_hi, pristine.subspan(interior_hi, end - interior_hi)));
+        loaded.mem.copied_bytes += end - interior_hi;
+      }
+      return OkStatus();
+    };
+    IMK_RETURN_IF_ERROR(map_region(0, skip_lo));
+    IMK_RETURN_IF_ERROR(map_region(skip_hi, mem_size));
+  } else {
+    // Unaligned physical base (bespoke constants note): no frame can alias
+    // the template, fall back to the flat copy, sharded as before.
+    IMK_ASSIGN_OR_RETURN(MutableByteSpan image_ram, memory.Slice(phys_base, mem_size));
+    const uint8_t* src = pristine.data();
+    uint8_t* dst = image_ram.data();
+    const auto copy_span = [&](uint64_t begin, uint64_t end) {
+      if (begin >= end) {
+        return;
+      }
+      if (pool != nullptr && pool->workers() > 1) {
+        pool->ParallelFor(end - begin, [&](uint64_t chunk_begin, uint64_t chunk_end) {
+          std::memcpy(dst + begin + chunk_begin, src + begin + chunk_begin,
+                      chunk_end - chunk_begin);
+        });
+      } else {
+        std::memcpy(dst + begin, src + begin, end - begin);
+      }
+      loaded.mem.copied_bytes += end - begin;
+    };
+    copy_span(0, skip_lo);
+    copy_span(skip_hi, mem_size);
+  }
+  const uint64_t dirty_after_load = frames.dirty_frames();
+  loaded.mem.load_dirty_frames =
+      dirty_after_load > dirty_at_start ? dirty_after_load - dirty_at_start : 0;
   loaded.timings.load_ns = load_timer.ElapsedNs();
 
-  // View of the loaded image addressed by link vaddrs.
-  LoadedImageView view(image_ram, link_base);
+  // View of the loaded image addressed by link vaddrs; every randomizer
+  // write goes through view.At(), which is the copy-on-write fault point.
+  LoadedImageView view(frames, phys_base, mem_size, link_base);
 
   // ---- FGKASLR: shuffle + table fixups ----
   if (params.requested == RandoMode::kFgKaslr) {
@@ -132,6 +188,9 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory, const ImageTemp
       loaded.fg = std::move(fg);
     }
   }
+  const uint64_t dirty_after_fg = frames.dirty_frames();
+  loaded.mem.fg_dirty_frames =
+      dirty_after_fg > dirty_after_load ? dirty_after_fg - dirty_after_load : 0;
 
   // ---- relocations ----
   if (randomize) {
@@ -150,6 +209,9 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory, const ImageTemp
     }
     loaded.timings.reloc_ns = reloc_timer.ElapsedNs();
   }
+  const uint64_t dirty_after_reloc = frames.dirty_frames();
+  loaded.mem.reloc_dirty_frames =
+      dirty_after_reloc > dirty_after_fg ? dirty_after_reloc - dirty_after_fg : 0;
 
   // ---- mappings + boot registers ----
   loaded.entry_vaddr = entry + loaded.choice.virt_slide;
@@ -182,7 +244,7 @@ Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
   const uint64_t parse_ns = parse_timer.ElapsedNs();
 
   IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
-                       DirectLoadFromTemplate(memory, *tmpl, relocs, params, rng, resources));
+                       DirectLoadFromTemplate(memory, tmpl, relocs, params, rng, resources));
   loaded.timings.parse_ns = parse_ns;
   loaded.template_cache_hit = cache_hit;
   return loaded;

@@ -20,6 +20,7 @@
 #ifndef IMKASLR_SRC_VMM_LOADER_H_
 #define IMKASLR_SRC_VMM_LOADER_H_
 
+#include <memory>
 #include <optional>
 
 #include "src/base/result.h"
@@ -73,10 +74,25 @@ struct DirectLoadResources {
 struct LoaderTimings {
   uint64_t parse_ns = 0;      // template acquisition: ELF parse, or cache lookup on a hit
   uint64_t choose_ns = 0;     // random offset selection
-  uint64_t load_ns = 0;       // image copy into guest memory
+  uint64_t load_ns = 0;       // image map/copy into guest memory
   uint64_t fg_ns = 0;         // FGKASLR engine total
   uint64_t reloc_ns = 0;      // relocation walk
   uint64_t total() const { return parse_ns + choose_ns + load_ns + fg_ns + reloc_ns; }
+};
+
+// Per-stage memory-materialization accounting for one load: which stages
+// made guest frames private to this VM, and how much of the image stayed
+// aliased to the shared template. Frames are FrameStore::kFrameBytes.
+struct LoaderMemStats {
+  uint64_t image_frames = 0;          // frames spanned by the loaded image
+  uint64_t mapped_shared_frames = 0;  // aliased zero-copy at the load stage
+  uint64_t copied_bytes = 0;          // bytes memcpy'd at the load stage
+  uint64_t load_dirty_frames = 0;     // frames materialized by the load stage
+  uint64_t fg_dirty_frames = 0;       // ... by FGKASLR shuffle + table fixups
+  uint64_t reloc_dirty_frames = 0;    // ... by the relocation walk
+  uint64_t dirty_frames_total() const {
+    return load_dirty_frames + fg_dirty_frames + reloc_dirty_frames;
+  }
 };
 
 // Everything needed to run and interrogate the loaded guest.
@@ -92,6 +108,7 @@ struct LoadedKernel {
   RelocStats reloc_stats;
   std::optional<FgKaslrResult> fg;
   LoaderTimings timings;
+  LoaderMemStats mem;
   bool template_cache_hit = false;  // parse was skipped (served from the cache)
 
   // Link-time spans, for translating symbols to runtime addresses.
@@ -105,10 +122,13 @@ struct LoadedKernel {
 };
 
 // Runs the boot-varying stages against an already-built template: choose
-// offsets, copy the pristine image into `memory`, shuffle, relocate.
-// Deterministic in (tmpl, params, seed): identical guest bytes for every
-// resources configuration.
-Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory, const ImageTemplate& tmpl,
+// offsets, map the pristine image into `memory` (whole frames alias the
+// template zero-copy; only unaligned tails are copied), shuffle, relocate.
+// The template is pinned into the guest memory's frame table, so it outlives
+// the call for as long as the memory does. Deterministic in (tmpl, params,
+// seed): identical guest bytes for every resources configuration.
+Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
+                                            std::shared_ptr<const ImageTemplate> tmpl,
                                             const RelocInfo* relocs,
                                             const DirectBootParams& params, Rng& rng,
                                             const DirectLoadResources& resources = {});

@@ -46,11 +46,9 @@ void MicroVm::InstallLazyKallsymsHook(uint64_t kallsyms_vaddr, uint64_t count,
   ShuffleMap map_copy = map;
   vcpu_->set_kallsyms_touch_hook(
       [memory, kallsyms_vaddr, count, map_copy, phys_base, link_base, mem_size]() -> Status {
-        auto ram = memory->Slice(phys_base, mem_size);
-        if (!ram.ok()) {
-          return ram.status();
-        }
-        LoadedImageView view(*ram, link_base);
+        // Paged view: only the frames the fixup actually rewrites (the
+        // kallsyms table itself) materialize, not the whole image window.
+        LoadedImageView view(memory->frames(), phys_base, mem_size, link_base);
         return FixupKallsymsTable(view, kallsyms_vaddr, count, map_copy);
       });
 }
@@ -143,10 +141,12 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
     resources.pool = &*pool;
   }
   IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
-                       DirectLoadFromTemplate(*memory_, *tmpl, relocs, params, rng, resources));
+                       DirectLoadFromTemplate(*memory_, tmpl, relocs, params, rng, resources));
 
   report.choice = loaded.choice;
   report.reloc_stats = loaded.reloc_stats;
+  report.loader_timings = loaded.timings;
+  report.mem = loaded.mem;
   if (loaded.fg.has_value()) {
     report.fg_timings = loaded.fg->timings;
     report.sections_shuffled = loaded.fg->sections_shuffled;
@@ -174,9 +174,12 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
     // produced (deferred kallsyms tables are expected pristine).
     VerifyInput verify_input;
     verify_input.original_elf = kernel_read.data;
-    IMK_ASSIGN_OR_RETURN(MutableByteSpan image_view,
-                         memory_->Slice(loaded.choice.phys_load_addr, loaded.image_mem_size));
-    verify_input.randomized = ByteSpan(image_view.data(), image_view.size());
+    // Gather-copy: verification must not materialize the shared frames it
+    // inspects, or the density accounting would charge the verifier's reads
+    // to the VM.
+    IMK_ASSIGN_OR_RETURN(Bytes image_copy,
+                         memory_->CopyRange(loaded.choice.phys_load_addr, loaded.image_mem_size));
+    verify_input.randomized = ByteSpan(image_copy);
     verify_input.base_vaddr = loaded.link_text_vaddr;
     verify_input.relocs = relocs;
     verify_input.map = loaded.fg.has_value() ? &loaded.fg->map : nullptr;
@@ -312,8 +315,7 @@ Result<VmSnapshot> MicroVm::Snapshot() const {
     return FailedPreconditionError("Snapshot before Boot");
   }
   VmSnapshot snapshot;
-  ByteSpan ram = memory_->all();
-  snapshot.memory.assign(ram.begin(), ram.end());
+  IMK_ASSIGN_OR_RETURN(snapshot.memory, memory_->CopyRange(0, memory_->size()));
   snapshot.kernel_map = kernel_map_;
   snapshot.direct_map = direct_map_;
   snapshot.stack_top = stack_top_;
@@ -336,13 +338,12 @@ Result<std::unique_ptr<MicroVm>> MicroVm::FromSnapshot(Storage& storage,
   return vm;
 }
 
-Result<ByteSpan> MicroVm::KernelRegion() const {
+Result<Bytes> MicroVm::KernelRegion() const {
   if (!booted_) {
     return FailedPreconditionError("KernelRegion before Boot");
   }
-  IMK_ASSIGN_OR_RETURN(MutableByteSpan region,
-                       memory_->Slice(kernel_map_.phys_start, kernel_map_.size));
-  return ByteSpan(region.data(), region.size());
+  // Gather-copy so analysis reads never materialize shared frames.
+  return memory_->CopyRange(kernel_map_.phys_start, kernel_map_.size);
 }
 
 Result<VcpuOutcome> MicroVm::CallGuest(uint64_t link_entry, uint64_t r1, uint64_t r2,

@@ -97,6 +97,10 @@ struct BootReport {
   ExecStats guest_stats;
   std::string console;
   std::optional<VerifyReport> verify;  // set when config.verify_after_load ran
+  // Direct boots only: loader stage breakdown + per-stage frame
+  // materialization (the storm bench's density numbers come from here).
+  LoaderTimings loader_timings;
+  LoaderMemStats mem;
 };
 
 // A booted VM's frozen state: the zygote/snapshot primitive the paper's
@@ -138,9 +142,9 @@ class MicroVm {
   static Result<std::unique_ptr<MicroVm>> FromSnapshot(Storage& storage,
                                                        const VmSnapshot& snapshot);
 
-  // The guest-physical window holding the kernel image (for layout and
-  // page-sharing analysis).
-  Result<ByteSpan> KernelRegion() const;
+  // Gather-copy of the guest-physical window holding the kernel image (for
+  // layout and page-sharing analysis); does not materialize shared frames.
+  Result<Bytes> KernelRegion() const;
 
   GuestMemory& memory() { return *memory_; }
   const MicroVmConfig& config() const { return config_; }

@@ -6,7 +6,7 @@
 namespace imk {
 
 Vcpu::Vcpu(GuestMemory& memory, LinearMap kernel_map, LinearMap direct_map)
-    : memory_(memory), kernel_map_(kernel_map), interpreter_(memory.all(), kernel_map) {
+    : memory_(memory), kernel_map_(kernel_map), interpreter_(memory.frames(), kernel_map) {
   interpreter_.set_secondary_map(direct_map);
   interpreter_.set_port_handler(
       [this](uint16_t port, bool is_write, uint64_t value) -> Result<uint64_t> {
@@ -20,12 +20,12 @@ Status Vcpu::HandleSetupTables(uint64_t descriptor_vaddr) {
       !kernel_map_.Contains(descriptor_vaddr + kTablesDescriptorSize - 1)) {
     return GuestFaultError("tables descriptor outside kernel mapping");
   }
-  IMK_ASSIGN_OR_RETURN(
-      MutableByteSpan raw,
-      memory_.Slice(kernel_map_.ToPhys(descriptor_vaddr), kTablesDescriptorSize));
-  const uint64_t text_base = LoadLe64(raw.data() + 0);
-  const uint64_t ex_vaddr = LoadLe64(raw.data() + 8);
-  const uint64_t ex_count = LoadLe64(raw.data() + 16);
+  uint8_t raw[kTablesDescriptorSize];
+  IMK_RETURN_IF_ERROR(memory_.Read(kernel_map_.ToPhys(descriptor_vaddr),
+                                   MutableByteSpan(raw, kTablesDescriptorSize)));
+  const uint64_t text_base = LoadLe64(raw + 0);
+  const uint64_t ex_vaddr = LoadLe64(raw + 8);
+  const uint64_t ex_count = LoadLe64(raw + 16);
   interpreter_.SetExceptionTable(ex_vaddr, ex_count, text_base);
   return OkStatus();
 }

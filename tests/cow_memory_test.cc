@@ -1,0 +1,411 @@
+// Paged copy-on-write guest memory: FrameStore fault edge cases, bit-identity
+// of the zero-copy CoW load against a flat serial reference across the boot
+// matrix, and boot-storm determinism across thread counts.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/base/frame_store.h"
+#include "src/kaslr/fgkaslr.h"
+#include "src/kaslr/random_offset.h"
+#include "src/kaslr/relocator.h"
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/vmm/boot_storm.h"
+#include "src/vmm/image_template.h"
+#include "src/vmm/loader.h"
+#include "src/vmm/microvm.h"
+
+namespace imk {
+namespace {
+
+constexpr uint64_t kFrame = FrameStore::kFrameBytes;
+
+Bytes Pattern(uint64_t len, uint8_t salt) {
+  Bytes out(len);
+  for (uint64_t i = 0; i < len; ++i) {
+    out[i] = static_cast<uint8_t>((i * 131 + salt) & 0xff);
+  }
+  return out;
+}
+
+// ---- FrameStore fault edge cases ----
+
+TEST(FrameStoreTest, FreshStoreReadsZerosWithoutMaterializing) {
+  FrameStore store(8 * kFrame);
+  Bytes buf(3 * kFrame, 0xab);
+  ASSERT_TRUE(store.Read(kFrame / 2, buf.data(), buf.size()).ok());
+  for (uint8_t b : buf) {
+    ASSERT_EQ(b, 0);
+  }
+  EXPECT_EQ(store.dirty_frames(), 0u);
+  EXPECT_EQ(store.shared_frames(), 0u);
+  EXPECT_EQ(store.zero_frames(), store.frame_count());
+}
+
+TEST(FrameStoreTest, WriteStraddlingFramesMaterializesExactlyCoveredFrames) {
+  FrameStore store(8 * kFrame);
+  const Bytes data = Pattern(2 * kFrame, 7);  // covers parts of frames 1,2,3
+  ASSERT_TRUE(store.Write(kFrame + kFrame / 2, ByteSpan(data)).ok());
+  EXPECT_EQ(store.dirty_frames(), 3u);
+  EXPECT_EQ(store.StateOf(0), FrameStore::FrameState::kZero);
+  EXPECT_EQ(store.StateOf(4), FrameStore::FrameState::kZero);
+  Bytes back(data.size());
+  ASSERT_TRUE(store.Read(kFrame + kFrame / 2, back.data(), back.size()).ok());
+  EXPECT_EQ(back, data);
+  // The zero halves around the write stay zero.
+  uint8_t edge = 0xff;
+  ASSERT_TRUE(store.Read(kFrame, &edge, 1).ok());
+  EXPECT_EQ(edge, 0);
+}
+
+TEST(FrameStoreTest, MapSharedAliasesZeroCopyAndFaultsOnWrite) {
+  FrameStore store(8 * kFrame);
+  auto src = std::make_shared<Bytes>(Pattern(2 * kFrame, 3));
+  ASSERT_TRUE(store.MapShared(2 * kFrame, ByteSpan(*src), src).ok());
+  EXPECT_EQ(store.shared_frames(), 2u);
+  EXPECT_EQ(store.dirty_frames(), 0u);
+  // Alias identity: the shared frame reads through the template pointer.
+  EXPECT_EQ(store.SharedSource(2), src->data());
+  EXPECT_EQ(store.SharedSource(3), src->data() + kFrame);
+
+  Bytes back(2 * kFrame);
+  ASSERT_TRUE(store.Read(2 * kFrame, back.data(), back.size()).ok());
+  EXPECT_EQ(back, *src);
+
+  // One-byte write faults exactly one frame; the other stays aliased, and
+  // the faulted frame keeps its template content around the write.
+  const uint8_t poke = 0x5a;
+  ASSERT_TRUE(store.Write(2 * kFrame + 17, ByteSpan(&poke, 1)).ok());
+  EXPECT_EQ(store.dirty_frames(), 1u);
+  EXPECT_EQ(store.shared_frames(), 1u);
+  EXPECT_EQ(store.SharedSource(2), nullptr);
+  EXPECT_EQ(store.SharedSource(3), src->data() + kFrame);
+  ASSERT_TRUE(store.Read(2 * kFrame, back.data(), back.size()).ok());
+  Bytes expect = *src;
+  expect[17] = poke;
+  EXPECT_EQ(back, expect);
+}
+
+TEST(FrameStoreTest, MapSharedCopiesSubFrameTail) {
+  FrameStore store(8 * kFrame);
+  auto src = std::make_shared<Bytes>(Pattern(kFrame + kFrame / 2, 9));
+  ASSERT_TRUE(store.MapShared(0, ByteSpan(*src), src).ok());
+  EXPECT_EQ(store.shared_frames(), 1u);  // whole frame aliased
+  EXPECT_EQ(store.dirty_frames(), 1u);   // half-frame tail copied
+  Bytes back(src->size());
+  ASSERT_TRUE(store.Read(0, back.data(), back.size()).ok());
+  EXPECT_EQ(back, *src);
+  // The tail frame's unwritten half reads zero.
+  uint8_t rest = 0xff;
+  ASSERT_TRUE(store.Read(kFrame + kFrame / 2, &rest, 1).ok());
+  EXPECT_EQ(rest, 0);
+}
+
+TEST(FrameStoreTest, MapSharedRejectsUnalignedAndExternalBacking) {
+  FrameStore store(4 * kFrame);
+  auto src = std::make_shared<Bytes>(Bytes(kFrame, 1));
+  EXPECT_FALSE(store.MapShared(12, ByteSpan(*src), src).ok());
+
+  Bytes backing(4 * kFrame);
+  FrameStore flat{MutableByteSpan(backing)};
+  EXPECT_FALSE(flat.MapShared(0, ByteSpan(*src), src).ok());
+}
+
+TEST(FrameStoreTest, WritablePtrIsContiguousAcrossFrameBoundaries) {
+  FrameStore store(8 * kFrame);
+  auto src = std::make_shared<Bytes>(Pattern(3 * kFrame, 5));
+  ASSERT_TRUE(store.MapShared(kFrame, ByteSpan(*src), src).ok());
+
+  // A writable range straddling shared and zero frames materializes all of
+  // them into one flat pointer.
+  auto ptr = store.WritablePtr(kFrame + kFrame / 2, 3 * kFrame);
+  ASSERT_TRUE(ptr.ok());
+  const Bytes data = Pattern(3 * kFrame, 11);
+  std::memcpy(*ptr, data.data(), data.size());
+  Bytes back(data.size());
+  ASSERT_TRUE(store.Read(kFrame + kFrame / 2, back.data(), back.size()).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(store.dirty_frames(), 4u);  // frames 1..4 materialized
+  EXPECT_EQ(store.shared_frames(), 0u);
+}
+
+TEST(FrameStoreTest, WritablePtrAtExactFrameBoundsMaterializesOnlyThatFrame) {
+  FrameStore store(8 * kFrame);
+  auto ptr = store.WritablePtr(3 * kFrame, kFrame);
+  ASSERT_TRUE(ptr.ok());
+  EXPECT_EQ(store.dirty_frames(), 1u);
+  EXPECT_EQ(store.StateOf(2), FrameStore::FrameState::kZero);
+  EXPECT_EQ(store.StateOf(3), FrameStore::FrameState::kDirty);
+  EXPECT_EQ(store.StateOf(4), FrameStore::FrameState::kZero);
+}
+
+TEST(FrameStoreTest, ZeroOverSharedFramesClearsWithoutTouchingZeroFrames) {
+  FrameStore store(8 * kFrame);
+  auto src = std::make_shared<Bytes>(Pattern(2 * kFrame, 13));
+  ASSERT_TRUE(store.MapShared(2 * kFrame, ByteSpan(*src), src).ok());
+
+  // Zero spanning a zero frame, both shared frames, and another zero frame.
+  ASSERT_TRUE(store.Zero(kFrame, 4 * kFrame).ok());
+  EXPECT_EQ(store.StateOf(1), FrameStore::FrameState::kZero);  // untouched
+  EXPECT_EQ(store.StateOf(4), FrameStore::FrameState::kZero);
+  EXPECT_EQ(store.shared_frames(), 0u);
+  Bytes back(4 * kFrame, 0xee);
+  ASSERT_TRUE(store.Read(kFrame, back.data(), back.size()).ok());
+  for (uint8_t b : back) {
+    ASSERT_EQ(b, 0);
+  }
+}
+
+TEST(FrameStoreTest, PartialZeroOverSharedFramePreservesRestOfFrame) {
+  FrameStore store(4 * kFrame);
+  auto src = std::make_shared<Bytes>(Pattern(kFrame, 21));
+  ASSERT_TRUE(store.MapShared(0, ByteSpan(*src), src).ok());
+  ASSERT_TRUE(store.Zero(64, 32).ok());
+  Bytes back(kFrame);
+  ASSERT_TRUE(store.Read(0, back.data(), back.size()).ok());
+  Bytes expect = *src;
+  std::memset(expect.data() + 64, 0, 32);
+  EXPECT_EQ(back, expect);
+}
+
+TEST(FrameStoreTest, MapSharedOverDirtyFrameRevertsToShared) {
+  FrameStore store(4 * kFrame);
+  const Bytes scribble = Pattern(kFrame, 17);
+  ASSERT_TRUE(store.Write(0, ByteSpan(scribble)).ok());
+  EXPECT_EQ(store.dirty_frames(), 1u);
+
+  auto src = std::make_shared<Bytes>(Pattern(kFrame, 23));
+  ASSERT_TRUE(store.MapShared(0, ByteSpan(*src), src).ok());
+  EXPECT_EQ(store.dirty_frames(), 0u);
+  EXPECT_EQ(store.shared_frames(), 1u);
+  Bytes back(kFrame);
+  ASSERT_TRUE(store.Read(0, back.data(), back.size()).ok());
+  EXPECT_EQ(back, *src);
+}
+
+TEST(FrameStoreTest, ReadPtrGathersAcrossStateBoundaries) {
+  FrameStore store(4 * kFrame);
+  auto src = std::make_shared<Bytes>(Pattern(kFrame, 29));
+  ASSERT_TRUE(store.MapShared(kFrame, ByteSpan(*src), src).ok());
+
+  // Range straddling a zero frame and a shared frame cannot be served by one
+  // pointer; it must gather into scratch and still read correctly.
+  Bytes scratch(2 * kFrame);
+  auto ptr = store.ReadPtr(kFrame / 2, kFrame, scratch.data());
+  ASSERT_TRUE(ptr.ok());
+  Bytes expect(kFrame, 0);
+  std::memcpy(expect.data() + kFrame / 2, src->data(), kFrame / 2);
+  EXPECT_EQ(0, std::memcmp(*ptr, expect.data(), kFrame));
+  EXPECT_EQ(store.dirty_frames(), 0u);  // reads never materialize
+}
+
+TEST(FrameStoreTest, FlatAdapterWritesThroughToExternalBuffer) {
+  Bytes backing(4 * kFrame, 0);
+  FrameStore flat{MutableByteSpan(backing)};
+  EXPECT_EQ(flat.dirty_frames(), flat.frame_count());
+  const Bytes data = Pattern(kFrame, 31);
+  ASSERT_TRUE(flat.Write(kFrame / 2, ByteSpan(data)).ok());
+  EXPECT_EQ(0, std::memcmp(backing.data() + kFrame / 2, data.data(), data.size()));
+}
+
+TEST(FrameStoreTest, OutOfRangeAccessesFail) {
+  FrameStore store(2 * kFrame);
+  Bytes buf(kFrame);
+  EXPECT_FALSE(store.WritablePtr(2 * kFrame, 1).ok());
+  EXPECT_FALSE(store.Read(kFrame, buf.data(), 2 * kFrame).ok());
+  EXPECT_FALSE(store.Zero(0, 3 * kFrame).ok());
+}
+
+// ---- paged-vs-flat bit-identity across the boot matrix ----
+
+class PagedVsFlatTest : public ::testing::TestWithParam<RandoMode> {};
+
+// The CoW load (zero-copy aliasing, fault-materialized randomizer writes,
+// fg-region skip) must produce bytes identical to the obvious flat pipeline:
+// copy the whole pristine image, shuffle, relocate.
+TEST_P(PagedVsFlatTest, DirectLoadMatchesFlatReference) {
+  const RandoMode rando = GetParam();
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, rando, 0.02));
+  ASSERT_TRUE(info.ok());
+  auto tmpl = BuildImageTemplate(ByteSpan(info->vmlinux), TemplateOptions{});
+  ASSERT_TRUE(tmpl.ok());
+
+  constexpr uint64_t kMem = 192ull << 20;
+  constexpr uint64_t kSeed = 4242;
+  GuestMemory memory(kMem);
+  DirectBootParams params;
+  params.requested = rando;
+  Rng rng(kSeed);
+  auto loaded = DirectLoadFromTemplate(memory, *tmpl,
+                                       info->relocs.empty() ? nullptr : &info->relocs, params,
+                                       rng);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Flat reference with its own Rng: same draws -> same choice and shuffle.
+  Rng ref_rng(kSeed);
+  OffsetChoice choice;
+  KernelConstantsNote constants = DefaultKernelConstants();
+  if ((*tmpl)->note_constants.has_value()) {
+    constants = *(*tmpl)->note_constants;
+  }
+  if (rando != RandoMode::kNone) {
+    OffsetConstraints constraints;
+    constraints.image_mem_size = (*tmpl)->mem_size;
+    constraints.guest_mem_size = kMem;
+    constraints.reserved_tail = params.stack_slack;
+    constraints.constants = constants;
+    auto chosen = ChooseRandomOffsets(constraints, ref_rng);
+    ASSERT_TRUE(chosen.ok());
+    choice = *chosen;
+  } else {
+    choice.phys_load_addr = constants.physical_start;
+  }
+  EXPECT_EQ(choice.virt_slide, loaded->choice.virt_slide);
+  EXPECT_EQ(choice.phys_load_addr, loaded->choice.phys_load_addr);
+
+  Bytes flat = (*tmpl)->pristine;
+  LoadedImageView flat_view(MutableByteSpan(flat), (*tmpl)->link_base);
+  if (rando == RandoMode::kFgKaslr) {
+    ASSERT_TRUE((*tmpl)->fg.has_value());
+    auto fg = ShuffleFunctionsPreparsed(*(*tmpl)->fg, flat_view, params.fg, ref_rng);
+    ASSERT_TRUE(fg.ok());
+    auto stats = ApplyRelocationsShuffledPerEntry(flat_view, info->relocs, choice.virt_slide,
+                                                  fg->map);
+    ASSERT_TRUE(stats.ok());
+  } else if (rando == RandoMode::kKaslr) {
+    auto stats = ApplyRelocations(flat_view, info->relocs, choice.virt_slide);
+    ASSERT_TRUE(stats.ok());
+  }
+
+  auto paged = memory.CopyRange(loaded->choice.phys_load_addr, (*tmpl)->mem_size);
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ(*paged, flat);
+
+  // Density invariants: some of the image must still alias the template for
+  // non-fg modes, and nothing materializes more frames than the image has.
+  EXPECT_LE(loaded->mem.dirty_frames_total(), loaded->mem.image_frames);
+  if (rando != RandoMode::kFgKaslr) {
+    EXPECT_GT(loaded->mem.mapped_shared_frames, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, PagedVsFlatTest,
+                         ::testing::Values(RandoMode::kNone, RandoMode::kKaslr,
+                                           RandoMode::kFgKaslr),
+                         [](const ::testing::TestParamInfo<RandoMode>& param) {
+                           return std::string(RandoModeName(param.param));
+                         });
+
+// bzImage boots randomize inside the guest, writing through the interpreter
+// into paged memory. Two same-seed boots must agree bit for bit.
+class PagedBzImageTest : public ::testing::TestWithParam<RandoMode> {};
+
+TEST_P(PagedBzImageTest, SameSeedBootsAreBitIdentical) {
+  const RandoMode rando = GetParam();
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kLupine, rando, 0.008));
+  ASSERT_TRUE(info.ok());
+  auto image = BuildBzImage(ByteSpan(info->vmlinux), info->relocs, "none", LoaderKind::kStandard);
+  ASSERT_TRUE(image.ok());
+  Storage storage;
+  storage.Put("bz", SerializeBzImage(*image));
+
+  MicroVmConfig config;
+  config.mem_size_bytes = 160ull << 20;
+  config.kernel_image = "bz";
+  config.boot_mode = BootMode::kBzImage;
+  config.rando = rando;
+  config.seed = 77;
+
+  Bytes regions[2];
+  for (int i = 0; i < 2; ++i) {
+    MicroVm vm(storage, config);
+    auto report = vm.Boot();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->init_done);
+    EXPECT_EQ(report->init_checksum, info->expected_checksum);
+    auto region = vm.KernelRegion();
+    ASSERT_TRUE(region.ok());
+    regions[i] = std::move(*region);
+  }
+  EXPECT_EQ(regions[0], regions[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, PagedBzImageTest,
+                         ::testing::Values(RandoMode::kNone, RandoMode::kKaslr,
+                                           RandoMode::kFgKaslr),
+                         [](const ::testing::TestParamInfo<RandoMode>& param) {
+                           return std::string(RandoModeName(param.param));
+                         });
+
+// ---- boot-storm determinism across thread counts ----
+
+TEST(BootStormTest, FixedSeedsGiveIdenticalKernelsRegardlessOfThreads) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kKaslr, 0.02));
+  ASSERT_TRUE(info.ok());
+  const Bytes relocs_blob = SerializeRelocs(info->relocs);
+
+  StormOptions options;
+  options.vms = 4;
+  options.rando = RandoMode::kKaslr;
+  options.mem_size_bytes = 192ull << 20;
+  options.expected_checksum = info->expected_checksum;
+  options.keep_kernel_regions = true;
+  options.seed_base = 99;
+
+  options.threads = 1;
+  auto serial = RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  options.threads = 3;
+  auto storm = RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
+  ASSERT_TRUE(storm.ok()) << storm.status().ToString();
+
+  ASSERT_EQ(serial->kernel_regions.size(), storm->kernel_regions.size());
+  for (size_t i = 0; i < serial->kernel_regions.size(); ++i) {
+    EXPECT_EQ(serial->kernel_regions[i], storm->kernel_regions[i]) << "VM " << i;
+  }
+  // Distinct seeds must give distinct layouts (the storm randomizes per VM).
+  EXPECT_NE(serial->kernel_regions[0], serial->kernel_regions[1]);
+  // Warm storm: the template is built once, every boot after hits the cache.
+  EXPECT_GE(storm->cache_hits, storm->vms);
+}
+
+TEST(BootStormTest, LaunchLaneMatchesFullLaneLayouts) {
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kKaslr, 0.02));
+  ASSERT_TRUE(info.ok());
+  const Bytes relocs_blob = SerializeRelocs(info->relocs);
+
+  StormOptions options;
+  options.vms = 2;
+  options.threads = 2;
+  options.rando = RandoMode::kKaslr;
+  options.mem_size_bytes = 192ull << 20;
+  options.keep_kernel_regions = true;
+  options.seed_base = 7;
+
+  // The launch-only lane loads the same layouts the full lane boots; the
+  // full lane's guest init then writes data/bss, so compare the text moduli:
+  // identical load => identical randomized placement choices.
+  options.launch_only = true;
+  auto launch = RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
+  ASSERT_TRUE(launch.ok()) << launch.status().ToString();
+  options.launch_only = false;
+  options.expected_checksum = info->expected_checksum;
+  auto full = RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  ASSERT_EQ(launch->kernel_regions.size(), full->kernel_regions.size());
+  for (size_t i = 0; i < launch->kernel_regions.size(); ++i) {
+    // The two lanes snapshot different window sizes (load image vs full
+    // kernel region); guest init mutates writable sections. The first page
+    // of text is read-only under both lanes and must match exactly.
+    ASSERT_GE(launch->kernel_regions[i].size(), kFrame);
+    ASSERT_GE(full->kernel_regions[i].size(), kFrame);
+    EXPECT_EQ(0, std::memcmp(launch->kernel_regions[i].data(), full->kernel_regions[i].data(),
+                             kFrame))
+        << "VM " << i;
+  }
+}
+
+}  // namespace
+}  // namespace imk
