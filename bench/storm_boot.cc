@@ -21,11 +21,16 @@
 // Targets (see ISSUE.md, scale 1.0): kaslr per-VM dirty image bytes <= 50%
 // of the image, warm launch storm >= 2x the serial baseline at 4 threads.
 // Writes BENCH_storm.json (--out=FILE).
+// A fourth lane, storm_faults, re-runs the kaslr full storm under a
+// committed FaultPlan through the boot supervisor and records what fleet
+// recovery costs: per-outcome tallies and the throughput overhead vs the
+// fault-free full storm.
 #include <cstring>
 #include <string>
 #include <thread>
 
 #include "bench/common.h"
+#include "src/base/fault_injection.h"
 #include "src/vmm/boot_storm.h"
 
 namespace imk {
@@ -60,6 +65,9 @@ int Run(int argc, char** argv) {
 
   const RandoMode modes[] = {RandoMode::kNone, RandoMode::kKaslr, RandoMode::kFgKaslr};
   ModeRow rows[3];
+  Bytes kaslr_vmlinux;  // kept for the storm_faults lane
+  Bytes kaslr_relocs;
+  uint64_t kaslr_checksum = 0;
   TextTable table({"policy", "serial launch/s", "storm launch/s", "speedup", "boot p50 ms",
                    "boot p99 ms", "dirty image %", "resident MiB/VM"});
 
@@ -95,6 +103,12 @@ int Run(int argc, char** argv) {
     rows[m].full = bench::CheckOk(
         RunBootStorm(ByteSpan(info.vmlinux), ByteSpan(relocs_blob), storm_opts), "full storm");
 
+    if (rando == RandoMode::kKaslr) {
+      kaslr_vmlinux = info.vmlinux;
+      kaslr_relocs = relocs_blob;
+      kaslr_checksum = info.expected_checksum;
+    }
+
     table.AddRow({rows[m].name, TextTable::Fmt(rows[m].serial.boots_per_sec(), 1),
                   TextTable::Fmt(rows[m].launch.boots_per_sec(), 1),
                   TextTable::Fmt(rows[m].launch_speedup()),
@@ -104,6 +118,47 @@ int Run(int argc, char** argv) {
                   TextTable::Fmt(rows[m].full.resident_mb.mean(), 1)});
   }
   table.Print();
+
+  // ---- storm_faults lane: the kaslr full storm under a committed fault
+  // plan, every boot supervised. The spec and seed are pinned so the failure
+  // schedule (and therefore the recorded recovery work) reproduces.
+  const char* kFaultSpec =
+      "loader.reloc:error:p=0.08;template.cache_hit:corrupt:p=0.05:bytes=4";
+  const uint64_t kFaultSeed = 7;
+  StormStats faulted;
+  {
+    FaultPlan plan = bench::CheckOk(FaultPlan::Parse(kFaultSpec, kFaultSeed), "fault plan");
+    ImageTemplateCache fault_cache;
+    StormOptions fault_opts;
+    fault_opts.vms = vms;
+    fault_opts.threads = threads;
+    fault_opts.rando = RandoMode::kKaslr;
+    fault_opts.expected_checksum = kaslr_checksum;
+    fault_opts.cache = &fault_cache;
+    fault_opts.supervise = true;
+    fault_opts.max_retries = 2;
+    fault_opts.watchdog_wall_ms = 10000;  // generous: records the knob, never trips
+    fault_opts.degrade = DegradePolicy::kLadder;
+    FaultScope faults(plan);
+    faulted = bench::CheckOk(
+        RunBootStorm(ByteSpan(kaslr_vmlinux), ByteSpan(kaslr_relocs), fault_opts), "fault storm");
+  }
+  const StormStats::OutcomeTally& tally = faulted.outcomes;
+  const double clean_bps = rows[1].full.boots_per_sec();
+  const double faulted_bps = faulted.boots_per_sec();
+  const double recovery_overhead_pct =
+      clean_bps > 0 && faulted_bps > 0 ? (clean_bps / faulted_bps - 1.0) * 100.0 : 0.0;
+  std::printf(
+      "\nstorm_faults (kaslr, supervised, spec=\"%s\" seed=%llu):\n"
+      "  outcomes: %u first-try, %u retried, %u degraded, %u failed (%u/%u accounted)\n"
+      "  attempts=%u watchdog_trips=%u quarantines=%llu faults_fired=%llu\n"
+      "  throughput %.1f boots/s vs clean %.1f (recovery overhead %.1f%%)\n",
+      kFaultSpec, static_cast<unsigned long long>(kFaultSeed), tally.ok_first_try,
+      tally.ok_retried, tally.ok_degraded, tally.failed, tally.accounted(), faulted.vms,
+      tally.attempts_total, tally.watchdog_trips,
+      static_cast<unsigned long long>(tally.cache_quarantines),
+      static_cast<unsigned long long>(tally.faults_injected), faulted_bps, clean_bps,
+      recovery_overhead_pct);
 
   const double kaslr_dirty = rows[1].full.image_dirty_fraction();
   const bool dirty_ok = kaslr_dirty <= 0.5;
@@ -160,7 +215,29 @@ int Run(int argc, char** argv) {
         static_cast<unsigned long long>(row.launch.cache_misses + row.full.cache_misses),
         m + 1 < 3 ? "," : "");
   }
-  std::fprintf(out, "  }\n}\n");
+  std::fprintf(
+      out,
+      "  },\n"
+      "  \"faults\": {\n"
+      "    \"spec\": \"%s\",\n"
+      "    \"fault_seed\": %llu,\n"
+      "    \"vms\": %u,\n"
+      "    \"ok_first_try\": %u,\n"
+      "    \"ok_retried\": %u,\n"
+      "    \"ok_degraded\": %u,\n"
+      "    \"failed\": %u,\n"
+      "    \"accounted\": %u,\n"
+      "    \"attempts_total\": %u,\n"
+      "    \"watchdog_trips\": %u,\n"
+      "    \"cache_quarantines\": %llu,\n"
+      "    \"faults_injected\": %llu,\n"
+      "    \"full_boots_per_sec\": %.3f,\n"
+      "    \"recovery_overhead_pct\": %.2f\n"
+      "  }\n}\n",
+      kFaultSpec, static_cast<unsigned long long>(kFaultSeed), faulted.vms, tally.ok_first_try,
+      tally.ok_retried, tally.ok_degraded, tally.failed, tally.accounted(), tally.attempts_total,
+      tally.watchdog_trips, static_cast<unsigned long long>(tally.cache_quarantines),
+      static_cast<unsigned long long>(tally.faults_injected), faulted_bps, recovery_overhead_pct);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -51,6 +51,21 @@ fgk = storm["modes"]["fgkaslr"]["image_dirty_fraction"]
 check("storm: dirty-density ordering nokaslr <= kaslr <= fgkaslr",
       nok <= kas + 1e-9 and kas <= fgk + 1e-9)
 
+faults = storm["faults"]
+check("storm_faults: fault plan actually fired",
+      faults["faults_injected"] > 0)
+check("storm_faults: zero VMs failed under the committed fault plan",
+      faults["failed"] == 0)
+check("storm_faults: outcome tallies account for every VM",
+      faults["ok_first_try"] + faults["ok_retried"] + faults["ok_degraded"]
+      + faults["failed"] == faults["vms"]
+      and faults["accounted"] == faults["vms"])
+check("storm_faults: recovery needed retries (the drill is not vacuous)",
+      faults["ok_retried"] + faults["ok_degraded"] > 0
+      and faults["attempts_total"] > faults["vms"])
+check("storm_faults: recovery overhead <= 30% of clean full-storm throughput",
+      faults["recovery_overhead_pct"] <= 30.0)
+
 if failures:
     print(f"check_bench_json: {len(failures)} target(s) regressed")
     sys.exit(1)

@@ -2,10 +2,12 @@
 # Full CI gate: tier-1 build + tests, AddressSanitizer and UBSan builds with
 # the same test suite, a ThreadSanitizer build running the boot matrix, the
 # parallel-pipeline equivalence tests (the ThreadPool-sharded loader paths)
-# and the boot-storm/CoW-fault tests, bench smokes (micro_parallel and
-# storm_boot on tiny images), a regression guard over the committed
-# BENCH_*.json targets, and clang-tidy (skipped gracefully when not
-# installed). Nonzero exit on any failure.
+# and the boot-storm/CoW-fault tests, fault drills (the supervisor /
+# fault-injection / ingest-fuzz suites re-run by name under ASan, and an
+# end-to-end imk_tool degradation-ladder + strict-refusal drill), bench
+# smokes (micro_parallel and storm_boot on tiny images), a regression guard
+# over the committed BENCH_*.json targets, and clang-tidy (skipped
+# gracefully when not installed). Nonzero exit on any failure.
 #
 # Usage: scripts/ci_check.sh [--skip-sanitizers]
 set -u
@@ -47,10 +49,53 @@ if [[ $skip_sanitizers -eq 0 ]]; then
   # TSan covers the sharded loader paths (every ParallelFor call site under
   # the boot matrix and the worker-count/cache equivalence tests) plus the
   # boot-storm workers racing CoW faults and the single-flight template build.
+  # TSan also drills the fault-tolerance machinery: supervised storms racing
+  # retries/quarantines against the shared template cache, and the injector's
+  # own locking under concurrent fault points.
   run_suite "tsan" "$repo_root/build-tsan" \
-    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix|BootStorm|FrameStore" \
+    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix|BootStorm|FrameStore|BootSupervisor|SupervisedStorm|FaultInjector|IngestFuzz" \
     -DIMK_TSAN=ON
+
+  # Fault drill: the supervisor suites again under ASan, by name, so a
+  # filter typo in the full run can never silently drop them — every retry,
+  # degradation, watchdog trip, and quarantine path runs leak-checked.
+  echo "=== fault drill (asan: supervisor + fault injection + ingest fuzz) ==="
+  if ! (cd "$repo_root/build-asan" &&
+        ctest --output-on-failure -j "$(nproc)" \
+          -R "BootSupervisor|SupervisedStorm|FaultInjector|FaultPlan|IngestFuzz"); then
+    echo "=== fault drill: FAILED ==="
+    failures=$((failures + 1))
+  fi
 fi
+
+# End-to-end fault drill through the tool surface: a persistent relocation
+# fault must walk the full degradation ladder (exit 0), and strict policy
+# must refuse to degrade (exit nonzero).
+echo "=== fault drill (imk_tool ladder + strict refusal) ==="
+drill_dir="$(mktemp -d)"
+if ! "$repo_root/build/tools/imk_tool" build --out="$drill_dir" --rando=fgkaslr --scale=0.02 \
+    >/dev/null; then
+  echo "=== fault drill: kernel build FAILED ==="
+  failures=$((failures + 1))
+else
+  drill_vmlinux=("$drill_dir"/*.vmlinux)
+  drill_relocs=("$drill_dir"/*.relocs)
+  if ! "$repo_root/build/tools/imk_tool" boot --kernel="${drill_vmlinux[0]}" \
+      --relocs="${drill_relocs[0]}" --rando=fgkaslr --seed=7 \
+      --faults="loader.reloc:error" --fault-seed=3 --max-retries=1 --degrade=ladder \
+      >/dev/null; then
+    echo "=== fault drill: ladder degradation FAILED (expected exit 0) ==="
+    failures=$((failures + 1))
+  fi
+  if "$repo_root/build/tools/imk_tool" boot --kernel="${drill_vmlinux[0]}" \
+      --relocs="${drill_relocs[0]}" --rando=fgkaslr --seed=7 \
+      --faults="loader.reloc:error" --fault-seed=3 --max-retries=1 --degrade=strict \
+      >/dev/null 2>&1; then
+    echo "=== fault drill: strict policy degraded (expected nonzero exit) ==="
+    failures=$((failures + 1))
+  fi
+fi
+rm -rf "$drill_dir"
 
 echo "=== bench smoke (micro_parallel, tiny image) ==="
 if ! "$repo_root/build/bench/micro_parallel" --scale=0.02 --reps=2 --warmup=1 \

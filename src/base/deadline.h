@@ -1,0 +1,67 @@
+// Deadline: a wall-clock watchdog budget threaded through the boot pipeline.
+//
+// The boot supervisor arms one Deadline per boot attempt; the loader checks
+// it between pipeline stages and the interpreter every few tens of thousands
+// of guest instructions. Cooperative checking keeps cancellation free of
+// threads and signals: a stuck stage is bounded by the longest interval
+// between checks, which every long-running loop in the monitor keeps small.
+//
+// A default-constructed Deadline never expires, so call sites can hold an
+// always-valid pointer and skip null checks on the hot path.
+#ifndef IMKASLR_SRC_BASE_DEADLINE_H_
+#define IMKASLR_SRC_BASE_DEADLINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/base/stopwatch.h"
+
+namespace imk {
+
+class Deadline {
+ public:
+  // Never expires.
+  Deadline() = default;
+
+  // Expires `ns` monotonic nanoseconds from now.
+  static Deadline AfterNs(uint64_t ns) {
+    Deadline d;
+    d.deadline_ns_ = MonotonicNowNs() + ns;
+    return d;
+  }
+  static Deadline AfterMs(uint64_t ms) { return AfterNs(ms * 1000000ull); }
+
+  bool unlimited() const { return deadline_ns_ == 0; }
+  bool expired() const { return deadline_ns_ != 0 && MonotonicNowNs() >= deadline_ns_; }
+
+  // kDeadlineExceeded naming the stage that observed the expiry, OK otherwise.
+  Status Check(const char* stage) const {
+    if (expired()) {
+      return DeadlineExceededError(std::string("watchdog deadline expired at ") + stage);
+    }
+    return OkStatus();
+  }
+
+  // Nanoseconds left (0 when expired; UINT64_MAX when unlimited).
+  uint64_t RemainingNs() const {
+    if (unlimited()) {
+      return UINT64_MAX;
+    }
+    const uint64_t now = MonotonicNowNs();
+    return now >= deadline_ns_ ? 0 : deadline_ns_ - now;
+  }
+
+ private:
+  uint64_t deadline_ns_ = 0;  // 0 = unlimited
+};
+
+// The shared never-expiring instance call sites point at by default.
+inline const Deadline& NoDeadline() {
+  static const Deadline unlimited;
+  return unlimited;
+}
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_DEADLINE_H_

@@ -1,0 +1,308 @@
+#include "src/base/fault_injection.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace imk {
+namespace {
+
+// splitmix64: the decision hash. Statistically uniform per step, and cheap
+// enough to run per eligible hit.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(const char* s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s != 0; ++s) {
+    h = (h ^ static_cast<uint8_t>(*s)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+// The per-hit decision value in [0, 1): pure in (seed, point, hit index).
+double DecisionUnit(uint64_t seed, const char* point, uint64_t hit) {
+  const uint64_t h = Mix64(seed ^ Mix64(HashString(point)) ^ Mix64(hit));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Result<FaultFlavor> ParseFlavor(const std::string& name) {
+  if (name == "error") {
+    return FaultFlavor::kError;
+  }
+  if (name == "short") {
+    return FaultFlavor::kShort;
+  }
+  if (name == "corrupt") {
+    return FaultFlavor::kCorrupt;
+  }
+  if (name == "delay") {
+    return FaultFlavor::kDelay;
+  }
+  return InvalidArgumentError("unknown fault flavor: " + name);
+}
+
+}  // namespace
+
+const char* FaultFlavorName(FaultFlavor flavor) {
+  switch (flavor) {
+    case FaultFlavor::kError:
+      return "error";
+    case FaultFlavor::kShort:
+      return "short";
+    case FaultFlavor::kCorrupt:
+      return "corrupt";
+    case FaultFlavor::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+Result<ErrorCode> ParseErrorCodeName(const std::string& name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) {
+    upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  for (int code = static_cast<int>(ErrorCode::kInvalidArgument);
+       code <= static_cast<int>(ErrorCode::kDeadlineExceeded); ++code) {
+    if (upper == ErrorCodeName(static_cast<ErrorCode>(code))) {
+      return static_cast<ErrorCode>(code);
+    }
+  }
+  return InvalidArgumentError("unknown error code name: " + name);
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec, uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed != 0 ? seed : 1;
+  if (spec.empty()) {
+    return plan;
+  }
+  for (const std::string& rule_text : Split(spec, ';')) {
+    if (rule_text.empty()) {
+      continue;
+    }
+    std::vector<std::string> parts = Split(rule_text, ':');
+    if (parts.size() < 2 || parts[0].empty()) {
+      return InvalidArgumentError("fault rule needs point:flavor — got \"" + rule_text + "\"");
+    }
+    FaultRule rule;
+    rule.point = parts[0];
+    IMK_ASSIGN_OR_RETURN(rule.flavor, ParseFlavor(parts[1]));
+    for (size_t i = 2; i < parts.size(); ++i) {
+      const std::string& opt = parts[i];
+      const size_t eq = opt.find('=');
+      if (eq == std::string::npos) {
+        return InvalidArgumentError("fault rule option needs key=value: " + opt);
+      }
+      const std::string key = opt.substr(0, eq);
+      const std::string value = opt.substr(eq + 1);
+      if (key == "p") {
+        rule.probability = std::atof(value.c_str());
+        if (rule.probability < 0.0 || rule.probability > 1.0) {
+          return InvalidArgumentError("fault probability must be in [0,1]: " + value);
+        }
+      } else if (key == "n") {
+        rule.nth = std::strtoull(value.c_str(), nullptr, 10);
+        if (rule.nth == 0) {
+          return InvalidArgumentError("fault nth trigger is 1-based: " + value);
+        }
+      } else if (key == "max") {
+        rule.max_fires = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "us") {
+        rule.delay_us = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "bytes") {
+        rule.corrupt_bytes = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "code") {
+        IMK_ASSIGN_OR_RETURN(rule.error, ParseErrorCodeName(value));
+      } else {
+        return InvalidArgumentError("unknown fault rule option: " + key);
+      }
+    }
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultRule& rule : rules) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += rule.point;
+    out += ':';
+    out += FaultFlavorName(rule.flavor);
+    if (rule.nth != 0) {
+      out += ":n=" + std::to_string(rule.nth);
+    } else if (rule.probability != 1.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ":p=%g", rule.probability);
+      out += buf;
+    }
+    if (rule.max_fires != UINT64_MAX) {
+      out += ":max=" + std::to_string(rule.max_fires);
+    }
+  }
+  return out;
+}
+
+std::atomic<bool> FaultInjector::armed_flag_{false};
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = plan.seed != 0 ? plan.seed : 1;
+  rules_.clear();
+  rules_.reserve(plan.rules.size());
+  for (FaultRule& rule : plan.rules) {
+    rules_.push_back(RuleState{std::move(rule), 0, 0});
+  }
+  point_hits_.clear();
+  armed_flag_.store(!rules_.empty(), std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_flag_.store(false, std::memory_order_release);
+  rules_.clear();
+  point_hits_.clear();
+}
+
+FaultInjector::RuleState* FaultInjector::FireLocked(const char* point) {
+  RuleState* fired = nullptr;
+  bool any_eligible = false;
+  for (RuleState& state : rules_) {
+    if (state.rule.point != point) {
+      continue;
+    }
+    any_eligible = true;
+    const uint64_t hit = ++state.hits;  // 1-based eligible-hit index
+    if (state.fires >= state.rule.max_fires) {
+      continue;
+    }
+    bool fire;
+    if (state.rule.nth != 0) {
+      fire = hit == state.rule.nth;
+    } else {
+      fire = DecisionUnit(seed_, point, hit) < state.rule.probability;
+    }
+    if (fire && fired == nullptr) {
+      ++state.fires;
+      fired = &state;
+    }
+  }
+  if (any_eligible) {
+    ++point_hits_[point];
+  }
+  return fired;
+}
+
+Status FaultInjector::Check(const char* point) {
+  uint64_t delay_us = 0;
+  Status status = OkStatus();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RuleState* fired = FireLocked(point);
+    if (fired != nullptr) {
+      if (fired->rule.flavor == FaultFlavor::kError) {
+        status = Status(fired->rule.error,
+                        std::string("injected fault at ") + point + " (hit " +
+                            std::to_string(fired->hits) + ")");
+      } else if (fired->rule.flavor == FaultFlavor::kDelay) {
+        delay_us = fired->rule.delay_us;
+      }
+      // Short/corrupt rules carry no payload here; the data-bearing macros
+      // cover them. Their fire is still counted (the plan asked for it).
+    }
+  }
+  if (delay_us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  return status;
+}
+
+uint64_t FaultInjector::Truncate(const char* point, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RuleState* fired = FireLocked(point);
+  if (fired == nullptr || fired->rule.flavor != FaultFlavor::kShort || len == 0) {
+    return len;
+  }
+  // Deterministic short length in [0, len): derived from the same decision
+  // stream as the trigger so a (seed, hit) pair always truncates alike.
+  return static_cast<uint64_t>(DecisionUnit(seed_ ^ 0x5eed, point, fired->hits) *
+                               static_cast<double>(len));
+}
+
+bool FaultInjector::Corrupt(const char* point, uint8_t* data, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RuleState* fired = FireLocked(point);
+  if (fired == nullptr || fired->rule.flavor != FaultFlavor::kCorrupt || len == 0 ||
+      data == nullptr) {
+    return false;
+  }
+  const uint64_t n = std::max<uint64_t>(1, std::min(fired->rule.corrupt_bytes, len));
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t h = Mix64(seed_ ^ Mix64(HashString(point)) ^ Mix64(fired->hits * 131 + i));
+    data[h % len] ^= static_cast<uint8_t>(0x80 | (h >> 56));
+  }
+  return true;
+}
+
+uint64_t FaultInjector::hits_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [point, hits] : point_hits_) {
+    total += hits;
+  }
+  return total;
+}
+
+uint64_t FaultInjector::fires_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const RuleState& state : rules_) {
+    total += state.fires;
+  }
+  return total;
+}
+
+std::vector<FaultInjector::PointCount> FaultInjector::Counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PointCount> out;
+  for (const RuleState& state : rules_) {
+    PointCount count;
+    count.point = state.rule.point;
+    count.hits = state.hits;
+    count.fires = state.fires;
+    out.push_back(std::move(count));
+  }
+  return out;
+}
+
+}  // namespace imk

@@ -1,0 +1,182 @@
+// Deterministic fault injection for the monitor's failure drills.
+//
+// The monitor is the component that parses attacker-influenced kernel images
+// and shares state (template cache, CoW frames) across a fleet of VMs, so
+// every failure path needs to be exercisable on demand. Named fault points
+// (IMK_FAULT_POINT("loader.map_pristine")) are compiled into the pipeline;
+// a seeded FaultPlan arms them with rules. Whether a given hit of a point
+// fires is a pure function of (plan seed, point name, hit index), so any
+// failure schedule reproduces from its seed — across runs, builds, and
+// sanitizers — while different seeds explore different schedules.
+//
+// Flavors:
+//   error    the point returns a Status of the configured code
+//   short    a length passing through the point is truncated (short read)
+//   corrupt  bytes passing through the point are deterministically flipped
+//   delay    the point sleeps (to trip wall-clock watchdogs)
+//
+// Cost when disarmed: one relaxed atomic load and a predicted-not-taken
+// branch per point — no locks, no allocation, no string compares.
+//
+// Fault points sit below the retry/degrade machinery on purpose: the boot
+// supervisor must observe the same Status surface that real corruption,
+// stuck vCPUs, and short reads produce.
+#ifndef IMKASLR_SRC_BASE_FAULT_INJECTION_H_
+#define IMKASLR_SRC_BASE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace imk {
+
+enum class FaultFlavor : uint8_t {
+  kError = 0,   // return an error Status from the point
+  kShort = 1,   // truncate a length (short read)
+  kCorrupt = 2, // flip bytes in a buffer
+  kDelay = 3,   // sleep
+};
+
+const char* FaultFlavorName(FaultFlavor flavor);
+
+// One armed rule. A rule is eligible at a hit when the point name matches;
+// an eligible hit fires when the nth-hit or probability trigger says so and
+// the rule has fires left.
+struct FaultRule {
+  std::string point;                    // exact fault-point name
+  FaultFlavor flavor = FaultFlavor::kError;
+  ErrorCode error = ErrorCode::kInternal;  // error flavor: code to return
+  // Trigger: nth > 0 fires on exactly the nth eligible hit (1-based);
+  // otherwise each hit fires with `probability`, decided by a hash of
+  // (seed, point, hit index) so the schedule is seed-reproducible.
+  uint64_t nth = 0;
+  double probability = 1.0;
+  uint64_t max_fires = UINT64_MAX;  // stop firing after this many
+  uint64_t delay_us = 2000;         // delay flavor: sleep per fire
+  uint64_t corrupt_bytes = 1;       // corrupt flavor: bytes to flip per fire
+};
+
+// A seeded set of rules. Text form (imk_tool --faults=SPEC):
+//   spec  := rule (';' rule)*
+//   rule  := point ':' flavor (':' opt)*
+//   flavor:= error | short | corrupt | delay
+//   opt   := p=<prob> | n=<nth> | max=<fires> | us=<delay_us> |
+//            bytes=<corrupt_bytes> | code=<error-code-name>
+// Example: "loader.reloc:error:n=1;vcpu.enter:delay:us=50000:p=0.5"
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+  std::string ToString() const;
+
+  // Parses the spec; unknown points are allowed (they just never hit).
+  static Result<FaultPlan> Parse(const std::string& spec, uint64_t seed);
+};
+
+// Error code for an injected error fault, parsed from its name
+// ("PARSE_ERROR", case-insensitive also accepts "parse_error").
+Result<ErrorCode> ParseErrorCodeName(const std::string& name);
+
+// Process-wide injector the IMK_FAULT_* macros consult. Arm/Disarm are
+// test/tool entry points; production code never arms it, so the only cost
+// it pays is the disarmed fast path.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  // Arms `plan` (replacing any armed plan) and zeroes all counters.
+  void Arm(FaultPlan plan);
+  void Disarm();
+  static bool armed() { return armed_flag_.load(std::memory_order_relaxed); }
+
+  // Error/delay point. Returns the injected Status for a firing error rule,
+  // sleeps for a firing delay rule, OK otherwise. (Short/corrupt rules on
+  // this point are ignored: the point carries no data.)
+  Status Check(const char* point);
+
+  // Short-read point: the length a firing short rule truncates `len` to
+  // (deterministically, to [0, len)); `len` unchanged otherwise. Only short
+  // rules apply here; pair with IMK_FAULT_POINT for error/delay coverage.
+  uint64_t Truncate(const char* point, uint64_t len);
+
+  // Corruption point: flips rule.corrupt_bytes deterministic byte positions
+  // in [data, data+len) for a firing corrupt rule. Returns true if anything
+  // was corrupted. Only corrupt rules apply here.
+  bool Corrupt(const char* point, uint8_t* data, uint64_t len);
+
+  // Counters since Arm (all zero when never armed).
+  uint64_t hits_total() const;
+  uint64_t fires_total() const;
+  struct PointCount {
+    std::string point;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+  std::vector<PointCount> Counts() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct RuleState {
+    FaultRule rule;
+    uint64_t hits = 0;   // eligible hits observed
+    uint64_t fires = 0;  // times the rule fired
+  };
+
+  // Decides and applies bookkeeping for one hit of `point`; returns the
+  // firing rule (nullptr when nothing fires). Caller holds mutex_.
+  RuleState* FireLocked(const char* point);
+
+  static std::atomic<bool> armed_flag_;
+  mutable std::mutex mutex_;
+  uint64_t seed_ = 1;
+  std::vector<RuleState> rules_;
+  std::map<std::string, uint64_t> point_hits_;
+};
+
+// RAII arm/disarm for tests and tools.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan) { FaultInjector::Instance().Arm(std::move(plan)); }
+  ~FaultScope() { FaultInjector::Instance().Disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+// Error/delay fault point in a function returning Status or Result<T>.
+#define IMK_FAULT_POINT(name)                                             \
+  do {                                                                    \
+    if (::imk::FaultInjector::armed()) {                                  \
+      ::imk::Status imk_fault_status_ = ::imk::FaultInjector::Instance().Check(name); \
+      if (!imk_fault_status_.ok()) {                                      \
+        return imk_fault_status_;                                         \
+      }                                                                   \
+    }                                                                     \
+  } while (0)
+
+// Delay-only fault point for void contexts (worker loops); error rules on
+// the point are ignored since there is nothing to return.
+#define IMK_FAULT_DELAY(name)                            \
+  do {                                                   \
+    if (::imk::FaultInjector::armed()) {                 \
+      (void)::imk::FaultInjector::Instance().Check(name); \
+    }                                                    \
+  } while (0)
+
+// Short-read fault point: yields the (possibly truncated) length.
+#define IMK_FAULT_TRUNCATE(name, len) \
+  (::imk::FaultInjector::armed() ? ::imk::FaultInjector::Instance().Truncate(name, (len)) : (len))
+
+// Corruption fault point over a mutable byte range.
+#define IMK_FAULT_CORRUPT(name, data, len) \
+  (::imk::FaultInjector::armed() && ::imk::FaultInjector::Instance().Corrupt(name, (data), (len)))
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_FAULT_INJECTION_H_

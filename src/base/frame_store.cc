@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/base/fault_injection.h"
+
 namespace imk {
 namespace {
 
@@ -74,6 +76,9 @@ Status FrameStore::MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const 
   if (phys % kFrameBytes != 0) {
     return InvalidArgumentError("MapShared phys must be frame-aligned");
   }
+  // Models the host refusing the zero-copy alias (mmap failure), forcing
+  // callers onto their error path before any frame state mutates.
+  IMK_FAULT_POINT("frame_store.map_shared");
   IMK_RETURN_IF_ERROR(CheckRange(phys, src.size()));
   const uint64_t whole = src.size() / kFrameBytes;
   const uint64_t first = phys >> kFrameShift;

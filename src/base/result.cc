@@ -24,6 +24,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "INTERNAL";
     case ErrorCode::kGuestFault:
       return "GUEST_FAULT";
+    case ErrorCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -66,6 +68,9 @@ Status InternalError(std::string message) {
 }
 Status GuestFaultError(std::string message) {
   return Status(ErrorCode::kGuestFault, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(ErrorCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace imk

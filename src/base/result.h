@@ -26,6 +26,7 @@ enum class ErrorCode {
   kResourceExhausted,   // out of memory / capacity
   kInternal,          // invariant violation inside the library
   kGuestFault,        // the guest vCPU faulted (bad memory access, bad opcode)
+  kDeadlineExceeded,  // a watchdog deadline expired before the operation finished
 };
 
 // Human-readable name for an ErrorCode.
@@ -63,6 +64,7 @@ Status NotFoundError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
 Status GuestFaultError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // A value of type T, or a Status explaining why it could not be produced.
 template <typename T>
@@ -115,13 +117,24 @@ class Result {
   std::variant<T, Status> value_;
 };
 
-// Propagate an error Status from an expression returning Status.
-#define IMK_RETURN_IF_ERROR(expr)            \
-  do {                                       \
-    ::imk::Status imk_status_ = (expr);      \
-    if (!imk_status_.ok()) {                 \
-      return imk_status_;                    \
-    }                                        \
+namespace internal {
+// Uniform Status extraction so IMK_RETURN_IF_ERROR accepts either a Status
+// or a Result<T> expression (the value of a Result is discarded; callers that
+// want it use IMK_ASSIGN_OR_RETURN).
+inline Status ToStatus(Status status) { return status; }
+template <typename T>
+Status ToStatus(const Result<T>& result) {
+  return result.status();
+}
+}  // namespace internal
+
+// Propagate an error from an expression returning Status or Result<T>.
+#define IMK_RETURN_IF_ERROR(expr)                             \
+  do {                                                        \
+    ::imk::Status imk_status_ = ::imk::internal::ToStatus((expr)); \
+    if (!imk_status_.ok()) {                                  \
+      return imk_status_;                                     \
+    }                                                         \
   } while (0)
 
 // Assign the value of a Result expression to `lhs`, or propagate its error.
@@ -138,6 +151,24 @@ class Result {
 
 #define IMK_CONCAT_INNER_(a, b) a##b
 #define IMK_CONCAT_(a, b) IMK_CONCAT_INNER_(a, b)
+
+// Assign the value of a Result expression to an optional-like `lhs`, leaving
+// it unset when the error is exactly `tolerated` (a property of the input,
+// not a failure) and propagating every other error. Replaces the hand-rolled
+//   auto r = F(); if (r.ok()) lhs = *r; else if (r.status().code() != C) return r.status();
+// chains in template/metadata extraction.
+#define IMK_ASSIGN_OPTIONAL_OR_RETURN(lhs, expr, tolerated) \
+  IMK_ASSIGN_OPTIONAL_OR_RETURN_IMPL_(IMK_CONCAT_(imk_result_, __LINE__), lhs, expr, tolerated)
+
+#define IMK_ASSIGN_OPTIONAL_OR_RETURN_IMPL_(tmp, lhs, expr, tolerated) \
+  do {                                                                 \
+    auto tmp = (expr);                                                 \
+    if (tmp.ok()) {                                                    \
+      lhs = std::move(tmp).value();                                    \
+    } else if (tmp.status().code() != (tolerated)) {                   \
+      return tmp.status();                                             \
+    }                                                                  \
+  } while (0)
 
 }  // namespace imk
 

@@ -1,5 +1,7 @@
 #include "src/base/threadpool.h"
 
+#include "src/base/fault_injection.h"
+
 namespace imk {
 
 ThreadPool::ThreadPool(uint32_t workers) : workers_(workers) {
@@ -33,6 +35,9 @@ void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
       return;
     }
     auto [begin, end] = ChunkRange(job->n, job->chunks, chunk);
+    // Delay-only point: models a straggler worker (CPU steal, page-in stall)
+    // so watchdog drills can slow parallel stages without corrupting them.
+    IMK_FAULT_DELAY("threadpool.chunk");
     try {
       (*job->fn)(chunk, begin, end);
     } catch (...) {

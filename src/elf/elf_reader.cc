@@ -153,6 +153,11 @@ Result<std::vector<ElfSymbol>> ElfReader::ReadSymbols() const {
   }
 
   IMK_ASSIGN_OR_RETURN(ByteSpan data, SectionData(*symtab));
+  if (data.size() % sizeof(Elf64Sym) != 0) {
+    // A torn read (or a hostile header) leaves a partial trailing entry;
+    // silently dropping it would hand FGKASLR an incomplete symbol table.
+    return ParseError("symtab size is not a multiple of the symbol size (truncated?)");
+  }
   const size_t count = data.size() / sizeof(Elf64Sym);
   std::vector<ElfSymbol> symbols;
   symbols.reserve(count);

@@ -68,6 +68,19 @@ Result<RunResult> Interpreter::Run(uint64_t entry_vaddr, uint64_t stack_top_vadd
   ExecStats& stats = result.stats;
 
   while (stats.instructions < max_instructions) {
+    // Watchdog poll: every 64 Ki instructions (~sub-millisecond between
+    // polls) so a runaway or fault-stalled guest is bounded by the deadline,
+    // not the instruction cap. The mask test comes first: it is a register
+    // compare, so the 65535 of 65536 iterations that skip the poll never
+    // touch deadline_ at all.
+    if ((stats.instructions & 0xffffu) == 0 && deadline_ != nullptr && deadline_->expired()) {
+      result.reason = StopReason::kDeadline;
+      if (icache_ != nullptr) {
+        stats.icache_hits = icache_->hits();
+        stats.icache_misses = icache_->misses();
+      }
+      return result;
+    }
     // Fetch: longest instruction is 10 bytes; translate conservatively for
     // the opcode byte first, then the full length. Fetches never materialize
     // frames: code executing straight out of shared template pages is the

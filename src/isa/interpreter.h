@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "src/base/bytes.h"
+#include "src/base/deadline.h"
 #include "src/base/frame_store.h"
 #include "src/base/result.h"
 #include "src/isa/icache.h"
@@ -33,6 +34,7 @@ struct LinearMap {
 enum class StopReason {
   kHalt,            // guest executed HALT
   kInstructionCap,  // max_instructions exhausted
+  kDeadline,        // the attached wall-clock Deadline expired mid-run
 };
 
 // Execution statistics for one Run().
@@ -72,6 +74,12 @@ class Interpreter {
   // Extra v->p window (e.g. an identity map of low memory alongside the
   // randomized kernel window). Checked after the primary map.
   void set_secondary_map(LinearMap map) { secondary_map_ = map; }
+
+  // Wall-clock watchdog: Run() polls the deadline every few tens of
+  // thousands of instructions and stops with StopReason::kDeadline once it
+  // expires (a clean stop, not a guest fault — the supervisor decides what
+  // a trip means). nullptr (default) disables polling entirely.
+  void set_deadline(const Deadline* deadline) { deadline_ = deadline; }
 
   // Exception table: sorted {fault_offset, fixup_offset} pairs in guest
   // memory, offsets relative to `text_base` (the runtime address of _text) —
@@ -124,6 +132,7 @@ class Interpreter {
   LinearMap secondary_map_{};  // size 0 = unused
   PortHandler port_handler_;
   IcacheModel* icache_ = nullptr;
+  const Deadline* deadline_ = nullptr;
   uint64_t ex_table_vaddr_ = 0;
   uint64_t ex_table_count_ = 0;
   uint64_t ex_table_text_base_ = 0;

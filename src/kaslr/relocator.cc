@@ -1,5 +1,7 @@
 #include "src/kaslr/relocator.h"
 
+#include "src/base/fault_injection.h"
+
 namespace imk {
 namespace {
 
@@ -55,6 +57,8 @@ void Accumulate(RelocStats& total, const RelocStats& pass) {
 
 Result<RelocStats> ApplyRelocations(LoadedImageView& view, const RelocInfo& relocs,
                                     uint64_t virt_delta, const RelocApplyOptions& options) {
+  // Models a corrupt delta table / write fault inside the relocation walk.
+  IMK_FAULT_POINT("relocator.apply");
   const uint32_t delta32 = static_cast<uint32_t>(virt_delta);
   RelocStats stats;
 
@@ -100,6 +104,7 @@ Result<RelocStats> ApplyRelocations(LoadedImageView& view, const RelocInfo& relo
 Result<RelocStats> ApplyRelocationsShuffled(LoadedImageView& view, const RelocInfo& relocs,
                                             uint64_t virt_delta, const ShuffleMap& map,
                                             const RelocApplyOptions& options) {
+  IMK_FAULT_POINT("relocator.apply");
   RelocScratch local_scratch;
   RelocScratch& scratch = options.scratch != nullptr ? *options.scratch : local_scratch;
 

@@ -58,6 +58,11 @@ Result<RelocInfo> ExtractRelocsFromElf(const ElfReader& elf) {
       return ParseError("rela section has bad entsize");
     }
     IMK_ASSIGN_OR_RETURN(ByteSpan data, elf.SectionData(section));
+    if (data.size() % sizeof(Elf64Rela) != 0) {
+      // Dropping a partial trailing entry would silently skip a relocation —
+      // a randomized kernel with one stale pointer. Reject the image instead.
+      return ParseError("rela section size is not a multiple of the entry size (truncated?)");
+    }
     const size_t count = data.size() / sizeof(Elf64Rela);
     for (size_t i = 0; i < count; ++i) {
       Elf64Rela rela;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/base/align.h"
+#include "src/base/fault_injection.h"
 #include "src/base/stopwatch.h"
 #include "src/vmm/loader.h"
 #include "src/vmm/microvm.h"
@@ -20,6 +21,10 @@ struct BootSample {
   uint64_t resident_bytes = 0;
   uint64_t image_dirty_frames = 0;
   uint64_t image_shared_frames = 0;
+  // False for a supervised VM that exhausted its attempts: the failure is
+  // tallied in OutcomeTally and the sample excluded from the latency/density
+  // summaries (a never-booted VM has no meaningful boot latency).
+  bool booted = true;
 };
 
 // Frame-state census of the kernel-image window after boot: how much of the
@@ -58,6 +63,8 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   ImageTemplateCache& cache = options.cache != nullptr ? *options.cache : local_cache;
   const uint64_t hits_before = cache.hits();
   const uint64_t misses_before = cache.misses();
+  const uint64_t quarantined_before = cache.quarantined();
+  const uint64_t fires_before = FaultInjector::Instance().fires_total();
 
   // The page-cache model mutates per-read state, so each worker owns a
   // Storage; the bytes are identical, and the template cache recognizes them
@@ -178,6 +185,60 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     return OkStatus();
   };
 
+  // Supervised lane: per-VM failures become tallies, not storm aborts.
+  std::mutex tally_mutex;
+  const auto supervise_one = [&](Storage& storage, uint64_t seed, BootSample* sample,
+                                 Bytes* kernel_region, bool measured) -> Status {
+    SupervisorOptions sup;
+    sup.max_retries = options.max_retries;
+    sup.watchdog_wall_ms = options.watchdog_wall_ms;
+    sup.watchdog_instructions = options.watchdog_instructions;
+    sup.policy = options.degrade;
+    if (options.expected_checksum != 0) {
+      sup.expected_checksum = options.expected_checksum;
+    }
+    BootSupervisor supervisor(storage, make_config(seed), sup);
+    Stopwatch timer;
+    BootOutcome outcome = supervisor.Run();
+    const uint64_t latency_ns = timer.ElapsedNs();
+    if (measured) {
+      std::lock_guard<std::mutex> lock(tally_mutex);
+      stats.outcomes.attempts_total += outcome.attempts;
+      stats.outcomes.watchdog_trips += outcome.watchdog_trips;
+      if (!outcome.ok) {
+        ++stats.outcomes.failed;
+      } else if (outcome.degradations > 0) {
+        ++stats.outcomes.ok_degraded;
+      } else if (outcome.attempts > 1) {
+        ++stats.outcomes.ok_retried;
+      } else {
+        ++stats.outcomes.ok_first_try;
+      }
+    }
+    if (!outcome.ok) {
+      if (sample != nullptr) {
+        sample->booted = false;
+      }
+      return OkStatus();  // counted; the storm carries on
+    }
+    MicroVm& vm = *supervisor.vm();
+    const BootReport& report = *outcome.report;
+    if (sample != nullptr) {
+      sample->latency_ns = latency_ns;
+      sample->resident_bytes = vm.memory().dirty_bytes();
+      CensusImageFrames(vm.memory().frames(), report.choice.phys_load_addr,
+                        report.mem.image_frames, sample);
+      image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
+      image_bytes.store(report.mem.image_frames * FrameStore::kFrameBytes,
+                        std::memory_order_relaxed);
+    }
+    if (kernel_region != nullptr) {
+      IMK_ASSIGN_OR_RETURN(*kernel_region, vm.KernelRegion());
+    }
+    return OkStatus();
+  };
+  const bool supervise = options.supervise && !options.launch_only;
+
   // ---- warm-up: prime the template cache and page-cache models ----
   // The first wave deliberately races every worker into the same cache key,
   // exercising the single-flight build; nothing from this phase is measured.
@@ -189,7 +250,10 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
         for (uint32_t w = 0; w < options.warmup_per_thread; ++w) {
           const uint64_t seed =
               options.seed_base + options.vms + static_cast<uint64_t>(t) * options.warmup_per_thread + w;
-          Status status = boot_one(*storages[t], seed, nullptr, nullptr);
+          Status status = supervise
+                              ? supervise_one(*storages[t], seed, nullptr, nullptr,
+                                              /*measured=*/false)
+                              : boot_one(*storages[t], seed, nullptr, nullptr);
           if (!status.ok()) {
             record_error(std::move(status));
             return;
@@ -218,7 +282,10 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
           return;
         }
         Bytes* region = options.keep_kernel_regions ? &stats.kernel_regions[i] : nullptr;
-        Status status = boot_one(*storages[t], options.seed_base + i, &samples[i], region);
+        Status status = supervise
+                            ? supervise_one(*storages[t], options.seed_base + i, &samples[i],
+                                            region, /*measured=*/true)
+                            : boot_one(*storages[t], options.seed_base + i, &samples[i], region);
         if (!status.ok()) {
           record_error(std::move(status));
           return;
@@ -235,6 +302,9 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   }
 
   for (const BootSample& sample : samples) {
+    if (!sample.booted) {
+      continue;
+    }
     stats.boot_ms.Add(static_cast<double>(sample.latency_ns) / 1e6);
     stats.resident_mb.Add(static_cast<double>(sample.resident_bytes) / (1024.0 * 1024.0));
     stats.image_dirty_frames.Add(static_cast<double>(sample.image_dirty_frames));
@@ -244,6 +314,14 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   stats.image_bytes = image_bytes.load(std::memory_order_relaxed);
   stats.cache_hits = cache.hits() - hits_before;
   stats.cache_misses = cache.misses() - misses_before;
+  stats.outcomes.cache_quarantines = cache.quarantined() - quarantined_before;
+  stats.outcomes.faults_injected = FaultInjector::Instance().fires_total() - fires_before;
+  if (!supervise) {
+    // Unsupervised storms abort on the first failure, so reaching here means
+    // every VM booted on its first (and only) attempt.
+    stats.outcomes.ok_first_try = options.vms;
+    stats.outcomes.attempts_total = options.vms;
+  }
   return stats;
 }
 

@@ -18,6 +18,7 @@
 #include "src/base/result.h"
 #include "src/base/stats.h"
 #include "src/kernel/kconfig.h"
+#include "src/vmm/boot_supervisor.h"
 #include "src/vmm/image_template.h"
 
 namespace imk {
@@ -51,6 +52,19 @@ struct StormOptions {
   // false = rebuild the template every boot (the un-amortized per-boot
   // parse+render pipeline, i.e. the serial fleet baseline).
   bool use_template_cache = true;
+
+  // ---- supervision (fault tolerance) ----
+  // When true, every (full-lane) boot runs through BootSupervisor: per-VM
+  // failures are tallied instead of aborting the storm, the watchdog bounds
+  // each attempt, and the degrade policy decides whether a VM may boot below
+  // the requested randomization level. Layouts stay deterministic in the
+  // per-VM seed: VM i's attempt seeds depend only on (seed_base + i, attempt
+  // index), never on which *other* VMs failed.
+  bool supervise = false;
+  uint32_t max_retries = 2;
+  uint64_t watchdog_wall_ms = 0;
+  uint64_t watchdog_instructions = 0;
+  DegradePolicy degrade = DegradePolicy::kLadder;
 };
 
 struct StormStats {
@@ -67,6 +81,21 @@ struct StormStats {
   uint64_t image_bytes = 0;   // image memsz span
   uint64_t cache_hits = 0;    // template-cache counters across the whole storm
   uint64_t cache_misses = 0;
+
+  // Per-outcome tallies, populated when options.supervise. Every VM lands in
+  // exactly one ok_*/failed bucket: accounted() == vms, always.
+  struct OutcomeTally {
+    uint32_t ok_first_try = 0;
+    uint32_t ok_retried = 0;   // booted at the requested level after retries
+    uint32_t ok_degraded = 0;  // booted below the requested level
+    uint32_t failed = 0;       // exhausted every attempt the policy allowed
+    uint32_t attempts_total = 0;
+    uint32_t watchdog_trips = 0;
+    uint64_t cache_quarantines = 0;  // corrupt templates evicted mid-storm
+    uint64_t faults_injected = 0;    // FaultInjector fires inside the window
+    uint32_t accounted() const { return ok_first_try + ok_retried + ok_degraded + failed; }
+  };
+  OutcomeTally outcomes;
 
   std::vector<Bytes> kernel_regions;  // per VM, when keep_kernel_regions
 

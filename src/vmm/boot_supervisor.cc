@@ -1,0 +1,232 @@
+#include "src/vmm/boot_supervisor.h"
+
+#include <sstream>
+
+#include "src/base/deadline.h"
+#include "src/base/rng.h"
+#include "src/base/stopwatch.h"
+
+namespace imk {
+namespace {
+
+// splitmix64: derives the fresh per-attempt randomization seed from the base
+// seed, so retry layouts are independent but the whole schedule reproduces.
+uint64_t DeriveSeed(uint64_t base, uint64_t attempt) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ull * (attempt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return z != 0 ? z : 1;  // 0 means "draw from host entropy" to MicroVm
+}
+
+// The ladder below `requested`, most hardened first.
+std::vector<RandoMode> LadderFrom(RandoMode requested) {
+  switch (requested) {
+    case RandoMode::kFgKaslr:
+      return {RandoMode::kFgKaslr, RandoMode::kKaslr, RandoMode::kNone};
+    case RandoMode::kKaslr:
+      return {RandoMode::kKaslr, RandoMode::kNone};
+    case RandoMode::kNone:
+      return {RandoMode::kNone};
+  }
+  return {RandoMode::kNone};
+}
+
+// Data-shaped failures: the ones a corrupt shared template can cause, and
+// therefore the ones worth auditing the cache over before retrying.
+bool IsDataShaped(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kParseError:
+    case ErrorCode::kInternal:
+    case ErrorCode::kGuestFault:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* DegradePolicyName(DegradePolicy policy) {
+  switch (policy) {
+    case DegradePolicy::kStrict:
+      return "strict";
+    case DegradePolicy::kLadder:
+      return "ladder";
+  }
+  return "?";
+}
+
+Result<DegradePolicy> ParseDegradePolicy(const std::string& name) {
+  if (name == "strict") {
+    return DegradePolicy::kStrict;
+  }
+  if (name == "ladder") {
+    return DegradePolicy::kLadder;
+  }
+  return InvalidArgumentError("unknown degrade policy: " + name + " (strict|ladder)");
+}
+
+const char* AttemptResultName(AttemptResult result) {
+  switch (result) {
+    case AttemptResult::kOk:
+      return "ok";
+    case AttemptResult::kError:
+      return "error";
+    case AttemptResult::kWatchdogWall:
+      return "watchdog-wall";
+    case AttemptResult::kWatchdogInstructions:
+      return "watchdog-insns";
+  }
+  return "?";
+}
+
+std::string BootOutcome::ToString() const {
+  std::ostringstream out;
+  out << (ok ? "ok" : "FAILED") << " requested=" << RandoModeName(requested);
+  if (ok) {
+    out << " final=" << RandoModeName(final_mode);
+  }
+  out << " attempts=" << attempts << " watchdog_trips=" << watchdog_trips
+      << " degradations=" << degradations << " quarantines=" << cache_quarantines
+      << " wall_ms=" << total_wall_ns / 1000000;
+  for (const AttemptRecord& a : history) {
+    out << "\n  attempt " << a.index << ": mode=" << RandoModeName(a.mode)
+        << " seed=" << a.seed << " -> " << AttemptResultName(a.result);
+    if (!a.error.empty()) {
+      out << " (" << a.error << ")";
+    }
+    out << " [" << a.wall_ns / 1000000 << "ms]";
+  }
+  if (!ok) {
+    out << "\n  final status: " << final_status.ToString();
+  }
+  return out.str();
+}
+
+BootSupervisor::BootSupervisor(Storage& storage, MicroVmConfig config, SupervisorOptions options)
+    : storage_(storage), config_(std::move(config)), options_(std::move(options)) {}
+
+AttemptRecord BootSupervisor::Attempt(RandoMode mode, uint32_t index, uint64_t seed,
+                                      BootReport* report, Status* status) {
+  AttemptRecord record;
+  record.index = index;
+  record.mode = mode;
+  record.seed = seed;
+
+  MicroVmConfig config = config_;
+  config.rando = mode;
+  config.seed = seed;
+  if (options_.watchdog_instructions != 0) {
+    config.max_boot_instructions = options_.watchdog_instructions;
+  }
+  Deadline deadline = options_.watchdog_wall_ms != 0
+                          ? Deadline::AfterMs(options_.watchdog_wall_ms)
+                          : Deadline();  // default: never expires
+  config.deadline = &deadline;
+
+  Stopwatch timer;
+  auto vm = std::make_unique<MicroVm>(storage_, std::move(config));
+  Result<BootReport> boot = vm->Boot();
+  record.wall_ns = timer.ElapsedNs();
+
+  if (!boot.ok()) {
+    *status = boot.status();
+    record.error = boot.status().ToString();
+    record.result = boot.status().code() == ErrorCode::kDeadlineExceeded
+                        ? AttemptResult::kWatchdogWall
+                        : AttemptResult::kError;
+    return record;
+  }
+  BootReport got = std::move(*boot);
+  if (!got.init_done) {
+    // The guest stopped without reporting init: classify by why it stopped.
+    switch (got.guest_stop) {
+      case StopReason::kDeadline:
+        record.result = AttemptResult::kWatchdogWall;
+        record.error = "guest tripped the wall-clock watchdog before init";
+        *status = DeadlineExceededError(record.error);
+        break;
+      case StopReason::kInstructionCap:
+        record.result = AttemptResult::kWatchdogInstructions;
+        record.error = "guest exhausted its instruction budget before init";
+        *status = DeadlineExceededError(record.error);
+        break;
+      case StopReason::kHalt:
+        record.result = AttemptResult::kError;
+        record.error = "guest halted without reporting init-done";
+        *status = InternalError(record.error);
+        break;
+    }
+    return record;
+  }
+  if (options_.expected_checksum.has_value() &&
+      got.init_checksum != *options_.expected_checksum) {
+    record.result = AttemptResult::kError;
+    record.error = "guest init checksum mismatch (corrupt image reached the guest)";
+    *status = InternalError(record.error);
+    return record;
+  }
+  record.result = AttemptResult::kOk;
+  *status = OkStatus();
+  *report = std::move(got);
+  vm_ = std::move(vm);
+  return record;
+}
+
+BootOutcome BootSupervisor::Run() {
+  BootOutcome outcome;
+  outcome.requested = config_.rando;
+  Stopwatch total_timer;
+
+  ImageTemplateCache* cache = nullptr;
+  if (config_.use_template_cache) {
+    cache = config_.template_cache != nullptr ? config_.template_cache
+                                              : &GlobalImageTemplateCache();
+  }
+
+  const uint64_t base_seed = config_.seed != 0 ? config_.seed : HostEntropySeed();
+  const std::vector<RandoMode> ladder = LadderFrom(config_.rando);
+  const size_t rungs = options_.policy == DegradePolicy::kStrict ? 1 : ladder.size();
+  uint32_t index = 0;
+  for (size_t rung = 0; rung < rungs; ++rung) {
+    if (rung > 0) {
+      ++outcome.degradations;
+    }
+    for (uint32_t try_in_rung = 0; try_in_rung <= options_.max_retries; ++try_in_rung, ++index) {
+      BootReport report;
+      Status status = OkStatus();
+      // Attempt 0 uses the base seed as-is, so a clean supervised boot lays
+      // out exactly like an unsupervised one; only retries derive fresh seeds.
+      const uint64_t seed = index == 0 ? base_seed : DeriveSeed(base_seed, index);
+      AttemptRecord record = Attempt(ladder[rung], index, seed, &report, &status);
+      outcome.history.push_back(record);
+      ++outcome.attempts;
+      if (record.result == AttemptResult::kWatchdogWall ||
+          record.result == AttemptResult::kWatchdogInstructions) {
+        ++outcome.watchdog_trips;
+      }
+      if (record.result == AttemptResult::kOk) {
+        outcome.ok = true;
+        outcome.final_mode = ladder[rung];
+        outcome.report = std::move(report);
+        outcome.total_wall_ns = total_timer.ElapsedNs();
+        return outcome;
+      }
+      outcome.final_status = status;
+      // A data-shaped failure may mean the shared template rotted under us:
+      // audit the cache so the retry rebuilds from the image instead of
+      // failing the same way forever.
+      if (cache != nullptr && IsDataShaped(status)) {
+        outcome.cache_quarantines += cache->AuditEntries();
+      }
+    }
+  }
+  outcome.total_wall_ns = total_timer.ElapsedNs();
+  if (outcome.final_status.ok()) {
+    outcome.final_status = InternalError("boot supervisor exhausted attempts");
+  }
+  return outcome;
+}
+
+}  // namespace imk

@@ -1,0 +1,113 @@
+// BootSupervisor: the fleet-facing wrapper around MicroVm::Boot.
+//
+// A fleet monitor cannot treat a failed or wedged boot as fatal: images rot,
+// vCPUs hang, shared caches go bad. The supervisor bounds each attempt with
+// a watchdog (wall-clock Deadline + instruction budget), retries failed
+// attempts with a fresh randomization seed, and — when a randomization level
+// itself keeps failing — walks the degradation ladder
+//     fgkaslr -> kaslr -> nokaslr
+// (policy-controlled; kStrict refuses to trade hardening for availability
+// and fails instead). Every attempt is recorded, so a BootOutcome accounts
+// for exactly what the fleet paid to get (or fail to get) this VM up.
+//
+// The supervisor never throws and never returns a bare error: failures are
+// data, inside the outcome.
+#ifndef IMKASLR_SRC_VMM_BOOT_SUPERVISOR_H_
+#define IMKASLR_SRC_VMM_BOOT_SUPERVISOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/vmm/microvm.h"
+
+namespace imk {
+
+// What the supervisor may do when a randomization level keeps failing.
+enum class DegradePolicy {
+  kStrict,  // never boot below the requested level; fail instead
+  kLadder,  // step down fgkaslr -> kaslr -> nokaslr until something boots
+};
+
+const char* DegradePolicyName(DegradePolicy policy);
+Result<DegradePolicy> ParseDegradePolicy(const std::string& name);
+
+struct SupervisorOptions {
+  // Extra attempts per ladder rung beyond the first (same mode, fresh seed).
+  uint32_t max_retries = 2;
+  // Wall-clock watchdog per attempt; 0 = none. Checked at monitor stage
+  // boundaries and polled by the interpreter while the guest runs.
+  uint64_t watchdog_wall_ms = 0;
+  // Instruction-budget watchdog per attempt; 0 = keep the config's
+  // max_boot_instructions.
+  uint64_t watchdog_instructions = 0;
+  DegradePolicy policy = DegradePolicy::kLadder;
+  // When set, a boot whose guest init checksum differs is treated as a
+  // failed (data-shaped) attempt — the last line of defense against
+  // corruption the cache probes missed.
+  std::optional<uint64_t> expected_checksum;
+};
+
+// How one attempt ended.
+enum class AttemptResult {
+  kOk,
+  kError,                 // boot returned an error status / init never ran
+  kWatchdogWall,          // wall-clock deadline tripped (monitor or guest side)
+  kWatchdogInstructions,  // guest exhausted its instruction budget
+};
+
+const char* AttemptResultName(AttemptResult result);
+
+struct AttemptRecord {
+  uint32_t index = 0;     // 0-based across the whole outcome
+  RandoMode mode = RandoMode::kNone;
+  uint64_t seed = 0;      // the fresh per-attempt randomization seed
+  AttemptResult result = AttemptResult::kError;
+  std::string error;      // status message for non-OK attempts
+  uint64_t wall_ns = 0;
+};
+
+// The structured record of one supervised boot.
+struct BootOutcome {
+  bool ok = false;
+  RandoMode requested = RandoMode::kNone;
+  RandoMode final_mode = RandoMode::kNone;  // meaningful when ok
+  uint32_t attempts = 0;
+  uint32_t watchdog_trips = 0;
+  uint32_t degradations = 0;        // ladder steps taken (0 = booted as asked)
+  uint64_t cache_quarantines = 0;   // corrupt templates evicted by our audits
+  std::vector<AttemptRecord> history;
+  std::optional<BootReport> report;  // the successful attempt's report
+  Status final_status = OkStatus();  // last failure when !ok
+  uint64_t total_wall_ns = 0;
+
+  bool degraded() const { return ok && degradations > 0; }
+  std::string ToString() const;
+};
+
+// Supervises boots of one VM configuration. The MicroVmConfig's `deadline`
+// and `seed` fields are overridden per attempt; everything else is used
+// as-is. Run() may be called repeatedly (each call supervises a fresh VM).
+class BootSupervisor {
+ public:
+  BootSupervisor(Storage& storage, MicroVmConfig config, SupervisorOptions options);
+
+  BootOutcome Run();
+
+  // The VM of the last successful attempt (for post-boot interrogation);
+  // null until a Run() succeeds.
+  MicroVm* vm() { return vm_.get(); }
+
+ private:
+  AttemptRecord Attempt(RandoMode mode, uint32_t index, uint64_t seed, BootReport* report,
+                        Status* status);
+
+  Storage& storage_;
+  MicroVmConfig config_;
+  SupervisorOptions options_;
+  std::unique_ptr<MicroVm> vm_;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_BOOT_SUPERVISOR_H_

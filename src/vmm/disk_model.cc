@@ -1,5 +1,7 @@
 #include "src/vmm/disk_model.h"
 
+#include "src/base/fault_injection.h"
+
 namespace imk {
 
 void Storage::Put(const std::string& name, Bytes content) {
@@ -19,8 +21,12 @@ Result<Storage::ReadResult> Storage::Read(const std::string& name) {
   if (it == images_.end()) {
     return NotFoundError("no such image: " + name);
   }
+  // Models an I/O error (error flavor) or a truncated read (short flavor —
+  // the image span gets cut, so downstream parsers see a torn file).
+  IMK_FAULT_POINT("storage.read");
   ReadResult result;
-  result.data = ByteSpan(it->second.content);
+  result.data = ByteSpan(it->second.content)
+                    .subspan(0, IMK_FAULT_TRUNCATE("storage.read", it->second.content.size()));
   if (!it->second.cached) {
     const double seconds =
         static_cast<double>(it->second.content.size()) / model_.ssd_bytes_per_sec;

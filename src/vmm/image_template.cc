@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/crc32.h"
+#include "src/base/fault_injection.h"
 #include "src/elf/elf_reader.h"
 #include "src/elf/elf_types.h"
 
@@ -92,9 +93,23 @@ uint64_t SampleFingerprint(ByteSpan span) {
   return h;
 }
 
+// Per-chunk CRCs over `data` at the cache's integrity granularity.
+std::vector<uint32_t> ChunkCrcs(ByteSpan data) {
+  constexpr uint64_t kChunk = ImageTemplateCache::kIntegrityChunkBytes;
+  std::vector<uint32_t> crcs;
+  crcs.reserve((data.size() + kChunk - 1) / kChunk);
+  for (uint64_t off = 0; off < data.size(); off += kChunk) {
+    crcs.push_back(Crc32(data.subspan(off, std::min(kChunk, data.size() - off))));
+  }
+  return crcs;
+}
+
 Result<std::shared_ptr<const ImageTemplate>> BuildTemplate(ByteSpan vmlinux,
                                                            const TemplateOptions& options,
-                                                           uint32_t crc) {
+                                                           uint32_t crc, bool stamp_integrity) {
+  // Models a parse blowing up on a torn/hostile image before any state is
+  // cached (the supervisor treats the resulting kParseError as data-shaped).
+  IMK_FAULT_POINT("template.parse");
   auto tmpl = std::make_shared<ImageTemplate>();
   tmpl->crc32 = crc;
   tmpl->file_size = vmlinux.size();
@@ -126,34 +141,20 @@ Result<std::shared_ptr<const ImageTemplate>> BuildTemplate(ByteSpan vmlinux,
     std::memcpy(tmpl->pristine.data() + offset, file_bytes.data(), file_bytes.size());
   }
 
-  {
-    auto pvh = PvhEntry(elf);
-    if (pvh.ok()) {
-      tmpl->pvh_entry = *pvh;
-    } else if (pvh.status().code() != ErrorCode::kNotFound) {
-      return pvh.status();
-    }
-  }
-  {
-    auto constants = NoteConstants(elf);
-    if (constants.ok()) {
-      tmpl->note_constants = *constants;
-    } else if (constants.status().code() != ErrorCode::kNotFound) {
-      return constants.status();
-    }
-  }
-  {
-    // Absent fgkaslr support is a property of the image, not an error; any
-    // other failure (corrupt symtab, bad section offsets) still surfaces.
-    auto fg = ParseFgMetadata(elf);
-    if (fg.ok()) {
-      tmpl->fg = std::move(*fg);
-    } else if (fg.status().code() != ErrorCode::kFailedPrecondition) {
-      return fg.status();
-    }
-  }
+  // The notes are optional image features; their absence is tolerated, any
+  // other failure (corrupt note section, bad offsets) still surfaces. Same
+  // for fgkaslr metadata, whose "not built for it" signal is a precondition.
+  IMK_ASSIGN_OPTIONAL_OR_RETURN(tmpl->pvh_entry, PvhEntry(elf), ErrorCode::kNotFound);
+  IMK_ASSIGN_OPTIONAL_OR_RETURN(tmpl->note_constants, NoteConstants(elf), ErrorCode::kNotFound);
+  IMK_ASSIGN_OPTIONAL_OR_RETURN(tmpl->fg, ParseFgMetadata(elf), ErrorCode::kFailedPrecondition);
   if (options.extract_relocs) {
     IMK_ASSIGN_OR_RETURN(tmpl->elf_relocs, ExtractRelocsFromElf(elf));
+  }
+  if (stamp_integrity) {
+    const ByteSpan pristine(tmpl->pristine);
+    tmpl->pristine_crc32 = Crc32(pristine);
+    tmpl->pristine_probe = SampleFingerprint(pristine);
+    tmpl->pristine_chunk_crcs = ChunkCrcs(pristine);
   }
   return std::shared_ptr<const ImageTemplate>(std::move(tmpl));
 }
@@ -164,7 +165,9 @@ Result<std::shared_ptr<const ImageTemplate>> BuildImageTemplate(ByteSpan vmlinux
                                                                 const TemplateOptions& options) {
   // Inline (cacheless) builds skip hashing: the cold boot path never needs
   // an identity key, and hashing the whole image would dominate the parse.
-  return BuildTemplate(vmlinux, options, /*crc=*/0);
+  // They skip the integrity stamp for the same reason — a template nothing
+  // else aliases has no shared state to re-verify.
+  return BuildTemplate(vmlinux, options, /*crc=*/0, /*stamp_integrity=*/false);
 }
 
 Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
@@ -192,75 +195,176 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
   if (!have_key) {
     key = Key{Crc32(vmlinux), vmlinux.size()};
   }
-  std::shared_ptr<BuildState> flight;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_);
     memo_[memo_next_] = SpanMemo{vmlinux.data(), vmlinux.size(), probe, key};
     memo_next_ = (memo_next_ + 1) % memo_.size();
-    for (;;) {
-      auto it = index_.find(key);
-      // A template built with extract_relocs satisfies lookups without it;
-      // the reverse upgrade falls through to a rebuild.
-      if (it != index_.end() &&
-          (it->second->value->relocs_extracted || !options.extract_relocs)) {
-        lru_.splice(lru_.begin(), lru_, it->second);
-        ++hits_;
-        return it->second->value;
-      }
-      // Single-flight: a boot storm's first wave all misses the same key at
-      // once, and parsing the same multi-megabyte vmlinux N times in
-      // parallel wastes N-1 parses worth of CPU and transient memory. One
-      // caller builds; everyone else blocks on its completion, then re-reads
-      // the cache. Distinct keys still build fully concurrently.
-      auto fit = in_flight_.find(key);
-      if (fit != in_flight_.end() &&
-          (fit->second->extracts_relocs || !options.extract_relocs)) {
-        std::shared_ptr<BuildState> other = fit->second;
-        build_done_.wait(lock, [&] { return other->done; });
-        if (!other->status.ok()) {
-          return other->status;
+  }
+  // Outer loop: re-entered when a hit fails its integrity probe and is
+  // quarantined — the lookup then rebuilds through the miss path.
+  for (;;) {
+    std::shared_ptr<const ImageTemplate> cand;
+    uint64_t cursor = 0;
+    IntegrityMode mode = IntegrityMode::kSampled;
+    std::shared_ptr<BuildState> flight;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        auto it = index_.find(key);
+        // A template built with extract_relocs satisfies lookups without it;
+        // the reverse upgrade falls through to a rebuild.
+        if (it != index_.end() &&
+            (it->second->value->relocs_extracted || !options.extract_relocs)) {
+          lru_.splice(lru_.begin(), lru_, it->second);
+          ++hits_;
+          cand = it->second->value;
+          cursor = it->second->verify_cursor++;
+          mode = integrity_;
+          break;  // verify outside the lock
         }
-        continue;  // the builder inserted it; take the hit path
+        // Single-flight: a boot storm's first wave all misses the same key at
+        // once, and parsing the same multi-megabyte vmlinux N times in
+        // parallel wastes N-1 parses worth of CPU and transient memory. One
+        // caller builds; everyone else blocks on its completion, then re-reads
+        // the cache. Distinct keys still build fully concurrently.
+        auto fit = in_flight_.find(key);
+        if (fit != in_flight_.end() &&
+            (fit->second->extracts_relocs || !options.extract_relocs)) {
+          std::shared_ptr<BuildState> other = fit->second;
+          build_done_.wait(lock, [&] { return other->done; });
+          if (!other->status.ok()) {
+            return other->status;
+          }
+          continue;  // the builder inserted it; take the hit path
+        }
+        ++misses_;
+        flight = std::make_shared<BuildState>();
+        flight->extracts_relocs = options.extract_relocs;
+        in_flight_[key] = flight;  // may replace a weaker (no-relocs) flight
+        break;
       }
-      ++misses_;
-      flight = std::make_shared<BuildState>();
-      flight->extracts_relocs = options.extract_relocs;
-      in_flight_[key] = flight;  // may replace a weaker (no-relocs) flight
-      break;
     }
-  }
 
-  // Build outside the lock: parsing a large vmlinux must not serialize
-  // lookups of other kernels.
-  Result<std::shared_ptr<const ImageTemplate>> built =
-      BuildTemplate(vmlinux, options, std::get<0>(key));
+    if (cand != nullptr) {
+      // Bit-rot drill: flips bytes in the shared pristine buffer right
+      // before the integrity probe (the window real rot would occupy).
+      IMK_FAULT_CORRUPT("template.cache_hit",
+                        const_cast<uint8_t*>(cand->pristine.data()), cand->pristine.size());
+      // Verify outside the lock — a full-mode probe hashes the whole image
+      // and must not serialize other lookups.
+      if (VerifyTemplate(*cand, cursor, mode)) {
+        return cand;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = index_.find(key);
+      if (it != index_.end() && it->second->value == cand) {
+        lru_.erase(it->second);
+        index_.erase(it);
+      }
+      ++quarantined_;
+      --hits_;  // the serve never happened
+      continue;  // rebuild as a miss
+    }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto fit = in_flight_.find(key);
-  if (fit != in_flight_.end() && fit->second == flight) {
-    in_flight_.erase(fit);
-  }
-  flight->done = true;
-  if (!built.ok()) {
-    flight->status = built.status();
+    // Build outside the lock: parsing a large vmlinux must not serialize
+    // lookups of other kernels.
+    Result<std::shared_ptr<const ImageTemplate>> built =
+        BuildTemplate(vmlinux, options, std::get<0>(key), /*stamp_integrity=*/true);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto fit = in_flight_.find(key);
+    if (fit != in_flight_.end() && fit->second == flight) {
+      in_flight_.erase(fit);
+    }
+    flight->done = true;
+    if (!built.ok()) {
+      flight->status = built.status();
+      build_done_.notify_all();
+      return built.status();
+    }
+    flight->status = OkStatus();
     build_done_.notify_all();
-    return built.status();
-  }
-  flight->status = OkStatus();
-  build_done_.notify_all();
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    it->second->value = *built;  // upgrade (or racing duplicate; same bytes)
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->value = *built;  // upgrade (or racing duplicate; same bytes)
+      return *built;
+    }
+    lru_.push_front(Entry{key, *built});
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
     return *built;
   }
-  lru_.push_front(Entry{key, *built});
-  index_[key] = lru_.begin();
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
+}
+
+bool ImageTemplateCache::VerifyTemplate(const ImageTemplate& tmpl, uint64_t cursor,
+                                        IntegrityMode mode) {
+  if (tmpl.pristine_chunk_crcs.empty()) {
+    return true;  // unstamped (inline build); nothing to check against
   }
-  return *built;
+  const ByteSpan pristine(tmpl.pristine);
+  const size_t nchunks = tmpl.pristine_chunk_crcs.size();
+  const auto chunk_ok = [&](size_t c) {
+    const uint64_t off = c * kIntegrityChunkBytes;
+    const uint64_t len = std::min(kIntegrityChunkBytes, pristine.size() - off);
+    return Crc32(pristine.subspan(off, len)) == tmpl.pristine_chunk_crcs[c];
+  };
+  if (mode == IntegrityMode::kFull) {
+    for (size_t c = 0; c < nchunks; ++c) {
+      if (!chunk_ok(c)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Sampled: the fingerprint (a few hundred bytes) guards every hit; the
+  // rotating full-chunk CRC — the expensive probe — runs every stride-th hit
+  // so a warm launch's verify cost stays a fraction of the map work while
+  // localized rot is still caught within O(stride * image/chunk) hits.
+  constexpr uint64_t kSampledChunkStride = 8;
+  if (SampleFingerprint(pristine) != tmpl.pristine_probe) {
+    return false;
+  }
+  if (cursor % kSampledChunkStride != 0) {
+    return true;
+  }
+  return chunk_ok(static_cast<size_t>((cursor / kSampledChunkStride) % nchunks));
+}
+
+void ImageTemplateCache::set_integrity_mode(IntegrityMode mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  integrity_ = mode;
+}
+
+size_t ImageTemplateCache::AuditEntries() {
+  // Snapshot under the lock, hash outside it, quarantine survivors of the
+  // race (an entry replaced mid-audit is a fresh build; leave it alone).
+  std::vector<std::pair<Key, std::shared_ptr<const ImageTemplate>>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.reserve(lru_.size());
+    for (const Entry& entry : lru_) {
+      snapshot.emplace_back(entry.key, entry.value);
+    }
+  }
+  size_t dropped = 0;
+  for (const auto& [key, tmpl] : snapshot) {
+    if (VerifyTemplate(*tmpl, 0, IntegrityMode::kFull)) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end() && it->second->value == tmpl) {
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++quarantined_;
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 uint64_t ImageTemplateCache::hits() const {
@@ -271,6 +375,11 @@ uint64_t ImageTemplateCache::hits() const {
 uint64_t ImageTemplateCache::misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+uint64_t ImageTemplateCache::quarantined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_;
 }
 
 size_t ImageTemplateCache::size() const {
@@ -286,6 +395,7 @@ void ImageTemplateCache::Clear() {
   memo_next_ = 0;
   hits_ = 0;
   misses_ = 0;
+  quarantined_ = 0;
 }
 
 ImageTemplateCache& GlobalImageTemplateCache() {

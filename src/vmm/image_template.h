@@ -22,6 +22,7 @@
 #include <mutex>
 #include <optional>
 #include <tuple>
+#include <vector>
 
 #include "src/base/bytes.h"
 #include "src/base/result.h"
@@ -63,6 +64,14 @@ struct ImageTemplate {
 
   // Decoded .rela relocation info (only when options.extract_relocs).
   RelocInfo elf_relocs;
+
+  // Integrity references over `pristine`, stamped by the cache at build time
+  // (inline BuildImageTemplate leaves them empty: a cold single boot has no
+  // shared state to rot). Whole-image CRC plus per-chunk CRCs let a cache
+  // hit probe the shared buffer for bit-rot without re-hashing all of it.
+  uint32_t pristine_crc32 = 0;
+  uint64_t pristine_probe = 0;                // sampled-window fingerprint
+  std::vector<uint32_t> pristine_chunk_crcs;  // ImageTemplateCache::kIntegrityChunkBytes each
 };
 
 // Parses `vmlinux` into a template. Fails with kParseError on malformed
@@ -78,16 +87,44 @@ Result<std::shared_ptr<const ImageTemplate>> BuildImageTemplate(ByteSpan vmlinux
 // them (true for read-only mapped kernel files).
 class ImageTemplateCache {
  public:
+  // Chunk granularity of the stored per-chunk CRCs (see IntegrityMode).
+  static constexpr uint64_t kIntegrityChunkBytes = 256 * 1024;
+
+  // How thoroughly a hit re-verifies the stored template against its
+  // build-time CRCs before serving it. The templates are the one buffer
+  // every VM in the fleet aliases, so silent corruption there fans out.
+  enum class IntegrityMode {
+    // Sampled fingerprint plus one rotating chunk CRC per hit: ~1-2% of a
+    // warm launch, detects localized rot within O(image/chunk) hits.
+    kSampled,
+    // Every chunk on every hit: deterministic same-hit detection, costs a
+    // full image hash per lookup. Tests and fault drills.
+    kFull,
+  };
+
   explicit ImageTemplateCache(size_t capacity = 8) : capacity_(capacity ? capacity : 1) {}
 
   // Returns the cached template for these bytes, building and inserting it
   // on a miss. A cached template is only reused when its precomputed extras
   // cover `options` (a relocs-extracted template satisfies both settings).
+  // Hits re-verify the stored pristine bytes per the integrity mode; a
+  // template that fails the probe is quarantined (evicted and counted) and
+  // rebuilt from the image through the single-flight path — the caller just
+  // sees a slower, correct lookup.
   Result<std::shared_ptr<const ImageTemplate>> GetOrBuild(ByteSpan vmlinux,
                                                           const TemplateOptions& options);
 
+  void set_integrity_mode(IntegrityMode mode);
+
+  // Full-CRC audit of every cached template; corrupt entries are
+  // quarantined. Returns how many were. The boot supervisor runs this before
+  // retrying a boot that failed with a data-shaped error, so a rotted
+  // template cannot fail every retry.
+  size_t AuditEntries();
+
   uint64_t hits() const;
   uint64_t misses() const;
+  uint64_t quarantined() const;
   size_t size() const;
   void Clear();
 
@@ -96,7 +133,12 @@ class ImageTemplateCache {
   struct Entry {
     Key key;
     std::shared_ptr<const ImageTemplate> value;
+    uint64_t verify_cursor = 0;  // rotates the sampled-mode chunk probe
   };
+
+  // True when `tmpl`'s pristine bytes still match its stamped CRCs (always
+  // true for unstamped inline builds). `cursor` picks the sampled chunk.
+  static bool VerifyTemplate(const ImageTemplate& tmpl, uint64_t cursor, IntegrityMode mode);
 
   // Span -> key memo so repeat lookups of the same mapping skip the CRC.
   struct SpanMemo {
@@ -124,6 +166,8 @@ class ImageTemplateCache {
   size_t memo_next_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t quarantined_ = 0;
+  IntegrityMode integrity_ = IntegrityMode::kSampled;
 };
 
 // The process-wide cache monitors share by default (a Firecracker fleet

@@ -3,10 +3,18 @@
 #include <cstring>
 
 #include "src/base/align.h"
+#include "src/base/fault_injection.h"
 #include "src/base/stopwatch.h"
 #include "src/kernel/layout.h"
 
 namespace imk {
+
+namespace {
+// Stage-boundary watchdog poll; a null deadline means "no watchdog".
+Status CheckDeadline(const Deadline* deadline, const char* stage) {
+  return deadline != nullptr ? deadline->Check(stage) : OkStatus();
+}
+}  // namespace
 
 Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
                                             std::shared_ptr<const ImageTemplate> tmpl_ptr,
@@ -38,6 +46,9 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
   loaded.image_mem_size = mem_size;
 
   // ---- choose offsets ----
+  IMK_RETURN_IF_ERROR(CheckDeadline(resources.deadline, "loader.choose"));
+  // Models an entropy-source failure in the offset chooser.
+  IMK_FAULT_POINT("loader.choose");
   Stopwatch choose_timer;
   const bool randomize = params.requested != RandoMode::kNone;
   if (randomize) {
@@ -68,6 +79,10 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
   // buffer into guest memory zero-copy — the monitor-CoW sharing the paper's
   // §6 density argument needs — and copies only the sub-frame head/tail of
   // each region. Frames the randomizer later writes materialize on fault.
+  IMK_RETURN_IF_ERROR(CheckDeadline(resources.deadline, "loader.map_pristine"));
+  // Models a mapping failure while aliasing the pristine template into guest
+  // RAM (e.g. an mmap/memfd error in a real monitor).
+  IMK_FAULT_POINT("loader.map_pristine");
   Stopwatch load_timer;
   constexpr uint64_t kFrame = FrameStore::kFrameBytes;
   const uint64_t phys_base = loaded.choice.phys_load_addr;
@@ -162,6 +177,7 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
   LoadedImageView view(frames, phys_base, mem_size, link_base);
 
   // ---- FGKASLR: shuffle + table fixups ----
+  IMK_RETURN_IF_ERROR(CheckDeadline(resources.deadline, "loader.fg_shuffle"));
   if (params.requested == RandoMode::kFgKaslr) {
     if (params.fgkaslr_disabled_cmdline) {
       // "nofgkaslr": the per-function-section metadata is still demanded —
@@ -193,7 +209,11 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
       dirty_after_fg > dirty_after_load ? dirty_after_fg - dirty_after_load : 0;
 
   // ---- relocations ----
+  IMK_RETURN_IF_ERROR(CheckDeadline(resources.deadline, "loader.reloc"));
   if (randomize) {
+    // Models a failed relocation pass (bad delta table, write fault); the
+    // degradation ladder leans on the fact that kNone skips this stage.
+    IMK_FAULT_POINT("loader.reloc");
     Stopwatch reloc_timer;
     RelocApplyOptions reloc_options;
     reloc_options.pool = resources.pool;
@@ -231,6 +251,7 @@ Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
                                       const RelocInfo* relocs, const DirectBootParams& params,
                                       Rng& rng, const DirectLoadResources& resources) {
   // ---- parse (or skip it: template cache hit) ----
+  IMK_RETURN_IF_ERROR(CheckDeadline(resources.deadline, "loader.parse"));
   Stopwatch parse_timer;
   std::shared_ptr<const ImageTemplate> tmpl;
   bool cache_hit = false;

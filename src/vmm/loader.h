@@ -68,6 +68,10 @@ struct DirectLoadResources {
   ImageTemplateCache* cache = nullptr;  // template reuse across boots (null = build inline)
   RelocScratch* reloc_scratch = nullptr;  // reused reloc delta buffers + value index
   Bytes* move_scratch = nullptr;          // reused FGKASLR text-copy buffer
+  // Wall-clock watchdog checked at stage boundaries (choose/map/shuffle/
+  // reloc); an expired deadline aborts the load with kDeadlineExceeded.
+  // nullptr = no deadline.
+  const Deadline* deadline = nullptr;
 };
 
 // Wall-clock breakdown of monitor-side loading (all measured).

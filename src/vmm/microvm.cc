@@ -62,7 +62,7 @@ Result<uint64_t> MicroVm::SetUpBoard() {
   devices_ = std::move(devices);
   usable_mem_top_ = devices_->reserved_floor_phys();
   if (qemu) {
-    IMK_RETURN_IF_ERROR(RunFirmwarePost(*memory_, /*work_iterations=*/400).status());
+    IMK_RETURN_IF_ERROR(RunFirmwarePost(*memory_, /*work_iterations=*/400));
   }
   return timer.ElapsedNs();
 }
@@ -83,7 +83,11 @@ Result<BootReport> MicroVm::Boot() {
 
 Result<BootReport> MicroVm::BootDirect(BootReport& report) {
   Stopwatch monitor_timer;
-  IMK_RETURN_IF_ERROR(SetUpBoard().status());
+  const Deadline* deadline = config_.deadline;
+  IMK_RETURN_IF_ERROR(SetUpBoard());
+  if (deadline != nullptr) {
+    IMK_RETURN_IF_ERROR(deadline->Check("microvm.board"));
+  }
 
   // Read the kernel (and, per Figure 8, the optional relocs image).
   IMK_ASSIGN_OR_RETURN(Storage::ReadResult kernel_read, storage_.Read(config_.kernel_image));
@@ -105,6 +109,9 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
   if (config_.use_template_cache) {
     cache = config_.template_cache != nullptr ? config_.template_cache
                                               : &GlobalImageTemplateCache();
+  }
+  if (deadline != nullptr) {
+    IMK_RETURN_IF_ERROR(deadline->Check("microvm.template"));
   }
   std::shared_ptr<const ImageTemplate> tmpl;
   if (cache != nullptr) {
@@ -140,6 +147,7 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
     pool.emplace(config_.load_threads);
     resources.pool = &*pool;
   }
+  resources.deadline = deadline;
   IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
                        DirectLoadFromTemplate(*memory_, tmpl, relocs, params, rng, resources));
 
@@ -198,6 +206,10 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
   }
 
   // Enter guest context.
+  if (deadline != nullptr) {
+    IMK_RETURN_IF_ERROR(deadline->Check("microvm.guest_entry"));
+    vcpu_->set_deadline(deadline);
+  }
   Stopwatch guest_timer;
   IMK_ASSIGN_OR_RETURN(VcpuOutcome outcome,
                        vcpu_->Run(loaded.entry_vaddr, loaded.stack_top, usable_mem_top_,
@@ -207,6 +219,7 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
   report.init_done = outcome.init_done;
   report.init_checksum = outcome.init_checksum;
   report.guest_stats = outcome.run.stats;
+  report.guest_stop = outcome.run.reason;
   report.console = std::move(outcome.console);
   for (const auto& marker : outcome.markers) {
     report.timeline.RecordMarker(marker.first, marker.second);
@@ -216,7 +229,11 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
 
 Result<BootReport> MicroVm::BootBzImage(BootReport& report) {
   Stopwatch monitor_timer;
-  IMK_RETURN_IF_ERROR(SetUpBoard().status());
+  const Deadline* deadline = config_.deadline;
+  IMK_RETURN_IF_ERROR(SetUpBoard());
+  if (deadline != nullptr) {
+    IMK_RETURN_IF_ERROR(deadline->Check("microvm.board"));
+  }
 
   IMK_ASSIGN_OR_RETURN(Storage::ReadResult image_read, storage_.Read(config_.kernel_image));
   report.timeline.AddModeled(BootPhase::kInMonitor, image_read.modeled_io_ns);
@@ -294,6 +311,10 @@ Result<BootReport> MicroVm::BootBzImage(BootReport& report) {
                             boot.image_mem_size);
   }
 
+  if (deadline != nullptr) {
+    IMK_RETURN_IF_ERROR(deadline->Check("microvm.guest_entry"));
+    vcpu_->set_deadline(deadline);
+  }
   Stopwatch guest_timer;
   IMK_ASSIGN_OR_RETURN(VcpuOutcome outcome,
                        vcpu_->Run(boot.entry_vaddr, boot.stack_top, usable_mem_top_,
@@ -303,6 +324,7 @@ Result<BootReport> MicroVm::BootBzImage(BootReport& report) {
   report.init_done = outcome.init_done;
   report.init_checksum = outcome.init_checksum;
   report.guest_stats = outcome.run.stats;
+  report.guest_stop = outcome.run.reason;
   report.console = std::move(outcome.console);
   for (const auto& marker : outcome.markers) {
     report.timeline.RecordMarker(marker.first, marker.second);

@@ -74,6 +74,12 @@ struct MicroVmConfig {
   bool use_template_cache = true;
   ImageTemplateCache* template_cache = nullptr;
 
+  // Boot watchdog wall-clock deadline, checked at monitor stage boundaries
+  // and polled by the interpreter while the guest runs. The caller owns the
+  // Deadline and keeps it alive across Boot(). nullptr = no watchdog. (The
+  // instruction-budget watchdog is max_boot_instructions above.)
+  const Deadline* deadline = nullptr;
+
   // Opt-in static verification (src/verify): after the monitor loads and
   // randomizes the image — before the first guest instruction — run the full
   // invariant battery against the pre-randomization ELF. Boot fails with
@@ -95,6 +101,10 @@ struct BootReport {
   std::optional<FgKaslrTimings> fg_timings;
   uint32_t sections_shuffled = 0;
   ExecStats guest_stats;
+  // Why the guest stopped. A boot that "succeeds" (OK status) but stopped on
+  // kInstructionCap or kDeadline without init_done is a hung guest — the
+  // supervisor's watchdog classification reads this.
+  StopReason guest_stop = StopReason::kHalt;
   std::string console;
   std::optional<VerifyReport> verify;  // set when config.verify_after_load ran
   // Direct boots only: loader stage breakdown + per-stage frame

@@ -1,5 +1,6 @@
 #include "src/vmm/vcpu.h"
 
+#include "src/base/fault_injection.h"
 #include "src/base/stopwatch.h"
 #include "src/isa/isa.h"
 
@@ -67,6 +68,10 @@ Result<uint64_t> Vcpu::HandlePort(uint16_t port, bool is_write, uint64_t value) 
 
 Result<VcpuOutcome> Vcpu::Run(uint64_t entry, uint64_t stack_top, uint64_t r1, uint64_t r2,
                               uint64_t r3, uint64_t max_instructions) {
+  // Stuck-vCPU drill: a delay rule here models a guest wedged before its
+  // first instruction (the schedule the wall-clock watchdog exists for); an
+  // error rule models the KVM_RUN ioctl itself failing.
+  IMK_FAULT_POINT("vcpu.enter");
   outcome_ = VcpuOutcome{};
   interpreter_.set_reg(1, r1);
   interpreter_.set_reg(2, r2);

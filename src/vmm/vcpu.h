@@ -39,6 +39,10 @@ class Vcpu {
   }
   void set_icache(IcacheModel* icache) { interpreter_.set_icache(icache); }
 
+  // Wall-clock watchdog for guest execution (see Interpreter::set_deadline);
+  // an expired deadline surfaces as a clean stop with StopReason::kDeadline.
+  void set_deadline(const Deadline* deadline) { interpreter_.set_deadline(deadline); }
+
   // Runs the guest from `entry` with the given stack and boot registers.
   Result<VcpuOutcome> Run(uint64_t entry, uint64_t stack_top, uint64_t r1, uint64_t r2,
                           uint64_t r3, uint64_t max_instructions);

@@ -3,6 +3,8 @@
 // the happy paths end to end).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/base/align.h"
 #include "src/bootstrap/bootstrap_loader.h"
 #include "src/elf/elf_reader.h"
@@ -114,9 +116,15 @@ TEST(BootstrapLoaderTest, FgKaslrPaysLargerSetup) {
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return result->timings.setup_ns;
   };
-  // 8x boot heap -> measurably more zeroing work (5.2).
-  const uint64_t kaslr_setup = run_setup(RandoMode::kKaslr);
-  const uint64_t fg_setup = run_setup(RandoMode::kFgKaslr);
+  // 8x boot heap -> measurably more zeroing work (5.2). A single sample per
+  // mode flakes on a loaded core, so compare the best of several runs: the
+  // minimum is the noise-free cost of the work each mode actually does.
+  uint64_t kaslr_setup = UINT64_MAX;
+  uint64_t fg_setup = UINT64_MAX;
+  for (int rep = 0; rep < 5; ++rep) {
+    kaslr_setup = std::min(kaslr_setup, run_setup(RandoMode::kKaslr));
+    fg_setup = std::min(fg_setup, run_setup(RandoMode::kFgKaslr));
+  }
   EXPECT_GT(fg_setup, kaslr_setup);
 }
 

@@ -1,0 +1,254 @@
+// Deterministic fault injection: spec parsing, seed-reproducible fire
+// schedules, trigger semantics (nth / probability / max_fires), the
+// data-bearing Truncate/Corrupt points, and the disarmed fast path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/fault_injection.h"
+
+namespace imk {
+namespace {
+
+// Records which of `hits` consecutive hits of `point` fire an error rule.
+std::vector<bool> FireSchedule(const FaultPlan& plan, const char* point, int hits) {
+  FaultScope scope(plan);
+  std::vector<bool> fired;
+  fired.reserve(hits);
+  for (int i = 0; i < hits; ++i) {
+    fired.push_back(!FaultInjector::Instance().Check(point).ok());
+  }
+  return fired;
+}
+
+// ---- spec parsing ----
+
+TEST(FaultPlanTest, ParsesFullGrammar) {
+  auto plan = FaultPlan::Parse(
+      "loader.reloc:error:n=2:max=1:code=parse_error;"
+      "storage.read:short:p=0.25;"
+      "template.cache_hit:corrupt:bytes=4;"
+      "vcpu.enter:delay:us=500",
+      7);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed, 7u);
+  ASSERT_EQ(plan->rules.size(), 4u);
+
+  EXPECT_EQ(plan->rules[0].point, "loader.reloc");
+  EXPECT_EQ(plan->rules[0].flavor, FaultFlavor::kError);
+  EXPECT_EQ(plan->rules[0].nth, 2u);
+  EXPECT_EQ(plan->rules[0].max_fires, 1u);
+  EXPECT_EQ(plan->rules[0].error, ErrorCode::kParseError);
+
+  EXPECT_EQ(plan->rules[1].flavor, FaultFlavor::kShort);
+  EXPECT_DOUBLE_EQ(plan->rules[1].probability, 0.25);
+
+  EXPECT_EQ(plan->rules[2].flavor, FaultFlavor::kCorrupt);
+  EXPECT_EQ(plan->rules[2].corrupt_bytes, 4u);
+
+  EXPECT_EQ(plan->rules[3].flavor, FaultFlavor::kDelay);
+  EXPECT_EQ(plan->rules[3].delay_us, 500u);
+}
+
+TEST(FaultPlanTest, EmptySpecIsAnEmptyPlan) {
+  auto plan = FaultPlan::Parse("", 3);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::Parse("loader.reloc", 1).ok());               // no flavor
+  EXPECT_FALSE(FaultPlan::Parse("loader.reloc:explode", 1).ok());       // bad flavor
+  EXPECT_FALSE(FaultPlan::Parse("x:error:p=1.5", 1).ok());              // p out of range
+  EXPECT_FALSE(FaultPlan::Parse("x:error:n=0", 1).ok());                // nth is 1-based
+  EXPECT_FALSE(FaultPlan::Parse("x:error:frequency=2", 1).ok());        // unknown option
+  EXPECT_FALSE(FaultPlan::Parse("x:error:code=NO_SUCH_CODE", 1).ok());  // bad code name
+  EXPECT_FALSE(FaultPlan::Parse(":error", 1).ok());                     // empty point
+}
+
+TEST(FaultPlanTest, ErrorCodeNamesAreCaseInsensitive) {
+  auto lower = ParseErrorCodeName("guest_fault");
+  auto upper = ParseErrorCodeName("GUEST_FAULT");
+  ASSERT_TRUE(lower.ok());
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(*lower, ErrorCode::kGuestFault);
+  EXPECT_EQ(*upper, ErrorCode::kGuestFault);
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  auto plan = FaultPlan::Parse("a:error:n=3:max=1;b:short:p=0.5", 9);
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = FaultPlan::Parse(plan->ToString(), plan->seed);
+  ASSERT_TRUE(reparsed.ok()) << plan->ToString();
+  ASSERT_EQ(reparsed->rules.size(), plan->rules.size());
+  for (size_t i = 0; i < plan->rules.size(); ++i) {
+    EXPECT_EQ(reparsed->rules[i].point, plan->rules[i].point);
+    EXPECT_EQ(reparsed->rules[i].flavor, plan->rules[i].flavor);
+    EXPECT_EQ(reparsed->rules[i].nth, plan->rules[i].nth);
+    EXPECT_DOUBLE_EQ(reparsed->rules[i].probability, plan->rules[i].probability);
+    EXPECT_EQ(reparsed->rules[i].max_fires, plan->rules[i].max_fires);
+  }
+}
+
+// ---- trigger semantics ----
+
+TEST(FaultInjectorTest, NthTriggerFiresExactlyOnce) {
+  auto plan = FaultPlan::Parse("pt:error:n=3", 1);
+  ASSERT_TRUE(plan.ok());
+  const std::vector<bool> fired = FireSchedule(*plan, "pt", 6);
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsAnAlwaysFiringRule) {
+  auto plan = FaultPlan::Parse("pt:error:max=2", 1);
+  ASSERT_TRUE(plan.ok());
+  const std::vector<bool> fired = FireSchedule(*plan, "pt", 5);
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, false, false, false}));
+}
+
+TEST(FaultInjectorTest, ProbabilityScheduleReproducesFromSeed) {
+  auto plan = FaultPlan::Parse("pt:error:p=0.5", 11);
+  ASSERT_TRUE(plan.ok());
+  const std::vector<bool> first = FireSchedule(*plan, "pt", 64);
+  const std::vector<bool> second = FireSchedule(*plan, "pt", 64);
+  EXPECT_EQ(first, second);
+
+  // A p=0.5 rule over 64 hits fires somewhere strictly between never and
+  // always (binomial tail odds ~2^-64 per side).
+  int fires = 0;
+  for (bool f : first) {
+    fires += f ? 1 : 0;
+  }
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+
+  auto other = FaultPlan::Parse("pt:error:p=0.5", 12);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(FireSchedule(*other, "pt", 64), first);
+}
+
+TEST(FaultInjectorTest, PointsAreIndependentStreams) {
+  auto plan = FaultPlan::Parse("a:error:n=1:max=1;b:error:n=2:max=1", 1);
+  ASSERT_TRUE(plan.ok());
+  FaultScope scope(*plan);
+  auto& inj = FaultInjector::Instance();
+  // Hits of `a` never advance `b`'s eligible-hit count.
+  EXPECT_FALSE(inj.Check("a").ok());
+  EXPECT_TRUE(inj.Check("b").ok());   // b hit 1 of 2
+  EXPECT_TRUE(inj.Check("a").ok());   // a already spent
+  EXPECT_FALSE(inj.Check("b").ok());  // b hit 2 fires
+}
+
+TEST(FaultInjectorTest, InjectedErrorCarriesConfiguredCodeAndPoint) {
+  auto plan = FaultPlan::Parse("loader.parse:error:code=guest_fault", 1);
+  ASSERT_TRUE(plan.ok());
+  FaultScope scope(*plan);
+  Status status = FaultInjector::Instance().Check("loader.parse");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kGuestFault);
+  EXPECT_NE(status.message().find("loader.parse"), std::string::npos);
+}
+
+// ---- counters ----
+
+TEST(FaultInjectorTest, CountersTrackHitsAndFires) {
+  auto plan = FaultPlan::Parse("pt:error:n=2:max=1", 1);
+  ASSERT_TRUE(plan.ok());
+  FaultScope scope(*plan);
+  auto& inj = FaultInjector::Instance();
+  for (int i = 0; i < 5; ++i) {
+    (void)inj.Check("pt");
+    (void)inj.Check("unarmed.point");  // no rule -> not an eligible hit
+  }
+  EXPECT_EQ(inj.hits_total(), 5u);
+  EXPECT_EQ(inj.fires_total(), 1u);
+  auto counts = inj.Counts();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].point, "pt");
+  EXPECT_EQ(counts[0].hits, 5u);
+  EXPECT_EQ(counts[0].fires, 1u);
+}
+
+TEST(FaultInjectorTest, ArmResetsCounters) {
+  auto plan = FaultPlan::Parse("pt:error:n=1:max=1", 1);
+  ASSERT_TRUE(plan.ok());
+  FaultScope scope(*plan);
+  auto& inj = FaultInjector::Instance();
+  EXPECT_FALSE(inj.Check("pt").ok());
+  inj.Arm(*plan);  // re-arm: schedule starts over
+  EXPECT_EQ(inj.hits_total(), 0u);
+  EXPECT_FALSE(inj.Check("pt").ok());
+}
+
+// ---- data-bearing points ----
+
+TEST(FaultInjectorTest, TruncateIsDeterministicAndShort) {
+  auto plan = FaultPlan::Parse("io:short", 5);
+  ASSERT_TRUE(plan.ok());
+  std::vector<uint64_t> lens[2];
+  for (auto& run : lens) {
+    FaultScope scope(*plan);
+    for (int i = 0; i < 8; ++i) {
+      const uint64_t len = FaultInjector::Instance().Truncate("io", 1000);
+      EXPECT_LT(len, 1000u);  // p=1: every hit truncates to [0, len)
+      run.push_back(len);
+    }
+  }
+  EXPECT_EQ(lens[0], lens[1]);
+}
+
+TEST(FaultInjectorTest, CorruptFlipsBytesDeterministically) {
+  auto plan = FaultPlan::Parse("buf:corrupt:bytes=3", 5);
+  ASSERT_TRUE(plan.ok());
+  std::vector<uint8_t> runs[2];
+  for (auto& out : runs) {
+    out.assign(256, 0xaa);
+    FaultScope scope(*plan);
+    EXPECT_TRUE(FaultInjector::Instance().Corrupt("buf", out.data(), out.size()));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_NE(runs[0], std::vector<uint8_t>(256, 0xaa));
+}
+
+TEST(FaultInjectorTest, CheckIgnoresDataFlavorsAndTruncateIgnoresErrors) {
+  auto plan = FaultPlan::Parse("pt:short;pt2:error", 1);
+  ASSERT_TRUE(plan.ok());
+  FaultScope scope(*plan);
+  auto& inj = FaultInjector::Instance();
+  // A short rule firing at an error/delay point injects nothing.
+  EXPECT_TRUE(inj.Check("pt").ok());
+  // An error rule firing at a data point leaves the length alone.
+  EXPECT_EQ(inj.Truncate("pt2", 77), 77u);
+}
+
+// ---- disarmed fast path ----
+
+TEST(FaultInjectorTest, DisarmedInjectorIsInert) {
+  ASSERT_FALSE(FaultInjector::armed());
+  auto& inj = FaultInjector::Instance();
+  EXPECT_TRUE(inj.Check("anything").ok());
+  EXPECT_EQ(inj.Truncate("anything", 42), 42u);
+  uint8_t byte = 0x5c;
+  EXPECT_FALSE(inj.Corrupt("anything", &byte, 1));
+  EXPECT_EQ(byte, 0x5c);
+}
+
+TEST(FaultInjectorTest, FaultScopeDisarmsOnExit) {
+  auto plan = FaultPlan::Parse("pt:error", 1);
+  ASSERT_TRUE(plan.ok());
+  {
+    FaultScope scope(*plan);
+    EXPECT_TRUE(FaultInjector::armed());
+  }
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_TRUE(FaultInjector::Instance().Check("pt").ok());
+}
+
+TEST(FaultInjectorTest, ArmingAnEmptyPlanStaysDisarmed) {
+  FaultScope scope(FaultPlan{});
+  EXPECT_FALSE(FaultInjector::armed());
+}
+
+}  // namespace
+}  // namespace imk

@@ -1,0 +1,154 @@
+// Seeded ingestion fuzzing: the monitor parses kernel images it does not
+// trust, so every parser in the ingestion path — ELF reader, image-template
+// builder, relocs decoder, bzImage reader — must turn arbitrary byte-level
+// damage into a Status, never a crash. Mutations are drawn from pinned Rng
+// seeds, so any failure reproduces from its iteration index.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/elf/elf_reader.h"
+#include "src/kernel/bzimage.h"
+#include "src/kernel/kernel_builder.h"
+#include "src/kernel/relocs.h"
+#include "src/vmm/image_template.h"
+
+namespace imk {
+namespace {
+
+constexpr int kMutationRounds = 48;
+constexpr int kTruncationRounds = 24;
+
+const KernelBuildInfo& Info() {
+  static KernelBuildInfo* info = [] {
+    auto built = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, 0.008));
+    EXPECT_TRUE(built.ok());
+    return new KernelBuildInfo(std::move(*built));
+  }();
+  return *info;
+}
+
+// Flips 1..16 bytes of `clean` at Rng-chosen positions.
+Bytes Mutate(const Bytes& clean, uint64_t seed) {
+  Bytes out = clean;
+  Rng rng(seed);
+  const uint64_t flips = rng.NextInRange(1, 16);
+  for (uint64_t i = 0; i < flips && !out.empty(); ++i) {
+    out[rng.NextBelow(out.size())] ^= static_cast<uint8_t>(rng.NextInRange(1, 255));
+  }
+  return out;
+}
+
+// Exercises every ELF-ingestion consumer on one (possibly damaged) image.
+// The only requirement is "no crash, no UB": each call either succeeds or
+// returns an error Status.
+void IngestElf(ByteSpan image) {
+  auto elf = ElfReader::Parse(image);
+  if (elf.ok()) {
+    (void)elf->ReadSymbols();
+    for (const ElfSection& section : elf->sections()) {
+      (void)elf->SectionData(section);
+    }
+    for (const Elf64Phdr& phdr : elf->program_headers()) {
+      (void)elf->SegmentData(phdr);
+    }
+    (void)ExtractRelocsFromElf(*elf);
+  }
+  TemplateOptions options;
+  options.extract_relocs = true;
+  (void)BuildImageTemplate(image, options);
+}
+
+TEST(IngestFuzzTest, MutatedVmlinuxNeverCrashesTheElfPath) {
+  const Bytes& clean = Info().vmlinux;
+  for (int round = 0; round < kMutationRounds; ++round) {
+    const Bytes mutated = Mutate(clean, 0x1000 + round);
+    IngestElf(ByteSpan(mutated));
+  }
+}
+
+TEST(IngestFuzzTest, TruncatedVmlinuxNeverCrashesTheElfPath) {
+  const Bytes& clean = Info().vmlinux;
+  for (int round = 0; round < kTruncationRounds; ++round) {
+    Rng rng(0x2000 + round);
+    const uint64_t len = rng.NextBelow(clean.size());
+    const Bytes prefix(clean.begin(), clean.begin() + len);
+    IngestElf(ByteSpan(prefix));
+  }
+  IngestElf(ByteSpan());  // the empty image is the ultimate truncation
+}
+
+TEST(IngestFuzzTest, TruncatedSymtabIsAParseErrorNotACrash) {
+  // Target the satellite hardening directly: shrink .symtab by a non-multiple
+  // of the symbol size so its data no longer divides evenly.
+  const Bytes& clean = Info().vmlinux;
+  auto elf = ElfReader::Parse(ByteSpan(clean));
+  ASSERT_TRUE(elf.ok());
+  auto symtab = elf->FindSection(".symtab");
+  ASSERT_TRUE(symtab.ok());
+
+  Bytes damaged = clean;
+  // Section headers live at e_shoff; patch sh_size in place.
+  const uint64_t shoff = elf->header().e_shoff + (*symtab)->index * sizeof(Elf64Shdr);
+  Elf64Shdr header = (*symtab)->header;
+  header.sh_size -= 7;
+  std::memcpy(damaged.data() + shoff, &header, sizeof(header));
+
+  auto reparsed = ElfReader::Parse(ByteSpan(damaged));
+  ASSERT_TRUE(reparsed.ok());
+  auto symbols = reparsed->ReadSymbols();
+  ASSERT_FALSE(symbols.ok());
+  EXPECT_EQ(symbols.status().code(), ErrorCode::kParseError);
+}
+
+TEST(IngestFuzzTest, MutatedRelocsBlobNeverCrashesTheDecoder) {
+  const Bytes clean = SerializeRelocs(Info().relocs);
+  for (int round = 0; round < kMutationRounds; ++round) {
+    const Bytes mutated = Mutate(clean, 0x3000 + round);
+    (void)ParseRelocs(ByteSpan(mutated));
+  }
+  for (int round = 0; round < kTruncationRounds; ++round) {
+    Rng rng(0x4000 + round);
+    const uint64_t len = rng.NextBelow(clean.size());
+    const Bytes prefix(clean.begin(), clean.begin() + len);
+    (void)ParseRelocs(ByteSpan(prefix));
+  }
+}
+
+TEST(IngestFuzzTest, MutatedBzImageNeverCrashesTheReader) {
+  auto image = BuildBzImage(ByteSpan(Info().vmlinux), Info().relocs, "lz4",
+                            LoaderKind::kStandard);
+  ASSERT_TRUE(image.ok());
+  const Bytes clean = SerializeBzImage(*image);
+
+  for (int round = 0; round < kMutationRounds; ++round) {
+    const Bytes mutated = Mutate(clean, 0x5000 + round);
+    (void)ParseBzImageHeader(ByteSpan(mutated));
+    auto parsed = ParseBzImage(ByteSpan(mutated));
+    if (parsed.ok()) {
+      // Payload damage must be caught by the recorded CRC, not by the codec
+      // tripping over garbage.
+      (void)DecompressPayload(*parsed);
+    }
+  }
+  for (int round = 0; round < kTruncationRounds; ++round) {
+    Rng rng(0x6000 + round);
+    const uint64_t len = rng.NextBelow(clean.size());
+    const Bytes prefix(clean.begin(), clean.begin() + len);
+    (void)ParseBzImageHeader(ByteSpan(prefix));
+    (void)ParseBzImage(ByteSpan(prefix));
+  }
+}
+
+TEST(IngestFuzzTest, CleanInputsStillIngest) {
+  // The fuzz helpers must not be vacuous: the undamaged artifacts parse.
+  const KernelBuildInfo& info = Info();
+  EXPECT_TRUE(ElfReader::Parse(ByteSpan(info.vmlinux)).ok());
+  EXPECT_TRUE(BuildImageTemplate(ByteSpan(info.vmlinux), TemplateOptions{}).ok());
+  EXPECT_TRUE(ParseRelocs(ByteSpan(SerializeRelocs(info.relocs))).ok());
+}
+
+}  // namespace
+}  // namespace imk

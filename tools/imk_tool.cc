@@ -11,18 +11,33 @@
 //            Summarizes a vmlinux.relocs blob.
 //   boot     --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--mem=256]
 //            [--threads=N] [--no-template-cache]
+//            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
+//            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
 //            Boots the image with in-monitor randomization and reports the
 //            layout and timeline. --threads=N shards the randomization
 //            pipeline over N lanes (0 = hardware concurrency; results are
 //            bit-identical for every N); --no-template-cache re-parses the
 //            ELF on every boot instead of reusing the image template.
+//            Supervision flags route the boot through the BootSupervisor:
+//            --faults arms the seeded fault injector (grammar in
+//            src/base/fault_injection.h, e.g.
+//            "loader.reloc:error:n=1;vcpu.enter:delay:us=50000"),
+//            --watchdog-ms/--watchdog-insns bound each attempt, --max-retries
+//            bounds attempts per ladder rung, and --degrade picks whether a
+//            failing randomization level may fall back (fgkaslr -> kaslr ->
+//            nokaslr) or must fail (strict).
 //   storm    --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--vms=16]
 //            [--threads=4] [--mem=256] [--seed=N]
+//            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
+//            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
 //            Boot-storm fleet drill: boots --vms microVMs of the image across
 //            --threads workers sharing one image-template cache, and reports
 //            warm throughput, per-boot latency, and the per-VM resident
 //            (privately materialized) memory vs frames still aliased
-//            zero-copy to the shared kernel template.
+//            zero-copy to the shared kernel template. With --faults (or any
+//            supervision flag) each VM boots under the supervisor and the
+//            report adds per-outcome tallies: first-try / retried / degraded
+//            / failed, watchdog trips, and template-cache quarantines.
 //   verify   --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--seed=N]
 //            [--mem=256] [--threads=N] [--json] [--corrupt=MODE]
 //            Randomizes the image in-monitor (no guest execution), then runs
@@ -43,8 +58,10 @@
 #include "src/isa/disassembler.h"
 #include "src/kernel/bzimage.h"
 #include "src/kernel/kernel_builder.h"
+#include "src/base/fault_injection.h"
 #include "src/verify/image_verifier.h"
 #include "src/vmm/boot_storm.h"
+#include "src/vmm/boot_supervisor.h"
 #include "src/vmm/loader.h"
 #include "src/vmm/microvm.h"
 
@@ -133,6 +150,38 @@ imk::RandoMode ParseRando(const std::string& name) {
     return imk::RandoMode::kFgKaslr;
   }
   Die("unknown randomization mode: " + name);
+}
+
+// Arms the process-wide fault injector from --faults/--fault-seed; returns
+// true if a plan was armed (the caller should boot under supervision).
+bool ArmFaults(const Args& args) {
+  const std::string spec = args.Get("faults");
+  if (spec.empty()) {
+    return false;
+  }
+  const uint64_t seed = static_cast<uint64_t>(args.GetDouble("fault-seed", 1));
+  auto plan = imk::FaultPlan::Parse(spec, seed);
+  if (!plan.ok()) {
+    Die(plan.status().ToString());
+  }
+  imk::FaultInjector::Instance().Arm(std::move(*plan));
+  std::printf("faults armed (seed %llu): %s\n", static_cast<unsigned long long>(seed),
+              spec.c_str());
+  return true;
+}
+
+bool WantsSupervision(const Args& args) {
+  return !args.Get("faults").empty() || !args.Get("max-retries").empty() ||
+         !args.Get("watchdog-ms").empty() || !args.Get("watchdog-insns").empty() ||
+         !args.Get("degrade").empty();
+}
+
+imk::DegradePolicy ParseDegrade(const Args& args) {
+  auto policy = imk::ParseDegradePolicy(args.Get("degrade", "ladder"));
+  if (!policy.ok()) {
+    Die(policy.status().ToString());
+  }
+  return *policy;
 }
 
 int CmdBuild(const Args& args) {
@@ -319,6 +368,20 @@ int CmdBoot(const Args& args) {
   config.boot_mode = (head.size() > 8 && head[0] == 0x49 && head[1] == 0x4d && head[2] == 0x4b)
                          ? imk::BootMode::kBzImage
                          : imk::BootMode::kDirect;
+  if (WantsSupervision(args)) {
+    ArmFaults(args);
+    imk::SupervisorOptions sup;
+    sup.max_retries = static_cast<uint32_t>(args.GetDouble("max-retries", 2));
+    sup.watchdog_wall_ms = static_cast<uint64_t>(args.GetDouble("watchdog-ms", 0));
+    sup.watchdog_instructions = static_cast<uint64_t>(args.GetDouble("watchdog-insns", 0));
+    sup.policy = ParseDegrade(args);
+    config.seed = static_cast<uint64_t>(args.GetDouble("seed", 0));
+    imk::BootSupervisor supervisor(storage, config, sup);
+    imk::BootOutcome outcome = supervisor.Run();
+    std::printf("%s\n", outcome.ToString().c_str());
+    imk::FaultInjector::Instance().Disarm();
+    return outcome.ok ? 0 : 1;
+  }
   imk::MicroVm vm(storage, config);
   auto report = vm.Boot();
   if (!report.ok()) {
@@ -354,7 +417,16 @@ int CmdStorm(const Args& args) {
   options.threads = static_cast<uint32_t>(args.GetDouble("threads", 4));
   options.mem_size_bytes = static_cast<uint64_t>(args.GetDouble("mem", 256)) << 20;
   options.seed_base = static_cast<uint64_t>(args.GetDouble("seed", 1));
+  if (WantsSupervision(args)) {
+    ArmFaults(args);
+    options.supervise = true;
+    options.max_retries = static_cast<uint32_t>(args.GetDouble("max-retries", 2));
+    options.watchdog_wall_ms = static_cast<uint64_t>(args.GetDouble("watchdog-ms", 0));
+    options.watchdog_instructions = static_cast<uint64_t>(args.GetDouble("watchdog-insns", 0));
+    options.degrade = ParseDegrade(args);
+  }
   auto stats = imk::RunBootStorm(ByteSpan(vmlinux), ByteSpan(relocs_blob), options);
+  imk::FaultInjector::Instance().Disarm();
   if (!stats.ok()) {
     Die(stats.status().ToString());
   }
@@ -371,6 +443,17 @@ int CmdStorm(const Args& args) {
   std::printf("resident %.2f MiB per VM; template cache %llu hits / %llu misses\n",
               stats->resident_mb.mean(), static_cast<unsigned long long>(stats->cache_hits),
               static_cast<unsigned long long>(stats->cache_misses));
+  if (options.supervise) {
+    const auto& t = stats->outcomes;
+    std::printf(
+        "outcomes: %u first-try, %u retried, %u degraded, %u failed (%u/%u accounted)\n",
+        t.ok_first_try, t.ok_retried, t.ok_degraded, t.failed, t.accounted(), stats->vms);
+    std::printf("          %u attempts, %u watchdog trips, %llu quarantines, %llu faults fired\n",
+                t.attempts_total, t.watchdog_trips,
+                static_cast<unsigned long long>(t.cache_quarantines),
+                static_cast<unsigned long long>(t.faults_injected));
+    return t.failed == 0 ? 0 : 1;
+  }
   return 0;
 }
 
