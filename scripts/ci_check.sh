@@ -4,10 +4,13 @@
 # parallel-pipeline equivalence tests (the ThreadPool-sharded loader paths)
 # and the boot-storm/CoW-fault tests, fault drills (the supervisor /
 # fault-injection / ingest-fuzz suites re-run by name under ASan, and an
-# end-to-end imk_tool degradation-ladder + strict-refusal drill), bench
-# smokes (micro_parallel and storm_boot on tiny images), a regression guard
-# over the committed BENCH_*.json targets, and clang-tidy (skipped
-# gracefully when not installed). Nonzero exit on any failure.
+# end-to-end imk_tool degradation-ladder + strict-refusal drill), a race
+# drill (IMK_RACE_AUDIT build running the imkrace suites, an instrumented
+# storm audit that must come back clean, seeded detector drills that must
+# come back caught, and the imk_lint raw-mutex/rank/fault-point source
+# lint), bench smokes (micro_parallel and storm_boot on tiny images), a
+# regression guard over the committed BENCH_*.json targets, and clang-tidy
+# (skipped gracefully when not installed). Nonzero exit on any failure.
 #
 # Usage: scripts/ci_check.sh [--skip-sanitizers]
 set -u
@@ -96,6 +99,35 @@ else
   fi
 fi
 rm -rf "$drill_dir"
+
+# Race drill: build with the instrumented lock wrappers and run the imkrace
+# suites (the IMK_RACE_AUDIT-gated tests skip in every other build), then
+# exercise the tool surface both ways — a real concurrent storm must audit
+# CLEAN, and each seeded violation drill must be DETECTED (the detector
+# detecting nothing would otherwise look identical to a clean fleet).
+run_suite "race-drill" "$repo_root/build-race" \
+  "LockRank|RaceReport|RaceDetector|FaultRegistry|RaceMutex|RaceStormDrill|RaceAuditClean" \
+  -DIMK_RACE_AUDIT=ON
+echo "=== race drill (imk_tool racecheck: storm audit + seeded drills) ==="
+if ! "$repo_root/build-race/tools/imk_tool" racecheck >/dev/null; then
+  echo "=== race drill: instrumented storm audit NOT CLEAN ==="
+  failures=$((failures + 1))
+fi
+for drill in order lockset; do
+  if ! "$repo_root/build-race/tools/imk_tool" racecheck --drill="$drill" >/dev/null; then
+    echo "=== race drill: seeded '$drill' violation NOT DETECTED ==="
+    failures=$((failures + 1))
+  fi
+done
+
+# Source lint: raw std::mutex outside src/race/, IMK_GUARDED_BY ranks that
+# are not in the rank table, and fault-point names tests reference but the
+# injector never registered.
+echo "=== imk_lint (raw-mutex / lock-rank / fault-point lint) ==="
+if ! "$repo_root/build/tools/imk_lint" --build="$repo_root/build" --root="$repo_root"; then
+  echo "=== imk_lint: FAILED ==="
+  failures=$((failures + 1))
+fi
 
 echo "=== bench smoke (micro_parallel, tiny image) ==="
 if ! "$repo_root/build/bench/micro_parallel" --scale=0.02 --reps=2 --warmup=1 \

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy) over the project sources using the
-# compile database from a CMake build directory.
+# Runs clang-tidy (config: .clang-tidy) over the project sources, driven
+# entirely by the compile database from a CMake build directory: the file
+# list and the flags both come from compile_commands.json (exported by
+# default; see CMAKE_EXPORT_COMPILE_COMMANDS in CMakeLists.txt), so the
+# lint sees exactly the translation units the build sees — no re-derived
+# flag lists to drift out of sync.
 #
-# Usage: scripts/run_clang_tidy.sh [build-dir] [paths...]
-#   build-dir  defaults to ./build
-#   paths      source globs to lint; default: src/ tools/
+# Usage: scripts/run_clang_tidy.sh [build-dir] [path-prefixes...]
+#   build-dir      defaults to ./build
+#   path-prefixes  repo-relative filters (e.g. src/race tools); default: all
+#                  tree-owned entries in the database
 #
 # Exits 0 (with a notice) when clang-tidy is not installed, so CI images
 # without LLVM still pass the rest of the pipeline; exits nonzero on lint
@@ -26,15 +31,27 @@ if [[ ! -f "$build_dir/compile_commands.json" ]]; then
   exit 2
 fi
 
+# Every "file" entry in the database that belongs to the repo (third-party
+# _deps and generated sources are compiled too, but are not ours to lint).
 declare -a files
-if [[ $# -gt 0 ]]; then
-  for path in "$@"; do
-    while IFS= read -r f; do files+=("$f"); done \
-      < <(find "$repo_root/$path" -name '*.cc' | sort)
-  done
-else
-  while IFS= read -r f; do files+=("$f"); done \
-    < <(find "$repo_root/src" "$repo_root/tools" -name '*.cc' | sort)
+while IFS= read -r f; do
+  rel="${f#"$repo_root"/}"
+  [[ "$rel" == "$f" ]] && continue          # outside the repo
+  [[ "$rel" == build*/* ]] && continue      # generated in a build tree
+  if [[ $# -gt 0 ]]; then
+    keep=0
+    for prefix in "$@"; do
+      [[ "$rel" == "$prefix"* ]] && keep=1
+    done
+    [[ $keep -eq 0 ]] && continue
+  fi
+  files+=("$f")
+done < <(grep -o '"file": *"[^"]*"' "$build_dir/compile_commands.json" \
+           | sed 's/.*: *"//; s/"$//' | sort -u)
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no matching entries in the compile database" >&2
+  exit 2
 fi
 
 status=0

@@ -168,6 +168,27 @@ std::string FaultPlan::ToString() const {
   return out;
 }
 
+const std::vector<std::string>& KnownFaultPoints() {
+  // Sorted. Keep in sync with every IMK_FAULT_* macro use in src/ — the
+  // FaultRegistry test greps the tree and diffs against this list, and
+  // race.* are the drill triggers fired from boot_storm's audit path.
+  static const std::vector<std::string>* points = new std::vector<std::string>{
+      "frame_store.map_shared",
+      "loader.choose",
+      "loader.map_pristine",
+      "loader.reloc",
+      "race.lockset_drill",
+      "race.order_drill",
+      "relocator.apply",
+      "storage.read",
+      "template.cache_hit",
+      "template.parse",
+      "threadpool.chunk",
+      "vcpu.enter",
+  };
+  return *points;
+}
+
 std::atomic<bool> FaultInjector::armed_flag_{false};
 
 FaultInjector& FaultInjector::Instance() {
@@ -176,7 +197,7 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Arm(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   seed_ = plan.seed != 0 ? plan.seed : 1;
   rules_.clear();
   rules_.reserve(plan.rules.size());
@@ -188,7 +209,7 @@ void FaultInjector::Arm(FaultPlan plan) {
 }
 
 void FaultInjector::Disarm() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   armed_flag_.store(false, std::memory_order_release);
   rules_.clear();
   point_hits_.clear();
@@ -227,7 +248,7 @@ Status FaultInjector::Check(const char* point) {
   uint64_t delay_us = 0;
   Status status = OkStatus();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<race::Mutex> lock(mutex_);
     RuleState* fired = FireLocked(point);
     if (fired != nullptr) {
       if (fired->rule.flavor == FaultFlavor::kError) {
@@ -248,7 +269,7 @@ Status FaultInjector::Check(const char* point) {
 }
 
 uint64_t FaultInjector::Truncate(const char* point, uint64_t len) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   RuleState* fired = FireLocked(point);
   if (fired == nullptr || fired->rule.flavor != FaultFlavor::kShort || len == 0) {
     return len;
@@ -260,7 +281,7 @@ uint64_t FaultInjector::Truncate(const char* point, uint64_t len) {
 }
 
 bool FaultInjector::Corrupt(const char* point, uint8_t* data, uint64_t len) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   RuleState* fired = FireLocked(point);
   if (fired == nullptr || fired->rule.flavor != FaultFlavor::kCorrupt || len == 0 ||
       data == nullptr) {
@@ -275,7 +296,7 @@ bool FaultInjector::Corrupt(const char* point, uint8_t* data, uint64_t len) {
 }
 
 uint64_t FaultInjector::hits_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   uint64_t total = 0;
   for (const auto& [point, hits] : point_hits_) {
     total += hits;
@@ -284,7 +305,7 @@ uint64_t FaultInjector::hits_total() const {
 }
 
 uint64_t FaultInjector::fires_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   uint64_t total = 0;
   for (const RuleState& state : rules_) {
     total += state.fires;
@@ -293,7 +314,7 @@ uint64_t FaultInjector::fires_total() const {
 }
 
 std::vector<FaultInjector::PointCount> FaultInjector::Counts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   std::vector<PointCount> out;
   for (const RuleState& state : rules_) {
     PointCount count;

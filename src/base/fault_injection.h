@@ -27,11 +27,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/race/annotations.h"
+#include "src/race/mutex.h"
 
 namespace imk {
 
@@ -82,6 +83,13 @@ struct FaultPlan {
 // Error code for an injected error fault, parsed from its name
 // ("PARSE_ERROR", case-insensitive also accepts "parse_error").
 Result<ErrorCode> ParseErrorCodeName(const std::string& name);
+
+// The registry of every fault-point name compiled into the tree, sorted.
+// FaultPlan::Parse accepts unknown points (they just never hit), which makes
+// a typo in a test's --faults spec a silent no-op; tools/imk_lint checks
+// every point name appearing in tests against this list, and the list is
+// itself tested against a grep of the source so it cannot go stale.
+const std::vector<std::string>& KnownFaultPoints();
 
 // Process-wide injector the IMK_FAULT_* macros consult. Arm/Disarm are
 // test/tool entry points; production code never arms it, so the only cost
@@ -134,10 +142,10 @@ class FaultInjector {
   RuleState* FireLocked(const char* point);
 
   static std::atomic<bool> armed_flag_;
-  mutable std::mutex mutex_;
-  uint64_t seed_ = 1;
-  std::vector<RuleState> rules_;
-  std::map<std::string, uint64_t> point_hits_;
+  mutable race::Mutex mutex_{race::LockRank::kFaultInjector};
+  uint64_t seed_ IMK_GUARDED_BY(kFaultInjector) = 1;
+  std::vector<RuleState> rules_ IMK_GUARDED_BY(kFaultInjector);
+  std::map<std::string, uint64_t> point_hits_ IMK_GUARDED_BY(kFaultInjector);
 };
 
 // RAII arm/disarm for tests and tools.

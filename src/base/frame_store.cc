@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/base/fault_injection.h"
+#include "src/race/tracker.h"
 
 namespace imk {
 namespace {
@@ -12,6 +13,15 @@ namespace {
 constexpr uint8_t kStateZero = static_cast<uint8_t>(FrameStore::FrameState::kZero);
 constexpr uint8_t kStateShared = static_cast<uint8_t>(FrameStore::FrameState::kShared);
 constexpr uint8_t kStateDirty = static_cast<uint8_t>(FrameStore::FrameState::kDirty);
+
+// Sibling shards share one rank: the ranking forbids nesting them, and the
+// fault paths only ever hold one shard at a time.
+template <size_t N>
+void DeclareShardRanks(std::array<race::Mutex, N>& shards) {
+  for (race::Mutex& shard : shards) {
+    shard.set_rank(race::LockRank::kFrameStoreFaultShard);
+  }
+}
 
 }  // namespace
 
@@ -21,6 +31,7 @@ FrameStore::FrameStore(uint64_t size_bytes)
   // calloc: the OS lazily backs the arena with zero pages, so an untouched
   // 256 MiB guest costs address space, not resident memory — and zero-state
   // frames can point straight at their (still zero) arena slot.
+  DeclareShardRanks(fault_shards_);
   arena_ = static_cast<uint8_t*>(std::calloc(frame_count_ ? frame_count_ : 1, kFrameBytes));
   owns_arena_ = true;
   read_ptrs_ = std::make_unique<std::atomic<const uint8_t*>[]>(frame_count_);
@@ -34,6 +45,7 @@ FrameStore::FrameStore(uint64_t size_bytes)
 FrameStore::FrameStore(MutableByteSpan external)
     : size_(external.size()),
       frame_count_((external.size() + kFrameBytes - 1) / kFrameBytes) {
+  DeclareShardRanks(fault_shards_);
   arena_ = external.data();
   owns_arena_ = false;
   read_ptrs_ = std::make_unique<std::atomic<const uint8_t*>[]>(frame_count_);
@@ -52,7 +64,8 @@ FrameStore::~FrameStore() {
 }
 
 void FrameStore::FaultFrame(uint64_t frame) {
-  std::lock_guard<std::mutex> lock(fault_shards_[frame % kFaultShards]);
+  std::lock_guard<race::Mutex> lock(fault_shards_[frame % kFaultShards]);
+  IMK_RACE_SHARED_WRITE("frame_store.frame_state", this, frame, kFrameStoreFaultShard);
   const uint8_t state = states_[frame].load(std::memory_order_acquire);
   if (state == kStateDirty) {
     return;  // another thread materialized it while we waited
@@ -84,7 +97,8 @@ Status FrameStore::MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const 
   const uint64_t first = phys >> kFrameShift;
   for (uint64_t i = 0; i < whole; ++i) {
     const uint64_t f = first + i;
-    std::lock_guard<std::mutex> lock(fault_shards_[f % kFaultShards]);
+    std::lock_guard<race::Mutex> lock(fault_shards_[f % kFaultShards]);
+    IMK_RACE_SHARED_WRITE("frame_store.frame_state", this, f, kFrameStoreFaultShard);
     const uint8_t state = states_[f].load(std::memory_order_acquire);
     if (state == kStateDirty) {
       dirty_frames_.fetch_sub(1, std::memory_order_relaxed);
@@ -101,7 +115,8 @@ Status FrameStore::MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const 
     IMK_RETURN_IF_ERROR(Write(phys + whole * kFrameBytes, src.subspan(whole * kFrameBytes)));
   }
   if (owner != nullptr) {
-    std::lock_guard<std::mutex> lock(owners_mutex_);
+    std::lock_guard<race::Mutex> lock(owners_mutex_);
+    IMK_RACE_SHARED_WRITE("frame_store.owners", this, 0, kFrameStoreOwners);
     owners_.push_back(std::move(owner));
   }
   return OkStatus();

@@ -26,11 +26,12 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/base/bytes.h"
 #include "src/base/result.h"
+#include "src/race/annotations.h"
+#include "src/race/mutex.h"
 
 namespace imk {
 
@@ -123,13 +124,18 @@ class FrameStore {
   // Per-frame state and read pointer. The read pointer is always valid for
   // reading kFrameBytes (zero frames point at their — still zero — arena
   // slot, shared frames at the owner's bytes, dirty frames at the arena).
-  std::unique_ptr<std::atomic<const uint8_t*>[]> read_ptrs_;
-  std::unique_ptr<std::atomic<uint8_t>[]> states_;
+  // Reads are lock-free (acquire); state *transitions* happen only under
+  // the frame's fault shard, which is what the annotations assert.
+  std::unique_ptr<std::atomic<const uint8_t*>[]> read_ptrs_
+      IMK_GUARDED_BY(kFrameStoreFaultShard);
+  std::unique_ptr<std::atomic<uint8_t>[]> states_ IMK_GUARDED_BY(kFrameStoreFaultShard);
   std::atomic<uint64_t> dirty_frames_{0};
   std::atomic<uint64_t> shared_frames_{0};
-  std::array<std::mutex, kFaultShards> fault_shards_;
-  std::mutex owners_mutex_;
-  std::vector<std::shared_ptr<const void>> owners_;
+  // Default-constructed unranked; the constructors declare every shard's
+  // rank before the store is visible to any other thread.
+  std::array<race::Mutex, kFaultShards> fault_shards_;
+  race::Mutex owners_mutex_{race::LockRank::kFrameStoreOwners};
+  std::vector<std::shared_ptr<const void>> owners_ IMK_GUARDED_BY(kFrameStoreOwners);
 };
 
 }  // namespace imk

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(uint32_t workers) : workers_(workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<race::Mutex> lock(mutex_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -46,7 +46,7 @@ void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
     if (job->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last chunk done: wake the caller. The lock orders the wake against
       // the caller's predicate check.
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<race::Mutex> lock(mutex_);
       done_cv_.notify_all();
     }
   }
@@ -57,7 +57,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<race::Mutex> lock(mutex_);
       work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
       if (shutdown_) {
         return;
@@ -111,14 +111,14 @@ void ThreadPool::ParallelForChunked(
   job->pending.store(chunks, std::memory_order_relaxed);
   job->errors.assign(chunks, nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<race::Mutex> lock(mutex_);
     job_ = job;
     ++generation_;
   }
   work_cv_.notify_all();
   RunChunks(job);  // the caller is a lane too
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<race::Mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return job->pending.load(std::memory_order_acquire) == 0; });
     job_ = nullptr;
   }

@@ -16,15 +16,16 @@
 #define IMKASLR_SRC_BASE_THREADPOOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "src/race/annotations.h"
+#include "src/race/mutex.h"
 
 namespace imk {
 
@@ -84,12 +85,13 @@ class ThreadPool {
   uint32_t workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers wait for a job generation
-  std::condition_variable done_cv_;   // caller waits for pending == 0
-  uint64_t generation_ = 0;           // bumped per ParallelFor to wake workers
-  bool shutdown_ = false;
-  std::shared_ptr<Job> job_;  // non-null while a ParallelFor is in flight
+  race::Mutex mutex_{race::LockRank::kThreadPool};
+  race::CondVar work_cv_;  // workers wait for a job generation
+  race::CondVar done_cv_;  // caller waits for pending == 0
+  uint64_t generation_ IMK_GUARDED_BY(kThreadPool) = 0;  // bumped per ParallelFor
+  bool shutdown_ IMK_GUARDED_BY(kThreadPool) = false;
+  // Non-null while a ParallelFor is in flight.
+  std::shared_ptr<Job> job_ IMK_GUARDED_BY(kThreadPool);
 };
 
 }  // namespace imk

@@ -1,0 +1,19 @@
+// Source-level concurrency annotations.
+//
+// IMK_GUARDED_BY(rank) marks a field as protected by the lock holding that
+// rank in src/race/lock_ranks.h. The macro expands to nothing — it is a
+// machine-checked comment: tools/imk_lint verifies every annotated rank
+// exists in the rank table, and the audit runtime's lockset checks verify
+// the guarded writes actually happen under a lock at run time. Annotate the
+// declaration site:
+//
+//   std::list<Entry> lru_ IMK_GUARDED_BY(kTemplateCache);
+//
+// Fields legitimately accessed lock-free (atomics with their own ordering
+// story) are not annotated; their protocol is documented at the field.
+#ifndef IMKASLR_SRC_RACE_ANNOTATIONS_H_
+#define IMKASLR_SRC_RACE_ANNOTATIONS_H_
+
+#define IMK_GUARDED_BY(rank)
+
+#endif  // IMKASLR_SRC_RACE_ANNOTATIONS_H_

@@ -1,0 +1,69 @@
+#include "src/race/drill.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "src/race/lock_ranks.h"
+#include "src/race/tracker.h"
+
+namespace imk {
+namespace race {
+namespace {
+
+// Raw std primitives on purpose: the drills feed the Tracker hooks
+// explicitly (so they work in every build, instrumented or not) and must
+// not recurse into the wrapper instrumentation. src/race/ is exempt from
+// the raw-mutex lint for exactly this file and the tracker.
+std::mutex drill_outer;
+std::mutex drill_inner;
+std::atomic<uint64_t> drill_word{0};
+
+void AcquireTracked(std::mutex& mu, LockRank rank) {
+  Tracker::Instance().OnAcquire(&mu, rank);
+  mu.lock();
+}
+
+void ReleaseTracked(std::mutex& mu) {
+  mu.unlock();
+  Tracker::Instance().OnRelease(&mu);
+}
+
+}  // namespace
+
+void LockOrderInversionDrill() {
+  // Legal pass: outer(90) then inner(91) — records the 90->91 edge.
+  AcquireTracked(drill_outer, LockRank::kDrillOuter);
+  AcquireTracked(drill_inner, LockRank::kDrillInner);
+  ReleaseTracked(drill_inner);
+  ReleaseTracked(drill_outer);
+
+  // Inverted pass: inner then outer — a rank inversion at acquisition time,
+  // and the 91->90 edge closes a cycle with the pass above. Single-threaded,
+  // so it cannot actually deadlock; the detector fires on the shape alone.
+  AcquireTracked(drill_inner, LockRank::kDrillInner);
+  AcquireTracked(drill_outer, LockRank::kDrillOuter);
+  ReleaseTracked(drill_outer);
+  ReleaseTracked(drill_inner);
+}
+
+void UnguardedWriteDrill() {
+  Tracker& tracker = Tracker::Instance();
+  auto touch = [&tracker] {
+    drill_word.fetch_add(1, std::memory_order_relaxed);
+    tracker.OnSharedAccess("race.drill_word", &drill_word, 0, LockRank::kDrillOuter,
+                           /*write=*/true);
+  };
+  // First thread establishes exclusive ownership; the second transitions the
+  // region to shared with nothing held, emptying the lockset on a write.
+  touch();
+  std::thread second([&] {
+    touch();
+    touch();
+  });
+  second.join();
+}
+
+}  // namespace race
+}  // namespace imk

@@ -1,0 +1,27 @@
+// Deterministic self-tests for the audit runtime ("is the smoke detector
+// wired to anything?"). Each drill drives the Tracker hooks directly with a
+// known-bad pattern inside the caller's audit window, so the resulting
+// findings prove the detection logic end to end. The drills are reachable
+// from `imk_tool racecheck --drill=...` and, via the race.order_drill /
+// race.lockset_drill fault points, from an instrumented boot storm.
+#ifndef IMKASLR_SRC_RACE_DRILL_H_
+#define IMKASLR_SRC_RACE_DRILL_H_
+
+namespace imk {
+namespace race {
+
+// Acquires drill-outer -> drill-inner (the legal order), then deliberately
+// inner -> outer. Produces exactly one kRankInversion and, because both
+// edge directions are now in the graph, one kOrderCycle.
+void LockOrderInversionDrill();
+
+// Writes a drill-owned shared word from two threads with no common lock
+// held. Produces one kUnguardedWrite. The word itself is an atomic — the
+// drill seeds the *declared-access* pattern the lockset check flags, not an
+// actual torn write.
+void UnguardedWriteDrill();
+
+}  // namespace race
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_RACE_DRILL_H_

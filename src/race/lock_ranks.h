@@ -1,0 +1,89 @@
+// The central lock-rank table: every mutex in the tree declares its rank.
+//
+// Ranks encode the global acquisition order. A thread may only acquire a
+// lock whose rank is strictly greater than the rank of the last lock it
+// already holds; acquiring equal-or-lower rank is a rank inversion — the
+// static shape of a deadlock — and the audit runtime (src/race/tracker.h)
+// flags it at acquisition time, whether or not the interleaving that would
+// actually deadlock was scheduled. Sibling instances of one rank (the
+// FrameStore fault shards) are therefore never held nested: the code
+// acquires them strictly sequentially, and the audit enforces that too.
+//
+// Growing the tree: a new lock gets a new enumerator here, placed by where
+// it sits in the outer-to-inner acquisition order (gaps are left for
+// insertions), plus a row in kLockRankTable naming it and what it guards.
+// tools/imk_lint refuses IMK_GUARDED_BY annotations whose rank is not in
+// this enum, so the table cannot silently drift from the annotations.
+#ifndef IMKASLR_SRC_RACE_LOCK_RANKS_H_
+#define IMKASLR_SRC_RACE_LOCK_RANKS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace imk {
+namespace race {
+
+enum class LockRank : uint32_t {
+  // Only reachable through a wrapper that was never given a rank; the audit
+  // reports every acquisition of it as a finding.
+  kUnranked = 0,
+
+  // ---- outermost: fleet drivers ----
+  kStormError = 10,       // boot_storm first-error slot
+  kStormTally = 20,       // boot_storm supervised-outcome tallies
+
+  // ---- shared randomization state ----
+  kTemplateCache = 40,    // ImageTemplateCache LRU/index/single-flight state
+  kThreadPool = 50,       // ThreadPool job publication + wait channels
+
+  // ---- per-VM guest memory ----
+  kFrameStoreFaultShard = 60,  // FrameStore CoW fault shards (64 siblings)
+  kFrameStoreOwners = 70,      // FrameStore shared-mapping owner pins
+
+  // ---- innermost: leaf services callable from anywhere above ----
+  kFaultInjector = 80,    // FaultInjector rule/counter state
+
+  // ---- audit self-test (race drills only; never held by product code) ----
+  kDrillOuter = 90,
+  kDrillInner = 91,
+};
+
+struct LockRankInfo {
+  LockRank rank;
+  const char* name;    // stable string id used in reports
+  const char* guards;  // what the lock protects (documentation)
+};
+
+// Every declared rank, in rank order. The audit runtime uses it for names;
+// DESIGN.md §11 mirrors it prose-side.
+inline constexpr LockRankInfo kLockRankTable[] = {
+    {LockRank::kStormError, "storm-error", "boot_storm first-error slot"},
+    {LockRank::kStormTally, "storm-tally", "boot_storm supervised-outcome tallies"},
+    {LockRank::kTemplateCache, "template-cache",
+     "ImageTemplateCache LRU list, key index, span memo, single-flight builds, counters"},
+    {LockRank::kThreadPool, "thread-pool", "ThreadPool job slot, generation, shutdown flag"},
+    {LockRank::kFrameStoreFaultShard, "frame-store-fault-shard",
+     "FrameStore per-shard frame state + read-pointer transitions"},
+    {LockRank::kFrameStoreOwners, "frame-store-owners", "FrameStore shared-mapping owner pins"},
+    {LockRank::kFaultInjector, "fault-injector", "FaultInjector rules, seeds, hit counters"},
+    {LockRank::kDrillOuter, "drill-outer", "race-audit self-test outer lock"},
+    {LockRank::kDrillInner, "drill-inner", "race-audit self-test inner lock"},
+};
+
+inline constexpr size_t kLockRankCount = sizeof(kLockRankTable) / sizeof(kLockRankTable[0]);
+
+inline const char* LockRankName(LockRank rank) {
+  for (const LockRankInfo& info : kLockRankTable) {
+    if (info.rank == rank) {
+      return info.name;
+    }
+  }
+  return "unranked";
+}
+
+inline uint32_t LockRankValue(LockRank rank) { return static_cast<uint32_t>(rank); }
+
+}  // namespace race
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_RACE_LOCK_RANKS_H_

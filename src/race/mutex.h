@@ -1,0 +1,166 @@
+// Instrumented lock primitives. Every mutex in the tree (outside src/race/
+// itself — tools/imk_lint enforces this) is one of these wrappers, declared
+// with its rank from src/race/lock_ranks.h:
+//
+//   race::Mutex mutex_{race::LockRank::kTemplateCache};
+//
+// Without IMK_RACE_AUDIT the wrappers are plain std primitives — no rank
+// member, no branches, zero cost. With it, every acquisition and release is
+// reported to the Tracker, which maintains the per-thread held stack and
+// the global lock-order graph (src/race/tracker.h).
+//
+// The wrappers satisfy the standard Lockable requirements, so std::lock_guard,
+// std::unique_lock and std::shared_lock work unchanged. CondVar is
+// std::condition_variable_any so its wait() re-lock cycles go through the
+// instrumented Mutex and stay visible to the audit.
+#ifndef IMKASLR_SRC_RACE_MUTEX_H_
+#define IMKASLR_SRC_RACE_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "src/race/lock_ranks.h"
+#ifdef IMK_RACE_AUDIT
+#include "src/race/tracker.h"
+#endif
+
+namespace imk {
+namespace race {
+
+#ifdef IMK_RACE_AUDIT
+
+class Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kUnranked) : rank_(rank) {}
+
+  // For locks that live in arrays (FrameStore fault shards): default-construct
+  // the array, then declare each element's rank once before first use.
+  void set_rank(LockRank rank) { rank_ = rank; }
+  LockRank rank() const { return rank_; }
+
+  void lock() {
+    // Report before blocking: a rank inversion must surface even if this
+    // acquisition is the one that deadlocks.
+    Tracker::Instance().OnAcquire(this, rank_);
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    Tracker::Instance().OnAcquire(this, rank_);
+    return true;
+  }
+  void unlock() {
+    mu_.unlock();
+    Tracker::Instance().OnRelease(this);
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+ private:
+  std::mutex mu_;
+  LockRank rank_;
+};
+
+class SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank = LockRank::kUnranked) : rank_(rank) {}
+
+  void set_rank(LockRank rank) { rank_ = rank; }
+  LockRank rank() const { return rank_; }
+
+  void lock() {
+    Tracker::Instance().OnAcquire(this, rank_);
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    Tracker::Instance().OnAcquire(this, rank_);
+    return true;
+  }
+  void unlock() {
+    mu_.unlock();
+    Tracker::Instance().OnRelease(this);
+  }
+
+  // Shared acquisitions obey the same ranking: readers nest inside the same
+  // global order as writers, so they use the same hooks.
+  void lock_shared() {
+    Tracker::Instance().OnAcquire(this, rank_);
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() {
+    if (!mu_.try_lock_shared()) {
+      return false;
+    }
+    Tracker::Instance().OnAcquire(this, rank_);
+    return true;
+  }
+  void unlock_shared() {
+    mu_.unlock_shared();
+    Tracker::Instance().OnRelease(this);
+  }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+ private:
+  std::shared_mutex mu_;
+  LockRank rank_;
+};
+
+using CondVar = std::condition_variable_any;
+
+#else  // !IMK_RACE_AUDIT — zero-cost passthrough
+
+class Mutex {
+ public:
+  explicit Mutex(LockRank = LockRank::kUnranked) {}
+  void set_rank(LockRank) {}
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+ private:
+  std::mutex mu_;
+};
+
+class SharedMutex {
+ public:
+  explicit SharedMutex(LockRank = LockRank::kUnranked) {}
+  void set_rank(LockRank) {}
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  void lock_shared() { mu_.lock_shared(); }
+  bool try_lock_shared() { return mu_.try_lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// condition_variable_any in both builds so wait(unique_lock<race::Mutex>)
+// compiles identically; on libstdc++ the _any variant over a plain mutex
+// costs one extra indirection, which is off every hot path here.
+using CondVar = std::condition_variable_any;
+
+#endif  // IMK_RACE_AUDIT
+
+}  // namespace race
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_RACE_MUTEX_H_

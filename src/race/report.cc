@@ -1,0 +1,142 @@
+#include "src/race/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace imk {
+namespace race {
+namespace {
+
+// Escapes a string for embedding in a JSON string literal. Findings carry
+// rank names and generated messages only, but escape defensively anyway.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* RaceKindName(RaceKind kind) {
+  switch (kind) {
+    case RaceKind::kRankInversion:
+      return "rank-inversion";
+    case RaceKind::kOrderCycle:
+      return "order-cycle";
+    case RaceKind::kUnrankedLock:
+      return "unranked-lock";
+    case RaceKind::kUnguardedWrite:
+      return "unguarded-write";
+  }
+  return "unknown";
+}
+
+void RaceReport::Add(RaceFinding finding) {
+  ++total_count_;
+  uint64_t recorded_of_kind = 0;
+  for (auto& [kind, count] : counts_) {
+    if (kind == finding.kind) {
+      ++count;
+      recorded_of_kind = count;
+      break;
+    }
+  }
+  if (recorded_of_kind == 0) {
+    counts_.emplace_back(finding.kind, 1);
+    recorded_of_kind = 1;
+  }
+  if (recorded_of_kind <= kMaxRecordedPerKind) {
+    findings_.push_back(std::move(finding));
+  }
+}
+
+uint64_t RaceReport::CountOf(RaceKind kind) const {
+  for (const auto& [k, count] : counts_) {
+    if (k == kind) {
+      return count;
+    }
+  }
+  return 0;
+}
+
+std::string RaceReport::ToString() const {
+  std::ostringstream out;
+  out << "race audit: " << (clean() ? "CLEAN" : std::to_string(total_count_) + " finding(s)")
+      << " [" << coverage_.acquisitions << " acquisitions, " << coverage_.order_edges
+      << " order edges, " << coverage_.regions_tracked << " shared regions, "
+      << coverage_.accesses_checked << " accesses checked"
+      << (coverage_.instrumented ? "" : "; wrappers NOT instrumented (no IMK_RACE_AUDIT)")
+      << "]";
+  for (const RaceFinding& finding : findings_) {
+    out << "\n  [" << RaceKindName(finding.kind) << "] " << finding.subject << ": "
+        << finding.message;
+  }
+  if (findings_.size() < total_count_) {
+    out << "\n  ... " << (total_count_ - findings_.size()) << " more (recording capped)";
+  }
+  for (const OrderEdge& edge : edges_) {
+    out << "\n  order: " << edge.from << " -> " << edge.to << " x" << edge.count;
+  }
+  return out.str();
+}
+
+std::string RaceReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"clean\":" << (clean() ? "true" : "false")
+      << ",\"total_findings\":" << total_count_ << ",\"coverage\":{"
+      << "\"acquisitions\":" << coverage_.acquisitions
+      << ",\"order_edges\":" << coverage_.order_edges
+      << ",\"regions_tracked\":" << coverage_.regions_tracked
+      << ",\"accesses_checked\":" << coverage_.accesses_checked
+      << ",\"instrumented\":" << (coverage_.instrumented ? "true" : "false") << "}"
+      << ",\"counts\":{";
+  bool first = true;
+  for (const auto& [kind, count] : counts_) {
+    out << (first ? "" : ",") << "\"" << RaceKindName(kind) << "\":" << count;
+    first = false;
+  }
+  out << "},\"findings\":[";
+  first = true;
+  for (const RaceFinding& finding : findings_) {
+    out << (first ? "" : ",") << "{\"kind\":\"" << RaceKindName(finding.kind) << "\",\"subject\":\""
+        << JsonEscape(finding.subject) << "\",\"message\":\"" << JsonEscape(finding.message)
+        << "\"}";
+    first = false;
+  }
+  out << "],\"order_graph\":[";
+  first = true;
+  for (const OrderEdge& edge : edges_) {
+    out << (first ? "" : ",") << "{\"from\":\"" << JsonEscape(edge.from) << "\",\"to\":\""
+        << JsonEscape(edge.to) << "\",\"count\":" << edge.count << "}";
+    first = false;
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace race
+}  // namespace imk

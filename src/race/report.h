@@ -1,0 +1,101 @@
+// Structured findings for the concurrency audit (mirrors src/verify/report).
+//
+// Every violation class the audit runtime detects has a stable id; each
+// violation becomes a RaceFinding carrying the id, the locks or shared
+// region involved, and a human-readable detail line. A RaceReport collects
+// findings plus coverage counters (how many acquisitions and shared-field
+// accesses were actually observed — an audit that observed nothing is not
+// evidence of race-freedom) and the observed lock-order graph, pretty-prints
+// for humans, and serializes to JSON for tooling.
+#ifndef IMKASLR_SRC_RACE_REPORT_H_
+#define IMKASLR_SRC_RACE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace imk {
+namespace race {
+
+// Stable violation identifiers (the audit's catalogue; see DESIGN.md §11).
+enum class RaceKind {
+  // Acquired a lock whose rank is <= the rank of a lock already held.
+  kRankInversion,
+  // The observed lock-order graph contains a cycle (two code paths acquire
+  // the same pair of ranks in opposite orders).
+  kOrderCycle,
+  // A wrapper lock was acquired without a declared rank.
+  kUnrankedLock,
+  // Eraser-style lockset check: a declared shared field was written by more
+  // than one thread with no common lock held across the accesses.
+  kUnguardedWrite,
+};
+
+// Stable string form ("rank-inversion", "order-cycle", ...).
+const char* RaceKindName(RaceKind kind);
+
+// One violation. `subject` names the locks (rank pair) or the shared region;
+// `message` carries the detail (ranks, threads, declared guard).
+struct RaceFinding {
+  RaceKind kind = RaceKind::kRankInversion;
+  std::string subject;
+  std::string message;
+};
+
+// One observed nesting edge: some thread acquired `to` while holding `from`.
+struct OrderEdge {
+  std::string from;
+  std::string to;
+  uint64_t count = 0;
+};
+
+// Coverage counters: what the audit actually observed.
+struct RaceCoverage {
+  uint64_t acquisitions = 0;      // instrumented lock acquisitions
+  uint64_t order_edges = 0;       // distinct nesting edges in the graph
+  uint64_t regions_tracked = 0;   // declared shared regions touched
+  uint64_t accesses_checked = 0;  // shared-field accesses lockset-checked
+  // False when the binary was built without IMK_RACE_AUDIT: the wrappers
+  // were passthrough, so only explicit drill hooks could be observed.
+  bool instrumented = false;
+};
+
+// The audit's output: findings + coverage + the order graph. A report is
+// `clean()` iff no finding was recorded (every kind is a violation).
+class RaceReport {
+ public:
+  // At most this many findings are *stored* per kind (a hot loop repeating
+  // one inversion must not balloon the report); all are *counted*.
+  static constexpr size_t kMaxRecordedPerKind = 64;
+
+  void Add(RaceFinding finding);
+
+  bool clean() const { return total_count_ == 0; }
+  uint64_t total_findings() const { return total_count_; }
+  // Total violations of one kind (including unrecorded overflow).
+  uint64_t CountOf(RaceKind kind) const;
+
+  const std::vector<RaceFinding>& findings() const { return findings_; }
+  RaceCoverage& coverage() { return coverage_; }
+  const RaceCoverage& coverage() const { return coverage_; }
+  std::vector<OrderEdge>& edges() { return edges_; }
+  const std::vector<OrderEdge>& edges() const { return edges_; }
+
+  // Multi-line human-readable summary.
+  std::string ToString() const;
+  // Machine-readable JSON object (stable keys; see DESIGN.md §11).
+  std::string ToJson() const;
+
+ private:
+  std::vector<RaceFinding> findings_;
+  std::vector<std::pair<RaceKind, uint64_t>> counts_;  // per-kind totals
+  std::vector<OrderEdge> edges_;
+  uint64_t total_count_ = 0;
+  RaceCoverage coverage_;
+};
+
+}  // namespace race
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_RACE_REPORT_H_

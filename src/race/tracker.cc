@@ -1,0 +1,274 @@
+#include "src/race/tracker.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace imk {
+namespace race {
+namespace {
+
+struct Held {
+  const void* lock;
+  LockRank rank;
+};
+
+// Per-thread held stack. Maintained unconditionally (in audit builds the
+// wrappers always call the hooks), so a Begin() issued while another thread
+// holds instrumented locks still sees a consistent stack — only the
+// *findings* are gated on the active window.
+std::vector<Held>& HeldStack() {
+  static thread_local std::vector<Held> stack;
+  return stack;
+}
+
+// Small dense thread ids for readable findings.
+uint64_t ThreadId() {
+  static std::atomic<uint64_t> next{1};
+  static thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint64_t EdgeKey(LockRank from, LockRank to) {
+  return (static_cast<uint64_t>(LockRankValue(from)) << 32) | LockRankValue(to);
+}
+
+struct RegionKey {
+  std::string region;
+  const void* instance;
+  uint64_t sub_id;
+  bool operator<(const RegionKey& o) const {
+    if (region != o.region) return region < o.region;
+    if (instance != o.instance) return instance < o.instance;
+    return sub_id < o.sub_id;
+  }
+};
+
+struct RegionState {
+  uint64_t owner_thread = 0;     // first thread to touch the region
+  bool multi_threaded = false;   // a second thread has touched it
+  bool reported = false;         // one finding per region is enough
+  std::set<const void*> lockset;  // candidate guards (intersection so far)
+};
+
+}  // namespace
+
+bool AuditCompiledIn() {
+#ifdef IMK_RACE_AUDIT
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool> Tracker::active_flag_{false};
+
+struct Tracker::Impl {
+  std::mutex mu;  // raw on purpose: the audit cannot instrument itself
+  RaceReport report;
+  std::set<std::string> seen_keys;           // finding dedupe
+  std::map<uint64_t, uint64_t> edge_counts;  // (from<<32|to) -> times seen
+  std::map<uint32_t, std::set<uint32_t>> adjacency;
+  std::map<RegionKey, RegionState> regions;
+  uint64_t acquisitions = 0;
+  uint64_t accesses = 0;
+
+  void AddOnce(RaceKind kind, std::string key, std::string subject, std::string message) {
+    if (!seen_keys.insert(std::move(key)).second) {
+      return;
+    }
+    report.Add({kind, std::move(subject), std::move(message)});
+  }
+
+  // True if `target` is reachable from `start` in the edge graph.
+  bool Reaches(uint32_t start, uint32_t target) const {
+    std::set<uint32_t> visited;
+    std::vector<uint32_t> frontier{start};
+    while (!frontier.empty()) {
+      uint32_t node = frontier.back();
+      frontier.pop_back();
+      if (node == target) {
+        return true;
+      }
+      if (!visited.insert(node).second) {
+        continue;
+      }
+      auto it = adjacency.find(node);
+      if (it == adjacency.end()) {
+        continue;
+      }
+      for (uint32_t next : it->second) {
+        frontier.push_back(next);
+      }
+    }
+    return false;
+  }
+};
+
+Tracker& Tracker::Instance() {
+  static Tracker tracker;
+  return tracker;
+}
+
+Tracker::Impl& Tracker::impl() {
+  static Impl impl;
+  return impl;
+}
+
+void Tracker::Begin() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.report = RaceReport();
+  i.seen_keys.clear();
+  i.edge_counts.clear();
+  i.adjacency.clear();
+  i.regions.clear();
+  i.acquisitions = 0;
+  i.accesses = 0;
+  active_flag_.store(true, std::memory_order_relaxed);
+}
+
+RaceReport Tracker::End() {
+  active_flag_.store(false, std::memory_order_relaxed);
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  RaceCoverage& cov = i.report.coverage();
+  cov.acquisitions = i.acquisitions;
+  cov.order_edges = i.edge_counts.size();
+  cov.regions_tracked = i.regions.size();
+  cov.accesses_checked = i.accesses;
+  cov.instrumented = AuditCompiledIn();
+  for (const auto& [key, count] : i.edge_counts) {
+    i.report.edges().push_back({LockRankName(static_cast<LockRank>(key >> 32)),
+                                LockRankName(static_cast<LockRank>(key & 0xffffffffu)), count});
+  }
+  RaceReport out = std::move(i.report);
+  i.report = RaceReport();
+  return out;
+}
+
+void Tracker::OnAcquire(const void* lock, LockRank rank) {
+  std::vector<Held>& held = HeldStack();
+  if (active()) {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> guard(i.mu);
+    ++i.acquisitions;
+    if (rank == LockRank::kUnranked) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "unranked@%p", lock);
+      i.AddOnce(RaceKind::kUnrankedLock, buf, "unranked lock",
+                "wrapper lock acquired without a declared rank; add it to "
+                "src/race/lock_ranks.h");
+    }
+    if (!held.empty()) {
+      const Held& top = held.back();
+      if (rank != LockRank::kUnranked && top.rank != LockRank::kUnranked) {
+        if (LockRankValue(rank) <= LockRankValue(top.rank)) {
+          char buf[128];
+          std::snprintf(buf, sizeof(buf), "inversion:%s->%s", LockRankName(top.rank),
+                        LockRankName(rank));
+          char msg[160];
+          std::snprintf(msg, sizeof(msg),
+                        "thread %llu acquired rank %u (%s) while holding rank %u (%s)",
+                        static_cast<unsigned long long>(ThreadId()), LockRankValue(rank),
+                        LockRankName(rank), LockRankValue(top.rank), LockRankName(top.rank));
+          i.AddOnce(RaceKind::kRankInversion, buf,
+                    std::string(LockRankName(top.rank)) + " -> " + LockRankName(rank), msg);
+        }
+        // Record every observed nesting edge — including inverted ones — so
+        // two paths locking a pair in opposite orders close a graph cycle.
+        uint64_t key = EdgeKey(top.rank, rank);
+        bool new_edge = i.edge_counts.find(key) == i.edge_counts.end();
+        ++i.edge_counts[key];
+        if (new_edge) {
+          uint32_t from = LockRankValue(top.rank);
+          uint32_t to = LockRankValue(rank);
+          i.adjacency[from].insert(to);
+          if (i.Reaches(to, from)) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf), "cycle:%s<->%s", LockRankName(top.rank),
+                          LockRankName(rank));
+            i.AddOnce(RaceKind::kOrderCycle, buf,
+                      std::string(LockRankName(top.rank)) + " <-> " + LockRankName(rank),
+                      "lock-order graph cycle: the reverse nesting was also observed; "
+                      "these locks deadlock under the right interleaving");
+          }
+        }
+      }
+    }
+  }
+  held.push_back({lock, rank});
+}
+
+void Tracker::OnRelease(const void* lock) {
+  std::vector<Held>& held = HeldStack();
+  // Search from the top: unlock order may legally differ from lock order
+  // (std::scoped_lock, manual early unlock).
+  for (size_t idx = held.size(); idx-- > 0;) {
+    if (held[idx].lock == lock) {
+      held.erase(held.begin() + static_cast<long>(idx));
+      return;
+    }
+  }
+}
+
+void Tracker::OnSharedAccess(const char* region, const void* instance, uint64_t sub_id,
+                             LockRank declared, bool write) {
+  if (!active()) {
+    return;
+  }
+  // Snapshot this thread's held set before taking the tracker's own lock.
+  std::set<const void*> held_now;
+  for (const Held& h : HeldStack()) {
+    held_now.insert(h.lock);
+  }
+  uint64_t tid = ThreadId();
+
+  Impl& i = impl();
+  std::lock_guard<std::mutex> guard(i.mu);
+  ++i.accesses;
+  RegionState& state = i.regions[RegionKey{region, instance, sub_id}];
+  if (state.owner_thread == 0) {
+    // First touch: exclusive to this thread until proven otherwise.
+    state.owner_thread = tid;
+    state.lockset = held_now;
+    return;
+  }
+  if (!state.multi_threaded) {
+    if (state.owner_thread == tid) {
+      return;  // still thread-exclusive; no guard needed yet
+    }
+    // Second thread entered: start the lockset at *this* access's held set
+    // (Eraser's ownership-transition refinement — locks from the exclusive
+    // phase are not evidence of a shared protocol).
+    state.multi_threaded = true;
+    state.lockset = held_now;
+  } else {
+    // Intersect the candidate guards with what is held right now.
+    for (auto it = state.lockset.begin(); it != state.lockset.end();) {
+      if (held_now.count(*it) == 0) {
+        it = state.lockset.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (write && state.lockset.empty() && !state.reported) {
+    state.reported = true;
+    char key[160];
+    std::snprintf(key, sizeof(key), "unguarded:%s@%p/%llu", region, instance,
+                  static_cast<unsigned long long>(sub_id));
+    char msg[224];
+    std::snprintf(msg, sizeof(msg),
+                  "multi-threaded write with empty lockset (declared guard: %s); "
+                  "no common lock held across accesses",
+                  LockRankName(declared));
+    i.AddOnce(RaceKind::kUnguardedWrite, key, region, msg);
+  }
+}
+
+}  // namespace race
+}  // namespace imk

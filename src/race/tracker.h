@@ -1,0 +1,141 @@
+// The concurrency-audit runtime: held-lock stacks, the lock-order graph,
+// and the Eraser-style lockset check.
+//
+// The Tracker is a process-wide singleton fed by the instrumented wrappers
+// in src/race/mutex.h (and, for self-tests, by the drills in
+// src/race/drill.h calling the hooks directly). It is always *compiled* —
+// the detection logic and its tests work in every build — but it only
+// *records* between Begin() and End(), and the wrappers only call into it
+// when the tree was built with IMK_RACE_AUDIT (otherwise they are plain
+// passthrough and the audit observes nothing; End() marks the report
+// uninstrumented so a "clean" run without instrumentation is not mistaken
+// for evidence).
+//
+// Checks performed at OnAcquire time:
+//   - rank inversion: the incoming rank is <= the top of this thread's
+//     held stack (kRankInversion; equal rank means sibling locks of one
+//     rank were nested, which the ranking forbids too);
+//   - unranked lock: a wrapper was never given a rank (kUnrankedLock);
+//   - order cycle: the nesting edge just observed closes a cycle in the
+//     global rank graph (kOrderCycle). All edges are recorded, including
+//     inverted ones, so two paths locking a pair of ranks in opposite
+//     orders surface as a cycle even if each path alone only inverts.
+//
+// Checks performed at OnSharedAccess time (Eraser-lite): each declared
+// region starts exclusive to its first thread; once a second thread
+// touches it, its candidate lockset is intersected with the held set at
+// every access, and a *write* with an empty lockset from then on is a
+// kUnguardedWrite finding.
+#ifndef IMKASLR_SRC_RACE_TRACKER_H_
+#define IMKASLR_SRC_RACE_TRACKER_H_
+
+#include <atomic>
+
+#include "src/race/lock_ranks.h"
+#include "src/race/report.h"
+
+namespace imk {
+namespace race {
+
+// True when the tree was compiled with IMK_RACE_AUDIT (wrapper hooks live).
+bool AuditCompiledIn();
+
+class Tracker {
+ public:
+  static Tracker& Instance();
+
+  // Fast global gate the wrappers test before calling the hooks.
+  static bool active() { return active_flag_.load(std::memory_order_relaxed); }
+
+  // Starts a fresh audit window: clears all state, enables recording.
+  void Begin();
+  // Disables recording and returns everything observed since Begin().
+  RaceReport End();
+
+  // Wrapper/drill hooks. OnAcquire is called *before* the underlying lock
+  // call (a rank inversion should be reported even if the thread would
+  // block forever); OnRelease after the underlying unlock.
+  void OnAcquire(const void* lock, LockRank rank);
+  void OnRelease(const void* lock);
+
+  // Lockset check for one access to a declared shared region. The region
+  // identity is (region, instance, sub_id) so sibling instances (per-VM
+  // FrameStores) and sibling elements (frame-state words) are independent.
+  // `declared` is the IMK_GUARDED_BY rank, echoed into findings.
+  void OnSharedAccess(const char* region, const void* instance, uint64_t sub_id, LockRank declared,
+                      bool write);
+
+  Tracker(const Tracker&) = delete;
+  Tracker& operator=(const Tracker&) = delete;
+
+ private:
+  Tracker() = default;
+
+  static std::atomic<bool> active_flag_;
+  struct Impl;
+  Impl& impl();
+};
+
+// RAII audit window: Begin() on construction, End() into `report()` on
+// Finish() (or destruction).
+class AuditScope {
+ public:
+  AuditScope() { Tracker::Instance().Begin(); }
+  ~AuditScope() {
+    if (!finished_) {
+      Finish();
+    }
+  }
+
+  // Ends the window and captures the report; idempotent.
+  const RaceReport& Finish() {
+    if (!finished_) {
+      report_ = Tracker::Instance().End();
+      finished_ = true;
+    }
+    return report_;
+  }
+
+  const RaceReport& report() { return Finish(); }
+
+  AuditScope(const AuditScope&) = delete;
+  AuditScope& operator=(const AuditScope&) = delete;
+
+ private:
+  RaceReport report_;
+  bool finished_ = false;
+};
+
+}  // namespace race
+}  // namespace imk
+
+// Declares one write access to a shared region for the lockset check.
+// Placed at the write site, under whatever lock the code believes protects
+// the region; compiles to nothing without IMK_RACE_AUDIT.
+#ifdef IMK_RACE_AUDIT
+#define IMK_RACE_SHARED_WRITE(region, instance, sub_id, rank)                             \
+  do {                                                                                    \
+    if (::imk::race::Tracker::active()) {                                                 \
+      ::imk::race::Tracker::Instance().OnSharedAccess(                                    \
+          (region), (instance), static_cast<uint64_t>(sub_id), ::imk::race::LockRank::rank, \
+          /*write=*/true);                                                                \
+    }                                                                                     \
+  } while (0)
+#define IMK_RACE_SHARED_READ(region, instance, sub_id, rank)                              \
+  do {                                                                                    \
+    if (::imk::race::Tracker::active()) {                                                 \
+      ::imk::race::Tracker::Instance().OnSharedAccess(                                    \
+          (region), (instance), static_cast<uint64_t>(sub_id), ::imk::race::LockRank::rank, \
+          /*write=*/false);                                                               \
+    }                                                                                     \
+  } while (0)
+#else
+#define IMK_RACE_SHARED_WRITE(region, instance, sub_id, rank) \
+  do {                                                        \
+  } while (0)
+#define IMK_RACE_SHARED_READ(region, instance, sub_id, rank) \
+  do {                                                       \
+  } while (0)
+#endif
+
+#endif  // IMKASLR_SRC_RACE_TRACKER_H_

@@ -10,6 +10,9 @@
 #include "src/base/align.h"
 #include "src/base/fault_injection.h"
 #include "src/base/stopwatch.h"
+#include "src/race/drill.h"
+#include "src/race/mutex.h"
+#include "src/race/tracker.h"
 #include "src/vmm/loader.h"
 #include "src/vmm/microvm.h"
 
@@ -102,10 +105,11 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     return config;
   };
 
-  std::mutex error_mutex;
+  race::Mutex error_mutex{race::LockRank::kStormError};
   Status first_error = OkStatus();
   const auto record_error = [&](Status status) {
-    std::lock_guard<std::mutex> lock(error_mutex);
+    std::lock_guard<race::Mutex> lock(error_mutex);
+    IMK_RACE_SHARED_WRITE("storm.first_error", &first_error, 0, kStormError);
     if (first_error.ok()) {
       first_error = std::move(status);
     }
@@ -186,7 +190,7 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   };
 
   // Supervised lane: per-VM failures become tallies, not storm aborts.
-  std::mutex tally_mutex;
+  race::Mutex tally_mutex{race::LockRank::kStormTally};
   const auto supervise_one = [&](Storage& storage, uint64_t seed, BootSample* sample,
                                  Bytes* kernel_region, bool measured) -> Status {
     SupervisorOptions sup;
@@ -202,7 +206,8 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     BootOutcome outcome = supervisor.Run();
     const uint64_t latency_ns = timer.ElapsedNs();
     if (measured) {
-      std::lock_guard<std::mutex> lock(tally_mutex);
+      std::lock_guard<race::Mutex> lock(tally_mutex);
+      IMK_RACE_SHARED_WRITE("supervisor.outcomes", &stats, 0, kStormTally);
       stats.outcomes.attempts_total += outcome.attempts;
       stats.outcomes.watchdog_trips += outcome.watchdog_trips;
       if (!outcome.ok) {
@@ -280,6 +285,19 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
         const uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= options.vms) {
           return;
+        }
+        if (FaultInjector::armed()) {
+          // Audit self-test triggers: an error-flavor rule on these points
+          // fires the corresponding known-bad locking pattern inside the
+          // storm, so "the detector detects" is itself drillable under load
+          // (scripts/ci_check.sh race-drill stage). The storm result is
+          // unaffected — only the race report grows findings.
+          if (!FaultInjector::Instance().Check("race.order_drill").ok()) {
+            race::LockOrderInversionDrill();
+          }
+          if (!FaultInjector::Instance().Check("race.lockset_drill").ok()) {
+            race::UnguardedWriteDrill();
+          }
         }
         Bytes* region = options.keep_kernel_regions ? &stats.kernel_regions[i] : nullptr;
         Status status = supervise

@@ -18,6 +18,7 @@
 #include "src/base/result.h"
 #include "src/base/stats.h"
 #include "src/kernel/kconfig.h"
+#include "src/race/annotations.h"
 #include "src/vmm/boot_supervisor.h"
 #include "src/vmm/image_template.h"
 
@@ -95,7 +96,9 @@ struct StormStats {
     uint64_t faults_injected = 0;    // FaultInjector fires inside the window
     uint32_t accounted() const { return ok_first_try + ok_retried + ok_degraded + failed; }
   };
-  OutcomeTally outcomes;
+  // Written by many workers during a supervised storm (under the storm's
+  // tally lock); plain data once RunBootStorm returns.
+  OutcomeTally outcomes IMK_GUARDED_BY(kStormTally);
 
   std::vector<Bytes> kernel_regions;  // per VM, when keep_kernel_regions
 

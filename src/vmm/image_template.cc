@@ -5,6 +5,7 @@
 
 #include "src/base/crc32.h"
 #include "src/base/fault_injection.h"
+#include "src/race/tracker.h"
 #include "src/elf/elf_reader.h"
 #include "src/elf/elf_types.h"
 
@@ -183,7 +184,7 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
   Key key{};
   bool have_key = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<race::Mutex> lock(mutex_);
     for (const SpanMemo& memo : memo_) {
       if (memo.data == vmlinux.data() && memo.size == vmlinux.size() && memo.probe == probe) {
         key = memo.key;
@@ -196,7 +197,7 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
     key = Key{Crc32(vmlinux), vmlinux.size()};
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<race::Mutex> lock(mutex_);
     memo_[memo_next_] = SpanMemo{vmlinux.data(), vmlinux.size(), probe, key};
     memo_next_ = (memo_next_ + 1) % memo_.size();
   }
@@ -208,13 +209,14 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
     IntegrityMode mode = IntegrityMode::kSampled;
     std::shared_ptr<BuildState> flight;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<race::Mutex> lock(mutex_);
       for (;;) {
         auto it = index_.find(key);
         // A template built with extract_relocs satisfies lookups without it;
         // the reverse upgrade falls through to a rebuild.
         if (it != index_.end() &&
             (it->second->value->relocs_extracted || !options.extract_relocs)) {
+          IMK_RACE_SHARED_WRITE("template_cache.entries", this, 0, kTemplateCache);
           lru_.splice(lru_.begin(), lru_, it->second);
           ++hits_;
           cand = it->second->value;
@@ -255,7 +257,8 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
       if (VerifyTemplate(*cand, cursor, mode)) {
         return cand;
       }
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<race::Mutex> lock(mutex_);
+      IMK_RACE_SHARED_WRITE("template_cache.entries", this, 0, kTemplateCache);
       auto it = index_.find(key);
       if (it != index_.end() && it->second->value == cand) {
         lru_.erase(it->second);
@@ -271,7 +274,8 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
     Result<std::shared_ptr<const ImageTemplate>> built =
         BuildTemplate(vmlinux, options, std::get<0>(key), /*stamp_integrity=*/true);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<race::Mutex> lock(mutex_);
+    IMK_RACE_SHARED_WRITE("template_cache.entries", this, 0, kTemplateCache);
     auto fit = in_flight_.find(key);
     if (fit != in_flight_.end() && fit->second == flight) {
       in_flight_.erase(fit);
@@ -335,7 +339,7 @@ bool ImageTemplateCache::VerifyTemplate(const ImageTemplate& tmpl, uint64_t curs
 }
 
 void ImageTemplateCache::set_integrity_mode(IntegrityMode mode) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   integrity_ = mode;
 }
 
@@ -344,7 +348,7 @@ size_t ImageTemplateCache::AuditEntries() {
   // race (an entry replaced mid-audit is a fresh build; leave it alone).
   std::vector<std::pair<Key, std::shared_ptr<const ImageTemplate>>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<race::Mutex> lock(mutex_);
     snapshot.reserve(lru_.size());
     for (const Entry& entry : lru_) {
       snapshot.emplace_back(entry.key, entry.value);
@@ -355,7 +359,8 @@ size_t ImageTemplateCache::AuditEntries() {
     if (VerifyTemplate(*tmpl, 0, IntegrityMode::kFull)) {
       continue;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<race::Mutex> lock(mutex_);
+    IMK_RACE_SHARED_WRITE("template_cache.entries", this, 0, kTemplateCache);
     auto it = index_.find(key);
     if (it != index_.end() && it->second->value == tmpl) {
       lru_.erase(it->second);
@@ -368,27 +373,27 @@ size_t ImageTemplateCache::AuditEntries() {
 }
 
 uint64_t ImageTemplateCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   return hits_;
 }
 
 uint64_t ImageTemplateCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   return misses_;
 }
 
 uint64_t ImageTemplateCache::quarantined() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   return quarantined_;
 }
 
 size_t ImageTemplateCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   return lru_.size();
 }
 
 void ImageTemplateCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<race::Mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
   memo_.fill(SpanMemo{});

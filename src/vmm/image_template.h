@@ -15,11 +15,9 @@
 #define IMKASLR_SRC_VMM_IMAGE_TEMPLATE_H_
 
 #include <array>
-#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <tuple>
 #include <vector>
@@ -29,6 +27,8 @@
 #include "src/elf/elf_note.h"
 #include "src/kaslr/fgkaslr.h"
 #include "src/kernel/relocs.h"
+#include "src/race/annotations.h"
+#include "src/race/mutex.h"
 
 namespace imk {
 
@@ -157,17 +157,17 @@ class ImageTemplateCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable build_done_;
-  std::list<Entry> lru_;  // front = most recent
-  std::map<Key, std::list<Entry>::iterator> index_;
-  std::map<Key, std::shared_ptr<BuildState>> in_flight_;
-  std::array<SpanMemo, 4> memo_{};
-  size_t memo_next_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t quarantined_ = 0;
-  IntegrityMode integrity_ = IntegrityMode::kSampled;
+  mutable race::Mutex mutex_{race::LockRank::kTemplateCache};
+  race::CondVar build_done_;
+  std::list<Entry> lru_ IMK_GUARDED_BY(kTemplateCache);  // front = most recent
+  std::map<Key, std::list<Entry>::iterator> index_ IMK_GUARDED_BY(kTemplateCache);
+  std::map<Key, std::shared_ptr<BuildState>> in_flight_ IMK_GUARDED_BY(kTemplateCache);
+  std::array<SpanMemo, 4> memo_ IMK_GUARDED_BY(kTemplateCache){};
+  size_t memo_next_ IMK_GUARDED_BY(kTemplateCache) = 0;
+  uint64_t hits_ IMK_GUARDED_BY(kTemplateCache) = 0;
+  uint64_t misses_ IMK_GUARDED_BY(kTemplateCache) = 0;
+  uint64_t quarantined_ IMK_GUARDED_BY(kTemplateCache) = 0;
+  IntegrityMode integrity_ IMK_GUARDED_BY(kTemplateCache) = IntegrityMode::kSampled;
 };
 
 // The process-wide cache monitors share by default (a Firecracker fleet

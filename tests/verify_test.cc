@@ -220,6 +220,44 @@ TEST(VerifyFaultTest, StaleTextPointerInDataDetected) {
   EXPECT_EQ(report->total_findings(), 1u) << report->ToString();
 }
 
+TEST(VerifyFaultTest, StaleTextPointerInShuffledFgKaslrImageDetected) {
+  // Same leak-scanner invariant as above, but against a function-granular
+  // image: the planted absolute pointer must be caught even though every
+  // text section has been shuffled away from its link-time address, i.e.
+  // the scanner's notion of "stale" must be anchored to the link-time text
+  // range, not to any post-shuffle layout.
+  auto info = BuildKernel(KernelConfig::Make(KernelProfile::kAws, RandoMode::kFgKaslr, kScale));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto loaded = LoadWithNonzeroSlide(*info, RandoMode::kFgKaslr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->kernel.fg.has_value());
+  ASSERT_GE(loaded->kernel.fg->map.ranges().size(), 2u);
+
+  auto elf = ElfReader::Parse(ByteSpan(info->vmlinux));
+  ASSERT_TRUE(elf.ok());
+  auto data_section = elf->FindSection(".data");
+  ASSERT_TRUE(data_section.ok());
+  const uint64_t lo = (*data_section)->header.sh_addr;
+  const uint64_t hi = lo + (*data_section)->header.sh_size;
+  uint64_t slot = 0;
+  for (uint64_t candidate = (lo + 7) & ~7ull; candidate + 8 <= hi; candidate += 8) {
+    if (!TouchesRelocField(info->relocs, candidate)) {
+      slot = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(slot, 0u) << "no relocation-free 8-byte slot in .data";
+  // FieldPtr translates the slot itself through the shuffle map; the value
+  // written is a raw link-time text address that nothing relocated.
+  StoreLe64(FieldPtr(*loaded, slot), loaded->kernel.link_text_vaddr + 16);
+
+  auto report = VerifyImage(InputFor(*info, *loaded));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->CountOf(Invariant::kStaleTextPointer), 1u) << report->ToString();
+  EXPECT_EQ(report->total_findings(), 1u) << report->ToString();
+  EXPECT_GT(report->coverage().data_words_scanned, 0u);
+}
+
 TEST(VerifyKallsymsTest, LazyFixupCleanWhenDeferredStaleWhenNot) {
   FgKaslrParams fg;
   fg.kallsyms = KallsymsFixup::kLazy;

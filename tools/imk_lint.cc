@@ -1,0 +1,390 @@
+// imk_lint: source-level concurrency lint for the imkrace subsystem.
+//
+// The audit runtime (src/race/tracker.h) can only check locks that go
+// through the instrumented wrappers and annotations that name real ranks —
+// this tool closes the loop at the source level, driven by the build's own
+// compile_commands.json (so the lint sees exactly the translation units the
+// build sees, plus the headers sitting next to them):
+//
+//   1. raw-mutex: std::mutex / std::shared_mutex / std::condition_variable
+//      are forbidden outside src/race/ — everything else must use the
+//      imk::race wrappers, or the audit is blind to it.
+//   2. guarded-by: every IMK_GUARDED_BY(rank) annotation must name an
+//      enumerator of race::LockRank (src/race/lock_ranks.h), so annotations
+//      cannot drift from the rank table.
+//   3. fault-point: every fault-point name a test arms (FaultRule.point,
+//      FaultPlan::Parse specs, IMK_FAULT_* macros) must exist in the
+//      KnownFaultPoints() registry in fault_injection.cc — Parse accepts
+//      unknown points silently, so a typo'd drill would test nothing.
+//
+// Usage: imk_lint [--build=build] [--root=.]
+// Exit codes: 0 clean, 1 findings, 2 usage/environment error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  size_t line;
+  std::string check;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void Report(const std::string& file, size_t line, const char* check, std::string message) {
+  g_findings.push_back({file, line, check, std::move(message)});
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return static_cast<bool>(in);
+}
+
+// Replaces // and /* */ comments with spaces (newlines preserved so line
+// numbers stay true). A '#include <mutex>' or a comment naming std::mutex
+// must not trip the raw-mutex check.
+std::string StripComments(const std::string& src) {
+  std::string out = src;
+  enum { kCode, kLine, kBlock, kString, kChar } state = kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case kCode:
+        if (c == '/' && next == '/') {
+          state = kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = kString;
+        } else if (c == '\'') {
+          state = kChar;
+        }
+        break;
+      case kLine:
+        if (c == '\n') {
+          state = kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = kCode;
+        }
+        break;
+      case kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// Replaces string-literal contents with spaces (a log message mentioning
+// "std::mutex" is not a violation). Run after StripComments.
+std::string BlankStrings(const std::string& src) {
+  std::string out = src;
+  bool in_string = false;
+  bool in_char = false;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    if (in_string) {
+      if (c == '\\') {
+        out[i] = ' ';
+        if (i + 1 < out.size()) {
+          out[i + 1] = ' ';
+        }
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (c != '\n') {
+        out[i] = ' ';
+      }
+    } else if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '\'') {
+      in_char = true;
+    }
+  }
+  return out;
+}
+
+size_t LineOf(const std::string& text, size_t pos) {
+  return 1 + static_cast<size_t>(std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+}
+
+// ---- file list from the compile database ----
+
+// Pulls every "file" entry out of compile_commands.json. The format is
+// machine-generated and flat; a full JSON parser would be overkill.
+std::vector<std::string> CompiledFiles(const std::string& build_dir) {
+  std::string db;
+  if (!ReadFile(build_dir + "/compile_commands.json", &db)) {
+    return {};
+  }
+  std::vector<std::string> files;
+  static const std::regex entry("\"file\"\\s*:\\s*\"([^\"]+)\"");
+  for (std::sregex_iterator it(db.begin(), db.end(), entry), end; it != end; ++it) {
+    files.push_back((*it)[1].str());
+  }
+  return files;
+}
+
+// Repo-relative path (compile_commands uses absolute paths).
+std::string Relativize(const std::string& path, const std::string& root) {
+  if (path.rfind(root + "/", 0) == 0) {
+    return path.substr(root.size() + 1);
+  }
+  return path;
+}
+
+// ---- check 2 support: rank enumerators from lock_ranks.h ----
+
+std::set<std::string> RankEnumerators(const std::string& root) {
+  std::string src;
+  std::set<std::string> ranks;
+  if (!ReadFile(root + "/src/race/lock_ranks.h", &src)) {
+    return ranks;
+  }
+  const size_t begin = src.find("enum class LockRank");
+  const size_t end = src.find("};", begin);
+  if (begin == std::string::npos || end == std::string::npos) {
+    return ranks;
+  }
+  const std::string body = StripComments(src.substr(begin, end - begin));
+  static const std::regex enumerator("(k[A-Za-z0-9_]+)\\s*=");
+  for (std::sregex_iterator it(body.begin(), body.end(), enumerator), e; it != e; ++it) {
+    ranks.insert((*it)[1].str());
+  }
+  return ranks;
+}
+
+// ---- check 3 support: the fault-point registry ----
+
+std::set<std::string> RegisteredFaultPoints(const std::string& root) {
+  std::string src;
+  std::set<std::string> points;
+  if (!ReadFile(root + "/src/base/fault_injection.cc", &src)) {
+    return points;
+  }
+  const size_t begin = src.find("KnownFaultPoints()");
+  const size_t end = src.find("return *points;", begin);
+  if (begin == std::string::npos || end == std::string::npos) {
+    return points;
+  }
+  const std::string body = src.substr(begin, end - begin);
+  static const std::regex literal("\"([a-z_.]+)\"");
+  for (std::sregex_iterator it(body.begin(), body.end(), literal), e; it != e; ++it) {
+    points.insert((*it)[1].str());
+  }
+  return points;
+}
+
+// ---- the checks ----
+
+void CheckRawMutex(const std::string& rel, const std::string& code) {
+  if (rel.rfind("src/race/", 0) == 0) {
+    return;  // the audit implements the wrappers; it alone may go raw
+  }
+  static const std::regex raw("std::(mutex|shared_mutex|condition_variable(_any)?)\\b");
+  for (std::sregex_iterator it(code.begin(), code.end(), raw), end; it != end; ++it) {
+    Report(rel, LineOf(code, static_cast<size_t>(it->position())), "raw-mutex",
+           "raw " + it->str() + " outside src/race/; use imk::race::" +
+               ((*it)[1].str() == "mutex"
+                    ? "Mutex"
+                    : (*it)[1].str() == "shared_mutex" ? "SharedMutex" : "CondVar") +
+               " with a rank from src/race/lock_ranks.h");
+  }
+}
+
+void CheckGuardedBy(const std::string& rel, const std::string& code,
+                    const std::set<std::string>& ranks) {
+  static const std::regex annotation("IMK_GUARDED_BY\\(\\s*([A-Za-z0-9_:]*)\\s*\\)");
+  for (std::sregex_iterator it(code.begin(), code.end(), annotation), end; it != end; ++it) {
+    std::string rank = (*it)[1].str();
+    if (rank == "rank") {
+      continue;  // the macro definition itself
+    }
+    // Accept either bare enumerator or a qualified spelling; compare the leaf.
+    const size_t colon = rank.rfind(':');
+    if (colon != std::string::npos) {
+      rank = rank.substr(colon + 1);
+    }
+    if (ranks.count(rank) == 0) {
+      Report(rel, LineOf(code, static_cast<size_t>(it->position())), "guarded-by",
+             "IMK_GUARDED_BY(" + (*it)[1].str() +
+                 ") names no enumerator of race::LockRank (src/race/lock_ranks.h)");
+    }
+  }
+}
+
+void CheckFaultPoints(const std::string& rel, const std::string& code,
+                      const std::set<std::string>& points) {
+  // The injector's own unit tests exercise the trigger/grammar mechanics
+  // against synthetic points they Check() themselves — the one place an
+  // unregistered name is the point of the test.
+  if (rel == "tests/fault_injection_test.cc") {
+    return;
+  }
+  // Names armed through struct fields or macros.
+  static const std::regex direct(
+      "(?:\\.point\\s*=\\s*|IMK_FAULT_(?:POINT|DELAY|TRUNCATE|CORRUPT)\\(\\s*)\"([^\"]+)\"");
+  for (std::sregex_iterator it(code.begin(), code.end(), direct), end; it != end; ++it) {
+    const std::string name = (*it)[1].str();
+    if (points.count(name) == 0) {
+      Report(rel, LineOf(code, static_cast<size_t>(it->position())), "fault-point",
+             "fault point \"" + name + "\" is not in KnownFaultPoints() (fault_injection.cc); "
+             "arming it is a silent no-op");
+    }
+  }
+  // Names inside FaultPlan::Parse spec strings: "point:flavor;point:flavor".
+  static const std::regex parse_call("Parse\\(\\s*\"([^\"]+)\"");
+  for (std::sregex_iterator it(code.begin(), code.end(), parse_call), end; it != end; ++it) {
+    const std::string spec = (*it)[1].str();
+    const size_t line = LineOf(code, static_cast<size_t>(it->position()));
+    std::stringstream rules(spec);
+    std::string rule;
+    while (std::getline(rules, rule, ';')) {
+      const std::string name = rule.substr(0, rule.find(':'));
+      if (!name.empty() && points.count(name) == 0) {
+        Report(rel, line, "fault-point",
+               "fault point \"" + name + "\" in Parse spec is not in KnownFaultPoints(); "
+               "the rule would never hit");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string build_dir = "build";
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--build=", 0) == 0) {
+      build_dir = arg.substr(8);
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: imk_lint [--build=<dir>] [--root=<repo root>]\n");
+      return 2;
+    }
+  }
+  // The compile database stores absolute paths; match them against an
+  // absolute root regardless of how --root was spelled.
+  if (char* resolved = ::realpath(root.c_str(), nullptr)) {
+    root = resolved;
+    std::free(resolved);
+  }
+
+  const std::vector<std::string> compiled = CompiledFiles(build_dir);
+  if (compiled.empty()) {
+    std::fprintf(stderr, "imk_lint: no entries in %s/compile_commands.json "
+                 "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)\n",
+                 build_dir.c_str());
+    return 2;
+  }
+  const std::set<std::string> ranks = RankEnumerators(root);
+  if (ranks.empty()) {
+    std::fprintf(stderr, "imk_lint: could not parse race::LockRank from %s/src/race/lock_ranks.h\n",
+                 root.c_str());
+    return 2;
+  }
+  const std::set<std::string> points = RegisteredFaultPoints(root);
+  if (points.empty()) {
+    std::fprintf(stderr, "imk_lint: could not parse KnownFaultPoints() from "
+                 "%s/src/base/fault_injection.cc\n", root.c_str());
+    return 2;
+  }
+
+  // The compiled sources, plus the header sitting next to each (headers
+  // never appear in the compile database but carry the field declarations
+  // the guarded-by check exists for).
+  std::set<std::string> files;
+  for (const std::string& file : compiled) {
+    files.insert(file);
+    const size_t dot = file.rfind(".cc");
+    if (dot != std::string::npos && dot == file.size() - 3) {
+      const std::string header = file.substr(0, dot) + ".h";
+      if (FileExists(header)) {
+        files.insert(header);
+      }
+    }
+  }
+
+  size_t scanned = 0;
+  for (const std::string& file : files) {
+    const std::string rel = Relativize(file, root);
+    // Only lint tree-owned code (the database also lists _deps etc.).
+    if (rel.rfind("src/", 0) != 0 && rel.rfind("tools/", 0) != 0 &&
+        rel.rfind("tests/", 0) != 0 && rel.rfind("bench/", 0) != 0 &&
+        rel.rfind("examples/", 0) != 0) {
+      continue;
+    }
+    std::string raw;
+    if (!ReadFile(file, &raw)) {
+      std::fprintf(stderr, "imk_lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    ++scanned;
+    const std::string no_comments = StripComments(raw);
+    // Fault-point names live *inside* string literals; scan before blanking.
+    CheckFaultPoints(rel, no_comments, points);
+    const std::string code = BlankStrings(no_comments);
+    CheckRawMutex(rel, code);
+    CheckGuardedBy(rel, code, ranks);
+  }
+
+  for (const Finding& finding : g_findings) {
+    std::printf("%s:%zu: [%s] %s\n", finding.file.c_str(), finding.line, finding.check.c_str(),
+                finding.message.c_str());
+  }
+  std::printf("imk_lint: %zu file(s), %zu finding(s)\n", scanned, g_findings.size());
+  return g_findings.empty() ? 0 : 1;
+}

@@ -45,6 +45,20 @@
 //            on a clean report, 1 on findings. --corrupt injects one fault
 //            first (skip-abs64 | double-inverse32 | overlap-section |
 //            stale-pointer) to demonstrate detection.
+//   racecheck [--vms=16] [--threads=4] [--scale=0.02] [--load-threads=N]
+//            [--json] [--drill=order|lockset]
+//            Concurrency audit (DESIGN.md §11): builds a synthetic kernel
+//            in-process and runs an instrumented boot storm over kaslr and
+//            fgkaslr lanes, reporting rank inversions, lock-order cycles,
+//            unranked locks, and Eraser-style lockset violations. Exits 0
+//            on a clean report. Meaningful detection needs a build with
+//            -DIMK_RACE_AUDIT=ON (otherwise the wrappers are passthrough
+//            and the report says so). --drill skips the storm and fires a
+//            seeded known-bad pattern instead, exiting 0 iff the detector
+//            caught it — the self-test CI runs.
+//
+// boot and storm also accept --race-audit to wrap the run in the same
+// audit window and append its report (exit 1 if it has findings).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -59,6 +73,8 @@
 #include "src/kernel/bzimage.h"
 #include "src/kernel/kernel_builder.h"
 #include "src/base/fault_injection.h"
+#include "src/race/drill.h"
+#include "src/race/tracker.h"
 #include "src/verify/image_verifier.h"
 #include "src/vmm/boot_storm.h"
 #include "src/vmm/boot_supervisor.h"
@@ -345,11 +361,36 @@ int CmdRelocs(const Args& args) {
   return 0;
 }
 
+// --race-audit support: opens an audit window for the command's duration;
+// FinishAudit prints the report and forces a failing exit on findings.
+void MaybeBeginAudit(const Args& args, std::optional<imk::race::AuditScope>& audit) {
+  if (!args.Get("race-audit").empty()) {
+    if (!imk::race::AuditCompiledIn()) {
+      std::fprintf(stderr,
+                   "warning: --race-audit on a build without IMK_RACE_AUDIT; lock wrappers "
+                   "are passthrough and only drills can be observed\n");
+    }
+    audit.emplace();
+  }
+}
+
+int FinishAudit(std::optional<imk::race::AuditScope>& audit, bool json, int rc) {
+  if (!audit.has_value()) {
+    return rc;
+  }
+  const imk::race::RaceReport& report = audit->Finish();
+  std::printf("%s\n", json ? report.ToJson().c_str() : report.ToString().c_str());
+  return report.clean() ? rc : 1;
+}
+
 int CmdBoot(const Args& args) {
   const std::string kernel_path = args.Get("kernel");
   if (kernel_path.empty()) {
     Die("boot: --kernel=FILE required");
   }
+  std::optional<imk::race::AuditScope> audit;
+  MaybeBeginAudit(args, audit);
+  const bool json = !args.Get("json").empty();
   imk::Storage storage;
   storage.Put("kernel", ReadFile(kernel_path));
   imk::MicroVmConfig config;
@@ -380,7 +421,7 @@ int CmdBoot(const Args& args) {
     imk::BootOutcome outcome = supervisor.Run();
     std::printf("%s\n", outcome.ToString().c_str());
     imk::FaultInjector::Instance().Disarm();
-    return outcome.ok ? 0 : 1;
+    return FinishAudit(audit, json, outcome.ok ? 0 : 1);
   }
   imk::MicroVm vm(storage, config);
   auto report = vm.Boot();
@@ -397,7 +438,7 @@ int CmdBoot(const Args& args) {
   std::printf("guest checksum 0x%llx over %llu instructions\n",
               static_cast<unsigned long long>(report->init_checksum),
               static_cast<unsigned long long>(report->guest_stats.instructions));
-  return 0;
+  return FinishAudit(audit, json, 0);
 }
 
 int CmdStorm(const Args& args) {
@@ -405,6 +446,9 @@ int CmdStorm(const Args& args) {
   if (kernel_path.empty()) {
     Die("storm: --kernel=FILE required");
   }
+  std::optional<imk::race::AuditScope> audit;
+  MaybeBeginAudit(args, audit);
+  const bool json = !args.Get("json").empty();
   Bytes vmlinux = ReadFile(kernel_path);
   Bytes relocs_blob;
   const std::string relocs_path = args.Get("relocs");
@@ -452,9 +496,74 @@ int CmdStorm(const Args& args) {
                 t.attempts_total, t.watchdog_trips,
                 static_cast<unsigned long long>(t.cache_quarantines),
                 static_cast<unsigned long long>(t.faults_injected));
-    return t.failed == 0 ? 0 : 1;
+    return FinishAudit(audit, json, t.failed == 0 ? 0 : 1);
   }
-  return 0;
+  return FinishAudit(audit, json, 0);
+}
+
+int CmdRaceCheck(const Args& args) {
+  const bool json = !args.Get("json").empty();
+
+  // Self-test mode: fire a seeded known-bad pattern and demand the detector
+  // catches it. Works in every build (the drills call the Tracker directly).
+  const std::string drill = args.Get("drill");
+  if (!drill.empty()) {
+    imk::race::AuditScope audit;
+    if (drill == "order") {
+      imk::race::LockOrderInversionDrill();
+    } else if (drill == "lockset") {
+      imk::race::UnguardedWriteDrill();
+    } else {
+      Die("racecheck: unknown --drill (order|lockset)");
+    }
+    const imk::race::RaceReport& report = audit.Finish();
+    std::printf("%s\n", json ? report.ToJson().c_str() : report.ToString().c_str());
+    const bool caught =
+        drill == "order"
+            ? report.CountOf(imk::race::RaceKind::kRankInversion) > 0 &&
+                  report.CountOf(imk::race::RaceKind::kOrderCycle) > 0
+            : report.CountOf(imk::race::RaceKind::kUnguardedWrite) > 0;
+    std::printf("racecheck drill '%s': %s\n", drill.c_str(),
+                caught ? "DETECTED (detector works)" : "MISSED (detector broken)");
+    return caught ? 0 : 1;
+  }
+
+  if (!imk::race::AuditCompiledIn()) {
+    std::fprintf(stderr,
+                 "warning: this build lacks IMK_RACE_AUDIT; the storm lanes below observe "
+                 "nothing (reconfigure with -DIMK_RACE_AUDIT=ON)\n");
+  }
+  imk::StormOptions options;
+  options.vms = static_cast<uint32_t>(args.GetDouble("vms", 16));
+  options.threads = static_cast<uint32_t>(args.GetDouble("threads", 4));
+  options.load_threads = static_cast<uint32_t>(args.GetDouble("load-threads", 2));
+  options.mem_size_bytes = 192ull << 20;
+  const double scale = args.GetDouble("scale", 0.02);
+
+  bool all_clean = true;
+  for (const imk::RandoMode mode : {imk::RandoMode::kKaslr, imk::RandoMode::kFgKaslr}) {
+    const char* lane = mode == imk::RandoMode::kKaslr ? "kaslr" : "fgkaslr";
+    auto info = imk::BuildKernel(
+        imk::KernelConfig::Make(imk::KernelProfile::kAws, mode, scale));
+    if (!info.ok()) {
+      Die(info.status().ToString());
+    }
+    Bytes relocs_blob = imk::SerializeRelocs(info->relocs);
+    options.rando = mode;
+    imk::race::AuditScope audit;
+    auto stats = imk::RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
+    const imk::race::RaceReport& report = audit.Finish();
+    if (!stats.ok()) {
+      Die(std::string("racecheck ") + lane + " storm: " + stats.status().ToString());
+    }
+    std::printf("lane %s: %u VMs x %u threads, %llu cache hits / %llu misses\n", lane,
+                stats->vms, stats->threads, static_cast<unsigned long long>(stats->cache_hits),
+                static_cast<unsigned long long>(stats->cache_misses));
+    std::printf("%s\n", json ? report.ToJson().c_str() : report.ToString().c_str());
+    all_clean = all_clean && report.clean();
+  }
+  std::printf("racecheck: %s\n", all_clean ? "CLEAN" : "FINDINGS");
+  return all_clean ? 0 : 1;
 }
 
 // Does the 8-byte word at link vaddr `slot` overlap any relocation field?
@@ -608,7 +717,8 @@ int CmdVerify(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: imk_tool <build|readelf|disasm|relocs|boot|storm|verify> [options]\n"
+                 "usage: imk_tool <build|readelf|disasm|relocs|boot|storm|verify|racecheck>"
+                 " [options]\n"
                  "run with a subcommand to see its options in the header comment\n");
     return 1;
   }
@@ -634,6 +744,9 @@ int main(int argc, char** argv) {
   }
   if (command == "verify") {
     return CmdVerify(args);
+  }
+  if (command == "racecheck") {
+    return CmdRaceCheck(args);
   }
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
