@@ -2,10 +2,11 @@
 // randomization pipeline (PR 2).
 //
 // Reports, per stage, the serial reference against the batch/sharded path
-// (reloc apply, FGKASLR shuffle+move, image copy), and the end-to-end
-// monitor load time cold (template built every boot) against cached
-// (template served from the ImageTemplateCache, scratch buffers reused) —
-// the many-boots-per-second fleet scenario of the paper's §7 discussion.
+// (reloc apply, FGKASLR shuffle+move), the serial-only image copy, and the
+// end-to-end monitor load time cold (template built every boot) against
+// cached (template served from the ImageTemplateCache, scratch buffers
+// reused) — the many-boots-per-second fleet scenario of the paper's §7
+// discussion.
 //
 // Targets (see ISSUE.md): >= 2x on reloc apply with 4 workers, >= 5x
 // cold vs cached end-to-end. Writes machine-readable results to
@@ -133,20 +134,20 @@ int Run(int argc, char** argv) {
     });
   }
 
-  // ---- stage: image copy into guest memory ----
+  // ---- stage: image copy into guest memory (serial by design) ----
+  // The sharded-memcpy variant never beat 1.005x serial here: a multi-MiB
+  // memcpy is memory-bandwidth-bound, so fanning it across workers only adds
+  // dispatch overhead. The loader's fallback copy is therefore plain serial
+  // memcpy (the zero-copy template map and the layout pool bypass the full
+  // copy entirely on the product path), and this stage records the serial
+  // cost alone with parallel_dropped in the JSON so the guard script knows
+  // the missing speedup column is intentional, not a regression.
   StagePair copy_stage{"image_copy"};
   {
     Bytes dst(tmpl->mem_size, 0);
     copy_stage.serial_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
       Stopwatch timer;
       std::memcpy(dst.data(), tmpl->pristine.data(), tmpl->mem_size);
-      return static_cast<double>(timer.ElapsedNs());
-    });
-    copy_stage.fast_ns = MedianNs(opts.warmup, opts.reps, [&]() -> Result<double> {
-      Stopwatch timer;
-      pool.ParallelFor(tmpl->mem_size, [&](uint64_t begin, uint64_t end) {
-        std::memcpy(dst.data() + begin, tmpl->pristine.data() + begin, end - begin);
-      });
       return static_cast<double>(timer.ElapsedNs());
     });
   }
@@ -266,6 +267,10 @@ int Run(int argc, char** argv) {
   const StagePair* stages[] = {&reloc, &fg_stage, &copy_stage, &load_stage};
   TextTable table({"stage", "serial/cold (us)", "batch/cached (us)", "speedup"});
   for (const StagePair* stage : stages) {
+    if (stage == &copy_stage) {
+      table.AddRow({stage->name, TextTable::Fmt(stage->serial_ns / 1000.0), "(serial only)", "-"});
+      continue;
+    }
     table.AddRow({stage->name, TextTable::Fmt(stage->serial_ns / 1000.0),
                   TextTable::Fmt(stage->fast_ns / 1000.0), TextTable::Fmt(stage->speedup())});
   }
@@ -314,6 +319,11 @@ int Run(int argc, char** argv) {
                static_cast<unsigned long long>(tmpl->mem_size));
   for (size_t i = 0; i < 4; ++i) {
     const StagePair* stage = stages[i];
+    if (stage == &copy_stage) {
+      std::fprintf(out, "    \"%s\": {\"serial_ns\": %.0f, \"parallel_dropped\": true}%s\n",
+                   stage->name.c_str(), stage->serial_ns, i + 1 < 4 ? "," : "");
+      continue;
+    }
     if (stage == &load_stage) {
       std::fprintf(out,
                    "    \"%s\": {\"serial_ns\": %.0f, \"cold_cacheless_ns\": %.0f, "

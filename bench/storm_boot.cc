@@ -21,7 +21,14 @@
 // Targets (see ISSUE.md, scale 1.0): kaslr per-VM dirty image bytes <= 50%
 // of the image, warm launch storm >= 2x the serial baseline at 4 threads.
 // Writes BENCH_storm.json (--out=FILE).
-// A fourth lane, storm_faults, re-runs the kaslr full storm under a
+// A fourth lane, fgkaslr_pooled, re-runs the fgkaslr launch storm against a
+// prefilled ahead-of-time LayoutPool (depth == --vms): every launch grabs a
+// fully pre-randomized image and zero-copy maps it, so the randomization
+// pipeline runs off the critical path on the background refill executor.
+// Records launch p50/p99, pool hit rate, refill overlap, and the per-VM
+// dirty image fraction (ISSUE.md targets: >= 10x the serial fgkaslr
+// baseline, dirty <= 5%).
+// A fifth lane, storm_faults, re-runs the kaslr full storm under a
 // committed FaultPlan through the boot supervisor and records what fleet
 // recovery costs: per-outcome tallies and the throughput overhead vs the
 // fault-free full storm.
@@ -68,6 +75,9 @@ int Run(int argc, char** argv) {
   Bytes kaslr_vmlinux;  // kept for the storm_faults lane
   Bytes kaslr_relocs;
   uint64_t kaslr_checksum = 0;
+  Bytes fg_vmlinux;  // kept for the fgkaslr_pooled lane
+  Bytes fg_relocs;
+  uint64_t fg_checksum = 0;
   TextTable table({"policy", "serial launch/s", "storm launch/s", "speedup", "boot p50 ms",
                    "boot p99 ms", "dirty image %", "resident MiB/VM"});
 
@@ -107,6 +117,10 @@ int Run(int argc, char** argv) {
       kaslr_vmlinux = info.vmlinux;
       kaslr_relocs = relocs_blob;
       kaslr_checksum = info.expected_checksum;
+    } else if (rando == RandoMode::kFgKaslr) {
+      fg_vmlinux = info.vmlinux;
+      fg_relocs = relocs_blob;
+      fg_checksum = info.expected_checksum;
     }
 
     table.AddRow({rows[m].name, TextTable::Fmt(rows[m].serial.boots_per_sec(), 1),
@@ -118,6 +132,43 @@ int Run(int argc, char** argv) {
                   TextTable::Fmt(rows[m].full.resident_mb.mean(), 1)});
   }
   table.Print();
+
+  // ---- fgkaslr_pooled lane: the fgkaslr launch storm against a prefilled
+  // ahead-of-time layout pool. Depth == vms so (absent refill faults) every
+  // measured launch is a pool hit: the monitor's launch work collapses to a
+  // template-cache lookup plus a zero-copy map of a pre-randomized image,
+  // while the refill executor renders replacements concurrently (the
+  // pool_rendered_during figure is exactly that overlapped work).
+  StormStats pooled;
+  {
+    ImageTemplateCache pool_cache;
+    StormOptions pool_opts;
+    pool_opts.vms = vms;
+    pool_opts.threads = threads;
+    pool_opts.rando = RandoMode::kFgKaslr;
+    pool_opts.expected_checksum = fg_checksum;
+    pool_opts.cache = &pool_cache;
+    pool_opts.launch_only = true;
+    pool_opts.layout_pool_depth = vms;
+    pooled = bench::CheckOk(RunBootStorm(ByteSpan(fg_vmlinux), ByteSpan(fg_relocs), pool_opts),
+                            "pooled storm");
+  }
+  const double fg_serial_bps = rows[2].serial.boots_per_sec();
+  const double pooled_speedup =
+      fg_serial_bps > 0 ? pooled.boots_per_sec() / fg_serial_bps : 0.0;
+  std::printf(
+      "\nfgkaslr_pooled (launch-only, pool depth=%u):\n"
+      "  %.1f launches/s = %.1fx the serial fgkaslr baseline (%.1fx inline storm)\n"
+      "  launch p50 %.3f ms p99 %.3f ms; pool hits %llu misses %llu (hit rate %.1f%%)\n"
+      "  refill overlap: %llu layouts rendered during the storm; dirty image %.2f%%/VM\n",
+      vms, pooled.boots_per_sec(), pooled_speedup,
+      rows[2].launch.boots_per_sec() > 0 ? pooled.boots_per_sec() / rows[2].launch.boots_per_sec()
+                                         : 0.0,
+      pooled.boot_ms.percentile(50), pooled.boot_ms.percentile(99),
+      static_cast<unsigned long long>(pooled.pool_hits),
+      static_cast<unsigned long long>(pooled.pool_misses), pooled.pool_hit_rate() * 100,
+      static_cast<unsigned long long>(pooled.pool_rendered_during),
+      pooled.image_dirty_fraction() * 100);
 
   // ---- storm_faults lane: the kaslr full storm under a committed fault
   // plan, every boot supervised. The spec and seed are pinned so the failure
@@ -168,6 +219,14 @@ int Run(int argc, char** argv) {
       "warm launch storm %.2fx serial baseline (>=2x %s)\n",
       kaslr_dirty * 100, dirty_ok ? "PASS" : "MISS", rows[1].launch_speedup(),
       speedup_ok ? "PASS" : "MISS");
+  const bool pool_speedup_ok = pooled_speedup >= 10.0;
+  const bool pool_dirty_ok = pooled.image_dirty_fraction() <= 0.05;
+  const bool pool_hit_ok = pooled.pool_hit_rate() >= 0.95;
+  std::printf(
+      "targets (fgkaslr_pooled): launch %.2fx serial fgkaslr (>=10x %s), "
+      "dirty image %.2f%% (<=5%% %s), pool hit rate %.2f (>=0.95 %s)\n",
+      pooled_speedup, pool_speedup_ok ? "PASS" : "MISS", pooled.image_dirty_fraction() * 100,
+      pool_dirty_ok ? "PASS" : "MISS", pooled.pool_hit_rate(), pool_hit_ok ? "PASS" : "MISS");
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -213,8 +272,32 @@ int Run(int argc, char** argv) {
         row.full.image_dirty_fraction(), row.full.resident_mb.mean(),
         static_cast<unsigned long long>(row.launch.cache_hits + row.full.cache_hits),
         static_cast<unsigned long long>(row.launch.cache_misses + row.full.cache_misses),
-        m + 1 < 3 ? "," : "");
+        ",");
   }
+  std::fprintf(
+      out,
+      "    \"fgkaslr_pooled\": {\n"
+      "      \"pool_depth\": %u,\n"
+      "      \"storm_launches_per_sec\": %.3f,\n"
+      "      \"launch_speedup\": %.3f,\n"
+      "      \"launch_p50_ms\": %.3f,\n"
+      "      \"launch_p99_ms\": %.3f,\n"
+      "      \"pool_hits\": %llu,\n"
+      "      \"pool_misses\": %llu,\n"
+      "      \"pool_hit_rate\": %.4f,\n"
+      "      \"pool_rendered_during\": %llu,\n"
+      "      \"pool_refill_errors\": %llu,\n"
+      "      \"pool_quarantined\": %llu,\n"
+      "      \"image_dirty_frames_mean\": %.1f,\n"
+      "      \"image_dirty_fraction\": %.4f\n"
+      "    }\n",
+      vms, pooled.boots_per_sec(), pooled_speedup, pooled.boot_ms.percentile(50),
+      pooled.boot_ms.percentile(99), static_cast<unsigned long long>(pooled.pool_hits),
+      static_cast<unsigned long long>(pooled.pool_misses), pooled.pool_hit_rate(),
+      static_cast<unsigned long long>(pooled.pool_rendered_during),
+      static_cast<unsigned long long>(pooled.pool_refill_errors),
+      static_cast<unsigned long long>(pooled.pool_quarantined),
+      pooled.image_dirty_frames.mean(), pooled.image_dirty_fraction());
   std::fprintf(
       out,
       "  },\n"

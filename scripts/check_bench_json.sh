@@ -35,6 +35,9 @@ check("parallel: loader maps some frames zero-copy",
       mem["mapped_shared_frames"] > 0)
 check("parallel: load stage dirties <1% of image frames",
       mem["load_dirty_frames"] < 0.01 * mem["image_frames"])
+check("parallel: image_copy parallel path intentionally dropped",
+      stages["image_copy"].get("parallel_dropped") is True
+      and "fast_ns" not in stages["image_copy"])
 
 with open(f"{root}/BENCH_storm.json") as f:
     storm = json.load(f)
@@ -44,12 +47,24 @@ check("storm: kaslr dirty image fraction <= 50%",
 check("storm: kaslr warm launch storm >= 2x serial baseline",
       kaslr["launch_speedup"] >= 2.0)
 check("storm: template cache misses bounded (one build per mode)",
-      all(m["template_cache_misses"] <= 1 for m in storm["modes"].values()))
+      all(m.get("template_cache_misses", 0) <= 1 for m in storm["modes"].values()))
 nok = storm["modes"]["nokaslr"]["image_dirty_fraction"]
 kas = kaslr["image_dirty_fraction"]
 fgk = storm["modes"]["fgkaslr"]["image_dirty_fraction"]
 check("storm: dirty-density ordering nokaslr <= kaslr <= fgkaslr",
       nok <= kas + 1e-9 and kas <= fgk + 1e-9)
+
+pooled = storm["modes"]["fgkaslr_pooled"]
+check("pooled: launch rate >= 10x the serial fgkaslr baseline",
+      pooled["launch_speedup"] >= 10.0)
+check("pooled: pool hit rate >= 0.95 at depth >= vms",
+      pooled["pool_hit_rate"] >= 0.95)
+check("pooled: dirty image fraction <= 5% per VM",
+      pooled["image_dirty_fraction"] <= 0.05)
+check("pooled: background refill overlapped the storm",
+      pooled["pool_rendered_during"] > 0)
+check("pooled: launch p50 below the inline fgkaslr launch p50",
+      pooled["launch_p50_ms"] < storm["modes"]["fgkaslr"]["launch_p50_ms"])
 
 faults = storm["faults"]
 check("storm_faults: fault plan actually fired",

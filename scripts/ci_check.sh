@@ -4,13 +4,17 @@
 # parallel-pipeline equivalence tests (the ThreadPool-sharded loader paths)
 # and the boot-storm/CoW-fault tests, fault drills (the supervisor /
 # fault-injection / ingest-fuzz suites re-run by name under ASan, and an
-# end-to-end imk_tool degradation-ladder + strict-refusal drill), a race
-# drill (IMK_RACE_AUDIT build running the imkrace suites, an instrumented
-# storm audit that must come back clean, seeded detector drills that must
-# come back caught, and the imk_lint raw-mutex/rank/fault-point source
-# lint), bench smokes (micro_parallel and storm_boot on tiny images), a
-# regression guard over the committed BENCH_*.json targets, and clang-tidy
-# (skipped gracefully when not installed). Nonzero exit on any failure.
+# end-to-end imk_tool degradation-ladder + strict-refusal drill), a
+# pooled-storm drill (the layout-pool suites by name under ASan, plus a
+# tool-surface pooled storm, cross-VM uniqueness sweep, and refill-fault
+# fallback boot), a race drill (IMK_RACE_AUDIT build running the imkrace
+# suites, an instrumented storm audit — including the fgkaslr-pooled lane —
+# that must come back clean, seeded detector drills that must come back
+# caught, and the imk_lint raw-mutex/rank/fault-point source lint with a
+# negative fixture proving unregistered fault points still fail), bench
+# smokes (micro_parallel and storm_boot on tiny images), a regression guard
+# over the committed BENCH_*.json targets, and clang-tidy (skipped
+# gracefully when not installed). Nonzero exit on any failure.
 #
 # Usage: scripts/ci_check.sh [--skip-sanitizers]
 set -u
@@ -55,8 +59,11 @@ if [[ $skip_sanitizers -eq 0 ]]; then
   # TSan also drills the fault-tolerance machinery: supervised storms racing
   # retries/quarantines against the shared template cache, and the injector's
   # own locking under concurrent fault points.
+  # LayoutPool joins the filter for the pooled-storm paths: concurrent grabs
+  # racing the background refill executor, and pooled launches racing the
+  # shared template cache.
   run_suite "tsan" "$repo_root/build-tsan" \
-    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix|BootStorm|FrameStore|BootSupervisor|SupervisedStorm|FaultInjector|IngestFuzz" \
+    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix|BootStorm|FrameStore|BootSupervisor|SupervisedStorm|FaultInjector|IngestFuzz|LayoutPool" \
     -DIMK_TSAN=ON
 
   # Fault drill: the supervisor suites again under ASan, by name, so a
@@ -67,6 +74,17 @@ if [[ $skip_sanitizers -eq 0 ]]; then
         ctest --output-on-failure -j "$(nproc)" \
           -R "BootSupervisor|SupervisedStorm|FaultInjector|FaultPlan|IngestFuzz"); then
     echo "=== fault drill: FAILED ==="
+    failures=$((failures + 1))
+  fi
+
+  # Pooled-storm drill, again by name under ASan: one-shot handout under
+  # contention, pool fault quarantine/fallback, and the cross-VM uniqueness
+  # sweep over a pooled storm all run leak-checked even if the full-suite
+  # filter ever changes.
+  echo "=== pooled-storm drill (asan: layout pool suites) ==="
+  if ! (cd "$repo_root/build-asan" &&
+        ctest --output-on-failure -j "$(nproc)" -R "LayoutPool"); then
+    echo "=== pooled-storm drill: FAILED ==="
     failures=$((failures + 1))
   fi
 fi
@@ -100,6 +118,38 @@ else
 fi
 rm -rf "$drill_dir"
 
+# Layout-pool drill through the tool surface: a pooled storm must hand every
+# VM a pre-rendered layout, the cross-VM uniqueness sweep must come back
+# clean, and a boot whose refill is faulted away must still come up through
+# the inline fallback (the pool may degrade throughput, never availability).
+echo "=== layout-pool drill (pooled storm + uniqueness + refill-fault fallback) ==="
+pool_dir="$(mktemp -d)"
+if ! "$repo_root/build/tools/imk_tool" build --out="$pool_dir" --rando=fgkaslr --scale=0.02 \
+    >/dev/null; then
+  echo "=== layout-pool drill: kernel build FAILED ==="
+  failures=$((failures + 1))
+else
+  pool_vmlinux=("$pool_dir"/*.vmlinux)
+  pool_relocs=("$pool_dir"/*.relocs)
+  if ! "$repo_root/build/tools/imk_tool" storm --kernel="${pool_vmlinux[0]}" \
+      --relocs="${pool_relocs[0]}" --rando=fgkaslr --vms=8 --threads=2 \
+      --layout-pool=8 >/dev/null; then
+    echo "=== layout-pool drill: pooled storm FAILED ==="
+    failures=$((failures + 1))
+  fi
+  if ! "$repo_root/build/tools/imk_tool" boot --kernel="${pool_vmlinux[0]}" \
+      --relocs="${pool_relocs[0]}" --rando=fgkaslr --seed=7 --layout-pool=2 \
+      --faults="pool.refill:error" --fault-seed=3 >/dev/null; then
+    echo "=== layout-pool drill: refill-fault fallback boot FAILED ==="
+    failures=$((failures + 1))
+  fi
+fi
+rm -rf "$pool_dir"
+if ! "$repo_root/build/tools/imk_tool" verify --uniqueness --vms=8 >/dev/null; then
+  echo "=== layout-pool drill: uniqueness sweep NOT CLEAN ==="
+  failures=$((failures + 1))
+fi
+
 # Race drill: build with the instrumented lock wrappers and run the imkrace
 # suites (the IMK_RACE_AUDIT-gated tests skip in every other build), then
 # exercise the tool surface both ways — a real concurrent storm must audit
@@ -109,6 +159,9 @@ run_suite "race-drill" "$repo_root/build-race" \
   "LockRank|RaceReport|RaceDetector|FaultRegistry|RaceMutex|RaceStormDrill|RaceAuditClean" \
   -DIMK_RACE_AUDIT=ON
 echo "=== race drill (imk_tool racecheck: storm audit + seeded drills) ==="
+# racecheck runs three storm lanes (kaslr, fgkaslr, fgkaslr-pooled): the
+# pooled lane audits TryGrab racing the background refill executor under the
+# instrumented lock wrappers.
 if ! "$repo_root/build-race/tools/imk_tool" racecheck >/dev/null; then
   echo "=== race drill: instrumented storm audit NOT CLEAN ==="
   failures=$((failures + 1))
@@ -128,6 +181,23 @@ if ! "$repo_root/build/tools/imk_lint" --build="$repo_root/build" --root="$repo_
   echo "=== imk_lint: FAILED ==="
   failures=$((failures + 1))
 fi
+
+# The lint must also still FAIL when shown an unregistered fault point: a
+# synthetic compile database lists the (never compiled) fixture arming
+# pool.bogus_* names, and a clean exit would mean the fault-point check
+# rotted — new pool drills could then silently arm nothing.
+echo "=== imk_lint negative fixture (unregistered fault point must be flagged) ==="
+lint_dir="$(mktemp -d)"
+cat > "$lint_dir/compile_commands.json" <<EOF
+[{ "directory": "$repo_root",
+   "command": "c++ -c tests/lint_fixture_unregistered_fault_point.cc",
+   "file": "$repo_root/tests/lint_fixture_unregistered_fault_point.cc" }]
+EOF
+if "$repo_root/build/tools/imk_lint" --build="$lint_dir" --root="$repo_root" >/dev/null; then
+  echo "=== imk_lint negative fixture: NOT FLAGGED (expected nonzero exit) ==="
+  failures=$((failures + 1))
+fi
+rm -rf "$lint_dir"
 
 echo "=== bench smoke (micro_parallel, tiny image) ==="
 if ! "$repo_root/build/bench/micro_parallel" --scale=0.02 --reps=2 --warmup=1 \

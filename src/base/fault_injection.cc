@@ -177,6 +177,8 @@ const std::vector<std::string>& KnownFaultPoints() {
       "loader.choose",
       "loader.map_pristine",
       "loader.reloc",
+      "pool.refill",
+      "pool.render",
       "race.lockset_drill",
       "race.order_drill",
       "relocator.apply",

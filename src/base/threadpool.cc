@@ -26,6 +26,29 @@ ThreadPool::~ThreadPool() {
   for (std::thread& thread : threads_) {
     thread.join();
   }
+  // Submit guarantees every task eventually runs; anything the workers did
+  // not get to (or, for a 1-worker pool, could never get to) runs here, with
+  // no workers left to race.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<race::Mutex> lock(mutex_);
+      if (tasks_.empty()) {
+        break;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<race::Mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
@@ -56,17 +79,29 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+    std::function<void()> task;
     {
       std::unique_lock<race::Mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation || !tasks_.empty();
+      });
       if (shutdown_) {
         return;
       }
-      seen_generation = generation_;
-      job = job_;  // shared ownership keeps the job alive past the caller
+      if (generation_ != seen_generation) {
+        // A ParallelFor generation always outranks the task queue: the hot
+        // path never waits behind background work that has not started yet.
+        seen_generation = generation_;
+        job = job_;  // shared ownership keeps the job alive past the caller
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
     }
     if (job != nullptr) {
       RunChunks(job);
+    } else if (task) {
+      task();
     }
   }
 }

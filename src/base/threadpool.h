@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -68,6 +69,17 @@ class ThreadPool {
     return {n * index / chunks, n * (index + 1) / chunks};
   }
 
+  // Enqueues a standalone low-priority task. Workers run queued tasks only
+  // when no ParallelFor job is being published (a published job generation
+  // always wins the wake-up), so background work never delays the hot-path
+  // sharded stages by more than the one task a worker already started. Tasks
+  // must not call back into the same pool. Every submitted task eventually
+  // runs: tasks still queued at destruction execute on the destructor's
+  // thread after the workers join. A 1-worker pool has no worker threads, so
+  // its queued tasks only run at destruction — callers that need background
+  // execution should check workers() > 1 first.
+  void Submit(std::function<void()> task);
+
  private:
   struct Job {
     uint64_t n = 0;
@@ -92,6 +104,8 @@ class ThreadPool {
   bool shutdown_ IMK_GUARDED_BY(kThreadPool) = false;
   // Non-null while a ParallelFor is in flight.
   std::shared_ptr<Job> job_ IMK_GUARDED_BY(kThreadPool);
+  // Low-priority standalone tasks (see Submit); drained by idle workers.
+  std::deque<std::function<void()>> tasks_ IMK_GUARDED_BY(kThreadPool);
 };
 
 }  // namespace imk

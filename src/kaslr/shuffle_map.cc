@@ -76,6 +76,25 @@ void ShuffleMap::BatchRangeIds(const uint64_t* addrs, size_t count, int32_t* out
   }
 }
 
+uint64_t ShuffleMap::PermutationDigest() const {
+  if (ranges_.empty()) {
+    return 0;
+  }
+  // FNV-1a over the (old, new) pairs in sorted-by-old order, 16 bits at a
+  // time (same mixing as OldGeometrySignature, but over the permutation).
+  uint64_t h = 0xcbf29ce484222325ull ^ ranges_.size();
+  const auto mix = [&h](uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 16) {
+      h = (h ^ ((v >> shift) & 0xffff)) * 0x100000001b3ull;
+    }
+  };
+  for (const ShuffledRange& range : ranges_) {
+    mix(range.old_vaddr);
+    mix(range.new_vaddr);
+  }
+  return h != 0 ? h : 1;
+}
+
 uint64_t ShuffleMap::OldGeometrySignature() const {
   uint64_t h = 0xcbf29ce484222325ull ^ ranges_.size();
   const auto mix = [&h](uint64_t v) {

@@ -66,6 +66,14 @@ class ShuffleMap {
   // results across boots.
   uint64_t OldGeometrySignature() const;
 
+  // Permutation-SENSITIVE hash over (old_vaddr, new_vaddr) of every range:
+  // two boots of the same image share the digest only when every function
+  // section landed at the same place. Complements OldGeometrySignature (which
+  // is deliberately permutation-blind); the cross-VM layout-uniqueness check
+  // (src/verify/layout_uniqueness.h) identifies an FGKASLR layout by
+  // (virt_slide, this digest). 0 only for an empty map.
+  uint64_t PermutationDigest() const;
+
   const std::vector<ShuffledRange>& ranges() const { return ranges_; }
   bool empty() const { return ranges_.empty(); }
 

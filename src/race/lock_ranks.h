@@ -34,6 +34,9 @@ enum class LockRank : uint32_t {
 
   // ---- shared randomization state ----
   kTemplateCache = 40,    // ImageTemplateCache LRU/index/single-flight state
+  kLayoutPool = 45,       // LayoutPool ready deque + refill state (above the
+                          // cache, below the pool: refill scheduling holds it
+                          // while submitting to the ThreadPool)
   kThreadPool = 50,       // ThreadPool job publication + wait channels
 
   // ---- per-VM guest memory ----
@@ -61,6 +64,8 @@ inline constexpr LockRankInfo kLockRankTable[] = {
     {LockRank::kStormTally, "storm-tally", "boot_storm supervised-outcome tallies"},
     {LockRank::kTemplateCache, "template-cache",
      "ImageTemplateCache LRU list, key index, span memo, single-flight builds, counters"},
+    {LockRank::kLayoutPool, "layout-pool",
+     "LayoutPool ready deque, sequence counter, refill bookkeeping, counters"},
     {LockRank::kThreadPool, "thread-pool", "ThreadPool job slot, generation, shutdown flag"},
     {LockRank::kFrameStoreFaultShard, "frame-store-fault-shard",
      "FrameStore per-shard frame state + read-pointer transitions"},

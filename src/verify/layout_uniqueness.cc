@@ -1,0 +1,46 @@
+#include "src/verify/layout_uniqueness.h"
+
+#include <map>
+#include <string>
+#include <utility>
+
+namespace imk {
+
+VerifyReport CheckLayoutUniqueness(const std::vector<LayoutIdentity>& layouts) {
+  VerifyReport report;
+  // first VM index seen for each key; second sight is the finding.
+  std::map<std::pair<uint64_t, uint64_t>, size_t> full_seen;
+  std::map<uint64_t, size_t> slide_seen;
+  for (size_t i = 0; i < layouts.size(); ++i) {
+    const LayoutIdentity& layout = layouts[i];
+    ++report.coverage().sections_checked;
+    const std::pair<uint64_t, uint64_t> key{layout.virt_slide, layout.fg_digest};
+    const auto [full_it, full_fresh] = full_seen.emplace(key, i);
+    if (!full_fresh) {
+      Finding finding;
+      finding.invariant = Invariant::kDuplicateLayout;
+      finding.severity = Severity::kError;
+      finding.vaddr = layout.virt_slide;
+      finding.message = "vm " + std::to_string(i) + " shares slide+permutation with vm " +
+                        std::to_string(full_it->second) +
+                        " (ASLR nullified between the pair)";
+      report.Add(std::move(finding));
+      continue;  // a full duplicate subsumes the slide warning
+    }
+    const auto [slide_it, slide_fresh] = slide_seen.emplace(layout.virt_slide, i);
+    if (!slide_fresh && layout.fg_digest != 0 &&
+        layouts[slide_it->second].fg_digest != 0) {
+      Finding finding;
+      finding.invariant = Invariant::kDuplicateSlide;
+      finding.severity = Severity::kWarning;
+      finding.vaddr = layout.virt_slide;
+      finding.message = "vm " + std::to_string(i) + " shares its slide with vm " +
+                        std::to_string(slide_it->second) +
+                        " (function layout still differs)";
+      report.Add(std::move(finding));
+    }
+  }
+  return report;
+}
+
+}  // namespace imk

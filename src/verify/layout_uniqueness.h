@@ -1,0 +1,44 @@
+// Cross-VM layout uniqueness: no two VMs on a host may share a randomized
+// layout.
+//
+// Sharing a layout nullifies ASLR between the sharers — leaking one VM's
+// addresses unlocks its twin, the exact failure mode snapshot-cloning
+// introduces (paper §7, Morula). The layout pool's one-shot handout is the
+// mechanism that prevents it; this checker is the independent auditor: feed
+// it the layout identity of every VM in a fleet (or a pooled storm) and it
+// reports duplicates through the standard VerifyReport machinery.
+//
+// A layout's identity is (virt_slide, FG permutation digest): the slide
+// places the image, the digest (ShuffleMap::PermutationDigest) pins where
+// every function section landed. Two VMs sharing both are byte-identically
+// randomized — an error. Two VMs sharing only the slide still differ in
+// function layout; with coarse slide granularity that collides legitimately,
+// so it is recorded as a warning, not an error (and only for FGKASLR boots,
+// where the digest distinguishes the pair).
+#ifndef IMKASLR_SRC_VERIFY_LAYOUT_UNIQUENESS_H_
+#define IMKASLR_SRC_VERIFY_LAYOUT_UNIQUENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/verify/report.h"
+
+namespace imk {
+
+// One VM's randomized-layout identity.
+struct LayoutIdentity {
+  uint64_t virt_slide = 0;
+  uint64_t phys_load_addr = 0;
+  uint64_t fg_digest = 0;  // ShuffleMap::PermutationDigest(); 0 = no shuffle
+};
+
+// Checks pairwise uniqueness over `layouts` (index = VM id). Emits
+// kDuplicateLayout (error) for every VM whose (virt_slide, fg_digest) pair
+// was already seen, and kDuplicateSlide (warning) for FGKASLR layouts that
+// share only the slide. Coverage: sections_checked counts the layouts
+// examined. clean() iff no full duplicate.
+VerifyReport CheckLayoutUniqueness(const std::vector<LayoutIdentity>& layouts);
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VERIFY_LAYOUT_UNIQUENESS_H_

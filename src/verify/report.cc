@@ -79,6 +79,10 @@ const char* InvariantName(Invariant invariant) {
       return "phys-misaligned";
     case Invariant::kPhysOutOfRange:
       return "phys-out-of-range";
+    case Invariant::kDuplicateLayout:
+      return "duplicate-layout";
+    case Invariant::kDuplicateSlide:
+      return "duplicate-slide";
   }
   return "unknown";
 }

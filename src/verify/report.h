@@ -44,6 +44,11 @@ enum class Invariant {
   kSlideOutOfRange,
   kPhysMisaligned,
   kPhysOutOfRange,
+  // (6) cross-VM layout uniqueness (layout_uniqueness.h): two VMs sharing a
+  // full layout nullifies ASLR between them (the snapshot-reuse hazard of
+  // §7 — exactly what the layout pool's one-shot handout must prevent).
+  kDuplicateLayout,  // identical (slide, FG permutation digest) pair
+  kDuplicateSlide,   // identical slide, different permutation (warning)
 };
 
 // Stable string form of an invariant id ("reloc-abs64", "section-overlap", ...).

@@ -13,6 +13,8 @@
 #include "src/race/drill.h"
 #include "src/race/mutex.h"
 #include "src/race/tracker.h"
+#include "src/vmm/device_model.h"
+#include "src/vmm/layout_pool.h"
 #include "src/vmm/loader.h"
 #include "src/vmm/microvm.h"
 
@@ -28,6 +30,10 @@ struct BootSample {
   // tallied in OutcomeTally and the sample excluded from the latency/density
   // summaries (a never-booted VM has no meaningful boot latency).
   bool booted = true;
+  // This VM's launch was served from the layout pool (pooled storms only).
+  bool pool_hit = false;
+  // Layout identity for the uniqueness check (options.keep_layouts).
+  LayoutIdentity layout;
 };
 
 // Frame-state census of the kernel-image window after boot: how much of the
@@ -86,9 +92,16 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   // Launch-only boots bypass Storage and read the caller's span directly
   // (stable address -> the cache's span memo short-circuits the hash).
   RelocInfo relocs;
-  if (options.launch_only && !relocs_blob.empty()) {
+  const bool pool_enabled = options.layout_pool_depth > 0 && options.rando != RandoMode::kNone;
+  if ((options.launch_only || pool_enabled) && !relocs_blob.empty()) {
     IMK_ASSIGN_OR_RETURN(relocs, ParseRelocs(relocs_blob));
   }
+
+  // Layout pool, built AFTER the warm-up wave (see below); declared here so
+  // the lanes can capture it, and declared after the refill executor so the
+  // pool (which waits out in-flight renders) is destroyed first.
+  std::optional<ThreadPool> refill_pool;
+  std::unique_ptr<LayoutPool> layout_pool;
 
   const auto make_config = [&](uint64_t seed) {
     MicroVmConfig config;
@@ -102,6 +115,9 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     config.load_threads = options.load_threads;
     config.use_template_cache = options.use_template_cache;
     config.template_cache = &cache;
+    // Null during warm-up (the pool is built from the warmed cache); the
+    // measured window shares one pool across every VM.
+    config.layout_pool = layout_pool.get();
     return config;
   };
 
@@ -137,6 +153,7 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     if (options.use_template_cache) {
       resources.cache = &cache;
     }
+    resources.layout_pool = layout_pool.get();
     const RelocInfo* relocs_ptr = relocs.empty() ? nullptr : &relocs;
     Stopwatch timer;
     IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
@@ -144,6 +161,11 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     if (sample != nullptr) {
       sample->latency_ns = timer.ElapsedNs();
       sample->resident_bytes = memory.dirty_bytes();
+      sample->pool_hit = loaded.layout_pool_hit;
+      sample->layout.virt_slide = loaded.choice.virt_slide;
+      sample->layout.phys_load_addr = loaded.choice.phys_load_addr;
+      sample->layout.fg_digest =
+          loaded.fg.has_value() ? loaded.fg->map.PermutationDigest() : 0;
       CensusImageFrames(memory.frames(), loaded.choice.phys_load_addr,
                         loaded.mem.image_frames, sample);
       image_frames.store(loaded.mem.image_frames, std::memory_order_relaxed);
@@ -177,6 +199,10 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     if (sample != nullptr) {
       sample->latency_ns = latency_ns;
       sample->resident_bytes = vm.memory().dirty_bytes();
+      sample->pool_hit = report.layout_pool_hit;
+      sample->layout.virt_slide = report.choice.virt_slide;
+      sample->layout.phys_load_addr = report.choice.phys_load_addr;
+      sample->layout.fg_digest = report.fg_digest;
       CensusImageFrames(vm.memory().frames(), report.choice.phys_load_addr,
                         report.mem.image_frames, sample);
       image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
@@ -231,6 +257,10 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     if (sample != nullptr) {
       sample->latency_ns = latency_ns;
       sample->resident_bytes = vm.memory().dirty_bytes();
+      sample->pool_hit = report.layout_pool_hit;
+      sample->layout.virt_slide = report.choice.virt_slide;
+      sample->layout.phys_load_addr = report.choice.phys_load_addr;
+      sample->layout.fg_digest = report.fg_digest;
       CensusImageFrames(vm.memory().frames(), report.choice.phys_load_addr,
                         report.mem.image_frames, sample);
       image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
@@ -272,6 +302,43 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     if (!first_error.ok()) {
       return first_error;
     }
+  }
+
+  // ---- layout pool: render ahead of the measured window ----
+  // Built from the now-warm cache entry so the pool and every launch share
+  // one template identity (quarantine one -> flush the other). Prefilled to
+  // depth synchronously: the measured window starts with a full pool, and
+  // every render observed after `pool_before` overlapped the storm itself.
+  LayoutPool::Stats pool_before;
+  if (pool_enabled) {
+    TemplateOptions template_options;  // storms carry sidecar relocs, never ELF-extracted
+    IMK_ASSIGN_OR_RETURN(std::shared_ptr<const ImageTemplate> tmpl,
+                         cache.GetOrBuild(vmlinux, template_options));
+    DirectBootParams pool_params;
+    pool_params.requested = options.rando;
+    uint64_t guest_mem = options.mem_size_bytes;
+    if (!options.launch_only) {
+      // Full-lane boots bound the offset chooser by the device model's RAM
+      // reservation; probe it on scratch memory so the pool key matches.
+      GuestMemory scratch(options.mem_size_bytes);
+      IMK_ASSIGN_OR_RETURN(DeviceModel probe,
+                           DeviceModel::Create(scratch, DeviceModelConfig::Firecracker()));
+      guest_mem = probe.reserved_floor_phys();
+      pool_params.usable_mem_limit = guest_mem;
+    }
+    LayoutPoolOptions pool_options;
+    pool_options.depth = options.layout_pool_depth;
+    pool_options.refill_batch = options.layout_pool_refill_batch;
+    pool_options.seed = options.seed_base;
+    refill_pool.emplace(2);
+    pool_options.refill_pool = &*refill_pool;
+    layout_pool =
+        std::make_unique<LayoutPool>(tmpl, relocs, pool_params, guest_mem, pool_options);
+    // A prefill error (pool.refill:error drills this) just starts the pool
+    // shallower: launches fall back inline, the miss tally records it.
+    (void)layout_pool->Prefill(options.layout_pool_depth);
+    layout_pool->WaitIdle();
+    pool_before = layout_pool->stats();
   }
 
   // ---- the storm ----
@@ -327,6 +394,19 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     stats.resident_mb.Add(static_cast<double>(sample.resident_bytes) / (1024.0 * 1024.0));
     stats.image_dirty_frames.Add(static_cast<double>(sample.image_dirty_frames));
     stats.image_shared_frames.Add(static_cast<double>(sample.image_shared_frames));
+    if (pool_enabled) {
+      sample.pool_hit ? ++stats.pool_hits : ++stats.pool_misses;
+    }
+    if (options.keep_layouts) {
+      stats.layouts.push_back(sample.layout);
+    }
+  }
+  if (layout_pool != nullptr) {
+    layout_pool->WaitIdle();
+    const LayoutPool::Stats pool_after = layout_pool->stats();
+    stats.pool_rendered_during = pool_after.rendered - pool_before.rendered;
+    stats.pool_refill_errors = pool_after.refill_errors - pool_before.refill_errors;
+    stats.pool_quarantined = pool_after.quarantined - pool_before.quarantined;
   }
   stats.image_frames = image_frames.load(std::memory_order_relaxed);
   stats.image_bytes = image_bytes.load(std::memory_order_relaxed);

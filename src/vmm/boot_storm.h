@@ -19,6 +19,7 @@
 #include "src/base/stats.h"
 #include "src/kernel/kconfig.h"
 #include "src/race/annotations.h"
+#include "src/verify/layout_uniqueness.h"
 #include "src/vmm/boot_supervisor.h"
 #include "src/vmm/image_template.h"
 
@@ -54,6 +55,21 @@ struct StormOptions {
   // parse+render pipeline, i.e. the serial fleet baseline).
   bool use_template_cache = true;
 
+  // ---- ahead-of-time layout pool ----
+  // 0 = no pool. When > 0 and the storm randomizes, one shared LayoutPool is
+  // built AFTER the warm-up wave (from the warm template-cache entry),
+  // prefilled to this depth, and offered to every measured launch; a
+  // background refill executor renders replacements while the storm runs.
+  // Which VM grabs which layout is scheduling-dependent, but every layout is
+  // unique (one-shot handout) and guest init checksums are layout-
+  // independent, so determinism checks still hold. Per-VM hit/miss tallies
+  // land in StormStats.
+  uint32_t layout_pool_depth = 0;
+  uint32_t layout_pool_refill_batch = 2;
+  // Capture every booted VM's layout identity (slide, FG permutation digest)
+  // for the cross-VM uniqueness check (src/verify/layout_uniqueness.h).
+  bool keep_layouts = false;
+
   // ---- supervision (fault tolerance) ----
   // When true, every (full-lane) boot runs through BootSupervisor: per-VM
   // failures are tallied instead of aborting the storm, the watchdog bounds
@@ -82,6 +98,24 @@ struct StormStats {
   uint64_t image_bytes = 0;   // image memsz span
   uint64_t cache_hits = 0;    // template-cache counters across the whole storm
   uint64_t cache_misses = 0;
+
+  // Layout-pool tallies (zero when options.layout_pool_depth == 0). Hits and
+  // misses are per measured VM; renders/errors/quarantines are pool-counter
+  // deltas over the measured window, so pool_rendered_during is the refill
+  // work that OVERLAPPED the storm (prefill renders are excluded).
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_rendered_during = 0;
+  uint64_t pool_refill_errors = 0;
+  uint64_t pool_quarantined = 0;
+  double pool_hit_rate() const {
+    const uint64_t grabs = pool_hits + pool_misses;
+    return grabs == 0 ? 0.0 : static_cast<double>(pool_hits) / static_cast<double>(grabs);
+  }
+
+  // Per booted VM (in VM-id order), when options.keep_layouts: input for
+  // CheckLayoutUniqueness.
+  std::vector<LayoutIdentity> layouts;
 
   // Per-outcome tallies, populated when options.supervise. Every VM lands in
   // exactly one ok_*/failed bucket: accounted() == vms, always.

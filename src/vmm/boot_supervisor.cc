@@ -92,7 +92,8 @@ std::string BootOutcome::ToString() const {
       << " wall_ms=" << total_wall_ns / 1000000;
   for (const AttemptRecord& a : history) {
     out << "\n  attempt " << a.index << ": mode=" << RandoModeName(a.mode)
-        << " seed=" << a.seed << " -> " << AttemptResultName(a.result);
+        << (a.pooled ? " (pooled)" : "") << " seed=" << a.seed << " -> "
+        << AttemptResultName(a.result);
     if (!a.error.empty()) {
       out << " (" << a.error << ")";
     }
@@ -107,16 +108,24 @@ std::string BootOutcome::ToString() const {
 BootSupervisor::BootSupervisor(Storage& storage, MicroVmConfig config, SupervisorOptions options)
     : storage_(storage), config_(std::move(config)), options_(std::move(options)) {}
 
-AttemptRecord BootSupervisor::Attempt(RandoMode mode, uint32_t index, uint64_t seed,
+AttemptRecord BootSupervisor::Attempt(RandoMode mode, bool pooled, uint32_t index, uint64_t seed,
                                       BootReport* report, Status* status) {
   AttemptRecord record;
   record.index = index;
   record.mode = mode;
+  record.pooled = pooled;
   record.seed = seed;
 
   MicroVmConfig config = config_;
   config.rando = mode;
   config.seed = seed;
+  if (!pooled) {
+    // Inline rungs must not touch the pool at all: a pool that already
+    // failed this VM (corrupt renders, stale key) is stepped past, not
+    // retried.
+    config.layout_pool = nullptr;
+    config.layout_pool_depth = 0;
+  }
   if (options_.watchdog_instructions != 0) {
     config.max_boot_instructions = options_.watchdog_instructions;
   }
@@ -186,11 +195,29 @@ BootOutcome BootSupervisor::Run() {
   }
 
   const uint64_t base_seed = config_.seed != 0 ? config_.seed : HostEntropySeed();
-  const std::vector<RandoMode> ladder = LadderFrom(config_.rando);
-  const size_t rungs = options_.policy == DegradePolicy::kStrict ? 1 : ladder.size();
+  // The full ladder: a pooled rung at the requested level (when the config
+  // carries a layout pool), then every inline mode down to nokaslr. Stepping
+  // from the pooled rung to the inline rung of the SAME mode trades no
+  // hardening, so it is neither a degradation nor forbidden under kStrict.
+  struct Rung {
+    RandoMode mode;
+    bool pooled;
+  };
+  std::vector<Rung> ladder;
+  const bool pool_configured =
+      (config_.layout_pool != nullptr || config_.layout_pool_depth > 0) &&
+      config_.rando != RandoMode::kNone;
+  if (pool_configured) {
+    ladder.push_back({config_.rando, true});
+  }
+  for (RandoMode mode : LadderFrom(config_.rando)) {
+    ladder.push_back({mode, false});
+  }
+  const size_t rungs =
+      options_.policy == DegradePolicy::kStrict ? (pool_configured ? 2 : 1) : ladder.size();
   uint32_t index = 0;
   for (size_t rung = 0; rung < rungs; ++rung) {
-    if (rung > 0) {
+    if (rung > 0 && ladder[rung].mode != ladder[rung - 1].mode) {
       ++outcome.degradations;
     }
     for (uint32_t try_in_rung = 0; try_in_rung <= options_.max_retries; ++try_in_rung, ++index) {
@@ -199,7 +226,8 @@ BootOutcome BootSupervisor::Run() {
       // Attempt 0 uses the base seed as-is, so a clean supervised boot lays
       // out exactly like an unsupervised one; only retries derive fresh seeds.
       const uint64_t seed = index == 0 ? base_seed : DeriveSeed(base_seed, index);
-      AttemptRecord record = Attempt(ladder[rung], index, seed, &report, &status);
+      AttemptRecord record =
+          Attempt(ladder[rung].mode, ladder[rung].pooled, index, seed, &report, &status);
       outcome.history.push_back(record);
       ++outcome.attempts;
       if (record.result == AttemptResult::kWatchdogWall ||
@@ -208,7 +236,7 @@ BootOutcome BootSupervisor::Run() {
       }
       if (record.result == AttemptResult::kOk) {
         outcome.ok = true;
-        outcome.final_mode = ladder[rung];
+        outcome.final_mode = ladder[rung].mode;
         outcome.report = std::move(report);
         outcome.total_wall_ns = total_timer.ElapsedNs();
         return outcome;

@@ -5,10 +5,15 @@
 // a watchdog (wall-clock Deadline + instruction budget), retries failed
 // attempts with a fresh randomization seed, and — when a randomization level
 // itself keeps failing — walks the degradation ladder
-//     fgkaslr -> kaslr -> nokaslr
+//     pool-hit -> inline fgkaslr -> kaslr -> nokaslr
 // (policy-controlled; kStrict refuses to trade hardening for availability
-// and fails instead). Every attempt is recorded, so a BootOutcome accounts
-// for exactly what the fleet paid to get (or fail to get) this VM up.
+// and fails instead). The pooled rung exists only when the config carries a
+// layout pool: a pool serving corrupt or mismatched layouts is stepped past
+// by re-attempting the SAME randomization level inline, which is not a
+// degradation (the hardening is identical, only the render path changed) —
+// so kStrict allows it too. Every attempt is recorded, so a BootOutcome
+// accounts for exactly what the fleet paid to get (or fail to get) this VM
+// up.
 //
 // The supervisor never throws and never returns a bare error: failures are
 // data, inside the outcome.
@@ -61,6 +66,7 @@ const char* AttemptResultName(AttemptResult result);
 struct AttemptRecord {
   uint32_t index = 0;     // 0-based across the whole outcome
   RandoMode mode = RandoMode::kNone;
+  bool pooled = false;    // layout pool was offered to this attempt's loader
   uint64_t seed = 0;      // the fresh per-attempt randomization seed
   AttemptResult result = AttemptResult::kError;
   std::string error;      // status message for non-OK attempts
@@ -99,8 +105,8 @@ class BootSupervisor {
   MicroVm* vm() { return vm_.get(); }
 
  private:
-  AttemptRecord Attempt(RandoMode mode, uint32_t index, uint64_t seed, BootReport* report,
-                        Status* status);
+  AttemptRecord Attempt(RandoMode mode, bool pooled, uint32_t index, uint64_t seed,
+                        BootReport* report, Status* status);
 
   Storage& storage_;
   MicroVmConfig config_;

@@ -1,0 +1,177 @@
+// LayoutPool: ahead-of-time randomized layout rendering — (FG)KASLR off the
+// launch critical path.
+//
+// The storm numbers say the quiet part out loud: with in-monitor FGKASLR the
+// shuffle + relocation work still sits on every VM's launch path (p50 ~160ms
+// vs ~0.3ms for nokaslr). A fleet host, though, knows it will boot the same
+// kernel again: the pool renders fully randomized images — slide chosen, FG
+// sections placed, all three relocation classes applied, tables fixed up —
+// in the background, *before* any VM asks. A launch that hits the pool is a
+// zero-copy CoW map of an already-randomized image: dirty-at-launch ~ 0 and
+// launch latency approaching the nokaslr path.
+//
+// Entropy contract (the part that makes this different from snapshot reuse,
+// which nullifies ASLR — Morula, paper §7): every layout is seed-derived
+// (splitmix64 over (base seed, monotonic render sequence)) and handed out
+// EXACTLY ONCE. The sequence counter never resets and never reuses an index,
+// so two VMs can never share a layout; a drained pool simply falls back to
+// today's inline randomization with the caller's own seed. Layout k depends
+// only on (base seed, k) — never on pool depth or refill timing — so layouts
+// under a fixed seed are deterministic across depths.
+//
+// Refill runs asynchronously as low-priority batched tasks on a shared
+// ThreadPool (ThreadPool::Submit): a grab that leaves the pool below its
+// target depth schedules a render batch and returns immediately. The pool is
+// keyed on its ImageTemplateCache entry ((crc32, file size) of the vmlinux)
+// plus the boot-varying parameters a render bakes in; a grab presenting a
+// *rebuilt* template under the same key means the cache quarantined the old
+// entry — the pool flushes every layout rendered from it and re-renders from
+// the fresh template (invalidated/quarantined together). Rendered images
+// carry chunk CRCs stamped at render time and re-verified at grab
+// (`pool.render:corrupt` drills this); a layout that fails verification is
+// quarantined, never served. `pool.refill:error` models a failed background
+// render — the pool just stays shallower and launches fall back inline.
+#ifndef IMKASLR_SRC_VMM_LAYOUT_POOL_H_
+#define IMKASLR_SRC_VMM_LAYOUT_POOL_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/base/threadpool.h"
+#include "src/kaslr/fgkaslr.h"
+#include "src/kaslr/random_offset.h"
+#include "src/kaslr/relocator.h"
+#include "src/kernel/relocs.h"
+#include "src/race/annotations.h"
+#include "src/race/mutex.h"
+#include "src/vmm/image_template.h"
+#include "src/vmm/loader.h"
+
+namespace imk {
+
+// One fully randomized, ready-to-map image. Immutable once handed out; the
+// grabbing boot maps `image` zero-copy (the shared_ptr is the CoW owner pin,
+// which also keeps the source template alive through `tmpl`).
+struct RenderedLayout {
+  uint64_t seed = 0;      // derived seed this layout was rendered from
+  uint64_t sequence = 0;  // position in the pool's one-shot seed stream
+  Bytes image;            // randomized image at link offsets (tmpl->mem_size bytes)
+  OffsetChoice choice;
+  RelocStats reloc_stats;
+  std::optional<FgKaslrResult> fg;  // shuffle map + deferred-kallsyms state
+  std::shared_ptr<const ImageTemplate> tmpl;  // pins the source template
+  std::vector<uint32_t> chunk_crcs;  // integrity stamps over `image`
+  uint64_t render_ns = 0;
+};
+
+struct LayoutPoolOptions {
+  uint32_t depth = 4;         // target number of ready layouts
+  uint32_t refill_batch = 2;  // layouts per background refill task
+  uint64_t seed = 1;          // base seed of the one-shot derivation stream
+  // Background refill executor. Refill is only scheduled when the pool has
+  // real worker threads (workers() > 1); otherwise the pool refills solely
+  // through explicit Prefill calls and drained grabs miss.
+  ThreadPool* refill_pool = nullptr;
+  // Grab-time re-verification depth (same semantics as the template cache:
+  // kSampled probes one rotating chunk per grab, kFull re-hashes the image).
+  ImageTemplateCache::IntegrityMode integrity = ImageTemplateCache::IntegrityMode::kSampled;
+};
+
+// Thread-safe. One pool serves one (template, boot-params) identity; grabs
+// presenting anything else miss (and fall back to inline randomization).
+class LayoutPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;            // grabs served a layout
+    uint64_t misses = 0;          // grabs that fell back (drained / mismatch / invalidated)
+    uint64_t rendered = 0;        // layouts rendered successfully (any thread)
+    uint64_t refill_errors = 0;   // renders that failed (pool.refill:error et al.)
+    uint64_t quarantined = 0;     // layouts that failed grab-time CRC re-verification
+    uint64_t invalidations = 0;   // template rebuilt under the same key: pool flushed
+    uint64_t key_mismatches = 0;  // grab presented a foreign template / params
+    uint64_t stale_dropped = 0;   // background renders finished against a flushed template
+    uint32_t ready = 0;           // layouts ready right now
+  };
+
+  // `guest_mem_size` is the resolved offset-chooser bound the grabbing boots
+  // will use (params.usable_mem_limit when nonzero, else the guest RAM
+  // size) — part of the pool key, because it shapes the slide range.
+  // `relocs` is copied. The template must have loadable segments.
+  LayoutPool(std::shared_ptr<const ImageTemplate> tmpl, const RelocInfo& relocs,
+             const DirectBootParams& params, uint64_t guest_mem_size, LayoutPoolOptions options);
+  // Waits for in-flight background renders (the refill ThreadPool must still
+  // be alive: destroy the pool before its refill executor).
+  ~LayoutPool();
+
+  LayoutPool(const LayoutPool&) = delete;
+  LayoutPool& operator=(const LayoutPool&) = delete;
+
+  // Hands out the oldest ready layout exactly once, after re-verifying its
+  // chunk CRCs (corrupt layouts are quarantined and the next one served).
+  // Returns null — the caller falls back to inline randomization — when the
+  // pool is drained, the presented template/params do not match the pool's
+  // key, or the template was rebuilt (quarantined) under the same key, which
+  // also flushes every stale layout. A grab that leaves the pool below its
+  // target depth schedules an asynchronous refill batch.
+  std::shared_ptr<const RenderedLayout> TryGrab(const std::shared_ptr<const ImageTemplate>& tmpl,
+                                                const DirectBootParams& params,
+                                                uint64_t guest_mem_size);
+
+  // Renders synchronously on the calling thread until `target` layouts are
+  // ready or accounted for by in-flight background renders (clamped to the
+  // configured depth). Returns the first render error, if any; already-
+  // rendered layouts stay in the pool either way.
+  Status Prefill(uint32_t target);
+
+  // Blocks until no background render is queued or running.
+  void WaitIdle();
+
+  Stats stats() const;
+  uint32_t depth() const { return options_.depth; }
+  uint64_t base_seed() const { return options_.seed; }
+
+  // The derived seed of sequence index `k` — splitmix64 over (seed, k).
+  // Exposed so tests can reproduce a pooled layout inline (bit-identity).
+  static uint64_t DeriveLayoutSeed(uint64_t base_seed, uint64_t sequence);
+
+ private:
+  // True when (tmpl, params, guest_mem_size) match the pool identity. On a
+  // same-key template rebuild, flushes the pool and adopts the new template.
+  bool MatchesLocked(const std::shared_ptr<const ImageTemplate>& tmpl,
+                     const DirectBootParams& params, uint64_t guest_mem_size)
+      IMK_GUARDED_BY(kLayoutPool);
+  // Schedules background refill batches toward `depth` (no-op without a
+  // usable refill executor). Called with the lock held.
+  void ScheduleRefillLocked() IMK_GUARDED_BY(kLayoutPool);
+  // One background refill batch: renders up to `count` layouts.
+  void RefillTask(uint32_t count);
+  // Renders sequence index `sequence` from `tmpl` (serial; no locks held).
+  Result<std::shared_ptr<RenderedLayout>> Render(std::shared_ptr<const ImageTemplate> tmpl,
+                                                 uint64_t sequence);
+  // Hands a finished render to the ready deque (drops it when the pool's
+  // template moved on underneath the render).
+  void PushRendered(std::shared_ptr<RenderedLayout> layout);
+
+  const LayoutPoolOptions options_;
+  const DirectBootParams params_;
+  const uint64_t guest_mem_size_;
+  const RelocInfo relocs_;
+
+  mutable race::Mutex mutex_{race::LockRank::kLayoutPool};
+  race::CondVar idle_cv_;  // WaitIdle / destructor drain
+  std::shared_ptr<const ImageTemplate> tmpl_ IMK_GUARDED_BY(kLayoutPool);
+  std::deque<std::shared_ptr<RenderedLayout>> ready_ IMK_GUARDED_BY(kLayoutPool);
+  uint64_t next_sequence_ IMK_GUARDED_BY(kLayoutPool) = 0;  // never reused
+  uint32_t renders_inflight_ IMK_GUARDED_BY(kLayoutPool) = 0;
+  uint32_t tasks_outstanding_ IMK_GUARDED_BY(kLayoutPool) = 0;
+  uint64_t verify_cursor_ IMK_GUARDED_BY(kLayoutPool) = 0;  // rotates sampled probes
+  bool draining_ IMK_GUARDED_BY(kLayoutPool) = false;
+  Stats stats_ IMK_GUARDED_BY(kLayoutPool);
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_LAYOUT_POOL_H_

@@ -6,6 +6,7 @@
 #include "src/base/fault_injection.h"
 #include "src/base/stopwatch.h"
 #include "src/kernel/layout.h"
+#include "src/vmm/layout_pool.h"
 
 namespace imk {
 
@@ -13,6 +14,77 @@ namespace {
 // Stage-boundary watchdog poll; a null deadline means "no watchdog".
 Status CheckDeadline(const Deadline* deadline, const char* stage) {
   return deadline != nullptr ? deadline->Check(stage) : OkStatus();
+}
+
+// A layout-pool hit: the grabbed layout is already fully randomized, so the
+// whole boot-varying pipeline collapses into one zero-copy map. Whole frames
+// alias the rendered image (the RenderedLayout shared_ptr is the CoW owner
+// pin, which transitively pins its source template); only the sub-frame tail
+// is copied, so dirty-at-launch is ~0 of the image. `loaded` arrives with
+// the link-time fields filled.
+Result<LoadedKernel> MapPooledLayout(GuestMemory& memory,
+                                     std::shared_ptr<const RenderedLayout> layout,
+                                     const DirectBootParams& params, uint64_t entry,
+                                     LoadedKernel loaded, const DirectLoadResources& resources) {
+  const ImageTemplate& tmpl = *layout->tmpl;
+  const uint64_t link_base = tmpl.link_base;
+  const uint64_t mem_size = tmpl.mem_size;
+  loaded.choice = layout->choice;
+  loaded.reloc_stats = layout->reloc_stats;
+  loaded.fg = layout->fg;
+  loaded.layout_pool_hit = true;
+
+  IMK_RETURN_IF_ERROR(CheckDeadline(resources.deadline, "loader.map_pristine"));
+  // The pooled launch is still a mapping stage; the same fault point drills
+  // it, so supervisor ladders exercise pooled and inline attempts alike.
+  IMK_FAULT_POINT("loader.map_pristine");
+  Stopwatch load_timer;
+  constexpr uint64_t kFrame = FrameStore::kFrameBytes;
+  const uint64_t phys_base = loaded.choice.phys_load_addr;
+  FrameStore& frames = memory.frames();
+  if (phys_base > memory.size() || mem_size > memory.size() - phys_base) {
+    return OutOfRangeError("guest physical range out of bounds");
+  }
+  const uint64_t dirty_at_start = frames.dirty_frames();
+  loaded.mem.image_frames =
+      (AlignUp(phys_base + mem_size, kFrame) - AlignDown(phys_base, kFrame)) / kFrame;
+  const ByteSpan rendered(layout->image);
+  if (phys_base % kFrame == 0) {
+    // The chooser aligns to CONFIG_PHYSICAL_ALIGN (a frame multiple), so
+    // every whole frame aliases the rendered image; only the tail copies.
+    const uint64_t interior_hi = AlignDown(mem_size, kFrame);
+    if (interior_hi > 0) {
+      IMK_RETURN_IF_ERROR(memory.MapShared(phys_base, rendered.subspan(0, interior_hi), layout));
+      loaded.mem.mapped_shared_frames += interior_hi / kFrame;
+    }
+    if (interior_hi < mem_size) {
+      IMK_RETURN_IF_ERROR(memory.Write(phys_base + interior_hi,
+                                       rendered.subspan(interior_hi, mem_size - interior_hi)));
+      loaded.mem.copied_bytes += mem_size - interior_hi;
+    }
+  } else {
+    // Bespoke constants note with a sub-frame physical align: nothing can
+    // alias, flat-copy the rendered image (correct, just not zero-copy).
+    IMK_ASSIGN_OR_RETURN(MutableByteSpan image_ram, memory.Slice(phys_base, mem_size));
+    std::memcpy(image_ram.data(), rendered.data(), mem_size);
+    loaded.mem.copied_bytes += mem_size;
+  }
+  const uint64_t dirty_after = frames.dirty_frames();
+  loaded.mem.load_dirty_frames =
+      dirty_after > dirty_at_start ? dirty_after - dirty_at_start : 0;
+  loaded.timings.load_ns = load_timer.ElapsedNs();
+
+  loaded.entry_vaddr = entry + loaded.choice.virt_slide;
+  loaded.kernel_map.virt_start = link_base + loaded.choice.virt_slide;
+  loaded.kernel_map.phys_start = phys_base;
+  loaded.kernel_map.size = mem_size + params.stack_slack;
+  loaded.direct_map.virt_start = kDirectMapBase;
+  loaded.direct_map.phys_start = 0;
+  loaded.direct_map.size = memory.size();
+  loaded.stack_top = loaded.kernel_map.virt_start + mem_size + params.stack_slack - 16;
+  loaded.resv_start_phys = AlignDown(phys_base, 4096);
+  loaded.resv_end_phys = AlignUp(phys_base + mem_size + params.stack_slack, 4096);
+  return loaded;
 }
 }  // namespace
 
@@ -44,6 +116,20 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
   }
   loaded.link_text_vaddr = link_base;
   loaded.image_mem_size = mem_size;
+
+  // ---- layout pool: grab an ahead-of-time randomized image ----
+  if (resources.layout_pool != nullptr && params.requested != RandoMode::kNone) {
+    const uint64_t guest_mem =
+        params.usable_mem_limit != 0 ? params.usable_mem_limit : memory.size();
+    std::shared_ptr<const RenderedLayout> pooled =
+        resources.layout_pool->TryGrab(tmpl_ptr, params, guest_mem);
+    if (pooled != nullptr) {
+      return MapPooledLayout(memory, std::move(pooled), params, entry, std::move(loaded),
+                             resources);
+    }
+    // Drained or mismatched pool: fall through to inline randomization,
+    // seeded from the caller's rng exactly as if there were no pool.
+  }
 
   // ---- choose offsets ----
   IMK_RETURN_IF_ERROR(CheckDeadline(resources.deadline, "loader.choose"));
@@ -94,7 +180,6 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
   loaded.mem.image_frames =
       (AlignUp(phys_base + mem_size, kFrame) - AlignDown(phys_base, kFrame)) / kFrame;
   const ByteSpan pristine(tmpl.pristine);
-  ThreadPool* pool = resources.pool;
   // When the FGKASLR shuffle is about to run, the function-section region is
   // fully rewritten by placement straight out of the pristine buffer (gaps
   // included — see FgExecContext::pristine), so aliasing it here would make
@@ -146,7 +231,10 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
     IMK_RETURN_IF_ERROR(map_region(skip_hi, mem_size));
   } else {
     // Unaligned physical base (bespoke constants note): no frame can alias
-    // the template, fall back to the flat copy, sharded as before.
+    // the template, fall back to a flat copy. Intentionally serial: a plain
+    // memcpy is memory-bandwidth-bound, so sharding it across workers never
+    // beat the single-stream copy (bench/micro_parallel measured 1.005x) —
+    // the parallel path was a dead knob and is gone.
     IMK_ASSIGN_OR_RETURN(MutableByteSpan image_ram, memory.Slice(phys_base, mem_size));
     const uint8_t* src = pristine.data();
     uint8_t* dst = image_ram.data();
@@ -154,14 +242,7 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
       if (begin >= end) {
         return;
       }
-      if (pool != nullptr && pool->workers() > 1) {
-        pool->ParallelFor(end - begin, [&](uint64_t chunk_begin, uint64_t chunk_end) {
-          std::memcpy(dst + begin + chunk_begin, src + begin + chunk_begin,
-                      chunk_end - chunk_begin);
-        });
-      } else {
-        std::memcpy(dst + begin, src + begin, end - begin);
-      }
+      std::memcpy(dst + begin, src + begin, end - begin);
       loaded.mem.copied_bytes += end - begin;
     };
     copy_span(0, skip_lo);

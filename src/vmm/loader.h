@@ -37,6 +37,8 @@
 
 namespace imk {
 
+class LayoutPool;  // src/vmm/layout_pool.h (includes this header)
+
 // How the monitor finds the 64-bit entry point.
 enum class BootProtocol {
   kLinux64,  // ELF e_entry (the 64-bit Linux boot protocol analogue)
@@ -61,13 +63,21 @@ struct DirectBootParams {
   uint64_t usable_mem_limit = 0;
 };
 
-// Reusable execution resources for the load pipeline; all optional, all
-// perf-only: results are bit-identical with or without them.
+// Reusable execution resources for the load pipeline; all optional.
+// pool/cache/scratches are perf-only: results are bit-identical with or
+// without them. layout_pool changes where the randomness comes from: a
+// pool hit maps a pre-rendered layout whose seed derives from the POOL's
+// one-shot stream, not from `rng` (which a hit leaves untouched).
 struct DirectLoadResources {
   ThreadPool* pool = nullptr;           // shards image copy / fg move / reloc apply
   ImageTemplateCache* cache = nullptr;  // template reuse across boots (null = build inline)
   RelocScratch* reloc_scratch = nullptr;  // reused reloc delta buffers + value index
   Bytes* move_scratch = nullptr;          // reused FGKASLR text-copy buffer
+  // Ahead-of-time randomized layouts (src/vmm/layout_pool.h). A randomized
+  // load first tries to grab one: a hit skips choose/shuffle/relocate and
+  // maps the rendered image zero-copy; a drained or mismatched pool falls
+  // back to the inline pipeline below, seeded from `rng` as always.
+  LayoutPool* layout_pool = nullptr;
   // Wall-clock watchdog checked at stage boundaries (choose/map/shuffle/
   // reloc); an expired deadline aborts the load with kDeadlineExceeded.
   // nullptr = no deadline.
@@ -114,6 +124,9 @@ struct LoadedKernel {
   LoaderTimings timings;
   LoaderMemStats mem;
   bool template_cache_hit = false;  // parse was skipped (served from the cache)
+  // Randomization was served from the layout pool: choose/shuffle/relocate
+  // were all skipped and the mapped image is a pre-rendered layout.
+  bool layout_pool_hit = false;
 
   // Link-time spans, for translating symbols to runtime addresses.
   uint64_t link_text_vaddr = 0;

@@ -8,6 +8,7 @@
 #include "src/elf/elf_types.h"
 #include "src/kernel/layout.h"
 #include "src/vmm/firmware.h"
+#include "src/vmm/layout_pool.h"
 
 namespace imk {
 namespace {
@@ -148,6 +149,23 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
     resources.pool = &*pool;
   }
   resources.deadline = deadline;
+  resources.layout_pool = config_.layout_pool;
+  // Private single-boot pool (imk_tool boot --layout-pool=N): render the
+  // first layout ahead of the load so this boot takes the pooled path. A
+  // render failure is not a boot failure — the grab just misses and the
+  // inline pipeline below serves the boot.
+  std::unique_ptr<LayoutPool> local_pool;
+  if (resources.layout_pool == nullptr && config_.layout_pool_depth > 0 &&
+      config_.rando != RandoMode::kNone && relocs != nullptr) {
+    LayoutPoolOptions pool_options;
+    pool_options.depth = config_.layout_pool_depth;
+    pool_options.refill_batch = config_.layout_pool_refill_batch;
+    pool_options.seed = config_.seed != 0 ? config_.seed : HostEntropySeed();
+    local_pool = std::make_unique<LayoutPool>(tmpl, *relocs, params, usable_mem_top_,
+                                              pool_options);
+    (void)local_pool->Prefill(1);
+    resources.layout_pool = local_pool.get();
+  }
   IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
                        DirectLoadFromTemplate(*memory_, tmpl, relocs, params, rng, resources));
 
@@ -155,9 +173,11 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
   report.reloc_stats = loaded.reloc_stats;
   report.loader_timings = loaded.timings;
   report.mem = loaded.mem;
+  report.layout_pool_hit = loaded.layout_pool_hit;
   if (loaded.fg.has_value()) {
     report.fg_timings = loaded.fg->timings;
     report.sections_shuffled = loaded.fg->sections_shuffled;
+    report.fg_digest = loaded.fg->map.PermutationDigest();
   }
   virt_slide_ = loaded.choice.virt_slide;
   stack_top_ = loaded.stack_top;

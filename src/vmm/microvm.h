@@ -74,6 +74,18 @@ struct MicroVmConfig {
   bool use_template_cache = true;
   ImageTemplateCache* template_cache = nullptr;
 
+  // Ahead-of-time randomized layout pool (src/vmm/layout_pool.h). When
+  // `layout_pool` is set, the loader first tries to grab a pre-rendered
+  // layout from it (shared across VMs — the fleet scenario). When it is null
+  // and `layout_pool_depth` > 0, a randomized direct boot builds a private
+  // pool of that depth and prefills one layout before loading, so a single
+  // `imk_tool boot --layout-pool=N` exercises the pooled path end to end.
+  // Either way, a drained or mismatched pool falls back to the inline
+  // randomization pipeline. 0 = no pool.
+  LayoutPool* layout_pool = nullptr;
+  uint32_t layout_pool_depth = 0;
+  uint32_t layout_pool_refill_batch = 2;
+
   // Boot watchdog wall-clock deadline, checked at monitor stage boundaries
   // and polled by the interpreter while the guest runs. The caller owns the
   // Deadline and keeps it alive across Boot(). nullptr = no watchdog. (The
@@ -111,6 +123,13 @@ struct BootReport {
   // materialization (the storm bench's density numbers come from here).
   LoaderTimings loader_timings;
   LoaderMemStats mem;
+  // Direct boots only: the randomized layout came pre-rendered from the
+  // layout pool (choose/shuffle/relocate were skipped at launch).
+  bool layout_pool_hit = false;
+  // Permutation-sensitive digest of the FGKASLR shuffle (0 when no shuffle
+  // ran): together with choice.virt_slide this identifies the layout for
+  // cross-VM uniqueness checks (src/verify/layout_uniqueness.h).
+  uint64_t fg_digest = 0;
 };
 
 // A booted VM's frozen state: the zygote/snapshot primitive the paper's

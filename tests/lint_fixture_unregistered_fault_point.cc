@@ -1,0 +1,25 @@
+// Negative lint fixture — deliberately NOT compiled and NOT part of any
+// CMake target, so the real tree (and the real compile database) stays
+// clean.
+//
+// ci_check.sh points imk_lint at a synthetic compile database listing this
+// file and asserts the lint exits NONZERO: the fault-point check must flag
+// pool fault-point names the injector never registered (arming one is a
+// silent no-op — the drill would pass without drilling anything), both when
+// armed through the IMK_FAULT_* macros and when spelled inside a
+// FaultPlan::Parse spec. If imk_lint ever comes back clean over this file,
+// the fault-point check has rotted.
+#include "src/base/fault_injection.h"
+
+namespace imk {
+
+Status BogusPoolRefill() {
+  IMK_FAULT_POINT("pool.bogus_refill");  // unregistered: the lint must flag this
+  return OkStatus();
+}
+
+void ArmBogusPoolPlan() {
+  (void)FaultPlan::Parse("pool.bogus_render:corrupt:p=0.5", 1);  // unregistered too
+}
+
+}  // namespace imk

@@ -11,6 +11,7 @@
 //            Summarizes a vmlinux.relocs blob.
 //   boot     --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--mem=256]
 //            [--threads=N] [--no-template-cache]
+//            [--layout-pool=N] [--pool-refill=N]
 //            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
 //            Boots the image with in-monitor randomization and reports the
@@ -25,9 +26,14 @@
 //            --watchdog-ms/--watchdog-insns bound each attempt, --max-retries
 //            bounds attempts per ladder rung, and --degrade picks whether a
 //            failing randomization level may fall back (fgkaslr -> kaslr ->
-//            nokaslr) or must fail (strict).
+//            nokaslr) or must fail (strict). --layout-pool=N boots through
+//            an ahead-of-time randomized layout pool of depth N (a pool hit
+//            maps a pre-rendered image; a drained pool falls back inline;
+//            under supervision the ladder becomes pool-hit -> inline ->
+//            lower modes); --pool-refill sets the background batch size.
 //   storm    --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--vms=16]
 //            [--threads=4] [--mem=256] [--seed=N]
+//            [--layout-pool=N] [--pool-refill=N]
 //            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
 //            Boot-storm fleet drill: boots --vms microVMs of the image across
@@ -37,7 +43,9 @@
 //            zero-copy to the shared kernel template. With --faults (or any
 //            supervision flag) each VM boots under the supervisor and the
 //            report adds per-outcome tallies: first-try / retried / degraded
-//            / failed, watchdog trips, and template-cache quarantines.
+//            / failed, watchdog trips, and template-cache quarantines. With
+//            --layout-pool=N one shared pool of depth N serves every
+//            measured launch and the report adds pool hit/miss tallies.
 //   verify   --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--seed=N]
 //            [--mem=256] [--threads=N] [--json] [--corrupt=MODE]
 //            Randomizes the image in-monitor (no guest execution), then runs
@@ -45,11 +53,21 @@
 //            on a clean report, 1 on findings. --corrupt injects one fault
 //            first (skip-abs64 | double-inverse32 | overlap-section |
 //            stale-pointer) to demonstrate detection.
+//   verify --uniqueness [--vms=16] [--threads=4] [--scale=0.02]
+//            [--layout-pool=N] [--seed=N] [--json]
+//            Cross-VM layout uniqueness audit: builds a synthetic fgkaslr
+//            kernel in-process, runs a pooled launch-only storm of --vms
+//            VMs (pool depth defaults to --vms), and checks that no two VMs
+//            share a (slide, FG permutation digest) layout — the ASLR
+//            property the pool's one-shot handout guarantees. Exits 0 iff
+//            every layout is unique.
 //   racecheck [--vms=16] [--threads=4] [--scale=0.02] [--load-threads=N]
 //            [--json] [--drill=order|lockset]
 //            Concurrency audit (DESIGN.md §11): builds a synthetic kernel
-//            in-process and runs an instrumented boot storm over kaslr and
-//            fgkaslr lanes, reporting rank inversions, lock-order cycles,
+//            in-process and runs an instrumented boot storm over kaslr,
+//            fgkaslr, and pooled-fgkaslr lanes (the last one exercises the
+//            LayoutPool's refill/grab concurrency under the lock-rank
+//            auditor), reporting rank inversions, lock-order cycles,
 //            unranked locks, and Eraser-style lockset violations. Exits 0
 //            on a clean report. Meaningful detection needs a build with
 //            -DIMK_RACE_AUDIT=ON (otherwise the wrappers are passthrough
@@ -399,6 +417,8 @@ int CmdBoot(const Args& args) {
   config.rando = ParseRando(args.Get("rando", "none"));
   config.load_threads = static_cast<uint32_t>(args.GetDouble("threads", 1));
   config.use_template_cache = args.Get("no-template-cache").empty();
+  config.layout_pool_depth = static_cast<uint32_t>(args.GetDouble("layout-pool", 0));
+  config.layout_pool_refill_batch = static_cast<uint32_t>(args.GetDouble("pool-refill", 2));
   const std::string relocs_path = args.Get("relocs");
   if (!relocs_path.empty()) {
     storage.Put("relocs", ReadFile(relocs_path));
@@ -435,6 +455,11 @@ int CmdBoot(const Args& args) {
               static_cast<unsigned long long>(report->choice.phys_load_addr),
               static_cast<unsigned long long>(report->reloc_stats.total()),
               report->sections_shuffled);
+  if (config.layout_pool_depth > 0) {
+    std::printf("layout pool: %s\n",
+                report->layout_pool_hit ? "HIT (pre-rendered layout mapped)"
+                                        : "miss (inline randomization)");
+  }
   std::printf("guest checksum 0x%llx over %llu instructions\n",
               static_cast<unsigned long long>(report->init_checksum),
               static_cast<unsigned long long>(report->guest_stats.instructions));
@@ -461,6 +486,8 @@ int CmdStorm(const Args& args) {
   options.threads = static_cast<uint32_t>(args.GetDouble("threads", 4));
   options.mem_size_bytes = static_cast<uint64_t>(args.GetDouble("mem", 256)) << 20;
   options.seed_base = static_cast<uint64_t>(args.GetDouble("seed", 1));
+  options.layout_pool_depth = static_cast<uint32_t>(args.GetDouble("layout-pool", 0));
+  options.layout_pool_refill_batch = static_cast<uint32_t>(args.GetDouble("pool-refill", 2));
   if (WantsSupervision(args)) {
     ArmFaults(args);
     options.supervise = true;
@@ -487,6 +514,16 @@ int CmdStorm(const Args& args) {
   std::printf("resident %.2f MiB per VM; template cache %llu hits / %llu misses\n",
               stats->resident_mb.mean(), static_cast<unsigned long long>(stats->cache_hits),
               static_cast<unsigned long long>(stats->cache_misses));
+  if (options.layout_pool_depth > 0) {
+    std::printf(
+        "layout pool: %llu hits / %llu misses (%.1f%% hit rate), %llu rendered during the "
+        "storm, %llu refill errors, %llu quarantined\n",
+        static_cast<unsigned long long>(stats->pool_hits),
+        static_cast<unsigned long long>(stats->pool_misses), stats->pool_hit_rate() * 100,
+        static_cast<unsigned long long>(stats->pool_rendered_during),
+        static_cast<unsigned long long>(stats->pool_refill_errors),
+        static_cast<unsigned long long>(stats->pool_quarantined));
+  }
   if (options.supervise) {
     const auto& t = stats->outcomes;
     std::printf(
@@ -541,25 +578,42 @@ int CmdRaceCheck(const Args& args) {
   const double scale = args.GetDouble("scale", 0.02);
 
   bool all_clean = true;
-  for (const imk::RandoMode mode : {imk::RandoMode::kKaslr, imk::RandoMode::kFgKaslr}) {
-    const char* lane = mode == imk::RandoMode::kKaslr ? "kaslr" : "fgkaslr";
+  struct Lane {
+    const char* name;
+    imk::RandoMode mode;
+    uint32_t pool_depth;  // 0 = no layout pool
+  };
+  const Lane lanes[] = {
+      {"kaslr", imk::RandoMode::kKaslr, 0},
+      {"fgkaslr", imk::RandoMode::kFgKaslr, 0},
+      // Pooled lane: background refill races measured grabs, so the
+      // LayoutPool's kLayoutPool rank and guards get audited under load.
+      {"fgkaslr-pooled", imk::RandoMode::kFgKaslr, options.vms},
+  };
+  for (const Lane& lane : lanes) {
     auto info = imk::BuildKernel(
-        imk::KernelConfig::Make(imk::KernelProfile::kAws, mode, scale));
+        imk::KernelConfig::Make(imk::KernelProfile::kAws, lane.mode, scale));
     if (!info.ok()) {
       Die(info.status().ToString());
     }
     Bytes relocs_blob = imk::SerializeRelocs(info->relocs);
-    options.rando = mode;
+    options.rando = lane.mode;
+    options.layout_pool_depth = lane.pool_depth;
     imk::race::AuditScope audit;
     auto stats = imk::RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
     const imk::race::RaceReport& report = audit.Finish();
     if (!stats.ok()) {
-      Die(std::string("racecheck ") + lane + " storm: " + stats.status().ToString());
+      Die(std::string("racecheck ") + lane.name + " storm: " + stats.status().ToString());
     }
-    std::printf("lane %s: %u VMs x %u threads, %llu cache hits / %llu misses\n", lane,
+    std::printf("lane %s: %u VMs x %u threads, %llu cache hits / %llu misses", lane.name,
                 stats->vms, stats->threads, static_cast<unsigned long long>(stats->cache_hits),
                 static_cast<unsigned long long>(stats->cache_misses));
-    std::printf("%s\n", json ? report.ToJson().c_str() : report.ToString().c_str());
+    if (lane.pool_depth > 0) {
+      std::printf(", pool %llu hits / %llu misses",
+                  static_cast<unsigned long long>(stats->pool_hits),
+                  static_cast<unsigned long long>(stats->pool_misses));
+    }
+    std::printf("\n%s\n", json ? report.ToJson().c_str() : report.ToString().c_str());
     all_clean = all_clean && report.clean();
   }
   std::printf("racecheck: %s\n", all_clean ? "CLEAN" : "FINDINGS");
@@ -578,7 +632,46 @@ bool TouchesRelocField(const imk::RelocInfo& relocs, uint64_t slot) {
   return false;
 }
 
+// verify --uniqueness: the cross-VM layout-uniqueness audit over a pooled
+// launch-only storm (every measured layout comes from the pool's one-shot
+// handout; the checker proves no two VMs shared one).
+int CmdVerifyUniqueness(const Args& args) {
+  const double scale = args.GetDouble("scale", 0.02);
+  const uint32_t vms = static_cast<uint32_t>(args.GetDouble("vms", 16));
+  auto info = imk::BuildKernel(
+      imk::KernelConfig::Make(imk::KernelProfile::kAws, imk::RandoMode::kFgKaslr, scale));
+  if (!info.ok()) {
+    Die(info.status().ToString());
+  }
+  Bytes relocs_blob = imk::SerializeRelocs(info->relocs);
+  imk::StormOptions options;
+  options.rando = imk::RandoMode::kFgKaslr;
+  options.vms = vms;
+  options.threads = static_cast<uint32_t>(args.GetDouble("threads", 4));
+  options.mem_size_bytes = 192ull << 20;
+  options.launch_only = true;
+  options.layout_pool_depth =
+      static_cast<uint32_t>(args.GetDouble("layout-pool", static_cast<double>(vms)));
+  options.keep_layouts = true;
+  options.seed_base = static_cast<uint64_t>(args.GetDouble("seed", 1));
+  auto stats = imk::RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
+  if (!stats.ok()) {
+    Die(stats.status().ToString());
+  }
+  imk::VerifyReport report = imk::CheckLayoutUniqueness(stats->layouts);
+  std::printf("uniqueness: %zu layouts from a depth-%u pool (%llu hits / %llu misses)\n",
+              stats->layouts.size(), options.layout_pool_depth,
+              static_cast<unsigned long long>(stats->pool_hits),
+              static_cast<unsigned long long>(stats->pool_misses));
+  std::printf("%s\n", !args.Get("json").empty() ? report.ToJson().c_str()
+                                                : report.ToString().c_str());
+  return report.clean() ? 0 : 1;
+}
+
 int CmdVerify(const Args& args) {
+  if (!args.Get("uniqueness").empty()) {
+    return CmdVerifyUniqueness(args);
+  }
   const std::string kernel_path = args.Get("kernel");
   if (kernel_path.empty()) {
     Die("verify: --kernel=FILE required");
