@@ -1,0 +1,168 @@
+// micro_interp — guest-MIPS of the interpreter's two execution engines over
+// a full direct boot (nokaslr, so the kernel image stays template-aliased
+// and the shared decode tier engages):
+//
+//   legacy   the per-instruction switch loop (fetch/translate/decode every
+//            dynamic instruction) — the measurement baseline
+//   cold     the predecoded block engine with a VM-private cache: every
+//            block is decoded by the measured boot itself
+//   warm     the block engine against a SharedBlockCache another boot
+//            already populated — the fleet steady state, where a VM grabs
+//            finished decodes and pays dispatch only
+//
+// MIPS uses the boot timeline's measured Linux-boot phase (guest execution
+// wall time only, monitor work excluded). Writes BENCH_interp.json
+// (--out=FILE); check_bench_json.sh guards the recorded speedups.
+#include <cstring>
+#include <string>
+
+#include "bench/common.h"
+#include "src/isa/block_cache.h"
+#include "src/vmm/image_template.h"
+
+namespace imk {
+namespace {
+
+struct Lane {
+  Summary mips;
+  ExecStats last;  // guest stats of the lane's final boot
+};
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  std::string out_path = "BENCH_interp.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  std::printf("micro_interp: scale=%.3g reps=%u warmup=%u\n\n", opts.scale, opts.reps,
+              opts.warmup);
+
+  Storage storage;
+  KernelBuildInfo kernel =
+      bench::InstallKernel(storage, KernelProfile::kAws, RandoMode::kNone, opts.scale, "vmlinux");
+  ImageTemplateCache cache;
+  SharedBlockCache shared;  // populated by the warm-up boots, reused across reps
+
+  auto boot_once = [&](bool block_cache, SharedBlockCache* tier, Lane* lane) -> Result<double> {
+    MicroVmConfig config;
+    config.kernel_image = "vmlinux";
+    config.boot_mode = BootMode::kDirect;
+    config.rando = RandoMode::kNone;
+    config.seed = 1;
+    config.template_cache = &cache;
+    config.use_block_cache = block_cache;
+    config.shared_block_cache = tier;
+    MicroVm vm(storage, config);
+    auto report = vm.Boot();
+    if (!report.ok()) {
+      return report.status();
+    }
+    if (report->init_checksum != kernel.expected_checksum) {
+      return Status(ErrorCode::kInternal, "init checksum mismatch");
+    }
+    const uint64_t guest_ns = report->timeline.measured_ns(BootPhase::kLinuxBoot);
+    if (guest_ns == 0) {
+      return Status(ErrorCode::kInternal, "zero guest time");
+    }
+    lane->last = report->guest_stats;
+    // Million instructions per second of simulated guest work.
+    return static_cast<double>(report->guest_stats.instructions) * 1e3 /
+           static_cast<double>(guest_ns);
+  };
+
+  Lane legacy;
+  legacy.mips = bench::CheckOk(Repeat(opts.warmup, opts.reps,
+                                      [&] { return boot_once(false, nullptr, &legacy); }),
+                               "legacy lane");
+  Lane cold;
+  cold.mips = bench::CheckOk(
+      Repeat(opts.warmup, opts.reps, [&] { return boot_once(true, nullptr, &cold); }),
+      "cold lane");
+  Lane warm;  // the warm-up reps fill `shared`; measured reps then grab from it
+  warm.mips = bench::CheckOk(
+      Repeat(opts.warmup, opts.reps, [&] { return boot_once(true, &shared, &warm); }),
+      "warm lane");
+
+  const double cold_speedup = legacy.mips.mean() > 0 ? cold.mips.mean() / legacy.mips.mean() : 0;
+  const double warm_speedup = legacy.mips.mean() > 0 ? warm.mips.mean() / legacy.mips.mean() : 0;
+
+  TextTable table({"engine", "MIPS p50", "MIPS mean", "speedup", "blk hits", "blk misses",
+                   "shared", "private"});
+  table.AddRow({"legacy", TextTable::Fmt(legacy.mips.percentile(50), 1),
+                TextTable::Fmt(legacy.mips.mean(), 1), "1.00", "0", "0", "0", "0"});
+  table.AddRow({"block cold", TextTable::Fmt(cold.mips.percentile(50), 1),
+                TextTable::Fmt(cold.mips.mean(), 1), TextTable::Fmt(cold_speedup),
+                std::to_string(cold.last.block_cache_hits),
+                std::to_string(cold.last.block_cache_misses),
+                std::to_string(cold.last.blocks_shared),
+                std::to_string(cold.last.blocks_private)});
+  table.AddRow({"block warm", TextTable::Fmt(warm.mips.percentile(50), 1),
+                TextTable::Fmt(warm.mips.mean(), 1), TextTable::Fmt(warm_speedup),
+                std::to_string(warm.last.block_cache_hits),
+                std::to_string(warm.last.block_cache_misses),
+                std::to_string(warm.last.blocks_shared),
+                std::to_string(warm.last.blocks_private)});
+  table.Print();
+
+  SharedBlockCache::Stats tier = shared.stats();
+  std::printf(
+      "\nwarm tier: %llu blocks resident, %llu grabs hit / %llu missed, %llu stale replaced, "
+      "%llu tables / %llu adopted\n"
+      // A pure-hit lane on this boot workload tops out around 2.7x the switch
+      // loop (<3 guest insns per dynamic dispatch), so the guarded targets are
+      // the achievable ones; see DESIGN.md section 13.
+      "targets: cold >= 0.9x legacy (%s at %.2fx), warm >= 1.4x legacy (%s at %.2fx)\n",
+      static_cast<unsigned long long>(tier.blocks), static_cast<unsigned long long>(tier.hits),
+      static_cast<unsigned long long>(tier.misses),
+      static_cast<unsigned long long>(tier.stale_replaced),
+      static_cast<unsigned long long>(tier.tables),
+      static_cast<unsigned long long>(tier.table_grabs),
+      cold_speedup >= 0.9 ? "PASS" : "MISS", cold_speedup,
+      warm_speedup >= 1.4 ? "PASS" : "MISS", warm_speedup);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"micro_interp\",\n"
+      "  \"scale\": %g,\n"
+      "  \"reps\": %u,\n"
+      "  \"guest_instructions\": %llu,\n"
+      "  \"legacy_mips_mean\": %.3f,\n"
+      "  \"cold_mips_mean\": %.3f,\n"
+      "  \"warm_mips_mean\": %.3f,\n"
+      "  \"cold_speedup\": %.3f,\n"
+      "  \"warm_speedup\": %.3f,\n"
+      "  \"cold_block_cache\": { \"hits\": %llu, \"misses\": %llu, \"private\": %llu },\n"
+      "  \"warm_block_cache\": { \"hits\": %llu, \"misses\": %llu, \"shared\": %llu },\n"
+      "  \"shared_tier\": { \"blocks\": %llu, \"hits\": %llu, \"misses\": %llu,\n"
+      "                    \"stale_replaced\": %llu, \"tables\": %llu, \"table_grabs\": %llu }\n"
+      "}\n",
+      opts.scale, opts.reps, static_cast<unsigned long long>(legacy.last.instructions),
+      legacy.mips.mean(), cold.mips.mean(), warm.mips.mean(), cold_speedup, warm_speedup,
+      static_cast<unsigned long long>(cold.last.block_cache_hits),
+      static_cast<unsigned long long>(cold.last.block_cache_misses),
+      static_cast<unsigned long long>(cold.last.blocks_private),
+      static_cast<unsigned long long>(warm.last.block_cache_hits),
+      static_cast<unsigned long long>(warm.last.block_cache_misses),
+      static_cast<unsigned long long>(warm.last.blocks_shared),
+      static_cast<unsigned long long>(tier.blocks), static_cast<unsigned long long>(tier.hits),
+      static_cast<unsigned long long>(tier.misses),
+      static_cast<unsigned long long>(tier.stale_replaced),
+      static_cast<unsigned long long>(tier.tables),
+      static_cast<unsigned long long>(tier.table_grabs));
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace imk
+
+int main(int argc, char** argv) { return imk::Run(argc, argv); }

@@ -45,11 +45,18 @@ namespace {
 
 struct ModeRow {
   const char* name = "";
-  StormStats serial;  // launch-only, cold (per-boot parse), 1 thread
-  StormStats launch;  // launch-only, warm shared cache, --threads
-  StormStats full;    // full boots, warm shared cache, --threads
+  StormStats serial;       // launch-only, cold (per-boot parse), 1 thread
+  StormStats launch;       // launch-only, warm shared cache, --threads
+  StormStats full;         // full boots, block engine + shared decode cache
+  StormStats full_legacy;  // full boots, legacy per-instruction interpreter
   double launch_speedup() const {
     return serial.boots_per_sec() > 0 ? launch.boots_per_sec() / serial.boots_per_sec() : 0;
+  }
+  // Full-boot throughput win of the predecoded block engine over the legacy
+  // switch loop (same fleet, same kernels — only the engine differs).
+  double interp_speedup() const {
+    return full_legacy.boots_per_sec() > 0 ? full.boots_per_sec() / full_legacy.boots_per_sec()
+                                           : 0;
   }
 };
 
@@ -79,7 +86,8 @@ int Run(int argc, char** argv) {
   Bytes fg_relocs;
   uint64_t fg_checksum = 0;
   TextTable table({"policy", "serial launch/s", "storm launch/s", "speedup", "boot p50 ms",
-                   "boot p99 ms", "dirty image %", "resident MiB/VM"});
+                   "boot p99 ms", "dirty image %", "resident MiB/VM", "full boots/s", "interp x",
+                   "blk shared %"});
 
   for (size_t m = 0; m < 3; ++m) {
     const RandoMode rando = modes[m];
@@ -108,8 +116,15 @@ int Run(int argc, char** argv) {
     rows[m].launch = bench::CheckOk(
         RunBootStorm(ByteSpan(info.vmlinux), ByteSpan(relocs_blob), storm_opts), "launch storm");
 
-    // Full boots: guest init + checksum + density.
+    // Full boots, legacy interpreter: the decode-cache ablation baseline.
     storm_opts.launch_only = false;
+    storm_opts.use_block_cache = false;
+    rows[m].full_legacy = bench::CheckOk(
+        RunBootStorm(ByteSpan(info.vmlinux), ByteSpan(relocs_blob), storm_opts), "legacy storm");
+
+    // Full boots, block engine + storm-wide shared decode cache: guest init
+    // + checksum + density + the decode-cache sharing census.
+    storm_opts.use_block_cache = true;
     rows[m].full = bench::CheckOk(
         RunBootStorm(ByteSpan(info.vmlinux), ByteSpan(relocs_blob), storm_opts), "full storm");
 
@@ -129,7 +144,10 @@ int Run(int argc, char** argv) {
                   TextTable::Fmt(rows[m].full.boot_ms.percentile(50), 1),
                   TextTable::Fmt(rows[m].full.boot_ms.percentile(99), 1),
                   TextTable::Fmt(rows[m].full.image_dirty_fraction() * 100, 1),
-                  TextTable::Fmt(rows[m].full.resident_mb.mean(), 1)});
+                  TextTable::Fmt(rows[m].full.resident_mb.mean(), 1),
+                  TextTable::Fmt(rows[m].full.boots_per_sec(), 1),
+                  TextTable::Fmt(rows[m].interp_speedup()),
+                  TextTable::Fmt(rows[m].full.block_share_rate() * 100, 1)});
   }
   table.Print();
 
@@ -219,6 +237,25 @@ int Run(int argc, char** argv) {
       "warm launch storm %.2fx serial baseline (>=2x %s)\n",
       kaslr_dirty * 100, dirty_ok ? "PASS" : "MISS", rows[1].launch_speedup(),
       speedup_ok ? "PASS" : "MISS");
+  // Decode-cache ablation summary: engine speedup per policy, and the
+  // sharing census read next to the page-sharing one. Thresholds are the
+  // achievable ones for this workload (pure-hit dispatch tops out ~2.7x the
+  // switch loop; a full boot also pays launch + decode-miss costs — see
+  // DESIGN.md section 13).
+  const bool interp_nok_ok = rows[0].interp_speedup() >= 1.5;
+  const bool interp_kaslr_ok = rows[1].interp_speedup() >= 1.0;
+  std::printf(
+      "targets (block engine): full-boot throughput nokaslr %.2fx legacy (>=1.5x %s), "
+      "kaslr %.2fx legacy (>=1x %s)\n",
+      rows[0].interp_speedup(), interp_nok_ok ? "PASS" : "MISS", rows[1].interp_speedup(),
+      interp_kaslr_ok ? "PASS" : "MISS");
+  std::printf(
+      "decode-cache sharing (vs page sharing): nokaslr %.1f%% blocks shared / %.1f%% frames "
+      "shared; kaslr %.1f%% / %.1f%%; fgkaslr %.1f%% / %.1f%%\n",
+      rows[0].full.block_share_rate() * 100, (1 - rows[0].full.image_dirty_fraction()) * 100,
+      rows[1].full.block_share_rate() * 100, (1 - rows[1].full.image_dirty_fraction()) * 100,
+      rows[2].full.block_share_rate() * 100, (1 - rows[2].full.image_dirty_fraction()) * 100);
+
   const bool pool_speedup_ok = pooled_speedup >= 10.0;
   const bool pool_dirty_ok = pooled.image_dirty_fraction() <= 0.05;
   const bool pool_hit_ok = pooled.pool_hit_rate() >= 0.95;
@@ -254,6 +291,19 @@ int Run(int argc, char** argv) {
         "      \"boot_p50_ms\": %.3f,\n"
         "      \"boot_p99_ms\": %.3f,\n"
         "      \"full_boots_per_sec\": %.3f,\n"
+        "      \"full_boots_per_sec_legacy\": %.3f,\n"
+        "      \"interp_speedup\": %.3f,\n"
+        "      \"block_cache\": {\n"
+        "        \"hits\": %llu,\n"
+        "        \"misses\": %llu,\n"
+        "        \"invalidations\": %llu,\n"
+        "        \"blocks_shared\": %llu,\n"
+        "        \"blocks_private\": %llu,\n"
+        "        \"share_rate\": %.4f,\n"
+        "        \"shared_blocks_resident\": %llu,\n"
+        "        \"shared_block_hits\": %llu,\n"
+        "        \"shared_block_misses\": %llu\n"
+        "      },\n"
         "      \"image_bytes\": %llu,\n"
         "      \"image_frames\": %llu,\n"
         "      \"image_dirty_frames_mean\": %.1f,\n"
@@ -266,6 +316,15 @@ int Run(int argc, char** argv) {
         row.name, row.serial.boots_per_sec(), row.launch.boots_per_sec(), row.launch_speedup(),
         row.launch.boot_ms.percentile(50), row.full.boot_ms.percentile(50),
         row.full.boot_ms.percentile(99), row.full.boots_per_sec(),
+        row.full_legacy.boots_per_sec(), row.interp_speedup(),
+        static_cast<unsigned long long>(row.full.block_cache_hits),
+        static_cast<unsigned long long>(row.full.block_cache_misses),
+        static_cast<unsigned long long>(row.full.block_cache_invalidations),
+        static_cast<unsigned long long>(row.full.blocks_shared),
+        static_cast<unsigned long long>(row.full.blocks_private), row.full.block_share_rate(),
+        static_cast<unsigned long long>(row.full.shared_blocks_resident),
+        static_cast<unsigned long long>(row.full.shared_block_hits),
+        static_cast<unsigned long long>(row.full.shared_block_misses),
         static_cast<unsigned long long>(row.full.image_bytes),
         static_cast<unsigned long long>(row.full.image_frames),
         row.full.image_dirty_frames.mean(), row.full.image_shared_frames.mean(),

@@ -54,6 +54,42 @@ fgk = storm["modes"]["fgkaslr"]["image_dirty_fraction"]
 check("storm: dirty-density ordering nokaslr <= kaslr <= fgkaslr",
       nok <= kas + 1e-9 and kas <= fgk + 1e-9)
 
+# Block-engine ablation: thresholds are the measured-achievable ones (the
+# boot workload averages <3 guest insns per dispatch, bounding pure-hit
+# dispatch at ~2.7x the switch loop — DESIGN.md section 13).
+modes = storm["modes"]
+check("storm: block engine full-boot speedup nokaslr >= 1.5x legacy",
+      modes["nokaslr"]["interp_speedup"] >= 1.5)
+check("storm: block engine full-boot speedup kaslr >= 1.0x legacy",
+      modes["kaslr"]["interp_speedup"] >= 1.0)
+share = {m: modes[m]["block_cache"]["share_rate"]
+         for m in ("nokaslr", "kaslr", "fgkaslr")}
+check("storm: decode-share census ordering nokaslr >= kaslr >= fgkaslr",
+      share["nokaslr"] >= share["kaslr"] - 1e-9
+      and share["kaslr"] >= share["fgkaslr"] - 1e-9)
+check("storm: nokaslr shares >= 90% of decoded blocks",
+      share["nokaslr"] >= 0.9)
+check("storm: per-VM fgkaslr permutations share no decoded blocks",
+      share["fgkaslr"] == 0.0)
+check("storm: block sharing bounded by frame sharing in every mode",
+      all(share[m] <= (1.0 - modes[m]["image_dirty_fraction"]) + 1e-6
+          for m in share))
+
+with open(f"{root}/BENCH_interp.json") as f:
+    interp = json.load(f)
+check("interp: cold (first-boot) engine within 10% of legacy",
+      interp["cold_speedup"] >= 0.9)
+check("interp: warm (decode-shared) engine >= 1.4x legacy",
+      interp["warm_speedup"] >= 1.4)
+check("interp: warm lane actually adopted shared decodes",
+      interp["warm_block_cache"]["shared"] > 0
+      and interp["shared_tier"]["blocks"] > 0
+      and interp["shared_tier"]["tables"] >= 1
+      and interp["shared_tier"]["table_grabs"] >= 1)
+check("interp: dispatch stream identical across cold and warm lanes",
+      interp["warm_block_cache"]["hits"] == interp["cold_block_cache"]["hits"]
+      and interp["warm_block_cache"]["misses"] == interp["cold_block_cache"]["misses"])
+
 pooled = storm["modes"]["fgkaslr_pooled"]
 check("pooled: launch rate >= 10x the serial fgkaslr baseline",
       pooled["launch_speedup"] >= 10.0)

@@ -12,7 +12,8 @@
 # that must come back clean, seeded detector drills that must come back
 # caught, and the imk_lint raw-mutex/rank/fault-point source lint with a
 # negative fixture proving unregistered fault points still fail), bench
-# smokes (micro_parallel and storm_boot on tiny images), a regression guard
+# smokes (micro_parallel, storm_boot, and micro_interp on tiny images), a
+# regression guard
 # over the committed BENCH_*.json targets, and clang-tidy (skipped
 # gracefully when not installed). Nonzero exit on any failure.
 #
@@ -62,8 +63,12 @@ if [[ $skip_sanitizers -eq 0 ]]; then
   # LayoutPool joins the filter for the pooled-storm paths: concurrent grabs
   # racing the background refill executor, and pooled launches racing the
   # shared template cache.
+  # BlockCache joins the filter for the predecoded-block engine: the
+  # concurrent SharedBlockCache storm (first-wins Install racing Grab), the
+  # bit-identity suites, and the storm workers publishing decodes while
+  # racing CoW faults on the frames those decodes came from.
   run_suite "tsan" "$repo_root/build-tsan" \
-    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix|BootStorm|FrameStore|BootSupervisor|SupervisedStorm|FaultInjector|IngestFuzz|LayoutPool" \
+    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix|BootStorm|FrameStore|BootSupervisor|SupervisedStorm|FaultInjector|IngestFuzz|LayoutPool|BlockCache" \
     -DIMK_TSAN=ON
 
   # Fault drill: the supervisor suites again under ASan, by name, so a
@@ -72,7 +77,7 @@ if [[ $skip_sanitizers -eq 0 ]]; then
   echo "=== fault drill (asan: supervisor + fault injection + ingest fuzz) ==="
   if ! (cd "$repo_root/build-asan" &&
         ctest --output-on-failure -j "$(nproc)" \
-          -R "BootSupervisor|SupervisedStorm|FaultInjector|FaultPlan|IngestFuzz"); then
+          -R "BootSupervisor|SupervisedStorm|FaultInjector|FaultPlan|IngestFuzz|BlockCacheFault"); then
     echo "=== fault drill: FAILED ==="
     failures=$((failures + 1))
   fi
@@ -113,6 +118,15 @@ else
       --faults="loader.reloc:error" --fault-seed=3 --max-retries=1 --degrade=strict \
       >/dev/null 2>&1; then
     echo "=== fault drill: strict policy degraded (expected nonzero exit) ==="
+    failures=$((failures + 1))
+  fi
+  # Block-cache corrupt drill: every shared-tier grab is corrupted, so the
+  # engine must fall back to slow-path decodes on every block and still boot
+  # clean (the cache may degrade throughput, never correctness).
+  if ! "$repo_root/build/tools/imk_tool" boot --kernel="${drill_vmlinux[0]}" \
+      --relocs="${drill_relocs[0]}" --rando=fgkaslr --seed=7 \
+      --faults="interp.blockcache:corrupt:bytes=8" --fault-seed=3 >/dev/null; then
+    echo "=== fault drill: corrupt block-cache fallback boot FAILED ==="
     failures=$((failures + 1))
   fi
 fi
@@ -210,6 +224,13 @@ echo "=== bench smoke (storm_boot, tiny fleet) ==="
 if ! "$repo_root/build/bench/storm_boot" --scale=0.02 --vms=4 --threads=2 \
     --out="$repo_root/build/storm_smoke.json" >/dev/null; then
   echo "=== storm smoke: FAILED ==="
+  failures=$((failures + 1))
+fi
+
+echo "=== bench smoke (micro_interp, tiny image) ==="
+if ! "$repo_root/build/bench/micro_interp" --scale=0.02 --reps=2 --warmup=1 \
+    --out="$repo_root/build/interp_smoke.json" >/dev/null; then
+  echo "=== interp smoke: FAILED ==="
   failures=$((failures + 1))
 fi
 

@@ -26,3 +26,6 @@ run "$BUILD/bench/ablation_page_sharing" --scale=0.1
 run "$BUILD/bench/qemu_crosscheck" --reps=10
 run "$BUILD/bench/micro_codecs" --benchmark_min_time=0.2
 run "$BUILD/bench/micro_kaslr" --benchmark_min_time=0.2
+run "$BUILD/bench/micro_parallel" --scale=0.25
+run "$BUILD/bench/micro_interp" --scale=0.3 --reps=3 --warmup=1
+run "$BUILD/bench/storm_boot" --scale=1 --vms=16 --threads=4

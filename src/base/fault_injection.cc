@@ -174,6 +174,7 @@ const std::vector<std::string>& KnownFaultPoints() {
   // race.* are the drill triggers fired from boot_storm's audit path.
   static const std::vector<std::string>* points = new std::vector<std::string>{
       "frame_store.map_shared",
+      "interp.blockcache",
       "loader.choose",
       "loader.map_pristine",
       "loader.reloc",

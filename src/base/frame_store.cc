@@ -36,9 +36,13 @@ FrameStore::FrameStore(uint64_t size_bytes)
   owns_arena_ = true;
   read_ptrs_ = std::make_unique<std::atomic<const uint8_t*>[]>(frame_count_);
   states_ = std::make_unique<std::atomic<uint8_t>[]>(frame_count_);
+  versions_ = std::make_unique<std::atomic<uint32_t>[]>(frame_count_);
+  code_flags_ = std::make_unique<std::atomic<uint8_t>[]>(frame_count_);
   for (uint64_t f = 0; f < frame_count_; ++f) {
     read_ptrs_[f].store(arena_frame(f), std::memory_order_relaxed);
     states_[f].store(kStateZero, std::memory_order_relaxed);
+    versions_[f].store(0, std::memory_order_relaxed);
+    code_flags_[f].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -50,9 +54,13 @@ FrameStore::FrameStore(MutableByteSpan external)
   owns_arena_ = false;
   read_ptrs_ = std::make_unique<std::atomic<const uint8_t*>[]>(frame_count_);
   states_ = std::make_unique<std::atomic<uint8_t>[]>(frame_count_);
+  versions_ = std::make_unique<std::atomic<uint32_t>[]>(frame_count_);
+  code_flags_ = std::make_unique<std::atomic<uint8_t>[]>(frame_count_);
   for (uint64_t f = 0; f < frame_count_; ++f) {
     read_ptrs_[f].store(arena_frame(f), std::memory_order_relaxed);
     states_[f].store(kStateDirty, std::memory_order_relaxed);
+    versions_[f].store(0, std::memory_order_relaxed);
+    code_flags_[f].store(0, std::memory_order_relaxed);
   }
   dirty_frames_.store(frame_count_, std::memory_order_relaxed);
 }
@@ -108,6 +116,7 @@ Status FrameStore::MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const 
     }
     read_ptrs_[f].store(src.data() + i * kFrameBytes, std::memory_order_release);
     states_[f].store(kStateShared, std::memory_order_release);
+    BumpVersionIfCode(f);  // the frame's bytes just changed identity
   }
   // Sub-frame tail: too small to alias a whole frame, copy it.
   const uint64_t tail = src.size() - whole * kFrameBytes;
@@ -117,9 +126,24 @@ Status FrameStore::MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const 
   if (owner != nullptr) {
     std::lock_guard<race::Mutex> lock(owners_mutex_);
     IMK_RACE_SHARED_WRITE("frame_store.owners", this, 0, kFrameStoreOwners);
-    owners_.push_back(std::move(owner));
+    owners_.push_back({src.data(), src.data() + src.size(), std::move(owner)});
   }
   return OkStatus();
+}
+
+std::shared_ptr<const void> FrameStore::SharedOwner(uint64_t frame) const {
+  const uint8_t* src = SharedSource(frame);
+  if (src == nullptr) {
+    return nullptr;
+  }
+  std::lock_guard<race::Mutex> lock(owners_mutex_);
+  IMK_RACE_SHARED_READ("frame_store.owners", this, 0, kFrameStoreOwners);
+  for (const OwnerRecord& rec : owners_) {
+    if (src >= rec.begin && src < rec.end) {
+      return rec.owner;
+    }
+  }
+  return nullptr;
 }
 
 Result<uint8_t*> FrameStore::WritablePtr(uint64_t phys, uint64_t len) {
@@ -130,6 +154,9 @@ Result<uint8_t*> FrameStore::WritablePtr(uint64_t phys, uint64_t len) {
       if (!FrameDirty(f)) {
         FaultFrame(f);
       }
+      // The caller is about to write through the returned pointer: retire
+      // any decoded blocks over this frame (relocation fixups, SMC).
+      BumpVersionIfCode(f);
     }
   }
   return arena_ + phys;
@@ -199,6 +226,7 @@ Status FrameStore::Zero(uint64_t phys, uint64_t len) {
         FaultFrame(f);
       }
       std::memset(arena_ + cursor, 0, chunk);
+      BumpVersionIfCode(f);
     }
     cursor += chunk;
     remaining -= chunk;

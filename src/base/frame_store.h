@@ -83,12 +83,59 @@ class FrameStore {
   FrameState StateOf(uint64_t frame) const {
     return static_cast<FrameState>(states_[frame].load(std::memory_order_acquire));
   }
+  // Lock-free pointer to the frame's current kFrameBytes of content (arena
+  // slot for zero/dirty frames, the owner's bytes for shared frames). A
+  // shared->dirty CoW fault retargets it; callers caching the pointer (the
+  // interpreter's read TLB) must flush on that transition.
+  const uint8_t* FrameReadPtr(uint64_t frame) const {
+    return read_ptrs_[frame].load(std::memory_order_acquire);
+  }
   // For a shared frame: the immutable source bytes it aliases (template
   // identity for cross-VM sharing analysis). nullptr otherwise.
   const uint8_t* SharedSource(uint64_t frame) const {
     return StateOf(frame) == FrameState::kShared
                ? read_ptrs_[frame].load(std::memory_order_acquire)
                : nullptr;
+  }
+  // For a shared frame: the shared_ptr that pins the bytes SharedSource()
+  // points into (the MapShared `owner`). The shared block cache stores it
+  // in each published entry, so a template's addresses can never be freed
+  // and reused while decoded blocks keyed by them are resident — which is
+  // what makes the pointer-based cache key collision-free without any
+  // per-grab source re-hash. Null for non-shared frames and for mappings
+  // installed without an owner (whose caller pins the bytes itself).
+  std::shared_ptr<const void> SharedOwner(uint64_t frame) const;
+
+  // ---- decoded-code invalidation protocol (src/isa/block_cache.h) ----
+  //
+  // The block-cache engine decodes guest basic blocks once and re-executes
+  // the decoded form, so any write into a frame that holds decoded code
+  // (relocation fixups, self-modifying code) must invalidate those blocks.
+  // The store keeps a per-frame version counter: every mutation path
+  // (WritablePtr, Zero, MapShared) bumps the version of each covered frame
+  // that an execution engine flagged as code-bearing, and cached blocks
+  // record the versions they were decoded under — a mismatch at dispatch
+  // time retires the block. Unflagged frames skip the bump entirely, so the
+  // loader's write-heavy phases pay one relaxed load per frame per call.
+  uint32_t FrameVersion(uint64_t frame) const {
+    return versions_[frame].load(std::memory_order_relaxed);
+  }
+  // Flags `frame` as holding decoded code; writes into it bump its version
+  // from then on. Sticky for the store's lifetime (re-decoding after a
+  // version bump keeps the flag set).
+  void MarkCodeFrame(uint64_t frame) {
+    code_flags_[frame].store(1, std::memory_order_relaxed);
+  }
+  bool IsCodeFrame(uint64_t frame) const {
+    return code_flags_[frame].load(std::memory_order_relaxed) != 0;
+  }
+  // Write-path hook: bump the version iff the frame is code-flagged. Public
+  // so the interpreter's write TLB (which bypasses WritablePtr on hits) can
+  // keep the invalidation protocol honest per store.
+  void BumpVersionIfCode(uint64_t frame) {
+    if (IsCodeFrame(frame)) {
+      versions_[frame].fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   // Accounting. dirty = privately materialized, shared = template-aliased,
@@ -129,13 +176,27 @@ class FrameStore {
   std::unique_ptr<std::atomic<const uint8_t*>[]> read_ptrs_
       IMK_GUARDED_BY(kFrameStoreFaultShard);
   std::unique_ptr<std::atomic<uint8_t>[]> states_ IMK_GUARDED_BY(kFrameStoreFaultShard);
+  // Per-frame decode-invalidation state: version counters bumped on writes
+  // into code-flagged frames. Lock-free relaxed atomics: a VM's vCPU is
+  // single-threaded, and cross-thread writers (loader shards) only ever run
+  // before the guest does, so the counter needs atomicity, not ordering.
+  std::unique_ptr<std::atomic<uint32_t>[]> versions_;
+  std::unique_ptr<std::atomic<uint8_t>[]> code_flags_;
   std::atomic<uint64_t> dirty_frames_{0};
   std::atomic<uint64_t> shared_frames_{0};
   // Default-constructed unranked; the constructors declare every shard's
   // rank before the store is visible to any other thread.
   std::array<race::Mutex, kFaultShards> fault_shards_;
-  race::Mutex owners_mutex_{race::LockRank::kFrameStoreOwners};
-  std::vector<std::shared_ptr<const void>> owners_ IMK_GUARDED_BY(kFrameStoreOwners);
+  // One record per MapShared call (a handful per boot: the kernel image,
+  // maybe an initrd) — SharedOwner resolves a frame's source pointer to its
+  // pinning owner by linear scan over these spans.
+  struct OwnerRecord {
+    const uint8_t* begin;
+    const uint8_t* end;
+    std::shared_ptr<const void> owner;
+  };
+  mutable race::Mutex owners_mutex_{race::LockRank::kFrameStoreOwners};
+  std::vector<OwnerRecord> owners_ IMK_GUARDED_BY(kFrameStoreOwners);
 };
 
 }  // namespace imk

@@ -1,0 +1,232 @@
+#include "src/isa/block_cache.h"
+
+#include <mutex>
+#include <utility>
+
+#include "src/base/fault_injection.h"
+#include "src/race/tracker.h"
+
+namespace imk {
+
+std::shared_ptr<const DecodedBlock> SharedBlockCache::Grab(const uint8_t* src_frame,
+                                                           uint32_t offset) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  IMK_RACE_SHARED_WRITE("block_cache.map", this, 0, kBlockCache);
+  auto it = blocks_.find(Key(src_frame, offset));
+  if (it == blocks_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second.block;
+}
+
+std::shared_ptr<const DecodedBlock> SharedBlockCache::Install(
+    const uint8_t* src_frame, uint32_t offset, std::shared_ptr<const DecodedBlock> block,
+    std::shared_ptr<const void> owner, bool replace) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  IMK_RACE_SHARED_WRITE("block_cache.map", this, 0, kBlockCache);
+  auto [it, inserted] =
+      blocks_.try_emplace(Key(src_frame, offset), Entry{block, std::move(owner)});
+  if (!inserted && replace) {
+    ++stale_replaced_;
+    it->second.block = std::move(block);
+  }
+  return it->second.block;
+}
+
+std::shared_ptr<const SharedBlockCache::Table> SharedBlockCache::GrabTable(uint64_t layout_key) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  IMK_RACE_SHARED_WRITE("block_cache.map", this, 0, kBlockCache);
+  auto it = tables_.find(layout_key);
+  if (it == tables_.end()) {
+    return nullptr;
+  }
+  ++table_grabs_;
+  return it->second;
+}
+
+void SharedBlockCache::PublishTable(uint64_t layout_key, Table table) {
+  // Build the vaddr index once, donor-side, so every adopter resolves misses
+  // mutex-free. Last-wins on duplicate vaddrs (a block re-logged after an
+  // invalidation supersedes its earlier decode).
+  size_t cap = 64;
+  while (cap < table.entries.size() * 2) {
+    cap <<= 1;
+  }
+  table.index.assign(cap, Table::kEmptyIndex);
+  table.index_mask = static_cast<uint32_t>(cap - 1);
+  for (size_t e = 0; e < table.entries.size(); ++e) {
+    uint32_t i = static_cast<uint32_t>((table.entries[e].vaddr * 0x9e3779b97f4a7c15ull) >> 32) &
+                 table.index_mask;
+    while (table.index[i] != Table::kEmptyIndex &&
+           table.entries[table.index[i]].vaddr != table.entries[e].vaddr) {
+      i = (i + 1) & table.index_mask;
+    }
+    table.index[i] = static_cast<uint32_t>(e);
+  }
+  auto shared = std::make_shared<const Table>(std::move(table));
+  std::lock_guard<race::Mutex> lock(mutex_);
+  IMK_RACE_SHARED_WRITE("block_cache.map", this, 0, kBlockCache);
+  tables_.try_emplace(layout_key, std::move(shared));
+}
+
+SharedBlockCache::Stats SharedBlockCache::stats() const {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  IMK_RACE_SHARED_READ("block_cache.map", this, 0, kBlockCache);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.stale_replaced = stale_replaced_;
+  s.blocks = blocks_.size();
+  s.tables = tables_.size();
+  s.table_grabs = table_grabs_;
+  return s;
+}
+
+void BlockCache::AdoptTable(uint64_t layout_key) {
+  if (adopt_done_ || shared_ == nullptr || layout_key == 0) {
+    return;
+  }
+  adopt_done_ = true;
+  adopted_ = shared_->GrabTable(layout_key);
+  if (adopted_ == nullptr) {
+    // First boot of this layout: log shareable blocks for PublishTable().
+    log_enabled_ = true;
+    publish_key_ = layout_key;
+  }
+  // Adoption is lazy: LookupSlow() consults the bound table on each per-VM
+  // miss, so this VM validates (identity + digest) exactly the blocks it
+  // actually dispatches — never the whole table up front.
+}
+
+void BlockCache::PublishTable() {
+  if (!log_enabled_ || shared_ == nullptr) {
+    return;
+  }
+  log_enabled_ = false;
+  SharedBlockCache::Table table;
+  table.entries = std::move(publish_log_);
+  table.owners = std::move(log_owners_);
+  shared_->PublishTable(publish_key_, std::move(table));
+}
+
+const DecodedBlock* BlockCache::LookupSlow(uint64_t vaddr, uint64_t phys, uint64_t avail) {
+  Slot& slot = slots_[SlotIndex(vaddr)];
+  if (slot.block != nullptr && slot.vaddr == vaddr) {
+    // Find() bounced a resident binding: a write landed in a frame this
+    // block was decoded from. Retire it.
+    ++counters_.invalidations;
+    slot.block = nullptr;
+  }
+  ++counters_.misses;
+
+  const uint64_t frame = phys >> 12;
+  const uint32_t offset = static_cast<uint32_t>(phys & (FrameStore::kFrameBytes - 1));
+  // Versions are snapshotted before the bytes are read: the vCPU is the only
+  // writer into its own store while it runs, so the snapshot cannot go stale
+  // between here and the install below.
+  const uint32_t v0 = store_->FrameVersion(frame);
+
+  if (adopted_ != nullptr) {
+    const SharedBlockCache::TableEntry* e = adopted_->Find(vaddr);
+    // Template-identity guard: honor the binding only if this VM's frame
+    // still zero-copy-aliases the very bytes the donor decoded from. A frame
+    // this VM already dirtied (fault-injected loader, divergent writes)
+    // fails the compare and falls through to the normal slow path.
+    if (e != nullptr && e->frame == frame && store_->SharedSource(frame) == e->src) {
+      // Same once-per-acquisition integrity gate as a shared-tier grab: the
+      // uops must digest clean before the block can enter this VM's table.
+      uint64_t adigest = UopDigest(e->block->uops);
+      IMK_FAULT_CORRUPT("interp.blockcache", reinterpret_cast<uint8_t*>(&adigest),
+                        sizeof(adigest));
+      if (adigest == e->block->uop_digest) {
+        ++counters_.shared_grabs;
+        slot.vaddr = vaddr;
+        slot.frame0 = static_cast<uint32_t>(frame);
+        slot.v0 = v0;
+        slot.frame1 = static_cast<uint32_t>(frame);  // table entries end in-frame
+        slot.v1 = v0;
+        slot.block = e->block.get();  // pinned by adopted_, not pins_
+        store_->MarkCodeFrame(frame);
+        return slot.block;
+      }
+      // Corrupt adopted entry: fall through to the grab/decode path, which
+      // re-validates or decodes fresh.
+      ++counters_.invalidations;
+    }
+  }
+
+  std::shared_ptr<const DecodedBlock> block;
+  const uint8_t* shared_src = shared_ != nullptr ? store_->SharedSource(frame) : nullptr;
+  bool stale_entry = false;
+  if (shared_src != nullptr) {
+    block = shared_->Grab(shared_src, offset);
+    if (block != nullptr) {
+      // Grab-time integrity: the uop array must still digest clean (the
+      // fault point drills this comparison; the fallback is a fresh
+      // decode). No source re-hash is needed — the entry pins the template
+      // owner, so the key cannot alias recycled bytes.
+      uint64_t digest = UopDigest(block->uops);
+      IMK_FAULT_CORRUPT("interp.blockcache", reinterpret_cast<uint8_t*>(&digest),
+                        sizeof(digest));
+      if (digest != block->uop_digest) {
+        ++counters_.invalidations;
+        stale_entry = true;
+        block.reset();
+      }
+    }
+  }
+  if (block == nullptr) {
+    auto decoded = std::make_shared<DecodedBlock>(DecodeBlock(*store_, phys, avail, kMaxBlockUops));
+    if (decoded->uops.empty()) {
+      // First instruction straddles the fetch window: nothing cacheable.
+      empty_block_ = std::move(decoded);
+      return empty_block_.get();
+    }
+    if (shared_src != nullptr && decoded->ends_in_frame) {
+      block = shared_->Install(shared_src, offset, std::move(decoded),
+                               store_->SharedOwner(frame), stale_entry);
+    } else {
+      block = std::move(decoded);
+    }
+  }
+  if (shared_src != nullptr && block->ends_in_frame) {
+    ++counters_.shared_grabs;
+    if (log_enabled_) {
+      publish_log_.push_back(
+          {vaddr, static_cast<uint32_t>(frame), shared_src, block});
+      std::shared_ptr<const void> owner = store_->SharedOwner(frame);
+      bool pinned = false;
+      for (const auto& o : log_owners_) {
+        if (o == owner) {
+          pinned = true;
+          break;
+        }
+      }
+      if (!pinned) {
+        log_owners_.push_back(std::move(owner));
+      }
+    }
+  } else {
+    ++counters_.private_decodes;
+  }
+
+  slot.vaddr = vaddr;
+  slot.frame0 = static_cast<uint32_t>(frame);
+  slot.v0 = v0;
+  slot.frame1 = static_cast<uint32_t>(frame);
+  slot.v1 = v0;
+  if (!block->ends_in_frame) {
+    const uint64_t last_frame = (phys + block->byte_len - 1) >> 12;
+    slot.frame1 = static_cast<uint32_t>(last_frame);
+    slot.v1 = store_->FrameVersion(last_frame);
+    store_->MarkCodeFrame(last_frame);
+  }
+  store_->MarkCodeFrame(frame);
+  slot.block = block.get();
+  pins_.push_back(std::move(block));
+  return slot.block;
+}
+
+}  // namespace imk

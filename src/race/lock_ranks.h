@@ -38,6 +38,9 @@ enum class LockRank : uint32_t {
                           // cache, below the pool: refill scheduling holds it
                           // while submitting to the ThreadPool)
   kThreadPool = 50,       // ThreadPool job publication + wait channels
+  kBlockCache = 55,       // SharedBlockCache decoded-block map + counters
+                          // (leaf among the shared caches: lookups and
+                          // installs never take another lock while held)
 
   // ---- per-VM guest memory ----
   kFrameStoreFaultShard = 60,  // FrameStore CoW fault shards (64 siblings)
@@ -67,6 +70,8 @@ inline constexpr LockRankInfo kLockRankTable[] = {
     {LockRank::kLayoutPool, "layout-pool",
      "LayoutPool ready deque, sequence counter, refill bookkeeping, counters"},
     {LockRank::kThreadPool, "thread-pool", "ThreadPool job slot, generation, shutdown flag"},
+    {LockRank::kBlockCache, "block-cache",
+     "SharedBlockCache decoded-block map, hit/miss/stale counters"},
     {LockRank::kFrameStoreFaultShard, "frame-store-fault-shard",
      "FrameStore per-shard frame state + read-pointer transitions"},
     {LockRank::kFrameStoreOwners, "frame-store-owners", "FrameStore shared-mapping owner pins"},

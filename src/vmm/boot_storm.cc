@@ -26,6 +26,13 @@ struct BootSample {
   uint64_t resident_bytes = 0;
   uint64_t image_dirty_frames = 0;
   uint64_t image_shared_frames = 0;
+  // This VM's guest-run slice of the decode-cache counters (zero when the
+  // block engine is off or the lane is launch-only).
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t block_cache_invalidations = 0;
+  uint64_t blocks_shared = 0;
+  uint64_t blocks_private = 0;
   // False for a supervised VM that exhausted its attempts: the failure is
   // tallied in OutcomeTally and the sample excluded from the latency/density
   // summaries (a never-booted VM has no meaningful boot latency).
@@ -54,6 +61,14 @@ void CensusImageFrames(const FrameStore& frames, uint64_t phys_base, uint64_t im
         break;
     }
   }
+}
+
+void RecordGuestBlockCache(const ExecStats& guest, BootSample* sample) {
+  sample->block_cache_hits = guest.block_cache_hits;
+  sample->block_cache_misses = guest.block_cache_misses;
+  sample->block_cache_invalidations = guest.block_cache_invalidations;
+  sample->blocks_shared = guest.blocks_shared;
+  sample->blocks_private = guest.blocks_private;
 }
 
 }  // namespace
@@ -103,6 +118,15 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   std::optional<ThreadPool> refill_pool;
   std::unique_ptr<LayoutPool> layout_pool;
 
+  // Storm-wide decode cache: every VM's block engine grabs blocks decoded
+  // from shared template frames here instead of re-decoding them. Created
+  // before the warm-up wave — the warm cache IS the fleet steady state the
+  // measured window models, exactly like the template cache above.
+  std::unique_ptr<SharedBlockCache> shared_blocks;
+  if (options.use_block_cache && options.share_block_cache && !options.launch_only) {
+    shared_blocks = std::make_unique<SharedBlockCache>();
+  }
+
   const auto make_config = [&](uint64_t seed) {
     MicroVmConfig config;
     config.mem_size_bytes = options.mem_size_bytes;
@@ -115,6 +139,8 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     config.load_threads = options.load_threads;
     config.use_template_cache = options.use_template_cache;
     config.template_cache = &cache;
+    config.use_block_cache = options.use_block_cache;
+    config.shared_block_cache = shared_blocks.get();
     // Null during warm-up (the pool is built from the warmed cache); the
     // measured window shares one pool across every VM.
     config.layout_pool = layout_pool.get();
@@ -203,6 +229,7 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
       sample->layout.virt_slide = report.choice.virt_slide;
       sample->layout.phys_load_addr = report.choice.phys_load_addr;
       sample->layout.fg_digest = report.fg_digest;
+      RecordGuestBlockCache(report.guest_stats, sample);
       CensusImageFrames(vm.memory().frames(), report.choice.phys_load_addr,
                         report.mem.image_frames, sample);
       image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
@@ -261,6 +288,7 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
       sample->layout.virt_slide = report.choice.virt_slide;
       sample->layout.phys_load_addr = report.choice.phys_load_addr;
       sample->layout.fg_digest = report.fg_digest;
+      RecordGuestBlockCache(report.guest_stats, sample);
       CensusImageFrames(vm.memory().frames(), report.choice.phys_load_addr,
                         report.mem.image_frames, sample);
       image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
@@ -397,9 +425,20 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     if (pool_enabled) {
       sample.pool_hit ? ++stats.pool_hits : ++stats.pool_misses;
     }
+    stats.block_cache_hits += sample.block_cache_hits;
+    stats.block_cache_misses += sample.block_cache_misses;
+    stats.block_cache_invalidations += sample.block_cache_invalidations;
+    stats.blocks_shared += sample.blocks_shared;
+    stats.blocks_private += sample.blocks_private;
     if (options.keep_layouts) {
       stats.layouts.push_back(sample.layout);
     }
+  }
+  if (shared_blocks != nullptr) {
+    const SharedBlockCache::Stats shared_stats = shared_blocks->stats();
+    stats.shared_blocks_resident = shared_stats.blocks;
+    stats.shared_block_hits = shared_stats.hits;
+    stats.shared_block_misses = shared_stats.misses;
   }
   if (layout_pool != nullptr) {
     layout_pool->WaitIdle();

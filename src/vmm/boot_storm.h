@@ -70,6 +70,17 @@ struct StormOptions {
   // for the cross-VM uniqueness check (src/verify/layout_uniqueness.h).
   bool keep_layouts = false;
 
+  // ---- predecoded block engine ----
+  // false = every VM runs the legacy per-instruction interpreter (the
+  // decode-cache ablation baseline; `imk_tool storm --no-block-cache`).
+  bool use_block_cache = true;
+  // When the block engine is on, share one storm-wide SharedBlockCache
+  // across every VM: blocks decoded from shared (template-aliased) frames
+  // are decoded once per fleet instead of once per VM — the decode-cache
+  // analogue of CoW page sharing. false keeps each VM's decodes private
+  // (isolates the per-VM caching win from the cross-VM sharing win).
+  bool share_block_cache = true;
+
   // ---- supervision (fault tolerance) ----
   // When true, every (full-lane) boot runs through BootSupervisor: per-VM
   // failures are tallied instead of aborting the storm, the watchdog bounds
@@ -111,6 +122,26 @@ struct StormStats {
   double pool_hit_rate() const {
     const uint64_t grabs = pool_hits + pool_misses;
     return grabs == 0 ? 0.0 : static_cast<double>(pool_hits) / static_cast<double>(grabs);
+  }
+
+  // Decode-cache tallies (zero when the block engine is off or the storm is
+  // launch-only). The per-VM dispatch counters are summed over measured
+  // boots; the shared_* numbers are the storm-wide SharedBlockCache's view
+  // over the whole storm (warm-up included — the fleet steady state). Read
+  // next to image_dirty/shared_frames: blocks_shared vs blocks_private is
+  // the decode-cache analogue of the page-sharing census, and collapses the
+  // same way page sharing does as randomization gets finer-grained.
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t block_cache_invalidations = 0;
+  uint64_t blocks_shared = 0;   // per-VM block acquisitions via the shared tier
+  uint64_t blocks_private = 0;  // per-VM private decodes (dirty/zero frames)
+  uint64_t shared_blocks_resident = 0;  // distinct blocks in the shared cache
+  uint64_t shared_block_hits = 0;       // shared-tier grab hits, whole storm
+  uint64_t shared_block_misses = 0;
+  double block_share_rate() const {
+    const uint64_t total = blocks_shared + blocks_private;
+    return total == 0 ? 0.0 : static_cast<double>(blocks_shared) / static_cast<double>(total);
   }
 
   // Per booted VM (in VM-id order), when options.keep_layouts: input for

@@ -47,6 +47,22 @@ class BootTimeline {
   double total_ms() const { return static_cast<double>(total_ns()) / 1e6; }
   double phase_ms(BootPhase phase) const { return static_cast<double>(phase_ns(phase)) / 1e6; }
 
+  // Decode-cache counters of the boot's guest run (the block-cache engine,
+  // src/isa/block_cache.h; all zero under the legacy interpreter). Plain
+  // integers — not ExecStats — so the timeline stays ISA-independent.
+  // shared vs private is the decode-cache analogue of the frame-sharing
+  // census: blocks grabbed from / published to the storm-wide cache vs
+  // blocks decoded privately over dirty or zero frames.
+  struct BlockCacheRecord {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+    uint64_t blocks_shared = 0;
+    uint64_t blocks_private = 0;
+  };
+  void RecordBlockCache(const BlockCacheRecord& record) { block_cache_ = record; }
+  const BlockCacheRecord& block_cache() const { return block_cache_; }
+
   // Guest-written markers (port kPortTimestamp), as (marker id, host ns).
   void RecordMarker(uint64_t marker, uint64_t host_ns) {
     markers_.push_back({marker, host_ns});
@@ -59,6 +75,7 @@ class BootTimeline {
  private:
   std::array<uint64_t, kNumBootPhases> measured_{};
   std::array<uint64_t, kNumBootPhases> modeled_{};
+  BlockCacheRecord block_cache_;
   std::vector<std::pair<uint64_t, uint64_t>> markers_;
 };
 

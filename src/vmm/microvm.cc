@@ -185,6 +185,24 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
   direct_map_ = loaded.direct_map;
 
   vcpu_ = std::make_unique<Vcpu>(*memory_, loaded.kernel_map, loaded.direct_map);
+  vcpu_->set_block_cache(config_.use_block_cache);
+  vcpu_->set_shared_block_cache(config_.shared_block_cache);
+  if (config_.shared_block_cache != nullptr) {
+    // Layout identity for whole-table decode sharing: two boots with the
+    // same template object, slide, load address, and shuffle permutation
+    // translate every vaddr to identical template bytes, so one VM's decode
+    // table is directly adoptable by the other. The template pointer is the
+    // cache-held identity (stable while the cache pins it).
+    uint64_t key = 0x9e3779b97f4a7c15ull;
+    const auto mix = [&key](uint64_t v) {
+      key ^= v + 0x9e3779b97f4a7c15ull + (key << 6) + (key >> 2);
+    };
+    mix(reinterpret_cast<uint64_t>(tmpl.get()));
+    mix(loaded.choice.virt_slide);
+    mix(loaded.choice.phys_load_addr);
+    mix(loaded.fg.has_value() ? loaded.fg->map.PermutationDigest() : 0);
+    vcpu_->set_layout_key(key != 0 ? key : 1);
+  }
   if (icache_ != nullptr) {
     vcpu_->set_icache(icache_);
   }
@@ -240,6 +258,11 @@ Result<BootReport> MicroVm::BootDirect(BootReport& report) {
   report.init_checksum = outcome.init_checksum;
   report.guest_stats = outcome.run.stats;
   report.guest_stop = outcome.run.reason;
+  report.timeline.RecordBlockCache({outcome.run.stats.block_cache_hits,
+                                    outcome.run.stats.block_cache_misses,
+                                    outcome.run.stats.block_cache_invalidations,
+                                    outcome.run.stats.blocks_shared,
+                                    outcome.run.stats.blocks_private});
   report.console = std::move(outcome.console);
   for (const auto& marker : outcome.markers) {
     report.timeline.RecordMarker(marker.first, marker.second);
@@ -321,6 +344,8 @@ Result<BootReport> MicroVm::BootBzImage(BootReport& report) {
   direct_map_ = boot.direct_map;
 
   vcpu_ = std::make_unique<Vcpu>(*memory_, boot.kernel_map, boot.direct_map);
+  vcpu_->set_block_cache(config_.use_block_cache);
+  vcpu_->set_shared_block_cache(config_.shared_block_cache);
   if (icache_ != nullptr) {
     vcpu_->set_icache(icache_);
   }
@@ -345,6 +370,11 @@ Result<BootReport> MicroVm::BootBzImage(BootReport& report) {
   report.init_checksum = outcome.init_checksum;
   report.guest_stats = outcome.run.stats;
   report.guest_stop = outcome.run.reason;
+  report.timeline.RecordBlockCache({outcome.run.stats.block_cache_hits,
+                                    outcome.run.stats.block_cache_misses,
+                                    outcome.run.stats.block_cache_invalidations,
+                                    outcome.run.stats.blocks_shared,
+                                    outcome.run.stats.blocks_private});
   report.console = std::move(outcome.console);
   for (const auto& marker : outcome.markers) {
     report.timeline.RecordMarker(marker.first, marker.second);
@@ -376,6 +406,8 @@ Result<std::unique_ptr<MicroVm>> MicroVm::FromSnapshot(Storage& storage,
   vm->stack_top_ = snapshot.stack_top;
   vm->virt_slide_ = snapshot.virt_slide;
   vm->vcpu_ = std::make_unique<Vcpu>(*vm->memory_, snapshot.kernel_map, snapshot.direct_map);
+  vm->vcpu_->set_block_cache(config.use_block_cache);
+  vm->vcpu_->set_shared_block_cache(config.shared_block_cache);
   vm->booted_ = true;
   return vm;
 }

@@ -86,6 +86,16 @@ struct MicroVmConfig {
   uint32_t layout_pool_depth = 0;
   uint32_t layout_pool_refill_batch = 2;
 
+  // Predecoded basic-block execution engine (src/isa/block_cache.h). On by
+  // default; false runs the legacy per-instruction switch interpreter — the
+  // decode-ablation baseline, `imk_tool boot/storm --no-block-cache`.
+  // `shared_block_cache`, when set, is a storm-wide cross-VM cache of blocks
+  // decoded from shared (template-aliased) frames; the caller owns it and
+  // keeps it alive across every boot that uses it. nullptr keeps all decoded
+  // blocks VM-private. Architectural results are bit-identical either way.
+  bool use_block_cache = true;
+  SharedBlockCache* shared_block_cache = nullptr;
+
   // Boot watchdog wall-clock deadline, checked at monitor stage boundaries
   // and polled by the interpreter while the guest runs. The caller owns the
   // Deadline and keeps it alive across Boot(). nullptr = no watchdog. (The

@@ -39,6 +39,16 @@ class Vcpu {
   }
   void set_icache(IcacheModel* icache) { interpreter_.set_icache(icache); }
 
+  // Execution-engine selection (see Interpreter::set_block_cache): the
+  // predecoded block engine by default, the legacy switch loop when disabled.
+  void set_block_cache(bool enabled) { interpreter_.set_block_cache(enabled); }
+  void set_shared_block_cache(SharedBlockCache* cache) {
+    interpreter_.set_shared_block_cache(cache);
+  }
+  // Layout identity for whole-table decode sharing (see
+  // Interpreter::set_layout_key); 0 disables table adoption/publication.
+  void set_layout_key(uint64_t key) { interpreter_.set_layout_key(key); }
+
   // Wall-clock watchdog for guest execution (see Interpreter::set_deadline);
   // an expired deadline surfaces as a clean stop with StopReason::kDeadline.
   void set_deadline(const Deadline* deadline) { interpreter_.set_deadline(deadline); }

@@ -140,6 +140,73 @@ TEST_P(BootMatrixTest, BootsWithVerifiedChecksum) {
   }
 }
 
+// The block-cache engine must be architecturally invisible: every matrix
+// case boots twice — legacy switch loop vs predecoded blocks — and the two
+// runs must agree bit for bit on guest-visible outcome: init checksum,
+// console transcript, retired instruction count, stop reason, and the final
+// bytes of the kernel image window.
+TEST_P(BootMatrixTest, BlockCacheEngineIsBitIdentical) {
+  const MatrixCase& param = GetParam();
+  BuiltKernel& kernel = GetKernel(param.profile, param.rando);
+
+  MicroVmConfig config;
+  config.mem_size_bytes = kMem;
+  config.rando = param.rando;
+  config.seed = 1234;
+  switch (param.method) {
+    case Method::kDirect:
+    case Method::kDirectPvh:
+      config.kernel_image = "vmlinux";
+      config.boot_mode = BootMode::kDirect;
+      if (param.rando != RandoMode::kNone) {
+        config.relocs_image = "vmlinux.relocs";
+      }
+      config.protocol =
+          param.method == Method::kDirectPvh ? BootProtocol::kPvh : BootProtocol::kLinux64;
+      break;
+    case Method::kBzLz4:
+      config.kernel_image = "bz-lz4";
+      config.boot_mode = BootMode::kBzImage;
+      break;
+    case Method::kBzGzip:
+      config.kernel_image = "bz-gzip";
+      config.boot_mode = BootMode::kBzImage;
+      break;
+    case Method::kBzNone:
+      config.kernel_image = "bz-none";
+      config.boot_mode = BootMode::kBzImage;
+      break;
+    case Method::kBzNoneOptimized:
+      config.kernel_image = "bz-none-opt";
+      config.boot_mode = BootMode::kBzImage;
+      break;
+  }
+
+  config.use_block_cache = false;
+  MicroVm legacy_vm(kernel.storage, config);
+  auto legacy = legacy_vm.Boot();
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  auto legacy_region = legacy_vm.KernelRegion();
+  ASSERT_TRUE(legacy_region.ok());
+
+  config.use_block_cache = true;
+  MicroVm block_vm(kernel.storage, config);
+  auto block = block_vm.Boot();
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  auto block_region = block_vm.KernelRegion();
+  ASSERT_TRUE(block_region.ok());
+
+  EXPECT_EQ(legacy->init_done, block->init_done);
+  EXPECT_EQ(legacy->init_checksum, block->init_checksum);
+  EXPECT_EQ(legacy->console, block->console);
+  EXPECT_EQ(legacy->guest_stop, block->guest_stop);
+  EXPECT_EQ(legacy->guest_stats.instructions, block->guest_stats.instructions);
+  EXPECT_EQ(*legacy_region, *block_region);
+  // The engines tell the truth about which one ran.
+  EXPECT_EQ(legacy->guest_stats.block_cache_hits + legacy->guest_stats.block_cache_misses, 0u);
+  EXPECT_GT(block->guest_stats.block_cache_hits, 0u);
+}
+
 std::vector<MatrixCase> AllCases() {
   std::vector<MatrixCase> cases;
   for (KernelProfile profile :

@@ -10,7 +10,7 @@
 //   relocs   FILE
 //            Summarizes a vmlinux.relocs blob.
 //   boot     --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--mem=256]
-//            [--threads=N] [--no-template-cache]
+//            [--threads=N] [--no-template-cache] [--no-block-cache]
 //            [--layout-pool=N] [--pool-refill=N]
 //            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
@@ -32,7 +32,7 @@
 //            under supervision the ladder becomes pool-hit -> inline ->
 //            lower modes); --pool-refill sets the background batch size.
 //   storm    --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--vms=16]
-//            [--threads=4] [--mem=256] [--seed=N]
+//            [--threads=4] [--mem=256] [--seed=N] [--no-block-cache]
 //            [--layout-pool=N] [--pool-refill=N]
 //            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
@@ -46,6 +46,11 @@
 //            / failed, watchdog trips, and template-cache quarantines. With
 //            --layout-pool=N one shared pool of depth N serves every
 //            measured launch and the report adds pool hit/miss tallies.
+//            Guests run on the predecoded block engine with a storm-wide
+//            shared decode cache by default, and the report breaks blocks
+//            into shared vs privately decoded (the decode-cache analogue of
+//            the page-sharing census); --no-block-cache runs the legacy
+//            per-instruction interpreter instead (boot accepts it too).
 //   verify   --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--seed=N]
 //            [--mem=256] [--threads=N] [--json] [--corrupt=MODE]
 //            Randomizes the image in-monitor (no guest execution), then runs
@@ -65,9 +70,11 @@
 //            [--json] [--drill=order|lockset]
 //            Concurrency audit (DESIGN.md §11): builds a synthetic kernel
 //            in-process and runs an instrumented boot storm over kaslr,
-//            fgkaslr, and pooled-fgkaslr lanes (the last one exercises the
-//            LayoutPool's refill/grab concurrency under the lock-rank
-//            auditor), reporting rank inversions, lock-order cycles,
+//            fgkaslr, pooled-fgkaslr, and kaslr-blockcache lanes (the pooled
+//            lane exercises the LayoutPool's refill/grab concurrency, the
+//            blockcache lane the SharedBlockCache's cross-VM decode map,
+//            both under the lock-rank auditor), reporting rank inversions,
+//            lock-order cycles,
 //            unranked locks, and Eraser-style lockset violations. Exits 0
 //            on a clean report. Meaningful detection needs a build with
 //            -DIMK_RACE_AUDIT=ON (otherwise the wrappers are passthrough
@@ -417,6 +424,7 @@ int CmdBoot(const Args& args) {
   config.rando = ParseRando(args.Get("rando", "none"));
   config.load_threads = static_cast<uint32_t>(args.GetDouble("threads", 1));
   config.use_template_cache = args.Get("no-template-cache").empty();
+  config.use_block_cache = args.Get("no-block-cache").empty();
   config.layout_pool_depth = static_cast<uint32_t>(args.GetDouble("layout-pool", 0));
   config.layout_pool_refill_batch = static_cast<uint32_t>(args.GetDouble("pool-refill", 2));
   const std::string relocs_path = args.Get("relocs");
@@ -463,6 +471,15 @@ int CmdBoot(const Args& args) {
   std::printf("guest checksum 0x%llx over %llu instructions\n",
               static_cast<unsigned long long>(report->init_checksum),
               static_cast<unsigned long long>(report->guest_stats.instructions));
+  if (config.use_block_cache) {
+    std::printf("block cache: %llu hits / %llu misses / %llu invalidations, "
+                "%llu shared / %llu private blocks\n",
+                static_cast<unsigned long long>(report->guest_stats.block_cache_hits),
+                static_cast<unsigned long long>(report->guest_stats.block_cache_misses),
+                static_cast<unsigned long long>(report->guest_stats.block_cache_invalidations),
+                static_cast<unsigned long long>(report->guest_stats.blocks_shared),
+                static_cast<unsigned long long>(report->guest_stats.blocks_private));
+  }
   return FinishAudit(audit, json, 0);
 }
 
@@ -486,6 +503,7 @@ int CmdStorm(const Args& args) {
   options.threads = static_cast<uint32_t>(args.GetDouble("threads", 4));
   options.mem_size_bytes = static_cast<uint64_t>(args.GetDouble("mem", 256)) << 20;
   options.seed_base = static_cast<uint64_t>(args.GetDouble("seed", 1));
+  options.use_block_cache = args.Get("no-block-cache").empty();
   options.layout_pool_depth = static_cast<uint32_t>(args.GetDouble("layout-pool", 0));
   options.layout_pool_refill_batch = static_cast<uint32_t>(args.GetDouble("pool-refill", 2));
   if (WantsSupervision(args)) {
@@ -514,6 +532,18 @@ int CmdStorm(const Args& args) {
   std::printf("resident %.2f MiB per VM; template cache %llu hits / %llu misses\n",
               stats->resident_mb.mean(), static_cast<unsigned long long>(stats->cache_hits),
               static_cast<unsigned long long>(stats->cache_misses));
+  if (options.use_block_cache) {
+    std::printf(
+        "decode cache: %llu hits / %llu misses / %llu invalidations; blocks %llu shared / "
+        "%llu private (%.1f%% shared), %llu resident in the shared tier\n",
+        static_cast<unsigned long long>(stats->block_cache_hits),
+        static_cast<unsigned long long>(stats->block_cache_misses),
+        static_cast<unsigned long long>(stats->block_cache_invalidations),
+        static_cast<unsigned long long>(stats->blocks_shared),
+        static_cast<unsigned long long>(stats->blocks_private),
+        stats->block_share_rate() * 100,
+        static_cast<unsigned long long>(stats->shared_blocks_resident));
+  }
   if (options.layout_pool_depth > 0) {
     std::printf(
         "layout pool: %llu hits / %llu misses (%.1f%% hit rate), %llu rendered during the "
@@ -582,13 +612,18 @@ int CmdRaceCheck(const Args& args) {
     const char* name;
     imk::RandoMode mode;
     uint32_t pool_depth;  // 0 = no layout pool
+    bool block_cache;     // storm-wide shared decode cache on?
   };
   const Lane lanes[] = {
-      {"kaslr", imk::RandoMode::kKaslr, 0},
-      {"fgkaslr", imk::RandoMode::kFgKaslr, 0},
+      {"kaslr", imk::RandoMode::kKaslr, 0, false},
+      {"fgkaslr", imk::RandoMode::kFgKaslr, 0, false},
       // Pooled lane: background refill races measured grabs, so the
       // LayoutPool's kLayoutPool rank and guards get audited under load.
-      {"fgkaslr-pooled", imk::RandoMode::kFgKaslr, options.vms},
+      {"fgkaslr-pooled", imk::RandoMode::kFgKaslr, options.vms, false},
+      // Block-cache lane: every VM's block engine grabs from / installs
+      // into one SharedBlockCache, auditing the kBlockCache rank and the
+      // decode-map guards under storm concurrency.
+      {"kaslr-blockcache", imk::RandoMode::kKaslr, 0, true},
   };
   for (const Lane& lane : lanes) {
     auto info = imk::BuildKernel(
@@ -599,6 +634,8 @@ int CmdRaceCheck(const Args& args) {
     Bytes relocs_blob = imk::SerializeRelocs(info->relocs);
     options.rando = lane.mode;
     options.layout_pool_depth = lane.pool_depth;
+    options.use_block_cache = lane.block_cache;
+    options.share_block_cache = lane.block_cache;
     imk::race::AuditScope audit;
     auto stats = imk::RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
     const imk::race::RaceReport& report = audit.Finish();
@@ -612,6 +649,11 @@ int CmdRaceCheck(const Args& args) {
       std::printf(", pool %llu hits / %llu misses",
                   static_cast<unsigned long long>(stats->pool_hits),
                   static_cast<unsigned long long>(stats->pool_misses));
+    }
+    if (lane.block_cache) {
+      std::printf(", decode cache %llu shared grabs / %llu resident",
+                  static_cast<unsigned long long>(stats->shared_block_hits),
+                  static_cast<unsigned long long>(stats->shared_blocks_resident));
     }
     std::printf("\n%s\n", json ? report.ToJson().c_str() : report.ToString().c_str());
     all_clean = all_clean && report.clean();
