@@ -32,6 +32,14 @@
 // committed FaultPlan through the boot supervisor and records what fleet
 // recovery costs: per-outcome tallies and the throughput overhead vs the
 // fault-free full storm.
+// A sixth lane, storm_churn, is the long-running-host drill: every VM slot
+// is launched-and-halted kChurnCycles times against the same shared caches
+// under a fleet MemGovernor whose budget is sized to pressure (soft
+// watermark below the concurrent working set), recording per-category
+// peak/steady resident bytes, the reclamation the ladder performed, and —
+// after the storm — a forced ReclaimAll drill that evicts the template
+// cache and proves a same-seed re-boot rebuilds a bit-identical kernel
+// region through the single-flight miss path.
 #include <cstring>
 #include <string>
 #include <thread>
@@ -229,6 +237,110 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(tally.faults_injected), faulted_bps, clean_bps,
       recovery_overhead_pct);
 
+  // ---- storm_churn lane: N slots x K launch/halt cycles, governed. The
+  // budget provisions the lane's CONFIGURED working set — the concurrent
+  // guest frames, the depth-`vms` ahead-of-time pool (a rendered layout
+  // holds a full image copy), and a few image-sized shared tiers
+  // (templates, published decode tables) — with headroom, because
+  // admission is a gate, not a reservation. What the governor must then
+  // prevent is growth BEYOND the provisioned set: every churned fgkaslr
+  // launch publishes a unique decode table, which ungoverned would dwarf
+  // this budget over vms*cycles launches. The soft watermark at 50% sits
+  // below the steady working set, so the ladder runs throughout. The
+  // cache and governor are external to the storm so the post-storm
+  // reclamation drill can operate on them.
+  const uint32_t kChurnCycles = 8;
+  const uint64_t churn_per_vm_bytes = static_cast<uint64_t>(
+      rows[2].full.resident_mb.mean() * 1024.0 * 1024.0);
+  const uint64_t churn_image_bytes = rows[2].full.image_bytes;
+  const uint64_t churn_budget =
+      churn_per_vm_bytes * threads * 3 / 2 +
+      churn_image_bytes * (vms + 8) * 5 / 4 + (64ull << 20);
+  MemGovernorOptions churn_gov_opts;
+  churn_gov_opts.budget_bytes = churn_budget;
+  churn_gov_opts.soft_pct = 0.5;
+  MemGovernor churn_governor(churn_gov_opts);
+  ImageTemplateCache churn_cache;
+  StormStats churn;
+  {
+    StormOptions churn_opts;
+    churn_opts.vms = vms;
+    churn_opts.threads = threads;
+    churn_opts.rando = RandoMode::kFgKaslr;
+    churn_opts.expected_checksum = fg_checksum;
+    churn_opts.cache = &churn_cache;
+    churn_opts.layout_pool_depth = vms;
+    churn_opts.churn_cycles = kChurnCycles;
+    churn_opts.governor = &churn_governor;
+    churn = bench::CheckOk(RunBootStorm(ByteSpan(fg_vmlinux), ByteSpan(fg_relocs), churn_opts),
+                           "churn storm");
+  }
+  const MemGovernor::Stats churn_mem =
+      churn.mem.has_value() ? *churn.mem : churn_governor.stats();
+  // Post-storm reclamation drill: boot once, force every tier dry, boot the
+  // SAME seed again through the single-flight template rebuild, and demand
+  // the randomized kernel region comes back bit-identical.
+  uint64_t drill_evictions = 0;
+  uint64_t drill_shed_bytes = 0;
+  bool rebuild_identical = false;
+  {
+    Storage drill_storage;
+    drill_storage.Put("vmlinux", fg_vmlinux);
+    drill_storage.Put("vmlinux.relocs", fg_relocs);
+    MicroVmConfig drill_config;
+    drill_config.kernel_image = "vmlinux";
+    drill_config.relocs_image = "vmlinux.relocs";
+    drill_config.rando = RandoMode::kFgKaslr;
+    drill_config.seed = 4242;
+    drill_config.template_cache = &churn_cache;
+    drill_config.mem_governor = &churn_governor;
+    Bytes region_before;
+    uint64_t checksum_before = 0;
+    {
+      MicroVm vm(drill_storage, drill_config);
+      BootReport report = bench::CheckOk(vm.Boot(), "churn drill boot");
+      checksum_before = report.init_checksum;
+      region_before = bench::CheckOk(vm.KernelRegion(), "churn drill region");
+    }
+    const uint64_t evictions_before = churn_cache.reclaim_evictions();
+    churn_governor.RegisterReclaimable(&churn_cache, /*priority=*/2);
+    drill_shed_bytes = churn_governor.ReclaimAll();
+    churn_governor.UnregisterReclaimable(&churn_cache);
+    drill_evictions = churn_cache.reclaim_evictions() - evictions_before;
+    Bytes region_after;
+    uint64_t checksum_after = 0;
+    {
+      MicroVm vm(drill_storage, drill_config);
+      BootReport report = bench::CheckOk(vm.Boot(), "churn drill re-boot");
+      checksum_after = report.init_checksum;
+      region_after = bench::CheckOk(vm.KernelRegion(), "churn drill re-region");
+    }
+    rebuild_identical = region_before == region_after && checksum_before == checksum_after &&
+                        checksum_before == fg_checksum;
+  }
+  const bool churn_peak_ok = churn_mem.high_water_total_bytes <= churn_mem.hard_watermark_bytes;
+  const bool churn_shed_ok = churn_mem.tier_sheds > 0;
+  std::printf(
+      "\nstorm_churn (fgkaslr, %u slots x %u cycles = %u launches, budget %.0f MiB soft %.0f):\n"
+      "  %.1f boots/s; peak resident %.1f MiB (steady %.1f); "
+      "%u rejected-mem launches, %llu admit waits\n"
+      "  reclaim: %llu ladder runs shed %.1f MiB over %llu tiers "
+      "(pool layouts flushed: %llu; decode retire + template evict in tiers)\n"
+      "  drill: ReclaimAll shed %.1f MiB, %llu template evictions; "
+      "same-seed re-boot bit-identical: %s\n",
+      vms, kChurnCycles, churn.launches, static_cast<double>(churn_budget) / (1 << 20),
+      static_cast<double>(churn_mem.soft_watermark_bytes) / (1 << 20), churn.boots_per_sec(),
+      static_cast<double>(churn_mem.high_water_total_bytes) / (1 << 20),
+      static_cast<double>(churn_mem.current_total_bytes) / (1 << 20),
+      churn.outcomes.rejected_mem,
+      static_cast<unsigned long long>(churn_mem.admit_waits),
+      static_cast<unsigned long long>(churn_mem.reclaim_runs),
+      static_cast<double>(churn_mem.reclaimed_bytes) / (1 << 20),
+      static_cast<unsigned long long>(churn_mem.tier_sheds),
+      static_cast<unsigned long long>(churn.pool_shed),
+      static_cast<double>(drill_shed_bytes) / (1 << 20),
+      static_cast<unsigned long long>(drill_evictions), rebuild_identical ? "YES" : "NO");
+
   const double kaslr_dirty = rows[1].full.image_dirty_fraction();
   const bool dirty_ok = kaslr_dirty <= 0.5;
   const bool speedup_ok = rows[1].launch_speedup() >= 2.0;
@@ -264,6 +376,11 @@ int Run(int argc, char** argv) {
       "dirty image %.2f%% (<=5%% %s), pool hit rate %.2f (>=0.95 %s)\n",
       pooled_speedup, pool_speedup_ok ? "PASS" : "MISS", pooled.image_dirty_fraction() * 100,
       pool_dirty_ok ? "PASS" : "MISS", pooled.pool_hit_rate(), pool_hit_ok ? "PASS" : "MISS");
+  std::printf(
+      "targets (storm_churn): peak resident within hard watermark (%s), "
+      "ladder shed >=1 tier (%s), post-reclaim rebuild bit-identical (%s)\n",
+      churn_peak_ok ? "PASS" : "MISS", churn_shed_ok ? "PASS" : "MISS",
+      rebuild_identical ? "PASS" : "MISS");
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -360,7 +477,62 @@ int Run(int argc, char** argv) {
   std::fprintf(
       out,
       "  },\n"
-      "  \"faults\": {\n"
+      "  \"churn\": {\n"
+      "    \"vms\": %u,\n"
+      "    \"cycles\": %u,\n"
+      "    \"launches\": %u,\n"
+      "    \"boots_per_sec\": %.3f,\n"
+      "    \"budget_bytes\": %llu,\n"
+      "    \"soft_watermark_bytes\": %llu,\n"
+      "    \"hard_watermark_bytes\": %llu,\n"
+      "    \"peak_resident_bytes\": %llu,\n"
+      "    \"steady_resident_bytes\": %llu,\n"
+      "    \"peak_guest_frames_bytes\": %llu,\n"
+      "    \"peak_template_images_bytes\": %llu,\n"
+      "    \"peak_layout_renders_bytes\": %llu,\n"
+      "    \"peak_decode_tables_bytes\": %llu,\n"
+      "    \"reclaim_runs\": %llu,\n"
+      "    \"reclaimed_bytes\": %llu,\n"
+      "    \"tier_sheds\": %llu,\n"
+      "    \"pool_shed\": %llu,\n"
+      "    \"admits\": %llu,\n"
+      "    \"admit_waits\": %llu,\n"
+      "    \"admit_rejects\": %llu,\n"
+      "    \"rejected_mem_launches\": %u,\n"
+      "    \"drill_reclaimall_bytes\": %llu,\n"
+      "    \"drill_template_evictions\": %llu,\n"
+      "    \"peak_within_hard\": %s,\n"
+      "    \"rebuild_identical\": %s\n"
+      "  },\n"
+      "  \"faults\": {\n",
+      vms, kChurnCycles, churn.launches, churn.boots_per_sec(),
+      static_cast<unsigned long long>(churn_mem.budget_bytes),
+      static_cast<unsigned long long>(churn_mem.soft_watermark_bytes),
+      static_cast<unsigned long long>(churn_mem.hard_watermark_bytes),
+      static_cast<unsigned long long>(churn_mem.high_water_total_bytes),
+      static_cast<unsigned long long>(churn_mem.current_total_bytes),
+      static_cast<unsigned long long>(
+          churn_mem.categories[static_cast<size_t>(MemCategory::kGuestFrames)].high_water_bytes),
+      static_cast<unsigned long long>(
+          churn_mem.categories[static_cast<size_t>(MemCategory::kTemplateImages)]
+              .high_water_bytes),
+      static_cast<unsigned long long>(
+          churn_mem.categories[static_cast<size_t>(MemCategory::kLayoutRenders)]
+              .high_water_bytes),
+      static_cast<unsigned long long>(
+          churn_mem.categories[static_cast<size_t>(MemCategory::kDecodeTables)].high_water_bytes),
+      static_cast<unsigned long long>(churn_mem.reclaim_runs),
+      static_cast<unsigned long long>(churn_mem.reclaimed_bytes),
+      static_cast<unsigned long long>(churn_mem.tier_sheds),
+      static_cast<unsigned long long>(churn.pool_shed),
+      static_cast<unsigned long long>(churn_mem.admits),
+      static_cast<unsigned long long>(churn_mem.admit_waits),
+      static_cast<unsigned long long>(churn_mem.admit_rejects), churn.outcomes.rejected_mem,
+      static_cast<unsigned long long>(drill_shed_bytes),
+      static_cast<unsigned long long>(drill_evictions), churn_peak_ok ? "true" : "false",
+      rebuild_identical ? "true" : "false");
+  std::fprintf(
+      out,
       "    \"spec\": \"%s\",\n"
       "    \"fault_seed\": %llu,\n"
       "    \"vms\": %u,\n"

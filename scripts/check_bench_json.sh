@@ -117,6 +117,22 @@ check("storm_faults: recovery needed retries (the drill is not vacuous)",
 check("storm_faults: recovery overhead <= 30% of clean full-storm throughput",
       faults["recovery_overhead_pct"] <= 30.0)
 
+churn = storm["churn"]
+check("storm_churn: churn covers the fleet (>= 16 VMs x >= 8 cycles)",
+      churn["vms"] >= 16 and churn["cycles"] >= 8
+      and churn["launches"] == churn["vms"] * churn["cycles"])
+check("storm_churn: peak resident bytes within the hard watermark",
+      churn["peak_within_hard"] is True
+      and churn["peak_resident_bytes"] <= churn["hard_watermark_bytes"])
+check("storm_churn: reclamation ladder shed at least one tier",
+      churn["tier_sheds"] > 0 and churn["reclaimed_bytes"] > 0)
+check("storm_churn: ReclaimAll drill evicted the warm template",
+      churn["drill_template_evictions"] > 0)
+check("storm_churn: post-reclaim re-boot is bit-identical",
+      churn["rebuild_identical"] is True)
+check("storm_churn: every launch admitted or accounted rejected",
+      churn["admits"] + churn["rejected_mem_launches"] >= churn["launches"])
+
 if failures:
     print(f"check_bench_json: {len(failures)} target(s) regressed")
     sys.exit(1)

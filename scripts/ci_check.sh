@@ -11,9 +11,12 @@
 # suites, an instrumented storm audit — including the fgkaslr-pooled lane —
 # that must come back clean, seeded detector drills that must come back
 # caught, and the imk_lint raw-mutex/rank/fault-point source lint with a
-# negative fixture proving unregistered fault points still fail), bench
-# smokes (micro_parallel, storm_boot, and micro_interp on tiny images), a
-# regression guard
+# negative fixture proving unregistered fault points still fail), a soak
+# smoke (a governed churn storm under a deliberately tight memory budget —
+# the reclamation ladder must shed, hard-watermark rejections must be
+# accounted, and the frees run leak/UAF-checked under ASan when available),
+# bench smokes (micro_parallel, storm_boot, and micro_interp on tiny
+# images), a regression guard
 # over the committed BENCH_*.json targets, and clang-tidy (skipped
 # gracefully when not installed). Nonzero exit on any failure.
 #
@@ -164,6 +167,46 @@ if ! "$repo_root/build/tools/imk_tool" verify --uniqueness --vms=8 >/dev/null; t
   failures=$((failures + 1))
 fi
 
+# Soak smoke: long-running-fleet memory governance through the tool surface.
+# A churn storm (launch/halt cycles against the same shared caches) under a
+# tight byte budget must trigger the reclamation ladder and still exit clean;
+# an absurdly tight budget must turn launches away at the hard watermark with
+# every rejection accounted in the outcome tallies. ASan (when built) checks
+# that reclamation's frees are neither leaks nor use-after-free.
+echo "=== soak smoke (governed churn storm + backpressure drill) ==="
+soak_tool="$repo_root/build/tools/imk_tool"
+[[ $skip_sanitizers -eq 0 && -x "$repo_root/build-asan/tools/imk_tool" ]] &&
+  soak_tool="$repo_root/build-asan/tools/imk_tool"
+soak_dir="$(mktemp -d)"
+if ! "$soak_tool" build --out="$soak_dir" --rando=fgkaslr --scale=0.02 >/dev/null; then
+  echo "=== soak smoke: kernel build FAILED ==="
+  failures=$((failures + 1))
+else
+  soak_vmlinux=("$soak_dir"/*.vmlinux)
+  soak_relocs=("$soak_dir"/*.relocs)
+  soak_out="$("$soak_tool" storm --kernel="${soak_vmlinux[0]}" \
+      --relocs="${soak_relocs[0]}" --rando=fgkaslr --vms=8 --threads=2 \
+      --churn=3 --mem-budget=64 --mem-soft-pct=0.5)"
+  if [[ $? -ne 0 ]]; then
+    echo "=== soak smoke: governed churn storm FAILED ==="
+    failures=$((failures + 1))
+  elif ! grep -qE 'reclaim: [1-9][0-9]* runs' <<< "$soak_out"; then
+    echo "=== soak smoke: ladder never shed under a tight budget ==="
+    failures=$((failures + 1))
+  fi
+  soak_out="$("$soak_tool" storm --kernel="${soak_vmlinux[0]}" \
+      --relocs="${soak_relocs[0]}" --rando=fgkaslr --vms=4 --threads=2 \
+      --churn=2 --mem-budget=1 --admit-wait-ms=1)"
+  if [[ $? -ne 0 ]]; then
+    echo "=== soak smoke: backpressure storm FAILED (rejections must not be fatal) ==="
+    failures=$((failures + 1))
+  elif ! grep -qE ' [1-9][0-9]* rejected-mem' <<< "$soak_out"; then
+    echo "=== soak smoke: hard watermark never rejected a launch ==="
+    failures=$((failures + 1))
+  fi
+fi
+rm -rf "$soak_dir"
+
 # Race drill: build with the instrumented lock wrappers and run the imkrace
 # suites (the IMK_RACE_AUDIT-gated tests skip in every other build), then
 # exercise the tool surface both ways — a real concurrent storm must audit
@@ -173,8 +216,10 @@ run_suite "race-drill" "$repo_root/build-race" \
   "LockRank|RaceReport|RaceDetector|FaultRegistry|RaceMutex|RaceStormDrill|RaceAuditClean" \
   -DIMK_RACE_AUDIT=ON
 echo "=== race drill (imk_tool racecheck: storm audit + seeded drills) ==="
-# racecheck runs three storm lanes (kaslr, fgkaslr, fgkaslr-pooled): the
-# pooled lane audits TryGrab racing the background refill executor under the
+# racecheck's storm lanes include the pooled lane (TryGrab racing the
+# background refill executor) and the governed churn lane (launch/halt cycles
+# under a tight budget, auditing the kMemGovernor rank: admission and the
+# reclamation ladder taking cache locks strictly upward), all under the
 # instrumented lock wrappers.
 if ! "$repo_root/build-race/tools/imk_tool" racecheck >/dev/null; then
   echo "=== race drill: instrumented storm audit NOT CLEAN ==="

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the full benchmark suite (all figure/table reproductions, ablations,
 # and google-benchmark microbenches) with the default settings used for
-# EXPERIMENTS.md. Usage: scripts/run_all_benches.sh [build-dir]
+# EXPERIMENTS.md. Fails fast: the first lane that exits nonzero aborts the
+# run — a half-recorded suite must never look like a finished one.
+# Usage: scripts/run_all_benches.sh [build-dir]
 set -u
 BUILD="${1:-build}"
 
@@ -10,7 +12,12 @@ run() {
   echo "================================================================================"
   echo "\$ $*"
   echo "================================================================================"
-  "$@"
+  local status=0
+  "$@" || status=$?
+  if [[ $status -ne 0 ]]; then
+    echo "run_all_benches: '$*' FAILED (exit $status)" >&2
+    exit 1
+  fi
 }
 
 run "$BUILD/bench/table1_kernel_sizes"

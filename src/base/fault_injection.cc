@@ -178,6 +178,9 @@ const std::vector<std::string>& KnownFaultPoints() {
       "loader.choose",
       "loader.map_pristine",
       "loader.reloc",
+      "mem.pressure_hard",
+      "mem.pressure_soft",
+      "mem.reclaim",
       "pool.refill",
       "pool.render",
       "race.lockset_drill",

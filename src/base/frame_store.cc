@@ -66,6 +66,12 @@ FrameStore::FrameStore(MutableByteSpan external)
 }
 
 FrameStore::~FrameStore() {
+  if (accountant_ != nullptr) {
+    const uint64_t resident = dirty_bytes();
+    if (resident != 0) {
+      accountant_->Release(resident);
+    }
+  }
   if (owns_arena_) {
     std::free(arena_);
   }
@@ -88,6 +94,9 @@ void FrameStore::FaultFrame(uint64_t frame) {
   read_ptrs_[frame].store(slot, std::memory_order_release);
   dirty_frames_.fetch_add(1, std::memory_order_relaxed);
   states_[frame].store(kStateDirty, std::memory_order_release);
+  if (accountant_ != nullptr) {
+    accountant_->Charge(kFrameBytes);
+  }
 }
 
 Status FrameStore::MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const void> owner) {
@@ -110,6 +119,9 @@ Status FrameStore::MapShared(uint64_t phys, ByteSpan src, std::shared_ptr<const 
     const uint8_t state = states_[f].load(std::memory_order_acquire);
     if (state == kStateDirty) {
       dirty_frames_.fetch_sub(1, std::memory_order_relaxed);
+      if (accountant_ != nullptr) {
+        accountant_->Release(kFrameBytes);
+      }
     }
     if (state != kStateShared) {
       shared_frames_.fetch_add(1, std::memory_order_relaxed);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/base/mem_accounting.h"
 #include "src/base/result.h"
 #include "src/race/annotations.h"
 #include "src/race/mutex.h"
@@ -138,6 +139,23 @@ class FrameStore {
     }
   }
 
+  // External byte accounting (the fleet memory governor's guest-frames
+  // category): every dirty-frame materialization charges kFrameBytes, every
+  // dirty->shared revert and the destructor release what they un-dirty.
+  // Attach before the store is visible to other threads (the MicroVm ctor
+  // does); attaching charges the current dirty residency so a store that
+  // pre-dirtied frames (the flat adapter) is accounted from the start.
+  void set_accountant(std::shared_ptr<ByteAccountant> accountant) {
+    const uint64_t resident = dirty_bytes();
+    if (accountant_ != nullptr && resident != 0) {
+      accountant_->Release(resident);
+    }
+    accountant_ = std::move(accountant);
+    if (accountant_ != nullptr && resident != 0) {
+      accountant_->Charge(resident);
+    }
+  }
+
   // Accounting. dirty = privately materialized, shared = template-aliased,
   // zero = untouched. dirty + shared + zero == frame_count.
   uint64_t dirty_frames() const { return dirty_frames_.load(std::memory_order_relaxed); }
@@ -184,6 +202,7 @@ class FrameStore {
   std::unique_ptr<std::atomic<uint8_t>[]> code_flags_;
   std::atomic<uint64_t> dirty_frames_{0};
   std::atomic<uint64_t> shared_frames_{0};
+  std::shared_ptr<ByteAccountant> accountant_;  // null = unaccounted
   // Default-constructed unranked; the constructors declare every shard's
   // rank before the store is visible to any other thread.
   std::array<race::Mutex, kFaultShards> fault_shards_;

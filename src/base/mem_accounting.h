@@ -1,0 +1,103 @@
+// Byte-accounting and reclamation interfaces the fleet memory governor
+// (src/vmm/mem_governor.h) wires through the cache layers.
+//
+// They live in base so the stores below the vmm layer (FrameStore, the
+// shared decode cache) can participate without depending on the governor:
+// a store charges bytes against a ByteAccountant it was handed and never
+// learns who is counting. All three contracts are deliberately tiny:
+//
+//   - ByteAccountant: Charge/Release a byte delta. Implementations must be
+//     lock-free (atomics only) because callers invoke them while holding
+//     their own cache locks — the governor's accounting side is exactly
+//     that, which is what lets its mutex rank BELOW every cache lock (the
+//     ladder calls into caches, never the reverse).
+//   - Reclaimable: a pressure-tiered shedding hook. ReclaimMemory is called
+//     with the governor mutex held, so implementations may take their own
+//     (higher-ranked) locks but must never call back into the governor's
+//     locked surface. OnMemoryPressure brackets a pressure epoch: caches
+//     use it to stop optional background growth (pool refill) while shed.
+//   - ScopedMemCharge: RAII charge that travels with the object it accounts
+//     (a template's pristine image, a rendered layout). The release fires
+//     when the LAST reference drops, so evicting a cache entry that a boot
+//     still pins does not pretend the bytes are gone — accounted usage
+//     tracks real residency, and the ladder simply moves to the next tier.
+#ifndef IMKASLR_SRC_BASE_MEM_ACCOUNTING_H_
+#define IMKASLR_SRC_BASE_MEM_ACCOUNTING_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace imk {
+
+class ByteAccountant {
+ public:
+  virtual ~ByteAccountant() = default;
+  virtual void Charge(uint64_t bytes) = 0;
+  virtual void Release(uint64_t bytes) = 0;
+};
+
+class Reclaimable {
+ public:
+  virtual ~Reclaimable() = default;
+  // Shed up to `want_bytes` of this tier's optional state; returns the bytes
+  // this tier stopped referencing (actual release may lag while other
+  // holders still pin them). Best-effort: returning less (or 0) is fine.
+  virtual uint64_t ReclaimMemory(uint64_t want_bytes) = 0;
+  // Pressure-epoch bracket: true when the ladder starts shedding, false once
+  // accounted usage is back under the soft watermark. Default: ignore.
+  virtual void OnMemoryPressure(bool under_pressure) { (void)under_pressure; }
+  // Stable tier name for reports and bench JSON.
+  virtual const char* reclaim_name() const = 0;
+};
+
+// Move-only RAII charge. The shared_ptr keeps the accountant adapter alive
+// with the charge, so a charge outliving its governor releases into a
+// detached (no-op) adapter instead of freed memory.
+class ScopedMemCharge {
+ public:
+  ScopedMemCharge() = default;
+  ScopedMemCharge(std::shared_ptr<ByteAccountant> accountant, uint64_t bytes)
+      : accountant_(std::move(accountant)), bytes_(bytes) {
+    if (accountant_ != nullptr && bytes_ != 0) {
+      accountant_->Charge(bytes_);
+    }
+  }
+  ~ScopedMemCharge() { reset(); }
+
+  ScopedMemCharge(ScopedMemCharge&& other) noexcept
+      : accountant_(std::move(other.accountant_)), bytes_(other.bytes_) {
+    other.accountant_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedMemCharge& operator=(ScopedMemCharge&& other) noexcept {
+    if (this != &other) {
+      reset();
+      accountant_ = std::move(other.accountant_);
+      bytes_ = other.bytes_;
+      other.accountant_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedMemCharge(const ScopedMemCharge&) = delete;
+  ScopedMemCharge& operator=(const ScopedMemCharge&) = delete;
+
+  void reset() {
+    if (accountant_ != nullptr && bytes_ != 0) {
+      accountant_->Release(bytes_);
+    }
+    accountant_ = nullptr;
+    bytes_ = 0;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::shared_ptr<ByteAccountant> accountant_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_BASE_MEM_ACCOUNTING_H_

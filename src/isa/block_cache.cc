@@ -1,5 +1,6 @@
 #include "src/isa/block_cache.h"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
@@ -7,6 +8,67 @@
 #include "src/race/tracker.h"
 
 namespace imk {
+namespace {
+
+// Accounted footprint of one decoded block: the struct itself plus the uop
+// spill vector when the block outgrew the inline array.
+uint64_t BlockBytes(const DecodedBlock& block) {
+  uint64_t bytes = sizeof(DecodedBlock);
+  if (block.uops.size() > UopArray::kInline) {
+    bytes += block.uops.size() * sizeof(Uop);
+  }
+  return bytes;
+}
+
+// Accounted footprint of one published table: entry/index/owner arrays. The
+// decoded blocks the entries reference were charged at Install time.
+uint64_t TableBytes(const SharedBlockCache::Table& table) {
+  return table.entries.size() * sizeof(SharedBlockCache::TableEntry) +
+         table.index.size() * sizeof(uint32_t) +
+         table.owners.size() * sizeof(std::shared_ptr<const void>);
+}
+
+}  // namespace
+
+SharedBlockCache::~SharedBlockCache() {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  if (accountant_ != nullptr && accounted_bytes_ != 0) {
+    accountant_->Release(accounted_bytes_);
+    accounted_bytes_ = 0;
+  }
+}
+
+void SharedBlockCache::set_accountant(std::shared_ptr<ByteAccountant> accountant) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  accountant_ = std::move(accountant);
+}
+
+uint64_t SharedBlockCache::ReclaimMemory(uint64_t want_bytes) {
+  // Governor ladder tier (governor mutex held, rank 30 < 55). Tables go
+  // first — losing one costs the next same-layout boot a re-log, nothing
+  // more — then individual blocks, which the next executor re-decodes.
+  std::lock_guard<race::Mutex> lock(mutex_);
+  IMK_RACE_SHARED_WRITE("block_cache.map", this, 0, kBlockCache);
+  uint64_t released = 0;
+  while (!tables_.empty() && released < want_bytes) {
+    auto it = tables_.begin();
+    released += TableBytes(*it->second);
+    tables_.erase(it);
+    ++retired_tables_;
+  }
+  while (!blocks_.empty() && released < want_bytes) {
+    auto it = blocks_.begin();
+    released += BlockBytes(*it->second.block);
+    blocks_.erase(it);
+    ++retired_blocks_;
+  }
+  if (released != 0 && accountant_ != nullptr) {
+    const uint64_t drop = std::min(released, accounted_bytes_);
+    accountant_->Release(drop);
+    accounted_bytes_ -= drop;
+  }
+  return released;
+}
 
 std::shared_ptr<const DecodedBlock> SharedBlockCache::Grab(const uint8_t* src_frame,
                                                            uint32_t offset) {
@@ -30,7 +92,13 @@ std::shared_ptr<const DecodedBlock> SharedBlockCache::Install(
       blocks_.try_emplace(Key(src_frame, offset), Entry{block, std::move(owner)});
   if (!inserted && replace) {
     ++stale_replaced_;
+    // Same key, same source bytes: the replacement's footprint matches the
+    // replaced block's, so the accounted total is unchanged.
     it->second.block = std::move(block);
+  } else if (inserted && accountant_ != nullptr) {
+    const uint64_t bytes = BlockBytes(*it->second.block);
+    accountant_->Charge(bytes);
+    accounted_bytes_ += bytes;
   }
   return it->second.block;
 }
@@ -68,7 +136,12 @@ void SharedBlockCache::PublishTable(uint64_t layout_key, Table table) {
   auto shared = std::make_shared<const Table>(std::move(table));
   std::lock_guard<race::Mutex> lock(mutex_);
   IMK_RACE_SHARED_WRITE("block_cache.map", this, 0, kBlockCache);
-  tables_.try_emplace(layout_key, std::move(shared));
+  auto [it, inserted] = tables_.try_emplace(layout_key, std::move(shared));
+  if (inserted && accountant_ != nullptr) {
+    const uint64_t bytes = TableBytes(*it->second);
+    accountant_->Charge(bytes);
+    accounted_bytes_ += bytes;
+  }
 }
 
 SharedBlockCache::Stats SharedBlockCache::stats() const {
@@ -81,6 +154,8 @@ SharedBlockCache::Stats SharedBlockCache::stats() const {
   s.blocks = blocks_.size();
   s.tables = tables_.size();
   s.table_grabs = table_grabs_;
+  s.retired_blocks = retired_blocks_;
+  s.retired_tables = retired_tables_;
   return s;
 }
 

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/base/frame_store.h"
+#include "src/base/mem_accounting.h"
 #include "src/isa/uop.h"
 #include "src/race/annotations.h"
 #include "src/race/mutex.h"
@@ -57,7 +58,7 @@ namespace imk {
 // the per-block grab (mutex + hash probe) for all of it. This is the decode
 // analogue of the ahead-of-time layout pool: once the layout is fixed, the
 // whole vaddr -> decoded-block relation is fleet-wide state.
-class SharedBlockCache {
+class SharedBlockCache : public Reclaimable {
  public:
   struct Stats {
     uint64_t hits = 0;            // grabs that found a decoded block
@@ -66,6 +67,8 @@ class SharedBlockCache {
     uint64_t blocks = 0;          // distinct blocks resident
     uint64_t tables = 0;          // layout tables resident
     uint64_t table_grabs = 0;     // whole-table adoptions served
+    uint64_t retired_blocks = 0;  // blocks dropped by memory reclamation
+    uint64_t retired_tables = 0;  // published tables dropped by memory reclamation
   };
 
   // One adoptable binding: the block the donor VM dispatched at `vaddr`,
@@ -136,6 +139,17 @@ class SharedBlockCache {
 
   Stats stats() const;
 
+  // Fleet memory governance (decode-tables category). Installed blocks and
+  // published tables are charged as they land; ReclaimMemory — the middle
+  // governor ladder tier — retires tables first (pure accelerators: the next
+  // same-layout boot just logs and republishes), then blocks (the next
+  // executor re-decodes). Blocks a running VM still pins stay alive through
+  // their shared_ptrs; what this drops is the cache's own reference.
+  ~SharedBlockCache() override;
+  void set_accountant(std::shared_ptr<ByteAccountant> accountant);
+  uint64_t ReclaimMemory(uint64_t want_bytes) override;
+  const char* reclaim_name() const override { return "block-cache"; }
+
  private:
   static uint64_t Key(const uint8_t* src_frame, uint32_t offset) {
     // Frame sources within one template are >= 4096 bytes apart and offsets
@@ -155,6 +169,10 @@ class SharedBlockCache {
   uint64_t misses_ IMK_GUARDED_BY(kBlockCache) = 0;
   uint64_t stale_replaced_ IMK_GUARDED_BY(kBlockCache) = 0;
   uint64_t table_grabs_ IMK_GUARDED_BY(kBlockCache) = 0;
+  uint64_t retired_blocks_ IMK_GUARDED_BY(kBlockCache) = 0;
+  uint64_t retired_tables_ IMK_GUARDED_BY(kBlockCache) = 0;
+  uint64_t accounted_bytes_ IMK_GUARDED_BY(kBlockCache) = 0;
+  std::shared_ptr<ByteAccountant> accountant_ IMK_GUARDED_BY(kBlockCache);
 };
 
 // Per-dispatch counters the engine folds into ExecStats.

@@ -31,6 +31,10 @@ enum class LockRank : uint32_t {
   // ---- outermost: fleet drivers ----
   kStormError = 10,       // boot_storm first-error slot
   kStormTally = 20,       // boot_storm supervised-outcome tallies
+  kMemGovernor = 30,      // MemGovernor hook registry + reclamation ladder
+                          // (held while the ladder calls into every cache
+                          // lock below; Charge/Release stay atomic-only so
+                          // caches never lock back into the governor)
 
   // ---- shared randomization state ----
   kTemplateCache = 40,    // ImageTemplateCache LRU/index/single-flight state
@@ -65,6 +69,8 @@ struct LockRankInfo {
 inline constexpr LockRankInfo kLockRankTable[] = {
     {LockRank::kStormError, "storm-error", "boot_storm first-error slot"},
     {LockRank::kStormTally, "storm-tally", "boot_storm supervised-outcome tallies"},
+    {LockRank::kMemGovernor, "mem-governor",
+     "MemGovernor reclaimable-hook registry, ladder serialization, pressure epoch"},
     {LockRank::kTemplateCache, "template-cache",
      "ImageTemplateCache LRU list, key index, span memo, single-flight builds, counters"},
     {LockRank::kLayoutPool, "layout-pool",

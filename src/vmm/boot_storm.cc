@@ -82,6 +82,24 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     return FailedPreconditionError("randomized storm needs relocation info (Figure 8)");
   }
   const uint32_t threads = std::min(options.threads, options.vms);
+  // Churn: each VM slot launches-and-halts `cycles` times; every measured
+  // launch gets its own seed (seed_base + launch index), so layouts stay
+  // unique across cycles too.
+  const uint32_t cycles = std::max(1u, options.churn_cycles);
+  const uint32_t total_launches = options.vms * cycles;
+
+  // Fleet memory governor. Declared before every cache so it is destroyed
+  // LAST: cache teardown releases its charges into live adapters. Hooks are
+  // unregistered by `hook_guard` below before any cache dies.
+  std::unique_ptr<MemGovernor> local_governor;
+  MemGovernor* governor = options.governor;
+  if (governor == nullptr && options.mem_budget_bytes > 0) {
+    MemGovernorOptions governor_options;
+    governor_options.budget_bytes = options.mem_budget_bytes;
+    governor_options.soft_pct = options.mem_soft_pct;
+    local_governor = std::make_unique<MemGovernor>(governor_options);
+    governor = local_governor.get();
+  }
 
   ImageTemplateCache local_cache;
   ImageTemplateCache& cache = options.cache != nullptr ? *options.cache : local_cache;
@@ -127,6 +145,40 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     shared_blocks = std::make_unique<SharedBlockCache>();
   }
 
+  // Reclamation-tier registration, torn down (in this guard's dtor, which
+  // runs before any cache above it dies) so the governor's ladder never
+  // walks into a destroyed cache. Tier order is the issue's ladder: shed the
+  // cheapest-to-rebuild state first (pool renders), shared decode state
+  // second, template images last.
+  struct HookGuard {
+    MemGovernor* governor = nullptr;
+    std::vector<Reclaimable*> hooks;
+    void Register(Reclaimable* hook, uint32_t priority) {
+      if (governor == nullptr || hook == nullptr) {
+        return;
+      }
+      governor->RegisterReclaimable(hook, priority);
+      hooks.push_back(hook);
+    }
+    ~HookGuard() {
+      if (governor == nullptr) {
+        return;
+      }
+      for (Reclaimable* hook : hooks) {
+        governor->UnregisterReclaimable(hook);
+      }
+    }
+  } hook_guard;
+  hook_guard.governor = governor;
+  if (governor != nullptr) {
+    cache.set_accountant(governor->shared_accountant(MemCategory::kTemplateImages));
+    hook_guard.Register(&cache, /*priority=*/2);
+    if (shared_blocks != nullptr) {
+      shared_blocks->set_accountant(governor->shared_accountant(MemCategory::kDecodeTables));
+      hook_guard.Register(shared_blocks.get(), /*priority=*/1);
+    }
+  }
+
   const auto make_config = [&](uint64_t seed) {
     MicroVmConfig config;
     config.mem_size_bytes = options.mem_size_bytes;
@@ -141,6 +193,7 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     config.template_cache = &cache;
     config.use_block_cache = options.use_block_cache;
     config.shared_block_cache = shared_blocks.get();
+    config.mem_governor = governor;
     // Null during warm-up (the pool is built from the warmed cache); the
     // measured window shares one pool across every VM.
     config.layout_pool = layout_pool.get();
@@ -160,9 +213,10 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   StormStats stats;
   stats.vms = options.vms;
   stats.threads = threads;
-  std::vector<BootSample> samples(options.vms);
+  stats.launches = total_launches;
+  std::vector<BootSample> samples(total_launches);
   if (options.keep_kernel_regions) {
-    stats.kernel_regions.resize(options.vms);
+    stats.kernel_regions.resize(total_launches);
   }
   std::atomic<uint64_t> image_frames{0};
   std::atomic<uint64_t> image_bytes{0};
@@ -172,6 +226,10 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   const auto launch_one = [&](uint64_t seed, BootSample* sample,
                               Bytes* kernel_region) -> Status {
     GuestMemory memory(options.mem_size_bytes);
+    if (governor != nullptr) {
+      // Launch-only VMs bypass MicroVm, so charge their dirty frames here.
+      memory.frames().set_accountant(governor->shared_accountant(MemCategory::kGuestFrames));
+    }
     Rng rng(seed);
     DirectBootParams params;
     params.requested = options.rando;
@@ -184,6 +242,11 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     Stopwatch timer;
     IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
                          DirectLoadKernel(memory, vmlinux, relocs_ptr, params, rng, resources));
+    // Stored from warm-up boots too: the admission gate sizes a launch by
+    // the last observed image span.
+    image_frames.store(loaded.mem.image_frames, std::memory_order_relaxed);
+    image_bytes.store(loaded.mem.image_frames * FrameStore::kFrameBytes,
+                      std::memory_order_relaxed);
     if (sample != nullptr) {
       sample->latency_ns = timer.ElapsedNs();
       sample->resident_bytes = memory.dirty_bytes();
@@ -194,9 +257,6 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
           loaded.fg.has_value() ? loaded.fg->map.PermutationDigest() : 0;
       CensusImageFrames(memory.frames(), loaded.choice.phys_load_addr,
                         loaded.mem.image_frames, sample);
-      image_frames.store(loaded.mem.image_frames, std::memory_order_relaxed);
-      image_bytes.store(loaded.mem.image_frames * FrameStore::kFrameBytes,
-                        std::memory_order_relaxed);
     }
     if (kernel_region != nullptr) {
       IMK_ASSIGN_OR_RETURN(
@@ -222,6 +282,9 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     if (options.expected_checksum != 0 && report.init_checksum != options.expected_checksum) {
       return InternalError("storm boot checksum mismatch (nondeterministic layout?)");
     }
+    image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
+    image_bytes.store(report.mem.image_frames * FrameStore::kFrameBytes,
+                      std::memory_order_relaxed);
     if (sample != nullptr) {
       sample->latency_ns = latency_ns;
       sample->resident_bytes = vm.memory().dirty_bytes();
@@ -232,9 +295,6 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
       RecordGuestBlockCache(report.guest_stats, sample);
       CensusImageFrames(vm.memory().frames(), report.choice.phys_load_addr,
                         report.mem.image_frames, sample);
-      image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
-      image_bytes.store(report.mem.image_frames * FrameStore::kFrameBytes,
-                        std::memory_order_relaxed);
     }
     if (kernel_region != nullptr) {
       IMK_ASSIGN_OR_RETURN(*kernel_region, vm.KernelRegion());
@@ -251,6 +311,7 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     sup.watchdog_wall_ms = options.watchdog_wall_ms;
     sup.watchdog_instructions = options.watchdog_instructions;
     sup.policy = options.degrade;
+    sup.admit_wait_ms = options.admit_wait_ms;
     if (options.expected_checksum != 0) {
       sup.expected_checksum = options.expected_checksum;
     }
@@ -263,8 +324,15 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
       IMK_RACE_SHARED_WRITE("supervisor.outcomes", &stats, 0, kStormTally);
       stats.outcomes.attempts_total += outcome.attempts;
       stats.outcomes.watchdog_trips += outcome.watchdog_trips;
+      stats.outcomes.mem_rejected_attempts += outcome.mem_rejections;
       if (!outcome.ok) {
-        ++stats.outcomes.failed;
+        // A launch whose EVERY attempt bounced at the hard watermark never
+        // got to boot at all: that is backpressure, not a boot failure.
+        if (outcome.attempts > 0 && outcome.mem_rejections == outcome.attempts) {
+          ++stats.outcomes.rejected_mem;
+        } else {
+          ++stats.outcomes.failed;
+        }
       } else if (outcome.degradations > 0) {
         ++stats.outcomes.ok_degraded;
       } else if (outcome.attempts > 1) {
@@ -281,6 +349,9 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     }
     MicroVm& vm = *supervisor.vm();
     const BootReport& report = *outcome.report;
+    image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
+    image_bytes.store(report.mem.image_frames * FrameStore::kFrameBytes,
+                      std::memory_order_relaxed);
     if (sample != nullptr) {
       sample->latency_ns = latency_ns;
       sample->resident_bytes = vm.memory().dirty_bytes();
@@ -291,9 +362,6 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
       RecordGuestBlockCache(report.guest_stats, sample);
       CensusImageFrames(vm.memory().frames(), report.choice.phys_load_addr,
                         report.mem.image_frames, sample);
-      image_frames.store(report.mem.image_frames, std::memory_order_relaxed);
-      image_bytes.store(report.mem.image_frames * FrameStore::kFrameBytes,
-                        std::memory_order_relaxed);
     }
     if (kernel_region != nullptr) {
       IMK_ASSIGN_OR_RETURN(*kernel_region, vm.KernelRegion());
@@ -311,8 +379,8 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     for (uint32_t t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
         for (uint32_t w = 0; w < options.warmup_per_thread; ++w) {
-          const uint64_t seed =
-              options.seed_base + options.vms + static_cast<uint64_t>(t) * options.warmup_per_thread + w;
+          const uint64_t seed = options.seed_base + total_launches +
+                                static_cast<uint64_t>(t) * options.warmup_per_thread + w;
           Status status = supervise
                               ? supervise_one(*storages[t], seed, nullptr, nullptr,
                                               /*measured=*/false)
@@ -358,10 +426,15 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     pool_options.depth = options.layout_pool_depth;
     pool_options.refill_batch = options.layout_pool_refill_batch;
     pool_options.seed = options.seed_base;
+    if (governor != nullptr) {
+      pool_options.accountant = governor->shared_accountant(MemCategory::kLayoutRenders);
+    }
     refill_pool.emplace(2);
     pool_options.refill_pool = &*refill_pool;
     layout_pool =
         std::make_unique<LayoutPool>(tmpl, relocs, pool_params, guest_mem, pool_options);
+    // Cheapest tier to rebuild -> first to shed.
+    hook_guard.Register(layout_pool.get(), /*priority=*/0);
     // A prefill error (pool.refill:error drills this) just starts the pool
     // shallower: launches fall back inline, the miss tally records it.
     (void)layout_pool->Prefill(options.layout_pool_depth);
@@ -378,7 +451,7 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     workers.emplace_back([&, t] {
       for (;;) {
         const uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= options.vms) {
+        if (i >= total_launches) {
           return;
         }
         if (FaultInjector::armed()) {
@@ -395,6 +468,20 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
           }
         }
         Bytes* region = options.keep_kernel_regions ? &stats.kernel_regions[i] : nullptr;
+        if (governor != nullptr && !supervise) {
+          // Unsupervised admission: size the launch by the last observed
+          // image span and wait out the hard watermark; a bounce is an
+          // accounted launch that never booted, not a storm abort.
+          const uint64_t need = image_bytes.load(std::memory_order_relaxed);
+          if (!governor->Admit(need, options.admit_wait_ms)) {
+            samples[i].booted = false;
+            std::lock_guard<race::Mutex> lock(tally_mutex);
+            IMK_RACE_SHARED_WRITE("supervisor.outcomes", &stats, 0, kStormTally);
+            ++stats.outcomes.rejected_mem;
+            ++stats.outcomes.mem_rejected_attempts;
+            continue;
+          }
+        }
         Status status = supervise
                             ? supervise_one(*storages[t], options.seed_base + i, &samples[i],
                                             region, /*measured=*/true)
@@ -446,6 +533,7 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     stats.pool_rendered_during = pool_after.rendered - pool_before.rendered;
     stats.pool_refill_errors = pool_after.refill_errors - pool_before.refill_errors;
     stats.pool_quarantined = pool_after.quarantined - pool_before.quarantined;
+    stats.pool_shed = pool_after.shed - pool_before.shed;
   }
   stats.image_frames = image_frames.load(std::memory_order_relaxed);
   stats.image_bytes = image_bytes.load(std::memory_order_relaxed);
@@ -454,10 +542,16 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   stats.outcomes.cache_quarantines = cache.quarantined() - quarantined_before;
   stats.outcomes.faults_injected = FaultInjector::Instance().fires_total() - fires_before;
   if (!supervise) {
-    // Unsupervised storms abort on the first failure, so reaching here means
-    // every VM booted on its first (and only) attempt.
-    stats.outcomes.ok_first_try = options.vms;
-    stats.outcomes.attempts_total = options.vms;
+    // Unsupervised storms abort on the first boot failure, so reaching here
+    // means every ADMITTED launch booted on its first (and only) attempt;
+    // the remainder bounced at the governor's hard watermark.
+    stats.outcomes.ok_first_try = total_launches - stats.outcomes.rejected_mem;
+    stats.outcomes.attempts_total = total_launches;
+  }
+  if (governor != nullptr) {
+    // Captured while every cache is still alive: current_bytes is the
+    // steady-state residency, high_water the storm's peak.
+    stats.mem = governor->stats();
   }
   return stats;
 }

@@ -12,6 +12,7 @@
 #define IMKASLR_SRC_VMM_BOOT_STORM_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/base/bytes.h"
@@ -22,6 +23,7 @@
 #include "src/verify/layout_uniqueness.h"
 #include "src/vmm/boot_supervisor.h"
 #include "src/vmm/image_template.h"
+#include "src/vmm/mem_governor.h"
 
 namespace imk {
 
@@ -81,6 +83,27 @@ struct StormOptions {
   // (isolates the per-VM caching win from the cross-VM sharing win).
   bool share_block_cache = true;
 
+  // ---- churn + memory governance (long-running fleets) ----
+  // Each VM slot is launched-and-halted this many times: the storm performs
+  // vms * churn_cycles measured launches (seed_base + launch index), each one
+  // a full boot-then-teardown, against the SAME shared caches — the
+  // long-running-host lane where cache growth, not per-boot latency, is the
+  // number that matters. 0 and 1 both mean the classic single-wave storm.
+  uint32_t churn_cycles = 1;
+  // Process-wide byte budget for the fleet's shared state (guest frames,
+  // template images, layout renders, decode tables). > 0 builds a MemGovernor
+  // for this storm: soft watermark (mem_soft_pct) triggers the reclamation
+  // ladder, the hard watermark gates launch admission (bounded admit_wait_ms
+  // wait, then the launch is tallied rejected_mem). 0 = ungoverned.
+  uint64_t mem_budget_bytes = 0;
+  double mem_soft_pct = 0.75;
+  uint64_t admit_wait_ms = 50;
+  // External governor override (tests and multi-storm fleets); when set,
+  // mem_budget_bytes/mem_soft_pct are ignored and the caller keeps the
+  // governor alive past the storm. The storm registers its caches as
+  // reclamation tiers either way and unregisters them before they die.
+  MemGovernor* governor = nullptr;
+
   // ---- supervision (fault tolerance) ----
   // When true, every (full-lane) boot runs through BootSupervisor: per-VM
   // failures are tallied instead of aborting the storm, the watchdog bounds
@@ -98,6 +121,7 @@ struct StormOptions {
 struct StormStats {
   uint32_t vms = 0;
   uint32_t threads = 0;
+  uint32_t launches = 0;  // measured launches = vms * max(1, churn_cycles)
   uint64_t wall_ns = 0;  // measured storm window, warm-up excluded
 
   Summary boot_ms;              // per-boot wall latency
@@ -119,6 +143,7 @@ struct StormStats {
   uint64_t pool_rendered_during = 0;
   uint64_t pool_refill_errors = 0;
   uint64_t pool_quarantined = 0;
+  uint64_t pool_shed = 0;  // ready layouts flushed by the governor's ladder
   double pool_hit_rate() const {
     const uint64_t grabs = pool_hits + pool_misses;
     return grabs == 0 ? 0.0 : static_cast<double>(pool_hits) / static_cast<double>(grabs);
@@ -148,27 +173,37 @@ struct StormStats {
   // CheckLayoutUniqueness.
   std::vector<LayoutIdentity> layouts;
 
-  // Per-outcome tallies, populated when options.supervise. Every VM lands in
-  // exactly one ok_*/failed bucket: accounted() == vms, always.
+  // Per-outcome tallies. Every measured launch lands in exactly one
+  // ok_*/failed/rejected_mem bucket: accounted() == launches, always —
+  // including launches the governor's hard watermark turned away.
   struct OutcomeTally {
     uint32_t ok_first_try = 0;
     uint32_t ok_retried = 0;   // booted at the requested level after retries
     uint32_t ok_degraded = 0;  // booted below the requested level
     uint32_t failed = 0;       // exhausted every attempt the policy allowed
+    uint32_t rejected_mem = 0;  // every attempt bounced at the hard watermark
     uint32_t attempts_total = 0;
     uint32_t watchdog_trips = 0;
+    uint32_t mem_rejected_attempts = 0;  // attempt-level hard-watermark bounces
     uint64_t cache_quarantines = 0;  // corrupt templates evicted mid-storm
     uint64_t faults_injected = 0;    // FaultInjector fires inside the window
-    uint32_t accounted() const { return ok_first_try + ok_retried + ok_degraded + failed; }
+    uint32_t accounted() const {
+      return ok_first_try + ok_retried + ok_degraded + failed + rejected_mem;
+    }
   };
   // Written by many workers during a supervised storm (under the storm's
   // tally lock); plain data once RunBootStorm returns.
   OutcomeTally outcomes IMK_GUARDED_BY(kStormTally);
 
-  std::vector<Bytes> kernel_regions;  // per VM, when keep_kernel_regions
+  std::vector<Bytes> kernel_regions;  // per launch, when keep_kernel_regions
+
+  // The governor's end-of-storm view (per-category current + high-water
+  // bytes, reclaim/admission counters); set only when the storm is governed.
+  std::optional<MemGovernor::Stats> mem;
 
   double boots_per_sec() const {
-    return wall_ns == 0 ? 0.0 : static_cast<double>(vms) / (static_cast<double>(wall_ns) / 1e9);
+    const uint32_t n = launches != 0 ? launches : vms;
+    return wall_ns == 0 ? 0.0 : static_cast<double>(n) / (static_cast<double>(wall_ns) / 1e9);
   }
   // Mean fraction of the image each VM privately materialized.
   double image_dirty_fraction() const {

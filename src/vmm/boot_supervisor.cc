@@ -5,6 +5,7 @@
 #include "src/base/deadline.h"
 #include "src/base/rng.h"
 #include "src/base/stopwatch.h"
+#include "src/vmm/mem_governor.h"
 
 namespace imk {
 namespace {
@@ -77,6 +78,8 @@ const char* AttemptResultName(AttemptResult result) {
       return "watchdog-wall";
     case AttemptResult::kWatchdogInstructions:
       return "watchdog-insns";
+    case AttemptResult::kRejectedMemPressure:
+      return "rejected-mem";
   }
   return "?";
 }
@@ -88,12 +91,12 @@ std::string BootOutcome::ToString() const {
     out << " final=" << RandoModeName(final_mode);
   }
   out << " attempts=" << attempts << " watchdog_trips=" << watchdog_trips
-      << " degradations=" << degradations << " quarantines=" << cache_quarantines
-      << " wall_ms=" << total_wall_ns / 1000000;
+      << " degradations=" << degradations << " mem_rejections=" << mem_rejections
+      << " quarantines=" << cache_quarantines << " wall_ms=" << total_wall_ns / 1000000;
   for (const AttemptRecord& a : history) {
     out << "\n  attempt " << a.index << ": mode=" << RandoModeName(a.mode)
-        << (a.pooled ? " (pooled)" : "") << " seed=" << a.seed << " -> "
-        << AttemptResultName(a.result);
+        << (a.pooled ? " (pooled)" : "") << (a.caches_off ? " (caches-off)" : "")
+        << " seed=" << a.seed << " -> " << AttemptResultName(a.result);
     if (!a.error.empty()) {
       out << " (" << a.error << ")";
     }
@@ -108,12 +111,14 @@ std::string BootOutcome::ToString() const {
 BootSupervisor::BootSupervisor(Storage& storage, MicroVmConfig config, SupervisorOptions options)
     : storage_(storage), config_(std::move(config)), options_(std::move(options)) {}
 
-AttemptRecord BootSupervisor::Attempt(RandoMode mode, bool pooled, uint32_t index, uint64_t seed,
-                                      BootReport* report, Status* status) {
+AttemptRecord BootSupervisor::Attempt(RandoMode mode, bool pooled, bool caches_off,
+                                      uint32_t index, uint64_t seed, BootReport* report,
+                                      Status* status) {
   AttemptRecord record;
   record.index = index;
   record.mode = mode;
   record.pooled = pooled;
+  record.caches_off = caches_off;
   record.seed = seed;
 
   MicroVmConfig config = config_;
@@ -123,6 +128,16 @@ AttemptRecord BootSupervisor::Attempt(RandoMode mode, bool pooled, uint32_t inde
     // Inline rungs must not touch the pool at all: a pool that already
     // failed this VM (corrupt renders, stale key) is stepped past, not
     // retried.
+    config.layout_pool = nullptr;
+    config.layout_pool_depth = 0;
+  }
+  if (caches_off) {
+    // Pressure rung: boot the SAME hardening level with every shared cache
+    // disconnected, so this attempt's footprint is exactly one VM's working
+    // set — the cheapest boot the fleet can buy without shedding hardening.
+    config.use_template_cache = false;
+    config.template_cache = nullptr;
+    config.shared_block_cache = nullptr;
     config.layout_pool = nullptr;
     config.layout_pool_depth = 0;
   }
@@ -202,19 +217,30 @@ BootOutcome BootSupervisor::Run() {
   struct Rung {
     RandoMode mode;
     bool pooled;
+    bool caches_off;
   };
   std::vector<Rung> ladder;
   const bool pool_configured =
       (config_.layout_pool != nullptr || config_.layout_pool_depth > 0) &&
       config_.rando != RandoMode::kNone;
+  const bool governed = config_.mem_governor != nullptr;
   if (pool_configured) {
-    ladder.push_back({config_.rando, true});
+    ladder.push_back({config_.rando, true, false});
   }
+  bool first_inline = true;
   for (RandoMode mode : LadderFrom(config_.rando)) {
-    ladder.push_back({mode, false});
+    ladder.push_back({mode, false, false});
+    if (first_inline && governed) {
+      // Pressure rung: the requested level again, shared caches off. Same
+      // hardening as the rung above it, so — like pooled->inline — it is
+      // neither a degradation nor forbidden under kStrict.
+      ladder.push_back({mode, false, true});
+    }
+    first_inline = false;
   }
-  const size_t rungs =
-      options_.policy == DegradePolicy::kStrict ? (pool_configured ? 2 : 1) : ladder.size();
+  const size_t rungs = options_.policy == DegradePolicy::kStrict
+                           ? (pool_configured ? 1u : 0u) + 1u + (governed ? 1u : 0u)
+                           : ladder.size();
   uint32_t index = 0;
   for (size_t rung = 0; rung < rungs; ++rung) {
     if (rung > 0 && ladder[rung].mode != ladder[rung - 1].mode) {
@@ -226,8 +252,27 @@ BootOutcome BootSupervisor::Run() {
       // Attempt 0 uses the base seed as-is, so a clean supervised boot lays
       // out exactly like an unsupervised one; only retries derive fresh seeds.
       const uint64_t seed = index == 0 ? base_seed : DeriveSeed(base_seed, index);
-      AttemptRecord record =
-          Attempt(ladder[rung].mode, ladder[rung].pooled, index, seed, &report, &status);
+      if (config_.mem_governor != nullptr &&
+          !config_.mem_governor->Admit(0, options_.admit_wait_ms)) {
+        // Hard-watermark backpressure: the bounded wait expired with the
+        // fleet still over budget. The rejection is an accounted attempt —
+        // it consumed a retry and the caller must see why.
+        AttemptRecord rejected;
+        rejected.index = index;
+        rejected.mode = ladder[rung].mode;
+        rejected.pooled = ladder[rung].pooled;
+        rejected.caches_off = ladder[rung].caches_off;
+        rejected.seed = seed;
+        rejected.result = AttemptResult::kRejectedMemPressure;
+        rejected.error = "admission rejected: over the memory hard watermark";
+        outcome.history.push_back(rejected);
+        ++outcome.attempts;
+        ++outcome.mem_rejections;
+        outcome.final_status = ResourceExhaustedError(rejected.error);
+        continue;
+      }
+      AttemptRecord record = Attempt(ladder[rung].mode, ladder[rung].pooled,
+                                     ladder[rung].caches_off, index, seed, &report, &status);
       outcome.history.push_back(record);
       ++outcome.attempts;
       if (record.result == AttemptResult::kWatchdogWall ||

@@ -11,9 +11,15 @@
 // layout pool: a pool serving corrupt or mismatched layouts is stepped past
 // by re-attempting the SAME randomization level inline, which is not a
 // degradation (the hardening is identical, only the render path changed) —
-// so kStrict allows it too. Every attempt is recorded, so a BootOutcome
-// accounts for exactly what the fleet paid to get (or fail to get) this VM
-// up.
+// so kStrict allows it too. A config carrying a MemGovernor adds one more
+// same-hardening rung after inline: shared-caches-off, which boots the
+// requested level without template cache, layout pool, or shared decode
+// tables — the memory-pressure analogue of the pooled->inline step, equally
+// permitted under kStrict. The governor also gates admission: an attempt
+// that cannot fit under the hard watermark within admit_wait_ms is recorded
+// as kRejectedMemPressure and consumes a retry. Every attempt is recorded,
+// so a BootOutcome accounts for exactly what the fleet paid to get (or fail
+// to get) this VM up.
 //
 // The supervisor never throws and never returns a bare error: failures are
 // data, inside the outcome.
@@ -51,6 +57,11 @@ struct SupervisorOptions {
   // failed (data-shaped) attempt — the last line of defense against
   // corruption the cache probes missed.
   std::optional<uint64_t> expected_checksum;
+  // How long one attempt may wait at the memory governor's hard watermark
+  // before it is recorded as kRejectedMemPressure (only meaningful when the
+  // config carries a MemGovernor). The wait is bounded backpressure, not a
+  // queue: each rejection consumes one retry of the current rung.
+  uint64_t admit_wait_ms = 50;
 };
 
 // How one attempt ended.
@@ -59,6 +70,7 @@ enum class AttemptResult {
   kError,                 // boot returned an error status / init never ran
   kWatchdogWall,          // wall-clock deadline tripped (monitor or guest side)
   kWatchdogInstructions,  // guest exhausted its instruction budget
+  kRejectedMemPressure,   // admission blocked at the governor's hard watermark
 };
 
 const char* AttemptResultName(AttemptResult result);
@@ -67,6 +79,7 @@ struct AttemptRecord {
   uint32_t index = 0;     // 0-based across the whole outcome
   RandoMode mode = RandoMode::kNone;
   bool pooled = false;    // layout pool was offered to this attempt's loader
+  bool caches_off = false;  // pressure rung: no shared caches, same hardening
   uint64_t seed = 0;      // the fresh per-attempt randomization seed
   AttemptResult result = AttemptResult::kError;
   std::string error;      // status message for non-OK attempts
@@ -81,6 +94,7 @@ struct BootOutcome {
   uint32_t attempts = 0;
   uint32_t watchdog_trips = 0;
   uint32_t degradations = 0;        // ladder steps taken (0 = booted as asked)
+  uint32_t mem_rejections = 0;      // attempts rejected at the hard watermark
   uint64_t cache_quarantines = 0;   // corrupt templates evicted by our audits
   std::vector<AttemptRecord> history;
   std::optional<BootReport> report;  // the successful attempt's report
@@ -105,8 +119,8 @@ class BootSupervisor {
   MicroVm* vm() { return vm_.get(); }
 
  private:
-  AttemptRecord Attempt(RandoMode mode, bool pooled, uint32_t index, uint64_t seed,
-                        BootReport* report, Status* status);
+  AttemptRecord Attempt(RandoMode mode, bool pooled, bool caches_off, uint32_t index,
+                        uint64_t seed, BootReport* report, Status* status);
 
   Storage& storage_;
   MicroVmConfig config_;

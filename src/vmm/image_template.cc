@@ -105,9 +105,9 @@ std::vector<uint32_t> ChunkCrcs(ByteSpan data) {
   return crcs;
 }
 
-Result<std::shared_ptr<const ImageTemplate>> BuildTemplate(ByteSpan vmlinux,
-                                                           const TemplateOptions& options,
-                                                           uint32_t crc, bool stamp_integrity) {
+Result<std::shared_ptr<const ImageTemplate>> BuildTemplate(
+    ByteSpan vmlinux, const TemplateOptions& options, uint32_t crc, bool stamp_integrity,
+    std::shared_ptr<ByteAccountant> accountant) {
   // Models a parse blowing up on a torn/hostile image before any state is
   // cached (the supervisor treats the resulting kParseError as data-shaped).
   IMK_FAULT_POINT("template.parse");
@@ -157,6 +157,7 @@ Result<std::shared_ptr<const ImageTemplate>> BuildTemplate(ByteSpan vmlinux,
     tmpl->pristine_probe = SampleFingerprint(pristine);
     tmpl->pristine_chunk_crcs = ChunkCrcs(pristine);
   }
+  tmpl->mem_charge = ScopedMemCharge(std::move(accountant), tmpl->pristine.size());
   return std::shared_ptr<const ImageTemplate>(std::move(tmpl));
 }
 
@@ -168,7 +169,8 @@ Result<std::shared_ptr<const ImageTemplate>> BuildImageTemplate(ByteSpan vmlinux
   // an identity key, and hashing the whole image would dominate the parse.
   // They skip the integrity stamp for the same reason — a template nothing
   // else aliases has no shared state to re-verify.
-  return BuildTemplate(vmlinux, options, /*crc=*/0, /*stamp_integrity=*/false);
+  return BuildTemplate(vmlinux, options, /*crc=*/0, /*stamp_integrity=*/false,
+                       /*accountant=*/nullptr);
 }
 
 Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
@@ -208,6 +210,7 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
     uint64_t cursor = 0;
     IntegrityMode mode = IntegrityMode::kSampled;
     std::shared_ptr<BuildState> flight;
+    std::shared_ptr<ByteAccountant> accountant;
     {
       std::unique_lock<race::Mutex> lock(mutex_);
       for (;;) {
@@ -243,6 +246,7 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
         flight = std::make_shared<BuildState>();
         flight->extracts_relocs = options.extract_relocs;
         in_flight_[key] = flight;  // may replace a weaker (no-relocs) flight
+        accountant = accountant_;
         break;
       }
     }
@@ -272,7 +276,8 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
     // Build outside the lock: parsing a large vmlinux must not serialize
     // lookups of other kernels.
     Result<std::shared_ptr<const ImageTemplate>> built =
-        BuildTemplate(vmlinux, options, std::get<0>(key), /*stamp_integrity=*/true);
+        BuildTemplate(vmlinux, options, std::get<0>(key), /*stamp_integrity=*/true,
+                      std::move(accountant));
 
     std::lock_guard<race::Mutex> lock(mutex_);
     IMK_RACE_SHARED_WRITE("template_cache.entries", this, 0, kTemplateCache);
@@ -341,6 +346,34 @@ bool ImageTemplateCache::VerifyTemplate(const ImageTemplate& tmpl, uint64_t curs
 void ImageTemplateCache::set_integrity_mode(IntegrityMode mode) {
   std::lock_guard<race::Mutex> lock(mutex_);
   integrity_ = mode;
+}
+
+void ImageTemplateCache::set_accountant(std::shared_ptr<ByteAccountant> accountant) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  accountant_ = std::move(accountant);
+}
+
+uint64_t ImageTemplateCache::ReclaimMemory(uint64_t want_bytes) {
+  // Called by the governor's ladder (governor mutex held, rank 30 < 40).
+  // Evicts from the LRU tail; a boot still pinning an evicted template keeps
+  // its bytes accounted through the template's own ScopedMemCharge, so the
+  // count returned here is "references dropped", not "bytes now free" — the
+  // ladder simply moves on to the next tier if usage stays high.
+  std::lock_guard<race::Mutex> lock(mutex_);
+  IMK_RACE_SHARED_WRITE("template_cache.entries", this, 0, kTemplateCache);
+  uint64_t released = 0;
+  while (!lru_.empty() && released < want_bytes) {
+    released += lru_.back().value->pristine.size();
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++reclaim_evictions_;
+  }
+  return released;
+}
+
+uint64_t ImageTemplateCache::reclaim_evictions() const {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  return reclaim_evictions_;
 }
 
 size_t ImageTemplateCache::AuditEntries() {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/base/mem_accounting.h"
 #include "src/base/result.h"
 #include "src/elf/elf_note.h"
 #include "src/kaslr/fgkaslr.h"
@@ -72,6 +73,11 @@ struct ImageTemplate {
   uint32_t pristine_crc32 = 0;
   uint64_t pristine_probe = 0;                // sampled-window fingerprint
   std::vector<uint32_t> pristine_chunk_crcs;  // ImageTemplateCache::kIntegrityChunkBytes each
+
+  // Governor charge for `pristine` (template-images category). Travels with
+  // the template: evicting the cache entry while boots still pin the
+  // shared_ptr keeps the bytes accounted until the last pin drops.
+  ScopedMemCharge mem_charge;
 };
 
 // Parses `vmlinux` into a template. Fails with kParseError on malformed
@@ -85,7 +91,7 @@ Result<std::shared_ptr<const ImageTemplate>> BuildImageTemplate(ByteSpan vmlinux
 // skip the hash, so a warm per-boot lookup is O(1) in the image size. The
 // memo assumes callers keep the image bytes immutable while booting from
 // them (true for read-only mapped kernel files).
-class ImageTemplateCache {
+class ImageTemplateCache : public Reclaimable {
  public:
   // Chunk granularity of the stored per-chunk CRCs (see IntegrityMode).
   static constexpr uint64_t kIntegrityChunkBytes = 256 * 1024;
@@ -121,6 +127,16 @@ class ImageTemplateCache {
   // retrying a boot that failed with a data-shaped error, so a rotted
   // template cannot fail every retry.
   size_t AuditEntries();
+
+  // Fleet memory governance. Templates built after set_accountant carry a
+  // ScopedMemCharge over their pristine bytes; ReclaimMemory (the governor's
+  // last ladder tier) evicts LRU-tail entries until `want_bytes` worth of
+  // template references are dropped — the next lookup of an evicted key is
+  // a plain single-flight rebuild.
+  void set_accountant(std::shared_ptr<ByteAccountant> accountant);
+  uint64_t ReclaimMemory(uint64_t want_bytes) override;
+  const char* reclaim_name() const override { return "template-cache"; }
+  uint64_t reclaim_evictions() const;
 
   uint64_t hits() const;
   uint64_t misses() const;
@@ -167,7 +183,9 @@ class ImageTemplateCache {
   uint64_t hits_ IMK_GUARDED_BY(kTemplateCache) = 0;
   uint64_t misses_ IMK_GUARDED_BY(kTemplateCache) = 0;
   uint64_t quarantined_ IMK_GUARDED_BY(kTemplateCache) = 0;
+  uint64_t reclaim_evictions_ IMK_GUARDED_BY(kTemplateCache) = 0;
   IntegrityMode integrity_ IMK_GUARDED_BY(kTemplateCache) = IntegrityMode::kSampled;
+  std::shared_ptr<ByteAccountant> accountant_ IMK_GUARDED_BY(kTemplateCache);
 };
 
 // The process-wide cache monitors share by default (a Firecracker fleet

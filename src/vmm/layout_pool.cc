@@ -97,7 +97,33 @@ LayoutPool::Stats LayoutPool::stats() const {
   std::lock_guard<race::Mutex> lock(mutex_);
   Stats out = stats_;
   out.ready = static_cast<uint32_t>(ready_.size());
+  out.pressured = pressured_;
   return out;
+}
+
+uint64_t LayoutPool::ReclaimMemory(uint64_t want_bytes) {
+  // Governor ladder tier (governor mutex held, rank 30 < 45). Flushing the
+  // newest-first keeps the oldest render for the next grab when only part of
+  // the pool must go; a layout already grabbed is a VM's problem, not ours.
+  std::lock_guard<race::Mutex> lock(mutex_);
+  uint64_t released = 0;
+  while (!ready_.empty() && released < want_bytes) {
+    released += ready_.back()->image.size();
+    ready_.pop_back();
+    ++stats_.shed;
+  }
+  return released;
+}
+
+void LayoutPool::OnMemoryPressure(bool under_pressure) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  if (pressured_ == under_pressure) {
+    return;
+  }
+  pressured_ = under_pressure;
+  if (!under_pressure) {
+    ScheduleRefillLocked();  // epoch closed: grow back toward depth
+  }
 }
 
 bool LayoutPool::MatchesLocked(const std::shared_ptr<const ImageTemplate>& tmpl,
@@ -130,8 +156,8 @@ bool LayoutPool::MatchesLocked(const std::shared_ptr<const ImageTemplate>& tmpl,
 
 void LayoutPool::ScheduleRefillLocked() {
   ThreadPool* pool = options_.refill_pool;
-  if (pool == nullptr || pool->workers() <= 1 || draining_) {
-    return;  // no background lanes: Prefill is the only refill path
+  if (pool == nullptr || pool->workers() <= 1 || draining_ || pressured_) {
+    return;  // no background lanes (or a pressure epoch): Prefill-only
   }
   const uint32_t batch = std::max<uint32_t>(1, options_.refill_batch);
   while (ready_.size() + renders_inflight_ < options_.depth) {
@@ -231,6 +257,7 @@ Result<std::shared_ptr<RenderedLayout>> LayoutPool::Render(
   layout->chunk_crcs = StampChunkCrcs(ByteSpan(layout->image));
   IMK_FAULT_CORRUPT("pool.render", layout->image.data(), layout->image.size());
   layout->render_ns = timer.ElapsedNs();
+  layout->mem_charge = ScopedMemCharge(options_.accountant, layout->image.size());
   return layout;
 }
 
@@ -258,7 +285,7 @@ Status LayoutPool::Prefill(uint32_t target) {
     {
       std::lock_guard<race::Mutex> lock(mutex_);
       const uint64_t want = std::min<uint64_t>(target, options_.depth);
-      if (ready_.size() + renders_inflight_ >= want || draining_) {
+      if (ready_.size() + renders_inflight_ >= want || draining_ || pressured_) {
         return OkStatus();
       }
       ++renders_inflight_;

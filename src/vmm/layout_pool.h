@@ -39,6 +39,7 @@
 #include <optional>
 
 #include "src/base/bytes.h"
+#include "src/base/mem_accounting.h"
 #include "src/base/result.h"
 #include "src/base/threadpool.h"
 #include "src/kaslr/fgkaslr.h"
@@ -65,6 +66,9 @@ struct RenderedLayout {
   std::shared_ptr<const ImageTemplate> tmpl;  // pins the source template
   std::vector<uint32_t> chunk_crcs;  // integrity stamps over `image`
   uint64_t render_ns = 0;
+  // Governor charge for `image` (layout-renders category); travels with the
+  // layout so a grabbed render stays accounted until the booting VM drops it.
+  ScopedMemCharge mem_charge;
 };
 
 struct LayoutPoolOptions {
@@ -78,11 +82,14 @@ struct LayoutPoolOptions {
   // Grab-time re-verification depth (same semantics as the template cache:
   // kSampled probes one rotating chunk per grab, kFull re-hashes the image).
   ImageTemplateCache::IntegrityMode integrity = ImageTemplateCache::IntegrityMode::kSampled;
+  // Fleet governor endpoint for the layout-renders category; every render's
+  // image bytes are charged against it for the layout's lifetime.
+  std::shared_ptr<ByteAccountant> accountant;
 };
 
 // Thread-safe. One pool serves one (template, boot-params) identity; grabs
 // presenting anything else miss (and fall back to inline randomization).
-class LayoutPool {
+class LayoutPool : public Reclaimable {
  public:
   struct Stats {
     uint64_t hits = 0;            // grabs served a layout
@@ -93,7 +100,9 @@ class LayoutPool {
     uint64_t invalidations = 0;   // template rebuilt under the same key: pool flushed
     uint64_t key_mismatches = 0;  // grab presented a foreign template / params
     uint64_t stale_dropped = 0;   // background renders finished against a flushed template
+    uint64_t shed = 0;            // ready layouts flushed by memory reclamation
     uint32_t ready = 0;           // layouts ready right now
+    bool pressured = false;       // refill suppressed by an open pressure epoch
   };
 
   // `guest_mem_size` is the resolved offset-chooser bound the grabbing boots
@@ -128,6 +137,15 @@ class LayoutPool {
 
   // Blocks until no background render is queued or running.
   void WaitIdle();
+
+  // Governor ladder hook (first tier: pool depth is pure optimization).
+  // ReclaimMemory flushes ready layouts; OnMemoryPressure(true) suppresses
+  // refill — grabs fall back inline — until the pressure epoch closes, which
+  // reschedules refill toward the configured depth. The one-shot sequence
+  // stream is untouched either way: shed layouts' seeds are simply skipped.
+  uint64_t ReclaimMemory(uint64_t want_bytes) override;
+  void OnMemoryPressure(bool under_pressure) override;
+  const char* reclaim_name() const override { return "layout-pool"; }
 
   Stats stats() const;
   uint32_t depth() const { return options_.depth; }
@@ -169,6 +187,7 @@ class LayoutPool {
   uint32_t tasks_outstanding_ IMK_GUARDED_BY(kLayoutPool) = 0;
   uint64_t verify_cursor_ IMK_GUARDED_BY(kLayoutPool) = 0;  // rotates sampled probes
   bool draining_ IMK_GUARDED_BY(kLayoutPool) = false;
+  bool pressured_ IMK_GUARDED_BY(kLayoutPool) = false;
   Stats stats_ IMK_GUARDED_BY(kLayoutPool);
 };
 

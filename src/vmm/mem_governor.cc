@@ -1,0 +1,248 @@
+#include "src/vmm/mem_governor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "src/base/fault_injection.h"
+#include "src/base/stopwatch.h"
+
+namespace imk {
+
+namespace {
+
+// Synthetic-pressure fault points. FaultPlan point names cannot contain ':'
+// (it is the rule separator), so the grammar-facing names use '_':
+//   mem.pressure_soft  — forces a ladder run on the next MaybeReclaim()
+//   mem.pressure_hard  — denies one admission check synthetically
+//   mem.reclaim        — makes one ladder tier misfire (shed skipped)
+// All three are registered in FaultInjector::KnownFaultPoints().
+bool FaultFires(const char* point) {
+  return FaultInjector::armed() && !FaultInjector::Instance().Check(point).ok();
+}
+
+}  // namespace
+
+const char* MemCategoryName(MemCategory category) {
+  switch (category) {
+    case MemCategory::kGuestFrames:
+      return "guest_frames";
+    case MemCategory::kTemplateImages:
+      return "template_images";
+    case MemCategory::kLayoutRenders:
+      return "layout_renders";
+    case MemCategory::kDecodeTables:
+      return "decode_tables";
+  }
+  return "unknown";
+}
+
+MemGovernor::MemGovernor(MemGovernorOptions options) : options_(options) {
+  if (options_.budget_bytes != 0) {
+    double pct = options_.soft_pct;
+    pct = std::min(1.0, std::max(0.1, pct));
+    soft_watermark_ = static_cast<uint64_t>(static_cast<double>(options_.budget_bytes) * pct);
+  }
+  for (size_t i = 0; i < kMemCategoryCount; ++i) {
+    adapters_[i] = std::make_shared<CategoryAdapter>();
+    adapters_[i]->Bind(this, static_cast<MemCategory>(i));
+  }
+}
+
+MemGovernor::~MemGovernor() {
+  // Detach the shared adapters: ScopedMemCharges that outlive the governor
+  // (entries in a caller-owned cache) release into a no-op instead of here.
+  for (size_t i = 0; i < kMemCategoryCount; ++i) {
+    adapters_[i]->Detach();
+  }
+}
+
+ByteAccountant* MemGovernor::accountant(MemCategory category) {
+  return adapters_[static_cast<size_t>(category)].get();
+}
+
+std::shared_ptr<ByteAccountant> MemGovernor::shared_accountant(MemCategory category) {
+  return adapters_[static_cast<size_t>(category)];
+}
+
+void MemGovernor::Charge(MemCategory category, uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  const size_t i = static_cast<size_t>(category);
+  const uint64_t cat_now = category_current_[i].fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t high = category_high_[i].load(std::memory_order_relaxed);
+  while (cat_now > high &&
+         !category_high_[i].compare_exchange_weak(high, cat_now, std::memory_order_relaxed)) {
+  }
+  const uint64_t total_now = total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  high = high_total_.load(std::memory_order_relaxed);
+  while (total_now > high &&
+         !high_total_.compare_exchange_weak(high, total_now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemGovernor::Release(MemCategory category, uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  category_current_[static_cast<size_t>(category)].fetch_sub(bytes, std::memory_order_relaxed);
+  total_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemGovernor::RegisterReclaimable(Reclaimable* hook, uint32_t priority) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  hooks_.push_back(Hook{hook, priority});
+  std::stable_sort(hooks_.begin(), hooks_.end(),
+                   [](const Hook& a, const Hook& b) { return a.priority < b.priority; });
+}
+
+void MemGovernor::UnregisterReclaimable(Reclaimable* hook) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  hooks_.erase(std::remove_if(hooks_.begin(), hooks_.end(),
+                              [hook](const Hook& h) { return h.hook == hook; }),
+               hooks_.end());
+}
+
+uint64_t MemGovernor::MaybeReclaim() {
+  const bool forced = FaultFires("mem.pressure_soft");
+  const uint64_t total = total_.load(std::memory_order_relaxed);
+  if (!forced) {
+    if (soft_watermark_ == 0 || total <= soft_watermark_) {
+      // Below soft: close a lingering pressure epoch (shedding may have left
+      // it open while pinned bytes kept usage high).
+      if (under_pressure_.load(std::memory_order_relaxed) &&
+          (soft_watermark_ == 0 || total <= soft_watermark_)) {
+        std::lock_guard<race::Mutex> lock(mutex_);
+        if (under_pressure_.exchange(false, std::memory_order_relaxed)) {
+          for (const Hook& h : hooks_) {
+            h.hook->OnMemoryPressure(false);
+          }
+        }
+      }
+      return 0;
+    }
+  }
+  std::lock_guard<race::Mutex> lock(mutex_);
+  // A forced epoch with no budget targets zero: a full deterministic drill.
+  return RunLadderLocked(soft_watermark_);
+}
+
+uint64_t MemGovernor::ReclaimAll() {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  return RunLadderLocked(0);  // target 0: shed every tier dry
+}
+
+uint64_t MemGovernor::RunLadderLocked(uint64_t target_bytes) {
+  if (!under_pressure_.exchange(true, std::memory_order_relaxed)) {
+    for (const Hook& h : hooks_) {
+      h.hook->OnMemoryPressure(true);
+    }
+  }
+  uint64_t shed_total = 0;
+  bool any_shed = false;
+  for (const Hook& h : hooks_) {
+    const uint64_t total = total_.load(std::memory_order_relaxed);
+    if (target_bytes != 0 && total <= target_bytes) {
+      break;
+    }
+    if (FaultFires("mem.reclaim")) {
+      continue;  // injected tier misfire: ladder proceeds to the next tier
+    }
+    const uint64_t want = (target_bytes == 0 || total <= target_bytes)
+                              ? ~static_cast<uint64_t>(0)
+                              : total - target_bytes;
+    const uint64_t shed = h.hook->ReclaimMemory(want);
+    if (shed > 0) {
+      shed_total += shed;
+      tier_sheds_.fetch_add(1, std::memory_order_relaxed);
+      any_shed = true;
+    }
+  }
+  if (any_shed) {
+    reclaim_runs_.fetch_add(1, std::memory_order_relaxed);
+    reclaimed_bytes_.fetch_add(shed_total, std::memory_order_relaxed);
+  }
+  const uint64_t total = total_.load(std::memory_order_relaxed);
+  if (soft_watermark_ == 0 || total <= soft_watermark_) {
+    if (under_pressure_.exchange(false, std::memory_order_relaxed)) {
+      for (const Hook& h : hooks_) {
+        h.hook->OnMemoryPressure(false);
+      }
+    }
+  }
+  return shed_total;
+}
+
+bool MemGovernor::OverHardWatermark(uint64_t need_bytes) const {
+  if (options_.budget_bytes == 0) {
+    return false;
+  }
+  const uint64_t total = total_.load(std::memory_order_relaxed);
+  return total + need_bytes > options_.budget_bytes;
+}
+
+bool MemGovernor::Admit(uint64_t need_bytes, uint64_t wait_ms) {
+  bool waited = false;
+  Stopwatch timer;
+  for (;;) {
+    MaybeReclaim();
+    bool over = OverHardWatermark(need_bytes);
+    if (over) {
+      // One more reclamation attempt aimed at the admission need, not just
+      // the soft watermark: shedding to soft may not be enough headroom.
+      const uint64_t hard = options_.budget_bytes;
+      uint64_t target = need_bytes >= hard ? 0 : hard - need_bytes;
+      if (soft_watermark_ != 0) {
+        target = std::min(target, soft_watermark_);
+      }
+      std::lock_guard<race::Mutex> lock(mutex_);
+      RunLadderLocked(target);
+      over = OverHardWatermark(need_bytes);
+    }
+    if (!over && FaultFires("mem.pressure_hard")) {
+      over = true;
+    }
+    if (!over) {
+      admits_.fetch_add(1, std::memory_order_relaxed);
+      if (waited) {
+        admit_waits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    if (timer.ElapsedNs() >= wait_ms * 1000000ull) {
+      admit_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    waited = true;
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.admit_poll_us));
+  }
+}
+
+uint64_t MemGovernor::current_total_bytes() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+MemGovernor::Stats MemGovernor::stats() const {
+  Stats s;
+  s.budget_bytes = options_.budget_bytes;
+  s.soft_watermark_bytes = soft_watermark_;
+  s.hard_watermark_bytes = options_.budget_bytes;
+  s.current_total_bytes = total_.load(std::memory_order_relaxed);
+  s.high_water_total_bytes = high_total_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kMemCategoryCount; ++i) {
+    s.categories[i].current_bytes = category_current_[i].load(std::memory_order_relaxed);
+    s.categories[i].high_water_bytes = category_high_[i].load(std::memory_order_relaxed);
+  }
+  s.reclaim_runs = reclaim_runs_.load(std::memory_order_relaxed);
+  s.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  s.tier_sheds = tier_sheds_.load(std::memory_order_relaxed);
+  s.admits = admits_.load(std::memory_order_relaxed);
+  s.admit_waits = admit_waits_.load(std::memory_order_relaxed);
+  s.admit_rejects = admit_rejects_.load(std::memory_order_relaxed);
+  s.under_pressure = under_pressure_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace imk

@@ -1,0 +1,197 @@
+// Fleet memory governor: process-wide byte budget, admission backpressure,
+// and a pressure-tiered reclamation ladder over the shared caches.
+//
+// Every byte the fleet keeps resident is charged to one of four categories
+// (guest frames, template images, layout-pool renders, shared decode
+// tables) through per-category ByteAccountant adapters the governor hands
+// out. Accounting is atomic-only — Charge/Release take no lock — because
+// the stores invoke them while holding their own cache locks, all of which
+// rank ABOVE the governor mutex (race::LockRank::kMemGovernor = 30). The
+// governor mutex guards only the Reclaimable-hook registry and serializes
+// the ladder; the ladder holds it while calling into cache locks (ranks
+// 40..70), which is the legal increasing direction. Nothing below ever
+// locks back up into the governor.
+//
+// Watermark semantics (budget_bytes == 0 means accounting-only: everything
+// admits, nothing sheds unless a fault point forces it):
+//
+//   soft = budget * soft_pct. Crossing it (or an armed `mem.pressure_soft`
+//   fault) opens a pressure epoch: OnMemoryPressure(true) on every hook,
+//   then the ladder runs hooks in registration priority order until usage
+//   is back under soft or every tier is dry. The epoch closes — hooks see
+//   OnMemoryPressure(false) — once usage drops back under soft.
+//
+//   hard = budget. Admit(need, wait_ms) gates new launches: it reclaims,
+//   then admits iff current + need <= hard (an armed `mem.pressure_hard`
+//   fault denies synthetically). While over, it polls — plain bounded
+//   sleep, not a CondVar, because Release() runs under cache locks and
+//   must stay lock-free — and rejects once the wait budget is spent.
+//
+// Lifetime: the governor must outlive every store holding one of its raw
+// accountant pointers (FrameStore, SharedBlockCache — both storm-scoped).
+// Long-lived charges (ScopedMemCharge on templates/layouts) instead hold
+// the shared adapter, which detaches at governor destruction and turns
+// further releases into no-ops.
+#ifndef IMKASLR_SRC_VMM_MEM_GOVERNOR_H_
+#define IMKASLR_SRC_VMM_MEM_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/mem_accounting.h"
+#include "src/race/annotations.h"
+#include "src/race/mutex.h"
+
+namespace imk {
+
+enum class MemCategory : uint8_t {
+  kGuestFrames = 0,    // FrameStore dirty (privately backed) frames
+  kTemplateImages = 1, // ImageTemplateCache pristine pre-rendered images
+  kLayoutRenders = 2,  // LayoutPool ahead-of-time randomized renders
+  kDecodeTables = 3,   // SharedBlockCache decoded blocks + published tables
+};
+inline constexpr size_t kMemCategoryCount = 4;
+
+const char* MemCategoryName(MemCategory category);
+
+struct MemGovernorOptions {
+  // Hard watermark. 0 = unlimited: accounting only, no shedding, no gating.
+  uint64_t budget_bytes = 0;
+  // Soft watermark as a fraction of the budget; clamped to [0.1, 1.0].
+  double soft_pct = 0.75;
+  // Admission poll interval while waiting below Admit()'s wait budget.
+  uint64_t admit_poll_us = 200;
+};
+
+class MemGovernor {
+ public:
+  struct CategoryStats {
+    uint64_t current_bytes = 0;
+    uint64_t high_water_bytes = 0;
+  };
+  struct Stats {
+    uint64_t budget_bytes = 0;
+    uint64_t soft_watermark_bytes = 0;
+    uint64_t hard_watermark_bytes = 0;
+    uint64_t current_total_bytes = 0;
+    uint64_t high_water_total_bytes = 0;
+    CategoryStats categories[kMemCategoryCount];
+    uint64_t reclaim_runs = 0;      // ladder invocations that shed >= 1 tier
+    uint64_t reclaimed_bytes = 0;   // bytes tiers reported shed
+    uint64_t tier_sheds = 0;        // individual hook invocations that shed
+    uint64_t admits = 0;            // Admit() calls that succeeded
+    uint64_t admit_waits = 0;       // ... of which had to wait first
+    uint64_t admit_rejects = 0;     // Admit() calls that timed out rejected
+    bool under_pressure = false;
+  };
+
+  explicit MemGovernor(MemGovernorOptions options = {});
+  ~MemGovernor();
+
+  MemGovernor(const MemGovernor&) = delete;
+  MemGovernor& operator=(const MemGovernor&) = delete;
+
+  // Per-category accounting endpoints. The raw pointer stays valid for the
+  // governor's lifetime; the shared form survives it (detached no-op).
+  ByteAccountant* accountant(MemCategory category);
+  std::shared_ptr<ByteAccountant> shared_accountant(MemCategory category);
+
+  // Lock-free accounting core (also reachable via the adapters above).
+  void Charge(MemCategory category, uint64_t bytes);
+  void Release(MemCategory category, uint64_t bytes);
+
+  // Reclamation ladder registry. Lower priority sheds first. Hooks must be
+  // unregistered before the object behind them is destroyed.
+  void RegisterReclaimable(Reclaimable* hook, uint32_t priority);
+  void UnregisterReclaimable(Reclaimable* hook);
+
+  // Runs the ladder if usage is over the soft watermark (or an armed
+  // `mem.pressure_soft` fault forces an epoch). Returns bytes shed. The
+  // caller must hold no locks: the ladder acquires the governor mutex and
+  // then cache locks.
+  uint64_t MaybeReclaim();
+
+  // Forces every tier to shed everything optional (the reclamation drill
+  // used by bench/CI to prove shed caches rebuild). Returns bytes shed.
+  uint64_t ReclaimAll();
+
+  // Admission gate: true once current + need_bytes fits under the hard
+  // watermark (reclaiming as needed), false after wait_ms of polling.
+  bool Admit(uint64_t need_bytes, uint64_t wait_ms);
+
+  uint64_t current_total_bytes() const;
+  uint64_t budget_bytes() const { return options_.budget_bytes; }
+  uint64_t soft_watermark_bytes() const { return soft_watermark_; }
+  uint64_t hard_watermark_bytes() const { return options_.budget_bytes; }
+  bool under_pressure() const { return under_pressure_.load(std::memory_order_relaxed); }
+
+  Stats stats() const;
+
+ private:
+  // Category-pinned ByteAccountant. Holds the governor through a raw atomic
+  // pointer so the shared form can outlive (and detach from) the governor.
+  class CategoryAdapter : public ByteAccountant {
+   public:
+    void Bind(MemGovernor* governor, MemCategory category) {
+      category_ = category;
+      governor_.store(governor, std::memory_order_release);
+    }
+    void Detach() { governor_.store(nullptr, std::memory_order_release); }
+    void Charge(uint64_t bytes) override {
+      MemGovernor* g = governor_.load(std::memory_order_acquire);
+      if (g != nullptr) {
+        g->Charge(category_, bytes);
+      }
+    }
+    void Release(uint64_t bytes) override {
+      MemGovernor* g = governor_.load(std::memory_order_acquire);
+      if (g != nullptr) {
+        g->Release(category_, bytes);
+      }
+    }
+
+   private:
+    std::atomic<MemGovernor*> governor_{nullptr};
+    MemCategory category_ = MemCategory::kGuestFrames;
+  };
+
+  struct Hook {
+    Reclaimable* hook = nullptr;
+    uint32_t priority = 0;
+  };
+
+  // Runs the ladder toward `target_bytes` of accounted usage. Opens the
+  // pressure epoch if not already open; closes it if the target is reached
+  // and usage is back under soft. Returns bytes shed.
+  uint64_t RunLadderLocked(uint64_t target_bytes) IMK_GUARDED_BY(kMemGovernor);
+
+  bool OverHardWatermark(uint64_t need_bytes) const;
+
+  const MemGovernorOptions options_;
+  uint64_t soft_watermark_ = 0;
+
+  std::atomic<uint64_t> category_current_[kMemCategoryCount] = {};
+  std::atomic<uint64_t> category_high_[kMemCategoryCount] = {};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> high_total_{0};
+  std::atomic<bool> under_pressure_{false};
+
+  std::atomic<uint64_t> reclaim_runs_{0};
+  std::atomic<uint64_t> reclaimed_bytes_{0};
+  std::atomic<uint64_t> tier_sheds_{0};
+  std::atomic<uint64_t> admits_{0};
+  std::atomic<uint64_t> admit_waits_{0};
+  std::atomic<uint64_t> admit_rejects_{0};
+
+  mutable race::Mutex mutex_{race::LockRank::kMemGovernor};
+  std::vector<Hook> hooks_ IMK_GUARDED_BY(kMemGovernor);  // sorted by priority
+
+  std::shared_ptr<CategoryAdapter> adapters_[kMemCategoryCount];
+};
+
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_VMM_MEM_GOVERNOR_H_

@@ -9,6 +9,7 @@
 #include "src/kernel/layout.h"
 #include "src/vmm/firmware.h"
 #include "src/vmm/layout_pool.h"
+#include "src/vmm/mem_governor.h"
 
 namespace imk {
 namespace {
@@ -37,6 +38,13 @@ Result<uint64_t> PeekFirstLoadOffset(ByteSpan elf_prefix) {
 MicroVm::MicroVm(Storage& storage, MicroVmConfig config)
     : storage_(storage), config_(std::move(config)) {
   memory_ = std::make_unique<GuestMemory>(config_.mem_size_bytes);
+  if (config_.mem_governor != nullptr) {
+    // Attach before the store is visible to any loader thread: every dirty
+    // frame this VM materializes is charged to the guest-frames category and
+    // released when the VM (and its FrameStore) is torn down.
+    memory_->frames().set_accountant(
+        config_.mem_governor->shared_accountant(MemCategory::kGuestFrames));
+  }
 }
 
 void MicroVm::InstallLazyKallsymsHook(uint64_t kallsyms_vaddr, uint64_t count,

@@ -26,6 +26,8 @@
 
 namespace imk {
 
+class MemGovernor;  // src/vmm/mem_governor.h
+
 // Which monitor personality to emulate (paper §2.2 cross-checks Firecracker
 // results against QEMU; "the time spent in the hypervisor varies").
 enum class MonitorKind {
@@ -95,6 +97,13 @@ struct MicroVmConfig {
   // blocks VM-private. Architectural results are bit-identical either way.
   bool use_block_cache = true;
   SharedBlockCache* shared_block_cache = nullptr;
+
+  // Fleet memory governor (src/vmm/mem_governor.h). When set, this VM's
+  // FrameStore charges its dirty frames against the governor's guest-frames
+  // category, and the boot supervisor gains admission gating plus the
+  // shared-caches-off pressure rung. The caller owns the governor and must
+  // keep it alive past this VM (the frame accounting releases at teardown).
+  MemGovernor* mem_governor = nullptr;
 
   // Boot watchdog wall-clock deadline, checked at monitor stage boundaries
   // and polled by the interpreter while the guest runs. The caller owns the

@@ -22,4 +22,11 @@ void ArmBogusPoolPlan() {
   (void)FaultPlan::Parse("pool.bogus_render:corrupt:p=0.5", 1);  // unregistered too
 }
 
+Status BogusMemPressure() {
+  // An unregistered governor fault point: the real ones are
+  // mem.pressure_soft / mem.pressure_hard / mem.reclaim.
+  IMK_FAULT_POINT("mem.bogus_pressure");
+  return OkStatus();
+}
+
 }  // namespace imk

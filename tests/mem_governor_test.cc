@@ -1,0 +1,297 @@
+// MemGovernor unit drills: per-category accounting and high-water marks,
+// ScopedMemCharge RAII (including charges that outlive the governor), the
+// priority-ordered reclamation ladder with its pressure-epoch bracket,
+// hard-watermark admission gating, and the three synthetic fault points
+// (mem.pressure_soft / mem.pressure_hard / mem.reclaim). Everything here is
+// kernel-free: tiers are fakes, so the drills run in microseconds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/base/fault_injection.h"
+#include "src/base/mem_accounting.h"
+#include "src/vmm/mem_governor.h"
+
+namespace imk {
+namespace {
+
+FaultPlan Plan(const char* spec, uint64_t seed = 1) {
+  auto plan = FaultPlan::Parse(spec, seed);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+// A reclaim tier holding `held` accounted bytes; ReclaimMemory sheds up to
+// the asked amount and records the call order in a shared log.
+class FakeTier : public Reclaimable {
+ public:
+  FakeTier(MemGovernor* governor, MemCategory category, const char* name)
+      : governor_(governor), category_(category), name_(name) {}
+
+  void Fill(uint64_t bytes) {
+    held_ += bytes;
+    governor_->Charge(category_, bytes);
+  }
+
+  uint64_t ReclaimMemory(uint64_t want_bytes) override {
+    if (order != nullptr) {
+      order->push_back(this);
+    }
+    const uint64_t shed = std::min(want_bytes, held_);
+    held_ -= shed;
+    governor_->Release(category_, shed);
+    return shed;
+  }
+  void OnMemoryPressure(bool under_pressure) override {
+    pressure_events.push_back(under_pressure);
+  }
+  const char* reclaim_name() const override { return name_; }
+
+  uint64_t held() const { return held_; }
+
+  std::vector<FakeTier*>* order = nullptr;
+  std::vector<bool> pressure_events;
+
+ private:
+  MemGovernor* governor_;
+  MemCategory category_;
+  const char* name_;
+  uint64_t held_ = 0;
+};
+
+// ---- accounting ----
+
+TEST(MemGovernorTest, ChargeReleaseTracksCategoriesAndHighWater) {
+  MemGovernor governor;
+  governor.Charge(MemCategory::kGuestFrames, 1000);
+  governor.Charge(MemCategory::kTemplateImages, 500);
+  governor.Charge(MemCategory::kGuestFrames, 200);
+  governor.Release(MemCategory::kGuestFrames, 700);
+
+  const MemGovernor::Stats stats = governor.stats();
+  EXPECT_EQ(stats.current_total_bytes, 1000u);
+  EXPECT_EQ(stats.high_water_total_bytes, 1700u);
+  const auto& frames = stats.categories[static_cast<size_t>(MemCategory::kGuestFrames)];
+  EXPECT_EQ(frames.current_bytes, 500u);
+  EXPECT_EQ(frames.high_water_bytes, 1200u);
+  const auto& templates = stats.categories[static_cast<size_t>(MemCategory::kTemplateImages)];
+  EXPECT_EQ(templates.current_bytes, 500u);
+  EXPECT_EQ(templates.high_water_bytes, 500u);
+  // Unlimited budget: no watermarks, everything admits without counting
+  // against a wait budget.
+  EXPECT_EQ(stats.budget_bytes, 0u);
+  EXPECT_TRUE(governor.Admit(1ull << 40, 0));
+}
+
+TEST(MemGovernorTest, ScopedChargeReleasesWithItsHolder) {
+  MemGovernor governor;
+  {
+    ScopedMemCharge charge(governor.shared_accountant(MemCategory::kLayoutRenders), 4096);
+    EXPECT_EQ(governor.current_total_bytes(), 4096u);
+    ScopedMemCharge moved = std::move(charge);
+    EXPECT_EQ(governor.current_total_bytes(), 4096u);  // move transfers, not doubles
+    EXPECT_EQ(moved.bytes(), 4096u);
+  }
+  EXPECT_EQ(governor.current_total_bytes(), 0u);
+  EXPECT_EQ(governor.stats().high_water_total_bytes, 4096u);
+}
+
+TEST(MemGovernorTest, ChargesOutliveTheGovernorSafely) {
+  // A cache entry's charge can outlive the storm-scoped governor; releasing
+  // it afterwards must be a no-op on a detached adapter, not a dangling call.
+  std::optional<ScopedMemCharge> charge;
+  std::shared_ptr<ByteAccountant> adapter;
+  {
+    MemGovernor governor;
+    adapter = governor.shared_accountant(MemCategory::kTemplateImages);
+    charge.emplace(adapter, 1 << 20);
+    EXPECT_EQ(governor.current_total_bytes(), 1u << 20);
+  }
+  charge.reset();          // releases into the detached adapter: no-op
+  adapter->Charge(123);    // so do late charges
+  adapter->Release(123);
+}
+
+// ---- reclamation ladder ----
+
+TEST(MemGovernorTest, LadderShedsInPriorityOrderUntilUnderSoft) {
+  MemGovernorOptions options;
+  options.budget_bytes = 1000;
+  options.soft_pct = 0.5;  // soft = 500
+  MemGovernor governor(options);
+
+  std::vector<FakeTier*> order;
+  FakeTier pool(&governor, MemCategory::kLayoutRenders, "pool");
+  FakeTier decode(&governor, MemCategory::kDecodeTables, "decode");
+  FakeTier templates(&governor, MemCategory::kTemplateImages, "templates");
+  for (FakeTier* tier : {&pool, &decode, &templates}) {
+    tier->order = &order;
+    tier->Fill(300);
+  }
+  // Registration order is shuffled on purpose: priority, not registration,
+  // decides the ladder order.
+  governor.RegisterReclaimable(&templates, 2);
+  governor.RegisterReclaimable(&pool, 0);
+  governor.RegisterReclaimable(&decode, 1);
+
+  EXPECT_EQ(governor.current_total_bytes(), 900u);
+  const uint64_t shed = governor.MaybeReclaim();
+
+  // 900 -> target 500: the pool tier sheds its 300, the decode tier the
+  // remaining 100; the templates tier is never touched.
+  EXPECT_EQ(shed, 400u);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], &pool);
+  EXPECT_EQ(order[1], &decode);
+  EXPECT_EQ(pool.held(), 0u);
+  EXPECT_EQ(decode.held(), 200u);
+  EXPECT_EQ(templates.held(), 300u);
+  EXPECT_EQ(governor.current_total_bytes(), 500u);
+
+  // The pressure epoch bracketed the run: every registered tier saw
+  // OnMemoryPressure(true) then (false), shed or not.
+  for (FakeTier* tier : {&pool, &decode, &templates}) {
+    ASSERT_EQ(tier->pressure_events.size(), 2u) << tier->reclaim_name();
+    EXPECT_TRUE(tier->pressure_events[0]);
+    EXPECT_FALSE(tier->pressure_events[1]);
+  }
+  EXPECT_FALSE(governor.under_pressure());
+
+  const MemGovernor::Stats stats = governor.stats();
+  EXPECT_EQ(stats.reclaim_runs, 1u);
+  EXPECT_EQ(stats.tier_sheds, 2u);
+  EXPECT_EQ(stats.reclaimed_bytes, 400u);
+
+  // Back under soft: another pass is a no-op.
+  EXPECT_EQ(governor.MaybeReclaim(), 0u);
+  EXPECT_EQ(order.size(), 2u);
+
+  governor.UnregisterReclaimable(&pool);
+  governor.UnregisterReclaimable(&decode);
+  governor.UnregisterReclaimable(&templates);
+}
+
+TEST(MemGovernorTest, ReclaimAllDrainsEveryTier) {
+  MemGovernor governor;  // no budget: only the drill sheds
+  FakeTier pool(&governor, MemCategory::kLayoutRenders, "pool");
+  FakeTier templates(&governor, MemCategory::kTemplateImages, "templates");
+  pool.Fill(700);
+  templates.Fill(300);
+  governor.RegisterReclaimable(&pool, 0);
+  governor.RegisterReclaimable(&templates, 2);
+
+  EXPECT_EQ(governor.ReclaimAll(), 1000u);
+  EXPECT_EQ(pool.held(), 0u);
+  EXPECT_EQ(templates.held(), 0u);
+  EXPECT_EQ(governor.current_total_bytes(), 0u);
+
+  governor.UnregisterReclaimable(&pool);
+  governor.UnregisterReclaimable(&templates);
+}
+
+// ---- admission ----
+
+TEST(MemGovernorTest, AdmitRejectsOverHardAndRecoversAfterRelease) {
+  MemGovernorOptions options;
+  options.budget_bytes = 1000;
+  MemGovernor governor(options);
+
+  // Pinned bytes no ladder can shed: admission must time out and reject.
+  governor.Charge(MemCategory::kGuestFrames, 900);
+  EXPECT_FALSE(governor.Admit(200, 1));
+  EXPECT_EQ(governor.stats().admit_rejects, 1u);
+
+  governor.Release(MemCategory::kGuestFrames, 500);
+  EXPECT_TRUE(governor.Admit(200, 1));
+  const MemGovernor::Stats stats = governor.stats();
+  EXPECT_EQ(stats.admits, 1u);
+  EXPECT_EQ(stats.admit_rejects, 1u);
+}
+
+TEST(MemGovernorTest, AdmitReclaimsToMakeRoom) {
+  MemGovernorOptions options;
+  options.budget_bytes = 1000;  // soft = 750
+  MemGovernor governor(options);
+  FakeTier pool(&governor, MemCategory::kLayoutRenders, "pool");
+  pool.Fill(900);
+  governor.RegisterReclaimable(&pool, 0);
+
+  // 900 + 200 would breach the hard watermark; the gate's own reclamation
+  // pass makes the room, so the launch admits without waiting.
+  EXPECT_TRUE(governor.Admit(200, 50));
+  EXPECT_LE(governor.current_total_bytes() + 200, 1000u);
+  const MemGovernor::Stats stats = governor.stats();
+  EXPECT_EQ(stats.admits, 1u);
+  EXPECT_EQ(stats.admit_rejects, 0u);
+  EXPECT_GE(stats.tier_sheds, 1u);
+
+  governor.UnregisterReclaimable(&pool);
+}
+
+// ---- synthetic fault points ----
+
+TEST(MemGovernorTest, SoftPressureFaultForcesAFullDrill) {
+  MemGovernor governor;  // unlimited: only the fault can open an epoch
+  FakeTier pool(&governor, MemCategory::kLayoutRenders, "pool");
+  pool.Fill(512);
+  governor.RegisterReclaimable(&pool, 0);
+
+  EXPECT_EQ(governor.MaybeReclaim(), 0u);  // no budget, no fault: no-op
+  {
+    FaultScope faults(Plan("mem.pressure_soft:error:n=1:max=1"));
+    // A forced epoch with no budget targets zero: the tier sheds dry.
+    EXPECT_EQ(governor.MaybeReclaim(), 512u);
+  }
+  EXPECT_EQ(pool.held(), 0u);
+  governor.UnregisterReclaimable(&pool);
+}
+
+TEST(MemGovernorTest, ReclaimFaultMisfiresOneTierAndTheLadderMovesOn) {
+  MemGovernor governor;
+  std::vector<FakeTier*> order;
+  FakeTier pool(&governor, MemCategory::kLayoutRenders, "pool");
+  FakeTier templates(&governor, MemCategory::kTemplateImages, "templates");
+  pool.order = &order;
+  templates.order = &order;
+  pool.Fill(100);
+  templates.Fill(100);
+  governor.RegisterReclaimable(&pool, 0);
+  governor.RegisterReclaimable(&templates, 2);
+
+  FaultScope faults(Plan("mem.pressure_soft:error:n=1:max=1;mem.reclaim:error:n=1:max=1"));
+  // The first tier misfires (shed skipped) and the ladder proceeds: only the
+  // second tier sheds — degraded, not wedged.
+  EXPECT_EQ(governor.MaybeReclaim(), 100u);
+  EXPECT_EQ(pool.held(), 100u);
+  EXPECT_EQ(templates.held(), 0u);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], &templates);
+
+  governor.UnregisterReclaimable(&pool);
+  governor.UnregisterReclaimable(&templates);
+}
+
+TEST(MemGovernorTest, HardPressureFaultDeniesOneAdmissionPoll) {
+  MemGovernor governor;  // unlimited: only the fault can deny
+  {
+    FaultScope faults(Plan("mem.pressure_hard:error:n=1:max=1"));
+    EXPECT_FALSE(governor.Admit(0, 0));  // zero wait: one poll, one denial
+    EXPECT_TRUE(governor.Admit(0, 0));   // the rule is spent
+  }
+  const MemGovernor::Stats stats = governor.stats();
+  EXPECT_EQ(stats.admit_rejects, 1u);
+  EXPECT_EQ(stats.admits, 1u);
+}
+
+TEST(MemGovernorTest, CategoryNamesAreStable) {
+  EXPECT_STREQ(MemCategoryName(MemCategory::kGuestFrames), "guest_frames");
+  EXPECT_STREQ(MemCategoryName(MemCategory::kTemplateImages), "template_images");
+  EXPECT_STREQ(MemCategoryName(MemCategory::kLayoutRenders), "layout_renders");
+  EXPECT_STREQ(MemCategoryName(MemCategory::kDecodeTables), "decode_tables");
+}
+
+}  // namespace
+}  // namespace imk

@@ -15,6 +15,7 @@
 #include "src/vmm/boot_storm.h"
 #include "src/vmm/boot_supervisor.h"
 #include "src/vmm/image_template.h"
+#include "src/vmm/mem_governor.h"
 #include "src/vmm/microvm.h"
 
 namespace imk {
@@ -263,6 +264,143 @@ TEST(BootSupervisorTest, IdenticalSeedsReplayIdenticalHistories) {
   }
 }
 
+// ---- memory governance ----
+
+TEST(BootSupervisorTest, MemRejectionAndBootFaultAreBothAccounted) {
+  BuiltKernel& kernel = GetKernel(RandoMode::kKaslr);
+  ImageTemplateCache cache;
+
+  // Combined drill: attempt 0 is bounced at the (synthetic) hard watermark
+  // before any boot work, attempt 1 is admitted but dies in relocation,
+  // attempt 2 boots clean. Every attempt — rejected or failed — must land in
+  // the history with its own classification and consume one retry.
+  FaultScope faults(
+      Plan("mem.pressure_hard:error:n=1:max=1;loader.reloc:error:n=1:max=1"));
+  MemGovernor governor;  // accounting-only: no budget, fault-driven denial
+  SupervisorOptions options;
+  options.expected_checksum = kernel.info.expected_checksum;
+  options.admit_wait_ms = 0;  // one admission poll per attempt: no re-poll
+  MicroVmConfig config = BaseConfig(RandoMode::kKaslr, &cache);
+  config.mem_governor = &governor;
+  BootSupervisor supervisor(kernel.storage, config, options);
+  BootOutcome outcome = supervisor.Run();
+  ASSERT_TRUE(outcome.ok) << outcome.ToString();
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(outcome.mem_rejections, 1u);
+  EXPECT_EQ(outcome.degradations, 0u);
+  ASSERT_EQ(outcome.history.size(), 3u);
+  EXPECT_EQ(outcome.history[0].result, AttemptResult::kRejectedMemPressure);
+  EXPECT_EQ(outcome.history[1].result, AttemptResult::kError);
+  EXPECT_EQ(outcome.history[2].result, AttemptResult::kOk);
+  // The rejection stayed on the requested rung (it is backpressure, not a
+  // boot failure) and the retry after it drew a fresh seed as usual.
+  for (const AttemptRecord& attempt : outcome.history) {
+    EXPECT_EQ(attempt.mode, RandoMode::kKaslr);
+  }
+  EXPECT_NE(outcome.history[1].seed, outcome.history[2].seed);
+  const MemGovernor::Stats stats = governor.stats();
+  EXPECT_EQ(stats.admit_rejects, 1u);
+  EXPECT_EQ(stats.admits, 2u);
+}
+
+TEST(BootSupervisorTest, SustainedHardPressureRejectsEveryAttempt) {
+  BuiltKernel& kernel = GetKernel(RandoMode::kKaslr);
+  ImageTemplateCache cache;
+
+  MemGovernorOptions gov_options;
+  gov_options.budget_bytes = 1ull << 20;
+  MemGovernor governor(gov_options);
+  // Pin the fleet over the hard watermark with bytes no ladder can shed
+  // (there are no reclaimable hooks registered).
+  governor.Charge(MemCategory::kGuestFrames, 2ull << 20);
+
+  SupervisorOptions options;
+  options.max_retries = 1;
+  options.policy = DegradePolicy::kStrict;
+  options.admit_wait_ms = 1;
+  MicroVmConfig config = BaseConfig(RandoMode::kKaslr, &cache);
+  config.mem_governor = &governor;
+  {
+    BootSupervisor supervisor(kernel.storage, config, options);
+    BootOutcome outcome = supervisor.Run();
+    EXPECT_FALSE(outcome.ok) << outcome.ToString();
+    // Strict keeps the requested rung plus the same-mode pressure rung:
+    // 2 rungs x (1 + max_retries) attempts, every one bounced.
+    EXPECT_EQ(outcome.attempts, 4u);
+    EXPECT_EQ(outcome.mem_rejections, outcome.attempts);
+    EXPECT_EQ(outcome.degradations, 0u);
+    ASSERT_EQ(outcome.history.size(), 4u);
+    for (const AttemptRecord& attempt : outcome.history) {
+      EXPECT_EQ(attempt.result, AttemptResult::kRejectedMemPressure);
+      EXPECT_EQ(attempt.mode, RandoMode::kKaslr);
+    }
+    EXPECT_FALSE(outcome.history[0].caches_off);
+    EXPECT_FALSE(outcome.history[1].caches_off);
+    EXPECT_TRUE(outcome.history[2].caches_off);
+    EXPECT_TRUE(outcome.history[3].caches_off);
+    EXPECT_EQ(outcome.final_status.code(), ErrorCode::kResourceExhausted);
+    EXPECT_EQ(supervisor.vm(), nullptr);
+  }
+
+  // Releasing the pinned bytes reopens admission: the same config boots.
+  governor.Release(MemCategory::kGuestFrames, 2ull << 20);
+  options.expected_checksum = kernel.info.expected_checksum;
+  BootSupervisor supervisor(kernel.storage, config, options);
+  BootOutcome outcome = supervisor.Run();
+  ASSERT_TRUE(outcome.ok) << outcome.ToString();
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(outcome.mem_rejections, 0u);
+}
+
+TEST(BootSupervisorTest, PressureRungBootsWithSharedCachesOff) {
+  BuiltKernel& kernel = GetKernel(RandoMode::kKaslr);
+  ImageTemplateCache cache;
+  MemGovernor governor;
+  SupervisorOptions options;
+  options.expected_checksum = kernel.info.expected_checksum;
+
+  // Warm the shared template cache so a cached attempt would take the hit
+  // path — the caches-off boot below must leave the hit counter at zero.
+  {
+    MicroVmConfig warm_config = BaseConfig(RandoMode::kKaslr, &cache);
+    BootSupervisor warm(kernel.storage, warm_config, options);
+    ASSERT_TRUE(warm.Run().ok);
+  }
+  ASSERT_EQ(cache.misses(), 1u);
+  ASSERT_EQ(cache.hits(), 0u);
+
+  // Synthetic hard pressure bounces both attempts of the cached rung (one
+  // rule per admission poll: `n=` fires on exactly the nth hit); the
+  // governed pressure rung then boots the SAME mode with shared caches off —
+  // permitted under kStrict because it trades no hardening.
+  FaultScope faults(
+      Plan("mem.pressure_hard:error:n=1:max=1;mem.pressure_hard:error:n=2:max=1"));
+  options.max_retries = 1;
+  options.policy = DegradePolicy::kStrict;
+  options.admit_wait_ms = 0;  // one admission poll per attempt
+  MicroVmConfig config = BaseConfig(RandoMode::kKaslr, &cache);
+  config.mem_governor = &governor;
+  BootSupervisor supervisor(kernel.storage, config, options);
+  BootOutcome outcome = supervisor.Run();
+  ASSERT_TRUE(outcome.ok) << outcome.ToString();
+  EXPECT_EQ(outcome.final_mode, RandoMode::kKaslr);
+  EXPECT_EQ(outcome.degradations, 0u);
+  EXPECT_EQ(outcome.mem_rejections, 2u);
+  EXPECT_EQ(outcome.attempts, 3u);  // 2 bounced cached attempts + 1 caches-off boot
+  ASSERT_EQ(outcome.history.size(), 3u);
+  EXPECT_FALSE(outcome.history[0].caches_off);
+  EXPECT_FALSE(outcome.history[1].caches_off);
+  EXPECT_EQ(outcome.history[0].result, AttemptResult::kRejectedMemPressure);
+  EXPECT_EQ(outcome.history[1].result, AttemptResult::kRejectedMemPressure);
+  EXPECT_TRUE(outcome.history[2].caches_off);
+  EXPECT_EQ(outcome.history[2].result, AttemptResult::kOk);
+  // The winning boot really bypassed the warm shared cache.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  ASSERT_TRUE(outcome.report.has_value());
+  EXPECT_EQ(outcome.report->init_checksum, kernel.info.expected_checksum);
+}
+
 // ---- supervised boot storm ----
 
 TEST(SupervisedStormTest, FaultFreeSupervisionPreservesLayoutsAndTallies) {
@@ -328,6 +466,50 @@ TEST(SupervisedStormTest, InjectedFailureIsRetriedNotFatal) {
   EXPECT_EQ(tally.faults_injected, 1u);
   // Failed attempts never leak into the latency samples.
   EXPECT_EQ(storm->boot_ms.count(), options.vms);
+}
+
+TEST(SupervisedStormTest, HardPressureRejectionsAreTalliedPerLaunch) {
+  BuiltKernel& kernel = GetKernel(RandoMode::kKaslr);
+  const Bytes relocs_blob = SerializeRelocs(kernel.info.relocs);
+
+  // An external governor pinned over its hard watermark: every churned
+  // launch must be turned away at admission and land in the rejected_mem
+  // bucket — accounted() still covers every launch, nothing is dropped.
+  MemGovernorOptions gov_options;
+  gov_options.budget_bytes = 1ull << 20;
+  MemGovernor governor(gov_options);
+  governor.Charge(MemCategory::kGuestFrames, 2ull << 20);
+
+  StormOptions options;
+  options.vms = 4;
+  options.threads = 2;
+  options.churn_cycles = 2;
+  options.warmup_per_thread = 0;
+  options.rando = RandoMode::kKaslr;
+  options.mem_size_bytes = kMem;
+  options.seed_base = 7;
+  options.supervise = true;
+  options.max_retries = 0;
+  options.admit_wait_ms = 1;
+  options.governor = &governor;
+
+  auto storm = RunBootStorm(ByteSpan(kernel.info.vmlinux), ByteSpan(relocs_blob), options);
+  ASSERT_TRUE(storm.ok()) << storm.status().ToString();
+
+  const uint32_t launches = options.vms * options.churn_cycles;
+  EXPECT_EQ(storm->launches, launches);
+  const StormStats::OutcomeTally& tally = storm->outcomes;
+  EXPECT_EQ(tally.accounted(), launches);
+  EXPECT_EQ(tally.rejected_mem, launches);
+  EXPECT_EQ(tally.ok_first_try, 0u);
+  EXPECT_EQ(tally.failed, 0u);
+  // Every supervised attempt was an admission bounce, and each one is
+  // visible at attempt granularity too.
+  EXPECT_EQ(tally.mem_rejected_attempts, tally.attempts_total);
+  EXPECT_GT(tally.attempts_total, 0u);
+  EXPECT_EQ(storm->boot_ms.count(), 0u);
+  ASSERT_TRUE(storm->mem.has_value());
+  EXPECT_GE(storm->mem->admit_rejects, launches);
 }
 
 }  // namespace

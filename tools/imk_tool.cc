@@ -12,6 +12,7 @@
 //   boot     --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--mem=256]
 //            [--threads=N] [--no-template-cache] [--no-block-cache]
 //            [--layout-pool=N] [--pool-refill=N]
+//            [--mem-budget=MIB] [--mem-soft-pct=F]
 //            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
 //            Boots the image with in-monitor randomization and reports the
@@ -31,9 +32,16 @@
 //            maps a pre-rendered image; a drained pool falls back inline;
 //            under supervision the ladder becomes pool-hit -> inline ->
 //            lower modes); --pool-refill sets the background batch size.
+//            --mem-budget=MIB boots under a fleet MemGovernor with that hard
+//            watermark (--mem-soft-pct sets the reclamation watermark as a
+//            fraction of it, default 0.75): guest frames are byte-accounted,
+//            a supervised boot gains the admission gate and the caches-off
+//            pressure rung, and the governor's per-category residency is
+//            reported after the boot.
 //   storm    --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--vms=16]
 //            [--threads=4] [--mem=256] [--seed=N] [--no-block-cache]
-//            [--layout-pool=N] [--pool-refill=N]
+//            [--layout-pool=N] [--pool-refill=N] [--churn=K]
+//            [--mem-budget=MIB] [--mem-soft-pct=F] [--admit-wait-ms=N]
 //            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
 //            Boot-storm fleet drill: boots --vms microVMs of the image across
@@ -51,6 +59,15 @@
 //            into shared vs privately decoded (the decode-cache analogue of
 //            the page-sharing census); --no-block-cache runs the legacy
 //            per-instruction interpreter instead (boot accepts it too).
+//            --churn=K launches-and-halts each VM slot K times (vms*K
+//            measured launches against the same shared caches — the
+//            long-running-host lane). --mem-budget=MIB runs the storm under
+//            a fleet MemGovernor: the soft watermark (--mem-soft-pct, of the
+//            budget) triggers pressure-tiered cache reclamation (layout pool
+//            -> decode tables -> template images), the hard watermark gates
+//            launch admission (--admit-wait-ms bounded wait, then the launch
+//            is tallied rejected-mem), and the report adds per-category
+//            current/peak resident bytes plus reclaim/admission counters.
 //   verify   --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--seed=N]
 //            [--mem=256] [--threads=N] [--json] [--corrupt=MODE]
 //            Randomizes the image in-monitor (no guest execution), then runs
@@ -70,10 +87,12 @@
 //            [--json] [--drill=order|lockset]
 //            Concurrency audit (DESIGN.md §11): builds a synthetic kernel
 //            in-process and runs an instrumented boot storm over kaslr,
-//            fgkaslr, pooled-fgkaslr, and kaslr-blockcache lanes (the pooled
-//            lane exercises the LayoutPool's refill/grab concurrency, the
-//            blockcache lane the SharedBlockCache's cross-VM decode map,
-//            both under the lock-rank auditor), reporting rank inversions,
+//            fgkaslr, pooled-fgkaslr, kaslr-blockcache, and a governed churn
+//            lane (the pooled lane exercises the LayoutPool's refill/grab
+//            concurrency, the blockcache lane the SharedBlockCache's
+//            cross-VM decode map, the churn lane a tight-budget MemGovernor
+//            reclaiming every cache tier mid-storm — all under the lock-rank
+//            auditor), reporting rank inversions,
 //            lock-order cycles,
 //            unranked locks, and Eraser-style lockset violations. Exits 0
 //            on a clean report. Meaningful detection needs a build with
@@ -223,6 +242,31 @@ imk::DegradePolicy ParseDegrade(const Args& args) {
     Die(policy.status().ToString());
   }
   return *policy;
+}
+
+void PrintMemStats(const imk::MemGovernor::Stats& mem) {
+  std::printf("memory: %llu / %llu bytes resident (peak %llu; soft %llu, hard %llu)\n",
+              static_cast<unsigned long long>(mem.current_total_bytes),
+              static_cast<unsigned long long>(mem.budget_bytes),
+              static_cast<unsigned long long>(mem.high_water_total_bytes),
+              static_cast<unsigned long long>(mem.soft_watermark_bytes),
+              static_cast<unsigned long long>(mem.hard_watermark_bytes));
+  for (size_t c = 0; c < imk::kMemCategoryCount; ++c) {
+    std::printf("  %-16s %10s resident, %10s peak\n",
+                imk::MemCategoryName(static_cast<imk::MemCategory>(c)),
+                imk::HumanSize(mem.categories[c].current_bytes).c_str(),
+                imk::HumanSize(mem.categories[c].high_water_bytes).c_str());
+  }
+  std::printf(
+      "  reclaim: %llu runs shed %s over %llu tiers; admission: %llu ok (%llu waited), "
+      "%llu rejected%s\n",
+      static_cast<unsigned long long>(mem.reclaim_runs),
+      imk::HumanSize(mem.reclaimed_bytes).c_str(),
+      static_cast<unsigned long long>(mem.tier_sheds),
+      static_cast<unsigned long long>(mem.admits),
+      static_cast<unsigned long long>(mem.admit_waits),
+      static_cast<unsigned long long>(mem.admit_rejects),
+      mem.under_pressure ? " [STILL UNDER PRESSURE]" : "");
 }
 
 int CmdBuild(const Args& args) {
@@ -437,6 +481,17 @@ int CmdBoot(const Args& args) {
   config.boot_mode = (head.size() > 8 && head[0] == 0x49 && head[1] == 0x4d && head[2] == 0x4b)
                          ? imk::BootMode::kBzImage
                          : imk::BootMode::kDirect;
+  // Declared before the VM/supervisor below so it outlives them: the VM's
+  // frame accounting releases into the governor at teardown.
+  std::optional<imk::MemGovernor> governor;
+  const uint64_t mem_budget = static_cast<uint64_t>(args.GetDouble("mem-budget", 0)) << 20;
+  if (mem_budget > 0) {
+    imk::MemGovernorOptions governor_options;
+    governor_options.budget_bytes = mem_budget;
+    governor_options.soft_pct = args.GetDouble("mem-soft-pct", 0.75);
+    governor.emplace(governor_options);
+    config.mem_governor = &*governor;
+  }
   if (WantsSupervision(args)) {
     ArmFaults(args);
     imk::SupervisorOptions sup;
@@ -448,6 +503,9 @@ int CmdBoot(const Args& args) {
     imk::BootSupervisor supervisor(storage, config, sup);
     imk::BootOutcome outcome = supervisor.Run();
     std::printf("%s\n", outcome.ToString().c_str());
+    if (governor.has_value()) {
+      PrintMemStats(governor->stats());
+    }
     imk::FaultInjector::Instance().Disarm();
     return FinishAudit(audit, json, outcome.ok ? 0 : 1);
   }
@@ -480,6 +538,9 @@ int CmdBoot(const Args& args) {
                 static_cast<unsigned long long>(report->guest_stats.blocks_shared),
                 static_cast<unsigned long long>(report->guest_stats.blocks_private));
   }
+  if (governor.has_value()) {
+    PrintMemStats(governor->stats());
+  }
   return FinishAudit(audit, json, 0);
 }
 
@@ -506,6 +567,10 @@ int CmdStorm(const Args& args) {
   options.use_block_cache = args.Get("no-block-cache").empty();
   options.layout_pool_depth = static_cast<uint32_t>(args.GetDouble("layout-pool", 0));
   options.layout_pool_refill_batch = static_cast<uint32_t>(args.GetDouble("pool-refill", 2));
+  options.churn_cycles = static_cast<uint32_t>(args.GetDouble("churn", 1));
+  options.mem_budget_bytes = static_cast<uint64_t>(args.GetDouble("mem-budget", 0)) << 20;
+  options.mem_soft_pct = args.GetDouble("mem-soft-pct", 0.75);
+  options.admit_wait_ms = static_cast<uint64_t>(args.GetDouble("admit-wait-ms", 50));
   if (WantsSupervision(args)) {
     ArmFaults(args);
     options.supervise = true;
@@ -519,9 +584,9 @@ int CmdStorm(const Args& args) {
   if (!stats.ok()) {
     Die(stats.status().ToString());
   }
-  std::printf("storm: %u VMs over %u threads in %.1f ms -> %.1f boots/sec\n", stats->vms,
-              stats->threads, static_cast<double>(stats->wall_ns) / 1e6,
-              stats->boots_per_sec());
+  std::printf("storm: %u VMs over %u threads (%u launches) in %.1f ms -> %.1f boots/sec\n",
+              stats->vms, stats->threads, stats->launches,
+              static_cast<double>(stats->wall_ns) / 1e6, stats->boots_per_sec());
   std::printf("boot latency: p50 %.2f ms, p99 %.2f ms\n", stats->boot_ms.percentile(50),
               stats->boot_ms.percentile(99));
   std::printf("image: %s, dirty %.1f%% per VM (%.0f of %llu frames; %.0f still shared)\n",
@@ -554,15 +619,22 @@ int CmdStorm(const Args& args) {
         static_cast<unsigned long long>(stats->pool_refill_errors),
         static_cast<unsigned long long>(stats->pool_quarantined));
   }
-  if (options.supervise) {
+  if (stats->mem.has_value()) {
+    PrintMemStats(*stats->mem);
+  }
+  if (options.supervise || stats->outcomes.rejected_mem > 0) {
     const auto& t = stats->outcomes;
     std::printf(
-        "outcomes: %u first-try, %u retried, %u degraded, %u failed (%u/%u accounted)\n",
-        t.ok_first_try, t.ok_retried, t.ok_degraded, t.failed, t.accounted(), stats->vms);
-    std::printf("          %u attempts, %u watchdog trips, %llu quarantines, %llu faults fired\n",
-                t.attempts_total, t.watchdog_trips,
-                static_cast<unsigned long long>(t.cache_quarantines),
-                static_cast<unsigned long long>(t.faults_injected));
+        "outcomes: %u first-try, %u retried, %u degraded, %u failed, %u rejected-mem "
+        "(%u/%u accounted)\n",
+        t.ok_first_try, t.ok_retried, t.ok_degraded, t.failed, t.rejected_mem, t.accounted(),
+        stats->launches);
+    std::printf(
+        "          %u attempts, %u watchdog trips, %u mem-rejected attempts, "
+        "%llu quarantines, %llu faults fired\n",
+        t.attempts_total, t.watchdog_trips, t.mem_rejected_attempts,
+        static_cast<unsigned long long>(t.cache_quarantines),
+        static_cast<unsigned long long>(t.faults_injected));
     return FinishAudit(audit, json, t.failed == 0 ? 0 : 1);
   }
   return FinishAudit(audit, json, 0);
@@ -613,17 +685,24 @@ int CmdRaceCheck(const Args& args) {
     imk::RandoMode mode;
     uint32_t pool_depth;  // 0 = no layout pool
     bool block_cache;     // storm-wide shared decode cache on?
+    uint32_t churn;       // launch/halt cycles per VM slot (<=1 = one wave)
+    uint64_t budget_mb;   // MemGovernor hard watermark (0 = ungoverned)
   };
   const Lane lanes[] = {
-      {"kaslr", imk::RandoMode::kKaslr, 0, false},
-      {"fgkaslr", imk::RandoMode::kFgKaslr, 0, false},
+      {"kaslr", imk::RandoMode::kKaslr, 0, false, 1, 0},
+      {"fgkaslr", imk::RandoMode::kFgKaslr, 0, false, 1, 0},
       // Pooled lane: background refill races measured grabs, so the
       // LayoutPool's kLayoutPool rank and guards get audited under load.
-      {"fgkaslr-pooled", imk::RandoMode::kFgKaslr, options.vms, false},
+      {"fgkaslr-pooled", imk::RandoMode::kFgKaslr, options.vms, false, 1, 0},
       // Block-cache lane: every VM's block engine grabs from / installs
       // into one SharedBlockCache, auditing the kBlockCache rank and the
       // decode-map guards under storm concurrency.
-      {"kaslr-blockcache", imk::RandoMode::kKaslr, 0, true},
+      {"kaslr-blockcache", imk::RandoMode::kKaslr, 0, true, 1, 0},
+      // Churn lane under a deliberately tight MemGovernor budget: workers
+      // charge/release frame bytes while the ladder walks cache locks from
+      // the kMemGovernor rank, auditing the governor's lock order (admission
+      // gate, reclamation into pool + decode + template tiers) under load.
+      {"fgkaslr-churn-governed", imk::RandoMode::kFgKaslr, options.vms, true, 3, 48},
   };
   for (const Lane& lane : lanes) {
     auto info = imk::BuildKernel(
@@ -636,6 +715,8 @@ int CmdRaceCheck(const Args& args) {
     options.layout_pool_depth = lane.pool_depth;
     options.use_block_cache = lane.block_cache;
     options.share_block_cache = lane.block_cache;
+    options.churn_cycles = lane.churn;
+    options.mem_budget_bytes = lane.budget_mb << 20;
     imk::race::AuditScope audit;
     auto stats = imk::RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
     const imk::race::RaceReport& report = audit.Finish();
@@ -654,6 +735,12 @@ int CmdRaceCheck(const Args& args) {
       std::printf(", decode cache %llu shared grabs / %llu resident",
                   static_cast<unsigned long long>(stats->shared_block_hits),
                   static_cast<unsigned long long>(stats->shared_blocks_resident));
+    }
+    if (stats->mem.has_value()) {
+      std::printf(", governor %llu reclaim runs / %llu rejects / peak %s",
+                  static_cast<unsigned long long>(stats->mem->reclaim_runs),
+                  static_cast<unsigned long long>(stats->mem->admit_rejects),
+                  imk::HumanSize(stats->mem->high_water_total_bytes).c_str());
     }
     std::printf("\n%s\n", json ? report.ToJson().c_str() : report.ToString().c_str());
     all_clean = all_clean && report.clean();
