@@ -40,12 +40,18 @@
 // after the storm — a forced ReclaimAll drill that evicts the template
 // cache and proves a same-seed re-boot rebuilds a bit-identical kernel
 // region through the single-flight miss path.
+// A seventh lane, traced, re-runs the kaslr full storm with the imktrace
+// tracer live against an identical untraced control (interleaved,
+// best-of-2 per side) and records the throughput overhead of tracing
+// (guarded at <= 3%) plus a fleet-scale determinism check: both storms
+// keep their layouts and every slide/digest must match bit-for-bit.
 #include <cstring>
 #include <string>
 #include <thread>
 
 #include "bench/common.h"
 #include "src/base/fault_injection.h"
+#include "src/trace/trace.h"
 #include "src/vmm/boot_storm.h"
 
 namespace imk {
@@ -341,6 +347,77 @@ int Run(int argc, char** argv) {
       static_cast<double>(drill_shed_bytes) / (1 << 20),
       static_cast<unsigned long long>(drill_evictions), rebuild_identical ? "YES" : "NO");
 
+  // ---- traced lane: the kaslr full storm with the imktrace tracer live,
+  // against an identical untraced control. Runs interleave (control, traced,
+  // control, traced) and each side keeps its best-of-2 throughput so
+  // scheduler noise stays out of the overhead figure; the guard is <= 3%.
+  // Both sides keep their layouts: tracing must not perturb a single slide
+  // — the determinism contract of DESIGN.md section 15, checked at fleet
+  // scale rather than per boot.
+  double traced_bps = 0.0;
+  double untraced_bps = 0.0;
+  uint64_t trace_events = 0;
+  uint64_t trace_dropped = 0;
+  uint64_t trace_threads = 0;
+  bool trace_identical = false;
+  {
+    std::vector<LayoutIdentity> untraced_layouts;
+    std::vector<LayoutIdentity> traced_layouts;
+    auto run_lane = [&](bool traced) {
+      ImageTemplateCache lane_cache;
+      StormOptions lane_opts;
+      lane_opts.vms = vms;
+      lane_opts.threads = threads;
+      lane_opts.rando = RandoMode::kKaslr;
+      lane_opts.expected_checksum = kaslr_checksum;
+      lane_opts.cache = &lane_cache;
+      lane_opts.keep_layouts = true;
+      if (traced) {
+        trace::Tracer::Instance().Start();
+      }
+      StormStats lane_stats =
+          bench::CheckOk(RunBootStorm(ByteSpan(kaslr_vmlinux), ByteSpan(kaslr_relocs), lane_opts),
+                         traced ? "traced storm" : "untraced control storm");
+      const double bps = lane_stats.boots_per_sec();
+      if (traced) {
+        trace_events = trace::Tracer::Instance().Collect().size();
+        trace_dropped = trace::Tracer::Instance().dropped();
+        trace_threads = trace::Tracer::Instance().thread_count();
+        trace::Tracer::Instance().Stop();
+        traced_layouts = std::move(lane_stats.layouts);
+        if (bps > traced_bps) {
+          traced_bps = bps;
+        }
+      } else {
+        untraced_layouts = std::move(lane_stats.layouts);
+        if (bps > untraced_bps) {
+          untraced_bps = bps;
+        }
+      }
+    };
+    for (int round = 0; round < 2; ++round) {
+      run_lane(/*traced=*/false);
+      run_lane(/*traced=*/true);
+    }
+    trace_identical = untraced_layouts.size() == traced_layouts.size() && !untraced_layouts.empty();
+    for (size_t i = 0; trace_identical && i < untraced_layouts.size(); ++i) {
+      trace_identical = untraced_layouts[i].virt_slide == traced_layouts[i].virt_slide &&
+                        untraced_layouts[i].phys_load_addr == traced_layouts[i].phys_load_addr &&
+                        untraced_layouts[i].fg_digest == traced_layouts[i].fg_digest;
+    }
+  }
+  const double trace_overhead_pct =
+      untraced_bps > 0 && traced_bps > 0 ? (untraced_bps / traced_bps - 1.0) * 100.0 : 0.0;
+  const bool trace_overhead_ok = trace_overhead_pct <= 3.0;
+  std::printf(
+      "\ntraced (kaslr full storm, tracer live, best-of-2 vs untraced control):\n"
+      "  %.1f boots/s traced vs %.1f untraced (overhead %.2f%%)\n"
+      "  %llu events across %llu threads, %llu dropped; layouts bit-identical: %s\n",
+      traced_bps, untraced_bps, trace_overhead_pct,
+      static_cast<unsigned long long>(trace_events),
+      static_cast<unsigned long long>(trace_threads),
+      static_cast<unsigned long long>(trace_dropped), trace_identical ? "YES" : "NO");
+
   const double kaslr_dirty = rows[1].full.image_dirty_fraction();
   const bool dirty_ok = kaslr_dirty <= 0.5;
   const bool speedup_ok = rows[1].launch_speedup() >= 2.0;
@@ -381,6 +458,11 @@ int Run(int argc, char** argv) {
       "ladder shed >=1 tier (%s), post-reclaim rebuild bit-identical (%s)\n",
       churn_peak_ok ? "PASS" : "MISS", churn_shed_ok ? "PASS" : "MISS",
       rebuild_identical ? "PASS" : "MISS");
+  std::printf(
+      "targets (traced): tracing overhead %.2f%% (<=3%% %s), "
+      "spans recorded (%s), traced layouts bit-identical (%s)\n",
+      trace_overhead_pct, trace_overhead_ok ? "PASS" : "MISS",
+      trace_events > 0 ? "PASS" : "MISS", trace_identical ? "PASS" : "MISS");
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -547,11 +629,28 @@ int Run(int argc, char** argv) {
       "    \"faults_injected\": %llu,\n"
       "    \"full_boots_per_sec\": %.3f,\n"
       "    \"recovery_overhead_pct\": %.2f\n"
-      "  }\n}\n",
+      "  },\n",
       kFaultSpec, static_cast<unsigned long long>(kFaultSeed), faulted.vms, tally.ok_first_try,
       tally.ok_retried, tally.ok_degraded, tally.failed, tally.accounted(), tally.attempts_total,
       tally.watchdog_trips, static_cast<unsigned long long>(tally.cache_quarantines),
       static_cast<unsigned long long>(tally.faults_injected), faulted_bps, recovery_overhead_pct);
+  std::fprintf(
+      out,
+      "  \"traced\": {\n"
+      "    \"full_boots_per_sec\": %.3f,\n"
+      "    \"untraced_boots_per_sec\": %.3f,\n"
+      "    \"overhead_pct\": %.2f,\n"
+      "    \"events\": %llu,\n"
+      "    \"dropped\": %llu,\n"
+      "    \"trace_threads\": %llu,\n"
+      "    \"layouts_identical\": %s,\n"
+      "    \"overhead_ok\": %s\n"
+      "  }\n}\n",
+      traced_bps, untraced_bps, trace_overhead_pct,
+      static_cast<unsigned long long>(trace_events),
+      static_cast<unsigned long long>(trace_dropped),
+      static_cast<unsigned long long>(trace_threads), trace_identical ? "true" : "false",
+      trace_overhead_ok ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -133,6 +133,14 @@ check("storm_churn: post-reclaim re-boot is bit-identical",
 check("storm_churn: every launch admitted or accounted rejected",
       churn["admits"] + churn["rejected_mem_launches"] >= churn["launches"])
 
+traced = storm["traced"]
+check("traced: tracing overhead <= 3% of untraced full-storm throughput",
+      traced["overhead_pct"] <= 3.0 and traced["overhead_ok"] is True)
+check("traced: the tracer actually recorded spans across worker threads",
+      traced["events"] > 0 and traced["trace_threads"] >= 1)
+check("traced: traced-storm layouts bit-identical to the untraced control",
+      traced["layouts_identical"] is True)
+
 if failures:
     print(f"check_bench_json: {len(failures)} target(s) regressed")
     sys.exit(1)

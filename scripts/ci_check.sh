@@ -15,8 +15,11 @@
 # smoke (a governed churn storm under a deliberately tight memory budget —
 # the reclamation ladder must shed, hard-watermark rejections must be
 # accounted, and the frees run leak/UAF-checked under ASan when available),
-# bench smokes (micro_parallel, storm_boot, and micro_interp on tiny
-# images), a regression guard
+# a trace stage (the imktrace/metrics suites re-run by name under TSan, a
+# traced storm + boot through the tool surface with the exported Chrome
+# JSON strictly validated and the Prometheus scrape checked for the storm
+# counters), bench smokes (micro_parallel, storm_boot, and micro_interp on
+# tiny images), a regression guard
 # over the committed BENCH_*.json targets, and clang-tidy (skipped
 # gracefully when not installed). Nonzero exit on any failure.
 #
@@ -70,8 +73,11 @@ if [[ $skip_sanitizers -eq 0 ]]; then
   # concurrent SharedBlockCache storm (first-wins Install racing Grab), the
   # bit-identity suites, and the storm workers publishing decodes while
   # racing CoW faults on the frames those decodes came from.
+  # Trace|Metrics joins the filter for the observability layer: 8 concurrent
+  # span emitters racing mid-storm Collect() scrapes, the metrics
+  # scrape-during-emit drill, and the trace-enabled bit-identity lane.
   run_suite "tsan" "$repo_root/build-tsan" \
-    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix|BootStorm|FrameStore|BootSupervisor|SupervisedStorm|FaultInjector|IngestFuzz|LayoutPool|BlockCache" \
+    "ThreadPool|BatchDeltas|ShuffleDeltaIndex|Pipeline|ImageTemplateCache|BootMatrix|BootStorm|FrameStore|BootSupervisor|SupervisedStorm|FaultInjector|IngestFuzz|LayoutPool|BlockCache|Trace|Metrics" \
     -DIMK_TSAN=ON
 
   # Fault drill: the supervisor suites again under ASan, by name, so a
@@ -206,6 +212,64 @@ else
   fi
 fi
 rm -rf "$soak_dir"
+
+# Trace stage: observability must never perturb or race the fleet. The TSan
+# build re-runs the tracer/metrics suites by name (a filter typo in the full
+# run can never silently drop them), then the tool surface: a traced storm
+# must exit clean, expose the storm outcome counters in its Prometheus
+# scrape, and write Chrome trace JSON that a strict parse accepts with the
+# expected spans in it; a traced supervised boot must also exit clean. The
+# instrumented racecheck below includes the fgkaslr-traced storm lane, so
+# the rank-85 registry scrapes are audited under the lock wrappers too.
+echo "=== trace stage (TSan trace suites + traced-storm smoke + exporter guard) ==="
+if [[ $skip_sanitizers -eq 0 ]]; then
+  if ! (cd "$repo_root/build-tsan" &&
+        ctest --output-on-failure -j "$(nproc)" -R "Trace|Metrics"); then
+    echo "=== trace stage: TSan trace/metrics suites FAILED ==="
+    failures=$((failures + 1))
+  fi
+fi
+trace_dir="$(mktemp -d)"
+if ! "$repo_root/build/tools/imk_tool" build --out="$trace_dir" --rando=fgkaslr --scale=0.02 \
+    >/dev/null; then
+  echo "=== trace stage: kernel build FAILED ==="
+  failures=$((failures + 1))
+else
+  trace_vmlinux=("$trace_dir"/*.vmlinux)
+  trace_relocs=("$trace_dir"/*.relocs)
+  trace_out="$("$repo_root/build/tools/imk_tool" storm --kernel="${trace_vmlinux[0]}" \
+      --relocs="${trace_relocs[0]}" --rando=fgkaslr --vms=8 --threads=2 \
+      --trace="$trace_dir/storm.trace.json" --metrics)"
+  if [[ $? -ne 0 ]]; then
+    echo "=== trace stage: traced storm FAILED ==="
+    failures=$((failures + 1))
+  elif ! grep -q 'imk_storm_attempts_total' <<< "$trace_out"; then
+    echo "=== trace stage: Prometheus scrape missing storm counters ==="
+    failures=$((failures + 1))
+  fi
+  if ! python3 - "$trace_dir/storm.trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+names = {e.get("name") for e in events}
+assert "storm.launch" in names, "no storm.launch span"
+assert any(e.get("ph") == "X" for e in events), "no complete spans"
+assert all("ts" in e and "pid" in e for e in events), "malformed event"
+EOF
+  then
+    echo "=== trace stage: exported Chrome trace JSON invalid ==="
+    failures=$((failures + 1))
+  fi
+  if ! "$repo_root/build/tools/imk_tool" boot --kernel="${trace_vmlinux[0]}" \
+      --relocs="${trace_relocs[0]}" --rando=fgkaslr --seed=7 \
+      --trace="$trace_dir/boot.trace.json" --metrics >/dev/null; then
+    echo "=== trace stage: traced boot FAILED ==="
+    failures=$((failures + 1))
+  fi
+fi
+rm -rf "$trace_dir"
 
 # Race drill: build with the instrumented lock wrappers and run the imkrace
 # suites (the IMK_RACE_AUDIT-gated tests skip in every other build), then

@@ -190,6 +190,7 @@ const std::vector<std::string>& KnownFaultPoints() {
       "template.cache_hit",
       "template.parse",
       "threadpool.chunk",
+      "trace.buffer_full",
       "vcpu.enter",
   };
   return *points;

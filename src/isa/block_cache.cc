@@ -6,6 +6,7 @@
 
 #include "src/base/fault_injection.h"
 #include "src/race/tracker.h"
+#include "src/trace/trace.h"
 
 namespace imk {
 namespace {
@@ -164,6 +165,7 @@ void BlockCache::AdoptTable(uint64_t layout_key) {
     return;
   }
   adopt_done_ = true;
+  IMK_TRACE_SPAN("blockcache", "blockcache.adopt");
   adopted_ = shared_->GrabTable(layout_key);
   if (adopted_ == nullptr) {
     // First boot of this layout: log shareable blocks for PublishTable().
@@ -180,6 +182,7 @@ void BlockCache::PublishTable() {
     return;
   }
   log_enabled_ = false;
+  IMK_TRACE_SPAN("blockcache", "blockcache.publish");
   SharedBlockCache::Table table;
   table.entries = std::move(publish_log_);
   table.owners = std::move(log_owners_);
@@ -253,7 +256,15 @@ const DecodedBlock* BlockCache::LookupSlow(uint64_t vaddr, uint64_t phys, uint64
     }
   }
   if (block == nullptr) {
+    // Sampled 1-in-64 per thread: a full boot decodes thousands of blocks,
+    // and a span per decode alone saturates the rings and costs more than
+    // the <=3% traced-storm budget. The sampled spans still place every
+    // decode burst on the timeline; stage spans stay exact.
+    thread_local uint32_t decode_sample = 0;
+    const uint64_t decode_span =
+        (decode_sample++ % 64 == 0) ? trace::SpanStart() : 0;
     auto decoded = std::make_shared<DecodedBlock>(DecodeBlock(*store_, phys, avail, kMaxBlockUops));
+    trace::EmitComplete("blockcache", "blockcache.decode", decode_span);
     if (decoded->uops.empty()) {
       // First instruction straddles the fetch window: nothing cacheable.
       empty_block_ = std::move(decoded);

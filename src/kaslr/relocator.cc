@@ -1,6 +1,7 @@
 #include "src/kaslr/relocator.h"
 
 #include "src/base/fault_injection.h"
+#include "src/trace/trace.h"
 
 namespace imk {
 namespace {
@@ -59,6 +60,7 @@ Result<RelocStats> ApplyRelocations(LoadedImageView& view, const RelocInfo& relo
                                     uint64_t virt_delta, const RelocApplyOptions& options) {
   // Models a corrupt delta table / write fault inside the relocation walk.
   IMK_FAULT_POINT("relocator.apply");
+  IMK_TRACE_SPAN("relocator", "relocator.apply");
   const uint32_t delta32 = static_cast<uint32_t>(virt_delta);
   RelocStats stats;
 
@@ -105,6 +107,7 @@ Result<RelocStats> ApplyRelocationsShuffled(LoadedImageView& view, const RelocIn
                                             uint64_t virt_delta, const ShuffleMap& map,
                                             const RelocApplyOptions& options) {
   IMK_FAULT_POINT("relocator.apply");
+  IMK_TRACE_SPAN("relocator", "relocator.apply_shuffled");
   RelocScratch local_scratch;
   RelocScratch& scratch = options.scratch != nullptr ? *options.scratch : local_scratch;
 

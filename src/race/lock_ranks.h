@@ -52,6 +52,12 @@ enum class LockRank : uint32_t {
 
   // ---- innermost: leaf services callable from anywhere above ----
   kFaultInjector = 80,    // FaultInjector rule/counter state
+  kTraceRegistry = 85,    // imktrace thread-ring/metrics-shard registry.
+                          // Emit paths are lock-free; this mutex is taken
+                          // only on first-emit registration and on
+                          // scrape/export, so it ranks above every product
+                          // lock — a thread may register its ring while
+                          // holding any cache or governor lock.
 
   // ---- audit self-test (race drills only; never held by product code) ----
   kDrillOuter = 90,
@@ -82,6 +88,8 @@ inline constexpr LockRankInfo kLockRankTable[] = {
      "FrameStore per-shard frame state + read-pointer transitions"},
     {LockRank::kFrameStoreOwners, "frame-store-owners", "FrameStore shared-mapping owner pins"},
     {LockRank::kFaultInjector, "fault-injector", "FaultInjector rules, seeds, hit counters"},
+    {LockRank::kTraceRegistry, "trace-registry",
+     "imktrace thread-ring + metrics-shard registry; scrape/export serialization"},
     {LockRank::kDrillOuter, "drill-outer", "race-audit self-test outer lock"},
     {LockRank::kDrillInner, "drill-inner", "race-audit self-test inner lock"},
 };

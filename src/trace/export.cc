@@ -1,0 +1,186 @@
+#include "src/trace/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace imk {
+namespace trace {
+namespace {
+
+// Minimal escaper for the few metacharacters a trace-point literal could
+// legally contain (names are C string literals like "loader.reloc").
+void AppendEscaped(std::string& out, const char* s) {
+  for (; *s != 0; ++s) {
+    if (*s == '"' || *s == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(*s);
+  }
+}
+
+// Finds `"key":` inside [begin, end) of `text` and returns the offset just
+// past the colon, or npos.
+size_t FindKey(const std::string& text, size_t begin, size_t end, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = text.find(needle, begin);
+  if (pos == std::string::npos || pos >= end) {
+    return std::string::npos;
+  }
+  return pos + needle.size();
+}
+
+bool ParseStringValue(const std::string& text, size_t begin, size_t end, const char* key,
+                      std::string* out) {
+  size_t pos = FindKey(text, begin, end, key);
+  if (pos == std::string::npos || text[pos] != '"') {
+    return false;
+  }
+  ++pos;
+  out->clear();
+  while (pos < end && text[pos] != '"') {
+    if (text[pos] == '\\' && pos + 1 < end) {
+      ++pos;
+    }
+    out->push_back(text[pos]);
+    ++pos;
+  }
+  return pos < end;
+}
+
+bool ParseU64Value(const std::string& text, size_t begin, size_t end, const char* key,
+                   uint64_t* out) {
+  const size_t pos = FindKey(text, begin, end, key);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  *out = std::strtoull(text.c_str() + pos, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+std::string ToChromeJson(const std::vector<Event>& events) {
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    out += "{\"ph\":\"";
+    out += e.kind == EventKind::kSpan ? "X" : "i";
+    out += "\",\"name\":\"";
+    AppendEscaped(out, e.name != nullptr ? e.name : "");
+    out += "\",\"cat\":\"";
+    AppendEscaped(out, e.category != nullptr ? e.category : "");
+    // Chrome wants microseconds; the exact nanosecond stamps ride in args
+    // so ParseChromeJson round-trips without float loss.
+    std::snprintf(buf, sizeof(buf), "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f", e.tid,
+                  static_cast<double>(e.ts_ns) / 1000.0);
+    out += buf;
+    if (e.kind == EventKind::kSpan) {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      out += buf;
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"depth\":%u,\"ts_ns\":%" PRIu64 ",\"dur_ns\":%" PRIu64,
+                  e.depth, e.ts_ns, e.dur_ns);
+    out += buf;
+    if (e.vm_id != kNoVmId) {
+      std::snprintf(buf, sizeof(buf), ",\"vm\":%u", e.vm_id);
+      out += buf;
+    }
+    out += "}}";
+    if (i + 1 < events.size()) {
+      out += ",";
+    }
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Result<std::vector<ParsedEvent>> ParseChromeJson(const std::string& json) {
+  const size_t array_key = json.find("\"traceEvents\"");
+  if (array_key == std::string::npos) {
+    return ParseError("trace json: no traceEvents array");
+  }
+  const size_t array_begin = json.find('[', array_key);
+  if (array_begin == std::string::npos) {
+    return ParseError("trace json: malformed traceEvents array");
+  }
+  std::vector<ParsedEvent> events;
+  size_t pos = array_begin + 1;
+  while (pos < json.size()) {
+    const size_t obj_begin = json.find('{', pos);
+    if (obj_begin == std::string::npos) {
+      break;
+    }
+    // Balance braces (the event object nests one "args" object).
+    size_t depth = 0;
+    size_t obj_end = obj_begin;
+    bool in_string = false;
+    for (; obj_end < json.size(); ++obj_end) {
+      const char c = json[obj_end];
+      if (in_string) {
+        if (c == '\\') {
+          ++obj_end;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          break;
+        }
+      } else if (c == ']' && depth == 0) {
+        break;
+      }
+    }
+    if (obj_end >= json.size() || depth != 0) {
+      return ParseError("trace json: unbalanced event object");
+    }
+    ++obj_end;  // one past the closing brace
+
+    ParsedEvent event;
+    std::string ph;
+    if (!ParseStringValue(json, obj_begin, obj_end, "ph", &ph) ||
+        !ParseStringValue(json, obj_begin, obj_end, "name", &event.name) ||
+        !ParseStringValue(json, obj_begin, obj_end, "cat", &event.category)) {
+      return ParseError("trace json: event missing ph/name/cat");
+    }
+    event.kind = ph == "X" ? EventKind::kSpan : EventKind::kInstant;
+    uint64_t value = 0;
+    if (ParseU64Value(json, obj_begin, obj_end, "tid", &value)) {
+      event.tid = static_cast<uint32_t>(value);
+    }
+    if (!ParseU64Value(json, obj_begin, obj_end, "ts_ns", &event.ts_ns)) {
+      return ParseError("trace json: event missing args.ts_ns");
+    }
+    ParseU64Value(json, obj_begin, obj_end, "dur_ns", &event.dur_ns);
+    if (ParseU64Value(json, obj_begin, obj_end, "depth", &value)) {
+      event.depth = static_cast<uint16_t>(value);
+    }
+    if (ParseU64Value(json, obj_begin, obj_end, "vm", &value)) {
+      event.vm_id = static_cast<uint32_t>(value);
+    }
+    events.push_back(std::move(event));
+    pos = obj_end;
+    const size_t next = json.find_first_not_of(", \n\t\r", pos);
+    if (next == std::string::npos || json[next] == ']') {
+      break;
+    }
+    pos = next;
+  }
+  return events;
+}
+
+}  // namespace trace
+}  // namespace imk

@@ -1,0 +1,38 @@
+// Trace exporters: Chrome trace_event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev) and a round-trip parser so
+// tests and tools can validate an exported file without a JSON library.
+#ifndef IMKASLR_SRC_TRACE_EXPORT_H_
+#define IMKASLR_SRC_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/trace/trace.h"
+
+namespace imk {
+namespace trace {
+
+// Chrome trace_event "JSON Object Format": {"traceEvents": [...]}. Spans
+// become complete events (ph "X", microsecond ts/dur); instants become ph
+// "i". The VM id and nesting depth ride in args.
+std::string ToChromeJson(const std::vector<Event>& events);
+
+// Parses a string produced by ToChromeJson back into events (owned
+// strings, unlike Event's literal pointers).
+struct ParsedEvent {
+  uint64_t ts_ns = 0;
+  uint64_t dur_ns = 0;
+  std::string name;
+  std::string category;
+  uint32_t vm_id = kNoVmId;
+  uint32_t tid = 0;
+  uint16_t depth = 0;
+  EventKind kind = EventKind::kSpan;
+};
+Result<std::vector<ParsedEvent>> ParseChromeJson(const std::string& json);
+
+}  // namespace trace
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_TRACE_EXPORT_H_

@@ -1,0 +1,334 @@
+#include "src/trace/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace imk {
+namespace trace {
+namespace {
+
+std::atomic<uint64_t> g_next_registry_id{1};
+
+// Thread-local cache of this thread's shard per registry, keyed by the
+// registry's process-unique id (ids are never reused, so an entry for a
+// destroyed registry is merely dead weight that the FIFO cap evicts — the
+// shared_ptr keeps the shard memory valid regardless).
+struct ShardCacheEntry {
+  uint64_t registry_id = 0;
+  void* shard = nullptr;
+  std::shared_ptr<void> keepalive;
+};
+constexpr size_t kShardCacheCap = 8;
+thread_local std::vector<ShardCacheEntry> t_shard_cache;
+
+// Atomic double accumulation in a u64 cell (per-shard, so the CAS loop is
+// effectively uncontended: only scrapers read cross-thread).
+void AddDouble(std::atomic<uint64_t>* cell, double delta) {
+  uint64_t observed = cell->load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &observed, sizeof(current));
+    const double next = current + delta;
+    uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (cell->compare_exchange_weak(observed, next_bits, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double CellAsDouble(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+void Counter::Inc(uint64_t delta) {
+  std::atomic<uint64_t>* cell =
+      overflow_ != nullptr ? overflow_ : registry_->Cell(offset_);
+  cell->fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  if (overflow_ != nullptr) {
+    return overflow_->load(std::memory_order_relaxed);
+  }
+  uint64_t total = 0;
+  std::lock_guard<race::Mutex> lock(registry_->mutex_);
+  for (const auto& shard : registry_->shards_) {
+    total += shard->cells[offset_].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Observe(double value) {
+  // Bucket i counts value <= bounds_[i]; the last cell pair is +Inf + sum.
+  size_t bucket = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  std::atomic<uint64_t>* base =
+      overflow_ != nullptr ? overflow_ : registry_->Cell(offset_);
+  base[bucket].fetch_add(1, std::memory_order_relaxed);
+  AddDouble(&base[bounds_.size() + 1], value);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  const size_t cells = bounds_.size() + 1;
+  if (overflow_ != nullptr) {
+    for (size_t i = 0; i < cells; ++i) {
+      total += overflow_[i].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  std::lock_guard<race::Mutex> lock(registry_->mutex_);
+  for (const auto& shard : registry_->shards_) {
+    for (size_t i = 0; i < cells; ++i) {
+      total += shard->cells[offset_ + i].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  for (const auto& metric : metrics_) {
+    if (metric->name == name) {
+      return metric->kind == Kind::kCounter ? metric->counter.get() : nullptr;
+    }
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->name = name;
+  metric->help = help;
+  metric->kind = Kind::kCounter;
+  metric->cells = 1;
+  metric->counter = std::make_unique<Counter>();
+  metric->counter->registry_ = this;
+  if (next_offset_ + metric->cells <= kShardSlots) {
+    metric->offset = next_offset_;
+    next_offset_ += metric->cells;
+    metric->counter->offset_ = metric->offset;
+  } else {
+    metric->overflow = true;
+    metric->global_cells = std::make_unique<std::atomic<uint64_t>[]>(metric->cells);
+    for (uint32_t i = 0; i < metric->cells; ++i) {
+      metric->global_cells[i].store(0, std::memory_order_relaxed);
+    }
+    metric->counter->overflow_ = metric->global_cells.get();
+  }
+  Counter* handle = metric->counter.get();
+  metrics_.push_back(std::move(metric));
+  return handle;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  for (const auto& metric : metrics_) {
+    if (metric->name == name) {
+      return metric->kind == Kind::kGauge ? metric->gauge.get() : nullptr;
+    }
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->name = name;
+  metric->help = help;
+  metric->kind = Kind::kGauge;
+  metric->cells = 0;  // gauges live on the handle's own atomic
+  metric->gauge = std::make_unique<Gauge>();
+  Gauge* handle = metric->gauge.get();
+  metrics_.push_back(std::move(metric));
+  return handle;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds,
+                                      const std::string& help) {
+  std::sort(bounds.begin(), bounds.end());
+  std::lock_guard<race::Mutex> lock(mutex_);
+  for (const auto& metric : metrics_) {
+    if (metric->name == name) {
+      if (metric->kind != Kind::kHistogram || metric->histogram->bounds_ != bounds) {
+        return nullptr;
+      }
+      return metric->histogram.get();
+    }
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->name = name;
+  metric->help = help;
+  metric->kind = Kind::kHistogram;
+  // bounds buckets + the +Inf bucket + the sum cell.
+  metric->cells = static_cast<uint32_t>(bounds.size()) + 2;
+  metric->histogram = std::make_unique<Histogram>();
+  metric->histogram->registry_ = this;
+  metric->histogram->bounds_ = std::move(bounds);
+  if (next_offset_ + metric->cells <= kShardSlots) {
+    metric->offset = next_offset_;
+    next_offset_ += metric->cells;
+    metric->histogram->offset_ = metric->offset;
+  } else {
+    metric->overflow = true;
+    metric->global_cells = std::make_unique<std::atomic<uint64_t>[]>(metric->cells);
+    for (uint32_t i = 0; i < metric->cells; ++i) {
+      metric->global_cells[i].store(0, std::memory_order_relaxed);
+    }
+    metric->histogram->overflow_ = metric->global_cells.get();
+  }
+  Histogram* handle = metric->histogram.get();
+  metrics_.push_back(std::move(metric));
+  return handle;
+}
+
+std::atomic<uint64_t>* MetricsRegistry::Cell(uint32_t offset) {
+  return &CurrentShard()->cells[offset];
+}
+
+MetricsRegistry::Shard* MetricsRegistry::CurrentShard() {
+  for (const ShardCacheEntry& entry : t_shard_cache) {
+    if (entry.registry_id == id_) {
+      return static_cast<Shard*>(entry.shard);
+    }
+  }
+  // First touch from this thread: register a shard. Rank 85 — legal from
+  // under any product lock.
+  std::shared_ptr<Shard> shard;
+  {
+    std::lock_guard<race::Mutex> lock(mutex_);
+    shard = std::make_shared<Shard>(kShardSlots);
+    shards_.push_back(shard);
+  }
+  if (t_shard_cache.size() >= kShardCacheCap) {
+    t_shard_cache.erase(t_shard_cache.begin());
+  }
+  ShardCacheEntry entry;
+  entry.registry_id = id_;
+  entry.shard = shard.get();
+  entry.keepalive = shard;
+  t_shard_cache.push_back(std::move(entry));
+  return static_cast<Shard*>(shard.get());
+}
+
+MetricsSnapshot MetricsRegistry::Scrape() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<race::Mutex> lock(mutex_);
+  for (const auto& metric : metrics_) {
+    auto sum_cell = [&](uint32_t index) -> uint64_t {
+      if (metric->overflow) {
+        return metric->global_cells[index].load(std::memory_order_relaxed);
+      }
+      uint64_t total = 0;
+      for (const auto& shard : shards_) {
+        total += shard->cells[metric->offset + index].load(std::memory_order_relaxed);
+      }
+      return total;
+    };
+    switch (metric->kind) {
+      case Kind::kCounter:
+        snapshot.counters.emplace_back(metric->name, sum_cell(0));
+        break;
+      case Kind::kGauge:
+        snapshot.gauges.emplace_back(metric->name, metric->gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.name = metric->name;
+        h.bounds = metric->histogram->bounds_;
+        const size_t buckets = h.bounds.size() + 1;
+        h.bucket_counts.resize(buckets);
+        for (size_t i = 0; i < buckets; ++i) {
+          h.bucket_counts[i] = sum_cell(static_cast<uint32_t>(i));
+          h.count += h.bucket_counts[i];
+        }
+        // The sum cell holds double bits; merging shards means adding the
+        // doubles, not the bit patterns.
+        if (metric->overflow) {
+          h.sum = CellAsDouble(
+              metric->global_cells[buckets].load(std::memory_order_relaxed));
+        } else {
+          for (const auto& shard : shards_) {
+            h.sum += CellAsDouble(
+                shard->cells[metric->offset + buckets].load(std::memory_order_relaxed));
+          }
+        }
+        snapshot.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  const MetricsSnapshot snapshot = Scrape();
+  std::string out;
+  char line[256];
+  auto append = [&out, &line](int n) { out.append(line, static_cast<size_t>(n)); };
+  for (const auto& [name, value] : snapshot.counters) {
+    append(std::snprintf(line, sizeof(line), "# TYPE %s counter\n", name.c_str()));
+    append(std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", name.c_str(), value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    append(std::snprintf(line, sizeof(line), "# TYPE %s gauge\n", name.c_str()));
+    append(std::snprintf(line, sizeof(line), "%s %" PRId64 "\n", name.c_str(), value));
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    append(std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", h.name.c_str()));
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      append(std::snprintf(line, sizeof(line), "%s_bucket{le=\"%g\"} %" PRIu64 "\n",
+                           h.name.c_str(), h.bounds[i], cumulative));
+    }
+    cumulative += h.bucket_counts.back();
+    append(std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                         h.name.c_str(), cumulative));
+    append(std::snprintf(line, sizeof(line), "%s_sum %g\n", h.name.c_str(), h.sum));
+    append(std::snprintf(line, sizeof(line), "%s_count %" PRIu64 "\n", h.name.c_str(),
+                         h.count));
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& cell : shard->cells) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& metric : metrics_) {
+    if (metric->gauge != nullptr) {
+      metric->gauge->Set(0);
+    }
+    if (metric->global_cells != nullptr) {
+      for (uint32_t i = 0; i < metric->cells; ++i) {
+        metric->global_cells[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+size_t MetricsRegistry::shard_count() const {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  return shards_.size();
+}
+
+}  // namespace trace
+}  // namespace imk

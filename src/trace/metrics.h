@@ -1,0 +1,165 @@
+// imkmetrics: process-wide fleet metrics with per-thread shards.
+//
+// A registry owns named counters, gauges and histograms. Hot-path updates
+// are one relaxed fetch_add on a per-thread shard cell — no lock, no
+// cross-thread cacheline ping — and shards are merged only on scrape. The
+// registry mutex (race::LockRank::kTraceRegistry = 85, shared with the
+// tracer's rank so both stay scrape-only leaves) is taken on metric
+// registration, per-thread shard registration, and Scrape(); never per
+// update. That lets boot_storm/boot_supervisor bump fleet counters from
+// under their own (lower-ranked) locks.
+//
+// Shard model: every thread that updates a metric gets one fixed slab of
+// kShardSlots atomic u64 cells, registered on first touch (same epoch
+// trick as the tracer's rings). Each metric owns a contiguous cell range:
+// counters use 1 cell, histograms use bounds+2 (per-bucket counts, the
+// +Inf bucket, and the value sum). A registry that outgrows the slab falls
+// back to per-metric global cells — still correct, merely contended.
+// Gauges are absolute (Set wins) and live on a single atomic in the
+// handle, not in the shards: last-writer semantics do not merge.
+#ifndef IMKASLR_SRC_TRACE_METRICS_H_
+#define IMKASLR_SRC_TRACE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/race/annotations.h"
+#include "src/race/mutex.h"
+
+namespace imk {
+namespace trace {
+
+class MetricsRegistry;
+
+// Monotonic counter. Handles are owned by the registry and stay valid for
+// its lifetime.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1);
+  uint64_t Value() const;  // merged across shards (scrape-path cost)
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t offset_ = 0;
+  std::atomic<uint64_t>* overflow_ = nullptr;  // set iff the slab overflowed
+};
+
+// Absolute gauge: Set() overwrites, Add() adjusts. Single atomic cell.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bound histogram (Prometheus le semantics: bucket i counts
+// observations <= bounds[i]; one implicit +Inf bucket).
+class Histogram {
+ public:
+  void Observe(double value);
+  uint64_t Count() const;
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t offset_ = 0;
+  std::atomic<uint64_t>* overflow_ = nullptr;  // set iff the slab overflowed
+  std::vector<double> bounds_;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 (+Inf last)
+  uint64_t count = 0;
+  double sum = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  // Cells per thread shard; see header comment for the overflow fallback.
+  static constexpr uint32_t kShardSlots = 4096;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry the fleet paths publish into.
+  static MetricsRegistry& Global();
+
+  // Idempotent by name: re-registering returns the existing handle (type
+  // and, for histograms, bounds must match — mismatch returns nullptr).
+  Counter* counter(const std::string& name, const std::string& help = "");
+  Gauge* gauge(const std::string& name, const std::string& help = "");
+  Histogram* histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  // Merges every thread shard under the registry mutex.
+  MetricsSnapshot Scrape() const;
+
+  // Prometheus text exposition of Scrape().
+  std::string PrometheusText() const;
+
+  // Zeroes every shard cell and gauge (storm reuse / tests). Handles stay
+  // valid.
+  void Reset();
+
+  size_t shard_count() const;
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  // One thread's slab of cells. alignas keeps shards off each other's lines.
+  struct alignas(64) Shard {
+    explicit Shard(uint32_t slots) : cells(slots) {}
+    std::vector<std::atomic<uint64_t>> cells;
+  };
+
+  struct Metric {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    uint32_t offset = 0;  // cell offset within each shard
+    uint32_t cells = 1;
+    bool overflow = false;  // true: use global_cells instead of shards
+    std::unique_ptr<std::atomic<uint64_t>[]> global_cells;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  // The calling thread's cell for `offset` (registers a shard on first use).
+  std::atomic<uint64_t>* Cell(uint32_t offset);
+
+  Shard* CurrentShard();
+
+  const uint64_t id_;  // process-unique, keys the thread-local shard cache
+
+  mutable race::Mutex mutex_{race::LockRank::kTraceRegistry};
+  std::vector<std::unique_ptr<Metric>> metrics_ IMK_GUARDED_BY(kTraceRegistry);
+  std::vector<std::shared_ptr<Shard>> shards_ IMK_GUARDED_BY(kTraceRegistry);
+  uint32_t next_offset_ IMK_GUARDED_BY(kTraceRegistry) = 0;
+};
+
+}  // namespace trace
+}  // namespace imk
+
+#endif  // IMKASLR_SRC_TRACE_METRICS_H_

@@ -1,0 +1,191 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "src/base/fault_injection.h"
+
+namespace imk {
+namespace trace {
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Per-thread emit state. The cached ring pointer is validated against the
+// tracer epoch on every emit (one relaxed load); a stale cache re-registers.
+// The shared_ptr keeps an abandoned epoch's ring alive until this thread
+// emits again (or exits), so Start() can drop the registry without racing
+// an in-flight emitter.
+struct ThreadSlot {
+  std::shared_ptr<ThreadRing> ring;
+  uint64_t epoch = 0;
+};
+thread_local ThreadSlot t_slot;
+thread_local uint32_t t_vm_id = kNoVmId;
+thread_local uint16_t t_span_depth = 0;
+
+}  // namespace
+
+ThreadRing::ThreadRing(uint32_t tid, uint32_t capacity,
+                       std::shared_ptr<ByteAccountant> accountant)
+    : tid_(tid), slots_(capacity == 0 ? 1 : capacity) {
+  mem_charge_ = ScopedMemCharge(std::move(accountant), slots_.size() * sizeof(Event));
+}
+
+bool ThreadRing::Push(const Event& event) {
+  const uint32_t size = size_.load(std::memory_order_relaxed);
+  if (size >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Forced saturation for the drop drill: an armed trace.buffer_full fault
+  // loses this event but must leave every published slot intact.
+  if (FaultInjector::armed() && !FaultInjector::Instance().Check("trace.buffer_full").ok()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[size] = event;
+  size_.store(size + 1, std::memory_order_release);
+  return true;
+}
+
+void ThreadRing::Snapshot(std::vector<Event>* out) const {
+  const uint32_t n = size_.load(std::memory_order_acquire);
+  out->insert(out->end(), slots_.begin(), slots_.begin() + n);
+}
+
+std::atomic<bool> Tracer::enabled_flag_{false};
+
+Tracer& Tracer::Instance() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start(TracerOptions options) {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  rings_.clear();
+  options_ = std::move(options);
+  base_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  // Publish the new epoch before enabling: an emitter that sees the enable
+  // flag re-validates its cached ring against this epoch and re-registers.
+  epoch_.fetch_add(1, std::memory_order_release);
+  enabled_flag_.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() { enabled_flag_.store(false, std::memory_order_release); }
+
+std::vector<Event> Tracer::Collect() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<race::Mutex> lock(mutex_);
+    for (const auto& ring : rings_) {
+      ring->Snapshot(&events);
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ts_ns != b.ts_ns) {
+      return a.ts_ns < b.ts_ns;
+    }
+    if (a.tid != b.tid) {
+      return a.tid < b.tid;
+    }
+    return a.depth < b.depth;
+  });
+  return events;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+size_t Tracer::thread_count() const {
+  std::lock_guard<race::Mutex> lock(mutex_);
+  return rings_.size();
+}
+
+uint64_t Tracer::NowNs() const {
+  const uint64_t base = base_ns_.load(std::memory_order_relaxed);
+  const uint64_t now = SteadyNowNs();
+  return now > base ? now - base : 0;
+}
+
+ThreadRing* Tracer::CurrentRing() {
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (t_slot.ring != nullptr && t_slot.epoch == epoch) {
+    return t_slot.ring.get();
+  }
+  // First emit on this thread this epoch: register a fresh ring. Rank 85
+  // sits above every product lock, so registering mid-emit is legal from
+  // under any cache or governor mutex.
+  std::lock_guard<race::Mutex> lock(mutex_);
+  auto ring = std::make_shared<ThreadRing>(static_cast<uint32_t>(rings_.size()),
+                                           options_.ring_capacity, options_.accountant);
+  rings_.push_back(ring);
+  t_slot.ring = std::move(ring);
+  t_slot.epoch = epoch;
+  return t_slot.ring.get();
+}
+
+void Tracer::EmitInstant(const char* category, const char* name) {
+  if (!enabled()) {
+    return;
+  }
+  Event event;
+  event.ts_ns = NowNs();
+  event.name = name;
+  event.category = category;
+  event.vm_id = t_vm_id;
+  event.depth = t_span_depth;
+  event.kind = EventKind::kInstant;
+  ThreadRing* ring = CurrentRing();
+  event.tid = ring->tid();
+  ring->Push(event);
+}
+
+void Tracer::EmitSpan(const char* category, const char* name, uint64_t start_ns,
+                      uint16_t depth) {
+  if (!enabled()) {
+    return;
+  }
+  const uint64_t end_ns = NowNs();
+  Event event;
+  event.ts_ns = start_ns;
+  event.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  event.name = name;
+  event.category = category;
+  event.vm_id = t_vm_id;
+  event.depth = depth;
+  event.kind = EventKind::kSpan;
+  ThreadRing* ring = CurrentRing();
+  event.tid = ring->tid();
+  ring->Push(event);
+}
+
+TraceVmScope::TraceVmScope(uint32_t vm_id) : saved_(t_vm_id) { t_vm_id = vm_id; }
+
+TraceVmScope::~TraceVmScope() { t_vm_id = saved_; }
+
+uint32_t CurrentVmId() { return t_vm_id; }
+
+uint16_t CurrentSpanDepth() { return t_span_depth; }
+
+uint16_t EnterSpanDepth() { return t_span_depth++; }
+
+void LeaveSpanDepth() {
+  if (t_span_depth > 0) {
+    --t_span_depth;
+  }
+}
+
+}  // namespace trace
+}  // namespace imk

@@ -1,0 +1,251 @@
+// imktrace: per-thread lock-free span tracing for the boot/fleet paths.
+//
+// The paper's argument is a time-attribution argument (where do boot
+// nanoseconds go?), so the tracer's contract is shaped by two hard
+// requirements:
+//
+//   1. Non-perturbation. A traced boot must stay BIT-IDENTICAL to an
+//      untraced boot — same RAM, same retired guest instructions. The emit
+//      path therefore reads the steady clock and writes into a
+//      preallocated per-thread ring, and nothing else: no RNG, no guest
+//      state, no locks, no allocation after ring registration.
+//   2. Zero cost when off. Every trace point compiles down to one relaxed
+//      atomic load and a predicted branch (the FaultInjector::armed()
+//      shape); building with -DIMK_TRACE_DISABLED=ON removes the points
+//      entirely (the macros expand to nothing).
+//
+// Ring model: one fixed-capacity ring per emitting thread, registered in
+// the global Tracer on first emit. The ring is write-once and SATURATING —
+// when full, new events are dropped and counted (never overwritten), so a
+// concurrent scrape can read every published slot race-free: the writer
+// publishes a slot with a release store of the new size, the reader takes
+// an acquire load and never looks past it. The only mutex
+// (race::LockRank::kTraceRegistry = 85) guards the ring registry and is
+// taken on registration, Collect() and Start()/Stop() — never per event.
+// Ring memory is charged to MemCategory::kTraceBuffers when the caller
+// hands Start() an accountant.
+//
+// The `trace.buffer_full` fault point (registered in KnownFaultPoints())
+// forces drops before the ring is actually full, so tests can prove the
+// saturation path loses events without corrupting published ones.
+#ifndef IMKASLR_SRC_TRACE_TRACE_H_
+#define IMKASLR_SRC_TRACE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/mem_accounting.h"
+#include "src/race/annotations.h"
+#include "src/race/mutex.h"
+
+namespace imk {
+namespace trace {
+
+// Events emitted outside a TraceVmScope carry this VM id.
+inline constexpr uint32_t kNoVmId = 0xffffffffu;
+
+enum class EventKind : uint8_t {
+  kSpan = 0,     // complete span: [ts_ns, ts_ns + dur_ns] (Chrome ph="X")
+  kInstant = 1,  // point event (Chrome ph="i")
+};
+
+// One recorded event. `name` and `category` must point at string literals
+// (static storage duration): the ring stores the pointers and never copies.
+struct Event {
+  uint64_t ts_ns = 0;   // steady-clock ns since Start()
+  uint64_t dur_ns = 0;  // spans only
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint32_t vm_id = kNoVmId;
+  uint32_t tid = 0;    // dense ring-registration index of the emitting thread
+  uint16_t depth = 0;  // span nesting depth on the emitting thread
+  EventKind kind = EventKind::kSpan;
+};
+
+struct TracerOptions {
+  // Events per thread ring. ~48 bytes/event; the default ring costs ~3 MiB
+  // per emitting thread, charged to the accountant below when one is set.
+  uint32_t ring_capacity = 64 * 1024;
+  // Usually MemGovernor::shared_accountant(MemCategory::kTraceBuffers).
+  std::shared_ptr<ByteAccountant> accountant;
+};
+
+// One thread's saturating write-once ring. Only the owning thread writes;
+// any thread may snapshot the published prefix.
+class ThreadRing {
+ public:
+  ThreadRing(uint32_t tid, uint32_t capacity, std::shared_ptr<ByteAccountant> accountant);
+
+  // Owner thread only. Returns false when the event was dropped (ring full
+  // or an armed trace.buffer_full fault).
+  bool Push(const Event& event);
+
+  // Any thread: copies the published slots [0, size) into `out`.
+  void Snapshot(std::vector<Event>* out) const;
+
+  uint32_t tid() const { return tid_; }
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  uint32_t size() const { return size_.load(std::memory_order_acquire); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint32_t tid_;
+  std::vector<Event> slots_;  // sized once at construction, never resized
+  std::atomic<uint32_t> size_{0};
+  std::atomic<uint64_t> dropped_{0};
+  ScopedMemCharge mem_charge_;
+};
+
+class Tracer {
+ public:
+  static Tracer& Instance();
+
+  // The emit-path gate: one relaxed load + predicted branch when off.
+  static bool enabled() { return enabled_flag_.load(std::memory_order_relaxed); }
+
+  // Starts a fresh trace epoch: drops every previous ring, rebases the
+  // clock, and enables emission. Not reentrant with itself or Stop().
+  void Start(TracerOptions options = {});
+
+  // Disables emission. Recorded events stay readable until the next Start().
+  void Stop();
+
+  // Merged, time-sorted snapshot of every ring's published events. Safe
+  // while emitters are still running (they only append).
+  std::vector<Event> Collect() const;
+
+  // Events dropped ring-full across all rings this epoch.
+  uint64_t dropped() const;
+  // Registered rings this epoch (0 after emitting while disabled — the
+  // disabled path never allocates).
+  size_t thread_count() const;
+
+  // ns since this epoch's Start() on the steady clock.
+  uint64_t NowNs() const;
+
+  // Emit primitives. Callers must check enabled() first (the macros and
+  // ScopedSpan do); these re-check and no-op when disabled.
+  void EmitInstant(const char* category, const char* name);
+  void EmitSpan(const char* category, const char* name, uint64_t start_ns, uint16_t depth);
+
+ private:
+  Tracer() = default;
+
+  ThreadRing* CurrentRing();  // registers on first emit per thread per epoch
+
+  static std::atomic<bool> enabled_flag_;
+
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> base_ns_{0};
+
+  mutable race::Mutex mutex_{race::LockRank::kTraceRegistry};
+  std::vector<std::shared_ptr<ThreadRing>> rings_ IMK_GUARDED_BY(kTraceRegistry);
+  TracerOptions options_ IMK_GUARDED_BY(kTraceRegistry);
+};
+
+// Thread-local VM tag: every event emitted on this thread inside the scope
+// carries `vm_id`. Nestable (inner scope wins); restores on destruction.
+class TraceVmScope {
+ public:
+  explicit TraceVmScope(uint32_t vm_id);
+  ~TraceVmScope();
+  TraceVmScope(const TraceVmScope&) = delete;
+  TraceVmScope& operator=(const TraceVmScope&) = delete;
+
+ private:
+  uint32_t saved_;
+};
+
+uint32_t CurrentVmId();
+
+// Span-depth bookkeeping for ScopedSpan (thread-local, defined in trace.cc).
+uint16_t EnterSpanDepth();
+void LeaveSpanDepth();
+
+// RAII span: records the start time at construction, emits one complete
+// span event at destruction. Construction while disabled records nothing
+// and arms nothing (dtor is a dead branch).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name) {
+    if (!Tracer::enabled()) {
+      return;
+    }
+    category_ = category;
+    name_ = name;
+    start_ns_ = Tracer::Instance().NowNs();
+    depth_ = EnterSpanDepth();
+    active_ = true;
+  }
+  ~ScopedSpan() {
+    if (!active_) {
+      return;
+    }
+    LeaveSpanDepth();
+    Tracer::Instance().EmitSpan(category_, name_, start_ns_, depth_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint16_t depth_ = 0;
+  bool active_ = false;
+};
+
+inline void Instant(const char* category, const char* name) {
+  if (!Tracer::enabled()) {
+    return;
+  }
+  Tracer::Instance().EmitInstant(category, name);
+}
+
+// Current thread's span nesting depth (manual spans record at this depth).
+uint16_t CurrentSpanDepth();
+
+// Manual span pair for stage-shaped code where RAII scoping would leak past
+// the stage: capture SpanStart() before the work, EmitComplete after. Both
+// are no-ops while disabled (SpanStart returns 0 and EmitComplete re-checks
+// the gate, so a span straddling Start() is simply not recorded).
+inline uint64_t SpanStart() {
+  return Tracer::enabled() ? Tracer::Instance().NowNs() : 0;
+}
+
+inline void EmitComplete(const char* category, const char* name, uint64_t start_ns) {
+  if (!Tracer::enabled() || start_ns == 0) {
+    return;
+  }
+  Tracer::Instance().EmitSpan(category, name, start_ns, CurrentSpanDepth());
+}
+
+}  // namespace trace
+}  // namespace imk
+
+// Trace-point macros. IMK_TRACE_DISABLED removes them at compile time; the
+// runtime gate is Tracer::enabled() (relaxed atomic, predicted branch).
+#if defined(IMK_TRACE_DISABLED)
+#define IMK_TRACE_SPAN(category, name) \
+  do {                                 \
+  } while (false)
+#define IMK_TRACE_INSTANT(category, name) \
+  do {                                    \
+  } while (false)
+#define IMK_TRACE_VM(vm_id) \
+  do {                      \
+  } while (false)
+#else
+#define IMK_TRACE_CONCAT2(a, b) a##b
+#define IMK_TRACE_CONCAT(a, b) IMK_TRACE_CONCAT2(a, b)
+#define IMK_TRACE_SPAN(category, name)                                 \
+  ::imk::trace::ScopedSpan IMK_TRACE_CONCAT(imk_trace_span_, __LINE__)( \
+      (category), (name))
+#define IMK_TRACE_INSTANT(category, name) ::imk::trace::Instant((category), (name))
+#define IMK_TRACE_VM(vm_id) \
+  ::imk::trace::TraceVmScope IMK_TRACE_CONCAT(imk_trace_vm_, __LINE__)((vm_id))
+#endif
+
+#endif  // IMKASLR_SRC_TRACE_TRACE_H_

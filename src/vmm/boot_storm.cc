@@ -13,6 +13,8 @@
 #include "src/race/drill.h"
 #include "src/race/mutex.h"
 #include "src/race/tracker.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/vmm/device_model.h"
 #include "src/vmm/layout_pool.h"
 #include "src/vmm/loader.h"
@@ -69,6 +71,94 @@ void RecordGuestBlockCache(const ExecStats& guest, BootSample* sample) {
   sample->block_cache_invalidations = guest.block_cache_invalidations;
   sample->blocks_shared = guest.blocks_shared;
   sample->blocks_private = guest.blocks_private;
+}
+
+// Every measured launch lands in exactly one of these buckets.
+enum class LaunchBucket { kOkFirstTry, kOkRetried, kOkDegraded, kFailed, kRejectedMem };
+
+// Process-wide fleet counters, registered once. The storm's per-run tally
+// and these cumulative counters are bumped by the same RecordLaunchOutcome
+// call, so the two views can never drift.
+struct StormMeters {
+  static StormMeters& Get() {
+    static StormMeters* meters = new StormMeters();
+    return *meters;
+  }
+  trace::Counter* bucket_counter(LaunchBucket bucket) {
+    switch (bucket) {
+      case LaunchBucket::kOkFirstTry:
+        return ok_first_try;
+      case LaunchBucket::kOkRetried:
+        return ok_retried;
+      case LaunchBucket::kOkDegraded:
+        return ok_degraded;
+      case LaunchBucket::kFailed:
+        return failed;
+      case LaunchBucket::kRejectedMem:
+        return rejected_mem;
+    }
+    return failed;
+  }
+  trace::Counter* ok_first_try;
+  trace::Counter* ok_retried;
+  trace::Counter* ok_degraded;
+  trace::Counter* failed;
+  trace::Counter* rejected_mem;
+  trace::Counter* attempts;
+  trace::Counter* watchdog_trips;
+  trace::Counter* mem_rejected_attempts;
+
+ private:
+  StormMeters() {
+    auto& reg = trace::MetricsRegistry::Global();
+    ok_first_try = reg.counter("imk_storm_ok_first_try_total",
+                               "launches that booted on the first attempt");
+    ok_retried = reg.counter("imk_storm_ok_retried_total",
+                             "launches that booted at the requested level after retries");
+    ok_degraded = reg.counter("imk_storm_ok_degraded_total",
+                              "launches that booted below the requested level");
+    failed = reg.counter("imk_storm_failed_total",
+                         "launches that exhausted every attempt the policy allowed");
+    rejected_mem = reg.counter("imk_storm_rejected_mem_total",
+                               "launches whose every attempt bounced at the hard watermark");
+    attempts = reg.counter("imk_storm_attempts_total", "boot attempts across all launches");
+    watchdog_trips = reg.counter("imk_storm_watchdog_trips_total", "watchdog-cancelled attempts");
+    mem_rejected_attempts = reg.counter("imk_storm_mem_rejected_attempts_total",
+                                        "attempt-level hard-watermark bounces");
+  }
+};
+
+// The ONLY writer of the per-storm outcome buckets (callers hold the tally
+// lock). RunBootStorm checks accounted() == launches once, at the end;
+// every tally site funnels through here so that check covers them all.
+void RecordLaunchOutcome(StormStats::OutcomeTally* tally, LaunchBucket bucket,
+                         uint32_t launches, uint32_t attempts, uint32_t watchdog_trips,
+                         uint32_t mem_rejected_attempts) {
+  switch (bucket) {
+    case LaunchBucket::kOkFirstTry:
+      tally->ok_first_try += launches;
+      break;
+    case LaunchBucket::kOkRetried:
+      tally->ok_retried += launches;
+      break;
+    case LaunchBucket::kOkDegraded:
+      tally->ok_degraded += launches;
+      break;
+    case LaunchBucket::kFailed:
+      tally->failed += launches;
+      break;
+    case LaunchBucket::kRejectedMem:
+      tally->rejected_mem += launches;
+      break;
+  }
+  tally->attempts_total += attempts;
+  tally->watchdog_trips += watchdog_trips;
+  tally->mem_rejected_attempts += mem_rejected_attempts;
+  StormMeters& meters = StormMeters::Get();
+  meters.bucket_counter(bucket)->Inc(launches);
+  meters.attempts->Inc(attempts);
+  meters.watchdog_trips->Inc(watchdog_trips);
+  meters.mem_rejected_attempts->Inc(mem_rejected_attempts);
 }
 
 }  // namespace
@@ -320,26 +410,24 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
     BootOutcome outcome = supervisor.Run();
     const uint64_t latency_ns = timer.ElapsedNs();
     if (measured) {
-      std::lock_guard<race::Mutex> lock(tally_mutex);
-      IMK_RACE_SHARED_WRITE("supervisor.outcomes", &stats, 0, kStormTally);
-      stats.outcomes.attempts_total += outcome.attempts;
-      stats.outcomes.watchdog_trips += outcome.watchdog_trips;
-      stats.outcomes.mem_rejected_attempts += outcome.mem_rejections;
+      LaunchBucket bucket;
       if (!outcome.ok) {
         // A launch whose EVERY attempt bounced at the hard watermark never
         // got to boot at all: that is backpressure, not a boot failure.
-        if (outcome.attempts > 0 && outcome.mem_rejections == outcome.attempts) {
-          ++stats.outcomes.rejected_mem;
-        } else {
-          ++stats.outcomes.failed;
-        }
+        bucket = outcome.attempts > 0 && outcome.mem_rejections == outcome.attempts
+                     ? LaunchBucket::kRejectedMem
+                     : LaunchBucket::kFailed;
       } else if (outcome.degradations > 0) {
-        ++stats.outcomes.ok_degraded;
+        bucket = LaunchBucket::kOkDegraded;
       } else if (outcome.attempts > 1) {
-        ++stats.outcomes.ok_retried;
+        bucket = LaunchBucket::kOkRetried;
       } else {
-        ++stats.outcomes.ok_first_try;
+        bucket = LaunchBucket::kOkFirstTry;
       }
+      std::lock_guard<race::Mutex> lock(tally_mutex);
+      IMK_RACE_SHARED_WRITE("supervisor.outcomes", &stats, 0, kStormTally);
+      RecordLaunchOutcome(&stats.outcomes, bucket, 1, outcome.attempts,
+                          outcome.watchdog_trips, outcome.mem_rejections);
     }
     if (!outcome.ok) {
       if (sample != nullptr) {
@@ -467,6 +555,10 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
             race::UnguardedWriteDrill();
           }
         }
+        // Every event this launch emits — loader stages, pool grabs, rung
+        // spans, governor ladder runs — carries the launch index as its VM id.
+        IMK_TRACE_VM(i);
+        IMK_TRACE_SPAN("storm", "storm.launch");
         Bytes* region = options.keep_kernel_regions ? &stats.kernel_regions[i] : nullptr;
         if (governor != nullptr && !supervise) {
           // Unsupervised admission: size the launch by the last observed
@@ -477,8 +569,9 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
             samples[i].booted = false;
             std::lock_guard<race::Mutex> lock(tally_mutex);
             IMK_RACE_SHARED_WRITE("supervisor.outcomes", &stats, 0, kStormTally);
-            ++stats.outcomes.rejected_mem;
-            ++stats.outcomes.mem_rejected_attempts;
+            RecordLaunchOutcome(&stats.outcomes, LaunchBucket::kRejectedMem,
+                                /*launches=*/1, /*attempts=*/1, /*watchdog_trips=*/0,
+                                /*mem_rejected_attempts=*/1);
             continue;
           }
         }
@@ -544,9 +637,18 @@ Result<StormStats> RunBootStorm(ByteSpan vmlinux, ByteSpan relocs_blob,
   if (!supervise) {
     // Unsupervised storms abort on the first boot failure, so reaching here
     // means every ADMITTED launch booted on its first (and only) attempt;
-    // the remainder bounced at the governor's hard watermark.
-    stats.outcomes.ok_first_try = total_launches - stats.outcomes.rejected_mem;
-    stats.outcomes.attempts_total = total_launches;
+    // the remainder bounced at the governor's hard watermark (already
+    // recorded launch-by-launch above).
+    const uint32_t admitted = total_launches - stats.outcomes.rejected_mem;
+    RecordLaunchOutcome(&stats.outcomes, LaunchBucket::kOkFirstTry, admitted,
+                        /*attempts=*/admitted, /*watchdog_trips=*/0,
+                        /*mem_rejected_attempts=*/0);
+  }
+  // The accounting invariant, checked in ONE place for every lane: each
+  // measured launch landed in exactly one outcome bucket. Tests and tools
+  // can rely on it instead of re-deriving the sum.
+  if (stats.outcomes.accounted() != stats.launches) {
+    return InternalError("storm outcome accounting drift: accounted() != launches");
   }
   if (governor != nullptr) {
     // Captured while every cache is still alive: current_bytes is the

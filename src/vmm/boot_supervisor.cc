@@ -6,6 +6,7 @@
 #include "src/base/rng.h"
 #include "src/base/stopwatch.h"
 #include "src/vmm/mem_governor.h"
+#include "src/trace/trace.h"
 
 namespace imk {
 namespace {
@@ -247,6 +248,9 @@ BootOutcome BootSupervisor::Run() {
       ++outcome.degradations;
     }
     for (uint32_t try_in_rung = 0; try_in_rung <= options_.max_retries; ++try_in_rung, ++index) {
+      // Exactly one rung-span per accounted attempt — the admission-rejected
+      // path included, so a trace always shows attempts == rung spans.
+      IMK_TRACE_SPAN("supervisor", "supervisor.rung");
       BootReport report;
       Status status = OkStatus();
       // Attempt 0 uses the base seed as-is, so a clean supervised boot lays

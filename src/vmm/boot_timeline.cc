@@ -28,4 +28,34 @@ std::string BootTimeline::ToString() const {
   return buf;
 }
 
+std::vector<trace::Event> TimelineToTraceEvents(const BootTimeline& timeline,
+                                                uint64_t base_ns, uint32_t vm_id) {
+  std::vector<trace::Event> events;
+  events.reserve(kNumBootPhases + timeline.markers().size());
+  uint64_t cursor = base_ns;
+  for (int i = 0; i < kNumBootPhases; ++i) {
+    const BootPhase phase = static_cast<BootPhase>(i);
+    trace::Event event;
+    event.ts_ns = cursor;
+    event.dur_ns = timeline.phase_ns(phase);
+    event.name = BootPhaseName(phase);  // string literal, as Event requires
+    event.category = "timeline";
+    event.vm_id = vm_id;
+    event.kind = trace::EventKind::kSpan;
+    events.push_back(event);
+    cursor += event.dur_ns;
+  }
+  for (const auto& [marker, host_ns] : timeline.markers()) {
+    trace::Event event;
+    event.ts_ns = base_ns + host_ns;
+    event.name = "timeline.marker";
+    event.category = "timeline";
+    event.vm_id = vm_id;
+    event.depth = static_cast<uint16_t>(marker & 0xffff);  // marker id rides in depth
+    event.kind = trace::EventKind::kInstant;
+    events.push_back(event);
+  }
+  return events;
+}
+
 }  // namespace imk

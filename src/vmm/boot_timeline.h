@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/trace/trace.h"
+
 namespace imk {
 
 // The paper's phase buckets (§5.1 "Testing methodology").
@@ -78,6 +80,14 @@ class BootTimeline {
   BlockCacheRecord block_cache_;
   std::vector<std::pair<uint64_t, uint64_t>> markers_;
 };
+
+// Bridges one boot's phase breakdown into imktrace events so a timeline can
+// ride in the same Chrome JSON as the live trace points. Phases become four
+// back-to-back spans (category "timeline") starting at `base_ns`; guest
+// markers become instants at their host timestamps. `vm_id` tags every
+// event (pass trace::kNoVmId outside a storm).
+std::vector<trace::Event> TimelineToTraceEvents(const BootTimeline& timeline,
+                                                uint64_t base_ns, uint32_t vm_id);
 
 }  // namespace imk
 

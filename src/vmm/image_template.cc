@@ -8,6 +8,7 @@
 #include "src/race/tracker.h"
 #include "src/elf/elf_reader.h"
 #include "src/elf/elf_types.h"
+#include "src/trace/trace.h"
 
 namespace imk {
 namespace {
@@ -182,6 +183,7 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
   // against the address being recycled for a different image. The memo
   // assumes the caller keeps the image bytes immutable while booting from
   // them, which holds for read-only mapped kernel files.
+  IMK_TRACE_SPAN("template", "template.get_or_build");
   const uint64_t probe = SampleFingerprint(vmlinux);
   Key key{};
   bool have_key = false;
@@ -270,14 +272,17 @@ Result<std::shared_ptr<const ImageTemplate>> ImageTemplateCache::GetOrBuild(
       }
       ++quarantined_;
       --hits_;  // the serve never happened
+      IMK_TRACE_INSTANT("template", "template.quarantine");
       continue;  // rebuild as a miss
     }
 
     // Build outside the lock: parsing a large vmlinux must not serialize
     // lookups of other kernels.
+    const uint64_t build_span = trace::SpanStart();
     Result<std::shared_ptr<const ImageTemplate>> built =
         BuildTemplate(vmlinux, options, std::get<0>(key), /*stamp_integrity=*/true,
                       std::move(accountant));
+    trace::EmitComplete("template", "template.build", build_span);
 
     std::lock_guard<race::Mutex> lock(mutex_);
     IMK_RACE_SHARED_WRITE("template_cache.entries", this, 0, kTemplateCache);

@@ -8,6 +8,7 @@
 #include "src/base/fault_injection.h"
 #include "src/base/stopwatch.h"
 #include "src/kernel/kconfig.h"
+#include "src/trace/trace.h"
 
 namespace imk {
 namespace {
@@ -202,6 +203,7 @@ Result<std::shared_ptr<RenderedLayout>> LayoutPool::Render(
   // Models a failed background render (allocation failure, entropy outage);
   // the pool just stays shallower and launches fall back inline.
   IMK_FAULT_POINT("pool.refill");
+  IMK_TRACE_SPAN("pool", "pool.render");
   Stopwatch timer;
   const ImageTemplate& t = *tmpl;
   if (t.mem_size == 0 || t.pristine.size() != t.mem_size) {
@@ -335,6 +337,7 @@ std::shared_ptr<const RenderedLayout> LayoutPool::TryGrab(
     }
     std::lock_guard<race::Mutex> lock(mutex_);
     ++stats_.quarantined;
+    IMK_TRACE_INSTANT("pool", "pool.quarantine");
     // Loop: try the next ready layout (or miss out to inline fallback).
   }
 }

@@ -6,6 +6,7 @@
 #include "src/base/fault_injection.h"
 #include "src/base/stopwatch.h"
 #include "src/kernel/layout.h"
+#include "src/trace/trace.h"
 #include "src/vmm/layout_pool.h"
 
 namespace imk {
@@ -38,6 +39,7 @@ Result<LoadedKernel> MapPooledLayout(GuestMemory& memory,
   // The pooled launch is still a mapping stage; the same fault point drills
   // it, so supervisor ladders exercise pooled and inline attempts alike.
   IMK_FAULT_POINT("loader.map_pristine");
+  IMK_TRACE_SPAN("loader", "loader.map_pooled");
   Stopwatch load_timer;
   constexpr uint64_t kFrame = FrameStore::kFrameBytes;
   const uint64_t phys_base = loaded.choice.phys_load_addr;
@@ -121,8 +123,10 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
   if (resources.layout_pool != nullptr && params.requested != RandoMode::kNone) {
     const uint64_t guest_mem =
         params.usable_mem_limit != 0 ? params.usable_mem_limit : memory.size();
+    const uint64_t grab_start = trace::SpanStart();
     std::shared_ptr<const RenderedLayout> pooled =
         resources.layout_pool->TryGrab(tmpl_ptr, params, guest_mem);
+    trace::EmitComplete("pool", "pool.grab", grab_start);
     if (pooled != nullptr) {
       return MapPooledLayout(memory, std::move(pooled), params, entry, std::move(loaded),
                              resources);
@@ -135,6 +139,7 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
   IMK_RETURN_IF_ERROR(CheckDeadline(resources.deadline, "loader.choose"));
   // Models an entropy-source failure in the offset chooser.
   IMK_FAULT_POINT("loader.choose");
+  const uint64_t choose_span = trace::SpanStart();
   Stopwatch choose_timer;
   const bool randomize = params.requested != RandoMode::kNone;
   if (randomize) {
@@ -158,6 +163,7 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
     }
   }
   loaded.timings.choose_ns = choose_timer.ElapsedNs();
+  trace::EmitComplete("loader", "loader.choose", choose_span);
 
   // ---- load image (map) ----
   // The template pre-rendered the segments (file bytes + zeroed BSS/holes)
@@ -169,6 +175,7 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
   // Models a mapping failure while aliasing the pristine template into guest
   // RAM (e.g. an mmap/memfd error in a real monitor).
   IMK_FAULT_POINT("loader.map_pristine");
+  const uint64_t map_span = trace::SpanStart();
   Stopwatch load_timer;
   constexpr uint64_t kFrame = FrameStore::kFrameBytes;
   const uint64_t phys_base = loaded.choice.phys_load_addr;
@@ -252,6 +259,7 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
   loaded.mem.load_dirty_frames =
       dirty_after_load > dirty_at_start ? dirty_after_load - dirty_at_start : 0;
   loaded.timings.load_ns = load_timer.ElapsedNs();
+  trace::EmitComplete("loader", "loader.map_pristine", map_span);
 
   // View of the loaded image addressed by link vaddrs; every randomizer
   // write goes through view.At(), which is the copy-on-write fault point.
@@ -273,6 +281,7 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
         return FailedPreconditionError(
             "kernel has no per-function sections (not built with fgkaslr support)");
       }
+      IMK_TRACE_SPAN("loader", "loader.fg_shuffle");
       Stopwatch fg_timer;
       FgExecContext fg_context;
       fg_context.pool = resources.pool;
@@ -295,6 +304,7 @@ Result<LoadedKernel> DirectLoadFromTemplate(GuestMemory& memory,
     // Models a failed relocation pass (bad delta table, write fault); the
     // degradation ladder leans on the fact that kNone skips this stage.
     IMK_FAULT_POINT("loader.reloc");
+    IMK_TRACE_SPAN("loader", "loader.reloc");
     Stopwatch reloc_timer;
     RelocApplyOptions reloc_options;
     reloc_options.pool = resources.pool;
@@ -333,6 +343,7 @@ Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
                                       Rng& rng, const DirectLoadResources& resources) {
   // ---- parse (or skip it: template cache hit) ----
   IMK_RETURN_IF_ERROR(CheckDeadline(resources.deadline, "loader.parse"));
+  const uint64_t parse_span = trace::SpanStart();
   Stopwatch parse_timer;
   std::shared_ptr<const ImageTemplate> tmpl;
   bool cache_hit = false;
@@ -344,6 +355,7 @@ Result<LoadedKernel> DirectLoadKernel(GuestMemory& memory, ByteSpan vmlinux,
     IMK_ASSIGN_OR_RETURN(tmpl, BuildImageTemplate(vmlinux, TemplateOptions{}));
   }
   const uint64_t parse_ns = parse_timer.ElapsedNs();
+  trace::EmitComplete("loader", "loader.parse", parse_span);
 
   IMK_ASSIGN_OR_RETURN(LoadedKernel loaded,
                        DirectLoadFromTemplate(memory, tmpl, relocs, params, rng, resources));

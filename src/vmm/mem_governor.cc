@@ -7,6 +7,7 @@
 
 #include "src/base/fault_injection.h"
 #include "src/base/stopwatch.h"
+#include "src/trace/trace.h"
 
 namespace imk {
 
@@ -34,6 +35,8 @@ const char* MemCategoryName(MemCategory category) {
       return "layout_renders";
     case MemCategory::kDecodeTables:
       return "decode_tables";
+    case MemCategory::kTraceBuffers:
+      return "trace_buffers";
   }
   return "unknown";
 }
@@ -135,6 +138,7 @@ uint64_t MemGovernor::ReclaimAll() {
 }
 
 uint64_t MemGovernor::RunLadderLocked(uint64_t target_bytes) {
+  IMK_TRACE_SPAN("governor", "governor.ladder");
   if (!under_pressure_.exchange(true, std::memory_order_relaxed)) {
     for (const Hook& h : hooks_) {
       h.hook->OnMemoryPressure(true);

@@ -52,8 +52,9 @@ enum class MemCategory : uint8_t {
   kTemplateImages = 1, // ImageTemplateCache pristine pre-rendered images
   kLayoutRenders = 2,  // LayoutPool ahead-of-time randomized renders
   kDecodeTables = 3,   // SharedBlockCache decoded blocks + published tables
+  kTraceBuffers = 4,   // imktrace per-thread span rings (src/trace)
 };
-inline constexpr size_t kMemCategoryCount = 4;
+inline constexpr size_t kMemCategoryCount = 5;
 
 const char* MemCategoryName(MemCategory category);
 

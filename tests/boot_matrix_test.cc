@@ -7,6 +7,7 @@
 
 #include "src/kernel/bzimage.h"
 #include "src/kernel/kernel_builder.h"
+#include "src/trace/trace.h"
 #include "src/vmm/microvm.h"
 
 namespace imk {
@@ -205,6 +206,59 @@ TEST_P(BootMatrixTest, BlockCacheEngineIsBitIdentical) {
   // The engines tell the truth about which one ran.
   EXPECT_EQ(legacy->guest_stats.block_cache_hits + legacy->guest_stats.block_cache_misses, 0u);
   EXPECT_GT(block->guest_stats.block_cache_hits, 0u);
+}
+
+// Tracing must be pure observation: with the tracer recording, every
+// randomization mode boots to the SAME guest-visible outcome as with it
+// off — RAM (kernel image window), init checksum, console transcript, and
+// retired instruction count included. This is the paper-facing determinism
+// contract: attaching the profiler cannot move the numbers it measures.
+TEST(TraceBitIdentityTest, TracedBootsAreBitIdentical) {
+  for (RandoMode rando : {RandoMode::kNone, RandoMode::kKaslr, RandoMode::kFgKaslr}) {
+    SCOPED_TRACE(RandoModeName(rando));
+    BuiltKernel& kernel = GetKernel(KernelProfile::kAws, rando);
+
+    MicroVmConfig config;
+    config.mem_size_bytes = kMem;
+    config.rando = rando;
+    config.seed = 99;
+    config.kernel_image = "vmlinux";
+    config.boot_mode = BootMode::kDirect;
+    if (rando != RandoMode::kNone) {
+      config.relocs_image = "vmlinux.relocs";
+    }
+
+    trace::Tracer::Instance().Stop();
+    MicroVm plain_vm(kernel.storage, config);
+    auto plain = plain_vm.Boot();
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    auto plain_region = plain_vm.KernelRegion();
+    ASSERT_TRUE(plain_region.ok());
+
+    trace::Tracer::Instance().Start();
+    MicroVm traced_vm(kernel.storage, config);
+    auto traced = traced_vm.Boot();
+    trace::Tracer::Instance().Stop();
+    ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+    auto traced_region = traced_vm.KernelRegion();
+    ASSERT_TRUE(traced_region.ok());
+
+    EXPECT_EQ(plain->init_done, traced->init_done);
+    EXPECT_EQ(plain->init_checksum, traced->init_checksum);
+    EXPECT_EQ(plain->console, traced->console);
+    EXPECT_EQ(plain->guest_stop, traced->guest_stop);
+    EXPECT_EQ(plain->guest_stats.instructions, traced->guest_stats.instructions);
+    // Bit-identical RAM: the whole kernel image window, byte for byte.
+    EXPECT_EQ(*plain_region, *traced_region);
+    // And the trace actually recorded the boot it did not perturb.
+    const std::vector<trace::Event> events = trace::Tracer::Instance().Collect();
+    EXPECT_FALSE(events.empty());
+    bool saw_loader = false;
+    for (const trace::Event& e : events) {
+      saw_loader = saw_loader || std::string(e.category) == "loader";
+    }
+    EXPECT_TRUE(saw_loader);
+  }
 }
 
 std::vector<MatrixCase> AllCases() {

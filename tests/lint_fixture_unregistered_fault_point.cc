@@ -29,4 +29,10 @@ Status BogusMemPressure() {
   return OkStatus();
 }
 
+Status BogusTraceOverflow() {
+  // An unregistered tracer fault point: the real one is trace.buffer_full.
+  IMK_FAULT_POINT("trace.bogus_overflow");
+  return OkStatus();
+}
+
 }  // namespace imk

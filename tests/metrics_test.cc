@@ -1,0 +1,217 @@
+// imkmetrics unit drills: shard-merge correctness across threads, histogram
+// bucket boundaries (Prometheus le semantics), a scrape-during-emit race
+// drill (run under TSan in ci_check.sh's trace stage), idempotent
+// registration, slab overflow fallback, and the Prometheus text exposition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/trace/metrics.h"
+
+namespace imk {
+namespace trace {
+namespace {
+
+TEST(MetricsTest, CounterMergesAcrossThreadShards) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("boots_total");
+  ASSERT_NE(counter, nullptr);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Inc();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // One shard per touching thread was registered.
+  EXPECT_EQ(registry.shard_count(), static_cast<size_t>(kThreads));
+  const MetricsSnapshot snapshot = registry.Scrape();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "boots_total");
+  EXPECT_EQ(snapshot.counters[0].second, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, GaugeIsAbsolute) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.gauge("pool_depth");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(7);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->Value(), 4);
+  gauge->Set(100);  // Set wins over accumulated state
+  EXPECT_EQ(gauge->Value(), 100);
+  const MetricsSnapshot snapshot = registry.Scrape();
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 100);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreLe) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.histogram("boot_ms", {1.0, 10.0, 100.0});
+  ASSERT_NE(histogram, nullptr);
+  // Exactly-on-bound lands in that bucket (le semantics); above the last
+  // bound lands in +Inf.
+  histogram->Observe(0.5);    // <= 1
+  histogram->Observe(1.0);    // <= 1 (boundary)
+  histogram->Observe(1.0001); // <= 10
+  histogram->Observe(10.0);   // <= 10 (boundary)
+  histogram->Observe(99.9);   // <= 100
+  histogram->Observe(100.0);  // <= 100 (boundary)
+  histogram->Observe(1e6);    // +Inf
+  const MetricsSnapshot snapshot = registry.Scrape();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& h = snapshot.histograms[0];
+  ASSERT_EQ(h.bucket_counts.size(), 4u);
+  EXPECT_EQ(h.bucket_counts[0], 2u);
+  EXPECT_EQ(h.bucket_counts[1], 2u);
+  EXPECT_EQ(h.bucket_counts[2], 2u);
+  EXPECT_EQ(h.bucket_counts[3], 1u);
+  EXPECT_EQ(h.count, 7u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.5 + 1.0 + 1.0001 + 10.0 + 99.9 + 100.0 + 1e6);
+  EXPECT_EQ(histogram->Count(), 7u);
+}
+
+TEST(MetricsTest, RegistrationIsIdempotentAndTypeChecked) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("x_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(registry.counter("x_total"), counter);  // same handle back
+  // Same name, different type or bounds: rejected.
+  EXPECT_EQ(registry.gauge("x_total"), nullptr);
+  EXPECT_EQ(registry.histogram("x_total", {1.0}), nullptr);
+  Histogram* histogram = registry.histogram("h", {1.0, 2.0});
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(registry.histogram("h", {1.0, 2.0}), histogram);
+  EXPECT_EQ(registry.histogram("h", {1.0, 3.0}), nullptr);  // bounds mismatch
+}
+
+// Writers hammer a counter and a histogram while a scraper thread merges:
+// Scrape() must only ever observe monotonically growing, uncorrupted
+// tallies. TSan-clean (ci_check.sh trace stage).
+TEST(MetricsTest, ScrapeDuringEmitIsSafe) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("ops_total");
+  Histogram* histogram = registry.histogram("lat", {0.5});
+  ASSERT_NE(counter, nullptr);
+  ASSERT_NE(histogram, nullptr);
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 50000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([counter, histogram] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        counter->Inc();
+        histogram->Observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const MetricsSnapshot snapshot = registry.Scrape();
+    ASSERT_EQ(snapshot.counters.size(), 1u);
+    const uint64_t count = snapshot.counters[0].second;
+    ASSERT_GE(count, last_count);  // counters only grow
+    last_count = count;
+    ASSERT_EQ(snapshot.histograms.size(), 1u);
+    // Bucket sums never exceed the eventual total.
+    ASSERT_LE(snapshot.histograms[0].count,
+              static_cast<uint64_t>(kWriters) * kPerWriter);
+    if (count == static_cast<uint64_t>(kWriters) * kPerWriter) {
+      stop.store(true, std::memory_order_relaxed);
+    }
+  }
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  const MetricsSnapshot final_snapshot = registry.Scrape();
+  EXPECT_EQ(final_snapshot.counters[0].second,
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  const HistogramSnapshot& h = final_snapshot.histograms[0];
+  EXPECT_EQ(h.count, static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(h.bucket_counts[0], h.bucket_counts[1]);  // even/odd split
+}
+
+TEST(MetricsTest, SlabOverflowFallsBackToGlobalCells) {
+  MetricsRegistry registry;
+  // Exhaust the per-thread slab; registration past it must still work via
+  // the per-metric global cells (contended but correct).
+  std::vector<Counter*> counters;
+  for (uint32_t i = 0; i < MetricsRegistry::kShardSlots + 8; ++i) {
+    Counter* counter = registry.counter("c" + std::to_string(i));
+    ASSERT_NE(counter, nullptr);
+    counters.push_back(counter);
+  }
+  Counter* overflowed = counters.back();
+  overflowed->Inc(5);
+  counters.front()->Inc(2);
+  EXPECT_EQ(overflowed->Value(), 5u);
+  EXPECT_EQ(counters.front()->Value(), 2u);
+  const MetricsSnapshot snapshot = registry.Scrape();
+  EXPECT_EQ(snapshot.counters.size(), counters.size());
+}
+
+TEST(MetricsTest, ResetZeroesEverythingHandlesSurvive) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("n_total");
+  Gauge* gauge = registry.gauge("g");
+  Histogram* histogram = registry.histogram("h", {1.0});
+  counter->Inc(9);
+  gauge->Set(-4);
+  histogram->Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(histogram->Count(), 0u);
+  counter->Inc();  // handles stay live after Reset
+  EXPECT_EQ(counter->Value(), 1u);
+}
+
+TEST(MetricsTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.counter("imk_boots_total", "completed boots")->Inc(3);
+  registry.gauge("imk_pool_depth", "ready layouts")->Set(12);
+  Histogram* histogram =
+      registry.histogram("imk_boot_ms", {1.0, 10.0}, "boot latency");
+  histogram->Observe(0.5);
+  histogram->Observe(5.0);
+  histogram->Observe(50.0);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE imk_boots_total counter"), std::string::npos);
+  EXPECT_NE(text.find("imk_boots_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE imk_pool_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("imk_pool_depth 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE imk_boot_ms histogram"), std::string::npos);
+  // Cumulative buckets: le="10" counts the le="1" observations too.
+  EXPECT_NE(text.find("imk_boot_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("imk_boot_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("imk_boot_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("imk_boot_ms_count 3"), std::string::npos);
+}
+
+TEST(MetricsTest, GlobalRegistryIsAProcessSingleton) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+  Counter* counter = a.counter("metrics_test_global_total");
+  ASSERT_NE(counter, nullptr);
+  const uint64_t before = counter->Value();
+  counter->Inc();
+  EXPECT_EQ(counter->Value(), before + 1);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace imk

@@ -6,12 +6,14 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "src/base/fault_injection.h"
 #include "src/base/stopwatch.h"
 #include "src/kernel/kernel_builder.h"
 #include "src/kernel/relocs.h"
+#include "src/trace/trace.h"
 #include "src/vmm/boot_storm.h"
 #include "src/vmm/boot_supervisor.h"
 #include "src/vmm/image_template.h"
@@ -130,6 +132,34 @@ TEST(BootSupervisorTest, PersistentRelocFaultWalksTheFullLadder) {
   EXPECT_EQ(outcome.history[2].mode, RandoMode::kKaslr);
   EXPECT_EQ(outcome.history[4].mode, RandoMode::kNone);
   EXPECT_EQ(outcome.history[4].result, AttemptResult::kOk);
+}
+
+// Trace drill: a full ladder walk under the tracer emits EXACTLY one
+// supervisor.rung span per accounted attempt — no more (double emission),
+// no fewer (an attempt path that skips the span), rejected-at-admission
+// attempts included by contract.
+TEST(BootSupervisorTest, EachAttemptEmitsExactlyOneRungSpan) {
+  BuiltKernel& kernel = GetKernel(RandoMode::kFgKaslr);
+  ImageTemplateCache cache;
+  FaultScope faults(Plan("loader.reloc:error"));
+  SupervisorOptions options;
+  options.max_retries = 1;
+  options.expected_checksum = kernel.info.expected_checksum;
+  BootSupervisor supervisor(kernel.storage, BaseConfig(RandoMode::kFgKaslr, &cache), options);
+  trace::Tracer::Instance().Start();
+  BootOutcome outcome = supervisor.Run();
+  trace::Tracer::Instance().Stop();
+  ASSERT_TRUE(outcome.ok) << outcome.ToString();
+  EXPECT_EQ(outcome.attempts, 5u);  // the full-ladder walk drilled above
+  uint32_t rung_spans = 0;
+  for (const trace::Event& event : trace::Tracer::Instance().Collect()) {
+    if (std::string(event.name) == "supervisor.rung") {
+      EXPECT_EQ(event.kind, trace::EventKind::kSpan);
+      ++rung_spans;
+    }
+  }
+  EXPECT_EQ(rung_spans, outcome.attempts);
+  EXPECT_EQ(rung_spans, static_cast<uint32_t>(outcome.history.size()));
 }
 
 TEST(BootSupervisorTest, StrictPolicyRefusesToDegrade) {

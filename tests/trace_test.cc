@@ -1,0 +1,295 @@
+// imktrace unit drills: saturating ring overflow, nested-span
+// well-formedness, concurrent emitters (run under TSan in ci_check.sh's
+// trace stage), Chrome JSON exporter round-trip, the disabled path's
+// zero-allocation guarantee, and the trace.buffer_full drop drill.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/fault_injection.h"
+#include "src/base/mem_accounting.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
+
+namespace imk {
+namespace trace {
+namespace {
+
+// Every test runs against the process-wide tracer, so each one starts a
+// fresh epoch and stops it on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Tracer::Instance().Stop(); }
+};
+
+class CountingAccountant : public ByteAccountant {
+ public:
+  void Charge(uint64_t bytes) override {
+    current_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void Release(uint64_t bytes) override {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  uint64_t current_bytes() const { return current_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> current_{0};
+};
+
+TEST_F(TraceTest, RecordsSpansAndInstants) {
+  Tracer::Instance().Start();
+  {
+    IMK_TRACE_SPAN("test", "outer");
+    IMK_TRACE_INSTANT("test", "tick");
+  }
+  Tracer::Instance().Stop();
+  const std::vector<Event> events = Tracer::Instance().Collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Collect sorts by timestamp; the instant fires before the span closes,
+  // so it sorts at or after the span's start.
+  const Event* span = nullptr;
+  const Event* instant = nullptr;
+  for (const Event& e : events) {
+    (e.kind == EventKind::kSpan ? span : instant) = &e;
+  }
+  ASSERT_NE(span, nullptr);
+  ASSERT_NE(instant, nullptr);
+  EXPECT_STREQ(span->name, "outer");
+  EXPECT_STREQ(span->category, "test");
+  EXPECT_EQ(span->depth, 0);
+  EXPECT_EQ(span->vm_id, kNoVmId);
+  EXPECT_STREQ(instant->name, "tick");
+  // The instant happened inside the span's lifetime.
+  EXPECT_GE(instant->ts_ns, span->ts_ns);
+  EXPECT_LE(instant->ts_ns, span->ts_ns + span->dur_ns);
+}
+
+TEST_F(TraceTest, RingSaturatesAndCountsDrops) {
+  TracerOptions options;
+  options.ring_capacity = 16;
+  Tracer::Instance().Start(options);
+  for (int i = 0; i < 100; ++i) {
+    IMK_TRACE_INSTANT("test", "flood");
+  }
+  Tracer::Instance().Stop();
+  const std::vector<Event> events = Tracer::Instance().Collect();
+  EXPECT_EQ(events.size(), 16u);  // saturated, never wrapped
+  EXPECT_EQ(Tracer::Instance().dropped(), 84u);
+  // Published slots are intact: all carry the literal we pushed.
+  for (const Event& e : events) {
+    EXPECT_STREQ(e.name, "flood");
+  }
+}
+
+TEST_F(TraceTest, BufferFullFaultDropsWithoutCorruptingRing) {
+  Tracer::Instance().Start();
+  {
+    IMK_TRACE_INSTANT("test", "before");
+  }
+  // Every emit while the fault is armed is dropped, exactly as if the ring
+  // were full; previously published slots must survive untouched.
+  auto plan = FaultPlan::Parse("trace.buffer_full:error:p=1.0", /*seed=*/3);
+  ASSERT_TRUE(plan.ok());
+  FaultInjector::Instance().Arm(*plan);
+  for (int i = 0; i < 10; ++i) {
+    IMK_TRACE_INSTANT("test", "lost");
+  }
+  FaultInjector::Instance().Disarm();
+  IMK_TRACE_INSTANT("test", "after");
+  Tracer::Instance().Stop();
+  const std::vector<Event> events = Tracer::Instance().Collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "before");
+  EXPECT_STREQ(events[1].name, "after");
+  EXPECT_EQ(Tracer::Instance().dropped(), 10u);
+}
+
+TEST_F(TraceTest, NestedSpansAreWellFormed) {
+  Tracer::Instance().Start();
+  {
+    IMK_TRACE_SPAN("test", "a");
+    {
+      IMK_TRACE_SPAN("test", "b");
+      { IMK_TRACE_SPAN("test", "c"); }
+    }
+  }
+  Tracer::Instance().Stop();
+  const std::vector<Event> events = Tracer::Instance().Collect();
+  ASSERT_EQ(events.size(), 3u);
+  const auto find = [&](const char* name) -> const Event& {
+    for (const Event& e : events) {
+      if (std::strcmp(e.name, name) == 0) {
+        return e;
+      }
+    }
+    ADD_FAILURE() << "span " << name << " not recorded";
+    return events[0];
+  };
+  const Event& a = find("a");
+  const Event& b = find("b");
+  const Event& c = find("c");
+  EXPECT_EQ(a.depth, 0);
+  EXPECT_EQ(b.depth, 1);
+  EXPECT_EQ(c.depth, 2);
+  // Proper nesting: each child's interval is contained in its parent's.
+  EXPECT_GE(b.ts_ns, a.ts_ns);
+  EXPECT_LE(b.ts_ns + b.dur_ns, a.ts_ns + a.dur_ns);
+  EXPECT_GE(c.ts_ns, b.ts_ns);
+  EXPECT_LE(c.ts_ns + c.dur_ns, b.ts_ns + b.dur_ns);
+}
+
+TEST_F(TraceTest, ManualSpansRecordTheBracketedStage) {
+  Tracer::Instance().Start();
+  const uint64_t start = SpanStart();
+  IMK_TRACE_INSTANT("test", "inside");
+  EmitComplete("test", "stage", start);
+  Tracer::Instance().Stop();
+  const std::vector<Event> events = Tracer::Instance().Collect();
+  ASSERT_EQ(events.size(), 2u);
+  const Event& span = events[0].kind == EventKind::kSpan ? events[0] : events[1];
+  const Event& inside = events[0].kind == EventKind::kSpan ? events[1] : events[0];
+  EXPECT_STREQ(span.name, "stage");
+  EXPECT_GE(inside.ts_ns, span.ts_ns);
+  EXPECT_LE(inside.ts_ns, span.ts_ns + span.dur_ns);
+}
+
+TEST_F(TraceTest, VmScopeTagsEventsAndRestores) {
+  Tracer::Instance().Start();
+  {
+    IMK_TRACE_VM(7);
+    IMK_TRACE_INSTANT("test", "tagged");
+    {
+      IMK_TRACE_VM(9);
+      IMK_TRACE_INSTANT("test", "inner");
+    }
+    IMK_TRACE_INSTANT("test", "tagged");
+  }
+  IMK_TRACE_INSTANT("test", "untagged");
+  Tracer::Instance().Stop();
+  const std::vector<Event> events = Tracer::Instance().Collect();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].vm_id, 7u);
+  EXPECT_EQ(events[1].vm_id, 9u);
+  EXPECT_EQ(events[2].vm_id, 7u);
+  EXPECT_EQ(events[3].vm_id, kNoVmId);
+}
+
+// Eight threads emitting concurrently while the main thread scrapes: the
+// emit path is lock-free and the scrape only reads published slots, so this
+// must be TSan-clean (ci_check.sh runs this suite under TSan) and lose
+// nothing when the rings have room.
+TEST_F(TraceTest, ConcurrentEmittersScrapeCleanly) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  TracerOptions options;
+  options.ring_capacity = kPerThread + 16;
+  Tracer::Instance().Start(options);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      IMK_TRACE_VM(static_cast<uint32_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        IMK_TRACE_SPAN("test", "worker");
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Scrape mid-storm: must be safe and observe only whole events.
+  for (int i = 0; i < 50; ++i) {
+    for (const Event& e : Tracer::Instance().Collect()) {
+      ASSERT_STREQ(e.name, "worker");
+      ASSERT_LT(e.vm_id, static_cast<uint32_t>(kThreads));
+    }
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  Tracer::Instance().Stop();
+  const std::vector<Event> events = Tracer::Instance().Collect();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(Tracer::Instance().dropped(), 0u);
+  EXPECT_EQ(Tracer::Instance().thread_count(), static_cast<size_t>(kThreads));
+}
+
+TEST_F(TraceTest, DisabledPathRegistersNoRingAndChargesNothing) {
+  // Not started: every macro must be a relaxed load + fall-through. The
+  // observable proxy for "no allocation" is that no ring is ever
+  // registered and no bytes are ever charged.
+  auto accountant = std::make_shared<CountingAccountant>();
+  TracerOptions options;
+  options.accountant = accountant;
+  Tracer::Instance().Start(options);
+  Tracer::Instance().Stop();  // enabled window closed before any emit
+  for (int i = 0; i < 1000; ++i) {
+    IMK_TRACE_SPAN("test", "dead");
+    IMK_TRACE_INSTANT("test", "dead");
+  }
+  EXPECT_EQ(Tracer::Instance().thread_count(), 0u);
+  EXPECT_EQ(accountant->current_bytes(), 0u);
+  EXPECT_EQ(SpanStart(), 0u);  // manual spans are no-ops too
+}
+
+TEST_F(TraceTest, RingMemoryIsChargedAndReleased) {
+  auto accountant = std::make_shared<CountingAccountant>();
+  TracerOptions options;
+  options.ring_capacity = 1024;
+  options.accountant = accountant;
+  Tracer::Instance().Start(options);
+  IMK_TRACE_INSTANT("test", "touch");  // registers this thread's ring
+  EXPECT_EQ(accountant->current_bytes(), 1024 * sizeof(Event));
+  Tracer::Instance().Stop();
+  // The next epoch drops the old ring; its charge is released once the
+  // thread-local cache lets go (our next emit re-registers).
+  Tracer::Instance().Start(options);
+  IMK_TRACE_INSTANT("test", "touch");
+  EXPECT_EQ(accountant->current_bytes(), 1024 * sizeof(Event));
+  Tracer::Instance().Stop();
+}
+
+TEST_F(TraceTest, ChromeJsonRoundTrips) {
+  TracerOptions options;
+  Tracer::Instance().Start(options);
+  {
+    IMK_TRACE_VM(3);
+    IMK_TRACE_SPAN("cat.a", "span.one");
+    IMK_TRACE_INSTANT("cat.b", "tick");
+  }
+  Tracer::Instance().Stop();
+  const std::vector<Event> events = Tracer::Instance().Collect();
+  ASSERT_EQ(events.size(), 2u);
+  const std::string json = ToChromeJson(events);
+  auto parsed = ParseChromeJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    const ParsedEvent& p = (*parsed)[i];
+    const Event& e = events[i];
+    EXPECT_EQ(p.name, e.name);
+    EXPECT_EQ(p.category, e.category);
+    EXPECT_EQ(p.ts_ns, e.ts_ns);  // exact: ns ride in args, not the µs fields
+    EXPECT_EQ(p.dur_ns, e.dur_ns);
+    EXPECT_EQ(p.vm_id, e.vm_id);
+    EXPECT_EQ(p.tid, e.tid);
+    EXPECT_EQ(p.depth, e.depth);
+    EXPECT_EQ(p.kind, e.kind);
+  }
+}
+
+TEST_F(TraceTest, ChromeJsonEmptyTraceParses) {
+  const std::string json = ToChromeJson({});
+  auto parsed = ParseChromeJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace imk

@@ -12,6 +12,7 @@
 //   boot     --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--mem=256]
 //            [--threads=N] [--no-template-cache] [--no-block-cache]
 //            [--layout-pool=N] [--pool-refill=N]
+//            [--trace=FILE] [--metrics]
 //            [--mem-budget=MIB] [--mem-soft-pct=F]
 //            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
@@ -37,10 +38,18 @@
 //            fraction of it, default 0.75): guest frames are byte-accounted,
 //            a supervised boot gains the admission gate and the caches-off
 //            pressure rung, and the governor's per-category residency is
-//            reported after the boot.
+//            reported after the boot. --trace=FILE records imktrace spans
+//            (loader stages, relocation, pool grabs, supervisor rungs,
+//            governor ladder runs) and writes Chrome trace_event JSON —
+//            open it in chrome://tracing or https://ui.perfetto.dev;
+//            --metrics prints the process-wide metrics registry in
+//            Prometheus text exposition after the run. Both flags also
+//            apply to `storm`; a traced boot stays bit-identical to an
+//            untraced one.
 //   storm    --kernel=FILE [--relocs=FILE] [--rando=kaslr] [--vms=16]
 //            [--threads=4] [--mem=256] [--seed=N] [--no-block-cache]
 //            [--layout-pool=N] [--pool-refill=N] [--churn=K]
+//            [--trace=FILE] [--metrics]
 //            [--mem-budget=MIB] [--mem-soft-pct=F] [--admit-wait-ms=N]
 //            [--faults=SPEC] [--fault-seed=N] [--max-retries=N]
 //            [--watchdog-ms=N] [--watchdog-insns=N] [--degrade=strict|ladder]
@@ -119,6 +128,9 @@
 #include "src/base/fault_injection.h"
 #include "src/race/drill.h"
 #include "src/race/tracker.h"
+#include "src/trace/export.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 #include "src/verify/image_verifier.h"
 #include "src/vmm/boot_storm.h"
 #include "src/vmm/boot_supervisor.h"
@@ -452,6 +464,50 @@ int FinishAudit(std::optional<imk::race::AuditScope>& audit, bool json, int rc) 
   return report.clean() ? rc : 1;
 }
 
+// --trace=FILE / --metrics plumbing, shared by boot and storm. Tracing is
+// started before the measured work and exported after; ring memory is
+// charged to the governor's trace_buffers category when one is active.
+void MaybeStartTrace(const Args& args, imk::MemGovernor* governor) {
+  if (args.Get("trace").empty()) {
+    return;
+  }
+  imk::trace::TracerOptions options;
+  if (governor != nullptr) {
+    options.accountant = governor->shared_accountant(imk::MemCategory::kTraceBuffers);
+  }
+  imk::trace::Tracer::Instance().Start(options);
+}
+
+// Stops the tracer, appends `extra` (timeline bridge events), and writes
+// Chrome trace_event JSON to the --trace path. Load the file in
+// chrome://tracing or https://ui.perfetto.dev.
+void MaybeFinishTrace(const Args& args, std::vector<imk::trace::Event> extra) {
+  const std::string path = args.Get("trace");
+  if (path.empty()) {
+    return;
+  }
+  imk::trace::Tracer& tracer = imk::trace::Tracer::Instance();
+  tracer.Stop();
+  std::vector<imk::trace::Event> events = tracer.Collect();
+  events.insert(events.end(), extra.begin(), extra.end());
+  const std::string json = imk::trace::ToChromeJson(events);
+  WriteFile(path, ByteSpan(reinterpret_cast<const uint8_t*>(json.data()), json.size()));
+  auto& registry = imk::trace::MetricsRegistry::Global();
+  registry.counter("imk_trace_events_total", "trace events exported")->Inc(events.size());
+  registry.counter("imk_trace_dropped_total", "trace events dropped ring-full")
+      ->Inc(tracer.dropped());
+  std::printf("trace: %zu events from %zu threads (%llu dropped) -> %s\n", events.size(),
+              tracer.thread_count(), static_cast<unsigned long long>(tracer.dropped()),
+              path.c_str());
+}
+
+void MaybePrintMetrics(const Args& args) {
+  if (args.Get("metrics").empty()) {
+    return;
+  }
+  std::printf("%s", imk::trace::MetricsRegistry::Global().PrometheusText().c_str());
+}
+
 int CmdBoot(const Args& args) {
   const std::string kernel_path = args.Get("kernel");
   if (kernel_path.empty()) {
@@ -492,6 +548,7 @@ int CmdBoot(const Args& args) {
     governor.emplace(governor_options);
     config.mem_governor = &*governor;
   }
+  MaybeStartTrace(args, governor.has_value() ? &*governor : nullptr);
   if (WantsSupervision(args)) {
     ArmFaults(args);
     imk::SupervisorOptions sup;
@@ -507,6 +564,11 @@ int CmdBoot(const Args& args) {
       PrintMemStats(governor->stats());
     }
     imk::FaultInjector::Instance().Disarm();
+    MaybeFinishTrace(args, outcome.report.has_value()
+                               ? imk::TimelineToTraceEvents(outcome.report->timeline, 0,
+                                                            imk::trace::kNoVmId)
+                               : std::vector<imk::trace::Event>{});
+    MaybePrintMetrics(args);
     return FinishAudit(audit, json, outcome.ok ? 0 : 1);
   }
   imk::MicroVm vm(storage, config);
@@ -541,6 +603,8 @@ int CmdBoot(const Args& args) {
   if (governor.has_value()) {
     PrintMemStats(governor->stats());
   }
+  MaybeFinishTrace(args, imk::TimelineToTraceEvents(report->timeline, 0, imk::trace::kNoVmId));
+  MaybePrintMetrics(args);
   return FinishAudit(audit, json, 0);
 }
 
@@ -579,11 +643,24 @@ int CmdStorm(const Args& args) {
     options.watchdog_instructions = static_cast<uint64_t>(args.GetDouble("watchdog-insns", 0));
     options.degrade = ParseDegrade(args);
   }
+  // A traced, governed storm hoists the governor out of RunBootStorm so the
+  // tracer's rings are charged to its trace_buffers category.
+  std::optional<imk::MemGovernor> governor;
+  if (!args.Get("trace").empty() && options.mem_budget_bytes > 0) {
+    imk::MemGovernorOptions governor_options;
+    governor_options.budget_bytes = options.mem_budget_bytes;
+    governor_options.soft_pct = options.mem_soft_pct;
+    governor.emplace(governor_options);
+    options.governor = &*governor;
+  }
+  MaybeStartTrace(args, governor.has_value() ? &*governor : nullptr);
   auto stats = imk::RunBootStorm(ByteSpan(vmlinux), ByteSpan(relocs_blob), options);
   imk::FaultInjector::Instance().Disarm();
   if (!stats.ok()) {
     Die(stats.status().ToString());
   }
+  MaybeFinishTrace(args, {});
+  MaybePrintMetrics(args);
   std::printf("storm: %u VMs over %u threads (%u launches) in %.1f ms -> %.1f boots/sec\n",
               stats->vms, stats->threads, stats->launches,
               static_cast<double>(stats->wall_ns) / 1e6, stats->boots_per_sec());
@@ -687,6 +764,7 @@ int CmdRaceCheck(const Args& args) {
     bool block_cache;     // storm-wide shared decode cache on?
     uint32_t churn;       // launch/halt cycles per VM slot (<=1 = one wave)
     uint64_t budget_mb;   // MemGovernor hard watermark (0 = ungoverned)
+    bool traced = false;  // run with the imktrace tracer recording
   };
   const Lane lanes[] = {
       {"kaslr", imk::RandoMode::kKaslr, 0, false, 1, 0},
@@ -703,6 +781,11 @@ int CmdRaceCheck(const Args& args) {
       // the kMemGovernor rank, auditing the governor's lock order (admission
       // gate, reclamation into pool + decode + template tiers) under load.
       {"fgkaslr-churn-governed", imk::RandoMode::kFgKaslr, options.vms, true, 3, 48},
+      // Traced lane: every worker emits into its lock-free ring while the
+      // audit watches, proving the trace emit path adds no lock-order or
+      // lockset findings under storm concurrency (ISSUE: instrumented
+      // racecheck of a traced storm stays CLEAN).
+      {"fgkaslr-traced", imk::RandoMode::kFgKaslr, options.vms, true, 1, 0, true},
   };
   for (const Lane& lane : lanes) {
     auto info = imk::BuildKernel(
@@ -718,7 +801,13 @@ int CmdRaceCheck(const Args& args) {
     options.churn_cycles = lane.churn;
     options.mem_budget_bytes = lane.budget_mb << 20;
     imk::race::AuditScope audit;
+    if (lane.traced) {
+      imk::trace::Tracer::Instance().Start();
+    }
     auto stats = imk::RunBootStorm(ByteSpan(info->vmlinux), ByteSpan(relocs_blob), options);
+    if (lane.traced) {
+      imk::trace::Tracer::Instance().Stop();
+    }
     const imk::race::RaceReport& report = audit.Finish();
     if (!stats.ok()) {
       Die(std::string("racecheck ") + lane.name + " storm: " + stats.status().ToString());
@@ -741,6 +830,11 @@ int CmdRaceCheck(const Args& args) {
                   static_cast<unsigned long long>(stats->mem->reclaim_runs),
                   static_cast<unsigned long long>(stats->mem->admit_rejects),
                   imk::HumanSize(stats->mem->high_water_total_bytes).c_str());
+    }
+    if (lane.traced) {
+      std::printf(", %zu trace events from %zu threads",
+                  imk::trace::Tracer::Instance().Collect().size(),
+                  imk::trace::Tracer::Instance().thread_count());
     }
     std::printf("\n%s\n", json ? report.ToJson().c_str() : report.ToString().c_str());
     all_clean = all_clean && report.clean();
